@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the end-to-end algorithms (Figs. 4–7 substance):
+//! exact vs PG-BF vs PG-1H for Triangle Counting and Jarvis–Patrick
+//! clustering on a Kronecker graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_graph::{gen, orient_by_degree};
+use probgraph::algorithms::clustering::{jarvis_patrick_exact, jarvis_patrick_pg, SimilarityKind};
+use probgraph::algorithms::triangles;
+use probgraph::{PgConfig, ProbGraph, Representation};
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let g = gen::kronecker(11, 16, 9);
+    let dag = orient_by_degree(&g);
+    let cfg_bf = PgConfig::new(Representation::Bloom { b: 2 }, 0.25);
+    let cfg_1h = PgConfig::new(Representation::OneHash, 0.25);
+    let dag_bf = ProbGraph::build_dag(&dag, g.memory_bytes(), &cfg_bf);
+    let dag_1h = ProbGraph::build_dag(&dag, g.memory_bytes(), &cfg_1h);
+    let full_bf = ProbGraph::build(&g, &cfg_bf);
+    let full_1h = ProbGraph::build(&g, &cfg_1h);
+
+    let mut group = c.benchmark_group("triangle_counting");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("exact", "kron-2^11"), |b| {
+        b.iter(|| black_box(triangles::count_exact_on_dag(&dag)))
+    });
+    group.bench_function(BenchmarkId::new("pg_bf", "kron-2^11"), |b| {
+        b.iter(|| black_box(triangles::count_approx_on_dag(&dag, &dag_bf)))
+    });
+    group.bench_function(BenchmarkId::new("pg_1h", "kron-2^11"), |b| {
+        b.iter(|| black_box(triangles::count_approx_on_dag(&dag, &dag_1h)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("clustering_common_neighbors");
+    group.sample_size(20);
+    let kind = SimilarityKind::CommonNeighbors;
+    group.bench_function(BenchmarkId::new("exact", "kron-2^11"), |b| {
+        b.iter(|| black_box(jarvis_patrick_exact(&g, kind, 2.0)))
+    });
+    group.bench_function(BenchmarkId::new("pg_bf", "kron-2^11"), |b| {
+        b.iter(|| black_box(jarvis_patrick_pg(&g, &full_bf, kind, 2.0)))
+    });
+    group.bench_function(BenchmarkId::new("pg_1h", "kron-2^11"), |b| {
+        b.iter(|| black_box(jarvis_patrick_pg(&g, &full_1h, kind, 2.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

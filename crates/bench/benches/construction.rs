@@ -1,0 +1,29 @@
+//! Criterion benchmarks of sketch construction (Table V): building the
+//! full per-neighborhood collection for each representation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_graph::gen;
+use probgraph::{PgConfig, ProbGraph, Representation};
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let g = gen::kronecker(12, 16, 5);
+    let mut group = c.benchmark_group("sketch_construction");
+    group.sample_size(20);
+    for (label, rep) in [
+        ("bloom_b1", Representation::Bloom { b: 1 }),
+        ("bloom_b4", Representation::Bloom { b: 4 }),
+        ("khash", Representation::KHash),
+        ("onehash", Representation::OneHash),
+        ("kmv", Representation::Kmv),
+    ] {
+        let cfg = PgConfig::new(rep, 0.25);
+        group.bench_function(BenchmarkId::new(label, "kron-2^12-ef16"), |bch| {
+            bch.iter(|| black_box(ProbGraph::build(&g, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks of the `|N_u ∩ N_v|` kernels (Table IV):
+//! CSR merge, CSR galloping, Bloom AND+popcount, and MinHash sample merge,
+//! across neighborhood-size regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_graph::gen;
+use pg_sketch::{BloomCollection, BottomKCollection, MinHashCollection};
+use probgraph::intersect::{gallop_count, merge_count};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let g = gen::erdos_renyi_gnm(2000, 2000 * 48, 7);
+    let n = g.num_vertices();
+    let bloom = BloomCollection::build(n, 1024, 2, 3, |i| g.neighbors(i as u32));
+    let onehash = BottomKCollection::build(n, 32, 3, |i| g.neighbors(i as u32));
+    let khash = MinHashCollection::build(n, 32, 3, |i| g.neighbors(i as u32));
+    let pairs: Vec<(usize, usize)> = (0..256)
+        .map(|i| ((i * 7919) % n, (i * 104_729) % n))
+        .collect();
+
+    let mut group = c.benchmark_group("intersection_kernels");
+    group.bench_function(BenchmarkId::new("csr_merge", "d~96"), |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for &(u, v) in &pairs {
+                acc += merge_count(g.neighbors(u as u32), g.neighbors(v as u32));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::new("csr_gallop", "d~96"), |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for &(u, v) in &pairs {
+                let (a, b) = (g.neighbors(u as u32), g.neighbors(v as u32));
+                let (s, l) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+                acc += gallop_count(s, l);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::new("bf_and_popcnt", "B=1024,b=2"), |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for &(u, v) in &pairs {
+                acc += bloom.and_ones(u, v);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::new("mh_1hash", "k=32"), |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for &(u, v) in &pairs {
+                acc += onehash.matches(u, v);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::new("mh_khash", "k=32"), |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for &(u, v) in &pairs {
+                acc += khash.matches(u, v);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! §VIII-F: distributed-memory communication-volume model — sketches are
+//! never split across nodes and shipping them instead of raw CSR
+//! neighborhoods reduces communication (the paper reports up to ≈4×; the
+//! reduction is `avg-boundary-degree · 4 B / sketch-bytes`).
+
+use pg_bench::distmodel::{model_volume, random_partition};
+use pg_bench::harness::{print_header, print_row};
+use pg_bench::workloads::{env_scale, real_world_suite};
+use pg_sketch::SketchParams;
+use probgraph::{PgConfig, ProbGraph, Representation};
+
+fn main() {
+    let scale = env_scale(4);
+    println!("# §VIII-F — modeled communication-volume reduction (PG_SCALE={scale})");
+    println!();
+    print_header(&[
+        "graph", "parts", "sketch", "exact [MB]", "sketch [MB]", "reduction",
+    ]);
+    for (name, g) in real_world_suite(scale) {
+        for parts in [2usize, 4, 16] {
+            let assignment = random_partition(g.num_vertices(), parts, 11);
+            for (label, rep) in [
+                ("BF s=25%", Representation::Bloom { b: 2 }),
+                ("1H s=25%", Representation::OneHash),
+            ] {
+                let pg = ProbGraph::build(&g, &PgConfig::new(rep, 0.25));
+                let bytes_per_set = match pg.params() {
+                    SketchParams::Bloom { bits_per_set, .. } => bits_per_set / 8,
+                    SketchParams::OneHash { k } => 4 * k,
+                    SketchParams::KHash { k } => 4 * k,
+                    SketchParams::Kmv { k } => 8 * k,
+                };
+                let v = model_volume(&g, &assignment, bytes_per_set);
+                print_row(&[
+                    name.into(),
+                    parts.to_string(),
+                    label.into(),
+                    format!("{:.3}", v.exact_bytes as f64 / 1e6),
+                    format!("{:.3}", v.sketch_bytes as f64 / 1e6),
+                    format!("{:.2}x", v.reduction()),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Communication-volume model for the distributed-memory analysis of
+//! §VIII-F.
+//!
+//! The paper's distributed claim is purely about transferred bytes: because
+//! sketches are small and never split across nodes, exchanging sketches
+//! instead of raw CSR neighborhoods cuts communication "up to 4×". With no
+//! multi-node fabric available we reproduce the *model*: partition the
+//! vertices into `p` parts (random balanced partition, the default in the
+//! absence of a partitioner), and for every cut edge account the bytes one
+//! endpoint must ship so the other can intersect neighborhoods:
+//!
+//! * exact: the full neighborhood, `4 · d_v` bytes,
+//! * ProbGraph: one fixed-size sketch, `B/8` (BF) or `4k` (MinHash) bytes.
+
+use pg_graph::{CsrGraph, VertexId};
+
+/// Bytes on the wire for one full intersection round over all cut edges.
+#[derive(Clone, Copy, Debug)]
+pub struct CommVolume {
+    /// Exact CSR neighborhood exchange.
+    pub exact_bytes: u64,
+    /// Sketch exchange.
+    pub sketch_bytes: u64,
+}
+
+impl CommVolume {
+    /// `exact / sketch` — the reduction factor the paper reports.
+    pub fn reduction(&self) -> f64 {
+        if self.sketch_bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.exact_bytes as f64 / self.sketch_bytes as f64
+        }
+    }
+}
+
+/// Balanced pseudo-random assignment of vertices to `p` parts.
+pub fn random_partition(n: usize, p: usize, seed: u64) -> Vec<u32> {
+    assert!(p >= 1);
+    (0..n)
+        .map(|v| (pg_hash::splitmix64_at(seed ^ v as u64) % p as u64) as u32)
+        .collect()
+}
+
+/// Models one neighborhood-exchange round: for every cut edge `(u, v)` the
+/// lower-ID endpoint ships its representation to the other's node.
+pub fn model_volume(g: &CsrGraph, parts: &[u32], sketch_bytes_per_set: usize) -> CommVolume {
+    let mut exact = 0u64;
+    let mut sketch = 0u64;
+    for (u, v) in g.edges() {
+        if parts[u as usize] != parts[v as usize] {
+            exact += 4 * g.degree(u as VertexId) as u64;
+            sketch += sketch_bytes_per_set as u64;
+        }
+    }
+    CommVolume {
+        exact_bytes: exact,
+        sketch_bytes: sketch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_graph::gen;
+
+    #[test]
+    fn partition_is_balanced_and_deterministic() {
+        let p = random_partition(10_000, 4, 9);
+        assert_eq!(p, random_partition(10_000, 4, 9));
+        for part in 0..4u32 {
+            let cnt = p.iter().filter(|&&x| x == part).count();
+            assert!((2000..3000).contains(&cnt), "part {part}: {cnt}");
+        }
+    }
+
+    #[test]
+    fn single_part_has_no_communication() {
+        let g = gen::complete(20);
+        let parts = vec![0u32; 20];
+        let v = model_volume(&g, &parts, 64);
+        assert_eq!(v.exact_bytes, 0);
+        assert_eq!(v.sketch_bytes, 0);
+    }
+
+    #[test]
+    fn sketches_reduce_volume_on_dense_graphs() {
+        // Dense graph: degrees ~ 150, sketch = 64 bytes -> big reduction.
+        let g = gen::erdos_renyi_gnm(300, 300 * 75, 3);
+        let parts = random_partition(300, 4, 1);
+        let v = model_volume(&g, &parts, 64);
+        assert!(v.reduction() > 4.0, "reduction={}", v.reduction());
+    }
+
+    #[test]
+    fn reduction_scales_with_degree_over_sketch_size() {
+        let g = gen::erdos_renyi_gnm(200, 200 * 50, 5);
+        let parts = random_partition(200, 2, 2);
+        let small = model_volume(&g, &parts, 32).reduction();
+        let large = model_volume(&g, &parts, 128).reduction();
+        assert!((small / large - 4.0).abs() < 1e-9);
+    }
+}

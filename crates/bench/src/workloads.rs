@@ -1,0 +1,73 @@
+//! Dataset selection shared by the experiment binaries.
+
+use pg_graph::{gen, CsrGraph};
+
+/// Reads `PG_SCALE` (≥ 1); `default` applies when unset/invalid.
+pub fn env_scale(default: usize) -> usize {
+    std::env::var("PG_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(default)
+}
+
+/// A representative subset of the Table VIII stand-ins spanning the
+/// paper's graph classes (biological power-law, dense economic, DIMACS
+/// near-complete, chemistry mesh, social) at the given down-scale.
+pub fn real_world_suite(scale: usize) -> Vec<(&'static str, CsrGraph)> {
+    [
+        "bio-SC-GT",
+        "bio-CE-PG",
+        "bio-SC-HT",
+        "bio-HS-LC",
+        "econ-beacxc",
+        "econ-mbeacxc",
+        "econ-orani678",
+        "bn-mouse_brain_1",
+        "dimacs-c500-9",
+        "soc-fbMsg",
+    ]
+    .into_iter()
+    .map(|name| {
+        (
+            name,
+            gen::instance(name, scale).unwrap_or_else(|| panic!("unknown family {name}")),
+        )
+    })
+    .collect()
+}
+
+/// Kronecker graphs of increasing scale (the synthetic suite of
+/// Figs. 4–5 bottom panels).
+pub fn kronecker_suite(max_scale: u32, edge_factor: usize) -> Vec<(String, CsrGraph)> {
+    (8..=max_scale)
+        .map(|s| {
+            (
+                format!("kron-2^{s}-ef{edge_factor}"),
+                gen::kronecker(s, edge_factor, 0x4b52 ^ s as u64),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_build() {
+        let rw = real_world_suite(50);
+        assert_eq!(rw.len(), 10);
+        for (name, g) in &rw {
+            assert!(g.num_edges() > 0, "{name}");
+        }
+        let kr = kronecker_suite(9, 4);
+        assert_eq!(kr.len(), 2);
+    }
+
+    #[test]
+    fn env_scale_default() {
+        std::env::remove_var("PG_SCALE");
+        assert_eq!(env_scale(7), 7);
+    }
+}

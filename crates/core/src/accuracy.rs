@@ -1,0 +1,121 @@
+//! Accuracy metrics of §VIII-A.
+//!
+//! The paper reports two quantities: the *relative count*
+//! `cnt_PG / cnt_EX` (the y-axis of Figs. 4–7; 1.0 = perfect) and the
+//! *relative difference* `|cnt_PG − cnt_EX| / cnt_EX` (Fig. 3's boxplot
+//! metric). This module also provides the Fig. 3 experiment kernel: the
+//! per-adjacent-pair error distribution of a `|N_u ∩ N_v|` estimator.
+
+use crate::intersect::intersect_card;
+use crate::pg::ProbGraph;
+use pg_graph::CsrGraph;
+use pg_parallel::parallel_init;
+
+/// `cnt_PG / cnt_EX`; by convention 1.0 when both are zero and ∞-safe.
+pub fn relative_count(estimate: f64, exact: f64) -> f64 {
+    if exact == 0.0 {
+        if estimate == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        estimate / exact
+    }
+}
+
+/// `|cnt_PG − cnt_EX| / cnt_EX` (the paper's accuracy expression); 0 when
+/// both are zero.
+pub fn relative_error(estimate: f64, exact: f64) -> f64 {
+    if exact == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - exact).abs() / exact
+    }
+}
+
+/// Fig. 3 kernel: relative differences `| |X∩Y|̂ − |X∩Y| | / |X∩Y|` of the
+/// configured estimator over **all adjacent vertex pairs** with a non-zero
+/// exact intersection (zero-intersection pairs have no relative error
+/// scale and are skipped, as in the paper's plots).
+pub fn edgewise_intersection_errors(g: &CsrGraph, pg: &ProbGraph) -> Vec<f64> {
+    let edges = g.edge_list();
+    let errs: Vec<f64> = parallel_init(edges.len(), |i| {
+        let (u, v) = edges[i];
+        let exact = intersect_card(g.neighbors(u), g.neighbors(v));
+        if exact == 0 {
+            return f64::NAN; // marker: skip
+        }
+        let est = pg.estimate_intersection(u, v).max(0.0);
+        (est - exact as f64).abs() / exact as f64
+    });
+    errs.into_iter().filter(|e| !e.is_nan()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pg::{PgConfig, Representation};
+    use pg_graph::gen;
+    use pg_stats::Summary;
+
+    #[test]
+    fn relative_count_conventions() {
+        assert_eq!(relative_count(50.0, 100.0), 0.5);
+        assert_eq!(relative_count(0.0, 0.0), 1.0);
+        assert_eq!(relative_count(5.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn relative_error_conventions() {
+        assert_eq!(relative_error(90.0, 100.0), 0.1);
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn edgewise_errors_have_low_median_at_33pct_budget() {
+        // The §VIII-B claim: medians below ≈25 % for most graphs at
+        // s = 33 %. Use a dense stand-in where intersections are large,
+        // and the low-b Bloom setting the paper recommends (§VIII-G:
+        // "PG benefits from low b ∈ {1, 2}").
+        let g = gen::erdos_renyi_gnm(300, 300 * 60, 23);
+        let cases = [
+            (Representation::Bloom { b: 1 }, 0.50),
+            (Representation::OneHash, 0.30),
+            (Representation::KHash, 0.40),
+        ];
+        for (rep, limit) in cases {
+            let pg = ProbGraph::build(&g, &PgConfig::new(rep, 0.33));
+            let errs = edgewise_intersection_errors(&g, &pg);
+            assert!(!errs.is_empty());
+            let med = Summary::of(&errs).median;
+            assert!(med < limit, "{rep:?}: median relative error {med}");
+        }
+    }
+
+    #[test]
+    fn errors_skip_zero_intersection_pairs() {
+        // Triangle-free graph: every adjacent pair has zero intersection.
+        let g = gen::grid(6, 6);
+        let pg = ProbGraph::build(&g, &PgConfig::new(Representation::Bloom { b: 1 }, 0.25));
+        assert!(edgewise_intersection_errors(&g, &pg).is_empty());
+    }
+
+    #[test]
+    fn bigger_budget_means_lower_error() {
+        let g = gen::erdos_renyi_gnm(300, 300 * 30, 31);
+        let small = ProbGraph::build(&g, &PgConfig::new(Representation::Bloom { b: 2 }, 0.05));
+        let large = ProbGraph::build(&g, &PgConfig::new(Representation::Bloom { b: 2 }, 0.33));
+        let e_small = Summary::of(&edgewise_intersection_errors(&g, &small)).median;
+        let e_large = Summary::of(&edgewise_intersection_errors(&g, &large)).median;
+        assert!(
+            e_large < e_small,
+            "s=0.33 median {e_large} should beat s=0.05 median {e_small}"
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Jarvis–Patrick clustering (Listing 4 of the paper): an edge `(u, v)`
+//! joins the clustering `C` iff the similarity of `N_u` and `N_v` exceeds
+//! a user threshold `τ`. The paper evaluates three similarity variants —
+//! Common Neighbors, Jaccard, and Overlap (Figs. 4, 7, 8) — and reports
+//! the *number of clusters* (connected components of `(V, C)` with ≥ 2
+//! vertices) as the accuracy metric.
+
+use crate::algorithms::dsu::Dsu;
+use crate::pg::ProbGraph;
+use pg_graph::{CsrGraph, VertexId};
+use pg_parallel::parallel_init;
+
+/// Which vertex-similarity measure gates an edge into the clustering.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SimilarityKind {
+    /// `S_C = |N_u ∩ N_v| > τ` (τ is an absolute count).
+    CommonNeighbors,
+    /// `S_J = |N_u ∩ N_v| / |N_u ∪ N_v| > τ` (τ ∈ [0, 1]).
+    Jaccard,
+    /// `S_O = |N_u ∩ N_v| / min(d_u, d_v) > τ` (τ ∈ [0, 1]).
+    Overlap,
+}
+
+/// Result of one clustering run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Clustering {
+    /// Edges selected into `C` (indices into the edge list used).
+    pub selected: Vec<bool>,
+    /// Number of selected edges `|C|`.
+    pub num_edges: usize,
+    /// Connected components of `(V, C)` with at least two vertices.
+    pub num_clusters: usize,
+}
+
+fn finish(n: usize, edges: &[(VertexId, VertexId)], selected: Vec<bool>) -> Clustering {
+    let mut dsu = Dsu::new(n);
+    let mut num_edges = 0;
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if selected[i] {
+            num_edges += 1;
+            dsu.union(u, v);
+        }
+    }
+    let num_clusters = dsu.count_components(2);
+    Clustering {
+        selected,
+        num_edges,
+        num_clusters,
+    }
+}
+
+fn exact_similarity(g: &CsrGraph, kind: SimilarityKind, u: VertexId, v: VertexId) -> f64 {
+    use crate::algorithms::similarity as sim;
+    match kind {
+        SimilarityKind::CommonNeighbors => sim::common_neighbors(g, u, v) as f64,
+        SimilarityKind::Jaccard => sim::jaccard(g, u, v),
+        SimilarityKind::Overlap => sim::overlap(g, u, v),
+    }
+}
+
+fn pg_similarity(pg: &ProbGraph, kind: SimilarityKind, u: VertexId, v: VertexId) -> f64 {
+    use crate::algorithms::similarity as sim;
+    match kind {
+        SimilarityKind::CommonNeighbors => sim::common_neighbors_pg(pg, u, v),
+        SimilarityKind::Jaccard => sim::jaccard_pg(pg, u, v),
+        SimilarityKind::Overlap => sim::overlap_pg(pg, u, v),
+    }
+}
+
+/// Exact Jarvis–Patrick clustering (tuned baseline). The per-edge loop is
+/// parallel, the component count sequential (cheap).
+pub fn jarvis_patrick_exact(g: &CsrGraph, kind: SimilarityKind, tau: f64) -> Clustering {
+    let edges = g.edge_list();
+    let selected = parallel_init(edges.len(), |i| {
+        let (u, v) = edges[i];
+        exact_similarity(g, kind, u, v) > tau
+    });
+    finish(g.num_vertices(), &edges, selected)
+}
+
+/// PG-accelerated Jarvis–Patrick clustering: the similarity is computed
+/// from the sketches (the blue `|N_v ∩ N_u|` of Listing 4).
+pub fn jarvis_patrick_pg(
+    g: &CsrGraph,
+    pg: &ProbGraph,
+    kind: SimilarityKind,
+    tau: f64,
+) -> Clustering {
+    let edges = g.edge_list();
+    let selected = parallel_init(edges.len(), |i| {
+        let (u, v) = edges[i];
+        pg_similarity(pg, kind, u, v) > tau
+    });
+    finish(g.num_vertices(), &edges, selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pg::{PgConfig, Representation};
+    use pg_graph::gen;
+
+    #[test]
+    fn two_cliques_one_bridge() {
+        // Two K5s joined by a single bridge edge: with τ = 1 on common
+        // neighbors, intra-clique edges (3 shared neighbors) survive, the
+        // bridge (0 shared) does not -> 2 clusters.
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                edges.push((a, b));
+                edges.push((a + 5, b + 5));
+            }
+        }
+        edges.push((0, 5));
+        let g = CsrGraph::from_edges(10, &edges);
+        let c = jarvis_patrick_exact(&g, SimilarityKind::CommonNeighbors, 1.0);
+        assert_eq!(c.num_clusters, 2);
+        assert_eq!(c.num_edges, 20);
+    }
+
+    #[test]
+    fn zero_threshold_keeps_edges_with_any_shared_neighbor() {
+        let g = gen::complete(6);
+        // Every edge of K6 has 4 shared neighbors.
+        let c = jarvis_patrick_exact(&g, SimilarityKind::CommonNeighbors, 0.0);
+        assert_eq!(c.num_edges, 15);
+        assert_eq!(c.num_clusters, 1);
+    }
+
+    #[test]
+    fn huge_threshold_selects_nothing() {
+        let g = gen::complete(6);
+        let c = jarvis_patrick_exact(&g, SimilarityKind::CommonNeighbors, 100.0);
+        assert_eq!(c.num_edges, 0);
+        assert_eq!(c.num_clusters, 0);
+    }
+
+    #[test]
+    fn triangle_free_graph_with_positive_tau_has_no_clusters() {
+        // In a triangle-free graph adjacent vertices share no neighbors.
+        let g = gen::grid(5, 5);
+        for kind in [
+            SimilarityKind::CommonNeighbors,
+            SimilarityKind::Jaccard,
+            SimilarityKind::Overlap,
+        ] {
+            let c = jarvis_patrick_exact(&g, kind, 0.01);
+            assert_eq!(c.num_edges, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn jaccard_and_overlap_variants_run() {
+        let g = gen::kronecker(8, 10, 3);
+        for kind in [SimilarityKind::Jaccard, SimilarityKind::Overlap] {
+            let c = jarvis_patrick_exact(&g, kind, 0.2);
+            assert!(c.num_edges <= g.num_edges());
+            assert!(c.num_clusters <= g.num_vertices() / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn pg_clustering_close_to_exact_on_dense_graph() {
+        let g = gen::erdos_renyi_gnm(250, 250 * 25, 21);
+        let kind = SimilarityKind::CommonNeighbors;
+        // Threshold near the expected co-neighbor count splits edges
+        // non-trivially.
+        let tau = 5.0;
+        let exact = jarvis_patrick_exact(&g, kind, tau);
+        for rep in [Representation::Bloom { b: 2 }, Representation::OneHash] {
+            let pg = ProbGraph::build(&g, &PgConfig::new(rep, 0.33));
+            let approx = jarvis_patrick_pg(&g, &pg, kind, tau);
+            let rel = approx.num_edges as f64 / exact.num_edges.max(1) as f64;
+            assert!((0.5..2.0).contains(&rel), "{rep:?}: rel edges = {rel}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let g = gen::kronecker(8, 8, 9);
+        let a = pg_parallel::with_threads(1, || {
+            jarvis_patrick_exact(&g, SimilarityKind::Jaccard, 0.1)
+        });
+        let b = pg_parallel::with_threads(8, || {
+            jarvis_patrick_exact(&g, SimilarityKind::Jaccard, 0.1)
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(4, &[]);
+        let c = jarvis_patrick_exact(&g, SimilarityKind::Jaccard, 0.5);
+        assert_eq!(c.num_edges, 0);
+        assert_eq!(c.num_clusters, 0);
+    }
+}

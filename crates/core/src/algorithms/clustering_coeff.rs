@@ -1,0 +1,182 @@
+//! Clustering coefficients — a flagship application of triangle counting
+//! (§III-A: "computing clustering coefficients" is the first example use
+//! of TC, and the cohesion `TC[S]/C(|S|,3)` of a vertex group is its
+//! §III-A generalization).
+//!
+//! * local coefficient of `v`: `2·t_v / (d_v (d_v − 1))` where `t_v` is
+//!   the number of triangles through `v`,
+//! * global coefficient: `3·TC / (number of wedges)`,
+//! * group cohesion: `TC[S] / C(|S|, 3)`.
+//!
+//! Each has a PG-accelerated twin: `t_v = ½ Σ_{u∈N_v} |N_v ∩ N_u|` is a
+//! sum of intersection cardinalities, so the blue-operation substitution
+//! of the paper applies verbatim.
+
+use crate::intersect::intersect_card;
+use crate::pg::ProbGraph;
+use pg_graph::{CsrGraph, VertexId};
+use pg_parallel::{parallel_init, sum_f64, sum_u64};
+
+/// Exact per-vertex triangle counts `t_v` (each triangle counted at each
+/// of its three vertices).
+pub fn triangles_per_vertex(g: &CsrGraph) -> Vec<u64> {
+    parallel_init(g.num_vertices(), |vi| {
+        let v = vi as VertexId;
+        let nv = g.neighbors(v);
+        let mut t = 0u64;
+        for &u in nv {
+            t += intersect_card(nv, g.neighbors(u)) as u64;
+        }
+        t / 2
+    })
+}
+
+/// Approximate per-vertex triangle counts from a ProbGraph over full
+/// neighborhoods.
+pub fn triangles_per_vertex_pg(g: &CsrGraph, pg: &ProbGraph) -> Vec<f64> {
+    parallel_init(g.num_vertices(), |vi| {
+        let v = vi as VertexId;
+        let mut t = 0.0f64;
+        for &u in g.neighbors(v) {
+            t += pg.estimate_intersection(v, u).max(0.0);
+        }
+        t / 2.0
+    })
+}
+
+/// Exact local clustering coefficients (0 for degree < 2).
+pub fn local_clustering(g: &CsrGraph) -> Vec<f64> {
+    let t = triangles_per_vertex(g);
+    (0..g.num_vertices())
+        .map(|v| {
+            let d = g.degree(v as VertexId) as f64;
+            if d < 2.0 {
+                0.0
+            } else {
+                2.0 * t[v] as f64 / (d * (d - 1.0))
+            }
+        })
+        .collect()
+}
+
+/// Approximate local clustering coefficients, clamped to `[0, 1]`.
+pub fn local_clustering_pg(g: &CsrGraph, pg: &ProbGraph) -> Vec<f64> {
+    let t = triangles_per_vertex_pg(g, pg);
+    (0..g.num_vertices())
+        .map(|v| {
+            let d = g.degree(v as VertexId) as f64;
+            if d < 2.0 {
+                0.0
+            } else {
+                (2.0 * t[v] / (d * (d - 1.0))).clamp(0.0, 1.0)
+            }
+        })
+        .collect()
+}
+
+/// Number of wedges (paths of length 2) `Σ_v C(d_v, 2)`.
+pub fn wedge_count(g: &CsrGraph) -> u64 {
+    sum_u64(g.num_vertices(), |v| {
+        let d = g.degree(v as VertexId) as u64;
+        d * (d - 1) / 2
+    })
+}
+
+/// Exact global clustering coefficient `3·TC / wedges` (0 for wedge-free
+/// graphs).
+pub fn global_clustering(g: &CsrGraph) -> f64 {
+    let w = wedge_count(g);
+    if w == 0 {
+        return 0.0;
+    }
+    3.0 * crate::algorithms::triangles::count_exact(g) as f64 / w as f64
+}
+
+/// Approximate global clustering coefficient via the PG triangle count.
+pub fn global_clustering_pg(g: &CsrGraph, pg: &ProbGraph) -> f64 {
+    let w = wedge_count(g);
+    if w == 0 {
+        return 0.0;
+    }
+    let edges = g.edge_list();
+    let tc = sum_f64(edges.len(), |i| {
+        let (u, v) = edges[i];
+        pg.estimate_intersection(u, v).max(0.0)
+    }) / 3.0;
+    (3.0 * tc / w as f64).clamp(0.0, 1.0)
+}
+
+/// Exact group cohesion `TC[S] / C(|S|, 3)` (§III-A); 0 for `|S| < 3`.
+pub fn cohesion(g: &CsrGraph, group: &[VertexId]) -> f64 {
+    let s = group.len() as f64;
+    if group.len() < 3 {
+        return 0.0;
+    }
+    let (sub, _) = pg_graph::induced_subgraph(g, group);
+    crate::algorithms::triangles::count_exact(&sub) as f64 / (s * (s - 1.0) * (s - 2.0) / 6.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pg::{PgConfig, Representation};
+    use pg_graph::gen;
+
+    #[test]
+    fn complete_graph_coefficients_are_one() {
+        let g = gen::complete(8);
+        assert!(local_clustering(&g).iter().all(|&c| (c - 1.0).abs() < 1e-12));
+        assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_free_coefficients_are_zero() {
+        let g = gen::complete_bipartite(5, 5);
+        assert!(local_clustering(&g).iter().all(|&c| c == 0.0));
+        assert_eq!(global_clustering(&g), 0.0);
+        assert_eq!(global_clustering(&gen::star(10)), 0.0);
+    }
+
+    #[test]
+    fn per_vertex_counts_sum_to_three_tc() {
+        let g = gen::kronecker(8, 8, 3);
+        let tc = crate::algorithms::triangles::count_exact(&g);
+        let per_v: u64 = triangles_per_vertex(&g).iter().sum();
+        assert_eq!(per_v, 3 * tc);
+    }
+
+    #[test]
+    fn wedge_count_path() {
+        // Path 0-1-2-3: two interior vertices with one wedge each.
+        assert_eq!(wedge_count(&gen::path(4)), 2);
+        assert_eq!(wedge_count(&gen::star(5)), 6); // C(4,2)
+    }
+
+    #[test]
+    fn pg_global_coefficient_tracks_exact() {
+        let g = gen::erdos_renyi_gnm(300, 300 * 25, 7);
+        let exact = global_clustering(&g);
+        let pg = ProbGraph::build(&g, &PgConfig::new(Representation::OneHash, 0.33));
+        let approx = global_clustering_pg(&g, &pg);
+        assert!(
+            (approx - exact).abs() < 0.5 * exact.max(0.05),
+            "approx={approx} exact={exact}"
+        );
+    }
+
+    #[test]
+    fn pg_local_coefficients_bounded() {
+        let g = gen::kronecker(8, 8, 5);
+        let pg = ProbGraph::build(&g, &PgConfig::new(Representation::Bloom { b: 1 }, 0.25));
+        for c in local_clustering_pg(&g, &pg) {
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn cohesion_of_planted_clique() {
+        let g = gen::complete(10);
+        assert!((cohesion(&g, &[0, 1, 2, 3, 4]) - 1.0).abs() < 1e-12);
+        assert_eq!(cohesion(&g, &[0, 1]), 0.0);
+    }
+}

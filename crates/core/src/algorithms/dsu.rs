@@ -1,0 +1,106 @@
+//! Disjoint-set union (union-find) — substrate for counting the clusters
+//! produced by Jarvis–Patrick clustering (the paper reports *counts of
+//! clusters* as the accuracy metric for clustering, Fig. 7).
+
+/// Union-find with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl Dsu {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of sets with at least `min_size` members.
+    pub fn count_components(&mut self, min_size: u32) -> usize {
+        let n = self.parent.len();
+        let mut count = 0;
+        for x in 0..n as u32 {
+            if self.find(x) == x && self.size[x as usize] >= min_size {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut d = Dsu::new(5);
+        assert_eq!(d.count_components(1), 5);
+        assert_eq!(d.count_components(2), 0);
+        assert!(!d.same(0, 1));
+    }
+
+    #[test]
+    fn union_merges_and_reports() {
+        let mut d = Dsu::new(6);
+        assert!(d.union(0, 1));
+        assert!(!d.union(1, 0), "already merged");
+        assert!(d.union(2, 3));
+        assert!(d.union(0, 2));
+        assert!(d.same(1, 3));
+        assert_eq!(d.set_size(3), 4);
+        assert_eq!(d.count_components(1), 3); // {0,1,2,3}, {4}, {5}
+        assert_eq!(d.count_components(2), 1);
+    }
+
+    #[test]
+    fn chain_unions_flatten() {
+        let n = 1000;
+        let mut d = Dsu::new(n);
+        for i in 0..n as u32 - 1 {
+            d.union(i, i + 1);
+        }
+        assert_eq!(d.count_components(1), 1);
+        assert_eq!(d.set_size(500), n as u32);
+    }
+}

@@ -1,0 +1,14 @@
+//! The graph-mining algorithms of §III, each in exact and PG-accelerated
+//! form. The exact variants follow the tuned GMS/GAP implementations
+//! (degree-ordered node iteration, merge/galloping intersections); the PG
+//! variants replace every `|X ∩ Y|` (the blue operations in the paper's
+//! listings) with the configured estimator.
+
+pub mod cliques;
+pub mod clustering;
+pub mod clustering_coeff;
+pub mod dsu;
+pub mod kcore;
+pub mod link_prediction;
+pub mod similarity;
+pub mod triangles;

@@ -1,0 +1,188 @@
+//! Vertex Similarity measures (Listing 3 of the paper): Jaccard, Overlap,
+//! Common Neighbors, Total Neighbors, Adamic–Adar, Resource Allocation.
+//!
+//! The first four reduce to `|N_u ∩ N_v|` and exact degrees, so each has a
+//! PG-accelerated twin. Adamic–Adar and Resource Allocation weight each
+//! *individual* shared neighbor `w` (by `1/log d_w` resp. `1/d_w`), which
+//! requires the common elements themselves — those are exact-only, exactly
+//! as in the paper's evaluation.
+
+use crate::intersect::{for_each_common, intersect_card};
+use crate::pg::ProbGraph;
+use pg_graph::{CsrGraph, VertexId};
+
+/// Exact common-neighbor count `S_C(u, v) = |N_u ∩ N_v|`.
+pub fn common_neighbors(g: &CsrGraph, u: VertexId, v: VertexId) -> usize {
+    intersect_card(g.neighbors(u), g.neighbors(v))
+}
+
+/// Exact Jaccard `S_J = |N_u ∩ N_v| / |N_u ∪ N_v|` (0 when both empty).
+pub fn jaccard(g: &CsrGraph, u: VertexId, v: VertexId) -> f64 {
+    let inter = common_neighbors(g, u, v) as f64;
+    let union = (g.degree(u) + g.degree(v)) as f64 - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// Exact Overlap `S_O = |N_u ∩ N_v| / min(d_u, d_v)` (0 when either empty).
+pub fn overlap(g: &CsrGraph, u: VertexId, v: VertexId) -> f64 {
+    let m = g.degree(u).min(g.degree(v));
+    if m == 0 {
+        return 0.0;
+    }
+    common_neighbors(g, u, v) as f64 / m as f64
+}
+
+/// Exact Total Neighbors `S_T = |N_u ∪ N_v|`.
+pub fn total_neighbors(g: &CsrGraph, u: VertexId, v: VertexId) -> usize {
+    g.degree(u) + g.degree(v) - common_neighbors(g, u, v)
+}
+
+/// Exact Adamic–Adar `S_A = Σ_{w ∈ N_u ∩ N_v} 1/log d_w`.
+/// Shared neighbors of degree ≤ 1 cannot occur (they'd need degree ≥ 2).
+pub fn adamic_adar(g: &CsrGraph, u: VertexId, v: VertexId) -> f64 {
+    let mut s = 0.0;
+    for_each_common(g.neighbors(u), g.neighbors(v), |w| {
+        let d = g.degree(w) as f64;
+        debug_assert!(d >= 2.0);
+        s += 1.0 / d.ln();
+    });
+    s
+}
+
+/// Exact Resource Allocation `S_R = Σ_{w ∈ N_u ∩ N_v} 1/d_w`.
+pub fn resource_allocation(g: &CsrGraph, u: VertexId, v: VertexId) -> f64 {
+    let mut s = 0.0;
+    for_each_common(g.neighbors(u), g.neighbors(v), |w| {
+        s += 1.0 / g.degree(w) as f64;
+    });
+    s
+}
+
+/// Approximate common-neighbor count via the ProbGraph estimator.
+#[inline]
+pub fn common_neighbors_pg(pg: &ProbGraph, u: VertexId, v: VertexId) -> f64 {
+    pg.estimate_intersection(u, v).max(0.0)
+}
+
+/// Approximate Jaccard (Listing 6's `jacBF`).
+#[inline]
+pub fn jaccard_pg(pg: &ProbGraph, u: VertexId, v: VertexId) -> f64 {
+    pg.estimate_jaccard(u, v)
+}
+
+/// Approximate Overlap.
+pub fn overlap_pg(pg: &ProbGraph, u: VertexId, v: VertexId) -> f64 {
+    let m = pg.set_size(u as usize).min(pg.set_size(v as usize));
+    if m == 0 {
+        return 0.0;
+    }
+    (common_neighbors_pg(pg, u, v) / m as f64).clamp(0.0, 1.0)
+}
+
+/// Approximate Total Neighbors.
+pub fn total_neighbors_pg(pg: &ProbGraph, u: VertexId, v: VertexId) -> f64 {
+    let s = (pg.set_size(u as usize) + pg.set_size(v as usize)) as f64;
+    (s - common_neighbors_pg(pg, u, v)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pg::{PgConfig, Representation};
+    use pg_graph::gen;
+
+    /// K4 minus edge (2,3): N(2)=N(3)={0,1}, N(0)={1,2,3}, N(1)={0,2,3}.
+    fn diamond() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)])
+    }
+
+    #[test]
+    fn common_neighbors_known() {
+        let g = diamond();
+        assert_eq!(common_neighbors(&g, 2, 3), 2); // {0,1}
+        assert_eq!(common_neighbors(&g, 0, 1), 2); // {2,3}
+        assert_eq!(common_neighbors(&g, 0, 2), 1); // {1}
+    }
+
+    #[test]
+    fn jaccard_known() {
+        let g = diamond();
+        // N(2)={0,1}, N(3)={0,1}: J = 2/2 = 1.
+        assert_eq!(jaccard(&g, 2, 3), 1.0);
+        // N(0)={1,2,3}, N(1)={0,2,3}: inter {2,3}, union {0,1,2,3}: 0.5.
+        assert_eq!(jaccard(&g, 0, 1), 0.5);
+    }
+
+    #[test]
+    fn overlap_known() {
+        let g = diamond();
+        assert_eq!(overlap(&g, 2, 3), 1.0);
+        // inter(0,2) = {1}; min degree = 2 -> 0.5.
+        assert_eq!(overlap(&g, 0, 2), 0.5);
+    }
+
+    #[test]
+    fn total_neighbors_known() {
+        let g = diamond();
+        assert_eq!(total_neighbors(&g, 0, 1), 4);
+        assert_eq!(total_neighbors(&g, 2, 3), 2);
+    }
+
+    #[test]
+    fn adamic_adar_and_ra_known() {
+        let g = diamond();
+        // Common neighbors of (2,3) are 0 and 1, both degree 3.
+        let aa = adamic_adar(&g, 2, 3);
+        assert!((aa - 2.0 / 3f64.ln()).abs() < 1e-12);
+        let ra = resource_allocation(&g, 2, 3);
+        assert!((ra - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_vertices_yield_zero() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        assert_eq!(jaccard(&g, 0, 2), 0.0);
+        assert_eq!(overlap(&g, 0, 2), 0.0);
+        assert_eq!(adamic_adar(&g, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn pg_measures_track_exact_on_dense_graph() {
+        let g = gen::erdos_renyi_gnm(300, 300 * 30, 17);
+        for rep in [
+            Representation::Bloom { b: 2 },
+            Representation::KHash,
+            Representation::OneHash,
+        ] {
+            let pg = ProbGraph::build(&g, &PgConfig::new(rep, 0.33));
+            let mut err_j = 0.0;
+            let mut n = 0;
+            for (u, v) in g.edges().take(300) {
+                err_j += (jaccard_pg(&pg, u, v) - jaccard(&g, u, v)).abs();
+                let o = overlap_pg(&pg, u, v);
+                assert!((0.0..=1.0).contains(&o));
+                let t = total_neighbors_pg(&pg, u, v);
+                assert!(t >= 0.0 && t <= (g.degree(u) + g.degree(v)) as f64);
+                n += 1;
+            }
+            let mean_err = err_j / n as f64;
+            assert!(mean_err < 0.25, "{rep:?}: mean |ΔJ| = {mean_err}");
+        }
+    }
+
+    #[test]
+    fn symmetry_of_all_measures() {
+        let g = gen::kronecker(7, 8, 3);
+        let pairs: Vec<_> = g.edges().take(50).collect();
+        for (u, v) in pairs {
+            assert_eq!(common_neighbors(&g, u, v), common_neighbors(&g, v, u));
+            assert_eq!(jaccard(&g, u, v), jaccard(&g, v, u));
+            assert_eq!(overlap(&g, u, v), overlap(&g, v, u));
+            assert_eq!(adamic_adar(&g, u, v), adamic_adar(&g, v, u));
+        }
+    }
+}

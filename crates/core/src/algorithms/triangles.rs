@@ -1,0 +1,158 @@
+//! Triangle Counting (Listing 1 of the paper): the node-iterator algorithm
+//! over a degree-ordered DAG, `tc = Σ_v Σ_{u ∈ N⁺_v} |N⁺_v ∩ N⁺_u|`.
+//!
+//! Both loops are parallel (`[in par]`); the exact variant uses the
+//! merge/galloping kernels, the PG variant the configured estimator. Work
+//! and depth follow Table VI.
+
+use crate::intersect::intersect_card;
+use crate::pg::{PgConfig, ProbGraph};
+use pg_graph::{orient_by_degree, CsrGraph, OrientedDag, VertexId};
+use pg_parallel::{map_reduce, sum_f64};
+
+/// Exact triangle count (tuned baseline).
+pub fn count_exact(g: &CsrGraph) -> u64 {
+    let dag = orient_by_degree(g);
+    count_exact_on_dag(&dag)
+}
+
+/// Exact triangle count when the oriented DAG is already built (lets
+/// benchmarks time preprocessing separately).
+pub fn count_exact_on_dag(dag: &OrientedDag) -> u64 {
+    map_reduce(
+        dag.num_vertices(),
+        || 0u64,
+        |acc, v| {
+            let np = dag.neighbors_plus(v as VertexId);
+            let mut local = 0u64;
+            for &u in np {
+                local += intersect_card(np, dag.neighbors_plus(u)) as u64;
+            }
+            acc + local
+        },
+        |a, b| a + b,
+    )
+}
+
+/// Approximate triangle count: builds the oriented DAG, sketches every
+/// `N⁺_v` under `cfg`, and sums estimated intersections.
+pub fn count_approx(g: &CsrGraph, cfg: &PgConfig) -> f64 {
+    let dag = orient_by_degree(g);
+    let pg = ProbGraph::build_dag(&dag, g.memory_bytes(), cfg);
+    count_approx_on_dag(&dag, &pg)
+}
+
+/// Approximate triangle count with prebuilt DAG and sketches.
+pub fn count_approx_on_dag(dag: &OrientedDag, pg: &ProbGraph) -> f64 {
+    sum_f64(dag.num_vertices(), |v| {
+        let np = dag.neighbors_plus(v as VertexId);
+        let mut local = 0.0f64;
+        for &u in np {
+            local += pg.estimate_intersection(v as VertexId, u).max(0.0);
+        }
+        local
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pg::Representation;
+    use pg_graph::gen;
+
+    fn binom3(n: u64) -> u64 {
+        n * (n - 1) * (n - 2) / 6
+    }
+
+    #[test]
+    fn complete_graph_has_choose_3() {
+        for n in [3usize, 4, 5, 10, 20] {
+            assert_eq!(count_exact(&gen::complete(n)), binom3(n as u64), "K_{n}");
+        }
+    }
+
+    #[test]
+    fn triangle_free_graphs_count_zero() {
+        assert_eq!(count_exact(&gen::grid(8, 9)), 0);
+        assert_eq!(count_exact(&gen::complete_bipartite(6, 7)), 0);
+        assert_eq!(count_exact(&gen::star(30)), 0);
+        assert_eq!(count_exact(&gen::cycle(17)), 0);
+        assert_eq!(count_exact(&gen::path(10)), 0);
+    }
+
+    #[test]
+    fn small_known_cases() {
+        // Triangle + pendant vertex: exactly 1 triangle.
+        let g = pg_graph::CsrGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert_eq!(count_exact(&g), 1);
+        // Two triangles sharing an edge (diamond).
+        let d = pg_graph::CsrGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(count_exact(&d), 2);
+        // K4: 4 triangles.
+        assert_eq!(count_exact(&gen::complete(4)), 4);
+    }
+
+    #[test]
+    fn exact_count_matches_brute_force_on_random_graph() {
+        let g = gen::erdos_renyi_gnm(60, 400, 3);
+        let mut brute = 0u64;
+        for u in 0..60u32 {
+            for v in (u + 1)..60 {
+                for w in (v + 1)..60 {
+                    if g.has_edge(u, v) && g.has_edge(v, w) && g.has_edge(u, w) {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(count_exact(&g), brute);
+    }
+
+    #[test]
+    fn exact_count_thread_invariant() {
+        let g = gen::kronecker(9, 8, 4);
+        let t1 = pg_parallel::with_threads(1, || count_exact(&g));
+        let t8 = pg_parallel::with_threads(8, || count_exact(&g));
+        assert_eq!(t1, t8);
+    }
+
+    #[test]
+    fn approx_counts_track_exact_on_dense_graph() {
+        let g = gen::erdos_renyi_gnm(400, 400 * 30, 11);
+        let exact = count_exact(&g) as f64;
+        for rep in [
+            Representation::Bloom { b: 2 },
+            Representation::KHash,
+            Representation::OneHash,
+        ] {
+            let est = count_approx(&g, &PgConfig::new(rep, 0.33));
+            let rel = est / exact;
+            // Unit-level sanity: order of magnitude. (BF's AND estimator
+            // overestimates on dense graphs — §VIII-B — so the band is
+            // generous; the bench binaries report the precise tradeoff.)
+            assert!(
+                (0.3..2.5).contains(&rel),
+                "{rep:?}: est={est} exact={exact} rel={rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn approx_on_triangle_free_graph_stays_small() {
+        let g = gen::complete_bipartite(40, 40);
+        let est = count_approx(&g, &PgConfig::new(Representation::OneHash, 0.33));
+        // 1-hash over disjoint N+ sets: estimates should be near zero
+        // relative to the m·d scale of the graph.
+        assert!(est < 200.0, "est={est}");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = pg_graph::CsrGraph::from_edges(5, &[]);
+        assert_eq!(count_exact(&g), 0);
+        assert_eq!(
+            count_approx(&g, &PgConfig::new(Representation::Bloom { b: 1 }, 0.25)),
+            0.0
+        );
+    }
+}

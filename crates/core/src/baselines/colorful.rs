@@ -1,0 +1,83 @@
+//! Colorful Triangle Counting (Pagh & Tsourakakis, IPL'12).
+//!
+//! Color every vertex independently and uniformly with one of `N` colors,
+//! keep only *monochromatic* edges (both endpoints share a color), count
+//! triangles exactly on that subgraph, and rescale by `N²`: a triangle
+//! survives iff all three vertices share a color, probability `1/N²`.
+//! Representative of the *combinatorial-pruning* family in Table VII.
+
+use crate::algorithms::triangles;
+use pg_graph::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a Colorful TC run.
+#[derive(Clone, Debug)]
+pub struct ColorfulResult {
+    /// Rescaled estimate `tc(monochromatic subgraph) · N²`.
+    pub estimate: f64,
+    /// Monochromatic edges kept.
+    pub kept_edges: usize,
+}
+
+/// Runs Colorful TC with `colors ≥ 1`.
+pub fn triangle_estimate(g: &CsrGraph, colors: u32, seed: u64) -> ColorfulResult {
+    assert!(colors >= 1, "need at least one color");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_10_85);
+    let color: Vec<u32> = (0..g.num_vertices())
+        .map(|_| rng.gen_range(0..colors))
+        .collect();
+    let kept: Vec<(VertexId, VertexId)> = g
+        .edges()
+        .filter(|&(u, v)| color[u as usize] == color[v as usize])
+        .collect();
+    let sparse = CsrGraph::from_edges(g.num_vertices(), &kept);
+    let tc = triangles::count_exact(&sparse) as f64;
+    ColorfulResult {
+        estimate: tc * (colors as f64) * (colors as f64),
+        kept_edges: kept.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_graph::gen;
+
+    #[test]
+    fn one_color_is_exact() {
+        let g = gen::complete(10);
+        let r = triangle_estimate(&g, 1, 4);
+        assert_eq!(r.estimate, triangles::count_exact(&g) as f64);
+        assert_eq!(r.kept_edges, g.num_edges());
+    }
+
+    #[test]
+    fn unbiased_over_many_seeds() {
+        let g = gen::complete(24);
+        let exact = triangles::count_exact(&g) as f64;
+        let mean: f64 = (0..60)
+            .map(|s| triangle_estimate(&g, 2, s).estimate)
+            .sum::<f64>()
+            / 60.0;
+        assert!(
+            (mean - exact).abs() < 0.2 * exact,
+            "mean={mean} exact={exact}"
+        );
+    }
+
+    #[test]
+    fn kept_edges_scale_inversely_with_colors() {
+        let g = gen::erdos_renyi_gnm(300, 6000, 2);
+        let k2 = triangle_estimate(&g, 2, 7).kept_edges as f64;
+        let k8 = triangle_estimate(&g, 8, 7).kept_edges as f64;
+        // ~m/2 vs ~m/8.
+        assert!(k2 > 2.5 * k8, "k2={k2} k8={k8}");
+    }
+
+    #[test]
+    fn triangle_free_estimates_zero() {
+        let g = gen::complete_bipartite(15, 15);
+        assert_eq!(triangle_estimate(&g, 3, 1).estimate, 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Doulion (Tsourakakis et al., KDD'09): triangle counting "with a coin".
+//!
+//! Every edge survives independently with probability `p`; the exact count
+//! on the sparsified graph, rescaled by `1/p³`, is an unbiased estimator
+//! of the original triangle count (each triangle survives w.p. `p³`).
+//! Representative of the *edge-sampling* family in Table VII / Fig. 6.
+
+use crate::algorithms::triangles;
+use pg_graph::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a Doulion run (the sparsified graph is kept so callers can
+/// account its memory, matching the `O(pm)` column of Table VII).
+#[derive(Clone, Debug)]
+pub struct DoulionResult {
+    /// Rescaled triangle estimate `tc(G_p) / p³`.
+    pub estimate: f64,
+    /// Edges surviving the coin flips.
+    pub kept_edges: usize,
+}
+
+/// Runs Doulion with keep-probability `p ∈ (0, 1]`.
+pub fn triangle_estimate(g: &CsrGraph, p: f64, seed: u64) -> DoulionResult {
+    assert!(p > 0.0 && p <= 1.0, "keep probability p={p} outside (0,1]");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD0_71_10);
+    let kept: Vec<(VertexId, VertexId)> = g.edges().filter(|_| rng.gen::<f64>() < p).collect();
+    let sparse = CsrGraph::from_edges(g.num_vertices(), &kept);
+    let tc = triangles::count_exact(&sparse) as f64;
+    DoulionResult {
+        estimate: tc / (p * p * p),
+        kept_edges: kept.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_graph::gen;
+
+    #[test]
+    fn p_one_is_exact() {
+        let g = gen::complete(12);
+        let r = triangle_estimate(&g, 1.0, 3);
+        assert_eq!(r.estimate, triangles::count_exact(&g) as f64);
+        assert_eq!(r.kept_edges, g.num_edges());
+    }
+
+    #[test]
+    fn unbiased_over_many_seeds() {
+        let g = gen::complete(20); // 1140 triangles
+        let exact = triangles::count_exact(&g) as f64;
+        let mean: f64 = (0..40)
+            .map(|s| triangle_estimate(&g, 0.5, s).estimate)
+            .sum::<f64>()
+            / 40.0;
+        assert!(
+            (mean - exact).abs() < 0.15 * exact,
+            "mean={mean} exact={exact}"
+        );
+    }
+
+    #[test]
+    fn sparsification_rate_matches_p() {
+        let g = gen::erdos_renyi_gnm(200, 4000, 9);
+        let r = triangle_estimate(&g, 0.3, 5);
+        let frac = r.kept_edges as f64 / g.num_edges() as f64;
+        assert!((frac - 0.3).abs() < 0.05, "kept fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,1]")]
+    fn rejects_zero_p() {
+        triangle_estimate(&gen::complete(4), 0.0, 1);
+    }
+
+    #[test]
+    fn triangle_free_estimates_zero() {
+        let g = gen::grid(10, 10);
+        assert_eq!(triangle_estimate(&g, 0.5, 2).estimate, 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! The no-guarantee approximation heuristics of §VIII-D:
+//!
+//! * **Reduced Execution** \[112\]: run only a random fraction `ρ` of the
+//!   outermost loop iterations and rescale.
+//! * **Partial Graph Processing** \[112\]: process, for each vertex, a
+//!   random subset of its neighbors.
+//! * **Auto-Approximation** (two variants) \[113\]: sampling on top of a
+//!   *purely vertex-centric* execution model. The vertex-centric
+//!   abstraction is reproduced deliberately — neighbor lists are
+//!   materialized as per-vertex "messages" and intersected via hash sets —
+//!   because its overhead is exactly why the paper finds these schemes
+//!   slower than the tuned exact baselines (Fig. 6).
+//!
+//! None of these carries an accuracy guarantee, and the paper shows they
+//! lose 25–75 % accuracy against ProbGraph; the tests only pin down the
+//! mechanics, not tight error bars.
+
+use crate::intersect::intersect_card;
+use pg_graph::{orient_by_degree, CsrGraph, VertexId};
+use pg_parallel::{map_reduce, sum_u64};
+
+/// Deterministic per-(seed, index) coin with probability `rho`.
+#[inline]
+fn coin(seed: u64, index: u64, rho: f64) -> bool {
+    let h = pg_hash::splitmix64_at(seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    (h as f64 / u64::MAX as f64) < rho
+}
+
+/// Reduced Execution: node-iterator TC over a random `ρ`-fraction of the
+/// vertices, rescaled by `1/ρ`.
+pub fn reduced_execution_tc(g: &CsrGraph, rho: f64, seed: u64) -> f64 {
+    assert!(rho > 0.0 && rho <= 1.0, "rho={rho} outside (0,1]");
+    let dag = orient_by_degree(g);
+    let total = sum_u64(dag.num_vertices(), |v| {
+        if !coin(seed, v as u64, rho) {
+            return 0;
+        }
+        let np = dag.neighbors_plus(v as VertexId);
+        let mut local = 0u64;
+        for &u in np {
+            local += intersect_card(np, dag.neighbors_plus(u)) as u64;
+        }
+        local
+    });
+    total as f64 / rho
+}
+
+/// Partial Graph Processing: every vertex keeps a random `ρ`-subset of its
+/// oriented neighborhood; intersections run on the subsets and the result
+/// is rescaled by `1/ρ³` (a triangle survives iff three independent
+/// neighbor-retention coins land heads).
+pub fn partial_processing_tc(g: &CsrGraph, rho: f64, seed: u64) -> f64 {
+    assert!(rho > 0.0 && rho <= 1.0, "rho={rho} outside (0,1]");
+    let dag = orient_by_degree(g);
+    let n = dag.num_vertices();
+    // Sampled oriented neighborhoods; retention decided per (owner, index)
+    // so the subsets are independent across vertices.
+    let sampled: Vec<Vec<VertexId>> = pg_parallel::parallel_init(n, |v| {
+        dag.neighbors_plus(v as VertexId)
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| coin(seed ^ 0x9a77, ((v as u64) << 24) | i as u64, rho))
+            .map(|(_, &u)| u)
+            .collect()
+    });
+    let total = sum_u64(n, |v| {
+        let nv = &sampled[v];
+        let mut local = 0u64;
+        for &u in nv {
+            local += intersect_card(nv, &sampled[u as usize]) as u64;
+        }
+        local
+    });
+    total as f64 / (rho * rho * rho)
+}
+
+/// Vertex-centric local triangle contribution of `v`: materializes each
+/// neighbor's list as a message and intersects via a hash set — the
+/// deliberately expensive abstraction of \[113\].
+fn vertex_centric_contribution(g: &CsrGraph, v: VertexId, keep_msg: impl Fn(usize) -> bool) -> u64 {
+    let mine: std::collections::HashSet<VertexId> = g.neighbors(v).iter().copied().collect();
+    let mut local = 0u64;
+    for (i, &u) in g.neighbors(v).iter().enumerate() {
+        if !keep_msg(i) {
+            continue;
+        }
+        // "Message" from u: a fresh copy of its adjacency list.
+        let msg: Vec<VertexId> = g.neighbors(u).to_vec();
+        local += msg.iter().filter(|w| mine.contains(w)).count() as u64;
+    }
+    local
+}
+
+/// Auto-Approximation, variant 1: sample *vertices* at rate `ρ` in the
+/// vertex-centric model; `tc ≈ Σ_v∈sample contribution(v) / (6ρ)`.
+pub fn auto_approx1_tc(g: &CsrGraph, rho: f64, seed: u64) -> f64 {
+    assert!(rho > 0.0 && rho <= 1.0);
+    let total = map_reduce(
+        g.num_vertices(),
+        || 0u64,
+        |acc, v| {
+            if !coin(seed ^ 0xAA01, v as u64, rho) {
+                return acc;
+            }
+            acc + vertex_centric_contribution(g, v as VertexId, |_| true)
+        },
+        |a, b| a + b,
+    );
+    total as f64 / (6.0 * rho)
+}
+
+/// Auto-Approximation, variant 2: sample *messages* at rate `ρ`;
+/// `tc ≈ Σ_v contribution_ρ(v) / (6ρ)`.
+pub fn auto_approx2_tc(g: &CsrGraph, rho: f64, seed: u64) -> f64 {
+    assert!(rho > 0.0 && rho <= 1.0);
+    let total = map_reduce(
+        g.num_vertices(),
+        || 0u64,
+        |acc, v| {
+            acc + vertex_centric_contribution(g, v as VertexId, |i| {
+                coin(seed ^ 0xAA02, ((v as u64) << 24) | i as u64, rho)
+            })
+        },
+        |a, b| a + b,
+    );
+    total as f64 / (6.0 * rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::triangles;
+    use pg_graph::gen;
+
+    #[test]
+    fn rho_one_reduced_execution_is_exact() {
+        let g = gen::complete(15);
+        let exact = triangles::count_exact(&g) as f64;
+        assert_eq!(reduced_execution_tc(&g, 1.0, 3), exact);
+    }
+
+    #[test]
+    fn rho_one_partial_processing_is_exact() {
+        let g = gen::kronecker(8, 8, 1);
+        let exact = triangles::count_exact(&g) as f64;
+        assert_eq!(partial_processing_tc(&g, 1.0, 3), exact);
+    }
+
+    #[test]
+    fn rho_one_auto_approx_is_exact() {
+        let g = gen::complete(10);
+        let exact = triangles::count_exact(&g) as f64;
+        assert!((auto_approx1_tc(&g, 1.0, 1) - exact).abs() < 1e-9);
+        assert!((auto_approx2_tc(&g, 1.0, 1) - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_in_the_right_ballpark() {
+        let g = gen::erdos_renyi_gnm(300, 300 * 20, 5);
+        let exact = triangles::count_exact(&g) as f64;
+        for (name, est) in [
+            ("reduced", reduced_execution_tc(&g, 0.5, 7)),
+            ("partial", partial_processing_tc(&g, 0.5, 7)),
+            ("auto1", auto_approx1_tc(&g, 0.5, 7)),
+            ("auto2", auto_approx2_tc(&g, 0.5, 7)),
+        ] {
+            let rel = est / exact;
+            assert!((0.3..3.0).contains(&rel), "{name}: rel={rel}");
+        }
+    }
+
+    #[test]
+    fn triangle_free_estimates_zero() {
+        let g = gen::grid(8, 8);
+        assert_eq!(reduced_execution_tc(&g, 0.7, 1), 0.0);
+        assert_eq!(partial_processing_tc(&g, 0.7, 1), 0.0);
+        assert_eq!(auto_approx1_tc(&g, 0.7, 1), 0.0);
+        assert_eq!(auto_approx2_tc(&g, 0.7, 1), 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = gen::kronecker(8, 6, 2);
+        assert_eq!(
+            reduced_execution_tc(&g, 0.4, 9),
+            reduced_execution_tc(&g, 0.4, 9)
+        );
+        assert_eq!(
+            partial_processing_tc(&g, 0.4, 9),
+            partial_processing_tc(&g, 0.4, 9)
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Comparison baselines of the paper's evaluation (§VIII):
+//!
+//! * [`doulion`] — Doulion \[46\]: keep each edge with probability `p`,
+//!   count triangles exactly on the sparsified graph, rescale by `1/p³`.
+//! * [`colorful`] — Colorful Triangle Counting \[47\]: color vertices with
+//!   `N` colors, keep monochromatic edges, rescale by `N²`.
+//! * [`heuristics`] — the no-guarantee schemes of §VIII-D: Reduced
+//!   Execution, Partial Graph Processing, and two Auto-Approximation
+//!   variants \[112, 113\].
+
+pub mod colorful;
+pub mod doulion;
+pub mod heuristics;

@@ -1,0 +1,400 @@
+//! The ProbGraph representation (§V of the paper).
+//!
+//! A [`ProbGraph`] is a collection of probabilistic sketches, one per
+//! vertex set (full neighborhoods `N_v`, or oriented out-neighborhoods
+//! `N⁺_v` for the clique algorithms), built under a storage budget
+//! `s ∈ [0, 1]` relative to the CSR footprint. The user picks a
+//! [`Representation`] and, for Bloom filters, a [`BfEstimator`]; the paper
+//! shows no single choice wins everywhere (§VIII-B).
+
+use pg_graph::{CsrGraph, OrientedDag, VertexId};
+use pg_sketch::{
+    BloomCollection, BottomKCollection, BudgetPlan, KmvCollection, MinHashCollection, SketchParams,
+};
+
+/// Which probabilistic set representation backs the ProbGraph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Representation {
+    /// Bloom filters with `b` hash functions (§IV-B).
+    Bloom {
+        /// Number of hash functions; the paper finds `b ∈ {1, 2}` best.
+        b: usize,
+    },
+    /// k-hash MinHash (§IV-C) — the MLE estimator with exponential bounds.
+    KHash,
+    /// 1-hash / bottom-k MinHash (§IV-D) — cheapest construction.
+    OneHash,
+    /// K-Minimum-Values (§IX).
+    Kmv,
+}
+
+/// Which Bloom-filter intersection estimator to evaluate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BfEstimator {
+    /// `|X∩Y|̂_AND` (Eq. 2) — the paper's default.
+    #[default]
+    And,
+    /// `|X∩Y|̂_L` (Eq. 4) — better on very dense graphs (§VIII-B).
+    Limit,
+    /// `|X∩Y|̂_OR` (Eq. 29) — the prior-work estimator, for comparison.
+    Or,
+}
+
+/// Configuration for [`ProbGraph::build`] — mirrors
+/// `ProbGraph(g, BF, 0.25)` from Listing 6.
+#[derive(Clone, Copy, Debug)]
+pub struct PgConfig {
+    /// The chosen representation.
+    pub representation: Representation,
+    /// Storage budget `s ∈ [0, 1]` as a fraction of the CSR bytes (§V-A).
+    pub budget: f64,
+    /// Master RNG seed for all hash functions.
+    pub seed: u64,
+    /// Bloom estimator variant (ignored for MinHash/KMV).
+    pub bf_estimator: BfEstimator,
+}
+
+impl PgConfig {
+    /// A configuration with the default seed and the AND estimator.
+    pub fn new(representation: Representation, budget: f64) -> Self {
+        PgConfig {
+            representation,
+            budget,
+            seed: 0xC0FF_EE00,
+            bf_estimator: BfEstimator::And,
+        }
+    }
+
+    /// Overrides the hash seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the Bloom estimator variant.
+    pub fn with_bf_estimator(mut self, e: BfEstimator) -> Self {
+        self.bf_estimator = e;
+        self
+    }
+}
+
+/// The per-set sketches backing a [`ProbGraph`].
+#[derive(Clone, Debug)]
+pub enum SketchStore {
+    /// Flat Bloom filters.
+    Bloom(BloomCollection),
+    /// Flat k-hash signatures.
+    KHash(MinHashCollection),
+    /// Flat bottom-k samples.
+    OneHash(BottomKCollection),
+    /// KMV sketches.
+    Kmv(KmvCollection),
+}
+
+/// The probabilistic graph representation: one sketch per vertex set plus
+/// the exact set sizes (degrees are free in CSR, and the MinHash/OR
+/// estimators use them).
+#[derive(Clone, Debug)]
+pub struct ProbGraph {
+    store: SketchStore,
+    sizes: Vec<u32>,
+    bf_estimator: BfEstimator,
+    params: SketchParams,
+}
+
+impl ProbGraph {
+    /// Builds sketches of the full neighborhoods `N_v` of `g`
+    /// (Listing 6: `ProbGraph pg = ProbGraph(g, BF, 0.25)`).
+    pub fn build(g: &CsrGraph, cfg: &PgConfig) -> ProbGraph {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Self::build_over(1, g.memory_bytes().max(1), |_| &[][..], cfg);
+        }
+        Self::build_over(n, g.memory_bytes(), |v| g.neighbors(v as VertexId), cfg)
+    }
+
+    /// Builds sketches of the oriented out-neighborhoods `N⁺_v` of a
+    /// degree-ordered DAG — the sets Triangle/4-Clique Counting intersect
+    /// (Listings 1–2). `base_bytes` should be the CSR footprint of the
+    /// original graph so the budget means the same thing as in
+    /// [`ProbGraph::build`].
+    pub fn build_dag(dag: &OrientedDag, base_bytes: usize, cfg: &PgConfig) -> ProbGraph {
+        let n = dag.num_vertices();
+        if n == 0 {
+            return Self::build_over(1, base_bytes.max(1), |_| &[][..], cfg);
+        }
+        Self::build_over(n, base_bytes, |v| dag.neighbors_plus(v as VertexId), cfg)
+    }
+
+    /// Low-level constructor over arbitrary sorted sets.
+    pub fn build_over<'a, F>(n_sets: usize, base_bytes: usize, set: F, cfg: &PgConfig) -> ProbGraph
+    where
+        F: Fn(usize) -> &'a [u32] + Sync,
+    {
+        let plan = BudgetPlan::new(base_bytes, n_sets, cfg.budget);
+        let (params, store) = match cfg.representation {
+            Representation::Bloom { b } => {
+                let params = plan.bloom(b);
+                let SketchParams::Bloom { bits_per_set, .. } = params else {
+                    unreachable!()
+                };
+                (
+                    params,
+                    SketchStore::Bloom(BloomCollection::build(
+                        n_sets,
+                        bits_per_set,
+                        b,
+                        cfg.seed,
+                        &set,
+                    )),
+                )
+            }
+            Representation::KHash => {
+                let params = plan.khash();
+                let SketchParams::KHash { k } = params else {
+                    unreachable!()
+                };
+                (
+                    params,
+                    SketchStore::KHash(MinHashCollection::build(n_sets, k, cfg.seed, &set)),
+                )
+            }
+            Representation::OneHash => {
+                let params = plan.onehash();
+                let SketchParams::OneHash { k } = params else {
+                    unreachable!()
+                };
+                (
+                    params,
+                    SketchStore::OneHash(BottomKCollection::build(n_sets, k, cfg.seed, &set)),
+                )
+            }
+            Representation::Kmv => {
+                let params = plan.kmv();
+                let SketchParams::Kmv { k } = params else {
+                    unreachable!()
+                };
+                (
+                    params,
+                    SketchStore::Kmv(KmvCollection::build(n_sets, k, cfg.seed, &set)),
+                )
+            }
+        };
+        let mut sizes = vec![0u32; n_sets];
+        pg_parallel::parallel_fill_with(&mut sizes, |i| set(i).len() as u32);
+        ProbGraph {
+            store,
+            sizes,
+            bf_estimator: cfg.bf_estimator,
+            params,
+        }
+    }
+
+    /// Number of sketched sets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// True when no sets are sketched.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Exact size of set `i` (the degree, recorded at build time).
+    #[inline]
+    pub fn set_size(&self, i: usize) -> usize {
+        self.sizes[i] as usize
+    }
+
+    /// The resolved sketch parameters (B and b, or k).
+    #[inline]
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// The underlying sketches (for algorithms needing membership queries
+    /// or raw samples, e.g. 4-clique counting).
+    #[inline]
+    pub fn store(&self) -> &SketchStore {
+        &self.store
+    }
+
+    /// `|N_u ∩ N_v|̂` — the drop-in replacement for the exact intersection
+    /// cardinality (the blue operations in the paper's listings).
+    pub fn estimate_intersection(&self, u: VertexId, v: VertexId) -> f64 {
+        let (i, j) = (u as usize, v as usize);
+        match &self.store {
+            SketchStore::Bloom(c) => match self.bf_estimator {
+                BfEstimator::And => c.estimate_and(i, j),
+                BfEstimator::Limit => c.estimate_limit(i, j),
+                BfEstimator::Or => {
+                    c.estimate_or(i, j, self.sizes[i] as usize, self.sizes[j] as usize)
+                }
+            },
+            SketchStore::KHash(c) => {
+                c.estimate_intersection(i, j, self.sizes[i] as usize, self.sizes[j] as usize)
+            }
+            SketchStore::OneHash(c) => c.estimate_intersection(i, j),
+            SketchStore::Kmv(c) => c.estimate_intersection(i, j),
+        }
+    }
+
+    /// `Ĵ(N_u, N_v)` — approximate Jaccard similarity (Listing 3 / 6).
+    ///
+    /// MinHash stores estimate Jaccard natively; Bloom/KMV derive it from
+    /// the intersection estimate and the exact sizes, clamped to `[0, 1]`.
+    pub fn estimate_jaccard(&self, u: VertexId, v: VertexId) -> f64 {
+        let (i, j) = (u as usize, v as usize);
+        match &self.store {
+            SketchStore::KHash(c) => c.estimate_jaccard(i, j),
+            SketchStore::OneHash(c) => c.estimate_jaccard(i, j),
+            _ => {
+                let inter = self.estimate_intersection(u, v);
+                let (nx, ny) = (self.sizes[i] as f64, self.sizes[j] as f64);
+                let union = nx + ny - inter;
+                if union <= 0.0 {
+                    // Degenerate: both empty ⇒ similarity 0 by convention.
+                    if nx + ny == 0.0 {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                } else {
+                    (inter / union).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+
+    /// Bytes of additional storage used by the sketches — the quantity the
+    /// paper's "relative memory" axis reports against the budget.
+    pub fn memory_bytes(&self) -> usize {
+        let store = match &self.store {
+            SketchStore::Bloom(c) => c.memory_bytes(),
+            SketchStore::KHash(c) => c.memory_bytes(),
+            SketchStore::OneHash(c) => c.memory_bytes(),
+            SketchStore::Kmv(c) => c.memory_bytes(),
+        };
+        store + self.sizes.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersect::intersect_card;
+    use pg_graph::gen;
+
+    fn all_reps() -> Vec<Representation> {
+        vec![
+            Representation::Bloom { b: 2 },
+            Representation::KHash,
+            Representation::OneHash,
+            Representation::Kmv,
+        ]
+    }
+
+    #[test]
+    fn builds_under_budget_for_every_representation() {
+        let g = gen::kronecker(9, 8, 3);
+        for rep in all_reps() {
+            let pg = ProbGraph::build(&g, &PgConfig::new(rep, 0.25));
+            assert_eq!(pg.len(), g.num_vertices());
+            // Sizes must equal degrees.
+            for v in 0..g.num_vertices() {
+                assert_eq!(pg.set_size(v), g.degree(v as u32), "{rep:?}");
+            }
+            // Budget respected within word-granularity and per-sketch
+            // bookkeeping slack.
+            let slack = pg.len() * 32 + 64;
+            assert!(
+                pg.memory_bytes() <= (g.memory_bytes() as f64 * 0.25) as usize + slack + pg.len() * 4,
+                "{rep:?}: {} vs budget {}",
+                pg.memory_bytes(),
+                (g.memory_bytes() as f64 * 0.25) as usize
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_correlate_with_truth() {
+        // On a dense ER graph all estimators must track the exact
+        // intersection with errors far below the degree scale.
+        let g = gen::erdos_renyi_gnm(300, 300 * 40, 7);
+        for rep in all_reps() {
+            let pg = ProbGraph::build(&g, &PgConfig::new(rep, 0.33));
+            let mut total_rel_err = 0.0;
+            let mut pairs = 0;
+            for (u, v) in g.edges().take(400) {
+                let exact = intersect_card(g.neighbors(u), g.neighbors(v));
+                if exact == 0 {
+                    continue;
+                }
+                let est = pg.estimate_intersection(u, v);
+                total_rel_err += (est - exact as f64).abs() / exact as f64;
+                pairs += 1;
+            }
+            let mean_err = total_rel_err / pairs as f64;
+            assert!(mean_err < 0.8, "{rep:?}: mean relative error {mean_err}");
+        }
+    }
+
+    #[test]
+    fn jaccard_estimates_are_probabilities() {
+        let g = gen::kronecker(8, 8, 1);
+        for rep in all_reps() {
+            let pg = ProbGraph::build(&g, &PgConfig::new(rep, 0.25));
+            for (u, v) in g.edges().take(200) {
+                let j = pg.estimate_jaccard(u, v);
+                assert!((0.0..=1.0).contains(&j), "{rep:?}: J={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn bf_estimator_variants_differ_but_agree_in_scale() {
+        let g = gen::erdos_renyi_gnm(200, 6000, 5);
+        let base = PgConfig::new(Representation::Bloom { b: 2 }, 0.33);
+        let and = ProbGraph::build(&g, &base);
+        let lim = ProbGraph::build(&g, &base.with_bf_estimator(BfEstimator::Limit));
+        let or = ProbGraph::build(&g, &base.with_bf_estimator(BfEstimator::Or));
+        let (u, v) = g.edges().next().unwrap();
+        let exact = intersect_card(g.neighbors(u), g.neighbors(v)) as f64;
+        for (name, pg) in [("AND", &and), ("L", &lim), ("OR", &or)] {
+            let e = pg.estimate_intersection(u, v);
+            assert!(
+                e >= 0.0 && (e - exact).abs() < exact.max(8.0) * 1.5,
+                "{name}: est={e} exact={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn dag_variant_sketches_out_neighborhoods() {
+        let g = gen::kronecker(8, 8, 2);
+        let dag = pg_graph::orient_by_degree(&g);
+        let pg = ProbGraph::build_dag(&dag, g.memory_bytes(), &PgConfig::new(Representation::OneHash, 0.25));
+        for v in 0..g.num_vertices() {
+            assert_eq!(pg.set_size(v), dag.out_degree(v as u32));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = gen::kronecker(7, 6, 9);
+        let cfg = PgConfig::new(Representation::KHash, 0.2).with_seed(42);
+        let a = ProbGraph::build(&g, &cfg);
+        let b = ProbGraph::build(&g, &cfg);
+        let (u, v) = g.edges().next().unwrap();
+        assert_eq!(a.estimate_intersection(u, v), b.estimate_intersection(u, v));
+    }
+
+    #[test]
+    fn empty_graph_does_not_crash() {
+        let g = pg_graph::CsrGraph::from_edges(0, &[]);
+        let pg = ProbGraph::build(&g, &PgConfig::new(Representation::Bloom { b: 1 }, 0.1));
+        assert_eq!(pg.len(), 1); // floor of one set keeps the API total
+    }
+}

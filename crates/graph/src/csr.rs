@@ -1,0 +1,353 @@
+//! Compressed Sparse Row (CSR) graph representation.
+//!
+//! Exactly the layout the paper describes in §II-A: all neighborhoods form
+//! one contiguous array of vertex IDs (2m words for an undirected graph),
+//! plus an offsets array with n+1 entries. Each neighborhood is stored as a
+//! **sorted** array, which is what makes the exact merge/galloping
+//! intersections of Fig. 1 possible.
+
+use pg_parallel::{parallel_for, sum_u64};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// Vertex identifier. The paper models `V = {1, …, n}`; we use `0..n`.
+pub type VertexId = u32;
+
+/// An undirected simple graph in CSR form.
+///
+/// Invariants (checked by the builder, relied upon everywhere):
+/// * every neighborhood is sorted strictly ascending (no duplicates),
+/// * no self loops,
+/// * symmetry: `u ∈ N(v)` ⇔ `v ∈ N(u)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an arbitrary list of undirected edges.
+    ///
+    /// Accepts duplicates, self loops, and either edge orientation; the
+    /// result is a clean simple undirected graph over vertices
+    /// `0..num_vertices`. Edges that mention vertices `>= num_vertices`
+    /// panic. Construction is parallel: degree counting, scatter, per-vertex
+    /// sort, and dedup all run over `pg-parallel`.
+    pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        assert!(
+            num_vertices <= u32::MAX as usize,
+            "vertex ids are u32; got n={num_vertices}"
+        );
+        // 1. Count tentative degrees (both directions, self loops dropped).
+        let degrees: Vec<AtomicUsize> = (0..num_vertices).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(edges.len(), |i| {
+            let (u, v) = edges[i];
+            assert!(
+                (u as usize) < num_vertices && (v as usize) < num_vertices,
+                "edge ({u},{v}) out of range for n={num_vertices}"
+            );
+            if u != v {
+                degrees[u as usize].fetch_add(1, Ordering::Relaxed);
+                degrees[v as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        // 2. Exclusive prefix sum -> provisional offsets.
+        let mut offsets = Vec::with_capacity(num_vertices + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degrees {
+            acc += d.load(Ordering::Relaxed);
+            offsets.push(acc);
+        }
+        // 3. Scatter neighbor IDs with per-vertex atomic cursors.
+        let cursors: Vec<AtomicUsize> = offsets[..num_vertices]
+            .iter()
+            .map(|&o| AtomicUsize::new(o))
+            .collect();
+        let slots: Vec<AtomicU32> = (0..acc).map(|_| AtomicU32::new(0)).collect();
+        parallel_for(edges.len(), |i| {
+            let (u, v) = edges[i];
+            if u != v {
+                let su = cursors[u as usize].fetch_add(1, Ordering::Relaxed);
+                slots[su].store(v, Ordering::Relaxed);
+                let sv = cursors[v as usize].fetch_add(1, Ordering::Relaxed);
+                slots[sv].store(u, Ordering::Relaxed);
+            }
+        });
+        let mut neighbors: Vec<VertexId> =
+            slots.into_iter().map(AtomicU32::into_inner).collect();
+        // 4. Sort + dedup each neighborhood in parallel, compact afterwards.
+        let new_len: Vec<AtomicUsize> = (0..num_vertices).map(|_| AtomicUsize::new(0)).collect();
+        {
+            // Split the flat array into per-vertex windows; windows are
+            // disjoint so parallel mutation is safe. We use raw parts to
+            // hand each worker its own window.
+            struct SendPtr(*mut VertexId);
+            unsafe impl Send for SendPtr {}
+            unsafe impl Sync for SendPtr {}
+            let base = SendPtr(neighbors.as_mut_ptr());
+            let base = &base;
+            let offsets_ref = &offsets;
+            parallel_for(num_vertices, |v| {
+                let (s, e) = (offsets_ref[v], offsets_ref[v + 1]);
+                // SAFETY: [s, e) windows are pairwise disjoint across v.
+                let window = unsafe { std::slice::from_raw_parts_mut(base.0.add(s), e - s) };
+                window.sort_unstable();
+                let mut w = 0usize;
+                for r in 0..window.len() {
+                    if r == 0 || window[r] != window[r - 1] {
+                        window[w] = window[r];
+                        w += 1;
+                    }
+                }
+                new_len[v].store(w, Ordering::Relaxed);
+            });
+        }
+        // 5. Compact to final CSR (sequential; bounded by one memcpy pass).
+        let mut final_offsets = Vec::with_capacity(num_vertices + 1);
+        final_offsets.push(0usize);
+        let mut write = 0usize;
+        for v in 0..num_vertices {
+            let (s, len) = (offsets[v], new_len[v].load(Ordering::Relaxed));
+            neighbors.copy_within(s..s + len, write);
+            write += len;
+            final_offsets.push(write);
+        }
+        neighbors.truncate(write);
+        neighbors.shrink_to_fit();
+        CsrGraph {
+            offsets: final_offsets,
+            neighbors,
+        }
+    }
+
+    /// Builds a graph directly from already-clean sorted adjacency arrays.
+    /// Panics if any invariant (sortedness, symmetry, no self loops) fails.
+    pub fn from_adjacency(adj: Vec<Vec<VertexId>>) -> Self {
+        let n = adj.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut neighbors = Vec::new();
+        for (v, nv) in adj.iter().enumerate() {
+            assert!(
+                nv.windows(2).all(|w| w[0] < w[1]),
+                "neighborhood of {v} not strictly sorted"
+            );
+            assert!(
+                !nv.contains(&(v as VertexId)),
+                "self loop at {v}"
+            );
+            neighbors.extend_from_slice(nv);
+            offsets.push(neighbors.len());
+        }
+        let g = CsrGraph { offsets, neighbors };
+        for v in 0..n as VertexId {
+            for &u in g.neighbors(v) {
+                assert!(
+                    g.has_edge(u, v),
+                    "asymmetric adjacency: {v}->{u} present, {u}->{v} missing"
+                );
+            }
+        }
+        g
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree `d_v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// The sorted neighborhood `N_v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Membership query `u ∈ N_v` by binary search.
+    #[inline]
+    pub fn has_edge(&self, v: VertexId, u: VertexId) -> bool {
+        self.neighbors(v).binary_search(&u).is_ok()
+    }
+
+    /// Maximum degree `d` (paper notation: Δ).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.degree(v as VertexId))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average degree `d̄ = 2m / n`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Σ_v d(v)² — appears in the MinHash TC bound of Theorem VII.1.
+    pub fn sum_degree_squares(&self) -> u64 {
+        sum_u64(self.num_vertices(), |v| {
+            let d = self.degree(v as VertexId) as u64;
+            d * d
+        })
+    }
+
+    /// Σ_v d(v)³ — appears in the refined MinHash TC bound of Theorem VII.1.
+    pub fn sum_degree_cubes(&self) -> u64 {
+        sum_u64(self.num_vertices(), |v| {
+            let d = self.degree(v as VertexId) as u64;
+            d * d * d
+        })
+    }
+
+    /// Iterates every undirected edge exactly once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |v| {
+            self.neighbors(v)
+                .iter()
+                .copied()
+                .filter(move |&u| v < u)
+                .map(move |u| (v, u))
+        })
+    }
+
+    /// Collects [`CsrGraph::edges`] into a vector (handy for samplers).
+    pub fn edge_list(&self) -> Vec<(VertexId, VertexId)> {
+        self.edges().collect()
+    }
+
+    /// Bytes occupied by the CSR arrays — the baseline against which the
+    /// paper's storage budget `s` (§V-A) is measured.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn builds_triangle() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.avg_degree(), 2.0);
+    }
+
+    #[test]
+    fn ignores_self_loops_and_duplicates() {
+        let g = CsrGraph::from_edges(
+            4,
+            &[(0, 1), (1, 0), (0, 1), (2, 2), (3, 2), (2, 3), (3, 3)],
+        );
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = CsrGraph::from_edges(5, &[(0, 1)]);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(4), 0);
+        assert!(g.neighbors(4).is_empty());
+        let empty = CsrGraph::from_edges(0, &[]);
+        assert_eq!(empty.num_vertices(), 0);
+        assert_eq!(empty.num_edges(), 0);
+        assert_eq!(empty.avg_degree(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = triangle();
+        for v in 0..3 {
+            for u in 0..3 {
+                assert_eq!(g.has_edge(v, u), g.has_edge(u, v));
+                assert_eq!(g.has_edge(v, u), v != u);
+            }
+        }
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let es = g.edge_list();
+        assert_eq!(es.len(), g.num_edges());
+        assert!(es.iter().all(|&(u, v)| u < v));
+        let set: std::collections::HashSet<_> = es.iter().collect();
+        assert_eq!(set.len(), es.len());
+    }
+
+    #[test]
+    fn degree_sums() {
+        let g = triangle();
+        assert_eq!(g.sum_degree_squares(), 3 * 4);
+        assert_eq!(g.sum_degree_cubes(), 3 * 8);
+    }
+
+    #[test]
+    fn from_adjacency_roundtrip() {
+        let g = triangle();
+        let adj: Vec<Vec<VertexId>> = (0..3).map(|v| g.neighbors(v).to_vec()).collect();
+        assert_eq!(CsrGraph::from_adjacency(adj), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "asymmetric")]
+    fn from_adjacency_rejects_asymmetry() {
+        CsrGraph::from_adjacency(vec![vec![1], vec![]]);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        // Build a medium random multigraph twice under different thread
+        // counts; CSR output must be identical.
+        let mut edges = Vec::new();
+        let mut s = 12345u64;
+        for _ in 0..20_000 {
+            let a = pg_hash::splitmix64(&mut s);
+            edges.push(((a % 500) as u32, ((a >> 32) % 500) as u32));
+        }
+        let g1 = pg_parallel::with_threads(1, || CsrGraph::from_edges(500, &edges));
+        let g8 = pg_parallel::with_threads(8, || CsrGraph::from_edges(500, &edges));
+        assert_eq!(g1, g8);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let g = triangle();
+        assert!(g.memory_bytes() >= 6 * 4);
+    }
+}

@@ -1,0 +1,113 @@
+//! Kronecker / R-MAT graph generator.
+//!
+//! The paper's synthetic inputs are Kronecker graphs [119] with power-law
+//! degree distributions. We implement the standard stochastic-Kronecker
+//! (R-MAT) edge sampler with the Graph500 initiator matrix
+//! `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`: each of the `scale` bit
+//! positions of an edge's endpoints is drawn by descending into one of the
+//! four quadrants with those probabilities. This yields the heavy skew the
+//! paper exploits in its load-balancing arguments (Fig. 1, panel 5).
+
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Initiator probabilities of the 2×2 stochastic Kronecker matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Top-left quadrant probability (hub ↔ hub).
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// Graph500 reference parameters (d = 1 − a − b − c = 0.05).
+    pub const GRAPH500: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+    };
+}
+
+/// Generates a Kronecker graph with `2^scale` vertices and roughly
+/// `edge_factor · 2^scale` undirected edges (duplicates and self loops are
+/// removed, so the realized count is somewhat lower, exactly as with the
+/// reference Graph500 generator).
+pub fn kronecker(scale: u32, edge_factor: usize, seed: u64) -> CsrGraph {
+    kronecker_rmat(scale, edge_factor, RmatParams::GRAPH500, seed)
+}
+
+/// [`kronecker`] with explicit initiator parameters.
+pub fn kronecker_rmat(scale: u32, edge_factor: usize, p: RmatParams, seed: u64) -> CsrGraph {
+    assert!(scale < 31, "scale {scale} too large for u32 vertex ids");
+    let n = 1usize << scale;
+    let m_target = n.saturating_mul(edge_factor);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4b52_4f4e);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(m_target);
+    let ab = p.a + p.b;
+    let abc = ab + p.c;
+    for _ in 0..m_target {
+        let mut u: u32 = 0;
+        let mut v: u32 = 0;
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < p.a {
+                // top-left: no bits set
+            } else if r < ab {
+                v |= 1;
+            } else if r < abc {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.push((u, v));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_close_to_target() {
+        let g = kronecker(10, 8, 1);
+        assert_eq!(g.num_vertices(), 1024);
+        // Duplicates/self loops remove some edges but most survive.
+        assert!(g.num_edges() > 4 * 1024, "m={}", g.num_edges());
+        assert!(g.num_edges() <= 8 * 1024);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(kronecker(8, 4, 7), kronecker(8, 4, 7));
+        assert_ne!(kronecker(8, 4, 7), kronecker(8, 4, 8));
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        // Kronecker graphs are heavy-tailed: max degree far above average.
+        let g = kronecker(12, 16, 3);
+        let skew = g.max_degree() as f64 / g.avg_degree();
+        assert!(skew > 5.0, "expected heavy tail, skew={skew}");
+    }
+
+    #[test]
+    fn uniform_initiator_is_roughly_erdos_renyi() {
+        let p = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+        };
+        let g = kronecker_rmat(10, 8, p, 5);
+        let skew = g.max_degree() as f64 / g.avg_degree();
+        assert!(skew < 4.0, "uniform initiator should be balanced, skew={skew}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Additional network models: Barabási–Albert preferential attachment,
+//! Watts–Strogatz small world, and planted-partition community graphs.
+//!
+//! These complement the Kronecker/Chung–Lu generators: BA gives an
+//! alternative heavy-tail mechanism, WS gives high clustering coefficients
+//! at low degree (a stress case for triangle-based methods), and the
+//! planted partition provides *ground-truth communities* for evaluating
+//! Jarvis–Patrick clustering end to end.
+
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `m_attach` existing vertices chosen
+/// proportionally to degree (implemented with the standard repeated-endpoint
+/// trick: sample uniformly from the edge-endpoint list).
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> CsrGraph {
+    assert!(m_attach >= 1);
+    assert!(n > m_attach, "need n > m_attach");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA_BA);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * m_attach);
+    // Endpoint pool: each edge contributes both endpoints, so uniform
+    // sampling from it is degree-proportional sampling.
+    let mut pool: Vec<VertexId> = Vec::with_capacity(2 * n * m_attach);
+    // Seed clique over the first m_attach + 1 vertices.
+    for a in 0..=(m_attach as VertexId) {
+        for b in (a + 1)..=(m_attach as VertexId) {
+            edges.push((a, b));
+            pool.push(a);
+            pool.push(b);
+        }
+    }
+    for v in (m_attach + 1)..n {
+        // Sorted target list keeps the pool order (and thus the whole
+        // generator) deterministic; a HashSet would iterate in random order.
+        let mut targets: Vec<VertexId> = Vec::with_capacity(m_attach);
+        while targets.len() < m_attach {
+            let t = pool[rng.gen_range(0..pool.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        targets.sort_unstable();
+        for &t in &targets {
+            edges.push((v as VertexId, t));
+            pool.push(v as VertexId);
+            pool.push(t);
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Watts–Strogatz small world: a ring lattice where each vertex connects to
+/// its `k_half` neighbors on each side, with every edge rewired to a random
+/// endpoint with probability `beta`.
+pub fn watts_strogatz(n: usize, k_half: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(n > 2 * k_half, "ring needs n > 2·k_half");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3357);
+    let mut edges = Vec::with_capacity(n * k_half);
+    for v in 0..n {
+        for off in 1..=k_half {
+            let u = (v + off) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire the far endpoint uniformly (avoiding self loops;
+                // duplicate edges are dropped by the CSR builder).
+                let mut w = rng.gen_range(0..n);
+                while w == v {
+                    w = rng.gen_range(0..n);
+                }
+                edges.push((v as VertexId, w as VertexId));
+            } else {
+                edges.push((v as VertexId, u as VertexId));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// A planted-partition graph with `communities` equal-size groups:
+/// within-group pairs are edges with probability `p_in`, cross-group pairs
+/// with `p_out`. Returns the graph and the ground-truth community label of
+/// every vertex.
+pub fn planted_partition(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> (CsrGraph, Vec<u32>) {
+    assert!(communities >= 1 && n >= communities);
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9127);
+    let labels: Vec<u32> = (0..n).map(|v| (v % communities) as u32).collect();
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if labels[u] == labels[v] { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                edges.push((u as VertexId, v as VertexId));
+            }
+        }
+    }
+    (CsrGraph::from_edges(n, &edges), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ba_size_and_tail() {
+        let g = barabasi_albert(2000, 4, 7);
+        assert_eq!(g.num_vertices(), 2000);
+        // m ≈ n·m_attach (seed clique adds a few).
+        assert!((g.num_edges() as f64 - 8000.0).abs() < 500.0, "m={}", g.num_edges());
+        // Preferential attachment: heavy tail.
+        let skew = g.max_degree() as f64 / g.avg_degree();
+        assert!(skew > 5.0, "skew={skew}");
+    }
+
+    #[test]
+    fn ba_early_vertices_are_hubs() {
+        let g = barabasi_albert(3000, 3, 3);
+        let early_max = (0..10).map(|v| g.degree(v)).max().unwrap();
+        let late_max = (2900..3000).map(|v| g.degree(v as VertexId)).max().unwrap();
+        assert!(early_max > late_max);
+    }
+
+    #[test]
+    fn ws_zero_beta_is_ring_lattice() {
+        let g = watts_strogatz(50, 2, 0.0, 1);
+        assert_eq!(g.num_edges(), 100);
+        assert!((0..50u32).all(|v| g.degree(v) == 4));
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn ws_lattice_has_high_local_clustering() {
+        // Ring lattice with k_half=3: adjacent vertices share neighbors.
+        let g = watts_strogatz(200, 3, 0.0, 1);
+        let (u, v) = (10u32, 11u32);
+        let shared = g
+            .neighbors(u)
+            .iter()
+            .filter(|x| g.neighbors(v).contains(x))
+            .count();
+        assert!(shared >= 2, "shared={shared}");
+    }
+
+    #[test]
+    fn ws_rewiring_keeps_edge_budget_close() {
+        let g = watts_strogatz(500, 4, 0.3, 9);
+        // Rewiring can only lose edges to duplicate collapse.
+        assert!(g.num_edges() <= 2000);
+        assert!(g.num_edges() > 1800, "m={}", g.num_edges());
+    }
+
+    #[test]
+    fn planted_partition_communities_are_denser_inside() {
+        let (g, labels) = planted_partition(200, 4, 0.3, 0.01, 5);
+        let mut inside = 0usize;
+        let mut across = 0usize;
+        for (u, v) in g.edges() {
+            if labels[u as usize] == labels[v as usize] {
+                inside += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(inside > 3 * across, "inside={inside} across={across}");
+        // Label vector shape.
+        assert_eq!(labels.len(), 200);
+        assert_eq!(*labels.iter().max().unwrap(), 3);
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(barabasi_albert(300, 3, 8), barabasi_albert(300, 3, 8));
+        assert_eq!(
+            watts_strogatz(100, 2, 0.2, 8),
+            watts_strogatz(100, 2, 0.2, 8)
+        );
+        assert_eq!(
+            planted_partition(100, 2, 0.2, 0.02, 8).0,
+            planted_partition(100, 2, 0.2, 0.02, 8).0
+        );
+    }
+}

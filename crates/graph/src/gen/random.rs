@@ -1,0 +1,159 @@
+//! Classic random-graph models: Erdős–Rényi and Chung–Lu.
+
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// G(n, m): exactly `m` distinct undirected edges chosen uniformly among all
+/// `n(n-1)/2` pairs. Panics if `m` exceeds the number of available pairs.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_m, "G(n={n}) has at most {max_m} edges, asked for {m}");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x474e_4d31);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.gen_range(0..n as u64) as VertexId;
+        let v = rng.gen_range(0..n as u64) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            edges.push(key);
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// G(n, p): every pair independently an edge with probability `p`.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x474e_5031);
+    let mut edges = Vec::new();
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if rng.gen::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Chung–Lu power-law graph: samples edges with endpoint probabilities
+/// proportional to weights `w_i ∝ (i + 1)^(−1/(γ−1))` — the standard
+/// construction for an expected power-law degree distribution with exponent
+/// `gamma` — until `m_target` *distinct* edges exist. Self loops and
+/// duplicates are resampled (capped at `50 × m_target` attempts, so extreme
+/// hub saturation degrades gracefully to slightly fewer edges).
+pub fn chung_lu(n: usize, m_target: usize, gamma: f64, seed: u64) -> CsrGraph {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1, got {gamma}");
+    assert!(n > 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x434c_5531);
+    let alpha = 1.0 / (gamma - 1.0);
+    // Cumulative weight table for inverse-transform endpoint sampling.
+    let mut cum = Vec::with_capacity(n + 1);
+    cum.push(0.0f64);
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += (i as f64 + 1.0).powf(-alpha);
+        cum.push(acc);
+    }
+    let total = acc;
+    let draw = |rng: &mut StdRng| -> VertexId {
+        let t = rng.gen::<f64>() * total;
+        // cum is strictly increasing; find first index with cum[i+1] > t.
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if cum[mid + 1] > t {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo as VertexId
+    };
+    let mut chosen = std::collections::HashSet::with_capacity(m_target * 2);
+    let mut edges = Vec::with_capacity(m_target);
+    let mut attempts = 0usize;
+    let max_attempts = m_target.saturating_mul(50).max(1000);
+    while edges.len() < m_target && attempts < max_attempts {
+        attempts += 1;
+        let u = draw(&mut rng);
+        let v = draw(&mut rng);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            edges.push(key);
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = erdos_renyi_gnm(100, 500, 3);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    fn gnm_complete_limit() {
+        let g = erdos_renyi_gnm(10, 45, 1);
+        assert_eq!(g.num_edges(), 45);
+        assert_eq!(g.max_degree(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn gnm_rejects_impossible_m() {
+        erdos_renyi_gnm(4, 100, 0);
+    }
+
+    #[test]
+    fn gnp_density_tracks_p() {
+        let g = erdos_renyi_gnp(200, 0.1, 9);
+        let expect = 0.1 * (200.0 * 199.0 / 2.0);
+        let m = g.num_edges() as f64;
+        assert!((m - expect).abs() < 0.25 * expect, "m={m}, expect≈{expect}");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(erdos_renyi_gnp(50, 0.0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi_gnp(20, 1.0, 1).num_edges(), 190);
+    }
+
+    #[test]
+    fn chung_lu_is_skewed() {
+        let g = chung_lu(2000, 20_000, 2.2, 11);
+        assert!(g.num_edges() > 15_000);
+        let skew = g.max_degree() as f64 / g.avg_degree();
+        assert!(skew > 3.0, "power-law should be skewed, got {skew}");
+    }
+
+    #[test]
+    fn chung_lu_hubs_are_low_indices() {
+        // Weight decreases with index, so vertex 0 should be a top hub.
+        let g = chung_lu(1000, 10_000, 2.1, 4);
+        let d0 = g.degree(0);
+        let tail_max = (500..1000).map(|v| g.degree(v as VertexId)).max().unwrap();
+        assert!(d0 > tail_max, "d0={d0} tail_max={tail_max}");
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(erdos_renyi_gnm(50, 100, 5), erdos_renyi_gnm(50, 100, 5));
+        assert_eq!(chung_lu(100, 500, 2.3, 5), chung_lu(100, 500, 2.3, 5));
+        assert_eq!(erdos_renyi_gnp(50, 0.2, 5), erdos_renyi_gnp(50, 0.2, 5));
+    }
+}

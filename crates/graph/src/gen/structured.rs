@@ -1,0 +1,124 @@
+//! Deterministic structured graphs with closed-form pattern counts.
+//!
+//! These are the ground-truth workhorses of the test suite: a complete
+//! graph K_n has exactly `C(n,3)` triangles and `C(n,4)` 4-cliques, a grid
+//! has none, a complete bipartite graph has none but many 4-cycles, etc.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            edges.push((u, v));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Star with center 0 and `n - 1` leaves.
+pub fn star(n: usize) -> CsrGraph {
+    let edges: Vec<_> = (1..n as VertexId).map(|v| (0, v)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Simple path `0 — 1 — … — (n-1)`.
+pub fn path(n: usize) -> CsrGraph {
+    let edges: Vec<_> = (1..n as VertexId).map(|v| (v - 1, v)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Cycle over `n ≥ 3` vertices.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut edges: Vec<_> = (1..n as VertexId).map(|v| (v - 1, v)).collect();
+    edges.push((n as VertexId - 1, 0));
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// `rows × cols` grid (4-neighborhood). Triangle-free.
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    CsrGraph::from_edges(rows * cols, &edges)
+}
+
+/// Complete bipartite graph `K_{a,b}` (parts `0..a` and `a..a+b`).
+/// Triangle-free.
+pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a as VertexId {
+        for v in 0..b as VertexId {
+            edges.push((u, a as VertexId + v));
+        }
+    }
+    CsrGraph::from_edges(a + b, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+        assert!(g.has_edge(0, 5));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 6);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        assert_eq!(path(10).num_edges(), 9);
+        let c = cycle(10);
+        assert_eq!(c.num_edges(), 10);
+        assert!(c.has_edge(9, 0));
+        assert!((0..10).all(|v| c.degree(v) == 2));
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+    }
+
+    #[test]
+    fn bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_edges(), 12);
+        assert!(!g.has_edge(0, 1)); // same side
+        assert!(g.has_edge(0, 3));
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(6), 3);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(complete(1).num_edges(), 0);
+        assert_eq!(star(1).num_edges(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(grid(1, 1).num_edges(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # pg-graph — graph substrate
+//!
+//! The structures under ProbGraph: the CSR representation the paper stores
+//! input graphs in (§II-A), the degree-ordering preprocessing used by
+//! triangle/clique counting (Listings 1–2), synthetic graph generators
+//! (Kronecker power-law graphs as in §VIII-A, plus Erdős–Rényi, Chung–Lu,
+//! and structured graphs for testing), synthetic stand-ins for the
+//! real-world dataset families of Table VIII, edge-list I/O, and edge
+//! sampling for link-prediction evaluation (Listing 5).
+//!
+//! ```
+//! use pg_graph::gen;
+//!
+//! // A small power-law graph, like the paper's Kronecker inputs.
+//! let g = gen::kronecker(10, 8, 42); // 2^10 vertices, avg degree ~8
+//! assert!(g.num_vertices() <= 1 << 10);
+//! for v in 0..g.num_vertices() as u32 {
+//!     // CSR neighborhoods are sorted vertex-ID arrays (paper §II-A).
+//!     let nv = g.neighbors(v);
+//!     assert!(nv.windows(2).all(|w| w[0] < w[1]));
+//! }
+//! ```
+
+mod csr;
+pub mod gen;
+pub mod io;
+mod ordering;
+mod sampling;
+mod stats;
+mod traversal;
+
+pub use csr::{CsrGraph, VertexId};
+pub use ordering::{degree_rank, orient_by_degree, relabel_by_degree, OrientedDag};
+pub use sampling::{split_edges, EdgeSplit};
+pub use stats::GraphStats;
+pub use traversal::{bfs_distances, connected_components, diameter_lower_bound, induced_subgraph};

@@ -1,0 +1,99 @@
+//! Edge sampling for link-prediction evaluation (Listing 5 of the paper).
+//!
+//! The evaluation protocol removes a random subset `E_rndm ⊆ E` from the
+//! graph, runs a link-prediction scorer on the sparsified graph
+//! `E_sparse = E \ E_rndm`, and measures how many of the top-scored
+//! non-edges are actually in `E_rndm`.
+
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The result of [`split_edges`]: a sparsified graph plus the held-out edges.
+#[derive(Clone, Debug)]
+pub struct EdgeSplit {
+    /// `E_sparse = E \ E_rndm` as a graph over the same vertex set.
+    pub sparse: CsrGraph,
+    /// The removed edges `E_rndm`, each as `(u, v)` with `u < v`.
+    pub removed: Vec<(VertexId, VertexId)>,
+}
+
+/// Removes a uniformly random fraction `frac ∈ [0, 1)` of the edges.
+///
+/// The sparse graph keeps the full vertex set, so vertex IDs remain valid.
+/// Deterministic in `seed`.
+pub fn split_edges(g: &CsrGraph, frac: f64, seed: u64) -> EdgeSplit {
+    assert!(
+        (0.0..1.0).contains(&frac),
+        "removal fraction {frac} outside [0,1)"
+    );
+    let mut edges = g.edge_list();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5911_751D_u64);
+    edges.shuffle(&mut rng);
+    let n_remove = (edges.len() as f64 * frac).round() as usize;
+    let removed: Vec<_> = edges[..n_remove].to_vec();
+    let kept = &edges[n_remove..];
+    EdgeSplit {
+        sparse: CsrGraph::from_edges(g.num_vertices(), kept),
+        removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn split_partitions_edge_set() {
+        let g = gen::kronecker(8, 8, 5);
+        let split = split_edges(&g, 0.2, 9);
+        assert_eq!(
+            split.sparse.num_edges() + split.removed.len(),
+            g.num_edges()
+        );
+        // Removed edges are real edges of g and absent from sparse.
+        for &(u, v) in &split.removed {
+            assert!(g.has_edge(u, v));
+            assert!(!split.sparse.has_edge(u, v));
+        }
+        // Kept edges are still present.
+        for (u, v) in split.sparse.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn zero_fraction_removes_nothing() {
+        let g = gen::complete(8);
+        let split = split_edges(&g, 0.0, 1);
+        assert!(split.removed.is_empty());
+        assert_eq!(split.sparse, g);
+    }
+
+    #[test]
+    fn vertex_set_preserved() {
+        let g = gen::star(50);
+        let split = split_edges(&g, 0.5, 3);
+        assert_eq!(split.sparse.num_vertices(), 50);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = gen::kronecker(7, 4, 2);
+        let a = split_edges(&g, 0.3, 11);
+        let b = split_edges(&g, 0.3, 11);
+        assert_eq!(a.removed, b.removed);
+        assert_eq!(a.sparse, b.sparse);
+        let c = split_edges(&g, 0.3, 12);
+        assert_ne!(a.removed, c.removed);
+    }
+
+    #[test]
+    fn fraction_is_respected() {
+        let g = gen::erdos_renyi_gnm(100, 1000, 4);
+        let split = split_edges(&g, 0.25, 8);
+        assert_eq!(split.removed.len(), 250);
+    }
+}

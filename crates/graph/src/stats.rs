@@ -1,0 +1,109 @@
+//! Summary statistics of a graph, used by the benchmark harness to label
+//! dataset rows exactly as the paper's Table VIII does.
+
+use crate::csr::{CsrGraph, VertexId};
+use std::fmt;
+
+/// Basic structural statistics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count `n`.
+    pub n: usize,
+    /// Undirected edge count `m`.
+    pub m: usize,
+    /// Maximum degree (the paper's `d` / Δ).
+    pub max_degree: usize,
+    /// Average degree `d̄ = 2m/n`.
+    pub avg_degree: f64,
+    /// Degree skew `Δ / d̄` — the load-imbalance proxy from Fig. 1 panel 5.
+    pub skew: f64,
+    /// Bytes used by the CSR arrays.
+    pub memory_bytes: usize,
+}
+
+impl GraphStats {
+    /// Computes all statistics in one pass.
+    pub fn compute(g: &CsrGraph) -> Self {
+        let max_degree = g.max_degree();
+        let avg_degree = g.avg_degree();
+        GraphStats {
+            n: g.num_vertices(),
+            m: g.num_edges(),
+            max_degree,
+            avg_degree,
+            skew: if avg_degree > 0.0 {
+                max_degree as f64 / avg_degree
+            } else {
+                0.0
+            },
+            memory_bytes: g.memory_bytes(),
+        }
+    }
+
+    /// Histogram of degrees (index = degree), for degree-distribution plots.
+    pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+        let mut hist = vec![0usize; g.max_degree() + 1];
+        for v in 0..g.num_vertices() {
+            hist[g.degree(v as VertexId)] += 1;
+        }
+        hist
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} m={} dmax={} davg={:.2} skew={:.2} mem={}B",
+            self.n, self.m, self.max_degree, self.avg_degree, self.skew, self.memory_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_of_complete_graph() {
+        let g = gen::complete(10);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n, 10);
+        assert_eq!(s.m, 45);
+        assert_eq!(s.max_degree, 9);
+        assert_eq!(s.avg_degree, 9.0);
+        assert!((s.skew - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_star_show_skew() {
+        let g = gen::star(101);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.max_degree, 100);
+        assert!(s.skew > 25.0);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = gen::kronecker(8, 4, 3);
+        let h = GraphStats::degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), g.num_vertices());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = GraphStats::compute(&gen::complete(4));
+        let txt = format!("{s}");
+        assert!(txt.contains("n=4"));
+        assert!(txt.contains("m=6"));
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::CsrGraph::from_edges(0, &[]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.skew, 0.0);
+    }
+}

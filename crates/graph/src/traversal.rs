@@ -1,0 +1,149 @@
+//! Basic traversal utilities: BFS distances and connected components.
+//!
+//! Substrate pieces used by the link-prediction candidate generation, the
+//! clustering evaluation (component counting on induced subgraphs), and
+//! the examples. Kept simple and exact — these are not the hot paths the
+//! paper optimizes.
+
+use crate::csr::{CsrGraph, VertexId};
+use std::collections::VecDeque;
+
+/// BFS distances from `src`; unreachable vertices get `u32::MAX`.
+pub fn bfs_distances(g: &CsrGraph, src: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let mut q = VecDeque::new();
+    dist[src as usize] = 0;
+    q.push_back(src);
+    while let Some(v) = q.pop_front() {
+        let d = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d + 1;
+                q.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-component labels (0-based, in discovery order) and the number
+/// of components.
+pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for s in 0..n as VertexId {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        label[s as usize] = next;
+        stack.push(s);
+        while let Some(v) = stack.pop() {
+            for &u in g.neighbors(v) {
+                if label[u as usize] == u32::MAX {
+                    label[u as usize] = next;
+                    stack.push(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next as usize)
+}
+
+/// The induced subgraph over `verts`, relabeled `0..verts.len()`; returns
+/// the subgraph and the old-ID list (index = new ID).
+pub fn induced_subgraph(g: &CsrGraph, verts: &[VertexId]) -> (CsrGraph, Vec<VertexId>) {
+    let mut index = std::collections::HashMap::with_capacity(verts.len());
+    for (i, &v) in verts.iter().enumerate() {
+        assert!(
+            index.insert(v, i as u32).is_none(),
+            "duplicate vertex {v} in induced set"
+        );
+    }
+    let mut edges = Vec::new();
+    for &v in verts {
+        for &u in g.neighbors(v) {
+            if v < u {
+                if let (Some(&a), Some(&b)) = (index.get(&v), index.get(&u)) {
+                    edges.push((a, b));
+                }
+            }
+        }
+    }
+    (CsrGraph::from_edges(verts.len(), &edges), verts.to_vec())
+}
+
+/// Eccentricity-based diameter lower bound via double BFS sweep (exact on
+/// trees, a common cheap proxy otherwise).
+pub fn diameter_lower_bound(g: &CsrGraph) -> u32 {
+    if g.num_vertices() == 0 {
+        return 0;
+    }
+    let d0 = bfs_distances(g, 0);
+    let far = d0
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != u32::MAX)
+        .max_by_key(|(_, &d)| d)
+        .map(|(i, _)| i as VertexId)
+        .unwrap_or(0);
+    let d1 = bfs_distances(g, far);
+    d1.iter().filter(|&&d| d != u32::MAX).copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = gen::path(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = CsrGraph::from_edges(4, &[(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn components_count() {
+        let g = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (3, 4)]);
+        let (label, n) = connected_components(&g);
+        assert_eq!(n, 4); // {0,1,2}, {3,4}, {5}, {6}
+        assert_eq!(label[0], label[2]);
+        assert_ne!(label[0], label[3]);
+        assert_ne!(label[5], label[6]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = gen::complete(6);
+        let (sub, old) = induced_subgraph(&g, &[1, 3, 5]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3); // K3
+        assert_eq!(old, vec![1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vertex")]
+    fn induced_rejects_duplicates() {
+        induced_subgraph(&gen::complete(4), &[1, 1]);
+    }
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        assert_eq!(diameter_lower_bound(&gen::path(10)), 9);
+        let c = diameter_lower_bound(&gen::cycle(10));
+        assert!(c >= 4 && c <= 5);
+        assert_eq!(diameter_lower_bound(&gen::complete(5)), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Seeded families of independent hash functions.
+//!
+//! Bloom filters need `b` hash functions, k-hash MinHash needs `k`
+//! (§II-D of the paper, with the usual mutual-independence assumption).
+//! A [`HashFamily`] materializes the per-function seeds once (derived from a
+//! master seed via SplitMix64) so the hot loops pay only one multiply-mix
+//! per evaluation.
+
+use crate::mix::{splitmix64, xxmix64};
+use crate::murmur3::murmur3_u64;
+
+/// A family of `k` seeded hash functions over 64-bit keys (vertex IDs).
+#[derive(Clone, Debug)]
+pub struct HashFamily {
+    seeds32: Vec<u32>,
+    seeds64: Vec<u64>,
+}
+
+impl HashFamily {
+    /// Creates a family of `k` functions from one master seed.
+    ///
+    /// Two families with different master seeds, or with the same master
+    /// seed but different sizes, share no functions in common beyond what
+    /// chance allows.
+    pub fn new(k: usize, master_seed: u64) -> Self {
+        let mut state = master_seed ^ 0x5bf0_3635_fa30_7e31;
+        let mut seeds32 = Vec::with_capacity(k);
+        let mut seeds64 = Vec::with_capacity(k);
+        for _ in 0..k {
+            let s = splitmix64(&mut state);
+            seeds32.push(s as u32);
+            seeds64.push(splitmix64(&mut state));
+        }
+        Self { seeds32, seeds64 }
+    }
+
+    /// Number of functions in the family.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seeds32.len()
+    }
+
+    /// True when the family is empty (`k == 0`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seeds32.is_empty()
+    }
+
+    /// 32-bit MurmurHash3 of `key` under function `i`.
+    #[inline(always)]
+    pub fn hash32(&self, i: usize, key: u64) -> u32 {
+        murmur3_u64(key, self.seeds32[i])
+    }
+
+    /// 64-bit hash of `key` under function `i` (xxHash-style avalanche).
+    #[inline(always)]
+    pub fn hash64(&self, i: usize, key: u64) -> u64 {
+        xxmix64(key, self.seeds64[i])
+    }
+
+    /// Hash of `key` under function `i`, reduced to a bucket in `0..m`.
+    ///
+    /// Uses the Lemire multiply-shift reduction, which is faster than `%`
+    /// and unbiased enough for Bloom-filter bit placement.
+    #[inline(always)]
+    pub fn bucket(&self, i: usize, key: u64, m: usize) -> usize {
+        debug_assert!(m > 0);
+        (((self.hash32(i, key) as u64) * (m as u64)) >> 32) as usize
+    }
+
+    /// Hash of `key` under function `i` mapped to the half-open unit
+    /// interval `(0, 1]`, as KMV requires (§IX: `h : X → (0; 1]`).
+    #[inline(always)]
+    pub fn unit(&self, i: usize, key: u64) -> f64 {
+        // 2^-64 * (h + 1) lies in (0, 1]; h==u64::MAX maps to exactly 1.0.
+        let h = self.hash64(i, key);
+        (h as f64 + 1.0) * (1.0 / 18_446_744_073_709_551_616.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_size() {
+        let f = HashFamily::new(5, 42);
+        assert_eq!(f.len(), 5);
+        assert!(!f.is_empty());
+        assert!(HashFamily::new(0, 1).is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = HashFamily::new(4, 7);
+        let b = HashFamily::new(4, 7);
+        for i in 0..4 {
+            assert_eq!(a.hash32(i, 999), b.hash32(i, 999));
+            assert_eq!(a.hash64(i, 999), b.hash64(i, 999));
+        }
+    }
+
+    #[test]
+    fn different_functions_differ() {
+        let f = HashFamily::new(8, 3);
+        let outs: Vec<u32> = (0..8).map(|i| f.hash32(i, 123_456)).collect();
+        let uniq: std::collections::HashSet<_> = outs.iter().collect();
+        assert!(uniq.len() >= 7, "functions should rarely collide: {outs:?}");
+    }
+
+    #[test]
+    fn bucket_in_range_and_roughly_uniform() {
+        let f = HashFamily::new(1, 11);
+        let m = 64;
+        let mut counts = vec![0u32; m];
+        let trials = 64_000;
+        for key in 0..trials {
+            let bkt = f.bucket(0, key, m);
+            assert!(bkt < m);
+            counts[bkt] += 1;
+        }
+        let expect = trials as f64 / m as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > 0.5 * expect && (c as f64) < 1.5 * expect,
+                "bucket {b} count {c} far from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_interval_open_closed() {
+        let f = HashFamily::new(2, 99);
+        for key in 0..10_000u64 {
+            for i in 0..2 {
+                let u = f.unit(i, key);
+                assert!(u > 0.0 && u <= 1.0, "u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_mean_is_about_half() {
+        let f = HashFamily::new(1, 5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|k| f.unit(0, k)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+}

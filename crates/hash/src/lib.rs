@@ -1,0 +1,26 @@
+//! # pg-hash — hashing substrate
+//!
+//! The paper builds every probabilistic set representation on top of
+//! MurmurHash3 (§VI-C: *"We use the MurmurHash3 hash function, well-known
+//! for its speed and simplicity"*), with `b` (Bloom filter) or `k` (MinHash)
+//! independent hash functions obtained by seeding. This crate provides:
+//!
+//! * [`murmur3`] — faithful MurmurHash3 implementations: the 32-bit x86
+//!   variant for byte slices, a specialized fast path for `u32`/`u64` keys
+//!   (the vertex-ID case that dominates graph workloads), and the canonical
+//!   finalizers ([`murmur3::fmix32`], [`murmur3::fmix64`]).
+//! * [`mix`] — auxiliary integer mixers: [`mix::splitmix64`] (seed
+//!   derivation) and an xxHash64-style avalanche ([`mix::xxmix64`]).
+//! * [`family`] — [`family::HashFamily`]: `k` seeded, mutually independent
+//!   hash functions over vertex IDs, plus a unit-interval view used by KMV.
+//!
+//! All functions are pure, allocation-free, and `#[inline]`-friendly — they
+//! sit on the innermost loops of sketch construction (Table V of the paper).
+
+pub mod family;
+pub mod mix;
+pub mod murmur3;
+
+pub use family::HashFamily;
+pub use mix::{splitmix64, splitmix64_at, xxmix64};
+pub use murmur3::{fmix32, fmix64, murmur3_bytes, murmur3_u32, murmur3_u64};

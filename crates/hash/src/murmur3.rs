@@ -1,0 +1,160 @@
+//! MurmurHash3 (Austin Appleby, public domain), reimplemented from the
+//! reference `MurmurHash3_x86_32` and the 64-bit finalizer of
+//! `MurmurHash3_x64_128`.
+//!
+//! Graph workloads hash fixed-width vertex IDs, so besides the general
+//! byte-slice routine we provide branch-free single-word fast paths that are
+//! bit-identical to hashing the ID's 4/8 little-endian bytes.
+
+const C1: u32 = 0xcc9e_2d51;
+const C2: u32 = 0x1b87_3593;
+
+/// MurmurHash3 32-bit finalizer ("fmix32"): a full avalanche for one word.
+#[inline(always)]
+pub fn fmix32(mut h: u32) -> u32 {
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85eb_ca6b);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xc2b2_ae35);
+    h ^= h >> 16;
+    h
+}
+
+/// MurmurHash3 64-bit finalizer ("fmix64") from the x64_128 variant.
+#[inline(always)]
+pub fn fmix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+#[inline(always)]
+fn body_round(mut h: u32, mut k: u32) -> u32 {
+    k = k.wrapping_mul(C1);
+    k = k.rotate_left(15);
+    k = k.wrapping_mul(C2);
+    h ^= k;
+    h = h.rotate_left(13);
+    h.wrapping_mul(5).wrapping_add(0xe654_6b64)
+}
+
+/// `MurmurHash3_x86_32` over an arbitrary byte slice.
+///
+/// Matches the reference implementation for every input length (verified by
+/// test vectors below).
+pub fn murmur3_bytes(data: &[u8], seed: u32) -> u32 {
+    let mut h = seed;
+    let mut chunks = data.chunks_exact(4);
+    for chunk in &mut chunks {
+        let k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        h = body_round(h, k);
+    }
+    let tail = chunks.remainder();
+    let mut k: u32 = 0;
+    if !tail.is_empty() {
+        for (i, &b) in tail.iter().enumerate() {
+            k ^= (b as u32) << (8 * i);
+        }
+        k = k.wrapping_mul(C1);
+        k = k.rotate_left(15);
+        k = k.wrapping_mul(C2);
+        h ^= k;
+    }
+    h ^= data.len() as u32;
+    fmix32(h)
+}
+
+/// `MurmurHash3_x86_32` of a `u32` key — bit-identical to
+/// `murmur3_bytes(&key.to_le_bytes(), seed)` but with the loop unrolled away.
+#[inline(always)]
+pub fn murmur3_u32(key: u32, seed: u32) -> u32 {
+    let h = body_round(seed, key);
+    fmix32(h ^ 4)
+}
+
+/// `MurmurHash3_x86_32` of a `u64` key — bit-identical to hashing its 8
+/// little-endian bytes.
+#[inline(always)]
+pub fn murmur3_u64(key: u64, seed: u32) -> u32 {
+    let mut h = body_round(seed, key as u32);
+    h = body_round(h, (key >> 32) as u32);
+    fmix32(h ^ 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors computed with the canonical C++ MurmurHash3_x86_32.
+    #[test]
+    fn reference_vectors() {
+        assert_eq!(murmur3_bytes(b"", 0), 0);
+        assert_eq!(murmur3_bytes(b"", 1), 0x514e_28b7);
+        assert_eq!(murmur3_bytes(b"", 0xffff_ffff), 0x81f1_6f39);
+        assert_eq!(murmur3_bytes(&[0xff, 0xff, 0xff, 0xff], 0), 0x7629_3b50);
+        assert_eq!(murmur3_bytes(&[0x21, 0x43, 0x65, 0x87], 0), 0xf55b_516b);
+        assert_eq!(murmur3_bytes(&[0x21, 0x43, 0x65, 0x87], 0x5082edee), 0x2362_f9de);
+        assert_eq!(murmur3_bytes(&[0x21, 0x43, 0x65], 0), 0x7e4a_8634);
+        assert_eq!(murmur3_bytes(&[0x21, 0x43], 0), 0xa0f7_b07a);
+        assert_eq!(murmur3_bytes(&[0x21], 0), 0x7266_1cf4);
+    }
+
+    #[test]
+    fn u32_fast_path_matches_bytes() {
+        for key in [0u32, 1, 2, 0xdead_beef, u32::MAX, 12345, 0x8000_0000] {
+            for seed in [0u32, 1, 42, 0xffff_ffff] {
+                assert_eq!(
+                    murmur3_u32(key, seed),
+                    murmur3_bytes(&key.to_le_bytes(), seed),
+                    "key={key:#x} seed={seed:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn u64_fast_path_matches_bytes() {
+        for key in [0u64, 1, u64::MAX, 0xdead_beef_cafe_babe, 1 << 33] {
+            for seed in [0u32, 7, 0x9747_b28c] {
+                assert_eq!(
+                    murmur3_u64(key, seed),
+                    murmur3_bytes(&key.to_le_bytes(), seed),
+                    "key={key:#x} seed={seed:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fmix32_is_a_bijection_on_samples() {
+        // fmix32 is invertible; spot-check injectivity on a dense sample.
+        let mut seen = std::collections::HashSet::new();
+        for x in 0u32..100_000 {
+            assert!(seen.insert(fmix32(x)));
+        }
+    }
+
+    #[test]
+    fn fmix64_avalanche_smoke() {
+        // Flipping one input bit should flip ~32 of 64 output bits.
+        let base = fmix64(0x0123_4567_89ab_cdef);
+        let mut total = 0u32;
+        for bit in 0..64 {
+            let flipped = fmix64(0x0123_4567_89ab_cdef ^ (1u64 << bit));
+            total += (base ^ flipped).count_ones();
+        }
+        let avg = total as f64 / 64.0;
+        assert!((avg - 32.0).abs() < 4.0, "poor avalanche: {avg}");
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let a: Vec<u32> = (0..1000).map(|i| murmur3_u32(i, 1)).collect();
+        let b: Vec<u32> = (0..1000).map(|i| murmur3_u32(i, 2)).collect();
+        let equal = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        assert!(equal <= 2, "seeds should give distinct streams ({equal} collisions)");
+    }
+}

@@ -1,0 +1,86 @@
+//! # pg-parallel — fork/join parallel-for substrate
+//!
+//! The ProbGraph paper parallelizes its graph-mining algorithms with OpenMP
+//! `parallel for` loops using dynamic scheduling (§VI-B of the paper). This
+//! crate is the Rust equivalent used by every other crate in the workspace:
+//! a fork/join runtime built on [`std::thread::scope`] with a shared atomic
+//! work index, i.e. the same scheduling model as
+//! `#pragma omp parallel for schedule(dynamic, grain)`.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Explicit thread-count control.** The scaling experiments (Figs. 8–9
+//!    of the paper) sweep the thread count from 1 to the machine maximum.
+//!    [`set_threads`] / [`with_threads`] make the sweep a one-liner.
+//! 2. **Load balancing under skew.** Power-law graphs have a few huge
+//!    neighborhoods; static partitioning of the vertex range would serialize
+//!    on them. Dynamic chunk claiming via a single `fetch_add` gives the
+//!    OpenMP-dynamic behaviour the paper relies on.
+//! 3. **No global daemon threads.** Each parallel region forks and joins;
+//!    the process is single-threaded between regions, which keeps Criterion
+//!    measurements clean and avoids cross-talk between benchmark cases.
+//!
+//! The public surface is small: [`parallel_for`], [`parallel_for_grain`],
+//! [`map_reduce`], [`sum_u64`], [`sum_f64`], [`parallel_init`], [`join`],
+//! and the thread-count configuration in [`config`].
+//!
+//! ```
+//! use pg_parallel::{parallel_for, sum_u64};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let hits = AtomicU64::new(0);
+//! parallel_for(1000, |i| {
+//!     if i % 7 == 0 {
+//!         hits.fetch_add(1, Ordering::Relaxed);
+//!     }
+//! });
+//! assert_eq!(hits.into_inner(), 143);
+//!
+//! let s = sum_u64(1000, |i| i as u64);
+//! assert_eq!(s, 999 * 1000 / 2);
+//! ```
+
+pub mod config;
+mod init;
+mod par;
+mod reduce;
+
+pub use config::{available_threads, current_threads, set_threads, with_threads};
+pub use init::{parallel_fill_with, parallel_init};
+pub use par::{join, parallel_for, parallel_for_grain, parallel_for_range};
+pub use reduce::{map_reduce, map_reduce_grain, max_f64, min_f64, sum_f64, sum_u64};
+
+/// Picks a chunk size ("grain") for a loop of `n` iterations.
+///
+/// Small enough that `8 × threads` chunks exist (so the dynamic scheduler can
+/// balance skewed work), large enough that the `fetch_add` per chunk is
+/// amortized. Mirrors what OpenMP implementations choose for
+/// `schedule(dynamic)` with an unspecified chunk size, scaled up because a
+/// single ProbGraph loop iteration is usually a whole neighborhood
+/// intersection.
+#[inline]
+pub fn auto_grain(n: usize) -> usize {
+    let t = current_threads().max(1);
+    (n / (8 * t)).clamp(1, 4096)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_grain_is_positive_and_bounded() {
+        for n in [0usize, 1, 2, 100, 10_000, 10_000_000] {
+            let g = auto_grain(n);
+            assert!(g >= 1);
+            assert!(g <= 4096);
+        }
+    }
+
+    #[test]
+    fn auto_grain_shrinks_with_more_threads() {
+        let g1 = with_threads(1, || auto_grain(100_000));
+        let g8 = with_threads(8, || auto_grain(100_000));
+        assert!(g8 <= g1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Core fork/join loops: dynamic-scheduled `parallel_for` and binary `join`.
+
+use crate::config::current_threads;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f(i)` for every `i in 0..n`, in parallel, with dynamically claimed
+/// chunks of [`crate::auto_grain`] iterations.
+///
+/// Equivalent to the paper's `for v in V [in par]` loops. `f` must be safe to
+/// call concurrently from multiple threads; iteration order is unspecified.
+#[inline]
+pub fn parallel_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    parallel_for_grain(n, crate::auto_grain(n), f);
+}
+
+/// [`parallel_for`] over an arbitrary `Range<usize>`.
+#[inline]
+pub fn parallel_for_range<F>(range: Range<usize>, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let base = range.start;
+    let n = range.end.saturating_sub(range.start);
+    parallel_for(n, |i| f(base + i));
+}
+
+/// [`parallel_for`] with an explicit chunk size.
+///
+/// `grain = 1` gives maximal balancing (one `fetch_add` per iteration) and is
+/// the right choice when individual iterations are huge (e.g. one iteration =
+/// one full vertex neighborhood of a power-law hub); large grains amortize
+/// scheduling for cheap iterations.
+pub fn parallel_for_grain<F>(n: usize, grain: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let grain = grain.max(1);
+    let threads = current_threads();
+    if threads <= 1 || n <= grain {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let threads = threads.min(n.div_ceil(grain));
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor = &cursor;
+    std::thread::scope(|s| {
+        // The calling thread participates as worker 0; fork threads-1 more.
+        let mut handles = Vec::with_capacity(threads - 1);
+        for _ in 1..threads {
+            handles.push(s.spawn(move || worker_loop(n, grain, cursor, f)));
+        }
+        worker_loop(n, grain, cursor, f);
+        for h in handles {
+            // Propagate worker panics to the caller, as OpenMP would abort.
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+}
+
+#[inline]
+fn worker_loop<F: Fn(usize) + Sync>(n: usize, grain: usize, cursor: &AtomicUsize, f: &F) {
+    loop {
+        let start = cursor.fetch_add(grain, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        let end = (start + grain).min(n);
+        for i in start..end {
+            f(i);
+        }
+    }
+}
+
+/// Runs two closures, potentially in parallel, and returns both results.
+///
+/// The second closure runs on a forked thread when more than one thread is
+/// configured; otherwise both run sequentially on the caller.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_threads;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn visits_every_index_exactly_once() {
+        for threads in [1, 2, 4, 8] {
+            with_threads(threads, || {
+                let n = 10_001;
+                let marks: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                parallel_for(n, |i| {
+                    marks[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+            });
+        }
+    }
+
+    #[test]
+    fn zero_iterations_is_a_noop() {
+        parallel_for(0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn grain_one_still_covers_everything() {
+        with_threads(4, || {
+            let sum = AtomicU64::new(0);
+            parallel_for_grain(1000, 1, |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.into_inner(), 999 * 1000 / 2);
+        });
+    }
+
+    #[test]
+    fn huge_grain_degenerates_to_sequential() {
+        let sum = AtomicU64::new(0);
+        parallel_for_grain(100, usize::MAX, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn range_loop_offsets_correctly() {
+        let sum = AtomicU64::new(0);
+        parallel_for_range(10..20, |i| {
+            assert!((10..20).contains(&i));
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), (10..20u64).sum::<u64>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                parallel_for(1000, |i| {
+                    if i == 777 {
+                        panic!("boom");
+                    }
+                });
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for threads in [1, 4] {
+            with_threads(threads, || {
+                let (a, b) = join(|| 2 + 2, || "hi".len());
+                assert_eq!((a, b), (4, 2));
+            });
+        }
+    }
+
+    #[test]
+    fn join_propagates_panic_from_second_branch() {
+        let r = std::panic::catch_unwind(|| {
+            with_threads(2, || join(|| 1, || -> i32 { panic!("boom") }));
+        });
+        assert!(r.is_err());
+    }
+}

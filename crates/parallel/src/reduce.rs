@@ -1,0 +1,195 @@
+//! Parallel reductions: thread-local accumulation + final combine.
+//!
+//! Every ProbGraph algorithm ends in a reduction — triangle counts are sums
+//! of per-edge intersection cardinalities, clustering collects per-edge
+//! decisions, etc. The pattern here is the classic tree-free OpenMP
+//! `reduction(+:x)` implementation: each worker folds into a private
+//! accumulator, and the per-worker results are combined at join time
+//! (combine order is unspecified, so `f64` sums may differ across runs in
+//! the last ulps; integer reductions are exact and deterministic).
+
+use crate::config::current_threads;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Parallel map-reduce over `0..n`.
+///
+/// `map(acc, i)` folds iteration `i` into the worker-private accumulator,
+/// `combine` merges two accumulators, and `identity()` creates a fresh one.
+///
+/// ```
+/// let triangles = pg_parallel::map_reduce(
+///     100,
+///     || 0u64,
+///     |acc, i| acc + (i as u64 % 3),
+///     |a, b| a + b,
+/// );
+/// assert_eq!(triangles, (0..100).map(|i| i as u64 % 3).sum::<u64>());
+/// ```
+pub fn map_reduce<T, Id, M, C>(n: usize, identity: Id, map: M, combine: C) -> T
+where
+    T: Send,
+    Id: Fn() -> T + Sync,
+    M: Fn(T, usize) -> T + Sync,
+    C: Fn(T, T) -> T + Sync,
+{
+    map_reduce_grain(n, crate::auto_grain(n), identity, map, combine)
+}
+
+/// [`map_reduce`] with an explicit scheduling grain.
+pub fn map_reduce_grain<T, Id, M, C>(n: usize, grain: usize, identity: Id, map: M, combine: C) -> T
+where
+    T: Send,
+    Id: Fn() -> T + Sync,
+    M: Fn(T, usize) -> T + Sync,
+    C: Fn(T, T) -> T + Sync,
+{
+    let grain = grain.max(1);
+    let threads = current_threads();
+    if threads <= 1 || n <= grain {
+        let mut acc = identity();
+        for i in 0..n {
+            acc = map(acc, i);
+        }
+        return acc;
+    }
+    let threads = threads.min(n.div_ceil(grain));
+    let cursor = AtomicUsize::new(0);
+    let partials: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(threads));
+    {
+        let cursor = &cursor;
+        let partials = &partials;
+        let identity = &identity;
+        let map = &map;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(threads - 1);
+            let work = move || {
+                let mut acc = identity();
+                loop {
+                    let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + grain).min(n);
+                    for i in start..end {
+                        acc = map(acc, i);
+                    }
+                }
+                partials.lock().push(acc);
+            };
+            for _ in 1..threads {
+                handles.push(s.spawn(work));
+            }
+            work();
+            for h in handles {
+                if let Err(p) = h.join() {
+                    std::panic::resume_unwind(p);
+                }
+            }
+        });
+    }
+    let mut acc = identity();
+    for p in partials.into_inner() {
+        acc = combine(acc, p);
+    }
+    acc
+}
+
+/// Parallel sum of `f(i)` for `i in 0..n` as `u64`. Exact and deterministic.
+#[inline]
+pub fn sum_u64<F: Fn(usize) -> u64 + Sync>(n: usize, f: F) -> u64 {
+    map_reduce(n, || 0u64, |acc, i| acc + f(i), |a, b| a + b)
+}
+
+/// Parallel sum of `f(i)` for `i in 0..n` as `f64`.
+///
+/// Combine order is unspecified, so results can differ across runs by
+/// floating-point association; all ProbGraph estimators tolerate this (the
+/// estimator error dominates by many orders of magnitude).
+#[inline]
+pub fn sum_f64<F: Fn(usize) -> f64 + Sync>(n: usize, f: F) -> f64 {
+    map_reduce(n, || 0f64, |acc, i| acc + f(i), |a, b| a + b)
+}
+
+/// Parallel maximum of `f(i)`; returns `f64::NEG_INFINITY` for `n == 0`.
+#[inline]
+pub fn max_f64<F: Fn(usize) -> f64 + Sync>(n: usize, f: F) -> f64 {
+    map_reduce(
+        n,
+        || f64::NEG_INFINITY,
+        |acc, i| acc.max(f(i)),
+        |a, b| a.max(b),
+    )
+}
+
+/// Parallel minimum of `f(i)`; returns `f64::INFINITY` for `n == 0`.
+#[inline]
+pub fn min_f64<F: Fn(usize) -> f64 + Sync>(n: usize, f: F) -> f64 {
+    map_reduce(n, || f64::INFINITY, |acc, i| acc.min(f(i)), |a, b| a.min(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_threads;
+
+    #[test]
+    fn sum_matches_sequential_for_all_thread_counts() {
+        let n = 12_345;
+        let expect: u64 = (0..n as u64).map(|i| i * i % 97).sum();
+        for threads in [1, 2, 3, 8] {
+            let got = with_threads(threads, || sum_u64(n, |i| (i as u64 * i as u64) % 97));
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_reduction_yields_identity() {
+        assert_eq!(sum_u64(0, |_| panic!("no calls")), 0);
+        assert_eq!(max_f64(0, |_| panic!("no calls")), f64::NEG_INFINITY);
+        assert_eq!(min_f64(0, |_| panic!("no calls")), f64::INFINITY);
+    }
+
+    #[test]
+    fn float_sum_close_to_sequential() {
+        let n = 100_000;
+        let expect: f64 = (0..n).map(|i| 1.0 / (1.0 + i as f64)).sum();
+        let got = with_threads(8, || sum_f64(n, |i| 1.0 / (1.0 + i as f64)));
+        assert!((got - expect).abs() < 1e-9 * expect.abs());
+    }
+
+    #[test]
+    fn max_and_min_find_extremes() {
+        let vals: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let mx = with_threads(4, || max_f64(vals.len(), |i| vals[i]));
+        let mn = with_threads(4, || min_f64(vals.len(), |i| vals[i]));
+        assert_eq!(mx, 999.0);
+        assert_eq!(mn, 0.0);
+    }
+
+    #[test]
+    fn custom_accumulator_type() {
+        // Collect (count, sum) pairs — a non-commutative-looking but
+        // combine-associative accumulator.
+        let (cnt, sum) = with_threads(4, || {
+            map_reduce(
+                5000,
+                || (0u64, 0u64),
+                |(c, s), i| (c + 1, s + i as u64),
+                |(c1, s1), (c2, s2)| (c1 + c2, s1 + s2),
+            )
+        });
+        assert_eq!(cnt, 5000);
+        assert_eq!(sum, 4999 * 5000 / 2);
+    }
+
+    #[test]
+    fn panic_in_map_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                sum_u64(1000, |i| if i == 500 { panic!("boom") } else { 1 })
+            });
+        });
+        assert!(r.is_err());
+    }
+}

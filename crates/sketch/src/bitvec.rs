@@ -1,0 +1,188 @@
+//! Plain bit vector over 64-bit words.
+//!
+//! This is the physical representation of a Bloom filter (§VI of the
+//! paper): `|X ∩ Y|` estimation reduces to a bitwise AND over two word
+//! arrays followed by a population count. `u64::count_ones` compiles to the
+//! `popcnt` instruction the paper calls out, and the word loops here are
+//! simple enough for LLVM to auto-vectorize (the AVX path of §VI).
+
+/// Fixed-length bit vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len_bits: usize,
+}
+
+impl BitVec {
+    /// An all-zero bit vector of `len_bits` bits (rounded up to whole words
+    /// internally; the logical length stays exact).
+    pub fn zeros(len_bits: usize) -> Self {
+        BitVec {
+            words: vec![0u64; len_bits.div_ceil(64)],
+            len_bits,
+        }
+    }
+
+    /// Logical length in bits (the paper's `B_X`).
+    #[inline]
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Backing words.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len_bits);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len_bits);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits (the paper's `B_{X,1}`).
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        count_ones_words(&self.words)
+    }
+
+    /// Number of zero bits (`B_{X,0}`).
+    #[inline]
+    pub fn count_zeros(&self) -> usize {
+        self.len_bits - self.count_ones()
+    }
+
+    /// Fused AND + popcount against another vector of the same length —
+    /// the core `|X ∩ Y|` kernel of Fig. 1 panel 3. Runs in `O(B/W)` work.
+    #[inline]
+    pub fn and_count(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len_bits, other.len_bits, "bit vectors differ in size");
+        and_count_words(&self.words, &other.words)
+    }
+
+    /// Fused OR + popcount (`B_{X∪Y,1}`, used by the OR estimator Eq. 29).
+    #[inline]
+    pub fn or_count(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len_bits, other.len_bits, "bit vectors differ in size");
+        or_count_words(&self.words, &other.words)
+    }
+
+    /// Materialized AND (for callers that need the intersected filter).
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        assert_eq!(self.len_bits, other.len_bits, "bit vectors differ in size");
+        BitVec {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len_bits: self.len_bits,
+        }
+    }
+}
+
+/// Popcount of a word slice.
+#[inline]
+pub fn count_ones_words(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Fused AND + popcount of two word slices (must be equal length).
+#[inline]
+pub fn and_count_words(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & y).count_ones() as usize)
+        .sum()
+}
+
+/// Fused OR + popcount of two word slices (must be equal length).
+#[inline]
+pub fn or_count_words(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x | y).count_ones() as usize)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!v.get(i));
+            v.set(i);
+            assert!(v.get(i));
+        }
+        assert_eq!(v.count_ones(), 8);
+        assert_eq!(v.count_zeros(), 122);
+    }
+
+    #[test]
+    fn and_count_matches_naive() {
+        let mut a = BitVec::zeros(200);
+        let mut b = BitVec::zeros(200);
+        for i in (0..200).step_by(3) {
+            a.set(i);
+        }
+        for i in (0..200).step_by(5) {
+            b.set(i);
+        }
+        let naive = (0..200).filter(|&i| a.get(i) && b.get(i)).count();
+        assert_eq!(a.and_count(&b), naive);
+        assert_eq!(a.and(&b).count_ones(), naive);
+    }
+
+    #[test]
+    fn or_count_inclusion_exclusion() {
+        let mut a = BitVec::zeros(77);
+        let mut b = BitVec::zeros(77);
+        for i in 0..40 {
+            a.set(i);
+        }
+        for i in 30..77 {
+            b.set(i);
+        }
+        assert_eq!(
+            a.or_count(&b),
+            a.count_ones() + b.count_ones() - a.and_count(&b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in size")]
+    fn size_mismatch_panics() {
+        BitVec::zeros(64).and_count(&BitVec::zeros(128));
+    }
+
+    #[test]
+    fn zero_length() {
+        let v = BitVec::zeros(0);
+        assert_eq!(v.count_ones(), 0);
+        assert_eq!(v.len_bits(), 0);
+        assert_eq!(v.and_count(&BitVec::zeros(0)), 0);
+    }
+
+    #[test]
+    fn idempotent_set() {
+        let mut v = BitVec::zeros(10);
+        v.set(3);
+        v.set(3);
+        assert_eq!(v.count_ones(), 1);
+    }
+}

@@ -1,0 +1,360 @@
+//! Bloom filters (§II-D) and the flat per-vertex collection ProbGraph
+//! builds over all neighborhoods.
+//!
+//! Every filter in a [`BloomCollection`] has the **same** bit length — that
+//! is the paper's central load-balancing trick (Fig. 1, panel 5): every
+//! neighborhood intersection costs exactly `B/W` word-AND operations, no
+//! matter how skewed the degrees are.
+
+use crate::bitvec::{and_count_words, count_ones_words, or_count_words, BitVec};
+use crate::estimators;
+use pg_hash::HashFamily;
+use pg_parallel::parallel_for;
+
+/// A standalone Bloom filter over `u32` items with `b` hash functions.
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: BitVec,
+    family: HashFamily,
+}
+
+impl BloomFilter {
+    /// An empty filter of `bits` bits with `b` seeded hash functions.
+    pub fn new(bits: usize, b: usize, seed: u64) -> Self {
+        assert!(bits > 0, "Bloom filter needs at least one bit");
+        assert!(b > 0, "Bloom filter needs at least one hash function");
+        BloomFilter {
+            bits: BitVec::zeros(bits),
+            family: HashFamily::new(b, seed),
+        }
+    }
+
+    /// Builds a filter directly from a set of items.
+    pub fn from_set(items: &[u32], bits: usize, b: usize, seed: u64) -> Self {
+        let mut f = Self::new(bits, b, seed);
+        for &x in items {
+            f.insert(x);
+        }
+        f
+    }
+
+    /// Inserts one item (sets its `b` bits).
+    #[inline]
+    pub fn insert(&mut self, item: u32) {
+        for i in 0..self.family.len() {
+            let pos = self.family.bucket(i, item as u64, self.bits.len_bits());
+            self.bits.set(pos);
+        }
+    }
+
+    /// Membership query; false positives possible, false negatives not.
+    #[inline]
+    pub fn contains(&self, item: u32) -> bool {
+        (0..self.family.len())
+            .all(|i| self.bits.get(self.family.bucket(i, item as u64, self.bits.len_bits())))
+    }
+
+    /// Number of hash functions `b`.
+    #[inline]
+    pub fn num_hashes(&self) -> usize {
+        self.family.len()
+    }
+
+    /// Filter size in bits (`B_X`).
+    #[inline]
+    pub fn len_bits(&self) -> usize {
+        self.bits.len_bits()
+    }
+
+    /// Number of set bits (`B_{X,1}`).
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// The underlying bit vector.
+    #[inline]
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Single-set cardinality estimate `|X|̂_S` (Eq. 1).
+    pub fn estimate_size(&self) -> f64 {
+        estimators::bf_size_swamidass(self.count_ones(), self.len_bits(), self.num_hashes())
+    }
+
+    /// `|X∩Y|̂_AND` (Eq. 2) against another filter built with the same
+    /// parameters and seed.
+    pub fn estimate_intersection_and(&self, other: &BloomFilter) -> f64 {
+        estimators::bf_intersect_and(
+            self.bits.and_count(&other.bits),
+            self.len_bits(),
+            self.num_hashes(),
+        )
+    }
+
+    /// `|X∩Y|̂_L` (Eq. 4).
+    pub fn estimate_intersection_limit(&self, other: &BloomFilter) -> f64 {
+        estimators::bf_intersect_limit(self.bits.and_count(&other.bits), self.num_hashes())
+    }
+
+    /// `|X∩Y|̂_OR` (Eq. 29); needs the exact set sizes.
+    pub fn estimate_intersection_or(&self, other: &BloomFilter, nx: usize, ny: usize) -> f64 {
+        estimators::bf_intersect_or(
+            self.bits.or_count(&other.bits),
+            self.len_bits(),
+            self.num_hashes(),
+            nx,
+            ny,
+        )
+    }
+}
+
+/// All per-set Bloom filters of a ProbGraph representation, stored in one
+/// flat word array (`n_sets × words_per_set`).
+#[derive(Clone, Debug)]
+pub struct BloomCollection {
+    data: Vec<u64>,
+    words_per_set: usize,
+    bits_per_set: usize,
+    b: usize,
+    family: HashFamily,
+}
+
+impl BloomCollection {
+    /// Builds filters for `n_sets` sets in parallel. `set(i)` must return
+    /// the i-th input set; it is called once per set, from worker threads.
+    ///
+    /// `bits_per_set` is rounded up to a multiple of 64 so each filter owns
+    /// whole words.
+    pub fn build<'a, F>(n_sets: usize, bits_per_set: usize, b: usize, seed: u64, set: F) -> Self
+    where
+        F: Fn(usize) -> &'a [u32] + Sync,
+    {
+        assert!(b > 0, "need at least one hash function");
+        let words_per_set = bits_per_set.div_ceil(64).max(1);
+        let bits_per_set = words_per_set * 64;
+        let family = HashFamily::new(b, seed);
+        let mut data = vec![0u64; n_sets * words_per_set];
+        {
+            struct SendPtr(*mut u64);
+            unsafe impl Send for SendPtr {}
+            unsafe impl Sync for SendPtr {}
+            let base = SendPtr(data.as_mut_ptr());
+            let base = &base;
+            let family = &family;
+            parallel_for(n_sets, |s| {
+                // SAFETY: window [s*wps, (s+1)*wps) is exclusive to set s.
+                let window = unsafe {
+                    std::slice::from_raw_parts_mut(base.0.add(s * words_per_set), words_per_set)
+                };
+                for &x in set(s) {
+                    for i in 0..b {
+                        let pos = family.bucket(i, x as u64, bits_per_set);
+                        window[pos / 64] |= 1u64 << (pos % 64);
+                    }
+                }
+            });
+        }
+        BloomCollection {
+            data,
+            words_per_set,
+            bits_per_set,
+            b,
+            family,
+        }
+    }
+
+    /// Number of filters.
+    #[inline]
+    pub fn len(&self) -> usize {
+        if self.words_per_set == 0 {
+            0
+        } else {
+            self.data.len() / self.words_per_set
+        }
+    }
+
+    /// True when the collection holds no filters.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bits per filter (`B_X`, identical for every set by design).
+    #[inline]
+    pub fn bits_per_set(&self) -> usize {
+        self.bits_per_set
+    }
+
+    /// Number of hash functions `b`.
+    #[inline]
+    pub fn num_hashes(&self) -> usize {
+        self.b
+    }
+
+    /// The word window of filter `i`.
+    #[inline]
+    pub fn words(&self, i: usize) -> &[u64] {
+        &self.data[i * self.words_per_set..(i + 1) * self.words_per_set]
+    }
+
+    /// Popcount of filter `i`.
+    #[inline]
+    pub fn count_ones(&self, i: usize) -> usize {
+        count_ones_words(self.words(i))
+    }
+
+    /// Membership query against filter `i`.
+    pub fn contains(&self, i: usize, item: u32) -> bool {
+        let w = self.words(i);
+        (0..self.b).all(|f| {
+            let pos = self.family.bucket(f, item as u64, self.bits_per_set);
+            (w[pos / 64] >> (pos % 64)) & 1 == 1
+        })
+    }
+
+    /// `B_{X∩Y,1}`: fused AND+popcount of filters `i` and `j` — the `O(B/W)`
+    /// kernel of Table IV.
+    #[inline]
+    pub fn and_ones(&self, i: usize, j: usize) -> usize {
+        and_count_words(self.words(i), self.words(j))
+    }
+
+    /// `B_{X∪Y,1}`: fused OR+popcount.
+    #[inline]
+    pub fn or_ones(&self, i: usize, j: usize) -> usize {
+        or_count_words(self.words(i), self.words(j))
+    }
+
+    /// `|X∩Y|̂_AND` (Eq. 2) between sets `i` and `j`.
+    #[inline]
+    pub fn estimate_and(&self, i: usize, j: usize) -> f64 {
+        estimators::bf_intersect_and(self.and_ones(i, j), self.bits_per_set, self.b)
+    }
+
+    /// `|X∩Y|̂_L` (Eq. 4) between sets `i` and `j`.
+    #[inline]
+    pub fn estimate_limit(&self, i: usize, j: usize) -> f64 {
+        estimators::bf_intersect_limit(self.and_ones(i, j), self.b)
+    }
+
+    /// `|X∩Y|̂_OR` (Eq. 29); `nx`/`ny` are the exact set sizes.
+    #[inline]
+    pub fn estimate_or(&self, i: usize, j: usize, nx: usize, ny: usize) -> f64 {
+        estimators::bf_intersect_or(self.or_ones(i, j), self.bits_per_set, self.b, nx, ny)
+    }
+
+    /// Bytes of sketch storage — what the paper's budget `s` accounts for.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let items: Vec<u32> = (0..200).map(|i| i * 13 + 1).collect();
+        let f = BloomFilter::from_set(&items, 4096, 3, 7);
+        for &x in &items {
+            assert!(f.contains(x));
+        }
+    }
+
+    #[test]
+    fn few_false_positives_when_sized_well() {
+        let items: Vec<u32> = (0..100).collect();
+        let f = BloomFilter::from_set(&items, 1 << 13, 3, 7);
+        let fps = (1000u32..11_000).filter(|&x| f.contains(x)).count();
+        // ~100 items in 8192 bits with b=3: fp rate well below 1 %.
+        assert!(fps < 100, "false positives: {fps}/10000");
+    }
+
+    #[test]
+    fn size_estimate_accuracy() {
+        let items: Vec<u32> = (0..500).collect();
+        let f = BloomFilter::from_set(&items, 1 << 14, 2, 3);
+        let est = f.estimate_size();
+        assert!((est - 500.0).abs() < 25.0, "est={est}");
+    }
+
+    #[test]
+    fn intersection_estimates_track_truth() {
+        // |X|=300, |Y|=300, |X∩Y|=100.
+        let x: Vec<u32> = (0..300).collect();
+        let y: Vec<u32> = (200..500).collect();
+        let bits = 1 << 13;
+        let fx = BloomFilter::from_set(&x, bits, 2, 9);
+        let fy = BloomFilter::from_set(&y, bits, 2, 9);
+        let and = fx.estimate_intersection_and(&fy);
+        let or = fx.estimate_intersection_or(&fy, x.len(), y.len());
+        assert!((and - 100.0).abs() < 30.0, "AND={and}");
+        assert!((or - 100.0).abs() < 30.0, "OR={or}");
+        // Limit estimator systematically overestimates the intersection
+        // (both sets' bits overlap by chance) but stays in the ballpark.
+        let lim = fx.estimate_intersection_limit(&fy);
+        assert!(lim >= and * 0.5 && lim < 300.0, "L={lim}");
+    }
+
+    #[test]
+    fn disjoint_sets_give_near_zero() {
+        let x: Vec<u32> = (0..200).collect();
+        let y: Vec<u32> = (10_000..10_200).collect();
+        let fx = BloomFilter::from_set(&x, 1 << 13, 2, 1);
+        let fy = BloomFilter::from_set(&y, 1 << 13, 2, 1);
+        assert!(fx.estimate_intersection_and(&fy) < 20.0);
+    }
+
+    #[test]
+    fn collection_matches_standalone_filters() {
+        let sets: Vec<Vec<u32>> = (0..20)
+            .map(|s| (0..50 + s * 7).map(|i| (i * 31 + s) as u32).collect())
+            .collect();
+        let col = BloomCollection::build(sets.len(), 1024, 2, 5, |i| &sets[i]);
+        for (i, set) in sets.iter().enumerate() {
+            let f = BloomFilter::from_set(set, 1024, 2, 5);
+            assert_eq!(col.count_ones(i), f.count_ones(), "set {i}");
+            for &x in set {
+                assert!(col.contains(i, x));
+            }
+        }
+        // Pairwise AND counts agree too.
+        let f0 = BloomFilter::from_set(&sets[0], 1024, 2, 5);
+        let f1 = BloomFilter::from_set(&sets[1], 1024, 2, 5);
+        assert_eq!(col.and_ones(0, 1), f0.bits().and_count(f1.bits()));
+        assert_eq!(col.or_ones(0, 1), f0.bits().or_count(f1.bits()));
+    }
+
+    #[test]
+    fn collection_rounds_bits_to_words() {
+        let sets = [vec![1u32, 2, 3]];
+        let col = BloomCollection::build(1, 100, 1, 1, |i| &sets[i][..]);
+        assert_eq!(col.bits_per_set(), 128);
+        assert_eq!(col.memory_bytes(), 16);
+    }
+
+    #[test]
+    fn parallel_build_deterministic() {
+        let sets: Vec<Vec<u32>> = (0..100)
+            .map(|s| (0..200).map(|i| (i * 17 + s * 3) as u32).collect())
+            .collect();
+        let a = pg_parallel::with_threads(1, || {
+            BloomCollection::build(100, 512, 2, 9, |i| &sets[i][..])
+        });
+        let b = pg_parallel::with_threads(8, || {
+            BloomCollection::build(100, 512, 2, 9, |i| &sets[i][..])
+        });
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn empty_set_filter_is_all_zero() {
+        let sets: [Vec<u32>; 1] = [vec![]];
+        let col = BloomCollection::build(1, 256, 3, 2, |i| &sets[i][..]);
+        assert_eq!(col.count_ones(0), 0);
+        assert_eq!(col.estimate_and(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,444 @@
+//! MinHash, 1-hash variant — "bottom-k" (§II-D, §IV-D of the paper).
+//!
+//! One hash function `h`; the sketch keeps the `k` elements of the set with
+//! the smallest hashes. Never contains duplicates, and costs only one hash
+//! evaluation per element to build (`O(d_v)` work, Table V) — which is why
+//! the paper finds 1-hash faster to construct than k-hash.
+//!
+//! The paper's distributional claim — `|M¹_X ∩ M¹_Y|` follows
+//! `Hypergeometric(|X∪Y|, |X∩Y|, k)` (§IV-D, footnote 4) — holds for the
+//! *union-restricted* match count: the `k` hash-smallest elements of
+//! `X ∪ Y` are `k` uniform draws without replacement from the union, and
+//! such a draw lies in both samples iff it lies in `X ∩ Y`. We therefore
+//! count matches among the bottom-k of the union (the classic bottom-k
+//! estimator), which is what makes `Ĵ_1H = matches/k` unbiased and
+//! Prop. IV.3's exponential bound applicable. Samples are stored in hash
+//! order so this union-merge costs `O(k)` (Table IV).
+
+use crate::estimators;
+use pg_hash::HashFamily;
+
+/// A bottom-k sketch of one set: the (up to) `k` elements with smallest
+/// hashes, stored in ascending hash order.
+#[derive(Clone, Debug)]
+pub struct BottomK {
+    elems: Vec<u32>,
+    hashes: Vec<u32>,
+    k: usize,
+    set_size: usize,
+}
+
+/// Selects the `k` elements of `items` with the smallest `(hash, id)` keys,
+/// returned in ascending `(hash, id)` order.
+fn select_bottom_k(items: &[u32], k: usize, family: &HashFamily) -> (Vec<u32>, Vec<u32>) {
+    let mut keyed: Vec<(u32, u32)> = items
+        .iter()
+        .map(|&x| (family.hash32(0, x as u64), x))
+        .collect();
+    keyed.sort_unstable();
+    keyed.dedup(); // duplicate input items collapse
+    keyed.truncate(k);
+    let hashes: Vec<u32> = keyed.iter().map(|&(h, _)| h).collect();
+    let elems: Vec<u32> = keyed.into_iter().map(|(_, x)| x).collect();
+    (elems, hashes)
+}
+
+/// Union-restricted match count: merges two hash-ordered samples, walks the
+/// first `k` distinct elements of the union, and counts those present in
+/// *both* samples. Returns `(matches, union_seen)` where `union_seen ≤ k`
+/// is how many union elements were available (if `< k`, the union was
+/// exhausted and the count is exact).
+fn union_matches(
+    a: &[u32],
+    ah: &[u32],
+    b: &[u32],
+    bh: &[u32],
+    k: usize,
+) -> (usize, usize) {
+    debug_assert_eq!(a.len(), ah.len());
+    debug_assert_eq!(b.len(), bh.len());
+    let mut i = 0;
+    let mut j = 0;
+    let mut taken = 0usize;
+    let mut matches = 0usize;
+    while taken < k && (i < a.len() || j < b.len()) {
+        if i < a.len() && j < b.len() {
+            // Compare precomputed (hash, element) keys — no hashing in the
+            // kernel, as the paper's O(k) Table IV cost requires.
+            let ka = (ah[i], a[i]);
+            let kb = (bh[j], b[j]);
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Equal => {
+                    matches += 1;
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+            }
+        } else if i < a.len() {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        taken += 1;
+    }
+    (matches, taken)
+}
+
+impl BottomK {
+    /// Builds the sketch of `items` with parameter `k` and a hash seeded
+    /// from `seed`. Comparable only across sketches with equal `k`/`seed`.
+    pub fn from_set(items: &[u32], k: usize, seed: u64) -> Self {
+        assert!(k > 0, "bottom-k needs k ≥ 1");
+        let family = HashFamily::new(1, seed);
+        let (elems, hashes) = select_bottom_k(items, k, &family);
+        BottomK {
+            elems,
+            hashes,
+            k,
+            set_size: items.len(),
+        }
+    }
+
+    /// Configured `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The stored sample, in ascending hash order.
+    #[inline]
+    pub fn elements(&self) -> &[u32] {
+        &self.elems
+    }
+
+    /// Exact size of the sketched set (free to record at build time; the
+    /// paper's Eq. (5) uses exact `|X|`, `|Y|` anyway).
+    #[inline]
+    pub fn set_size(&self) -> usize {
+        self.set_size
+    }
+
+    /// True when the sketch stored the whole set (`|X| ≤ k`), i.e. it is
+    /// lossless.
+    #[inline]
+    pub fn is_exact(&self) -> bool {
+        self.set_size <= self.k
+    }
+
+    /// Union-restricted `|M¹_X ∩ M¹_Y|` (see module docs); `O(k)`.
+    pub fn matches(&self, other: &BottomK) -> usize {
+        assert_eq!(self.k, other.k, "sketches differ in k");
+        union_matches(&self.elems, &self.hashes, &other.elems, &other.hashes, self.k).0
+    }
+
+    /// `Ĵ_1H = matches / k'` where `k'` is the number of union draws
+    /// actually seen (`k` in the sampling regime); when both sketches are
+    /// lossless the whole sets are available and the exact Jaccard is
+    /// returned instead.
+    pub fn estimate_jaccard(&self, other: &BottomK) -> f64 {
+        if self.is_exact() && other.is_exact() {
+            // Uncapped merge over the full stored sets.
+            let cap = self.elems.len() + other.elems.len();
+            let (matches, _) = union_matches(
+                &self.elems, &self.hashes, &other.elems, &other.hashes, cap.max(1));
+            let union = cap - matches;
+            return if union == 0 { 0.0 } else { matches as f64 / union as f64 };
+        }
+        let (matches, seen) =
+            union_matches(&self.elems, &self.hashes, &other.elems, &other.hashes, self.k);
+        if seen == 0 {
+            return 0.0;
+        }
+        estimators::mh_jaccard(matches, seen)
+    }
+
+    /// `|X∩Y|̂_1H` (Eq. 5 form).
+    ///
+    /// When both sketches are lossless (`|X| ≤ k` and `|Y| ≤ k`) the full
+    /// sets are stored, so the exact `|X∩Y|` (uncapped merge) is returned
+    /// directly.
+    pub fn estimate_intersection(&self, other: &BottomK) -> f64 {
+        if self.is_exact() && other.is_exact() {
+            let cap = (self.elems.len() + other.elems.len()).max(1);
+            return union_matches(&self.elems, &self.hashes, &other.elems, &other.hashes, cap).0
+                as f64;
+        }
+        let (matches, _) =
+            union_matches(&self.elems, &self.hashes, &other.elems, &other.hashes, self.k);
+        estimators::jaccard_to_intersection(
+            estimators::mh_jaccard(matches, self.k),
+            self.set_size,
+            other.set_size,
+        )
+    }
+}
+
+/// All bottom-k sketches of a ProbGraph representation: one flat element
+/// array plus per-set offsets (sets smaller than `k` store fewer entries).
+#[derive(Clone, Debug)]
+pub struct BottomKCollection {
+    elems: Vec<u32>,
+    hashes: Vec<u32>,
+    offsets: Vec<u32>,
+    set_sizes: Vec<u32>,
+    k: usize,
+}
+
+impl BottomKCollection {
+    /// Builds sketches for `n_sets` sets in parallel.
+    pub fn build<'a, F>(n_sets: usize, k: usize, seed: u64, set: F) -> Self
+    where
+        F: Fn(usize) -> &'a [u32] + Sync,
+    {
+        assert!(k > 0, "bottom-k needs k ≥ 1");
+        let family = HashFamily::new(1, seed);
+        // Two-phase: compute every sketch into its own Vec in parallel,
+        // then concatenate (keeps offsets exact without atomics).
+        let per_set: Vec<(Vec<u32>, Vec<u32>)> = {
+            let family = &family;
+            let set = &set;
+            pg_parallel::parallel_init(n_sets, move |s| select_bottom_k(set(s), k, family))
+        };
+        let mut offsets = Vec::with_capacity(n_sets + 1);
+        offsets.push(0u32);
+        let mut total = 0usize;
+        for (v, _) in &per_set {
+            total += v.len();
+            assert!(total <= u32::MAX as usize, "sketch storage exceeds u32 offsets");
+            offsets.push(total as u32);
+        }
+        let mut elems = Vec::with_capacity(total);
+        let mut hashes = Vec::with_capacity(total);
+        for (v, h) in &per_set {
+            elems.extend_from_slice(v);
+            hashes.extend_from_slice(h);
+        }
+        let mut set_sizes = vec![0u32; n_sets];
+        pg_parallel::parallel_fill_with(&mut set_sizes, |s| set(s).len() as u32);
+        BottomKCollection {
+            elems,
+            hashes,
+            offsets,
+            set_sizes,
+            k,
+        }
+    }
+
+    /// Number of sketches.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the collection holds no sketches.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Configured `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The sample of set `i`, in ascending hash order.
+    #[inline]
+    pub fn sample(&self, i: usize) -> &[u32] {
+        &self.elems[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The precomputed hashes of [`BottomKCollection::sample`], same order.
+    #[inline]
+    pub fn sample_hashes(&self, i: usize) -> &[u32] {
+        &self.hashes[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Exact input-set size recorded at build time.
+    #[inline]
+    pub fn set_size(&self, i: usize) -> usize {
+        self.set_sizes[i] as usize
+    }
+
+    /// Union-restricted `|M¹_X ∩ M¹_Y|` between sets `i` and `j` (`O(k)`).
+    #[inline]
+    pub fn matches(&self, i: usize, j: usize) -> usize {
+        union_matches(
+            self.sample(i),
+            self.sample_hashes(i),
+            self.sample(j),
+            self.sample_hashes(j),
+            self.k,
+        )
+        .0
+    }
+
+    /// `|X∩Y|̂_1H` between sets `i` and `j`; see
+    /// [`BottomK::estimate_intersection`] for the lossless shortcut.
+    pub fn estimate_intersection(&self, i: usize, j: usize) -> f64 {
+        let (a, b) = (self.sample(i), self.sample(j));
+        let (ah, bh) = (self.sample_hashes(i), self.sample_hashes(j));
+        let (ni, nj) = (self.set_size(i), self.set_size(j));
+        if ni <= self.k && nj <= self.k {
+            // Lossless: full sets stored — exact uncapped merge.
+            let cap = (a.len() + b.len()).max(1);
+            return union_matches(a, ah, b, bh, cap).0 as f64;
+        }
+        let (matches, _) = union_matches(a, ah, b, bh, self.k);
+        estimators::jaccard_to_intersection(estimators::mh_jaccard(matches, self.k), ni, nj)
+    }
+
+    /// `Ĵ_1H` between sets `i` and `j`.
+    pub fn estimate_jaccard(&self, i: usize, j: usize) -> f64 {
+        let (a, b) = (self.sample(i), self.sample(j));
+        let (ah, bh) = (self.sample_hashes(i), self.sample_hashes(j));
+        let (ni, nj) = (self.set_size(i), self.set_size(j));
+        if ni <= self.k && nj <= self.k {
+            let cap = a.len() + b.len();
+            let (matches, _) = union_matches(a, ah, b, bh, cap.max(1));
+            let union = cap - matches;
+            return if union == 0 { 0.0 } else { matches as f64 / union as f64 };
+        }
+        let (matches, seen) = union_matches(a, ah, b, bh, self.k);
+        if seen == 0 {
+            return 0.0;
+        }
+        estimators::mh_jaccard(matches, seen)
+    }
+
+    /// Bytes of sketch storage (elements + hashes + offsets + sizes).
+    /// Table I charges `W·k` bits per set with `W = 64`, i.e. 8 bytes per
+    /// slot — exactly one element + one stored hash.
+    pub fn memory_bytes(&self) -> usize {
+        self.elems.len() * 8 + self.offsets.len() * 4 + self.set_sizes.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sets_are_stored_exactly() {
+        let x = [5u32, 1, 9];
+        let s = BottomK::from_set(&x, 8, 3);
+        assert!(s.is_exact());
+        let mut sorted = s.elements().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 5, 9]);
+        assert_eq!(s.set_size(), 3);
+    }
+
+    #[test]
+    fn large_sets_keep_k_elements() {
+        let x: Vec<u32> = (0..1000).collect();
+        let s = BottomK::from_set(&x, 32, 3);
+        assert_eq!(s.elements().len(), 32);
+        assert!(!s.is_exact());
+    }
+
+    #[test]
+    fn sample_is_hash_minimal_and_hash_ordered() {
+        let x: Vec<u32> = (0..500).collect();
+        let k = 16;
+        let s = BottomK::from_set(&x, k, 9);
+        let fam = HashFamily::new(1, 9);
+        let mut hashes: Vec<(u32, u32)> = x.iter().map(|&e| (fam.hash32(0, e as u64), e)).collect();
+        hashes.sort_unstable();
+        let expect: Vec<u32> = hashes[..k].iter().map(|&(_, e)| e).collect();
+        assert_eq!(s.elements(), &expect[..]);
+    }
+
+    #[test]
+    fn exact_intersection_for_lossless_sketches() {
+        let x = [1u32, 2, 3, 4];
+        let y = [3u32, 4, 5];
+        let a = BottomK::from_set(&x, 16, 1);
+        let b = BottomK::from_set(&y, 16, 1);
+        assert_eq!(a.estimate_intersection(&b), 2.0);
+        // Exact Jaccard too: 2 / 5.
+        assert!((a.estimate_jaccard(&b) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_estimate_accuracy() {
+        let x: Vec<u32> = (0..1000).collect();
+        let y: Vec<u32> = (500..1500).collect(); // J = 500/1500 = 1/3
+        let a = BottomK::from_set(&x, 256, 5);
+        let b = BottomK::from_set(&y, 256, 5);
+        let j = a.estimate_jaccard(&b);
+        assert!((j - 1.0 / 3.0).abs() < 0.08, "J={j}");
+        let inter = a.estimate_intersection(&b);
+        assert!((inter - 500.0).abs() < 150.0, "inter={inter}");
+    }
+
+    #[test]
+    fn identical_large_sets() {
+        let x: Vec<u32> = (0..1000).map(|i| i * 3).collect();
+        let a = BottomK::from_set(&x, 64, 2);
+        let b = BottomK::from_set(&x, 64, 2);
+        assert_eq!(a.matches(&b), 64);
+        assert_eq!(a.estimate_jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let x: Vec<u32> = (0..1000).collect();
+        let y: Vec<u32> = (10_000..11_000).collect();
+        let a = BottomK::from_set(&x, 128, 2);
+        let b = BottomK::from_set(&y, 128, 2);
+        assert_eq!(a.matches(&b), 0);
+        assert_eq!(a.estimate_intersection(&b), 0.0);
+    }
+
+    #[test]
+    fn empty_set() {
+        let e = BottomK::from_set(&[], 8, 1);
+        let x = BottomK::from_set(&[1, 2], 8, 1);
+        assert_eq!(e.matches(&x), 0);
+        assert_eq!(e.estimate_intersection(&x), 0.0);
+        assert_eq!(e.estimate_jaccard(&e), 0.0);
+    }
+
+    #[test]
+    fn duplicate_inputs_collapse() {
+        let a = BottomK::from_set(&[7, 7, 7, 2, 2], 8, 1);
+        let b = BottomK::from_set(&[2, 7], 8, 1);
+        assert_eq!(a.elements(), b.elements());
+        assert_eq!(a.matches(&b), 2);
+    }
+
+    #[test]
+    fn collection_matches_standalone() {
+        let sets: Vec<Vec<u32>> = (0..40)
+            .map(|s| (0..10 + s * 5).map(|i| (i * 3 + s) as u32).collect())
+            .collect();
+        let col = BottomKCollection::build(sets.len(), 12, 7, |i| &sets[i][..]);
+        for (i, set) in sets.iter().enumerate() {
+            let s = BottomK::from_set(set, 12, 7);
+            assert_eq!(col.sample(i), s.elements(), "set {i}");
+            assert_eq!(col.set_size(i), set.len());
+        }
+        let a = BottomK::from_set(&sets[5], 12, 7);
+        let b = BottomK::from_set(&sets[20], 12, 7);
+        assert_eq!(col.matches(5, 20), a.matches(&b));
+        assert!((col.estimate_intersection(5, 20) - a.estimate_intersection(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_build_deterministic() {
+        let sets: Vec<Vec<u32>> = (0..150)
+            .map(|s| (0..80).map(|i| (i * 11 + s * 2) as u32).collect())
+            .collect();
+        let a = pg_parallel::with_threads(1, || {
+            BottomKCollection::build(150, 10, 3, |i| &sets[i][..])
+        });
+        let b = pg_parallel::with_threads(8, || {
+            BottomKCollection::build(150, 10, 3, |i| &sets[i][..])
+        });
+        assert_eq!(a.elems, b.elems);
+        assert_eq!(a.offsets, b.offsets);
+    }
+}

@@ -1,0 +1,160 @@
+//! The storage budget `s` (§V-A of the paper).
+//!
+//! `s ∈ [0, 1]` specifies how much memory *on top of* the CSR graph may be
+//! spent on ProbGraph structures (the evaluation never exceeds 33 %). This
+//! module turns a budget into concrete per-set sketch parameters: Bloom
+//! filter bits `B`, MinHash `k`, KMV `k` — uniform across all sets, which
+//! is what gives ProbGraph its load-balancing behaviour.
+
+/// Concrete parameters for one probabilistic representation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SketchParams {
+    /// Bloom filter: `bits_per_set` bits and `b` hash functions per set.
+    Bloom { bits_per_set: usize, b: usize },
+    /// k-hash MinHash with `k` hash functions (k 32-bit words per set).
+    KHash { k: usize },
+    /// 1-hash / bottom-k MinHash with sample size `k`.
+    OneHash { k: usize },
+    /// KMV with `k` stored 64-bit hash values.
+    Kmv { k: usize },
+}
+
+/// A storage budget resolved against a concrete base representation.
+#[derive(Clone, Copy, Debug)]
+pub struct BudgetPlan {
+    base_bytes: usize,
+    n_sets: usize,
+    s: f64,
+}
+
+impl BudgetPlan {
+    /// `base_bytes` is the memory of the exact representation (CSR), and
+    /// `s` the additional fraction of it the sketches may use.
+    pub fn new(base_bytes: usize, n_sets: usize, s: f64) -> Self {
+        assert!((0.0..=1.0).contains(&s), "storage budget s={s} outside [0,1]");
+        assert!(n_sets > 0, "budget needs at least one set");
+        BudgetPlan {
+            base_bytes,
+            n_sets,
+            s,
+        }
+    }
+
+    /// Total sketch bytes allowed.
+    #[inline]
+    pub fn budget_bytes(&self) -> usize {
+        (self.base_bytes as f64 * self.s) as usize
+    }
+
+    /// Bytes available per set.
+    #[inline]
+    pub fn bytes_per_set(&self) -> usize {
+        self.budget_bytes() / self.n_sets
+    }
+
+    /// Bloom parameters: the largest whole-word bit count fitting the
+    /// budget (at least one word — a sketch of zero bits is useless), with
+    /// the caller-chosen number of hash functions `b`.
+    pub fn bloom(&self, b: usize) -> SketchParams {
+        assert!(b > 0);
+        let bits = (self.bytes_per_set() * 8) / 64 * 64;
+        SketchParams::Bloom {
+            bits_per_set: bits.max(64),
+            b,
+        }
+    }
+
+    /// k-hash parameters: `k` = number of 4-byte signature slots that fit.
+    pub fn khash(&self) -> SketchParams {
+        SketchParams::KHash {
+            k: (self.bytes_per_set() / 4).max(1),
+        }
+    }
+
+    /// 1-hash / bottom-k parameters: `k` = number of 8-byte slots (element
+    /// + precomputed hash, i.e. Table I's `W·k` bits with `W = 64`), after
+    /// deducting the 8 bytes/set of collection bookkeeping (offset + exact
+    /// size) so sparse graphs stay inside the budget too.
+    pub fn onehash(&self) -> SketchParams {
+        SketchParams::OneHash {
+            k: (self.bytes_per_set().saturating_sub(8) / 8).max(1),
+        }
+    }
+
+    /// KMV parameters: `k` = number of 8-byte hash values, after deducting
+    /// the ~24 bytes of per-sketch bookkeeping ([`crate::KmvSketch`] stores
+    /// its length/k/size words individually rather than flat).
+    pub fn kmv(&self) -> SketchParams {
+        SketchParams::Kmv {
+            k: (self.bytes_per_set().saturating_sub(24) / 8).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_scales_linearly() {
+        let p10 = BudgetPlan::new(1_000_000, 1000, 0.10);
+        let p33 = BudgetPlan::new(1_000_000, 1000, 0.33);
+        assert_eq!(p10.budget_bytes(), 100_000);
+        assert_eq!(p33.budget_bytes(), 330_000);
+        assert!(p33.bytes_per_set() > 3 * p10.bytes_per_set() - 8);
+    }
+
+    #[test]
+    fn bloom_bits_are_word_multiples() {
+        let p = BudgetPlan::new(1_000_000, 777, 0.25);
+        if let SketchParams::Bloom { bits_per_set, b } = p.bloom(2) {
+            assert_eq!(bits_per_set % 64, 0);
+            assert_eq!(b, 2);
+            // Must not exceed the per-set byte budget (mod word rounding).
+            assert!(bits_per_set / 8 <= p.bytes_per_set().max(8));
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn tiny_budgets_floor_at_minimum_sizes() {
+        let p = BudgetPlan::new(100, 1000, 0.01); // ~0 bytes per set
+        assert_eq!(p.bloom(1), SketchParams::Bloom { bits_per_set: 64, b: 1 });
+        assert_eq!(p.khash(), SketchParams::KHash { k: 1 });
+        assert_eq!(p.kmv(), SketchParams::Kmv { k: 1 });
+    }
+
+    #[test]
+    fn onehash_has_half_the_slots_of_khash() {
+        // k-hash signatures store one u32 per slot; bottom-k stores the
+        // element plus its precomputed hash (Table I: W·k bits, W = 64),
+        // plus 8 bytes/set of bookkeeping.
+        let p = BudgetPlan::new(8_000_000, 2000, 0.2);
+        let (SketchParams::KHash { k: k1 }, SketchParams::OneHash { k: k2 }) =
+            (p.khash(), p.onehash())
+        else {
+            panic!("wrong variants")
+        };
+        assert_eq!(k2, (p.bytes_per_set() - 8) / 8);
+        assert!(k1 / 2 >= k2 - 1 && k1 / 2 <= k2 + 2);
+    }
+
+    #[test]
+    fn kmv_gets_about_half_the_slots() {
+        let p = BudgetPlan::new(8_000_000, 2000, 0.2);
+        let (SketchParams::KHash { k: kh }, SketchParams::Kmv { k: kk }) = (p.khash(), p.kmv())
+        else {
+            panic!("wrong variants")
+        };
+        // 8-byte vs 4-byte slots, minus the 24-byte bookkeeping deduction.
+        assert_eq!(kk, (p.bytes_per_set() - 24) / 8);
+        assert!(kh / 2 - kk <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn rejects_bad_budget() {
+        BudgetPlan::new(100, 10, 1.5);
+    }
+}

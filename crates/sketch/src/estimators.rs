@@ -1,0 +1,261 @@
+//! The `|X|` and `|X ∩ Y|` estimators of the paper, as pure functions of
+//! the observable sketch statistics.
+//!
+//! Keeping the arithmetic separate from the data structures makes each
+//! formula independently testable against the paper's equations, and lets
+//! the flat [`crate::BloomCollection`]-style containers share one
+//! implementation with the standalone sketch types.
+//!
+//! | Function | Paper reference |
+//! |---|---|
+//! | [`bf_size_swamidass`] | Eq. (1), with the `B̃_{X,1}` divergence fix of App. C-3 |
+//! | [`bf_size_papapetrou`] | existing estimator \[110, 111\] used as a baseline in §VIII |
+//! | [`bf_intersect_and`] | Eq. (2), the new `|X∩Y|_AND` estimator |
+//! | [`bf_intersect_limit`] | Eq. (4), the limiting estimator `B_{X∩Y,1}/b` |
+//! | [`bf_intersect_or`] | Eq. (29), the Swamidass OR estimator |
+//! | [`mh_jaccard`] | `Ĵ = |M_X ∩ M_Y| / k` (§IV-C / §IV-D) |
+//! | [`jaccard_to_intersection`] | Eq. (5), `Ĵ/(1+Ĵ) · (|X|+|Y|)` |
+//! | [`kmv_size`] | `(k−1)/max K_X` (§IX) |
+//! | [`kmv_intersection`] | Eq. (41), `|X|+|Y|−|X∪Y|_KMV` |
+
+/// Swamidass–Baldi single-set estimator (Eq. 1):
+/// `|X|̂ = −(B/b)·ln(1 − B₁/B)`.
+///
+/// Implements the divergence fix of Appendix C-3: a completely full filter
+/// (`B₁ = B`) is treated as `B₁ = B − 1` so the estimate stays finite.
+pub fn bf_size_swamidass(ones: usize, bits: usize, b: usize) -> f64 {
+    assert!(b > 0, "Bloom filter needs at least one hash function");
+    assert!(ones <= bits, "ones={ones} exceeds bits={bits}");
+    if bits == 0 || ones == 0 {
+        return 0.0;
+    }
+    let ones_tilde = if ones == bits { ones - 1 } else { ones };
+    let bx = bits as f64;
+    -(bx / b as f64) * (1.0 - ones_tilde as f64 / bx).ln()
+}
+
+/// Pre-existing Bloom-filter cardinality estimator of Papapetrou et
+/// al. \[110\]: `|X|̂ = −ln(1 − B₁/B) / (b·ln(1 − 1/B))`, compared against
+/// in §VIII-A of the paper. Uses the same saturation fix as
+/// [`bf_size_swamidass`].
+pub fn bf_size_papapetrou(ones: usize, bits: usize, b: usize) -> f64 {
+    assert!(b > 0);
+    assert!(ones <= bits);
+    if bits <= 1 || ones == 0 {
+        return 0.0;
+    }
+    let ones_tilde = if ones == bits { ones - 1 } else { ones };
+    let bx = bits as f64;
+    (1.0 - ones_tilde as f64 / bx).ln() / (b as f64 * (1.0 - 1.0 / bx).ln())
+}
+
+/// The paper's new AND estimator (Eq. 2): apply Eq. (1) to the bitwise AND
+/// of the two filters. `and_ones = B_{X∩Y,1}` is the popcount of
+/// `B_X AND B_Y`.
+#[inline]
+pub fn bf_intersect_and(and_ones: usize, bits: usize, b: usize) -> f64 {
+    bf_size_swamidass(and_ones, bits, b)
+}
+
+/// The limiting estimator (Eq. 4): `|X∩Y|̂_L = B_{X∩Y,1} / b`, i.e. the
+/// `B → ∞` limit of Eq. (2). Cheaper (no `ln`) and — per §VIII-B — often
+/// preferable on dense graphs where the AND estimator's rescaling
+/// over-corrects.
+#[inline]
+pub fn bf_intersect_limit(and_ones: usize, b: usize) -> f64 {
+    assert!(b > 0);
+    and_ones as f64 / b as f64
+}
+
+/// The OR estimator (Eq. 29, from Swamidass et al.):
+/// `|X∩Y|̂_OR = |X| + |Y| + (B/b)·ln(1 − B_{X∪Y,1}/B)`, using the exact set
+/// sizes (degrees are free in a CSR graph) and the popcount of the OR-ed
+/// filters.
+pub fn bf_intersect_or(or_ones: usize, bits: usize, b: usize, nx: usize, ny: usize) -> f64 {
+    assert!(b > 0);
+    assert!(or_ones <= bits);
+    if bits == 0 {
+        return 0.0;
+    }
+    let ones_tilde = if or_ones == bits { or_ones - 1 } else { or_ones };
+    let bx = bits as f64;
+    nx as f64 + ny as f64 + (bx / b as f64) * (1.0 - ones_tilde as f64 / bx).ln()
+}
+
+/// MinHash Jaccard estimator `Ĵ = matches / k` — unbiased for both the
+/// k-hash variant (`matches` = number of hash functions whose minima
+/// coincide, Binomial(k, J)) and the 1-hash variant (`matches` =
+/// `|M¹_X ∩ M¹_Y|`, hypergeometric), §IV-C/§IV-D.
+#[inline]
+pub fn mh_jaccard(matches: usize, k: usize) -> f64 {
+    assert!(k > 0, "MinHash needs k ≥ 1");
+    debug_assert!(matches <= k);
+    matches as f64 / k as f64
+}
+
+/// Converts a Jaccard estimate into an intersection-cardinality estimate
+/// (Eq. 5): `|X∩Y|̂ = Ĵ/(1+Ĵ) · (|X| + |Y|)`.
+///
+/// Exact identity when `Ĵ` is the true Jaccard:
+/// `J/(1+J)·(|X|+|Y|) = |X∩Y|` because `|X|+|Y| = |X∪Y| + |X∩Y|`.
+#[inline]
+pub fn jaccard_to_intersection(jaccard: f64, nx: usize, ny: usize) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&jaccard));
+    jaccard / (1.0 + jaccard) * (nx + ny) as f64
+}
+
+/// KMV distinct-count estimator (Eq. 39): `|X|̂ = (k−1) / max(K_X)` where
+/// `max(K_X)` is the k-th smallest unit-interval hash. `k` here is the
+/// *realized* sketch size (≤ the configured k for small sets).
+pub fn kmv_size(kth_smallest: f64, k: usize) -> f64 {
+    assert!(
+        kth_smallest > 0.0 && kth_smallest <= 1.0,
+        "KMV hash {kth_smallest} outside (0,1]"
+    );
+    if k <= 1 {
+        // Degenerate sketch: no information beyond "non-empty".
+        return if k == 1 { 1.0 } else { 0.0 };
+    }
+    (k - 1) as f64 / kth_smallest
+}
+
+/// KMV intersection estimator with known set sizes (Eq. 41):
+/// `|X∩Y|̂ = |X| + |Y| − |X∪Y|̂_KMV`.
+#[inline]
+pub fn kmv_intersection(nx: usize, ny: usize, union_estimate: f64) -> f64 {
+    nx as f64 + ny as f64 - union_estimate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swamidass_zero_ones_is_zero() {
+        assert_eq!(bf_size_swamidass(0, 1024, 2), 0.0);
+    }
+
+    #[test]
+    fn swamidass_saturated_is_finite() {
+        let e = bf_size_swamidass(1024, 1024, 1);
+        assert!(e.is_finite());
+        // ln(1024) scaling: −B·ln(1/B) = B·ln B.
+        assert!((e - 1024.0 * 1024f64.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn swamidass_tracks_small_loads() {
+        // With few elements and a large filter, ones ≈ b·|X| and the
+        // estimator should be close to |X|.
+        let bits = 1 << 20;
+        let b = 2;
+        let true_size = 100;
+        let ones = b * true_size; // no collisions in this regime
+        let est = bf_size_swamidass(ones, bits, b);
+        assert!((est - true_size as f64).abs() < 0.5, "est={est}");
+    }
+
+    #[test]
+    fn swamidass_monotone_in_ones() {
+        let mut prev = -1.0;
+        for ones in (0..=4096).step_by(64) {
+            let e = bf_size_swamidass(ones, 4096, 4);
+            assert!(e >= prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn papapetrou_close_to_swamidass_for_large_filters() {
+        // ln(1−1/B) ≈ −1/B, so the two agree as B grows.
+        let (ones, bits, b) = (5000, 1 << 16, 2);
+        let s = bf_size_swamidass(ones, bits, b);
+        let p = bf_size_papapetrou(ones, bits, b);
+        assert!((s - p).abs() / s < 1e-3, "s={s} p={p}");
+    }
+
+    #[test]
+    fn limit_estimator_is_linear() {
+        assert_eq!(bf_intersect_limit(12, 4), 3.0);
+        assert_eq!(bf_intersect_limit(0, 4), 0.0);
+    }
+
+    #[test]
+    fn and_estimator_approaches_limit_for_huge_filters() {
+        // Eq. (4): as B→∞ with ones fixed, AND → ones/b.
+        let ones = 64;
+        let b = 2;
+        let small = bf_intersect_and(ones, 1 << 10, b);
+        let large = bf_intersect_and(ones, 1 << 24, b);
+        let limit = bf_intersect_limit(ones, b);
+        assert!((large - limit).abs() < (small - limit).abs());
+        assert!((large - limit).abs() < 1e-2);
+    }
+
+    #[test]
+    fn or_estimator_recovers_disjoint_and_nested_sets() {
+        // Perfect-hash idealization: |X|=30, |Y|=50 with no collisions.
+        let bits = 1 << 20;
+        let b = 1;
+        // Disjoint: union has 80 ones -> intersection ≈ 0.
+        let disjoint = bf_intersect_or(80, bits, b, 30, 50);
+        assert!(disjoint.abs() < 0.1, "disjoint={disjoint}");
+        // Nested (X ⊆ Y): union has 50 ones -> intersection ≈ 30.
+        let nested = bf_intersect_or(50, bits, b, 30, 50);
+        assert!((nested - 30.0).abs() < 0.1, "nested={nested}");
+    }
+
+    #[test]
+    fn jaccard_identity_is_exact() {
+        // For true J the Eq. (5) transform is an identity.
+        let nx = 40;
+        let ny = 60;
+        let inter = 20;
+        let union = nx + ny - inter;
+        let j = inter as f64 / union as f64;
+        let est = jaccard_to_intersection(j, nx, ny);
+        assert!((est - inter as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_edge_values() {
+        assert_eq!(jaccard_to_intersection(0.0, 10, 20), 0.0);
+        // J = 1 ⇒ X = Y ⇒ intersection = |X| = |Y|.
+        assert!((jaccard_to_intersection(1.0, 15, 15) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mh_jaccard_fraction() {
+        assert_eq!(mh_jaccard(3, 12), 0.25);
+        assert_eq!(mh_jaccard(0, 12), 0.0);
+        assert_eq!(mh_jaccard(12, 12), 1.0);
+    }
+
+    #[test]
+    fn kmv_size_basics() {
+        // If the k-th smallest of n uniform hashes is at its expectation
+        // k/(n+1), the estimate is (k−1)(n+1)/k ≈ n.
+        let n = 1000.0;
+        let k = 100;
+        let kth = k as f64 / (n + 1.0);
+        let est = kmv_size(kth, k);
+        assert!((est - n).abs() < 0.02 * n, "est={est}");
+    }
+
+    #[test]
+    fn kmv_degenerate_k() {
+        assert_eq!(kmv_size(0.5, 0), 0.0);
+        assert_eq!(kmv_size(0.5, 1), 1.0);
+    }
+
+    #[test]
+    fn kmv_intersection_inclusion_exclusion() {
+        assert_eq!(kmv_intersection(30, 50, 60.0), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds bits")]
+    fn swamidass_rejects_bad_counts() {
+        bf_size_swamidass(10, 5, 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! HyperLogLog — the "beyond BF and MH" extension (§X of the paper).
+//!
+//! §X notes that *"ProbGraph embraces such data structures: while we focus
+//! on BF and MH, one could easily extend ProbGraph with other structures"*
+//! and names HyperLogLog explicitly. This module provides that extension:
+//! a standard HLL with the Flajolet et al. bias correction and
+//! linear-counting small-range correction, plus lossless merging, so
+//! `|X∩Y|` can be estimated by inclusion–exclusion exactly like KMV.
+
+use pg_hash::HashFamily;
+
+/// A HyperLogLog cardinality sketch with `2^precision` registers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HyperLogLog {
+    registers: Vec<u8>,
+    precision: u8,
+    seed: u64,
+}
+
+impl HyperLogLog {
+    /// Creates an empty sketch. `precision` must lie in `4..=16`
+    /// (16 registers … 64 Ki registers; standard HLL range).
+    pub fn new(precision: u8, seed: u64) -> Self {
+        assert!(
+            (4..=16).contains(&precision),
+            "precision {precision} outside 4..=16"
+        );
+        HyperLogLog {
+            registers: vec![0u8; 1 << precision],
+            precision,
+            seed,
+        }
+    }
+
+    /// Builds a sketch directly from a set of items.
+    pub fn from_set(items: &[u32], precision: u8, seed: u64) -> Self {
+        let mut h = Self::new(precision, seed);
+        for &x in items {
+            h.insert(x);
+        }
+        h
+    }
+
+    /// Number of registers `m = 2^precision`.
+    #[inline]
+    pub fn num_registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Inserts one item.
+    pub fn insert(&mut self, item: u32) {
+        let family = HashFamily::new(1, self.seed);
+        let h = family.hash64(0, item as u64);
+        self.insert_hash(h);
+    }
+
+    #[inline]
+    fn insert_hash(&mut self, h: u64) {
+        let p = self.precision as u32;
+        let idx = (h >> (64 - p)) as usize;
+        let rest = h << p;
+        // Rank: position of the leftmost 1 in the remaining bits, 1-based;
+        // all-zero rest gets the maximum rank.
+        let rank = (rest.leading_zeros() + 1).min(64 - p + 1) as u8;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    fn alpha(m: usize) -> f64 {
+        match m {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m as f64),
+        }
+    }
+
+    /// Estimated cardinality with small-range (linear counting) correction.
+    pub fn estimate(&self) -> f64 {
+        let m = self.num_registers() as f64;
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-(r as i32)))
+            .sum();
+        let raw = Self::alpha(self.num_registers()) * m * m / sum;
+        if raw <= 2.5 * m {
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    /// Lossless merge: register-wise maximum. Panics on mismatched
+    /// precision or seed (sketches would not be comparable).
+    pub fn merge(&self, other: &HyperLogLog) -> HyperLogLog {
+        assert_eq!(self.precision, other.precision, "precision mismatch");
+        assert_eq!(self.seed, other.seed, "seed mismatch");
+        HyperLogLog {
+            registers: self
+                .registers
+                .iter()
+                .zip(&other.registers)
+                .map(|(&a, &b)| a.max(b))
+                .collect(),
+            precision: self.precision,
+            seed: self.seed,
+        }
+    }
+
+    /// `|X∩Y|̂` by inclusion–exclusion: `|X|̂ + |Y|̂ − |X∪Y|̂`, clamped at 0.
+    pub fn estimate_intersection(&self, other: &HyperLogLog) -> f64 {
+        (self.estimate() + other.estimate() - self.merge(other).estimate()).max(0.0)
+    }
+
+    /// Bytes of sketch storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.registers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let h = HyperLogLog::new(10, 1);
+        assert!(h.estimate() < 1e-9);
+    }
+
+    #[test]
+    fn small_range_uses_linear_counting() {
+        let items: Vec<u32> = (0..100).collect();
+        let h = HyperLogLog::from_set(&items, 12, 3);
+        let est = h.estimate();
+        assert!((est - 100.0).abs() < 10.0, "est={est}");
+    }
+
+    #[test]
+    fn large_range_accuracy() {
+        let items: Vec<u32> = (0..200_000).collect();
+        let h = HyperLogLog::from_set(&items, 12, 3);
+        let est = h.estimate();
+        // Standard error ≈ 1.04/√m ≈ 1.6 % at p=12; allow 6 %.
+        assert!((est - 200_000.0).abs() < 0.06 * 200_000.0, "est={est}");
+    }
+
+    #[test]
+    fn merge_equals_union_build() {
+        let x: Vec<u32> = (0..5000).collect();
+        let y: Vec<u32> = (2500..7500).collect();
+        let hx = HyperLogLog::from_set(&x, 10, 7);
+        let hy = HyperLogLog::from_set(&y, 10, 7);
+        let union: Vec<u32> = (0..7500).collect();
+        let hu = HyperLogLog::from_set(&union, 10, 7);
+        assert_eq!(hx.merge(&hy), hu);
+    }
+
+    #[test]
+    fn intersection_estimate_ballpark() {
+        let x: Vec<u32> = (0..20_000).collect();
+        let y: Vec<u32> = (10_000..30_000).collect(); // true inter = 10_000
+        let hx = HyperLogLog::from_set(&x, 14, 5);
+        let hy = HyperLogLog::from_set(&y, 14, 5);
+        let i = hx.estimate_intersection(&hy);
+        // Inclusion-exclusion amplifies relative error; 30 % is realistic.
+        assert!((i - 10_000.0).abs() < 3000.0, "i={i}");
+    }
+
+    #[test]
+    #[should_panic(expected = "precision mismatch")]
+    fn merge_rejects_mismatched_precision() {
+        let a = HyperLogLog::new(10, 1);
+        let b = HyperLogLog::new(11, 1);
+        let _ = a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 4..=16")]
+    fn rejects_bad_precision() {
+        HyperLogLog::new(2, 0);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut a = HyperLogLog::new(8, 2);
+        for _ in 0..100 {
+            a.insert(42);
+        }
+        let single = HyperLogLog::from_set(&[42], 8, 2);
+        assert_eq!(a, single);
+        assert!((a.estimate() - 1.0).abs() < 0.1);
+    }
+}

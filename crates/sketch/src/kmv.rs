@@ -1,0 +1,256 @@
+//! K-Minimum-Values sketches (§IX of the paper).
+//!
+//! Unlike bottom-k MinHash, a KMV sketch stores the *hash values*
+//! (unit-interval reals), not the elements. `|X|̂ = (k−1)/max(K_X)`, the
+//! union sketch is the k smallest of `K_X ∪ K_Y`, and the intersection
+//! follows by inclusion–exclusion (Eq. 40/41). Concentration bounds for
+//! these estimators are Prop. A.7–A.9.
+
+use crate::estimators;
+use pg_hash::HashFamily;
+
+/// A KMV sketch: up to `k` smallest unit-interval hashes, ascending.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KmvSketch {
+    hashes: Vec<f64>,
+    k: usize,
+    set_size: usize,
+}
+
+impl KmvSketch {
+    /// Builds the sketch of `items` with parameter `k`, hash seeded from
+    /// `seed`. Comparable only across sketches with equal `seed`.
+    pub fn from_set(items: &[u32], k: usize, seed: u64) -> Self {
+        assert!(k > 0, "KMV needs k ≥ 1");
+        let family = HashFamily::new(1, seed);
+        let mut hashes: Vec<f64> = items.iter().map(|&x| family.unit(0, x as u64)).collect();
+        hashes.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        hashes.dedup();
+        hashes.truncate(k);
+        KmvSketch {
+            hashes,
+            k,
+            set_size: items.len(),
+        }
+    }
+
+    /// Configured `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The stored hash values, ascending.
+    #[inline]
+    pub fn hashes(&self) -> &[f64] {
+        &self.hashes
+    }
+
+    /// Exact input-set size recorded at build time.
+    #[inline]
+    pub fn set_size(&self) -> usize {
+        self.set_size
+    }
+
+    /// True when the sketch saw the whole set (`|X| ≤ k`).
+    #[inline]
+    pub fn is_exact(&self) -> bool {
+        self.hashes.len() < self.k || self.set_size <= self.k
+    }
+
+    /// `|X|̂_KMV = (k−1)/max(K_X)` (Eq. 39); exact count when the sketch is
+    /// lossless.
+    pub fn estimate_size(&self) -> f64 {
+        if self.hashes.is_empty() {
+            return 0.0;
+        }
+        if self.is_exact() {
+            return self.hashes.len() as f64;
+        }
+        estimators::kmv_size(*self.hashes.last().unwrap(), self.hashes.len())
+    }
+
+    /// The union sketch `K_{X∪Y}`: k smallest of the merged hash lists
+    /// (`k = min(k_X, k_Y)` as §IX prescribes).
+    pub fn union(&self, other: &KmvSketch) -> KmvSketch {
+        let k = self.k.min(other.k);
+        let mut merged = Vec::with_capacity(self.hashes.len() + other.hashes.len());
+        let (a, b) = (&self.hashes, &other.hashes);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i] < b[j] {
+                merged.push(a[i]);
+                i += 1;
+            } else if b[j] < a[i] {
+                merged.push(b[j]);
+                j += 1;
+            } else {
+                // Same hash = same element (same hash function).
+                merged.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        merged.truncate(k);
+        // The union's true size is unknown in general; mark it exact only
+        // when both inputs were lossless.
+        let exact = self.is_exact() && other.is_exact();
+        let set_size = if exact { merged.len() } else { usize::MAX };
+        KmvSketch {
+            hashes: merged,
+            k,
+            set_size,
+        }
+    }
+
+    /// `|X∪Y|̂_KMV = (k−1)/max(K_{X∪Y})` (§IX).
+    pub fn estimate_union_size(&self, other: &KmvSketch) -> f64 {
+        self.union(other).estimate_size()
+    }
+
+    /// `|X∩Y|̂_K` with exact set sizes (Eq. 41):
+    /// `|X| + |Y| − |X∪Y|̂`, clamped below at 0.
+    pub fn estimate_intersection(&self, other: &KmvSketch) -> f64 {
+        let u = self.estimate_union_size(other);
+        estimators::kmv_intersection(self.set_size, other.set_size, u).max(0.0)
+    }
+}
+
+/// All KMV sketches of a ProbGraph representation (flat storage).
+#[derive(Clone, Debug)]
+pub struct KmvCollection {
+    sketches: Vec<KmvSketch>,
+}
+
+impl KmvCollection {
+    /// Builds sketches for `n_sets` sets in parallel.
+    pub fn build<'a, F>(n_sets: usize, k: usize, seed: u64, set: F) -> Self
+    where
+        F: Fn(usize) -> &'a [u32] + Sync,
+    {
+        let sketches = pg_parallel::parallel_init(n_sets, |s| KmvSketch::from_set(set(s), k, seed));
+        KmvCollection { sketches }
+    }
+
+    /// Number of sketches.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// True when the collection holds no sketches.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sketches.is_empty()
+    }
+
+    /// The sketch of set `i`.
+    #[inline]
+    pub fn sketch(&self, i: usize) -> &KmvSketch {
+        &self.sketches[i]
+    }
+
+    /// `|X∩Y|̂_K` between sets `i` and `j`.
+    #[inline]
+    pub fn estimate_intersection(&self, i: usize, j: usize) -> f64 {
+        self.sketches[i].estimate_intersection(&self.sketches[j])
+    }
+
+    /// Bytes of sketch storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.sketches
+            .iter()
+            .map(|s| s.hashes.len() * 8 + 24)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_estimate_large_set() {
+        let x: Vec<u32> = (0..10_000).collect();
+        let s = KmvSketch::from_set(&x, 256, 3);
+        let est = s.estimate_size();
+        assert!((est - 10_000.0).abs() < 1500.0, "est={est}");
+    }
+
+    #[test]
+    fn small_set_is_exact() {
+        let x = [1u32, 5, 7];
+        let s = KmvSketch::from_set(&x, 64, 1);
+        assert!(s.is_exact());
+        assert_eq!(s.estimate_size(), 3.0);
+    }
+
+    #[test]
+    fn hashes_sorted_and_bounded() {
+        let x: Vec<u32> = (0..500).collect();
+        let s = KmvSketch::from_set(&x, 32, 9);
+        assert_eq!(s.hashes().len(), 32);
+        assert!(s.hashes().windows(2).all(|w| w[0] < w[1]));
+        assert!(s.hashes().iter().all(|&h| h > 0.0 && h <= 1.0));
+    }
+
+    #[test]
+    fn union_of_identical_sets_is_same_sketch() {
+        let x: Vec<u32> = (0..300).collect();
+        let a = KmvSketch::from_set(&x, 32, 4);
+        let u = a.union(&a);
+        assert_eq!(u.hashes(), a.hashes());
+    }
+
+    #[test]
+    fn union_size_estimate() {
+        let x: Vec<u32> = (0..3000).collect();
+        let y: Vec<u32> = (1500..4500).collect(); // |union| = 4500
+        let a = KmvSketch::from_set(&x, 256, 4);
+        let b = KmvSketch::from_set(&y, 256, 4);
+        let u = a.estimate_union_size(&b);
+        assert!((u - 4500.0).abs() < 700.0, "u={u}");
+    }
+
+    #[test]
+    fn intersection_estimate() {
+        let x: Vec<u32> = (0..3000).collect();
+        let y: Vec<u32> = (1500..4500).collect(); // |inter| = 1500
+        let a = KmvSketch::from_set(&x, 512, 4);
+        let b = KmvSketch::from_set(&y, 512, 4);
+        let i = a.estimate_intersection(&b);
+        assert!((i - 1500.0).abs() < 600.0, "i={i}");
+    }
+
+    #[test]
+    fn disjoint_intersection_clamped_nonnegative() {
+        let x: Vec<u32> = (0..1000).collect();
+        let y: Vec<u32> = (5000..6000).collect();
+        let a = KmvSketch::from_set(&x, 128, 2);
+        let b = KmvSketch::from_set(&y, 128, 2);
+        assert!(a.estimate_intersection(&b) >= 0.0);
+        assert!(a.estimate_intersection(&b) < 300.0);
+    }
+
+    #[test]
+    fn empty_set_estimates_zero() {
+        let e = KmvSketch::from_set(&[], 16, 1);
+        assert_eq!(e.estimate_size(), 0.0);
+    }
+
+    #[test]
+    fn collection_consistent_with_standalone() {
+        let sets: Vec<Vec<u32>> = (0..20)
+            .map(|s| (0..100 + s * 10).map(|i| (i * 7 + s) as u32).collect())
+            .collect();
+        let col = KmvCollection::build(sets.len(), 32, 6, |i| &sets[i][..]);
+        let a = KmvSketch::from_set(&sets[2], 32, 6);
+        assert_eq!(col.sketch(2), &a);
+        let b = KmvSketch::from_set(&sets[9], 32, 6);
+        assert!(
+            (col.estimate_intersection(2, 9) - a.estimate_intersection(&b)).abs() < 1e-12
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # pg-sketch — probabilistic set representations and their estimators
+//!
+//! The core data structures of the ProbGraph paper (§II-D, §IV, §IX):
+//!
+//! * [`BitVec`] — the SIMD-friendly bit vector under every Bloom filter,
+//!   with the fused AND+popcount kernel of Fig. 1 panel 3.
+//! * [`BloomFilter`] / [`BloomCollection`] — Bloom filters with `b` seeded
+//!   hash functions; the collection form stores all per-vertex filters in
+//!   one flat word array (identical fixed size per set — the paper's load
+//!   balancing argument).
+//! * [`MinHashSignature`] / [`MinHashCollection`] — the k-hash MinHash
+//!   variant: `k` independent hash functions, one minimum per function.
+//! * [`BottomK`] / [`BottomKCollection`] — the 1-hash variant: a single
+//!   hash function, the `k` elements with smallest hashes.
+//! * [`KmvSketch`] — K-Minimum-Values (§IX), storing unit-interval hashes.
+//! * [`HyperLogLog`] — the §X extension beyond BF and MH.
+//! * [`estimators`] — every `|X|` and `|X ∩ Y|` estimator of the paper as a
+//!   pure function: Swamidass (Eq. 1), AND (Eq. 2), the limiting estimator
+//!   (Eq. 4), OR (Eq. 29), k-hash (Eq. 5), 1-hash (§IV-D), KMV (Eq. 40/41),
+//!   plus the pre-existing Papapetrou baseline the paper compares against.
+//! * [`budget`] — the storage-budget parameter `s` (§V-A): converts a
+//!   fraction of the CSR footprint into per-set sketch parameters.
+//!
+//! Sketches of *sets of `u32` vertex IDs* are the only case ProbGraph
+//! needs, so all APIs take sorted `&[u32]` sets; everything generalizes to
+//! arbitrary hashable items by pre-hashing to IDs.
+
+pub mod bitvec;
+pub mod bloom;
+pub mod bottomk;
+pub mod budget;
+pub mod estimators;
+pub mod hyperloglog;
+pub mod kmv;
+pub mod minhash;
+
+pub use bitvec::BitVec;
+pub use bloom::{BloomCollection, BloomFilter};
+pub use bottomk::{BottomK, BottomKCollection};
+pub use budget::{BudgetPlan, SketchParams};
+pub use hyperloglog::HyperLogLog;
+pub use kmv::{KmvCollection, KmvSketch};
+pub use minhash::{MinHashCollection, MinHashSignature};

@@ -1,0 +1,269 @@
+//! MinHash, k-hash variant (§II-D, §IV-C of the paper).
+//!
+//! A signature keeps, for each of `k` independent hash functions, the
+//! element of the set with the smallest hash under that function. The
+//! number of positions where two signatures agree is `|M_X ∩ M_Y|` in the
+//! paper's notation and follows `Binomial(k, J(X,Y))`, which makes
+//! `Ĵ = matches/k` unbiased and the Eq. (5) intersection estimator an MLE
+//! (Table II).
+
+use crate::estimators;
+use pg_hash::HashFamily;
+use pg_parallel::parallel_for;
+
+/// Sentinel signature entry for "set was empty under this function".
+const EMPTY: u32 = u32::MAX;
+
+/// A k-hash MinHash signature of one set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinHashSignature {
+    mins: Vec<u32>,
+}
+
+impl MinHashSignature {
+    /// Builds the signature of `items` under `k` functions seeded from
+    /// `seed`. Two signatures are only comparable when built with the same
+    /// `k` and `seed`.
+    pub fn from_set(items: &[u32], k: usize, seed: u64) -> Self {
+        let family = HashFamily::new(k, seed);
+        let mut mins = vec![EMPTY; k];
+        let mut best = vec![u32::MAX; k];
+        for &x in items {
+            for i in 0..k {
+                let h = family.hash32(i, x as u64);
+                // Tie-break on the element ID so construction order never
+                // matters (determinism under parallel construction).
+                if h < best[i] || (h == best[i] && x < mins[i]) {
+                    best[i] = h;
+                    mins[i] = x;
+                }
+            }
+        }
+        MinHashSignature { mins }
+    }
+
+    /// Number of hash functions `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// The per-function minima (sentinel `u32::MAX` for an empty set).
+    #[inline]
+    pub fn mins(&self) -> &[u32] {
+        &self.mins
+    }
+
+    /// `|M_X ∩ M_Y|`: positions where the minima agree.
+    pub fn matches(&self, other: &MinHashSignature) -> usize {
+        assert_eq!(self.k(), other.k(), "signatures differ in k");
+        self.mins
+            .iter()
+            .zip(&other.mins)
+            .filter(|(a, b)| a == b && **a != EMPTY)
+            .count()
+    }
+
+    /// `Ĵ_kH = |M_X ∩ M_Y| / k`.
+    pub fn estimate_jaccard(&self, other: &MinHashSignature) -> f64 {
+        estimators::mh_jaccard(self.matches(other), self.k())
+    }
+
+    /// `|X∩Y|̂_kH` (Eq. 5); needs the exact set sizes.
+    pub fn estimate_intersection(&self, other: &MinHashSignature, nx: usize, ny: usize) -> f64 {
+        estimators::jaccard_to_intersection(self.estimate_jaccard(other), nx, ny)
+    }
+}
+
+/// All k-hash signatures of a ProbGraph representation, flat in one array
+/// (`n_sets × k` entries of 4 bytes — Table I: `W·k` bits per set).
+#[derive(Clone, Debug)]
+pub struct MinHashCollection {
+    sigs: Vec<u32>,
+    k: usize,
+}
+
+impl MinHashCollection {
+    /// Builds signatures for `n_sets` sets in parallel; `set(i)` returns the
+    /// i-th input set.
+    pub fn build<'a, F>(n_sets: usize, k: usize, seed: u64, set: F) -> Self
+    where
+        F: Fn(usize) -> &'a [u32] + Sync,
+    {
+        assert!(k > 0, "MinHash needs k ≥ 1");
+        let family = HashFamily::new(k, seed);
+        let mut sigs = vec![EMPTY; n_sets * k];
+        {
+            struct SendPtr(*mut u32);
+            unsafe impl Send for SendPtr {}
+            unsafe impl Sync for SendPtr {}
+            let base = SendPtr(sigs.as_mut_ptr());
+            let base = &base;
+            let family = &family;
+            parallel_for(n_sets, |s| {
+                // SAFETY: window [s*k, (s+1)*k) is exclusive to set s.
+                let window = unsafe { std::slice::from_raw_parts_mut(base.0.add(s * k), k) };
+                let mut best = vec![u32::MAX; k];
+                for &x in set(s) {
+                    for i in 0..k {
+                        let h = family.hash32(i, x as u64);
+                        if h < best[i] || (h == best[i] && x < window[i]) {
+                            best[i] = h;
+                            window[i] = x;
+                        }
+                    }
+                }
+            });
+        }
+        MinHashCollection { sigs, k }
+    }
+
+    /// Number of signatures.
+    #[inline]
+    pub fn len(&self) -> usize {
+        if self.k == 0 {
+            0
+        } else {
+            self.sigs.len() / self.k
+        }
+    }
+
+    /// True when the collection holds no signatures.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The number of hash functions `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Signature window of set `i`.
+    #[inline]
+    pub fn signature(&self, i: usize) -> &[u32] {
+        &self.sigs[i * self.k..(i + 1) * self.k]
+    }
+
+    /// `|M_X ∩ M_Y|` between sets `i` and `j` — the `O(k)` kernel of
+    /// Table IV.
+    #[inline]
+    pub fn matches(&self, i: usize, j: usize) -> usize {
+        let a = self.signature(i);
+        let b = self.signature(j);
+        let mut c = 0usize;
+        for t in 0..self.k {
+            c += usize::from(a[t] == b[t] && a[t] != EMPTY);
+        }
+        c
+    }
+
+    /// `Ĵ_kH` between sets `i` and `j`.
+    #[inline]
+    pub fn estimate_jaccard(&self, i: usize, j: usize) -> f64 {
+        estimators::mh_jaccard(self.matches(i, j), self.k)
+    }
+
+    /// `|X∩Y|̂_kH` (Eq. 5) between sets `i` and `j` with exact sizes.
+    #[inline]
+    pub fn estimate_intersection(&self, i: usize, j: usize, nx: usize, ny: usize) -> f64 {
+        estimators::jaccard_to_intersection(self.estimate_jaccard(i, j), nx, ny)
+    }
+
+    /// Bytes of sketch storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.sigs.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_match_everywhere() {
+        let x: Vec<u32> = (0..100).collect();
+        let a = MinHashSignature::from_set(&x, 64, 3);
+        let b = MinHashSignature::from_set(&x, 64, 3);
+        assert_eq!(a.matches(&b), 64);
+        assert_eq!(a.estimate_jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_rarely_match() {
+        let x: Vec<u32> = (0..100).collect();
+        let y: Vec<u32> = (1000..1100).collect();
+        let a = MinHashSignature::from_set(&x, 128, 3);
+        let b = MinHashSignature::from_set(&y, 128, 3);
+        assert_eq!(a.matches(&b), 0);
+    }
+
+    #[test]
+    fn jaccard_estimate_is_close_for_large_k() {
+        // |X∩Y| = 50, |X∪Y| = 150 -> J = 1/3.
+        let x: Vec<u32> = (0..100).collect();
+        let y: Vec<u32> = (50..150).collect();
+        let a = MinHashSignature::from_set(&x, 512, 7);
+        let b = MinHashSignature::from_set(&y, 512, 7);
+        let j = a.estimate_jaccard(&b);
+        assert!((j - 1.0 / 3.0).abs() < 0.08, "J={j}");
+        let inter = a.estimate_intersection(&b, 100, 100);
+        assert!((inter - 50.0).abs() < 15.0, "inter={inter}");
+    }
+
+    #[test]
+    fn empty_sets_give_zero() {
+        let e = MinHashSignature::from_set(&[], 16, 1);
+        let x = MinHashSignature::from_set(&[1, 2, 3], 16, 1);
+        assert_eq!(e.matches(&x), 0);
+        assert_eq!(e.matches(&e), 0, "two empties must not fake J=1");
+        assert_eq!(e.estimate_intersection(&x, 0, 3), 0.0);
+    }
+
+    #[test]
+    fn signature_independent_of_input_order() {
+        let fwd: Vec<u32> = (0..200).collect();
+        let rev: Vec<u32> = (0..200).rev().collect();
+        assert_eq!(
+            MinHashSignature::from_set(&fwd, 32, 5),
+            MinHashSignature::from_set(&rev, 32, 5)
+        );
+    }
+
+    #[test]
+    fn collection_matches_standalone() {
+        let sets: Vec<Vec<u32>> = (0..30)
+            .map(|s| (0..40 + s).map(|i| (i * 7 + s) as u32).collect())
+            .collect();
+        let col = MinHashCollection::build(sets.len(), 24, 11, |i| &sets[i][..]);
+        for (i, set) in sets.iter().enumerate() {
+            let sig = MinHashSignature::from_set(set, 24, 11);
+            assert_eq!(col.signature(i), sig.mins(), "set {i}");
+        }
+        let s0 = MinHashSignature::from_set(&sets[0], 24, 11);
+        let s1 = MinHashSignature::from_set(&sets[1], 24, 11);
+        assert_eq!(col.matches(0, 1), s0.matches(&s1));
+    }
+
+    #[test]
+    fn parallel_build_deterministic() {
+        let sets: Vec<Vec<u32>> = (0..200)
+            .map(|s| (0..60).map(|i| (i * 13 + s) as u32).collect())
+            .collect();
+        let a = pg_parallel::with_threads(1, || {
+            MinHashCollection::build(200, 16, 3, |i| &sets[i][..])
+        });
+        let b = pg_parallel::with_threads(8, || {
+            MinHashCollection::build(200, 16, 3, |i| &sets[i][..])
+        });
+        assert_eq!(a.sigs, b.sigs);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let sets = [vec![1u32]];
+        let col = MinHashCollection::build(1, 8, 1, |i| &sets[i][..]);
+        assert_eq!(col.memory_bytes(), 32);
+    }
+}

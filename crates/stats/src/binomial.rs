@@ -1,0 +1,112 @@
+//! Binomial distribution: the law of the k-hash match count
+//! `|M_X ∩ M_Y| ~ Bin(k, J)` (§IV-C of the paper).
+
+use crate::special::ln_binomial;
+
+/// `P[Bin(n, p) = s]`, computed in log space for stability.
+pub fn pmf(n: u64, p: f64, s: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+    if s > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if s == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if s == n { 1.0 } else { 0.0 };
+    }
+    (ln_binomial(n, s) + s as f64 * p.ln() + (n - s) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// `P[Bin(n, p) ≤ s]`.
+pub fn cdf(n: u64, p: f64, s: u64) -> f64 {
+    (0..=s.min(n)).map(|i| pmf(n, p, i)).sum::<f64>().min(1.0)
+}
+
+/// Mean `np`.
+#[inline]
+pub fn mean(n: u64, p: f64) -> f64 {
+    n as f64 * p
+}
+
+/// Variance `np(1−p)`.
+#[inline]
+pub fn variance(n: u64, p: f64) -> f64 {
+    n as f64 * p * (1.0 - p)
+}
+
+/// Exact expectation of the k-hash intersection estimator (Eq. 23):
+///
+/// `E[|X∩Y|̂_kH] = (|X|+|Y|) · Σ_{s=0}^{k} C(k,s) J^s (1−J)^{k−s} · s/(k+s)`.
+///
+/// Used by the estimator-property experiments to verify asymptotic
+/// unbiasedness: this expectation converges to `|X∩Y|` as `k → ∞`.
+pub fn khash_estimator_expectation(k: u64, jaccard: f64, nx: usize, ny: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&jaccard));
+    let sum: f64 = (0..=k)
+        .map(|s| pmf(k, jaccard, s) * s as f64 / (k + s) as f64)
+        .sum();
+    (nx + ny) as f64 * sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let total: f64 = (0..=30).map(|s| pmf(30, 0.37, s)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_degenerate_p() {
+        assert_eq!(pmf(10, 0.0, 0), 1.0);
+        assert_eq!(pmf(10, 0.0, 3), 0.0);
+        assert_eq!(pmf(10, 1.0, 10), 1.0);
+    }
+
+    #[test]
+    fn pmf_small_case_exact() {
+        // Bin(2, 0.5): 1/4, 1/2, 1/4.
+        assert!((pmf(2, 0.5, 0) - 0.25).abs() < 1e-12);
+        assert!((pmf(2, 0.5, 1) - 0.5).abs() < 1e-12);
+        assert!((pmf(2, 0.5, 2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let mut prev = 0.0;
+        for s in 0..=20 {
+            let c = cdf(20, 0.3, s);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((cdf(20, 0.3, 20) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments() {
+        assert_eq!(mean(100, 0.25), 25.0);
+        assert_eq!(variance(100, 0.25), 18.75);
+    }
+
+    #[test]
+    fn khash_expectation_converges_to_truth() {
+        // |X∩Y| = 20, |X| = |Y| = 60, J = 20/100 = 0.2.
+        let (nx, ny, inter) = (60usize, 60usize, 20.0f64);
+        let j = inter / (nx as f64 + ny as f64 - inter);
+        let e16 = khash_estimator_expectation(16, j, nx, ny);
+        let e256 = khash_estimator_expectation(256, j, nx, ny);
+        let e4096 = khash_estimator_expectation(4096, j, nx, ny);
+        // Bias shrinks monotonically towards |X∩Y|.
+        assert!((e4096 - inter).abs() < (e256 - inter).abs());
+        assert!((e256 - inter).abs() < (e16 - inter).abs());
+        assert!((e4096 - inter).abs() < 0.05, "e4096={e4096}");
+    }
+
+    #[test]
+    fn khash_expectation_zero_jaccard() {
+        assert_eq!(khash_estimator_expectation(64, 0.0, 10, 10), 0.0);
+    }
+}

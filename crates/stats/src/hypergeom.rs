@@ -1,0 +1,110 @@
+//! Hypergeometric distribution: the law of the 1-hash match count
+//! `|M¹_X ∩ M¹_Y| ~ Hypergeometric(|X∪Y|, |X∩Y|, k)` (§IV-D of the paper —
+//! sampling without replacement from the union).
+
+use crate::special::ln_binomial;
+
+/// `P[Hyper(N, K, n) = s]`: probability of `s` successes when drawing `n`
+/// items without replacement from a population of `N` containing `K`
+/// successes.
+pub fn pmf(pop: u64, successes: u64, draws: u64, s: u64) -> f64 {
+    assert!(successes <= pop, "K={successes} exceeds N={pop}");
+    assert!(draws <= pop, "n={draws} exceeds N={pop}");
+    if s > draws || s > successes {
+        return 0.0;
+    }
+    let failures_drawn = draws - s;
+    if failures_drawn > pop - successes {
+        return 0.0;
+    }
+    (ln_binomial(successes, s) + ln_binomial(pop - successes, failures_drawn)
+        - ln_binomial(pop, draws))
+    .exp()
+}
+
+/// Mean `n·K/N`.
+#[inline]
+pub fn mean(pop: u64, successes: u64, draws: u64) -> f64 {
+    if pop == 0 {
+        return 0.0;
+    }
+    draws as f64 * successes as f64 / pop as f64
+}
+
+/// Variance `n·(K/N)·(1−K/N)·(N−n)/(N−1)`.
+pub fn variance(pop: u64, successes: u64, draws: u64) -> f64 {
+    if pop <= 1 {
+        return 0.0;
+    }
+    let n = draws as f64;
+    let p = successes as f64 / pop as f64;
+    n * p * (1.0 - p) * (pop - draws) as f64 / (pop - 1) as f64
+}
+
+/// Exact expectation of the 1-hash intersection estimator (Eq. 24):
+///
+/// `E[|X∩Y|̂_1H] = (|X|+|Y|) · Σ_s P[Hyper(|X∪Y|, |X∩Y|, k) = s] · s/(k+s)`.
+pub fn onehash_estimator_expectation(union: u64, inter: u64, k: u64, nx: usize, ny: usize) -> f64 {
+    let draws = k.min(union);
+    let sum: f64 = (0..=draws.min(inter))
+        .map(|s| pmf(union, inter, draws, s) * s as f64 / (k + s) as f64)
+        .sum();
+    (nx + ny) as f64 * sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let total: f64 = (0..=20).map(|s| pmf(100, 30, 20, s)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_textbook_case() {
+        // Urn: N=10, K=4, n=3, P[s=2] = C(4,2)C(6,1)/C(10,3) = 36/120.
+        assert!((pmf(10, 4, 3, 2) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_impossible_cases_zero() {
+        assert_eq!(pmf(10, 2, 5, 3), 0.0); // more successes than exist
+        assert_eq!(pmf(10, 9, 5, 1), 0.0); // cannot draw 4 failures from 1
+    }
+
+    #[test]
+    fn full_draw_is_deterministic() {
+        // Drawing the whole population yields exactly K successes.
+        assert!((pmf(8, 3, 8, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(pmf(8, 3, 8, 2), 0.0);
+    }
+
+    #[test]
+    fn moments_match_binomial_limit() {
+        // For N >> n the hypergeometric approaches Bin(n, K/N).
+        let (m_h, v_h) = (mean(1_000_000, 300_000, 50), variance(1_000_000, 300_000, 50));
+        let v_b = crate::binomial::variance(50, 0.3);
+        assert!((m_h - 15.0).abs() < 1e-9);
+        assert!((v_h - v_b).abs() / v_b < 1e-3);
+    }
+
+    #[test]
+    fn variance_shrinks_with_exhaustive_sampling() {
+        // Sampling the whole population leaves no variance.
+        assert!(variance(50, 20, 50).abs() < 1e-12);
+    }
+
+    #[test]
+    fn onehash_expectation_converges_to_truth() {
+        // |X| = |Y| = 60, |X∩Y| = 20, |X∪Y| = 100.
+        let e16 = onehash_estimator_expectation(100, 20, 16, 60, 60);
+        let e64 = onehash_estimator_expectation(100, 20, 64, 60, 60);
+        assert!((e64 - 20.0).abs() < (e16 - 20.0).abs());
+        // k = union size ⇒ whole union sampled: s = 20 w.p. 1,
+        // E = 120·20/120 = 20 exactly.
+        let e100 = onehash_estimator_expectation(100, 20, 100, 60, 60);
+        assert!((e100 - 20.0).abs() < 1e-9, "e100={e100}");
+    }
+}

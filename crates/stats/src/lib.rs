@@ -1,0 +1,38 @@
+//! # pg-stats — statistical substrate
+//!
+//! The theory side of the paper, made executable:
+//!
+//! * [`special`] — special functions (log-gamma, log-binomial, regularized
+//!   incomplete beta) implemented from scratch; everything else builds on
+//!   them.
+//! * [`binomial`] / [`hypergeom`] — the distributions governing the k-hash
+//!   (`Bin(k, J)`) and 1-hash (`Hypergeometric(|X∪Y|, |X∩Y|, k)`) match
+//!   counts, with the exact estimator-expectation sums of Eq. (23)/(24).
+//! * [`bounds`] — every concentration/MSE bound in the paper as a function:
+//!   Prop. IV.1 (BF MSE), Eq. (3) (BF Chebyshev), Prop. IV.2/IV.3
+//!   (MinHash Hoeffding/Serfling), Theorem VII.1 (triangle-count bounds for
+//!   BF and MinHash, including the Vizing-refined variant), and the KMV
+//!   beta-distribution bound of Prop. A.7/A.9.
+//! * [`summary`] — the sample-summary machinery the evaluation section
+//!   uses: medians, quartiles, and 95 % non-parametric confidence
+//!   intervals (§VIII-A cites the scientific-benchmarking recommendations
+//!   of Hoefler & Belli; the non-parametric CI is theirs).
+//!
+//! Everything is pure `f64` math with no dependencies, so the bound
+//! calculators can be cross-checked by Monte-Carlo in the test suites of
+//! the higher crates.
+
+pub mod binomial;
+pub mod bounds;
+pub mod hypergeom;
+pub mod regression;
+pub mod special;
+pub mod summary;
+
+pub use bounds::{
+    bf_concentration_bound, bf_mse_bound, bf_regime_ok, chebyshev, kmv_deviation_probability,
+    mh_concentration_bound, tc_bf_concentration_bound, tc_mh_concentration_bound,
+    tc_mh_concentration_bound_refined,
+};
+pub use regression::{linear_fit, log_log_fit, LinearFit};
+pub use summary::Summary;

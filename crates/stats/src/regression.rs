@@ -1,0 +1,101 @@
+//! Least-squares utilities for the scaling analysis (Figs. 8–9).
+//!
+//! Strong-scaling quality is summarized by the slope of
+//! `log₂(runtime)` vs `log₂(threads)` — ideal scaling has slope −1 — and
+//! the scaling experiments report that fit alongside the raw series.
+
+/// Simple linear regression `y ≈ a + b·x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination `R²` (1 for a perfect fit; 0 when the
+    /// model explains nothing; defined as 1 for a zero-variance target).
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares over paired samples. Panics on fewer than two
+/// points or mismatched lengths.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
+    assert_eq!(x.len(), y.len(), "mismatched sample lengths");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxx += (xi - mx) * (xi - mx);
+        sxy += (xi - mx) * (yi - my);
+        syy += (yi - my) * (yi - my);
+    }
+    assert!(sxx > 0.0, "x has zero variance");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit {
+        intercept,
+        slope,
+        r_squared,
+    }
+}
+
+/// Fits `log₂ y` against `log₂ x` — the scaling-exponent fit. All inputs
+/// must be positive.
+pub fn log_log_fit(x: &[f64], y: &[f64]) -> LinearFit {
+    assert!(
+        x.iter().chain(y).all(|&v| v > 0.0),
+        "log-log fit needs positive data"
+    );
+    let lx: Vec<f64> = x.iter().map(|v| v.log2()).collect();
+    let ly: Vec<f64> = y.iter().map(|v| v.log2()).collect();
+    linear_fit(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0]; // y = 1 + 2x
+        let f = linear_fit(&x, &y);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_has_sane_r2() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 2.0 * v + ((v * 7.0).sin())).collect();
+        let f = linear_fit(&x, &y);
+        assert!((f.slope - 2.0).abs() < 0.05);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn ideal_strong_scaling_has_slope_minus_one() {
+        let threads = [1.0, 2.0, 4.0, 8.0];
+        let runtime = [8.0, 4.0, 2.0, 1.0];
+        let f = log_log_fit(&threads, &runtime);
+        assert!((f.slope + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_series_slope_zero_r2_one() {
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data")]
+    fn log_log_rejects_nonpositive() {
+        log_log_fit(&[1.0, 0.0], &[1.0, 1.0]);
+    }
+}

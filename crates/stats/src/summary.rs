@@ -1,0 +1,177 @@
+//! Sample summaries: the medians/quartiles behind the Fig. 3 boxplots and
+//! the 95 % non-parametric confidence intervals the paper reports for
+//! runtimes (§VIII-A, following Hoefler & Belli's benchmarking
+//! recommendations \[109\]).
+
+/// Order statistics and moments of an `f64` sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Linear-interpolation percentile of a **sorted** slice, `q ∈ [0, 1]`.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+impl Summary {
+    /// Computes the summary of a sample. Panics on an empty sample or NaNs.
+    pub fn of(sample: &[f64]) -> Summary {
+        assert!(!sample.is_empty(), "summary of empty sample");
+        assert!(
+            sample.iter().all(|x| !x.is_nan()),
+            "sample contains NaN"
+        );
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            count: n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            p25: percentile_sorted(&sorted, 0.25),
+            median: percentile_sorted(&sorted, 0.50),
+            p75: percentile_sorted(&sorted, 0.75),
+            max: sorted[n - 1],
+        }
+    }
+
+    /// Arbitrary percentile `q ∈ [0, 1]` of the original sample.
+    pub fn percentile(sample: &[f64], q: f64) -> f64 {
+        assert!(!sample.is_empty());
+        assert!((0.0..=1.0).contains(&q));
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        percentile_sorted(&sorted, q)
+    }
+
+    /// 95 % non-parametric confidence interval for the **median**, using
+    /// the binomial order-statistic construction (the method recommended
+    /// by the benchmarking guidelines the paper follows): the interval
+    /// `[x_(l), x_(u)]` with `l, u` chosen so that
+    /// `P[x_(l) ≤ median ≤ x_(u)] ≥ 0.95` under `Bin(n, ½)`.
+    pub fn median_ci95(sample: &[f64]) -> (f64, f64) {
+        assert!(!sample.is_empty());
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len() as u64;
+        // Find the smallest symmetric pair (l, u) with enough coverage.
+        let mut lo = 0u64;
+        let mut cover = 1.0 - 2.0 * crate::binomial::cdf(n, 0.5, 0).min(0.5);
+        while lo + 1 < n / 2 {
+            let next = 1.0 - 2.0 * crate::binomial::cdf(n, 0.5, lo + 1).min(0.5);
+            if next < 0.95 {
+                break;
+            }
+            lo += 1;
+            cover = next;
+        }
+        let _ = cover;
+        let hi = (n - 1 - lo) as usize;
+        (sorted[lo as usize], sorted[hi])
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} p25={:.4} med={:.4} p75={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.p25, self.median, self.p75, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.p25, 2.0);
+        assert_eq!(s.p75, 4.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - 2.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_element() {
+        let s = Summary::of(&[7.5]);
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.p25, 7.5);
+    }
+
+    #[test]
+    fn summary_order_independent() {
+        let a = Summary::of(&[3.0, 1.0, 2.0]);
+        let b = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(Summary::percentile(&v, 0.5), 5.0);
+        assert_eq!(Summary::percentile(&v, 0.0), 0.0);
+        assert_eq!(Summary::percentile(&v, 1.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn median_ci_contains_median_and_is_ordered() {
+        let sample: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let (lo, hi) = Summary::median_ci95(&sample);
+        let med = Summary::of(&sample).median;
+        assert!(lo <= med && med <= hi);
+        assert!(lo > 0.0 && hi < 100.0, "CI should be interior: [{lo},{hi}]");
+    }
+
+    #[test]
+    fn median_ci_small_samples_degenerate_to_range() {
+        let sample = [2.0, 1.0, 3.0];
+        let (lo, hi) = Summary::median_ci95(&sample);
+        assert_eq!((lo, hi), (1.0, 3.0));
+    }
+}

@@ -1,0 +1,2 @@
+//! Root-package shim; see the `probgraph` crate for the library.
+pub use probgraph as pg;

@@ -1,0 +1,185 @@
+//! Cross-crate verification of the paper's theory (Tables II/III,
+//! Theorem VII.1): Monte-Carlo estimates against the closed-form
+//! expectations of Eq. (23)/(24) and the concentration bounds of
+//! Prop. IV.2/IV.3 and Prop. A.7.
+
+use pg_sketch::{BloomFilter, BottomK, KmvSketch, MinHashSignature};
+use pg_stats::{binomial, hypergeom};
+
+fn sets(nx: usize, ny: usize, inter: usize) -> (Vec<u32>, Vec<u32>) {
+    assert!(inter <= nx && inter <= ny);
+    let x: Vec<u32> = (0..nx as u32).collect();
+    let y: Vec<u32> = ((nx - inter) as u32..(nx + ny - inter) as u32).collect();
+    (x, y)
+}
+
+#[test]
+fn khash_monte_carlo_matches_eq23_expectation() {
+    let (nx, ny, inter) = (300usize, 300usize, 100usize);
+    let (x, y) = sets(nx, ny, inter);
+    let union = nx + ny - inter;
+    let j = inter as f64 / union as f64;
+    let k = 64;
+    let trials = 600;
+    let mut mean = 0.0;
+    for seed in 0..trials {
+        let sx = MinHashSignature::from_set(&x, k, seed);
+        let sy = MinHashSignature::from_set(&y, k, seed);
+        mean += sx.estimate_intersection(&sy, nx, ny);
+    }
+    mean /= trials as f64;
+    let expect = binomial::khash_estimator_expectation(k as u64, j, nx, ny);
+    assert!(
+        (mean - expect).abs() < 0.05 * expect,
+        "Monte-Carlo {mean} vs Eq.(23) {expect}"
+    );
+}
+
+#[test]
+fn onehash_match_count_is_hypergeometric() {
+    // Mean and variance of the union-restricted match count must agree
+    // with Hypergeometric(|X∪Y|, |X∩Y|, k) (§IV-D).
+    let (nx, ny, inter) = (200usize, 200usize, 80usize);
+    let (x, y) = sets(nx, ny, inter);
+    let union = (nx + ny - inter) as u64;
+    let k = 50;
+    let trials = 800;
+    let mut sum = 0.0;
+    let mut sumsq = 0.0;
+    for seed in 0..trials {
+        let sx = BottomK::from_set(&x, k, seed);
+        let sy = BottomK::from_set(&y, k, seed);
+        let m = sx.matches(&sy) as f64;
+        sum += m;
+        sumsq += m * m;
+    }
+    let mean = sum / trials as f64;
+    let var = sumsq / trials as f64 - mean * mean;
+    let e = hypergeom::mean(union, inter as u64, k as u64);
+    let v = hypergeom::variance(union, inter as u64, k as u64);
+    assert!((mean - e).abs() < 0.06 * e, "mean {mean} vs {e}");
+    assert!((var - v).abs() < 0.30 * v, "var {var} vs {v}");
+}
+
+#[test]
+fn minhash_concentration_bound_holds() {
+    // Prop. IV.2: violation frequency at distance t must stay below
+    // 2·exp(−2kt²/(|X|+|Y|)²).
+    let (nx, ny, inter) = (250usize, 250usize, 100usize);
+    let (x, y) = sets(nx, ny, inter);
+    let k = 128;
+    let trials = 500;
+    for t in [30.0f64, 60.0] {
+        let mut viol = 0;
+        for seed in 0..trials {
+            let sx = MinHashSignature::from_set(&x, k, seed);
+            let sy = MinHashSignature::from_set(&y, k, seed);
+            if (sx.estimate_intersection(&sy, nx, ny) - inter as f64).abs() >= t {
+                viol += 1;
+            }
+        }
+        let freq = viol as f64 / trials as f64;
+        let bound = pg_stats::mh_concentration_bound(k, t, nx, ny);
+        assert!(freq <= bound + 0.03, "t={t}: freq {freq} > bound {bound}");
+    }
+}
+
+#[test]
+fn bf_mse_bound_holds_in_regime() {
+    // Prop. IV.1 bounds the MSE of Eq. (1)/(2) applied to a Bloom filter
+    // that represents X∩Y itself. (§IV-B: the practical B_X AND B_Y
+    // carries extra false-positive bits — "this may somewhat increase the
+    // false positive probability" — so the bound targets the idealized
+    // filter; the AND estimator's additional error is evaluated
+    // empirically in Fig. 3.)
+    let (nx, ny, inter) = (300usize, 300usize, 120usize);
+    let (x, y) = sets(nx, ny, inter);
+    let common: Vec<u32> = x.iter().copied().filter(|v| y.contains(v)).collect();
+    assert_eq!(common.len(), inter);
+    let bits = 1 << 14;
+    let b = 2;
+    assert!(pg_stats::bf_regime_ok(inter as f64, bits, b));
+    let trials = 300;
+    let mut mse = 0.0;
+    for seed in 0..trials {
+        let f = BloomFilter::from_set(&common, bits, b, seed);
+        let e = f.estimate_size() - inter as f64;
+        mse += e * e;
+    }
+    mse /= trials as f64;
+    let bound = pg_stats::bf_mse_bound(inter as f64, bits, b);
+    assert!(mse <= bound, "empirical MSE {mse} exceeds Prop IV.1 bound {bound}");
+
+    // The practical AND estimator is biased upward by co-collisions but
+    // must remain within a small multiple of the true value at this size.
+    let mut mean = 0.0;
+    for seed in 0..60 {
+        let fx = BloomFilter::from_set(&x, bits, b, seed);
+        let fy = BloomFilter::from_set(&y, bits, b, seed);
+        mean += fx.estimate_intersection_and(&fy);
+    }
+    mean /= 60.0;
+    assert!(
+        (mean - inter as f64).abs() < 0.15 * inter as f64,
+        "practical AND estimator mean {mean} vs true {inter}"
+    );
+}
+
+#[test]
+fn kmv_beta_probability_matches_monte_carlo() {
+    // Prop. A.7 is exact (not just a bound); Monte-Carlo deviation
+    // frequency should match within sampling noise.
+    let n = 5000usize;
+    let x: Vec<u32> = (0..n as u32).collect();
+    let k = 128;
+    let t = 800.0;
+    let trials = 400;
+    let mut viol = 0;
+    for seed in 0..trials {
+        let s = KmvSketch::from_set(&x, k, seed);
+        if (s.estimate_size() - n as f64).abs() > t {
+            viol += 1;
+        }
+    }
+    let freq = viol as f64 / trials as f64;
+    let pred = pg_stats::kmv_deviation_probability(n as u64, k as u64, t);
+    assert!(
+        (freq - pred).abs() < 0.07,
+        "Monte-Carlo {freq} vs Prop A.7 {pred}"
+    );
+}
+
+#[test]
+fn estimators_are_asymptotically_unbiased_in_sketch_size() {
+    // Table II "AU": the empirical mean error shrinks monotonically in the
+    // sketch-size knob for all representations.
+    let (nx, ny, inter) = (400usize, 400usize, 150usize);
+    let (x, y) = sets(nx, ny, inter);
+    let trials = 60;
+    // Bloom.
+    let mut prev = f64::INFINITY;
+    for bits_exp in [11usize, 13, 16] {
+        let mut err = 0.0;
+        for seed in 0..trials {
+            let fx = BloomFilter::from_set(&x, 1 << bits_exp, 2, seed);
+            let fy = BloomFilter::from_set(&y, 1 << bits_exp, 2, seed);
+            err += (fx.estimate_intersection_and(&fy) - inter as f64).abs();
+        }
+        err /= trials as f64;
+        assert!(err < prev * 1.05, "BF error did not shrink at B=2^{bits_exp}: {err} vs {prev}");
+        prev = err;
+    }
+    // 1-hash.
+    let mut prev = f64::INFINITY;
+    for k in [16usize, 64, 256] {
+        let mut err = 0.0;
+        for seed in 0..trials {
+            let sx = BottomK::from_set(&x, k, seed);
+            let sy = BottomK::from_set(&y, k, seed);
+            err += (sx.estimate_intersection(&sy) - inter as f64).abs();
+        }
+        err /= trials as f64;
+        assert!(err < prev * 1.05, "1H error did not shrink at k={k}: {err} vs {prev}");
+        prev = err;
+    }
+}

@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: the full ProbGraph pipeline from graph
+//! generation through sketch construction to algorithm output, exercising
+//! every crate of the workspace together.
+
+use pg_graph::{gen, orient_by_degree, GraphStats};
+use pg_stats::Summary;
+use probgraph::algorithms::{cliques, clustering, link_prediction, triangles};
+use probgraph::baselines::{colorful, doulion, heuristics};
+use probgraph::{accuracy, tc_estimator, PgConfig, ProbGraph, Representation};
+
+fn reps() -> Vec<Representation> {
+    vec![
+        Representation::Bloom { b: 1 },
+        Representation::Bloom { b: 2 },
+        Representation::KHash,
+        Representation::OneHash,
+    ]
+}
+
+#[test]
+fn full_tc_pipeline_on_every_representation() {
+    let g = gen::instance("bio-CE-PG", 8).unwrap();
+    let exact = triangles::count_exact(&g) as f64;
+    assert!(exact > 0.0, "stand-in must contain triangles");
+    for rep in reps() {
+        let est = triangles::count_approx(&g, &PgConfig::new(rep, 0.33));
+        let rel = accuracy::relative_count(est, exact);
+        assert!(
+            (0.2..4.0).contains(&rel),
+            "{rep:?}: TC rel count {rel} out of sanity band"
+        );
+    }
+}
+
+#[test]
+fn tc_edge_sum_estimator_consistent_with_node_iterator_pg() {
+    // Two PG formulations of TC (Listing 1 over the DAG vs the §VII edge
+    // sum over full neighborhoods) must agree with each other roughly as
+    // well as either agrees with the truth.
+    let g = gen::erdos_renyi_gnm(400, 400 * 20, 5);
+    let exact = triangles::count_exact(&g) as f64;
+    let cfg = PgConfig::new(Representation::OneHash, 0.33);
+    let dag_est = triangles::count_approx(&g, &cfg);
+    let pg = ProbGraph::build(&g, &cfg);
+    let sum_est = tc_estimator::tc_estimate(&g, &pg);
+    for est in [dag_est, sum_est] {
+        assert!((0.4..2.0).contains(&(est / exact)), "est={est} exact={exact}");
+    }
+}
+
+#[test]
+fn clustering_pipeline_at_multiple_budgets() {
+    let g = gen::instance("econ-beacxc", 4).unwrap();
+    let kind = clustering::SimilarityKind::Jaccard;
+    let tau = 0.05;
+    let exact = clustering::jarvis_patrick_exact(&g, kind, tau);
+    let mut prev_agreement = 0.0;
+    for s in [0.05, 0.33] {
+        let pg = ProbGraph::build(&g, &PgConfig::new(Representation::Bloom { b: 1 }, s));
+        let approx = clustering::jarvis_patrick_pg(&g, &pg, kind, tau);
+        let agree = exact
+            .selected
+            .iter()
+            .zip(&approx.selected)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / exact.selected.len() as f64;
+        assert!(
+            agree >= prev_agreement * 0.9,
+            "agreement should not collapse with bigger budget: {agree} vs {prev_agreement}"
+        );
+        prev_agreement = agree;
+    }
+    assert!(prev_agreement > 0.6, "s=33% agreement {prev_agreement}");
+}
+
+#[test]
+fn four_clique_pipeline() {
+    let g = gen::instance("bn-mouse_brain_1", 4).unwrap();
+    let exact = cliques::count_exact(&g) as f64;
+    assert!(exact > 0.0);
+    let est = cliques::count_approx(&g, &PgConfig::new(Representation::OneHash, 0.33));
+    let rel = est / exact;
+    assert!((0.2..4.0).contains(&rel), "4CC rel {rel}");
+}
+
+#[test]
+fn link_prediction_pipeline_beats_random_guessing() {
+    let g = gen::instance("soc-fbMsg", 4).unwrap();
+    let exact = link_prediction::evaluate(&g, 0.15, 3, link_prediction::exact_cn_scorer);
+    let pg = link_prediction::evaluate_pg(
+        &g,
+        0.15,
+        3,
+        &PgConfig::new(Representation::Bloom { b: 2 }, 0.33),
+    );
+    // Random guessing among >10k candidates would land essentially zero
+    // hits; both scorers should do clearly better.
+    assert!(exact.precision > 0.02, "exact precision {}", exact.precision);
+    assert!(pg.precision > 0.01, "pg precision {}", pg.precision);
+}
+
+#[test]
+fn baselines_agree_with_exact_in_expectation() {
+    let g = gen::instance("bio-SC-GT", 8).unwrap();
+    let exact = triangles::count_exact(&g) as f64;
+    let mut doulion_mean = 0.0;
+    let mut colorful_mean = 0.0;
+    let trials = 10;
+    for seed in 0..trials {
+        doulion_mean += doulion::triangle_estimate(&g, 0.5, seed).estimate;
+        colorful_mean += colorful::triangle_estimate(&g, 2, seed).estimate;
+    }
+    doulion_mean /= trials as f64;
+    colorful_mean /= trials as f64;
+    assert!((doulion_mean / exact - 1.0).abs() < 0.35, "doulion {doulion_mean} vs {exact}");
+    assert!((colorful_mean / exact - 1.0).abs() < 0.5, "colorful {colorful_mean} vs {exact}");
+}
+
+#[test]
+fn heuristics_run_on_real_world_standins() {
+    let g = gen::instance("soc-fbMsg", 8).unwrap();
+    let exact = triangles::count_exact(&g) as f64;
+    for est in [
+        heuristics::reduced_execution_tc(&g, 0.5, 1),
+        heuristics::partial_processing_tc(&g, 0.5, 1),
+        heuristics::auto_approx1_tc(&g, 0.5, 1),
+        heuristics::auto_approx2_tc(&g, 0.5, 1),
+    ] {
+        assert!(est >= 0.0);
+        if exact > 50.0 {
+            assert!((est / exact) < 10.0, "est={est} exact={exact}");
+        }
+    }
+}
+
+#[test]
+fn memory_budget_honored_across_suite() {
+    for name in ["bio-SC-GT", "econ-beacxc", "soc-fbMsg"] {
+        let g = gen::instance(name, 8).unwrap();
+        for rep in reps() {
+            let pg = ProbGraph::build(&g, &PgConfig::new(rep, 0.25));
+            let rel = pg.memory_bytes() as f64 / g.memory_bytes() as f64;
+            // 25 % budget + word-rounding and bookkeeping slack.
+            assert!(rel < 0.40, "{name} {rep:?}: relative memory {rel}");
+        }
+    }
+}
+
+#[test]
+fn fig3_style_error_distribution_is_reasonable() {
+    let g = gen::instance("econ-mbeacxc", 4).unwrap();
+    let stats = GraphStats::compute(&g);
+    assert!(stats.avg_degree > 20.0, "need a dense stand-in: {stats}");
+    let pg = ProbGraph::build(&g, &PgConfig::new(Representation::OneHash, 0.33));
+    let errs = accuracy::edgewise_intersection_errors(&g, &pg);
+    let med = Summary::of(&errs).median;
+    assert!(med < 0.35, "median relative error {med}");
+}
+
+#[test]
+fn thread_sweep_preserves_exact_results() {
+    // The scaling experiments rely on results being thread-invariant.
+    let g = gen::instance("bio-HS-LC", 8).unwrap();
+    let dag = orient_by_degree(&g);
+    let reference = triangles::count_exact_on_dag(&dag);
+    for t in [1, 2, 3, 8] {
+        let got = pg_parallel::with_threads(t, || triangles::count_exact_on_dag(&dag));
+        assert_eq!(got, reference, "threads={t}");
+    }
+}

@@ -1,0 +1,277 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, spanning all workspace crates.
+
+use pg_sketch::{BloomFilter, BottomK, HyperLogLog, KmvSketch, MinHashSignature};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn dedup_sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn exact_intersection(a: &[u32], b: &[u32]) -> usize {
+    let set: std::collections::HashSet<_> = a.iter().collect();
+    b.iter().filter(|x| set.contains(x)).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- CSR graph invariants -------------------------------------------
+
+    #[test]
+    fn csr_invariants_hold_for_arbitrary_edge_lists(
+        edges in vec((0u32..200, 0u32..200), 0..600)
+    ) {
+        let g = pg_graph::CsrGraph::from_edges(200, &edges);
+        // Sorted, deduplicated, no self loops, symmetric.
+        let mut half_edges = 0usize;
+        for v in 0..200u32 {
+            let nv = g.neighbors(v);
+            prop_assert!(nv.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!nv.contains(&v));
+            half_edges += nv.len();
+            for &u in nv {
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+        prop_assert_eq!(half_edges, 2 * g.num_edges());
+        // Edge count equals distinct non-loop undirected pairs.
+        let distinct: std::collections::HashSet<_> = edges
+            .iter()
+            .filter(|(u, v)| u != v)
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        prop_assert_eq!(g.num_edges(), distinct.len());
+    }
+
+    #[test]
+    fn degree_orientation_partitions_edges(
+        edges in vec((0u32..100, 0u32..100), 0..400)
+    ) {
+        let g = pg_graph::CsrGraph::from_edges(100, &edges);
+        let dag = pg_graph::orient_by_degree(&g);
+        let total: usize = (0..100u32).map(|v| dag.out_degree(v)).sum();
+        prop_assert_eq!(total, g.num_edges());
+        for v in 0..100u32 {
+            for &u in dag.neighbors_plus(v) {
+                prop_assert!(dag.rank()[v as usize] < dag.rank()[u as usize]);
+            }
+        }
+    }
+
+    // --- Exact intersection kernels --------------------------------------
+
+    #[test]
+    fn intersect_kernels_agree_with_hash_set(
+        a in vec(0u32..5000, 0..300),
+        b in vec(0u32..5000, 0..300),
+    ) {
+        let a = dedup_sorted(a);
+        let b = dedup_sorted(b);
+        let want = exact_intersection(&a, &b);
+        prop_assert_eq!(probgraph::intersect::merge_count(&a, &b), want);
+        prop_assert_eq!(probgraph::intersect::intersect_card(&a, &b), want);
+        let (s, l) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+        prop_assert_eq!(probgraph::intersect::gallop_count(s, l), want);
+        let mut out = Vec::new();
+        probgraph::intersect::intersect_set(&a, &b, &mut out);
+        prop_assert_eq!(out.len(), want);
+    }
+
+    // --- Bloom filters ----------------------------------------------------
+
+    #[test]
+    fn bloom_never_has_false_negatives(
+        items in vec(0u32..100_000, 0..200),
+        b in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let f = BloomFilter::from_set(&items, 2048, b, seed);
+        for &x in &items {
+            prop_assert!(f.contains(x));
+        }
+    }
+
+    #[test]
+    fn bloom_and_estimate_is_finite_and_nonnegative(
+        a in vec(0u32..10_000, 0..300),
+        bset in vec(0u32..10_000, 0..300),
+    ) {
+        let fa = BloomFilter::from_set(&a, 1024, 2, 7);
+        let fb = BloomFilter::from_set(&bset, 1024, 2, 7);
+        let e = fa.estimate_intersection_and(&fb);
+        prop_assert!(e.is_finite());
+        prop_assert!(e >= 0.0);
+        // AND-popcount never exceeds either filter's own popcount.
+        let and = fa.bits().and_count(fb.bits());
+        prop_assert!(and <= fa.count_ones().min(fb.count_ones()));
+    }
+
+    // --- MinHash ----------------------------------------------------------
+
+    #[test]
+    fn khash_jaccard_is_one_iff_identical_signature(
+        items in vec(0u32..50_000, 1..200),
+        k in 1usize..64,
+        seed in 0u64..100,
+    ) {
+        let items = dedup_sorted(items);
+        let a = MinHashSignature::from_set(&items, k, seed);
+        let b = MinHashSignature::from_set(&items, k, seed);
+        prop_assert_eq!(a.estimate_jaccard(&b), 1.0);
+        let j = a.estimate_jaccard(&b);
+        prop_assert!((0.0..=1.0).contains(&j));
+    }
+
+    #[test]
+    fn bottomk_is_lossless_below_k(
+        items in vec(0u32..100_000, 0..64),
+        seed in 0u64..100,
+    ) {
+        let items = dedup_sorted(items);
+        let s = BottomK::from_set(&items, 64, seed);
+        prop_assert!(s.is_exact());
+        prop_assert_eq!(s.elements().len(), items.len());
+        let mut sorted = s.elements().to_vec();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, items);
+    }
+
+    #[test]
+    fn bottomk_exact_regime_intersection_is_truth(
+        a in vec(0u32..400, 0..50),
+        b in vec(0u32..400, 0..50),
+        seed in 0u64..50,
+    ) {
+        let a = dedup_sorted(a);
+        let b = dedup_sorted(b);
+        let sa = BottomK::from_set(&a, 64, seed);
+        let sb = BottomK::from_set(&b, 64, seed);
+        prop_assert_eq!(
+            sa.estimate_intersection(&sb),
+            exact_intersection(&a, &b) as f64
+        );
+    }
+
+    #[test]
+    fn bottomk_jaccard_bounded(
+        a in vec(0u32..2000, 0..400),
+        b in vec(0u32..2000, 0..400),
+    ) {
+        let a = dedup_sorted(a);
+        let b = dedup_sorted(b);
+        let sa = BottomK::from_set(&a, 16, 3);
+        let sb = BottomK::from_set(&b, 16, 3);
+        let j = sa.estimate_jaccard(&sb);
+        prop_assert!((0.0..=1.0).contains(&j));
+    }
+
+    // --- KMV / HLL ---------------------------------------------------------
+
+    #[test]
+    fn kmv_union_is_commutative_and_bounded(
+        a in vec(0u32..50_000, 0..300),
+        b in vec(0u32..50_000, 0..300),
+    ) {
+        let sa = KmvSketch::from_set(&a, 32, 5);
+        let sb = KmvSketch::from_set(&b, 32, 5);
+        let uab = sa.union(&sb);
+        let uba = sb.union(&sa);
+        prop_assert_eq!(uab.hashes(), uba.hashes());
+        prop_assert!(uab.hashes().len() <= 32);
+    }
+
+    #[test]
+    fn hll_merge_is_idempotent_commutative_monotone(
+        a in vec(0u32..100_000, 0..500),
+        b in vec(0u32..100_000, 0..500),
+    ) {
+        let ha = HyperLogLog::from_set(&a, 8, 9);
+        let hb = HyperLogLog::from_set(&b, 8, 9);
+        prop_assert_eq!(ha.merge(&ha).clone(), ha.clone());
+        prop_assert_eq!(ha.merge(&hb), hb.merge(&ha));
+        // Union estimate ≥ max of individual estimates (registers only grow).
+        let u = ha.merge(&hb).estimate();
+        prop_assert!(u >= ha.estimate().max(hb.estimate()) - 1e-9);
+    }
+
+    // --- Statistics --------------------------------------------------------
+
+    #[test]
+    fn distributions_are_probabilities(
+        n in 1u64..80,
+        s in 0u64..80,
+        p in 0.0f64..1.0,
+    ) {
+        let pm = pg_stats::binomial::pmf(n, p, s);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&pm));
+        let k = s.min(n);
+        let h = pg_stats::hypergeom::pmf(n + 10, n.min(n + 10), k, s);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+    }
+
+    #[test]
+    fn beta_function_is_monotone_probability(
+        a in 0.5f64..20.0,
+        b in 0.5f64..20.0,
+        x1 in 0.0f64..1.0,
+        x2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let f_lo = pg_stats::special::reg_inc_beta(lo, a, b);
+        let f_hi = pg_stats::special::reg_inc_beta(hi, a, b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f_lo));
+        prop_assert!(f_lo <= f_hi + 1e-9);
+    }
+
+    #[test]
+    fn summary_respects_order_statistics(sample in vec(-1e6f64..1e6, 1..200)) {
+        let s = pg_stats::Summary::of(&sample);
+        prop_assert!(s.min <= s.p25 && s.p25 <= s.median);
+        prop_assert!(s.median <= s.p75 && s.p75 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    // --- Parallel runtime ---------------------------------------------------
+
+    #[test]
+    fn parallel_sum_equals_sequential(data in vec(0u64..1_000_000, 0..2000)) {
+        let expect: u64 = data.iter().sum();
+        let got = pg_parallel::with_threads(4, || {
+            pg_parallel::sum_u64(data.len(), |i| data[i])
+        });
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn parallel_init_matches_map(n in 0usize..3000) {
+        let v = pg_parallel::with_threads(4, || {
+            pg_parallel::parallel_init(n, |i| i * 2 + 1)
+        });
+        prop_assert_eq!(v, (0..n).map(|i| i * 2 + 1).collect::<Vec<_>>());
+    }
+
+    // --- End-to-end: estimates scale with the truth -------------------------
+
+    #[test]
+    fn probgraph_estimates_bounded_by_degree_sum(
+        edges in vec((0u32..60, 0u32..60), 30..300)
+    ) {
+        let g = pg_graph::CsrGraph::from_edges(60, &edges);
+        if g.num_edges() == 0 {
+            return Ok(());
+        }
+        let pg = probgraph::ProbGraph::build(
+            &g,
+            &probgraph::PgConfig::new(probgraph::Representation::OneHash, 0.33),
+        );
+        for (u, v) in g.edges().take(30) {
+            let e = pg.estimate_intersection(u, v);
+            prop_assert!(e >= 0.0);
+            prop_assert!(e <= (g.degree(u) + g.degree(v)) as f64);
+        }
+    }
+}
