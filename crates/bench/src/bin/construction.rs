@@ -13,7 +13,10 @@ fn main() {
     println!("# §VIII-G — construction cost vs one TC execution (PG_SCALE={scale})");
     println!();
     print_header(&[
-        "graph", "representation", "construction [s]", "exact TC [s]",
+        "graph",
+        "representation",
+        "construction [s]",
+        "exact TC [s]",
         "construction / exact-TC",
     ]);
     for (name, g) in real_world_suite(scale) {

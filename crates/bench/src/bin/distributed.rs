@@ -14,7 +14,12 @@ fn main() {
     println!("# §VIII-F — modeled communication-volume reduction (PG_SCALE={scale})");
     println!();
     print_header(&[
-        "graph", "parts", "sketch", "exact [MB]", "sketch [MB]", "reduction",
+        "graph",
+        "parts",
+        "sketch",
+        "exact [MB]",
+        "sketch [MB]",
+        "reduction",
     ]);
     for (name, g) in real_world_suite(scale) {
         for parts in [2usize, 4, 16] {

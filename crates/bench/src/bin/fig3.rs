@@ -24,7 +24,14 @@ fn main() {
     println!("# Fig. 3 — |X∩Y| estimator accuracy (PG_SCALE={scale})");
     println!();
     print_header(&[
-        "graph", "s", "b", "estimator", "p25", "median", "p75", "max",
+        "graph",
+        "s",
+        "b",
+        "estimator",
+        "p25",
+        "median",
+        "p75",
+        "max",
     ]);
     for name in graphs {
         let g = gen::instance(name, scale).expect("known family");

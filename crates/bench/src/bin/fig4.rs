@@ -15,10 +15,7 @@ use probgraph::{PgConfig, ProbGraph, Representation};
 
 fn pg_cfgs() -> Vec<(&'static str, PgConfig)> {
     vec![
-        (
-            "PG-BF",
-            PgConfig::new(Representation::Bloom { b: 2 }, 0.25),
-        ),
+        ("PG-BF", PgConfig::new(Representation::Bloom { b: 2 }, 0.25)),
         ("PG-MH", PgConfig::new(Representation::OneHash, 0.25)),
     ]
 }
@@ -84,7 +81,14 @@ fn main() {
     let scale = env_scale(4);
     println!("# Fig. 4 — TC + Clustering: speedup / accuracy / memory (PG_SCALE={scale})");
     println!();
-    print_header(&["problem", "graph", "scheme", "speedup", "rel-count", "rel-mem"]);
+    print_header(&[
+        "problem",
+        "graph",
+        "scheme",
+        "speedup",
+        "rel-count",
+        "rel-mem",
+    ]);
     let mut graphs: Vec<(String, CsrGraph)> = real_world_suite(scale)
         .into_iter()
         .map(|(n, g)| (n.to_string(), g))

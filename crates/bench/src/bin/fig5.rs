@@ -15,10 +15,7 @@ fn run(name: &str, g: &CsrGraph) {
         return;
     }
     for (label, cfg) in [
-        (
-            "PG-BF",
-            PgConfig::new(Representation::Bloom { b: 2 }, 0.25),
-        ),
+        ("PG-BF", PgConfig::new(Representation::Bloom { b: 2 }, 0.25)),
         ("PG-MH", PgConfig::new(Representation::OneHash, 0.25)),
     ] {
         let pg = ProbGraph::build_dag(&dag, g.memory_bytes(), &cfg);

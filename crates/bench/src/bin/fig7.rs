@@ -24,7 +24,11 @@ fn main() {
             let pg = ProbGraph::build(&g, &cfg);
             let t = time_median(3, || jarvis_patrick_pg(&g, &pg, kind, tau));
             let rel = if base == 0.0 {
-                if t.value.num_clusters == 0 { 1.0 } else { 10.0 }
+                if t.value.num_clusters == 0 {
+                    1.0
+                } else {
+                    10.0
+                }
             } else {
                 (t.value.num_clusters as f64 / base).min(10.0)
             };

@@ -47,7 +47,14 @@ fn tc_row(panel: &str, graph: &str, t: usize, g: &CsrGraph) {
     });
 }
 
-fn clustering_row(panel: &str, graph: &str, t: usize, g: &CsrGraph, kind: SimilarityKind, tau: f64) {
+fn clustering_row(
+    panel: &str,
+    graph: &str,
+    t: usize,
+    g: &CsrGraph,
+    kind: SimilarityKind,
+    tau: f64,
+) {
     let cfg_bf = PgConfig::new(Representation::Bloom { b: 2 }, 0.25);
     let cfg_1h = PgConfig::new(Representation::OneHash, 0.25);
     with_threads(t, || {
@@ -108,7 +115,21 @@ fn main() {
             SimilarityKind::CommonNeighbors,
             2.0,
         );
-        clustering_row("weak-Cluster-Jac", &wname, t, &wg, SimilarityKind::Jaccard, 0.05);
-        clustering_row("weak-Cluster-Ovl", &wname, t, &wg, SimilarityKind::Overlap, 0.10);
+        clustering_row(
+            "weak-Cluster-Jac",
+            &wname,
+            t,
+            &wg,
+            SimilarityKind::Jaccard,
+            0.05,
+        );
+        clustering_row(
+            "weak-Cluster-Ovl",
+            &wname,
+            t,
+            &wg,
+            SimilarityKind::Overlap,
+            0.10,
+        );
     }
 }

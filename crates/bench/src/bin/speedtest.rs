@@ -1,21 +1,287 @@
-//! Quick dense-workload speedup check: exact vs PG-BF vs PG-1H triangle
-//! counting on the full-size econ-psmigr1 stand-in (the regime where the
-//! paper's speedups appear). Handy for sanity-checking a machine.
+//! Per-edge kernel speed test + machine-readable `BENCH_kernels.json`.
+//!
+//! Times every `|N⁺_u ∩ N⁺_v|` kernel of Table IV — exact merge and
+//! galloping, the fused Bloom AND/Limit/OR estimators (plus their naive
+//! multi-pass counterparts, to track the fusion win), MinHash k-hash and
+//! 1-hash, and KMV — in ns/edge on the dense econ-psmigr1 stand-in, the
+//! regime where the paper's speedups appear. Then reruns the end-to-end
+//! triangle-count comparison as a sanity check.
+//!
+//! Honors `PG_SCALE` (dataset down-scale, default 1 = full size) and
+//! `PG_REPS` (timing repetitions, default 5). Writes `BENCH_kernels.json`
+//! to the current directory so successive PRs can track the perf
+//! trajectory.
 
+use pg_bench::harness::time_median;
+use pg_bench::workloads::env_scale;
+use pg_sketch::bitvec::count_ones_words;
+use pg_sketch::{estimators, BloomCollection, BottomKCollection, KmvCollection, MinHashCollection};
+use probgraph::intersect::{gallop_count, merge_count};
+use std::hint::black_box;
+use std::io::Write as _;
 use std::time::Instant;
+
+/// Naive multi-pass AND estimator: materialize the AND-ed words (heap
+/// allocation), then popcount them in a second pass — the obvious
+/// implementation the fused kernel replaces.
+fn naive_and_ones(a: &[u64], b: &[u64]) -> usize {
+    let anded: Vec<u64> = a.iter().zip(b).map(|(x, y)| x & y).collect();
+    count_ones_words(&anded)
+}
+
+/// Naive OR-estimator statistic: a separate OR+popcount traversal (the
+/// fused path derives it from the AND pass and cached popcounts).
+fn naive_or_ones(a: &[u64], b: &[u64]) -> usize {
+    let ored: Vec<u64> = a.iter().zip(b).map(|(x, y)| x | y).collect();
+    count_ones_words(&ored)
+}
+
+struct Entry {
+    name: &'static str,
+    ns_per_edge: f64,
+}
+
 fn main() {
-    let g = pg_graph::gen::instance("econ-psmigr1", 1).unwrap();
-    println!("n={} m={} davg={:.0}", g.num_vertices(), g.num_edges(), g.avg_degree());
+    let scale = env_scale(1);
+    let reps: usize = std::env::var("PG_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(5);
+    let g = pg_graph::gen::instance("econ-psmigr1", scale).unwrap();
+    println!(
+        "workload econ-psmigr1/{scale}: n={} m={} davg={:.0}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.avg_degree()
+    );
     let dag = pg_graph::orient_by_degree(&g);
+    let n = dag.num_vertices();
+    let edges: Vec<(u32, u32)> = (0..n as u32)
+        .flat_map(|v| dag.neighbors_plus(v).iter().map(move |&u| (v, u)))
+        .collect();
+    let m = edges.len().max(1);
+
+    // Sketches over N⁺ under the paper's default 25 % budget.
+    let budget = pg_sketch::BudgetPlan::new(g.memory_bytes(), n, 0.25);
+    let pg_sketch::SketchParams::Bloom { bits_per_set, .. } = budget.bloom(2) else {
+        unreachable!()
+    };
+    let pg_sketch::SketchParams::KHash { k } = budget.khash() else {
+        unreachable!()
+    };
+    let bloom = BloomCollection::build(n, bits_per_set, 2, 7, |v| dag.neighbors_plus(v as u32));
+    let khash = MinHashCollection::build(n, k, 7, |v| dag.neighbors_plus(v as u32));
+    let onehash = BottomKCollection::build(n, k, 7, |v| dag.neighbors_plus(v as u32));
+    let kmv = KmvCollection::build(n, k, 7, |v| dag.neighbors_plus(v as u32));
+    println!("sketches: BF B={bits_per_set} b=2 | MH/KMV k={k} | {m} oriented edges");
+
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut record = |name: &'static str, seconds: f64| {
+        let ns = seconds * 1e9 / m as f64;
+        println!("{name:>22}: {ns:8.2} ns/edge");
+        entries.push(Entry {
+            name,
+            ns_per_edge: ns,
+        });
+        ns
+    };
+
+    // --- exact CSR kernels ------------------------------------------------
+    let t = time_median(reps, || {
+        let mut acc = 0usize;
+        for &(v, u) in &edges {
+            acc += merge_count(dag.neighbors_plus(v), dag.neighbors_plus(u));
+        }
+        black_box(acc)
+    });
+    record("exact_merge", t.seconds);
+
+    let t = time_median(reps, || {
+        let mut acc = 0usize;
+        for &(v, u) in &edges {
+            let (a, b) = (dag.neighbors_plus(v), dag.neighbors_plus(u));
+            let (s, l) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+            acc += gallop_count(s, l);
+        }
+        black_box(acc)
+    });
+    record("exact_gallop", t.seconds);
+
+    // --- Bloom estimators: fused vs naive ---------------------------------
+    let t = time_median(reps, || {
+        let mut acc = 0.0f64;
+        for &(v, u) in &edges {
+            acc += bloom.estimate_and(v as usize, u as usize);
+        }
+        black_box(acc)
+    });
+    let bf_and_fused = record("bf_and_fused", t.seconds);
+
+    let t = time_median(reps, || {
+        let mut acc = 0.0f64;
+        for &(v, u) in &edges {
+            let ones = naive_and_ones(bloom.words(v as usize), bloom.words(u as usize));
+            acc += estimators::bf_intersect_and(ones, bloom.bits_per_set(), bloom.num_hashes());
+        }
+        black_box(acc)
+    });
+    let bf_and_naive = record("bf_and_naive", t.seconds);
+
+    let t = time_median(reps, || {
+        let mut acc = 0.0f64;
+        for &(v, u) in &edges {
+            acc += bloom.estimate_limit(v as usize, u as usize);
+        }
+        black_box(acc)
+    });
+    record("bf_limit_fused", t.seconds);
+
+    let t = time_median(reps, || {
+        let mut acc = 0.0f64;
+        for &(v, u) in &edges {
+            let (i, j) = (v as usize, u as usize);
+            acc += bloom.estimate_or(i, j, dag.out_degree(v), dag.out_degree(u));
+        }
+        black_box(acc)
+    });
+    let bf_or_fused = record("bf_or_fused", t.seconds);
+
+    let t = time_median(reps, || {
+        let mut acc = 0.0f64;
+        for &(v, u) in &edges {
+            let (i, j) = (v as usize, u as usize);
+            let or_ones = naive_or_ones(bloom.words(i), bloom.words(j));
+            acc += estimators::bf_intersect_or(
+                or_ones,
+                bloom.bits_per_set(),
+                bloom.num_hashes(),
+                dag.out_degree(v),
+                dag.out_degree(u),
+            );
+        }
+        black_box(acc)
+    });
+    let bf_or_naive = record("bf_or_naive", t.seconds);
+
+    // All three estimators at once: fused single pass vs three naive passes.
+    let t = time_median(reps, || {
+        let mut acc = 0.0f64;
+        for &(v, u) in &edges {
+            let (i, j) = (v as usize, u as usize);
+            let all = bloom.estimate_all(i, j, dag.out_degree(v), dag.out_degree(u));
+            acc += all.and_est + all.limit_est + all.or_est;
+        }
+        black_box(acc)
+    });
+    let bf_all_fused = record("bf_all3_fused", t.seconds);
+
+    let t = time_median(reps, || {
+        let mut acc = 0.0f64;
+        for &(v, u) in &edges {
+            let (i, j) = (v as usize, u as usize);
+            let (wa, wb) = (bloom.words(i), bloom.words(j));
+            let and_ones = naive_and_ones(wa, wb);
+            let or_ones = naive_or_ones(wa, wb);
+            acc += estimators::bf_intersect_and(and_ones, bloom.bits_per_set(), bloom.num_hashes())
+                + estimators::bf_intersect_limit(and_ones, bloom.num_hashes())
+                + estimators::bf_intersect_or(
+                    or_ones,
+                    bloom.bits_per_set(),
+                    bloom.num_hashes(),
+                    dag.out_degree(v),
+                    dag.out_degree(u),
+                );
+        }
+        black_box(acc)
+    });
+    let bf_all_naive = record("bf_all3_naive", t.seconds);
+
+    // --- MinHash / KMV ----------------------------------------------------
+    let t = time_median(reps, || {
+        let mut acc = 0usize;
+        for &(v, u) in &edges {
+            acc += khash.matches(v as usize, u as usize);
+        }
+        black_box(acc)
+    });
+    record("mh_khash", t.seconds);
+
+    let t = time_median(reps, || {
+        let mut acc = 0usize;
+        for &(v, u) in &edges {
+            acc += onehash.matches(v as usize, u as usize);
+        }
+        black_box(acc)
+    });
+    record("mh_1hash", t.seconds);
+
+    let t = time_median(reps, || {
+        let mut acc = 0.0f64;
+        for &(v, u) in &edges {
+            acc += kmv.estimate_intersection(v as usize, u as usize);
+        }
+        black_box(acc)
+    });
+    record("kmv", t.seconds);
+
+    let and_speedup = bf_and_naive / bf_and_fused;
+    let or_speedup = bf_or_naive / bf_or_fused;
+    let all_speedup = bf_all_naive / bf_all_fused;
+    println!(
+        "fused-vs-naive speedup: AND {and_speedup:.2}x | OR {or_speedup:.2}x | all3 {all_speedup:.2}x"
+    );
+
+    // --- machine-readable emission ---------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"name\": \"econ-psmigr1\", \"scale\": {scale}, \"n\": {}, \"m\": {}, \"oriented_edges\": {m}}},\n",
+        g.num_vertices(),
+        g.num_edges()
+    ));
+    json.push_str(&format!(
+        "  \"sketch_params\": {{\"bf_bits\": {bits_per_set}, \"bf_b\": 2, \"mh_k\": {k}, \"budget\": 0.25}},\n"
+    ));
+    json.push_str("  \"ns_per_edge\": {\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {:.3}{comma}\n",
+            e.name, e.ns_per_edge
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"fused_vs_naive\": {{\"bf_and\": {and_speedup:.3}, \"bf_or\": {or_speedup:.3}, \"bf_all3\": {all_speedup:.3}}}\n"
+    ));
+    json.push_str("}\n");
+    let path = "BENCH_kernels.json";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+
+    // --- end-to-end sanity: exact vs PG triangle counting -----------------
     let t0 = Instant::now();
     let tc = probgraph::algorithms::triangles::count_exact_on_dag(&dag);
     let te = t0.elapsed().as_secs_f64();
     println!("exact tc={tc} in {te:.3}s");
-    for (lbl, rep) in [("BF2", probgraph::Representation::Bloom{b:2}), ("1H", probgraph::Representation::OneHash)] {
-        let pg = probgraph::ProbGraph::build_dag(&dag, g.memory_bytes(), &probgraph::PgConfig::new(rep, 0.25));
+    for (lbl, rep) in [
+        ("BF2", probgraph::Representation::Bloom { b: 2 }),
+        ("1H", probgraph::Representation::OneHash),
+    ] {
+        let pg = probgraph::ProbGraph::build_dag(
+            &dag,
+            g.memory_bytes(),
+            &probgraph::PgConfig::new(rep, 0.25),
+        );
         let t0 = Instant::now();
         let est = probgraph::algorithms::triangles::count_approx_on_dag(&dag, &pg);
         let tp = t0.elapsed().as_secs_f64();
-        println!("{lbl}: est={est:.0} in {tp:.3}s speedup={:.2} rel={:.3}", te/tp, est/tc as f64);
+        println!(
+            "{lbl}: est={est:.0} in {tp:.3}s speedup={:.2} rel={:.3}",
+            te / tp,
+            est / tc as f64
+        );
     }
 }

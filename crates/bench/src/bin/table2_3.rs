@@ -23,7 +23,12 @@ fn main() {
     println!("# Tables II/III — estimator properties, |X|=|Y|=600, |X∩Y|=200");
     println!();
     println!("## Convergence (asymptotic unbiasedness / consistency)");
-    print_header(&["estimator", "sketch size", "mean estimate (50 seeds)", "mean |rel err|"]);
+    print_header(&[
+        "estimator",
+        "sketch size",
+        "mean estimate (50 seeds)",
+        "mean |rel err|",
+    ]);
     for size_exp in [10usize, 12, 14, 16] {
         let bits = 1 << size_exp;
         let mut est_sum = 0.0;
@@ -82,7 +87,13 @@ fn main() {
 
     println!();
     println!("## Concentration bounds (violation frequency vs bound)");
-    print_header(&["estimator", "t", "observed P[dev ≥ t]", "paper bound", "holds"]);
+    print_header(&[
+        "estimator",
+        "t",
+        "observed P[dev ≥ t]",
+        "paper bound",
+        "holds",
+    ]);
     let trials = 400u64;
     for t in [40.0f64, 80.0, 160.0] {
         // MinHash k-hash: exponential bound (Eq. 6).
@@ -110,8 +121,8 @@ fn main() {
         let b = 2;
         let mut viol = 0;
         for seed in 0..trials {
-            let fx = BloomFilter::from_set(&x, bits, b, seed as u64);
-            let fy = BloomFilter::from_set(&y, bits, b, seed as u64);
+            let fx = BloomFilter::from_set(&x, bits, b, seed);
+            let fy = BloomFilter::from_set(&y, bits, b, seed);
             if (fx.estimate_intersection_and(&fy) - inter as f64).abs() >= t {
                 viol += 1;
             }

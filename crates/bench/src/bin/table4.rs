@@ -13,18 +13,30 @@ fn main() {
     println!("# Table IV — |N_u ∩ N_v| kernel work");
     println!();
     print_header(&[
-        "d_u", "d_v", "merge ops (≤ d_u+d_v)", "gallop ops (≈ d_u·log d_v)",
-        "BF ops (B/W, B=2048)", "MH ops (k=64)",
+        "d_u",
+        "d_v",
+        "merge ops (≤ d_u+d_v)",
+        "gallop ops (≈ d_u·log d_v)",
+        "BF ops (B/W, B=2048)",
+        "MH ops (k=64)",
     ]);
     let g = gen::erdos_renyi_gnm(4000, 4000 * 64, 3);
     let pairs = [(0u32, 1u32), (10, 2000), (42, 3999)];
     for (u, v) in pairs {
         let (nu, nv) = (g.neighbors(u), g.neighbors(v));
-        let (s, l) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
+        let (s, l) = if nu.len() <= nv.len() {
+            (nu, nv)
+        } else {
+            (nv, nu)
+        };
         print_row(&[
             nu.len().to_string(),
             nv.len().to_string(),
-            format!("{} (bound {})", workdepth::merge_ops(nu, nv), nu.len() + nv.len()),
+            format!(
+                "{} (bound {})",
+                workdepth::merge_ops(nu, nv),
+                nu.len() + nv.len()
+            ),
             format!("{}", workdepth::gallop_ops(s, l)),
             format!("{}", workdepth::bf_intersect_ops(2048)),
             format!("{}", workdepth::mh_intersect_ops(64)),
@@ -47,7 +59,10 @@ fn main() {
         }
         acc
     });
-    print_row(&["CSR merge".into(), format!("{:.1}", t.seconds / reps as f64 * 1e9)]);
+    print_row(&[
+        "CSR merge".into(),
+        format!("{:.1}", t.seconds / reps as f64 * 1e9),
+    ]);
     let t = time_median(3, || {
         let mut acc = 0usize;
         for i in 0..reps {
@@ -59,7 +74,10 @@ fn main() {
         }
         acc
     });
-    print_row(&["CSR gallop".into(), format!("{:.1}", t.seconds / reps as f64 * 1e9)]);
+    print_row(&[
+        "CSR gallop".into(),
+        format!("{:.1}", t.seconds / reps as f64 * 1e9),
+    ]);
     let t = time_median(3, || {
         let mut acc = 0usize;
         for i in 0..reps {
@@ -67,7 +85,10 @@ fn main() {
         }
         acc
     });
-    print_row(&["BF AND+popcnt".into(), format!("{:.1}", t.seconds / reps as f64 * 1e9)]);
+    print_row(&[
+        "BF AND+popcnt".into(),
+        format!("{:.1}", t.seconds / reps as f64 * 1e9),
+    ]);
     let t = time_median(3, || {
         let mut acc = 0usize;
         for i in 0..reps {
@@ -75,5 +96,8 @@ fn main() {
         }
         acc
     });
-    print_row(&["MH 1-hash merge".into(), format!("{:.1}", t.seconds / reps as f64 * 1e9)]);
+    print_row(&[
+        "MH 1-hash merge".into(),
+        format!("{:.1}", t.seconds / reps as f64 * 1e9),
+    ]);
 }

@@ -21,8 +21,12 @@ fn main() {
     println!();
     let (bf_ops, kh_ops, oh_ops) = workdepth::construction_work(&g, 2, 16);
     print_header(&[
-        "representation", "work model (Table V)", "measured hash ops",
-        "1-thread build [s]", "all-thread build [s]", "speedup",
+        "representation",
+        "work model (Table V)",
+        "measured hash ops",
+        "1-thread build [s]",
+        "all-thread build [s]",
+        "speedup",
     ]);
     let cases = [
         ("BF (b=2)", Representation::Bloom { b: 2 }, bf_ops),

@@ -43,17 +43,47 @@ fn main() {
     let t_csr = time_median(3, || triangles::count_exact_on_dag(&dag)).seconds;
     let t_bf = time_median(3, || triangles::count_approx_on_dag(&dag, &pg_bf)).seconds;
     let t_mh = time_median(3, || triangles::count_approx_on_dag(&dag, &pg_mh)).seconds;
-    print_row(&["TC".into(), "CSR  O(n·d²)".into(), w_csr.to_string(), format!("{t_csr:.4}")]);
-    print_row(&["TC".into(), "BF   O(n·d·B/W)".into(), w_bf.to_string(), format!("{t_bf:.4}")]);
-    print_row(&["TC".into(), "MH   O(n·d·k)".into(), w_mh.to_string(), format!("{t_mh:.4}")]);
+    print_row(&[
+        "TC".into(),
+        "CSR  O(n·d²)".into(),
+        w_csr.to_string(),
+        format!("{t_csr:.4}"),
+    ]);
+    print_row(&[
+        "TC".into(),
+        "BF   O(n·d·B/W)".into(),
+        w_bf.to_string(),
+        format!("{t_bf:.4}"),
+    ]);
+    print_row(&[
+        "TC".into(),
+        "MH   O(n·d·k)".into(),
+        w_mh.to_string(),
+        format!("{t_mh:.4}"),
+    ]);
 
     // 4-clique counting (runtime only; work model is d× the TC one).
     let t_csr = time_median(2, || cliques::count_exact_on_dag(&dag)).seconds;
     let t_bf = time_median(2, || cliques::count_approx_on_dag(&dag, &pg_bf)).seconds;
     let t_mh = time_median(2, || cliques::count_approx_on_dag(&dag, &pg_mh)).seconds;
-    print_row(&["4CC".into(), "CSR  O(n·d³)".into(), "-".into(), format!("{t_csr:.4}")]);
-    print_row(&["4CC".into(), "BF   O(n·d²·B/W)".into(), "-".into(), format!("{t_bf:.4}")]);
-    print_row(&["4CC".into(), "MH   O(n·d²·k)".into(), "-".into(), format!("{t_mh:.4}")]);
+    print_row(&[
+        "4CC".into(),
+        "CSR  O(n·d³)".into(),
+        "-".into(),
+        format!("{t_csr:.4}"),
+    ]);
+    print_row(&[
+        "4CC".into(),
+        "BF   O(n·d²·B/W)".into(),
+        "-".into(),
+        format!("{t_bf:.4}"),
+    ]);
+    print_row(&[
+        "4CC".into(),
+        "MH   O(n·d²·k)".into(),
+        "-".into(),
+        format!("{t_mh:.4}"),
+    ]);
 
     // Clustering (per-edge intersection over full neighborhoods).
     let pgf_bf = ProbGraph::build(&g, &cfg_bf);
@@ -62,7 +92,22 @@ fn main() {
     let t_csr = time_median(3, || clustering::jarvis_patrick_exact(&g, kind, 2.0)).seconds;
     let t_bf = time_median(3, || clustering::jarvis_patrick_pg(&g, &pgf_bf, kind, 2.0)).seconds;
     let t_mh = time_median(3, || clustering::jarvis_patrick_pg(&g, &pgf_mh, kind, 2.0)).seconds;
-    print_row(&["Clustering".into(), "CSR  O(n·d²)".into(), "-".into(), format!("{t_csr:.4}")]);
-    print_row(&["Clustering".into(), "BF   O(n·d·B/W)".into(), "-".into(), format!("{t_bf:.4}")]);
-    print_row(&["Clustering".into(), "MH   O(n·d·k)".into(), "-".into(), format!("{t_mh:.4}")]);
+    print_row(&[
+        "Clustering".into(),
+        "CSR  O(n·d²)".into(),
+        "-".into(),
+        format!("{t_csr:.4}"),
+    ]);
+    print_row(&[
+        "Clustering".into(),
+        "BF   O(n·d·B/W)".into(),
+        "-".into(),
+        format!("{t_bf:.4}"),
+    ]);
+    print_row(&[
+        "Clustering".into(),
+        "MH   O(n·d·k)".into(),
+        "-".into(),
+        format!("{t_mh:.4}"),
+    ]);
 }

@@ -21,8 +21,13 @@ fn main() {
     );
     println!();
     print_header(&[
-        "estimator", "constr [s]", "memory [B]", "estim [s]", "rel-count",
-        "properties", "bound",
+        "estimator",
+        "constr [s]",
+        "memory [B]",
+        "estim [s]",
+        "rel-count",
+        "properties",
+        "bound",
     ]);
     for (label, rep, props, bound) in [
         (
@@ -37,7 +42,12 @@ fn main() {
             "AU CN ML IN AE",
             "E (Thm VII.1)",
         ),
-        ("T̂C_1H (MH)", Representation::OneHash, "AU CN", "E (Thm VII.1)"),
+        (
+            "T̂C_1H (MH)",
+            Representation::OneHash,
+            "AU CN",
+            "E (Thm VII.1)",
+        ),
     ] {
         let cfg = PgConfig::new(rep, 0.25);
         let built = time_once(|| ProbGraph::build(&g, &cfg));
@@ -82,12 +92,11 @@ fn main() {
         pg_sketch::SketchParams::KHash { k } => k,
         _ => unreachable!(),
     };
-    let bits = match ProbGraph::build(&g, &PgConfig::new(Representation::Bloom { b: 2 }, 0.25))
-        .params()
-    {
-        pg_sketch::SketchParams::Bloom { bits_per_set, .. } => bits_per_set,
-        _ => unreachable!(),
-    };
+    let bits =
+        match ProbGraph::build(&g, &PgConfig::new(Representation::Bloom { b: 2 }, 0.25)).params() {
+            pg_sketch::SketchParams::Bloom { bits_per_set, .. } => bits_per_set,
+            _ => unreachable!(),
+        };
     println!("- BF bound (b=2, B={bits}): {:.4}", b.bloom(bits, 2, t));
     println!("- MH plain bound (k={k}): {:.4}", b.minhash(k, t));
     println!("- MH refined bound (k={k}): {:.4}", b.minhash_refined(k, t));

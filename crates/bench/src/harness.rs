@@ -44,7 +44,10 @@ pub fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> Timed<T> {
 /// Prints a markdown table header.
 pub fn print_header(cols: &[&str]) {
     println!("| {} |", cols.join(" | "));
-    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Prints one markdown row.

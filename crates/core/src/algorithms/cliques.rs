@@ -10,10 +10,11 @@
 //! on the sketched side, which is where the paper's asymptotic advantage
 //! (Table VI: `O(n d² B/W)` vs `O(n d³)`) comes from.
 
+use crate::grain::clique_grain;
 use crate::intersect::{intersect_card, intersect_set};
 use crate::pg::{ProbGraph, SketchStore};
 use pg_graph::{orient_by_degree, CsrGraph, OrientedDag, VertexId};
-use pg_parallel::map_reduce;
+use pg_parallel::map_reduce_scratch;
 
 /// Exact 4-clique count (tuned baseline).
 pub fn count_exact(g: &CsrGraph) -> u64 {
@@ -22,24 +23,29 @@ pub fn count_exact(g: &CsrGraph) -> u64 {
 }
 
 /// Exact 4-clique count over a prebuilt DAG.
+///
+/// The materialized `C3` set lives in worker-local scratch — one buffer
+/// per worker for the whole run, zero per-vertex allocation — and the
+/// grain is cube-weighted (`work(u) ∝ d⁺_u³`) so hubs don't serialize.
 pub fn count_exact_on_dag(dag: &OrientedDag) -> u64 {
-    map_reduce(
+    map_reduce_scratch(
         dag.num_vertices(),
-        || (0u64, Vec::new()),
-        |(acc, mut c3), u| {
+        clique_grain(dag),
+        || 0u64,
+        Vec::new,
+        |c3, acc, u| {
             let nu = dag.neighbors_plus(u as VertexId);
             let mut local = 0u64;
             for &v in nu {
-                intersect_set(nu, dag.neighbors_plus(v), &mut c3);
-                for &w in &c3 {
-                    local += intersect_card(dag.neighbors_plus(w), &c3) as u64;
+                intersect_set(nu, dag.neighbors_plus(v), c3);
+                for &w in c3.iter() {
+                    local += intersect_card(dag.neighbors_plus(w), c3) as u64;
                 }
             }
-            (acc + local, c3)
+            acc + local
         },
-        |(a, sa), (b, sb)| (a + b, if sa.capacity() >= sb.capacity() { sa } else { sb }),
+        |a, b| a + b,
     )
-    .0
 }
 
 /// Estimates `|N⁺_w ∩ C3|` from the sketch of set `w` and the explicit
@@ -55,7 +61,10 @@ fn estimate_vs_explicit(pg: &ProbGraph, w: VertexId, c3: &[u32]) -> f64 {
             // Each signature slot is a uniform-ish sample of N⁺_w; the hit
             // fraction estimates |N⁺_w ∩ C3| / |N⁺_w|.
             let sig = col.signature(wi);
-            let hits = sig.iter().filter(|&&x| c3.binary_search(&x).is_ok()).count();
+            let hits = sig
+                .iter()
+                .filter(|&&x| c3.binary_search(&x).is_ok())
+                .count();
             let d = pg.set_size(wi);
             if d == 0 {
                 return 0.0;
@@ -83,33 +92,39 @@ fn estimate_vs_explicit(pg: &ProbGraph, w: VertexId, c3: &[u32]) -> f64 {
             // "how many of these explicit vertices are in N⁺_w". The paper
             // only evaluates BF and MH on clique counting; reject loudly
             // rather than return a silently wrong number.
-            panic!("4-clique counting does not support the KMV representation (use Bloom or MinHash)")
+            panic!(
+                "4-clique counting does not support the KMV representation (use Bloom or MinHash)"
+            )
         }
     }
 }
 
 /// Approximate 4-clique count with prebuilt DAG and DAG sketches.
+///
+/// Zero per-edge heap allocation: `C3` reuses worker-local scratch and
+/// [`estimate_vs_explicit`] evaluates sketches in place.
 pub fn count_approx_on_dag(dag: &OrientedDag, pg: &ProbGraph) -> f64 {
-    map_reduce(
+    map_reduce_scratch(
         dag.num_vertices(),
-        || (0f64, Vec::new()),
-        |(acc, mut c3), u| {
+        clique_grain(dag),
+        || 0f64,
+        Vec::new,
+        |c3, acc, u| {
             let nu = dag.neighbors_plus(u as VertexId);
             let mut local = 0.0f64;
             for &v in nu {
-                intersect_set(nu, dag.neighbors_plus(v), &mut c3);
+                intersect_set(nu, dag.neighbors_plus(v), c3);
                 if c3.is_empty() {
                     continue;
                 }
-                for &w in &c3 {
-                    local += estimate_vs_explicit(pg, w, &c3).max(0.0);
+                for &w in c3.iter() {
+                    local += estimate_vs_explicit(pg, w, c3).max(0.0);
                 }
             }
-            (acc + local, c3)
+            acc + local
         },
-        |(a, sa), (b, sb)| (a + b, if sa.capacity() >= sb.capacity() { sa } else { sb }),
+        |a, b| a + b,
     )
-    .0
 }
 
 /// Approximate 4-clique count: builds the DAG and sketches internally.

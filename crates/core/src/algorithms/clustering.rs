@@ -179,12 +179,10 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_result() {
         let g = gen::kronecker(8, 8, 9);
-        let a = pg_parallel::with_threads(1, || {
-            jarvis_patrick_exact(&g, SimilarityKind::Jaccard, 0.1)
-        });
-        let b = pg_parallel::with_threads(8, || {
-            jarvis_patrick_exact(&g, SimilarityKind::Jaccard, 0.1)
-        });
+        let a =
+            pg_parallel::with_threads(1, || jarvis_patrick_exact(&g, SimilarityKind::Jaccard, 0.1));
+        let b =
+            pg_parallel::with_threads(8, || jarvis_patrick_exact(&g, SimilarityKind::Jaccard, 0.1));
         assert_eq!(a, b);
     }
 

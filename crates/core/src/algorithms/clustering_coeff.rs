@@ -125,7 +125,9 @@ mod tests {
     #[test]
     fn complete_graph_coefficients_are_one() {
         let g = gen::complete(8);
-        assert!(local_clustering(&g).iter().all(|&c| (c - 1.0).abs() < 1e-12));
+        assert!(local_clustering(&g)
+            .iter()
+            .all(|&c| (c - 1.0).abs() < 1e-12));
         assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
     }
 

@@ -13,7 +13,7 @@
 
 use crate::pg::ProbGraph;
 use pg_graph::{split_edges, CsrGraph, VertexId};
-use pg_parallel::parallel_init;
+use pg_parallel::{parallel_init, parallel_init_scratch};
 
 /// Outcome of one evaluation run.
 #[derive(Clone, Debug)]
@@ -29,21 +29,28 @@ pub struct LinkPredictionOutcome {
 }
 
 /// Enumerates distance-2 non-adjacent pairs `(u, w)`, `u < w`, of `g`.
+///
+/// Deduplication runs in a worker-local scratch buffer (collect,
+/// sort, dedup) instead of a per-vertex `HashSet` — no per-vertex hashing
+/// or rehash-growth churn, and `has_edge` is probed once per *unique*
+/// two-hop neighbor rather than once per wedge.
 fn candidate_pairs(g: &CsrGraph) -> Vec<(VertexId, VertexId)> {
     let n = g.num_vertices();
-    let per_vertex: Vec<Vec<(VertexId, VertexId)>> = parallel_init(n, |ui| {
-        let u = ui as VertexId;
-        let mut local = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        for &v in g.neighbors(u) {
-            for &w in g.neighbors(v) {
-                if w > u && !g.has_edge(u, w) && seen.insert(w) {
-                    local.push((u, w));
-                }
+    let per_vertex: Vec<Vec<(VertexId, VertexId)>> =
+        parallel_init_scratch(n, Vec::<VertexId>::new, |two_hop, ui| {
+            let u = ui as VertexId;
+            two_hop.clear();
+            for &v in g.neighbors(u) {
+                two_hop.extend(g.neighbors(v).iter().copied().filter(|&w| w > u));
             }
-        }
-        local
-    });
+            two_hop.sort_unstable();
+            two_hop.dedup();
+            two_hop
+                .iter()
+                .filter(|&&w| !g.has_edge(u, w))
+                .map(|&w| (u, w))
+                .collect()
+        });
     per_vertex.into_iter().flatten().collect()
 }
 

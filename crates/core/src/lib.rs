@@ -47,6 +47,7 @@
 pub mod accuracy;
 pub mod algorithms;
 pub mod baselines;
+mod grain;
 pub mod intersect;
 pub mod pg;
 pub mod tc_estimator;

@@ -310,7 +310,8 @@ mod tests {
             // bookkeeping slack.
             let slack = pg.len() * 32 + 64;
             assert!(
-                pg.memory_bytes() <= (g.memory_bytes() as f64 * 0.25) as usize + slack + pg.len() * 4,
+                pg.memory_bytes()
+                    <= (g.memory_bytes() as f64 * 0.25) as usize + slack + pg.len() * 4,
                 "{rep:?}: {} vs budget {}",
                 pg.memory_bytes(),
                 (g.memory_bytes() as f64 * 0.25) as usize
@@ -375,7 +376,11 @@ mod tests {
     fn dag_variant_sketches_out_neighborhoods() {
         let g = gen::kronecker(8, 8, 2);
         let dag = pg_graph::orient_by_degree(&g);
-        let pg = ProbGraph::build_dag(&dag, g.memory_bytes(), &PgConfig::new(Representation::OneHash, 0.25));
+        let pg = ProbGraph::build_dag(
+            &dag,
+            g.memory_bytes(),
+            &PgConfig::new(Representation::OneHash, 0.25),
+        );
         for v in 0..g.num_vertices() {
             assert_eq!(pg.set_size(v), dag.out_degree(v as u32));
         }

@@ -176,12 +176,11 @@ mod tests {
             }
             let _ = k;
         }
-        let k_actual = match ProbGraph::build(&g, &PgConfig::new(Representation::KHash, 0.33))
-            .params()
-        {
-            pg_sketch::SketchParams::KHash { k } => k,
-            _ => unreachable!(),
-        };
+        let k_actual =
+            match ProbGraph::build(&g, &PgConfig::new(Representation::KHash, 0.33)).params() {
+                pg_sketch::SketchParams::KHash { k } => k,
+                _ => unreachable!(),
+            };
         let bound = bounds.minhash(k_actual, t);
         let freq = violations as f64 / trials as f64;
         assert!(

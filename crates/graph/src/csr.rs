@@ -73,8 +73,7 @@ impl CsrGraph {
                 slots[sv].store(u, Ordering::Relaxed);
             }
         });
-        let mut neighbors: Vec<VertexId> =
-            slots.into_iter().map(AtomicU32::into_inner).collect();
+        let mut neighbors: Vec<VertexId> = slots.into_iter().map(AtomicU32::into_inner).collect();
         // 4. Sort + dedup each neighborhood in parallel, compact afterwards.
         let new_len: Vec<AtomicUsize> = (0..num_vertices).map(|_| AtomicUsize::new(0)).collect();
         {
@@ -132,10 +131,7 @@ impl CsrGraph {
                 nv.windows(2).all(|w| w[0] < w[1]),
                 "neighborhood of {v} not strictly sorted"
             );
-            assert!(
-                !nv.contains(&(v as VertexId)),
-                "self loop at {v}"
-            );
+            assert!(!nv.contains(&(v as VertexId)), "self loop at {v}");
             neighbors.extend_from_slice(nv);
             offsets.push(neighbors.len());
         }
@@ -260,10 +256,7 @@ mod tests {
 
     #[test]
     fn ignores_self_loops_and_duplicates() {
-        let g = CsrGraph::from_edges(
-            4,
-            &[(0, 1), (1, 0), (0, 1), (2, 2), (3, 2), (2, 3), (3, 3)],
-        );
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (0, 1), (2, 2), (3, 2), (2, 3), (3, 3)]);
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.neighbors(0), &[1]);
         assert_eq!(g.neighbors(2), &[3]);

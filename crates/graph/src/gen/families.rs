@@ -54,29 +54,144 @@ use FamilyKind::{PowerLaw, SmallWorld, Uniform};
 /// All dataset stand-ins, mirroring the graphs on the x-axis of Figs. 6–7
 /// and the accuracy study of Fig. 3.
 pub const FAMILIES: &[FamilySpec] = &[
-    FamilySpec { name: "bio-SC-GT", n: 1_700, m: 34_000, kind: PowerLaw(2.2) },
-    FamilySpec { name: "bio-CE-PG", n: 1_900, m: 48_000, kind: PowerLaw(2.2) },
-    FamilySpec { name: "bio-CE-GN", n: 2_200, m: 53_700, kind: PowerLaw(2.2) },
-    FamilySpec { name: "bio-DM-CX", n: 4_000, m: 77_000, kind: PowerLaw(2.2) },
-    FamilySpec { name: "bio-DR-CX", n: 3_300, m: 85_000, kind: PowerLaw(2.2) },
-    FamilySpec { name: "bio-HS-LC", n: 4_200, m: 39_000, kind: PowerLaw(2.2) },
-    FamilySpec { name: "bio-HS-CX", n: 4_400, m: 108_800, kind: PowerLaw(2.2) },
-    FamilySpec { name: "bio-SC-HT", n: 2_000, m: 63_000, kind: PowerLaw(2.2) },
-    FamilySpec { name: "bio-WormNet-v3", n: 16_300, m: 762_800, kind: PowerLaw(2.1) },
-    FamilySpec { name: "econ-psmigr1", n: 3_100, m: 543_000, kind: Uniform },
-    FamilySpec { name: "econ-psmigr2", n: 3_100, m: 540_000, kind: Uniform },
-    FamilySpec { name: "econ-beacxc", n: 498, m: 50_400, kind: Uniform },
-    FamilySpec { name: "econ-beaflw", n: 508, m: 53_400, kind: Uniform },
-    FamilySpec { name: "econ-mbeacxc", n: 493, m: 49_900, kind: Uniform },
-    FamilySpec { name: "econ-orani678", n: 2_500, m: 90_100, kind: Uniform },
-    FamilySpec { name: "bn-mouse_brain_1", n: 213, m: 21_800, kind: Uniform },
-    FamilySpec { name: "dimacs-hat1500-3", n: 1_500, m: 847_000, kind: Uniform },
-    FamilySpec { name: "dimacs-c500-9", n: 501, m: 112_000, kind: Uniform },
-    FamilySpec { name: "ch-SiO", n: 33_400, m: 675_500, kind: SmallWorld },
-    FamilySpec { name: "ch-Si10H16", n: 17_000, m: 446_500, kind: SmallWorld },
-    FamilySpec { name: "int-citAsPh", n: 17_900, m: 197_000, kind: PowerLaw(2.3) },
-    FamilySpec { name: "sc-ThermAB", n: 10_600, m: 522_400, kind: SmallWorld },
-    FamilySpec { name: "soc-fbMsg", n: 1_900, m: 13_800, kind: PowerLaw(2.3) },
+    FamilySpec {
+        name: "bio-SC-GT",
+        n: 1_700,
+        m: 34_000,
+        kind: PowerLaw(2.2),
+    },
+    FamilySpec {
+        name: "bio-CE-PG",
+        n: 1_900,
+        m: 48_000,
+        kind: PowerLaw(2.2),
+    },
+    FamilySpec {
+        name: "bio-CE-GN",
+        n: 2_200,
+        m: 53_700,
+        kind: PowerLaw(2.2),
+    },
+    FamilySpec {
+        name: "bio-DM-CX",
+        n: 4_000,
+        m: 77_000,
+        kind: PowerLaw(2.2),
+    },
+    FamilySpec {
+        name: "bio-DR-CX",
+        n: 3_300,
+        m: 85_000,
+        kind: PowerLaw(2.2),
+    },
+    FamilySpec {
+        name: "bio-HS-LC",
+        n: 4_200,
+        m: 39_000,
+        kind: PowerLaw(2.2),
+    },
+    FamilySpec {
+        name: "bio-HS-CX",
+        n: 4_400,
+        m: 108_800,
+        kind: PowerLaw(2.2),
+    },
+    FamilySpec {
+        name: "bio-SC-HT",
+        n: 2_000,
+        m: 63_000,
+        kind: PowerLaw(2.2),
+    },
+    FamilySpec {
+        name: "bio-WormNet-v3",
+        n: 16_300,
+        m: 762_800,
+        kind: PowerLaw(2.1),
+    },
+    FamilySpec {
+        name: "econ-psmigr1",
+        n: 3_100,
+        m: 543_000,
+        kind: Uniform,
+    },
+    FamilySpec {
+        name: "econ-psmigr2",
+        n: 3_100,
+        m: 540_000,
+        kind: Uniform,
+    },
+    FamilySpec {
+        name: "econ-beacxc",
+        n: 498,
+        m: 50_400,
+        kind: Uniform,
+    },
+    FamilySpec {
+        name: "econ-beaflw",
+        n: 508,
+        m: 53_400,
+        kind: Uniform,
+    },
+    FamilySpec {
+        name: "econ-mbeacxc",
+        n: 493,
+        m: 49_900,
+        kind: Uniform,
+    },
+    FamilySpec {
+        name: "econ-orani678",
+        n: 2_500,
+        m: 90_100,
+        kind: Uniform,
+    },
+    FamilySpec {
+        name: "bn-mouse_brain_1",
+        n: 213,
+        m: 21_800,
+        kind: Uniform,
+    },
+    FamilySpec {
+        name: "dimacs-hat1500-3",
+        n: 1_500,
+        m: 847_000,
+        kind: Uniform,
+    },
+    FamilySpec {
+        name: "dimacs-c500-9",
+        n: 501,
+        m: 112_000,
+        kind: Uniform,
+    },
+    FamilySpec {
+        name: "ch-SiO",
+        n: 33_400,
+        m: 675_500,
+        kind: SmallWorld,
+    },
+    FamilySpec {
+        name: "ch-Si10H16",
+        n: 17_000,
+        m: 446_500,
+        kind: SmallWorld,
+    },
+    FamilySpec {
+        name: "int-citAsPh",
+        n: 17_900,
+        m: 197_000,
+        kind: PowerLaw(2.3),
+    },
+    FamilySpec {
+        name: "sc-ThermAB",
+        n: 10_600,
+        m: 522_400,
+        kind: SmallWorld,
+    },
+    FamilySpec {
+        name: "soc-fbMsg",
+        n: 1_900,
+        m: 13_800,
+        kind: PowerLaw(2.3),
+    },
 ];
 
 /// Names of all families, in Table VIII order.
@@ -86,7 +201,7 @@ pub fn family_names() -> Vec<&'static str> {
 
 fn seed_for(name: &str) -> u64 {
     // Stable per-name seed so each family is reproducible independently.
-    let mut s = 0xDA7A_5E7u64;
+    let mut s = 0x0DA7_A5E7_u64;
     for b in name.bytes() {
         s = pg_hash::splitmix64_at(s ^ b as u64);
     }

@@ -108,6 +108,9 @@ mod tests {
         };
         let g = kronecker_rmat(10, 8, p, 5);
         let skew = g.max_degree() as f64 / g.avg_degree();
-        assert!(skew < 4.0, "uniform initiator should be balanced, skew={skew}");
+        assert!(
+            skew < 4.0,
+            "uniform initiator should be balanced, skew={skew}"
+        );
     }
 }

@@ -114,7 +114,11 @@ mod tests {
         let g = barabasi_albert(2000, 4, 7);
         assert_eq!(g.num_vertices(), 2000);
         // m ≈ n·m_attach (seed clique adds a few).
-        assert!((g.num_edges() as f64 - 8000.0).abs() < 500.0, "m={}", g.num_edges());
+        assert!(
+            (g.num_edges() as f64 - 8000.0).abs() < 500.0,
+            "m={}",
+            g.num_edges()
+        );
         // Preferential attachment: heavy tail.
         let skew = g.max_degree() as f64 / g.avg_degree();
         assert!(skew > 5.0, "skew={skew}");

@@ -8,7 +8,10 @@ use rand::{Rng, SeedableRng};
 /// `n(n-1)/2` pairs. Panics if `m` exceeds the number of available pairs.
 pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
     let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max_m, "G(n={n}) has at most {max_m} edges, asked for {m}");
+    assert!(
+        m <= max_m,
+        "G(n={n}) has at most {max_m} edges, asked for {m}"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x474e_4d31);
     let mut chosen = std::collections::HashSet::with_capacity(m * 2);
     let mut edges = Vec::with_capacity(m);

@@ -42,7 +42,11 @@ pub fn read_edge_list<R: Read>(reader: R) -> std::io::Result<CsrGraph> {
         max_id = max_id.max(u as u64).max(v as u64);
         edges.push((u, v));
     }
-    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     Ok(CsrGraph::from_edges(n, &edges))
 }
 
@@ -54,7 +58,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> std::io::Result<CsrGraph>
 /// Writes a graph as an edge list (one `u v` line per undirected edge).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> std::io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# probgraph edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# probgraph edge list: n={} m={}",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }

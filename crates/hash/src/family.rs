@@ -7,7 +7,7 @@
 //! per evaluation.
 
 use crate::mix::{splitmix64, xxmix64};
-use crate::murmur3::murmur3_u64;
+use crate::murmur3::{fmix32, mix_premixed, murmur3_u64, premix32};
 
 /// A family of `k` seeded hash functions over 64-bit keys (vertex IDs).
 #[derive(Clone, Debug)]
@@ -68,6 +68,84 @@ impl HashFamily {
         (((self.hash32(i, key) as u64) * (m as u64)) >> 32) as usize
     }
 
+    /// The shared batched-evaluation kernel: hashes `key` under every
+    /// function, invoking `sink(i, hash32(i, key))` in index order. The
+    /// key-side Murmur mixing ([`premix32`]) is computed once and the
+    /// four-wide unroll keeps the independent per-seed chains pipelined.
+    /// Every public batched entry point (`hashes_into`, `buckets_into`,
+    /// `for_each_bucket`) is a thin wrapper over this one loop, so the
+    /// `^ 8` length-finalizer and the unroll stay bit-identical to
+    /// [`HashFamily::hash32`] by construction.
+    #[inline(always)]
+    fn for_each_hash<S: FnMut(usize, u32)>(&self, key: u64, mut sink: S) {
+        let p0 = premix32(key as u32);
+        let p1 = premix32((key >> 32) as u32);
+        let eval = |seed: u32| fmix32(mix_premixed(mix_premixed(seed, p0), p1) ^ 8);
+        let seeds = &self.seeds32[..];
+        let k = seeds.len();
+        let mut i = 0;
+        // Four independent hash chains per iteration: no loop-carried
+        // dependency, so the multiplies overlap in the pipeline.
+        while i + 4 <= k {
+            sink(i, eval(seeds[i]));
+            sink(i + 1, eval(seeds[i + 1]));
+            sink(i + 2, eval(seeds[i + 2]));
+            sink(i + 3, eval(seeds[i + 3]));
+            i += 4;
+        }
+        while i < k {
+            sink(i, eval(seeds[i]));
+            i += 1;
+        }
+    }
+
+    /// Batched 32-bit hashes: fills `out[i] = hash32(i, key)` for every
+    /// function of the family in one call. `out.len()` must equal
+    /// [`HashFamily::len`].
+    ///
+    /// Bit-identical to `b` separate [`HashFamily::hash32`] calls, but the
+    /// key-side mixing is hoisted and the chains unrolled — the
+    /// sketch-construction hot loop of Table V spends its time here.
+    #[inline]
+    pub fn hashes_into(&self, key: u64, out: &mut [u32]) {
+        assert_eq!(
+            out.len(),
+            self.len(),
+            "output buffer must hold one hash per function"
+        );
+        self.for_each_hash(key, |i, h| out[i] = h);
+    }
+
+    /// Batched bucket reduction: fills `out[i] = bucket(i, key, m)` for
+    /// every function in one call (Lemire reduction fused into the batched
+    /// hash loop — a single pass over the family). Buckets are returned as
+    /// `u32`, which bounds `m` at `u32::MAX` bits — a 512 MiB Bloom filter,
+    /// far beyond any per-neighborhood budget.
+    #[inline]
+    pub fn buckets_into(&self, key: u64, m: usize, out: &mut [u32]) {
+        debug_assert!(m > 0);
+        assert_eq!(
+            out.len(),
+            self.len(),
+            "output buffer must hold one hash per function"
+        );
+        assert!(m <= u32::MAX as usize, "bucket space exceeds u32 range");
+        let m = m as u64;
+        self.for_each_hash(key, |i, h| out[i] = ((h as u64 * m) >> 32) as u32);
+    }
+
+    /// Streaming variant of [`HashFamily::buckets_into`]: invokes `f` with
+    /// each of the `len()` bucket indices of `key` without materializing a
+    /// buffer. This is the insertion hot path — the premix hoisting of the
+    /// batched kernel with zero extra stores.
+    #[inline]
+    pub fn for_each_bucket<F: FnMut(u32)>(&self, key: u64, m: usize, mut f: F) {
+        debug_assert!(m > 0);
+        assert!(m <= u32::MAX as usize, "bucket space exceeds u32 range");
+        let m = m as u64;
+        self.for_each_hash(key, |_, h| f(((h as u64 * m) >> 32) as u32));
+    }
+
     /// Hash of `key` under function `i` mapped to the half-open unit
     /// interval `(0, 1]`, as KMV requires (§IX: `h : X → (0; 1]`).
     #[inline(always)]
@@ -126,6 +204,39 @@ mod tests {
                 "bucket {b} count {c} far from {expect}"
             );
         }
+    }
+
+    #[test]
+    fn batched_hashes_match_scalar_path() {
+        // Exercise every unroll remainder length (0..=3 leftover chains).
+        for k in [1usize, 2, 3, 4, 5, 7, 8, 11] {
+            let f = HashFamily::new(k, 77);
+            let mut hashes = vec![0u32; k];
+            let mut buckets = vec![0u32; k];
+            for key in [0u64, 1, 12345, u64::MAX, 0xdead_beef] {
+                f.hashes_into(key, &mut hashes);
+                f.buckets_into(key, 1000, &mut buckets);
+                let mut streamed = Vec::with_capacity(k);
+                f.for_each_bucket(key, 1000, |pos| streamed.push(pos));
+                assert_eq!(streamed, buckets, "k={k} key={key:#x}");
+                for i in 0..k {
+                    assert_eq!(hashes[i], f.hash32(i, key), "k={k} i={i} key={key:#x}");
+                    assert_eq!(
+                        buckets[i] as usize,
+                        f.bucket(i, key, 1000),
+                        "k={k} i={i} key={key:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one hash per function")]
+    fn batched_hashes_reject_wrong_buffer_size() {
+        let f = HashFamily::new(3, 1);
+        let mut out = vec![0u32; 2];
+        f.hashes_into(9, &mut out);
     }
 
     #[test]

@@ -32,11 +32,28 @@ pub fn fmix64(mut h: u64) -> u64 {
 }
 
 #[inline(always)]
-fn body_round(mut h: u32, mut k: u32) -> u32 {
-    k = k.wrapping_mul(C1);
-    k = k.rotate_left(15);
-    k = k.wrapping_mul(C2);
-    h ^= k;
+fn body_round(h: u32, k: u32) -> u32 {
+    mix_premixed(h, premix32(k))
+}
+
+/// The key-side half of a MurmurHash3 body round: `((k·C1) rol 15)·C2`.
+///
+/// Depends only on the key word, not on the running state — so when one key
+/// is hashed under `b` different seeds (Bloom insertion, MinHash signatures)
+/// it can be computed **once** and shared across all `b` evaluations. This
+/// is what makes the batched [`crate::HashFamily::buckets_into`] kernel
+/// cheaper than `b` independent `murmur3_u64` calls while staying
+/// bit-identical to them.
+#[inline(always)]
+pub fn premix32(k: u32) -> u32 {
+    k.wrapping_mul(C1).rotate_left(15).wrapping_mul(C2)
+}
+
+/// The state-side half of a body round: folds a [`premix32`]-ed key word
+/// into the running state.
+#[inline(always)]
+pub fn mix_premixed(mut h: u32, kp: u32) -> u32 {
+    h ^= kp;
     h = h.rotate_left(13);
     h.wrapping_mul(5).wrapping_add(0xe654_6b64)
 }
@@ -96,7 +113,10 @@ mod tests {
         assert_eq!(murmur3_bytes(b"", 0xffff_ffff), 0x81f1_6f39);
         assert_eq!(murmur3_bytes(&[0xff, 0xff, 0xff, 0xff], 0), 0x7629_3b50);
         assert_eq!(murmur3_bytes(&[0x21, 0x43, 0x65, 0x87], 0), 0xf55b_516b);
-        assert_eq!(murmur3_bytes(&[0x21, 0x43, 0x65, 0x87], 0x5082edee), 0x2362_f9de);
+        assert_eq!(
+            murmur3_bytes(&[0x21, 0x43, 0x65, 0x87], 0x5082edee),
+            0x2362_f9de
+        );
         assert_eq!(murmur3_bytes(&[0x21, 0x43, 0x65], 0), 0x7e4a_8634);
         assert_eq!(murmur3_bytes(&[0x21, 0x43], 0), 0xa0f7_b07a);
         assert_eq!(murmur3_bytes(&[0x21], 0), 0x7266_1cf4);
@@ -122,6 +142,24 @@ mod tests {
                 assert_eq!(
                     murmur3_u64(key, seed),
                     murmur3_bytes(&key.to_le_bytes(), seed),
+                    "key={key:#x} seed={seed:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn premixed_path_is_bit_identical() {
+        // The hoisted premix32/mix_premixed decomposition must reproduce
+        // murmur3_u64 exactly for every (key, seed).
+        for key in [0u64, 1, u64::MAX, 0xdead_beef_cafe_babe, 1 << 33, 42] {
+            let p0 = premix32(key as u32);
+            let p1 = premix32((key >> 32) as u32);
+            for seed in [0u32, 7, 0x9747_b28c, u32::MAX] {
+                let via_premix = fmix32(mix_premixed(mix_premixed(seed, p0), p1) ^ 8);
+                assert_eq!(
+                    via_premix,
+                    murmur3_u64(key, seed),
                     "key={key:#x} seed={seed:#x}"
                 );
             }
@@ -155,6 +193,9 @@ mod tests {
         let a: Vec<u32> = (0..1000).map(|i| murmur3_u32(i, 1)).collect();
         let b: Vec<u32> = (0..1000).map(|i| murmur3_u32(i, 2)).collect();
         let equal = a.iter().zip(&b).filter(|(x, y)| x == y).count();
-        assert!(equal <= 2, "seeds should give distinct streams ({equal} collisions)");
+        assert!(
+            equal <= 2,
+            "seeds should give distinct streams ({equal} collisions)"
+        );
     }
 }

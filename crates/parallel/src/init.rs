@@ -47,6 +47,31 @@ where
     unsafe { Vec::from_raw_parts(storage.as_mut_ptr() as *mut T, n, storage.capacity()) }
 }
 
+/// [`parallel_init`] with worker-local scratch: element `i` is
+/// `f(&mut scratch, i)` where each worker owns one scratch value for its
+/// whole run (see [`crate::parallel_for_scratch`]). Use when computing an
+/// element needs temporary buffers that would otherwise be reallocated
+/// per element.
+pub fn parallel_init_scratch<T, S, Mk, F>(n: usize, make_scratch: Mk, f: F) -> Vec<T>
+where
+    T: Send,
+    Mk: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let mut storage: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit<T> needs no initialization; len==capacity==n.
+    unsafe { storage.set_len(n) };
+    let ptr = SendPtr(storage.as_mut_ptr());
+    let ptr = &ptr;
+    crate::parallel_for_scratch(n, crate::auto_grain(n), make_scratch, |scratch, i| {
+        // SAFETY: each index is written exactly once (see SendPtr docs).
+        unsafe { (*ptr.0.add(i)).write(f(scratch, i)) };
+    });
+    let mut storage = std::mem::ManuallyDrop::new(storage);
+    // SAFETY: all n elements initialized; identical layout & allocator.
+    unsafe { Vec::from_raw_parts(storage.as_mut_ptr() as *mut T, n, storage.capacity()) }
+}
+
 /// Overwrites `out[i] = f(i)` for every element, in parallel.
 pub fn parallel_fill_with<T, F>(out: &mut [T], f: F)
 where
@@ -107,6 +132,23 @@ mod tests {
         let mut v = vec![0u32; 5000];
         with_threads(4, || parallel_fill_with(&mut v, |i| i as u32 + 1));
         assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+    }
+
+    #[test]
+    fn init_scratch_matches_plain_init() {
+        for threads in [1, 4] {
+            let got = with_threads(threads, || {
+                parallel_init_scratch(3000, Vec::<u64>::new, |scratch, i| {
+                    scratch.clear();
+                    scratch.extend((0..i as u64 % 7).map(|x| x * 2));
+                    scratch.iter().sum::<u64>() + i as u64
+                })
+            });
+            let want: Vec<u64> = (0..3000u64)
+                .map(|i| (0..i % 7).map(|x| x * 2).sum::<u64>() + i)
+                .collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
     }
 
     #[test]

@@ -46,9 +46,11 @@ mod par;
 mod reduce;
 
 pub use config::{available_threads, current_threads, set_threads, with_threads};
-pub use init::{parallel_fill_with, parallel_init};
-pub use par::{join, parallel_for, parallel_for_grain, parallel_for_range};
-pub use reduce::{map_reduce, map_reduce_grain, max_f64, min_f64, sum_f64, sum_u64};
+pub use init::{parallel_fill_with, parallel_init, parallel_init_scratch};
+pub use par::{join, parallel_for, parallel_for_grain, parallel_for_range, parallel_for_scratch};
+pub use reduce::{
+    map_reduce, map_reduce_grain, map_reduce_scratch, max_f64, min_f64, sum_f64, sum_u64,
+};
 
 /// Picks a chunk size ("grain") for a loop of `n` iterations.
 ///
@@ -62,6 +64,35 @@ pub use reduce::{map_reduce, map_reduce_grain, max_f64, min_f64, sum_f64, sum_u6
 pub fn auto_grain(n: usize) -> usize {
     let t = current_threads().max(1);
     (n / (8 * t)).clamp(1, 4096)
+}
+
+/// Degree-aware grain for loops with **skewed per-iteration work** (one
+/// iteration = one vertex neighborhood; power-law graphs put orders of
+/// magnitude more work behind a hub than behind a median vertex).
+///
+/// [`auto_grain`] assumes uniform iterations: with `n/(8t)` iterations per
+/// chunk, the chunk that happens to contain a hub carries
+/// `max_work + (grain−1)·avg` — a serial tail that stalls the join. This
+/// variant sizes chunks by *work* instead: each chunk should carry about
+/// `total_work / (16·threads)`, and a chunk already containing a
+/// `max_work` hub gets only the remaining headroom in extra iterations.
+/// For uniform work it degenerates to roughly [`auto_grain`]; for heavy
+/// skew (`max_work ≥` the per-chunk target) it collapses to `grain = 1`,
+/// letting the dynamic scheduler isolate hubs.
+///
+/// `total_work`/`max_work` are abstract work units (e.g. `Σ d_v` and
+/// `max d_v` for per-edge loops, `Σ d_v²` / `max d_v²` for wedge loops).
+#[inline]
+pub fn weighted_grain(n: usize, total_work: u64, max_work: u64) -> usize {
+    if n == 0 || total_work == 0 {
+        return 1;
+    }
+    let t = current_threads().max(1) as u64;
+    let avg = (total_work / n as u64).max(1);
+    let target = (total_work / (16 * t)).max(1);
+    let headroom = target.saturating_sub(max_work);
+    let by_work = 1 + (headroom / avg) as usize;
+    by_work.min(auto_grain(n))
 }
 
 #[cfg(test)]
@@ -82,5 +113,35 @@ mod tests {
         let g1 = with_threads(1, || auto_grain(100_000));
         let g8 = with_threads(8, || auto_grain(100_000));
         assert!(g8 <= g1);
+    }
+
+    #[test]
+    fn weighted_grain_uniform_work_tracks_auto() {
+        with_threads(8, || {
+            let n = 100_000;
+            // Uniform work: max == avg.
+            let g = weighted_grain(n, n as u64 * 10, 10);
+            assert!(g >= auto_grain(n) / 4, "g={g} auto={}", auto_grain(n));
+            assert!(g <= auto_grain(n));
+        });
+    }
+
+    #[test]
+    fn weighted_grain_collapses_under_heavy_skew() {
+        with_threads(8, || {
+            let n = 100_000;
+            // One hub holds half the total work: chunks must shrink to 1 so
+            // the scheduler can isolate it.
+            let total = 2_000_000u64;
+            let g = weighted_grain(n, total, total / 2);
+            assert_eq!(g, 1);
+        });
+    }
+
+    #[test]
+    fn weighted_grain_degenerate_inputs() {
+        assert_eq!(weighted_grain(0, 100, 10), 1);
+        assert_eq!(weighted_grain(100, 0, 0), 1);
+        assert!(weighted_grain(1, 1, 1) >= 1);
     }
 }

@@ -38,25 +38,55 @@ pub fn parallel_for_grain<F>(n: usize, grain: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
+    // Thin wrapper over the scratch variant with unit scratch — one
+    // chunk-claiming worker loop to maintain.
+    parallel_for_scratch(n, grain, || (), |(), i| f(i));
+}
+
+/// [`parallel_for_grain`] with **worker-local scratch**: each worker calls
+/// `make_scratch` once and threads the value through every iteration it
+/// claims. This is how hot loops avoid per-iteration heap churn — e.g. the
+/// 4-clique kernel reuses one `Vec` per worker for its materialized
+/// `C3 = N⁺_u ∩ N⁺_v` sets instead of allocating per vertex.
+pub fn parallel_for_scratch<S, Make, F>(n: usize, grain: usize, make_scratch: Make, f: F)
+where
+    Make: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
     let grain = grain.max(1);
     let threads = current_threads();
     if threads <= 1 || n <= grain {
+        let mut scratch = make_scratch();
         for i in 0..n {
-            f(i);
+            f(&mut scratch, i);
         }
         return;
     }
     let threads = threads.min(n.div_ceil(grain));
     let cursor = AtomicUsize::new(0);
-    let f = &f;
     let cursor = &cursor;
+    let make_scratch = &make_scratch;
+    let f = &f;
+    // The calling thread participates as worker 0; fork threads-1 more.
+    let work = move || {
+        let mut scratch = make_scratch();
+        loop {
+            let start = cursor.fetch_add(grain, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + grain).min(n);
+            for i in start..end {
+                f(&mut scratch, i);
+            }
+        }
+    };
     std::thread::scope(|s| {
-        // The calling thread participates as worker 0; fork threads-1 more.
         let mut handles = Vec::with_capacity(threads - 1);
         for _ in 1..threads {
-            handles.push(s.spawn(move || worker_loop(n, grain, cursor, f)));
+            handles.push(s.spawn(work));
         }
-        worker_loop(n, grain, cursor, f);
+        work();
         for h in handles {
             // Propagate worker panics to the caller, as OpenMP would abort.
             if let Err(p) = h.join() {
@@ -64,20 +94,6 @@ where
             }
         }
     });
-}
-
-#[inline]
-fn worker_loop<F: Fn(usize) + Sync>(n: usize, grain: usize, cursor: &AtomicUsize, f: &F) {
-    loop {
-        let start = cursor.fetch_add(grain, Ordering::Relaxed);
-        if start >= n {
-            break;
-        }
-        let end = (start + grain).min(n);
-        for i in start..end {
-            f(i);
-        }
-    }
 }
 
 /// Runs two closures, potentially in parallel, and returns both results.
@@ -171,6 +187,24 @@ mod tests {
             });
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn scratch_loop_covers_everything_and_reuses_buffers() {
+        for threads in [1, 4] {
+            with_threads(threads, || {
+                let n = 5000;
+                let marks: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                parallel_for_scratch(n, 8, Vec::<usize>::new, |scratch, i| {
+                    // The scratch buffer persists across iterations of
+                    // one worker; only its contents are per-iteration.
+                    scratch.clear();
+                    scratch.extend([i, i + 1]);
+                    marks[scratch[0]].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+            });
+        }
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! the last ulps; integer reductions are exact and deterministic).
 
 use crate::config::current_threads;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Parallel map-reduce over `0..n`.
 ///
@@ -36,7 +36,9 @@ where
     map_reduce_grain(n, crate::auto_grain(n), identity, map, combine)
 }
 
-/// [`map_reduce`] with an explicit scheduling grain.
+/// [`map_reduce`] with an explicit scheduling grain. Thin wrapper over
+/// [`map_reduce_scratch`] with unit scratch — one scheduling loop to
+/// maintain.
 pub fn map_reduce_grain<T, Id, M, C>(n: usize, grain: usize, identity: Id, map: M, combine: C) -> T
 where
     T: Send,
@@ -44,12 +46,39 @@ where
     M: Fn(T, usize) -> T + Sync,
     C: Fn(T, T) -> T + Sync,
 {
+    map_reduce_scratch(n, grain, identity, || (), |(), acc, i| map(acc, i), combine)
+}
+
+/// [`map_reduce_grain`] with worker-local scratch: `map(scratch, acc, i)`
+/// folds iteration `i` into the worker-private accumulator while reusing
+/// the worker's scratch value (created once per worker by `make_scratch`).
+///
+/// The accumulator/scratch split matters: accumulators are *combined* at
+/// join time, scratch is *discarded* — putting a reusable buffer into the
+/// accumulator (the old 4-clique trick) forces `combine` to arbitrate
+/// which buffer to keep, whereas scratch needs no such ceremony.
+pub fn map_reduce_scratch<T, S, Id, Mk, M, C>(
+    n: usize,
+    grain: usize,
+    identity: Id,
+    make_scratch: Mk,
+    map: M,
+    combine: C,
+) -> T
+where
+    T: Send,
+    Id: Fn() -> T + Sync,
+    Mk: Fn() -> S + Sync,
+    M: Fn(&mut S, T, usize) -> T + Sync,
+    C: Fn(T, T) -> T + Sync,
+{
     let grain = grain.max(1);
     let threads = current_threads();
     if threads <= 1 || n <= grain {
+        let mut scratch = make_scratch();
         let mut acc = identity();
         for i in 0..n {
-            acc = map(acc, i);
+            acc = map(&mut scratch, acc, i);
         }
         return acc;
     }
@@ -60,10 +89,12 @@ where
         let cursor = &cursor;
         let partials = &partials;
         let identity = &identity;
+        let make_scratch = &make_scratch;
         let map = &map;
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(threads - 1);
             let work = move || {
+                let mut scratch = make_scratch();
                 let mut acc = identity();
                 loop {
                     let start = cursor.fetch_add(grain, Ordering::Relaxed);
@@ -72,10 +103,10 @@ where
                     }
                     let end = (start + grain).min(n);
                     for i in start..end {
-                        acc = map(acc, i);
+                        acc = map(&mut scratch, acc, i);
                     }
                 }
-                partials.lock().push(acc);
+                partials.lock().unwrap_or_else(|e| e.into_inner()).push(acc);
             };
             for _ in 1..threads {
                 handles.push(s.spawn(work));
@@ -89,7 +120,7 @@ where
         });
     }
     let mut acc = identity();
-    for p in partials.into_inner() {
+    for p in partials.into_inner().unwrap_or_else(|e| e.into_inner()) {
         acc = combine(acc, p);
     }
     acc
@@ -181,6 +212,28 @@ mod tests {
         });
         assert_eq!(cnt, 5000);
         assert_eq!(sum, 4999 * 5000 / 2);
+    }
+
+    #[test]
+    fn scratch_reduce_matches_plain_reduce() {
+        let n = 20_000;
+        let expect: u64 = (0..n as u64).map(|i| i % 13).sum();
+        for threads in [1, 2, 8] {
+            let got = with_threads(threads, || {
+                map_reduce_scratch(
+                    n,
+                    64,
+                    || 0u64,
+                    || vec![0u8; 16],
+                    |scratch, acc, i| {
+                        scratch[0] = scratch[0].wrapping_add(1); // exercise reuse
+                        acc + (i as u64 % 13)
+                    },
+                    |a, b| a + b,
+                )
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
     }
 
     #[test]

@@ -5,6 +5,18 @@
 //! arrays followed by a population count. `u64::count_ones` compiles to the
 //! `popcnt` instruction the paper calls out, and the word loops here are
 //! simple enough for LLVM to auto-vectorize (the AVX path of §VI).
+//!
+//! ## Fused single-pass kernels
+//!
+//! Every kernel in this module makes exactly **one** traversal of its word
+//! arrays and allocates nothing. The loops run four independent accumulator
+//! lanes so consecutive `popcnt`s have no loop-carried dependency and
+//! pipeline at full issue width. [`and_or_ones_words`] is the maximal
+//! fusion: one traversal yields all four statistics the paper's Bloom
+//! estimators consume — `B_{X∩Y,1}`, `B_{X∪Y,1}`, `B_{X,1}`, `B_{Y,1}` —
+//! so evaluating the AND (Eq. 2), Limit (Eq. 4), *and* OR (Eq. 29)
+//! estimators for one edge costs a single pass instead of the 2–3 passes
+//! of the obvious per-estimator implementation.
 
 /// Fixed-length bit vector.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,6 +54,18 @@ impl BitVec {
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
+    /// Sets bit `i` and reports whether it was previously zero — lets
+    /// callers maintain an incremental popcount without a second word load.
+    #[inline]
+    pub fn set_new(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len_bits);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let was_zero = *w & mask == 0;
+        *w |= mask;
+        was_zero
+    }
+
     /// Reads bit `i`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
@@ -76,6 +100,14 @@ impl BitVec {
         or_count_words(&self.words, &other.words)
     }
 
+    /// All four pair statistics in one fused traversal; see
+    /// [`and_or_ones_words`].
+    #[inline]
+    pub fn pair_ones(&self, other: &BitVec) -> PairOnes {
+        assert_eq!(self.len_bits, other.len_bits, "bit vectors differ in size");
+        and_or_ones_words(&self.words, &other.words)
+    }
+
     /// Materialized AND (for callers that need the intersected filter).
     pub fn and(&self, other: &BitVec) -> BitVec {
         assert_eq!(self.len_bits, other.len_bits, "bit vectors differ in size");
@@ -91,30 +123,123 @@ impl BitVec {
     }
 }
 
-/// Popcount of a word slice.
-#[inline]
-pub fn count_ones_words(words: &[u64]) -> usize {
-    words.iter().map(|w| w.count_ones() as usize).sum()
+/// The four popcounts of one filter pair, from one fused traversal:
+/// `B_{X∩Y,1}`, `B_{X∪Y,1}`, `B_{X,1}`, `B_{Y,1}` in the paper's notation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairOnes {
+    /// Popcount of `X AND Y` (`B_{X∩Y,1}`, Eq. 2 / Eq. 4 input).
+    pub and_ones: usize,
+    /// Popcount of `X OR Y` (`B_{X∪Y,1}`, Eq. 29 input).
+    pub or_ones: usize,
+    /// Popcount of `X` alone (`B_{X,1}`).
+    pub a_ones: usize,
+    /// Popcount of `Y` alone (`B_{Y,1}`).
+    pub b_ones: usize,
 }
 
-/// Fused AND + popcount of two word slices (must be equal length).
+/// Popcount of a word slice, four accumulator lanes wide.
+#[inline]
+pub fn count_ones_words(words: &[u64]) -> usize {
+    let mut lanes = [0usize; 4];
+    let mut chunks = words.chunks_exact(4);
+    for w in &mut chunks {
+        lanes[0] += w[0].count_ones() as usize;
+        lanes[1] += w[1].count_ones() as usize;
+        lanes[2] += w[2].count_ones() as usize;
+        lanes[3] += w[3].count_ones() as usize;
+    }
+    let mut total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for w in chunks.remainder() {
+        total += w.count_ones() as usize;
+    }
+    total
+}
+
+/// Fused AND + popcount of two word slices (must be equal length); one
+/// traversal, zero allocation, four independent lanes.
 #[inline]
 pub fn and_count_words(a: &[u64], b: &[u64]) -> usize {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x & y).count_ones() as usize)
-        .sum()
+    let mut lanes = [0usize; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        lanes[0] += (x[0] & y[0]).count_ones() as usize;
+        lanes[1] += (x[1] & y[1]).count_ones() as usize;
+        lanes[2] += (x[2] & y[2]).count_ones() as usize;
+        lanes[3] += (x[3] & y[3]).count_ones() as usize;
+    }
+    let mut total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        total += (x & y).count_ones() as usize;
+    }
+    total
 }
 
 /// Fused OR + popcount of two word slices (must be equal length).
 #[inline]
 pub fn or_count_words(a: &[u64], b: &[u64]) -> usize {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x | y).count_ones() as usize)
-        .sum()
+    let mut lanes = [0usize; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        lanes[0] += (x[0] | y[0]).count_ones() as usize;
+        lanes[1] += (x[1] | y[1]).count_ones() as usize;
+        lanes[2] += (x[2] | y[2]).count_ones() as usize;
+        lanes[3] += (x[3] | y[3]).count_ones() as usize;
+    }
+    let mut total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        total += (x | y).count_ones() as usize;
+    }
+    total
+}
+
+/// The maximally fused kernel: one traversal of both word slices yields
+/// `AND`, `OR`, and both single-filter popcounts (see [`PairOnes`]).
+///
+/// Only two popcounts are evaluated per word pair — `or_ones` and `b_ones`
+/// come for free from the identities `|x∨y| = |x| + |y| − |x∧y|` applied
+/// word-wise: we count `x & y` and `x | y` directly and recover
+/// `a_ones + b_ones = and_ones + or_ones`, counting `x` in a third lane.
+#[inline]
+pub fn and_or_ones_words(a: &[u64], b: &[u64]) -> PairOnes {
+    debug_assert_eq!(a.len(), b.len());
+    let mut and_l = [0usize; 4];
+    let mut or_l = [0usize; 4];
+    let mut a_l = [0usize; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        and_l[0] += (x[0] & y[0]).count_ones() as usize;
+        and_l[1] += (x[1] & y[1]).count_ones() as usize;
+        and_l[2] += (x[2] & y[2]).count_ones() as usize;
+        and_l[3] += (x[3] & y[3]).count_ones() as usize;
+        or_l[0] += (x[0] | y[0]).count_ones() as usize;
+        or_l[1] += (x[1] | y[1]).count_ones() as usize;
+        or_l[2] += (x[2] | y[2]).count_ones() as usize;
+        or_l[3] += (x[3] | y[3]).count_ones() as usize;
+        a_l[0] += x[0].count_ones() as usize;
+        a_l[1] += x[1].count_ones() as usize;
+        a_l[2] += x[2].count_ones() as usize;
+        a_l[3] += x[3].count_ones() as usize;
+    }
+    let mut and_ones = and_l[0] + and_l[1] + and_l[2] + and_l[3];
+    let mut or_ones = or_l[0] + or_l[1] + or_l[2] + or_l[3];
+    let mut a_ones = a_l[0] + a_l[1] + a_l[2] + a_l[3];
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        and_ones += (x & y).count_ones() as usize;
+        or_ones += (x | y).count_ones() as usize;
+        a_ones += x.count_ones() as usize;
+    }
+    PairOnes {
+        and_ones,
+        or_ones,
+        a_ones,
+        // Word-wise |x| + |y| = |x∧y| + |x∨y|, summed over the slice.
+        b_ones: and_ones + or_ones - a_ones,
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +293,53 @@ mod tests {
     #[should_panic(expected = "differ in size")]
     fn size_mismatch_panics() {
         BitVec::zeros(64).and_count(&BitVec::zeros(128));
+    }
+
+    #[test]
+    fn fused_pair_kernel_matches_separate_passes() {
+        // Cover every unroll remainder (words % 4 in {0,1,2,3}).
+        for bits in [0usize, 64, 128, 192, 256, 320, 1024, 65 * 64] {
+            let words = bits / 64;
+            let mut a = vec![0u64; words];
+            let mut b = vec![0u64; words];
+            let mut state = bits as u64 ^ 0xABCD;
+            for w in 0..words {
+                a[w] = pg_hash::splitmix64(&mut state);
+                b[w] = pg_hash::splitmix64(&mut state) & pg_hash::splitmix64(&mut state);
+            }
+            let p = and_or_ones_words(&a, &b);
+            assert_eq!(p.and_ones, and_count_words(&a, &b), "bits={bits}");
+            assert_eq!(p.or_ones, or_count_words(&a, &b), "bits={bits}");
+            assert_eq!(p.a_ones, count_ones_words(&a), "bits={bits}");
+            assert_eq!(p.b_ones, count_ones_words(&b), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn set_new_reports_first_set_only() {
+        let mut v = BitVec::zeros(100);
+        assert!(v.set_new(70));
+        assert!(!v.set_new(70));
+        assert!(v.set_new(0));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn pair_ones_on_bitvecs() {
+        let mut a = BitVec::zeros(300);
+        let mut b = BitVec::zeros(300);
+        for i in (0..300).step_by(3) {
+            a.set(i);
+        }
+        for i in (0..300).step_by(4) {
+            b.set(i);
+        }
+        let p = a.pair_ones(&b);
+        assert_eq!(p.and_ones, a.and_count(&b));
+        assert_eq!(p.or_ones, a.or_count(&b));
+        assert_eq!(p.a_ones, a.count_ones());
+        assert_eq!(p.b_ones, b.count_ones());
+        assert_eq!(p.a_ones + p.b_ones, p.and_ones + p.or_ones);
     }
 
     #[test]

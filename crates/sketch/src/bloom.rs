@@ -5,17 +5,52 @@
 //! is the paper's central load-balancing trick (Fig. 1, panel 5): every
 //! neighborhood intersection costs exactly `B/W` word-AND operations, no
 //! matter how skewed the degrees are.
+//!
+//! ## Zero-allocation hot paths
+//!
+//! Three things keep the per-edge estimator cost at "a handful of word-AND
+//! + popcount operations", as the paper's speedup model assumes:
+//!
+//! 1. **Batched hashing** — insertion and membership compute all `b` bucket
+//!    indices of a key in one [`HashFamily::buckets_into`] call (key-side
+//!    Murmur mixing hoisted, chains unrolled) into a stack buffer.
+//! 2. **Cached popcounts** — `B_{X,1}` of every filter is computed once at
+//!    build time ([`BloomFilter`] maintains it incrementally, the
+//!    collection popcounts each freshly written, cache-hot window), so no
+//!    estimator ever re-counts a static sketch.
+//! 3. **Fused pair kernels** — with `B_{X,1}`/`B_{Y,1}` cached, one fused
+//!    AND+popcount traversal yields `B_{X∩Y,1}` directly and `B_{X∪Y,1}`
+//!    via `B_{X∪Y,1} = B_{X,1} + B_{Y,1} − B_{X∩Y,1}`, so the AND, Limit,
+//!    *and* OR estimators all cost a single pass per edge.
 
-use crate::bitvec::{and_count_words, count_ones_words, or_count_words, BitVec};
+use crate::bitvec::{and_count_words, count_ones_words, or_count_words, BitVec, PairOnes};
 use crate::estimators;
 use pg_hash::HashFamily;
 use pg_parallel::parallel_for;
+
+/// Upper bound on `b` so bucket batches fit a stack buffer. The paper finds
+/// `b ∈ {1, 2}` best and never evaluates past 4; 16 leaves generous slack.
+pub const MAX_BLOOM_HASHES: usize = 16;
+
+/// All three Bloom intersection estimates of one pair, from one fused pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BfPairEstimates {
+    /// `|X∩Y|̂_AND` (Eq. 2).
+    pub and_est: f64,
+    /// `|X∩Y|̂_L` (Eq. 4).
+    pub limit_est: f64,
+    /// `|X∩Y|̂_OR` (Eq. 29).
+    pub or_est: f64,
+}
 
 /// A standalone Bloom filter over `u32` items with `b` hash functions.
 #[derive(Clone, Debug)]
 pub struct BloomFilter {
     bits: BitVec,
     family: HashFamily,
+    /// Incrementally maintained popcount (`B_{X,1}`); filters are
+    /// insert-only, so every newly set bit bumps it by one.
+    ones: usize,
 }
 
 impl BloomFilter {
@@ -23,9 +58,14 @@ impl BloomFilter {
     pub fn new(bits: usize, b: usize, seed: u64) -> Self {
         assert!(bits > 0, "Bloom filter needs at least one bit");
         assert!(b > 0, "Bloom filter needs at least one hash function");
+        assert!(
+            b <= MAX_BLOOM_HASHES,
+            "Bloom filter supports at most {MAX_BLOOM_HASHES} hash functions"
+        );
         BloomFilter {
             bits: BitVec::zeros(bits),
             family: HashFamily::new(b, seed),
+            ones: 0,
         }
     }
 
@@ -38,20 +78,26 @@ impl BloomFilter {
         f
     }
 
-    /// Inserts one item (sets its `b` bits).
+    /// Inserts one item (sets its `b` bits; all buckets batched into one
+    /// streaming hash call — key-side mixing computed once per item).
     #[inline]
     pub fn insert(&mut self, item: u32) {
-        for i in 0..self.family.len() {
-            let pos = self.family.bucket(i, item as u64, self.bits.len_bits());
-            self.bits.set(pos);
-        }
+        let bits = &mut self.bits;
+        let ones = &mut self.ones;
+        self.family
+            .for_each_bucket(item as u64, bits.len_bits(), |pos| {
+                *ones += usize::from(bits.set_new(pos as usize));
+            });
     }
 
     /// Membership query; false positives possible, false negatives not.
     #[inline]
     pub fn contains(&self, item: u32) -> bool {
-        (0..self.family.len())
-            .all(|i| self.bits.get(self.family.bucket(i, item as u64, self.bits.len_bits())))
+        let mut buf = [0u32; MAX_BLOOM_HASHES];
+        let b = self.family.len();
+        self.family
+            .buckets_into(item as u64, self.bits.len_bits(), &mut buf[..b]);
+        buf[..b].iter().all(|&pos| self.bits.get(pos as usize))
     }
 
     /// Number of hash functions `b`.
@@ -66,10 +112,11 @@ impl BloomFilter {
         self.bits.len_bits()
     }
 
-    /// Number of set bits (`B_{X,1}`).
+    /// Number of set bits (`B_{X,1}`) — cached, `O(1)`.
     #[inline]
     pub fn count_ones(&self) -> usize {
-        self.bits.count_ones()
+        debug_assert_eq!(self.ones, self.bits.count_ones());
+        self.ones
     }
 
     /// The underlying bit vector.
@@ -98,15 +145,31 @@ impl BloomFilter {
         estimators::bf_intersect_limit(self.bits.and_count(&other.bits), self.num_hashes())
     }
 
-    /// `|X∩Y|̂_OR` (Eq. 29); needs the exact set sizes.
+    /// `|X∩Y|̂_OR` (Eq. 29); needs the exact set sizes. Costs one fused
+    /// AND pass: `B_{X∪Y,1}` is recovered from the cached single-filter
+    /// popcounts via inclusion–exclusion.
     pub fn estimate_intersection_or(&self, other: &BloomFilter, nx: usize, ny: usize) -> f64 {
-        estimators::bf_intersect_or(
-            self.bits.or_count(&other.bits),
-            self.len_bits(),
-            self.num_hashes(),
-            nx,
-            ny,
-        )
+        let and_ones = self.bits.and_count(&other.bits);
+        let or_ones = self.ones + other.ones - and_ones;
+        estimators::bf_intersect_or(or_ones, self.len_bits(), self.num_hashes(), nx, ny)
+    }
+
+    /// All three intersection estimators from **one** fused pass over the
+    /// pair (plus the cached popcounts).
+    pub fn estimate_intersection_all(
+        &self,
+        other: &BloomFilter,
+        nx: usize,
+        ny: usize,
+    ) -> BfPairEstimates {
+        let and_ones = self.bits.and_count(&other.bits);
+        let or_ones = self.ones + other.ones - and_ones;
+        let (bits, b) = (self.len_bits(), self.num_hashes());
+        BfPairEstimates {
+            and_est: estimators::bf_intersect_and(and_ones, bits, b),
+            limit_est: estimators::bf_intersect_limit(and_ones, b),
+            or_est: estimators::bf_intersect_or(or_ones, bits, b, nx, ny),
+        }
     }
 }
 
@@ -119,7 +182,22 @@ pub struct BloomCollection {
     bits_per_set: usize,
     b: usize,
     family: HashFamily,
+    /// Cached `B_{X,1}` per filter, popcounted at build time while each
+    /// window is still cache-hot. Bookkeeping like the callers' size
+    /// arrays — not charged against the sketch budget.
+    ones: Vec<u32>,
+    /// Memoized Swamidass curve: `swami[o] = −(B/b)·ln(1 − o/B)` for every
+    /// possible popcount `o ∈ 0..=B`. For a fixed collection the AND
+    /// estimator (Eq. 2) is `swami[and_ones]` and the OR estimator (Eq. 29)
+    /// is `nx + ny − swami[or_ones]`, so the per-edge `ln` (≈ half the cost
+    /// of a fused AND pass) becomes one L2 load. Skipped for huge filters
+    /// where the table would not stay cache-resident.
+    swami: Option<Vec<f64>>,
 }
+
+/// Largest `B` for which the Swamidass table is materialized (512 KiB of
+/// `f64`; per-neighborhood budgets are orders of magnitude below this).
+const MAX_SWAMI_TABLE_BITS: usize = 1 << 16;
 
 impl BloomCollection {
     /// Builds filters for `n_sets` sets in parallel. `set(i)` must return
@@ -132,16 +210,23 @@ impl BloomCollection {
         F: Fn(usize) -> &'a [u32] + Sync,
     {
         assert!(b > 0, "need at least one hash function");
+        assert!(
+            b <= MAX_BLOOM_HASHES,
+            "at most {MAX_BLOOM_HASHES} hash functions supported"
+        );
         let words_per_set = bits_per_set.div_ceil(64).max(1);
         let bits_per_set = words_per_set * 64;
         let family = HashFamily::new(b, seed);
         let mut data = vec![0u64; n_sets * words_per_set];
+        let mut ones = vec![0u32; n_sets];
         {
-            struct SendPtr(*mut u64);
-            unsafe impl Send for SendPtr {}
-            unsafe impl Sync for SendPtr {}
+            struct SendPtr<T>(*mut T);
+            unsafe impl<T> Send for SendPtr<T> {}
+            unsafe impl<T> Sync for SendPtr<T> {}
             let base = SendPtr(data.as_mut_ptr());
             let base = &base;
+            let ones_base = SendPtr(ones.as_mut_ptr());
+            let ones_base = &ones_base;
             let family = &family;
             parallel_for(n_sets, |s| {
                 // SAFETY: window [s*wps, (s+1)*wps) is exclusive to set s.
@@ -149,30 +234,43 @@ impl BloomCollection {
                     std::slice::from_raw_parts_mut(base.0.add(s * words_per_set), words_per_set)
                 };
                 for &x in set(s) {
-                    for i in 0..b {
-                        let pos = family.bucket(i, x as u64, bits_per_set);
-                        window[pos / 64] |= 1u64 << (pos % 64);
-                    }
+                    family.for_each_bucket(x as u64, bits_per_set, |pos| {
+                        // SAFETY: the Lemire reduction in `for_each_bucket`
+                        // yields pos < bits_per_set = window.len() * 64, so
+                        // pos/64 is in bounds. (The checked form costs ~20 %
+                        // of construction: the bound is runtime here, so
+                        // LLVM cannot elide the check itself.)
+                        unsafe {
+                            *window.get_unchecked_mut(pos as usize / 64) |= 1u64 << (pos % 64);
+                        }
+                    });
                 }
+                // Popcount the freshly written, cache-hot window once so no
+                // estimator ever has to re-count a static sketch.
+                // SAFETY: slot s is exclusive to set s.
+                unsafe { *ones_base.0.add(s) = count_ones_words(window) as u32 };
             });
         }
+        let swami = (bits_per_set <= MAX_SWAMI_TABLE_BITS).then(|| {
+            pg_parallel::parallel_init(bits_per_set + 1, |o| {
+                estimators::bf_size_swamidass(o, bits_per_set, b)
+            })
+        });
         BloomCollection {
             data,
             words_per_set,
             bits_per_set,
             b,
             family,
+            ones,
+            swami,
         }
     }
 
     /// Number of filters.
     #[inline]
     pub fn len(&self) -> usize {
-        if self.words_per_set == 0 {
-            0
-        } else {
-            self.data.len() / self.words_per_set
-        }
+        self.data.len().checked_div(self.words_per_set).unwrap_or(0)
     }
 
     /// True when the collection holds no filters.
@@ -199,19 +297,22 @@ impl BloomCollection {
         &self.data[i * self.words_per_set..(i + 1) * self.words_per_set]
     }
 
-    /// Popcount of filter `i`.
+    /// Popcount of filter `i` — cached at build time, `O(1)`.
     #[inline]
     pub fn count_ones(&self, i: usize) -> usize {
-        count_ones_words(self.words(i))
+        debug_assert_eq!(self.ones[i] as usize, count_ones_words(self.words(i)));
+        self.ones[i] as usize
     }
 
-    /// Membership query against filter `i`.
+    /// Membership query against filter `i` (buckets batched).
     pub fn contains(&self, i: usize, item: u32) -> bool {
         let w = self.words(i);
-        (0..self.b).all(|f| {
-            let pos = self.family.bucket(f, item as u64, self.bits_per_set);
-            (w[pos / 64] >> (pos % 64)) & 1 == 1
-        })
+        let mut buf = [0u32; MAX_BLOOM_HASHES];
+        self.family
+            .buckets_into(item as u64, self.bits_per_set, &mut buf[..self.b]);
+        buf[..self.b]
+            .iter()
+            .all(|&pos| (w[pos as usize / 64] >> (pos % 64)) & 1 == 1)
     }
 
     /// `B_{X∩Y,1}`: fused AND+popcount of filters `i` and `j` — the `O(B/W)`
@@ -227,10 +328,39 @@ impl BloomCollection {
         or_count_words(self.words(i), self.words(j))
     }
 
+    /// All four pair statistics of filters `i` and `j` from **one** fused
+    /// AND pass: the cached popcounts supply `B_{X,1}`/`B_{Y,1}` and
+    /// `B_{X∪Y,1}` follows by inclusion–exclusion. Bit-identical to the
+    /// general [`crate::bitvec::and_or_ones_words`] kernel over the two
+    /// windows (the equivalence suite asserts this).
+    #[inline]
+    pub fn pair_ones(&self, i: usize, j: usize) -> PairOnes {
+        let and_ones = self.and_ones(i, j);
+        let a_ones = self.ones[i] as usize;
+        let b_ones = self.ones[j] as usize;
+        PairOnes {
+            and_ones,
+            or_ones: a_ones + b_ones - and_ones,
+            a_ones,
+            b_ones,
+        }
+    }
+
+    /// Memoized Swamidass evaluation (falls back to the closed form for
+    /// filters too large for the table). Bit-identical either way: the
+    /// table entries *are* outputs of the same function.
+    #[inline]
+    fn swamidass(&self, ones: usize) -> f64 {
+        match &self.swami {
+            Some(t) => t[ones],
+            None => estimators::bf_size_swamidass(ones, self.bits_per_set, self.b),
+        }
+    }
+
     /// `|X∩Y|̂_AND` (Eq. 2) between sets `i` and `j`.
     #[inline]
     pub fn estimate_and(&self, i: usize, j: usize) -> f64 {
-        estimators::bf_intersect_and(self.and_ones(i, j), self.bits_per_set, self.b)
+        self.swamidass(self.and_ones(i, j))
     }
 
     /// `|X∩Y|̂_L` (Eq. 4) between sets `i` and `j`.
@@ -239,10 +369,23 @@ impl BloomCollection {
         estimators::bf_intersect_limit(self.and_ones(i, j), self.b)
     }
 
-    /// `|X∩Y|̂_OR` (Eq. 29); `nx`/`ny` are the exact set sizes.
+    /// `|X∩Y|̂_OR` (Eq. 29); `nx`/`ny` are the exact set sizes. One fused
+    /// AND pass — `B_{X∪Y,1}` comes from the cached popcounts, and
+    /// Eq. 29 is `nx + ny − swami(B_{X∪Y,1})`, served from the memo table.
     #[inline]
     pub fn estimate_or(&self, i: usize, j: usize, nx: usize, ny: usize) -> f64 {
-        estimators::bf_intersect_or(self.or_ones(i, j), self.bits_per_set, self.b, nx, ny)
+        (nx + ny) as f64 - self.swamidass(self.pair_ones(i, j).or_ones)
+    }
+
+    /// All three estimators of the pair from one fused pass.
+    #[inline]
+    pub fn estimate_all(&self, i: usize, j: usize, nx: usize, ny: usize) -> BfPairEstimates {
+        let p = self.pair_ones(i, j);
+        BfPairEstimates {
+            and_est: self.swamidass(p.and_ones),
+            limit_est: estimators::bf_intersect_limit(p.and_ones, self.b),
+            or_est: (nx + ny) as f64 - self.swamidass(p.or_ones),
+        }
     }
 
     /// Bytes of sketch storage — what the paper's budget `s` accounts for.
@@ -326,6 +469,63 @@ mod tests {
         let f1 = BloomFilter::from_set(&sets[1], 1024, 2, 5);
         assert_eq!(col.and_ones(0, 1), f0.bits().and_count(f1.bits()));
         assert_eq!(col.or_ones(0, 1), f0.bits().or_count(f1.bits()));
+    }
+
+    #[test]
+    fn fused_pair_path_matches_general_kernel() {
+        let sets: Vec<Vec<u32>> = (0..12)
+            .map(|s| (0..30 + s * 17).map(|i| (i * 13 + s) as u32).collect())
+            .collect();
+        let col = BloomCollection::build(sets.len(), 960, 3, 11, |i| &sets[i][..]);
+        for i in 0..sets.len() {
+            for j in 0..sets.len() {
+                let fused = col.pair_ones(i, j);
+                let general = crate::bitvec::and_or_ones_words(col.words(i), col.words(j));
+                assert_eq!(fused, general, "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_all_matches_individual_estimators() {
+        let x: Vec<u32> = (0..300).collect();
+        let y: Vec<u32> = (200..500).collect();
+        let col = BloomCollection::build(2, 1 << 13, 2, 9, |i| if i == 0 { &x } else { &y });
+        let all = col.estimate_all(0, 1, x.len(), y.len());
+        assert_eq!(all.and_est, col.estimate_and(0, 1));
+        assert_eq!(all.limit_est, col.estimate_limit(0, 1));
+        assert_eq!(all.or_est, col.estimate_or(0, 1, x.len(), y.len()));
+        // And the standalone-filter fused path agrees with the collection.
+        let fx = BloomFilter::from_set(&x, 1 << 13, 2, 9);
+        let fy = BloomFilter::from_set(&y, 1 << 13, 2, 9);
+        let fall = fx.estimate_intersection_all(&fy, x.len(), y.len());
+        assert_eq!(fall.and_est, fx.estimate_intersection_and(&fy));
+        assert_eq!(fall.limit_est, fx.estimate_intersection_limit(&fy));
+        assert_eq!(
+            fall.or_est,
+            fx.estimate_intersection_or(&fy, x.len(), y.len())
+        );
+        // or_ones via inclusion–exclusion equals the direct OR pass.
+        assert_eq!(col.pair_ones(0, 1).or_ones, col.or_ones(0, 1));
+    }
+
+    #[test]
+    fn memoized_estimators_match_closed_forms() {
+        let x: Vec<u32> = (0..400).collect();
+        let y: Vec<u32> = (100..600).collect();
+        let col = BloomCollection::build(2, 4096, 2, 3, |i| if i == 0 { &x } else { &y });
+        assert!(col.swami.is_some(), "table must materialize for small B");
+        // Table lookups must be bit-identical to the closed-form estimators.
+        assert_eq!(
+            col.estimate_and(0, 1),
+            estimators::bf_intersect_and(col.and_ones(0, 1), col.bits_per_set(), 2)
+        );
+        assert_eq!(
+            col.estimate_or(0, 1, x.len(), y.len()),
+            estimators::bf_intersect_or(col.or_ones(0, 1), col.bits_per_set(), 2, x.len(), y.len())
+        );
+        // Saturation entry (ones == B) stays finite.
+        assert!(col.swami.as_ref().unwrap()[col.bits_per_set()].is_finite());
     }
 
     #[test]

@@ -48,13 +48,7 @@ fn select_bottom_k(items: &[u32], k: usize, family: &HashFamily) -> (Vec<u32>, V
 /// *both* samples. Returns `(matches, union_seen)` where `union_seen ≤ k`
 /// is how many union elements were available (if `< k`, the union was
 /// exhausted and the count is exact).
-fn union_matches(
-    a: &[u32],
-    ah: &[u32],
-    b: &[u32],
-    bh: &[u32],
-    k: usize,
-) -> (usize, usize) {
+fn union_matches(a: &[u32], ah: &[u32], b: &[u32], bh: &[u32], k: usize) -> (usize, usize) {
     debug_assert_eq!(a.len(), ah.len());
     debug_assert_eq!(b.len(), bh.len());
     let mut i = 0;
@@ -130,7 +124,14 @@ impl BottomK {
     /// Union-restricted `|M¹_X ∩ M¹_Y|` (see module docs); `O(k)`.
     pub fn matches(&self, other: &BottomK) -> usize {
         assert_eq!(self.k, other.k, "sketches differ in k");
-        union_matches(&self.elems, &self.hashes, &other.elems, &other.hashes, self.k).0
+        union_matches(
+            &self.elems,
+            &self.hashes,
+            &other.elems,
+            &other.hashes,
+            self.k,
+        )
+        .0
     }
 
     /// `Ĵ_1H = matches / k'` where `k'` is the number of union draws
@@ -142,12 +143,26 @@ impl BottomK {
             // Uncapped merge over the full stored sets.
             let cap = self.elems.len() + other.elems.len();
             let (matches, _) = union_matches(
-                &self.elems, &self.hashes, &other.elems, &other.hashes, cap.max(1));
+                &self.elems,
+                &self.hashes,
+                &other.elems,
+                &other.hashes,
+                cap.max(1),
+            );
             let union = cap - matches;
-            return if union == 0 { 0.0 } else { matches as f64 / union as f64 };
+            return if union == 0 {
+                0.0
+            } else {
+                matches as f64 / union as f64
+            };
         }
-        let (matches, seen) =
-            union_matches(&self.elems, &self.hashes, &other.elems, &other.hashes, self.k);
+        let (matches, seen) = union_matches(
+            &self.elems,
+            &self.hashes,
+            &other.elems,
+            &other.hashes,
+            self.k,
+        );
         if seen == 0 {
             return 0.0;
         }
@@ -165,8 +180,13 @@ impl BottomK {
             return union_matches(&self.elems, &self.hashes, &other.elems, &other.hashes, cap).0
                 as f64;
         }
-        let (matches, _) =
-            union_matches(&self.elems, &self.hashes, &other.elems, &other.hashes, self.k);
+        let (matches, _) = union_matches(
+            &self.elems,
+            &self.hashes,
+            &other.elems,
+            &other.hashes,
+            self.k,
+        );
         estimators::jaccard_to_intersection(
             estimators::mh_jaccard(matches, self.k),
             self.set_size,
@@ -206,7 +226,10 @@ impl BottomKCollection {
         let mut total = 0usize;
         for (v, _) in &per_set {
             total += v.len();
-            assert!(total <= u32::MAX as usize, "sketch storage exceeds u32 offsets");
+            assert!(
+                total <= u32::MAX as usize,
+                "sketch storage exceeds u32 offsets"
+            );
             offsets.push(total as u32);
         }
         let mut elems = Vec::with_capacity(total);
@@ -299,7 +322,11 @@ impl BottomKCollection {
             let cap = a.len() + b.len();
             let (matches, _) = union_matches(a, ah, b, bh, cap.max(1));
             let union = cap - matches;
-            return if union == 0 { 0.0 } else { matches as f64 / union as f64 };
+            return if union == 0 {
+                0.0
+            } else {
+                matches as f64 / union as f64
+            };
         }
         let (matches, seen) = union_matches(a, ah, b, bh, self.k);
         if seen == 0 {
@@ -432,12 +459,10 @@ mod tests {
         let sets: Vec<Vec<u32>> = (0..150)
             .map(|s| (0..80).map(|i| (i * 11 + s * 2) as u32).collect())
             .collect();
-        let a = pg_parallel::with_threads(1, || {
-            BottomKCollection::build(150, 10, 3, |i| &sets[i][..])
-        });
-        let b = pg_parallel::with_threads(8, || {
-            BottomKCollection::build(150, 10, 3, |i| &sets[i][..])
-        });
+        let a =
+            pg_parallel::with_threads(1, || BottomKCollection::build(150, 10, 3, |i| &sets[i][..]));
+        let b =
+            pg_parallel::with_threads(8, || BottomKCollection::build(150, 10, 3, |i| &sets[i][..]));
         assert_eq!(a.elems, b.elems);
         assert_eq!(a.offsets, b.offsets);
     }

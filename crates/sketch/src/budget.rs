@@ -31,7 +31,10 @@ impl BudgetPlan {
     /// `base_bytes` is the memory of the exact representation (CSR), and
     /// `s` the additional fraction of it the sketches may use.
     pub fn new(base_bytes: usize, n_sets: usize, s: f64) -> Self {
-        assert!((0.0..=1.0).contains(&s), "storage budget s={s} outside [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&s),
+            "storage budget s={s} outside [0,1]"
+        );
         assert!(n_sets > 0, "budget needs at least one set");
         BudgetPlan {
             base_bytes,
@@ -71,8 +74,8 @@ impl BudgetPlan {
         }
     }
 
-    /// 1-hash / bottom-k parameters: `k` = number of 8-byte slots (element
-    /// + precomputed hash, i.e. Table I's `W·k` bits with `W = 64`), after
+    /// 1-hash / bottom-k parameters: `k` = number of 8-byte slots (element +
+    /// precomputed hash, i.e. Table I's `W·k` bits with `W = 64`), after
     /// deducting the 8 bytes/set of collection bookkeeping (offset + exact
     /// size) so sparse graphs stay inside the budget too.
     pub fn onehash(&self) -> SketchParams {
@@ -120,7 +123,13 @@ mod tests {
     #[test]
     fn tiny_budgets_floor_at_minimum_sizes() {
         let p = BudgetPlan::new(100, 1000, 0.01); // ~0 bytes per set
-        assert_eq!(p.bloom(1), SketchParams::Bloom { bits_per_set: 64, b: 1 });
+        assert_eq!(
+            p.bloom(1),
+            SketchParams::Bloom {
+                bits_per_set: 64,
+                b: 1
+            }
+        );
         assert_eq!(p.khash(), SketchParams::KHash { k: 1 });
         assert_eq!(p.kmv(), SketchParams::Kmv { k: 1 });
     }

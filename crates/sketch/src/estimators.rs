@@ -77,7 +77,11 @@ pub fn bf_intersect_or(or_ones: usize, bits: usize, b: usize, nx: usize, ny: usi
     if bits == 0 {
         return 0.0;
     }
-    let ones_tilde = if or_ones == bits { or_ones - 1 } else { or_ones };
+    let ones_tilde = if or_ones == bits {
+        or_ones - 1
+    } else {
+        or_ones
+    };
     let bx = bits as f64;
     nx as f64 + ny as f64 + (bx / b as f64) * (1.0 - ones_tilde as f64 / bx).ln()
 }

@@ -93,10 +93,13 @@ impl KmvSketch {
         }
         merged.extend_from_slice(&a[i..]);
         merged.extend_from_slice(&b[j..]);
+        let full_union_len = merged.len();
         merged.truncate(k);
         // The union's true size is unknown in general; mark it exact only
-        // when both inputs were lossless.
-        let exact = self.is_exact() && other.is_exact();
+        // when both inputs were lossless AND the merge survived the
+        // truncation to k — a truncated union of two lossless sketches is
+        // an ordinary k-sample of X ∪ Y, not the whole union.
+        let exact = self.is_exact() && other.is_exact() && full_union_len <= k;
         let set_size = if exact { merged.len() } else { usize::MAX };
         KmvSketch {
             hashes: merged,
@@ -110,12 +113,107 @@ impl KmvSketch {
         self.union(other).estimate_size()
     }
 
-    /// `|X∩Y|̂_K` with exact set sizes (Eq. 41):
-    /// `|X| + |Y| − |X∪Y|̂`, clamped below at 0.
+    /// `Ĵ_KMV = p / k'`: the Beyer et al. union-membership Jaccard
+    /// estimator, where `p` counts the hashes of the union sketch present
+    /// in *both* input sketches and `k'` is the realized union-sketch size.
+    /// The k smallest union hashes are `k'` uniform draws without
+    /// replacement from `X ∪ Y`, and such a draw lies in both sketches iff
+    /// its element lies in `X ∩ Y` — the same hypergeometric argument as
+    /// the paper's 1-hash MinHash (§IV-D).
+    pub fn estimate_jaccard(&self, other: &KmvSketch) -> f64 {
+        // A union-sketch hash lies in both input sketches iff the merge walk
+        // sees it on both sides simultaneously, so p accumulates in the same
+        // single ascending pass that would build the union — no allocation,
+        // no per-hash binary searches.
+        let (p, seen) = union_match_walk(&self.hashes, &other.hashes, self.k.min(other.k));
+        if seen == 0 {
+            return 0.0;
+        }
+        p as f64 / seen as f64
+    }
+
+    /// `|X∩Y|̂_K` with exact set sizes, clamped below at 0.
+    ///
+    /// Lossless sketches give the exact count. Otherwise the Eq. (5)
+    /// transform of [`KmvSketch::estimate_jaccard`] is used: its error
+    /// scales with `|X∩Y|` itself, whereas the paper's inclusion–exclusion
+    /// form (kept as [`KmvSketch::estimate_intersection_ie`]) has error
+    /// scaling with `|X∪Y|` — ruinous when the intersection is a small
+    /// fraction of the union, which is the common case for per-edge
+    /// neighborhood intersections.
     pub fn estimate_intersection(&self, other: &KmvSketch) -> f64 {
+        if self.is_exact() && other.is_exact() {
+            // Both sketches hold every hash of their set, so the number of
+            // common hashes IS |X ∩ Y| (same hash function, duplicates
+            // collapsed). Count it with an uncapped merge walk — the k-capped
+            // union() must NOT be used here: truncation would undercount the
+            // union and inflate the inclusion–exclusion result.
+            return count_common_hashes(&self.hashes, &other.hashes) as f64;
+        }
+        estimators::jaccard_to_intersection(
+            self.estimate_jaccard(other),
+            self.set_size,
+            other.set_size,
+        )
+        .max(0.0)
+    }
+
+    /// The paper's Eq. (41) inclusion–exclusion estimator
+    /// `|X| + |Y| − |X∪Y|̂_KMV`, clamped below at 0 — kept for the §IX
+    /// comparison experiments.
+    pub fn estimate_intersection_ie(&self, other: &KmvSketch) -> f64 {
         let u = self.estimate_union_size(other);
         estimators::kmv_intersection(self.set_size, other.set_size, u).max(0.0)
     }
+}
+
+/// Uncapped merge walk counting hashes present in both ascending lists.
+/// Hash equality is exact: both lists store outputs of the same
+/// deterministic function.
+fn count_common_hashes(a: &[f64], b: &[f64]) -> usize {
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] < b[j] {
+            i += 1;
+        } else if b[j] < a[i] {
+            j += 1;
+        } else {
+            c += 1;
+            i += 1;
+            j += 1;
+        }
+    }
+    c
+}
+
+/// Merge walk over the first `cap` distinct union hashes of two ascending
+/// lists; returns `(matches, union_seen)` where `matches` counts union
+/// hashes present in **both** lists and `union_seen ≤ cap` is how many
+/// union hashes were available. Mirrors `union_matches` in the bottom-k
+/// module — the hypergeometric sampling argument is the same.
+fn union_match_walk(a: &[f64], b: &[f64], cap: usize) -> (usize, usize) {
+    let (mut i, mut j) = (0, 0);
+    let mut taken = 0usize;
+    let mut matches = 0usize;
+    while taken < cap && (i < a.len() || j < b.len()) {
+        if i < a.len() && j < b.len() {
+            if a[i] < b[j] {
+                i += 1;
+            } else if b[j] < a[i] {
+                j += 1;
+            } else {
+                matches += 1;
+                i += 1;
+                j += 1;
+            }
+        } else if i < a.len() {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        taken += 1;
+    }
+    (matches, taken)
 }
 
 /// All KMV sketches of a ProbGraph representation (flat storage).
@@ -160,10 +258,7 @@ impl KmvCollection {
 
     /// Bytes of sketch storage.
     pub fn memory_bytes(&self) -> usize {
-        self.sketches
-            .iter()
-            .map(|s| s.hashes.len() * 8 + 24)
-            .sum()
+        self.sketches.iter().map(|s| s.hashes.len() * 8 + 24).sum()
     }
 }
 
@@ -225,6 +320,47 @@ mod tests {
     }
 
     #[test]
+    fn fused_jaccard_walk_matches_materialized_union() {
+        // The single-pass union_match_walk must agree with the definition:
+        // count union-sketch hashes present in both input sketches.
+        for (nx, ny, overlap, k) in [(300, 300, 100, 64), (50, 500, 25, 32), (10, 10, 10, 16)] {
+            let x: Vec<u32> = (0..nx).collect();
+            let y: Vec<u32> = (nx - overlap..nx - overlap + ny).collect();
+            let a = KmvSketch::from_set(&x, k, 5);
+            let b = KmvSketch::from_set(&y, k, 5);
+            let u = a.union(&b);
+            let p_ref = u
+                .hashes()
+                .iter()
+                .filter(|h| a.hashes().contains(h) && b.hashes().contains(h))
+                .count();
+            let (p, seen) = super::union_match_walk(a.hashes(), b.hashes(), k);
+            assert_eq!(p, p_ref, "nx={nx} ny={ny} k={k}");
+            assert_eq!(seen, u.hashes().len(), "nx={nx} ny={ny} k={k}");
+        }
+    }
+
+    #[test]
+    fn lossless_pair_with_truncated_union_stays_exact() {
+        // Regression: k=32, |X|=|Y|=30 disjoint — both sketches lossless but
+        // the merged union (60) exceeds k. The old exact path truncated the
+        // union to k and reported 30+30−32 = 28 instead of 0.
+        let x: Vec<u32> = (0..30).collect();
+        let y: Vec<u32> = (1000..1030).collect();
+        let a = KmvSketch::from_set(&x, 32, 9);
+        let b = KmvSketch::from_set(&y, 32, 9);
+        assert!(a.is_exact() && b.is_exact());
+        assert_eq!(a.estimate_intersection(&b), 0.0);
+        // Overlapping lossless pair: exact count too.
+        let z: Vec<u32> = (20..50).collect();
+        let c = KmvSketch::from_set(&z, 32, 9);
+        assert_eq!(a.estimate_intersection(&c), 10.0);
+        // And the truncated union must no longer claim exactness.
+        assert!(!a.union(&b).is_exact());
+        assert!(a.union(&a).is_exact());
+    }
+
+    #[test]
     fn disjoint_intersection_clamped_nonnegative() {
         let x: Vec<u32> = (0..1000).collect();
         let y: Vec<u32> = (5000..6000).collect();
@@ -249,8 +385,6 @@ mod tests {
         let a = KmvSketch::from_set(&sets[2], 32, 6);
         assert_eq!(col.sketch(2), &a);
         let b = KmvSketch::from_set(&sets[9], 32, 6);
-        assert!(
-            (col.estimate_intersection(2, 9) - a.estimate_intersection(&b)).abs() < 1e-12
-        );
+        assert!((col.estimate_intersection(2, 9) - a.estimate_intersection(&b)).abs() < 1e-12);
     }
 }

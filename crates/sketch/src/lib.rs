@@ -24,6 +24,24 @@
 //! Sketches of *sets of `u32` vertex IDs* are the only case ProbGraph
 //! needs, so all APIs take sorted `&[u32]` sets; everything generalizes to
 //! arbitrary hashable items by pre-hashing to IDs.
+//!
+//! ## Fused-kernel design
+//!
+//! The per-edge estimator cost is the whole ballgame (Table IV): every hot
+//! path here is **single-pass and zero-allocation**.
+//!
+//! * [`bitvec::and_or_ones_words`] computes `B_{X∩Y,1}`, `B_{X∪Y,1}`,
+//!   `B_{X,1}`, `B_{Y,1}` in one four-lane-unrolled traversal.
+//! * [`BloomCollection`] caches every filter's popcount at build time and
+//!   memoizes the Swamidass curve, so the AND (Eq. 2), Limit (Eq. 4) and
+//!   OR (Eq. 29) estimators each cost **one** fused AND+popcount pass and
+//!   a table lookup — `B_{X∪Y,1}` falls out of inclusion–exclusion.
+//! * Construction batches all `b` bucket computations per key through
+//!   [`pg_hash::HashFamily::for_each_bucket`] (key-side Murmur mixing
+//!   hoisted out of the per-function loop).
+//!
+//! The `kernel_equivalence` suite proves each fused path bit-identical to
+//! its naive multi-pass counterpart.
 
 pub mod bitvec;
 pub mod bloom;
@@ -34,8 +52,8 @@ pub mod hyperloglog;
 pub mod kmv;
 pub mod minhash;
 
-pub use bitvec::BitVec;
-pub use bloom::{BloomCollection, BloomFilter};
+pub use bitvec::{and_or_ones_words, BitVec, PairOnes};
+pub use bloom::{BfPairEstimates, BloomCollection, BloomFilter, MAX_BLOOM_HASHES};
 pub use bottomk::{BottomK, BottomKCollection};
 pub use budget::{BudgetPlan, SketchParams};
 pub use hyperloglog::HyperLogLog;

@@ -28,9 +28,12 @@ impl MinHashSignature {
         let family = HashFamily::new(k, seed);
         let mut mins = vec![EMPTY; k];
         let mut best = vec![u32::MAX; k];
+        let mut hashes = vec![0u32; k];
         for &x in items {
+            // All k hashes of x in one batched call (key mixing hoisted).
+            family.hashes_into(x as u64, &mut hashes);
             for i in 0..k {
-                let h = family.hash32(i, x as u64);
+                let h = hashes[i];
                 // Tie-break on the element ID so construction order never
                 // matters (determinism under parallel construction).
                 if h < best[i] || (h == best[i] && x < mins[i]) {
@@ -104,9 +107,11 @@ impl MinHashCollection {
                 // SAFETY: window [s*k, (s+1)*k) is exclusive to set s.
                 let window = unsafe { std::slice::from_raw_parts_mut(base.0.add(s * k), k) };
                 let mut best = vec![u32::MAX; k];
+                let mut hashes = vec![0u32; k];
                 for &x in set(s) {
+                    family.hashes_into(x as u64, &mut hashes);
                     for i in 0..k {
-                        let h = family.hash32(i, x as u64);
+                        let h = hashes[i];
                         if h < best[i] || (h == best[i] && x < window[i]) {
                             best[i] = h;
                             window[i] = x;
@@ -121,11 +126,7 @@ impl MinHashCollection {
     /// Number of signatures.
     #[inline]
     pub fn len(&self) -> usize {
-        if self.k == 0 {
-            0
-        } else {
-            self.sigs.len() / self.k
-        }
+        self.sigs.len().checked_div(self.k).unwrap_or(0)
     }
 
     /// True when the collection holds no signatures.
@@ -251,12 +252,10 @@ mod tests {
         let sets: Vec<Vec<u32>> = (0..200)
             .map(|s| (0..60).map(|i| (i * 13 + s) as u32).collect())
             .collect();
-        let a = pg_parallel::with_threads(1, || {
-            MinHashCollection::build(200, 16, 3, |i| &sets[i][..])
-        });
-        let b = pg_parallel::with_threads(8, || {
-            MinHashCollection::build(200, 16, 3, |i| &sets[i][..])
-        });
+        let a =
+            pg_parallel::with_threads(1, || MinHashCollection::build(200, 16, 3, |i| &sets[i][..]));
+        let b =
+            pg_parallel::with_threads(8, || MinHashCollection::build(200, 16, 3, |i| &sets[i][..]));
         assert_eq!(a.sigs, b.sigs);
     }
 

@@ -61,7 +61,13 @@ pub fn mh_concentration_bound(k: usize, t: f64, nx: usize, ny: usize) -> f64 {
 /// `P[|TC − T̂C_AND| ≥ t] ≤ 2m²·(e^{Δb/(B−1)}·B/b² − B/b² − Δ/b) / (9t²)`,
 /// valid when `bΔ ≤ 0.499·B·ln B` (Δ = max degree). Returns `INFINITY`
 /// outside the regime.
-pub fn tc_bf_concentration_bound(m: usize, max_degree: usize, bits: usize, b: usize, t: f64) -> f64 {
+pub fn tc_bf_concentration_bound(
+    m: usize,
+    max_degree: usize,
+    bits: usize,
+    b: usize,
+    t: f64,
+) -> f64 {
     assert!(t > 0.0);
     let delta = max_degree as f64;
     if !bf_regime_ok(delta, bits, b) {
@@ -69,8 +75,8 @@ pub fn tc_bf_concentration_bound(m: usize, max_degree: usize, bits: usize, b: us
     }
     let bx = bits as f64;
     let bb = b as f64;
-    let inner = ((delta * bb / (bx - 1.0)).exp() * bx / (bb * bb) - bx / (bb * bb) - delta / bb)
-        .max(0.0);
+    let inner =
+        ((delta * bb / (bx - 1.0)).exp() * bx / (bb * bb) - bx / (bb * bb) - delta / bb).max(0.0);
     (2.0 * (m as f64) * (m as f64) * inner / (9.0 * t * t)).clamp(0.0, 1.0)
 }
 

@@ -84,7 +84,10 @@ mod tests {
     #[test]
     fn moments_match_binomial_limit() {
         // For N >> n the hypergeometric approaches Bin(n, K/N).
-        let (m_h, v_h) = (mean(1_000_000, 300_000, 50), variance(1_000_000, 300_000, 50));
+        let (m_h, v_h) = (
+            mean(1_000_000, 300_000, 50),
+            variance(1_000_000, 300_000, 50),
+        );
         let v_b = crate::binomial::variance(50, 0.3);
         assert!((m_h - 15.0).abs() < 1e-9);
         assert!((v_h - v_b).abs() / v_b < 1e-3);

@@ -35,7 +35,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
     assert!(sxx > 0.0, "x has zero variance");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     LinearFit {
         intercept,
         slope,

@@ -42,10 +42,7 @@ impl Summary {
     /// Computes the summary of a sample. Panics on an empty sample or NaNs.
     pub fn of(sample: &[f64]) -> Summary {
         assert!(!sample.is_empty(), "summary of empty sample");
-        assert!(
-            sample.iter().all(|x| !x.is_nan()),
-            "sample contains NaN"
-        );
+        assert!(sample.iter().all(|x| !x.is_nan()), "sample contains NaN");
         let mut sorted = sample.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let n = sorted.len();
@@ -108,7 +105,14 @@ impl std::fmt::Display for Summary {
         write!(
             f,
             "n={} mean={:.4} sd={:.4} min={:.4} p25={:.4} med={:.4} p75={:.4} max={:.4}",
-            self.count, self.mean, self.std_dev, self.min, self.p25, self.median, self.p75, self.max
+            self.count,
+            self.mean,
+            self.std_dev,
+            self.min,
+            self.p25,
+            self.median,
+            self.p75,
+            self.max
         )
     }
 }

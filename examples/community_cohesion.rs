@@ -42,10 +42,7 @@ fn cohesion_exact(g: &CsrGraph) -> f64 {
 
 fn cohesion_pg(g: &CsrGraph) -> f64 {
     let s = g.num_vertices() as f64;
-    let tc = triangles::count_approx(
-        g,
-        &PgConfig::new(Representation::Bloom { b: 1 }, 0.33),
-    );
+    let tc = triangles::count_approx(g, &PgConfig::new(Representation::Bloom { b: 1 }, 0.33));
     tc / (s * (s - 1.0) * (s - 2.0) / 6.0)
 }
 

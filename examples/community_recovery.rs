@@ -13,12 +13,7 @@ use probgraph::algorithms::dsu::Dsu;
 use probgraph::{PgConfig, ProbGraph, Representation};
 
 /// Pairwise precision/recall of a clustering against ground truth.
-fn pair_scores(
-    n: usize,
-    edges: &[(u32, u32)],
-    selected: &[bool],
-    truth: &[u32],
-) -> (f64, f64) {
+fn pair_scores(n: usize, edges: &[(u32, u32)], selected: &[bool], truth: &[u32]) -> (f64, f64) {
     let mut dsu = Dsu::new(n);
     for (i, &(u, v)) in edges.iter().enumerate() {
         if selected[i] {
@@ -40,8 +35,16 @@ fn pair_scores(
             }
         }
     }
-    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fnn == 0 { 0.0 } else { tp as f64 / (tp + fnn) as f64 };
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fnn == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fnn) as f64
+    };
     (precision, recall)
 }
 
@@ -58,7 +61,13 @@ fn main() {
     // Jaccard), so each scheme is evaluated at its best threshold over a
     // small sweep — the paper's "tunable tradeoff" in action.
     let taus = [0.06, 0.08, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35];
-    let f1 = |p: f64, r: f64| if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+    let f1 = |p: f64, r: f64| {
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    };
 
     let mut best = (0.0, 0.0, 0.0, 0usize);
     for &tau in &taus {

@@ -40,10 +40,7 @@ fn main() {
 
     // Approximate triangle counting end to end.
     let exact_tc = triangles::count_exact(&g);
-    let approx_tc = triangles::count_approx(
-        &g,
-        &PgConfig::new(Representation::OneHash, 0.25),
-    );
+    let approx_tc = triangles::count_approx(&g, &PgConfig::new(Representation::OneHash, 0.25));
     println!("\ntriangles: exact={exact_tc}, PG(1-hash)≈{approx_tc:.0}");
     println!(
         "relative count: {:.3}",

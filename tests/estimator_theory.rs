@@ -108,7 +108,10 @@ fn bf_mse_bound_holds_in_regime() {
     }
     mse /= trials as f64;
     let bound = pg_stats::bf_mse_bound(inter as f64, bits, b);
-    assert!(mse <= bound, "empirical MSE {mse} exceeds Prop IV.1 bound {bound}");
+    assert!(
+        mse <= bound,
+        "empirical MSE {mse} exceeds Prop IV.1 bound {bound}"
+    );
 
     // The practical AND estimator is biased upward by co-collisions but
     // must remain within a small multiple of the true value at this size.
@@ -166,7 +169,10 @@ fn estimators_are_asymptotically_unbiased_in_sketch_size() {
             err += (fx.estimate_intersection_and(&fy) - inter as f64).abs();
         }
         err /= trials as f64;
-        assert!(err < prev * 1.05, "BF error did not shrink at B=2^{bits_exp}: {err} vs {prev}");
+        assert!(
+            err < prev * 1.05,
+            "BF error did not shrink at B=2^{bits_exp}: {err} vs {prev}"
+        );
         prev = err;
     }
     // 1-hash.
@@ -179,7 +185,10 @@ fn estimators_are_asymptotically_unbiased_in_sketch_size() {
             err += (sx.estimate_intersection(&sy) - inter as f64).abs();
         }
         err /= trials as f64;
-        assert!(err < prev * 1.05, "1H error did not shrink at k={k}: {err} vs {prev}");
+        assert!(
+            err < prev * 1.05,
+            "1H error did not shrink at k={k}: {err} vs {prev}"
+        );
         prev = err;
     }
 }

@@ -44,7 +44,10 @@ fn tc_edge_sum_estimator_consistent_with_node_iterator_pg() {
     let pg = ProbGraph::build(&g, &cfg);
     let sum_est = tc_estimator::tc_estimate(&g, &pg);
     for est in [dag_est, sum_est] {
-        assert!((0.4..2.0).contains(&(est / exact)), "est={est} exact={exact}");
+        assert!(
+            (0.4..2.0).contains(&(est / exact)),
+            "est={est} exact={exact}"
+        );
     }
 }
 
@@ -96,7 +99,11 @@ fn link_prediction_pipeline_beats_random_guessing() {
     );
     // Random guessing among >10k candidates would land essentially zero
     // hits; both scorers should do clearly better.
-    assert!(exact.precision > 0.02, "exact precision {}", exact.precision);
+    assert!(
+        exact.precision > 0.02,
+        "exact precision {}",
+        exact.precision
+    );
     assert!(pg.precision > 0.01, "pg precision {}", pg.precision);
 }
 
@@ -113,8 +120,14 @@ fn baselines_agree_with_exact_in_expectation() {
     }
     doulion_mean /= trials as f64;
     colorful_mean /= trials as f64;
-    assert!((doulion_mean / exact - 1.0).abs() < 0.35, "doulion {doulion_mean} vs {exact}");
-    assert!((colorful_mean / exact - 1.0).abs() < 0.5, "colorful {colorful_mean} vs {exact}");
+    assert!(
+        (doulion_mean / exact - 1.0).abs() < 0.35,
+        "doulion {doulion_mean} vs {exact}"
+    );
+    assert!(
+        (colorful_mean / exact - 1.0).abs() < 0.5,
+        "colorful {colorful_mean} vs {exact}"
+    );
 }
 
 #[test]

@@ -1,0 +1,197 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the bench-definition surface this workspace uses
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkId`], [`criterion_group!`]/[`criterion_main!`]) with a simple
+//! calibrated-repetition timer: each benchmark is warmed up, calibrated to
+//! a target measurement time, run in batches, and reported as the median
+//! batch time in ns/iter. Honors `PG_BENCH_MS` (per-benchmark measurement
+//! budget in milliseconds, default 300).
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Label for one benchmark: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("kernel", "B=1024")` renders as `kernel/B=1024`.
+    pub fn new<A: Display, B: Display>(function_id: A, parameter: B) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter(16)` renders as `16`.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the closure of `bench_function`; `iter` runs and times it.
+pub struct Bencher {
+    /// Per-batch wall-clock seconds collected by `iter`.
+    batch_seconds: Vec<f64>,
+    /// Iterations per batch, decided during calibration.
+    iters_per_batch: u64,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times for a stable median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: find how many iterations fill ~1/8 of the
+        // measurement budget per batch.
+        let budget_s = measure_budget_ms() as f64 / 1000.0;
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let per_batch = (budget_s / 8.0 / once).clamp(1.0, 1e9) as u64;
+        self.iters_per_batch = per_batch;
+        let deadline = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            self.batch_seconds.push(t0.elapsed().as_secs_f64());
+            if deadline.elapsed().as_secs_f64() >= budget_s || self.batch_seconds.len() >= 64 {
+                break;
+            }
+        }
+    }
+}
+
+fn measure_budget_ms() -> u64 {
+    std::env::var("PG_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its median ns/iter.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            batch_seconds: Vec::new(),
+            iters_per_batch: 1,
+        };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id);
+        if b.batch_seconds.is_empty() {
+            println!("bench {label}: no measurements (iter never called)");
+            return self;
+        }
+        b.batch_seconds
+            .sort_by(|x, y| x.partial_cmp(y).expect("bench times are finite"));
+        let median = b.batch_seconds[b.batch_seconds.len() / 2];
+        let ns_per_iter = median * 1e9 / b.iters_per_batch as f64;
+        self.criterion.results.push((label.clone(), ns_per_iter));
+        println!(
+            "bench {label}: {ns_per_iter:.1} ns/iter (median of {} batches x {} iters)",
+            b.batch_seconds.len(),
+            b.iters_per_batch
+        );
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to the functions of a `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(label, ns_per_iter)` for everything run so far.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+/// Declares a group-runner function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` from one or more group-runner names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("PG_BENCH_MS", "10");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_function(BenchmarkId::new("sum", "n=100"), |b| {
+                b.iter(|| (0..100u64).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].0.contains("g/sum/n=100"));
+        assert!(c.results[0].1 > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", "b").to_string(), "a/b");
+        assert_eq!(BenchmarkId::from_parameter(16).to_string(), "16");
+    }
+}

@@ -1,0 +1,296 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`], range and tuple
+//! strategies, and [`collection::vec`]. No shrinking — a failing case
+//! reports its RNG-generated inputs via `Debug` instead of minimizing them.
+//! Cases are generated deterministically per test (seeded from the test
+//! name), so failures reproduce across runs.
+
+use std::fmt;
+use std::ops::Range;
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-test configuration (`cases` is the only knob this subset honors).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Failure raised by the `prop_assert*` macros.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// Wraps a failure message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError { msg }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+}
+
+/// `proptest`'s name for the config type inside `proptest_config(..)`.
+pub use test_runner::Config as ProptestConfig;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+    /// Draws one value.
+    fn sample(&self, rng: &mut rand::rngs::StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut rand::rngs::StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut rand::rngs::StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+pub mod collection {
+    use super::Strategy;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: a vector whose length is drawn from
+    /// `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> Self::Value {
+            use rand::Rng;
+            let len = if self.size.start < self.size.end {
+                rng.gen_range(self.size.clone())
+            } else {
+                self.size.start
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Derives a deterministic 64-bit seed from a test name (FNV-1a).
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the current
+/// case returns an error (with the stringified condition) instead of
+/// panicking mid-harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// The `proptest!` macro: each `#[test] fn name(arg in strategy, ..) { .. }`
+/// expands to a normal `#[test]` that samples the strategies `cases` times
+/// and runs the body per case. Bodies may `return Ok(())` early and use the
+/// `prop_assert*` macros.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_from_name(stringify!($name)),
+                );
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    // Render inputs before the body can move them; the body
+                    // takes ownership of the sampled values, as in proptest.
+                    let inputs = format!("{:?}", ($(&$arg,)+));
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "proptest {} failed at case {case}/{}: {e}\n  inputs: {inputs}",
+                            stringify!($name),
+                            cfg.cases,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface (`use proptest::prelude::*`).
+    pub use crate::collection::vec as prop_vec;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 0usize..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vectors_respect_length_and_element_ranges(
+            v in vec((0u32..100, 0u32..100), 0..50)
+        ) {
+            prop_assert!(v.len() < 50);
+            for &(a, b) in &v {
+                prop_assert!(a < 100 && b < 100);
+            }
+        }
+
+        #[test]
+        fn early_return_ok_works(n in 0u64..10) {
+            if n < 100 {
+                return Ok(());
+            }
+            prop_assert!(false, "unreachable");
+        }
+    }
+
+    #[test]
+    fn deterministic_seeding() {
+        assert_eq!(crate::seed_from_name("abc"), crate::seed_from_name("abc"));
+        assert_ne!(crate::seed_from_name("abc"), crate::seed_from_name("abd"));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x={x} is small");
+            }
+        }
+        always_fails();
+    }
+}
