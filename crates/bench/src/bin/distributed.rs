@@ -34,6 +34,7 @@ fn main() {
                     SketchParams::OneHash { k } => 4 * k,
                     SketchParams::KHash { k } => 4 * k,
                     SketchParams::Kmv { k } => 8 * k,
+                    SketchParams::Hll { precision } => 1 << precision,
                 };
                 let v = model_volume(&g, &assignment, bytes_per_set);
                 print_row(&[

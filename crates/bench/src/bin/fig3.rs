@@ -57,6 +57,10 @@ fn main() {
                     "MH-kH",
                     ProbGraph::build(&g, &PgConfig::new(Representation::KHash, s)),
                 ),
+                (
+                    "HLL",
+                    ProbGraph::build(&g, &PgConfig::new(Representation::Hll, s)),
+                ),
             ];
             for (label, pg) in cases {
                 let errs = edgewise_intersection_errors(&g, &pg);

@@ -3,9 +3,12 @@
 //! Times every `|N⁺_u ∩ N⁺_v|` kernel of Table IV — exact merge and
 //! galloping, the fused Bloom AND/Limit/OR estimators (plus their naive
 //! multi-pass counterparts, to track the fusion win), MinHash k-hash and
-//! 1-hash, and KMV — in ns/edge on the dense econ-psmigr1 stand-in, the
-//! regime where the paper's speedups appear. Then reruns the end-to-end
-//! triangle-count comparison as a sanity check.
+//! 1-hash, KMV, and HLL — in ns/edge on the dense econ-psmigr1 stand-in,
+//! the regime where the paper's speedups appear. A `dispatch` section then
+//! compares the per-edge enum-match estimator path
+//! (`ProbGraph::estimate_intersection` in the loop) against the hoisted
+//! monomorphized oracle path (`ProbGraph::with_oracle` around the loop),
+//! and the end-to-end triangle-count comparison reruns as a sanity check.
 //!
 //! Honors `PG_SCALE` (dataset down-scale, default 1 = full size) and
 //! `PG_REPS` (timing repetitions, default 5). Writes `BENCH_kernels.json`
@@ -15,8 +18,13 @@
 use pg_bench::harness::time_median;
 use pg_bench::workloads::env_scale;
 use pg_sketch::bitvec::count_ones_words;
-use pg_sketch::{estimators, BloomCollection, BottomKCollection, KmvCollection, MinHashCollection};
+use pg_sketch::{
+    estimators, BloomCollection, BottomKCollection, HyperLogLogCollection, KmvCollection,
+    MinHashCollection,
+};
 use probgraph::intersect::{gallop_count, merge_count};
+use probgraph::oracle::{IntersectionOracle, OracleVisitor};
+use probgraph::{BfEstimator, PgConfig, ProbGraph, Representation};
 use std::hint::black_box;
 use std::io::Write as _;
 use std::time::Instant;
@@ -70,11 +78,17 @@ fn main() {
     let pg_sketch::SketchParams::KHash { k } = budget.khash() else {
         unreachable!()
     };
+    let pg_sketch::SketchParams::Hll { precision } = budget.hll() else {
+        unreachable!()
+    };
     let bloom = BloomCollection::build(n, bits_per_set, 2, 7, |v| dag.neighbors_plus(v as u32));
     let khash = MinHashCollection::build(n, k, 7, |v| dag.neighbors_plus(v as u32));
     let onehash = BottomKCollection::build(n, k, 7, |v| dag.neighbors_plus(v as u32));
     let kmv = KmvCollection::build(n, k, 7, |v| dag.neighbors_plus(v as u32));
-    println!("sketches: BF B={bits_per_set} b=2 | MH/KMV k={k} | {m} oriented edges");
+    let hll = HyperLogLogCollection::build(n, precision, 7, |v| dag.neighbors_plus(v as u32));
+    println!(
+        "sketches: BF B={bits_per_set} b=2 | MH/KMV k={k} | HLL p={precision} | {m} oriented edges"
+    );
 
     let mut entries: Vec<Entry> = Vec::new();
     let mut record = |name: &'static str, seconds: f64| {
@@ -225,12 +239,82 @@ fn main() {
     });
     record("kmv", t.seconds);
 
+    let t = time_median(reps, || {
+        let mut acc = 0.0f64;
+        for &(v, u) in &edges {
+            let (i, j) = (v as usize, u as usize);
+            acc += hll.estimate_intersection(i, j, dag.out_degree(v), dag.out_degree(u));
+        }
+        black_box(acc)
+    });
+    record("hll", t.seconds);
+
     let and_speedup = bf_and_naive / bf_and_fused;
     let or_speedup = bf_or_naive / bf_or_fused;
     let all_speedup = bf_all_naive / bf_all_fused;
     println!(
         "fused-vs-naive speedup: AND {and_speedup:.2}x | OR {or_speedup:.2}x | all3 {all_speedup:.2}x"
     );
+
+    // --- hoisted dispatch vs per-edge enum match --------------------------
+    // Per-edge path: `ProbGraph::estimate_intersection` inside the loop
+    // re-resolves the representation (store enum + BfEstimator) on every
+    // call. Hoisted path: `ProbGraph::with_oracle` resolves once and runs
+    // the same loop against the monomorphized oracle — what every
+    // algorithm kernel now does.
+    struct EdgeSum<'a>(&'a [(u32, u32)]);
+    impl OracleVisitor for EdgeSum<'_> {
+        type Output = f64;
+        fn visit<O: IntersectionOracle>(self, o: &O) -> f64 {
+            let mut acc = 0.0f64;
+            for &(v, u) in self.0 {
+                acc += o.estimate(v, u);
+            }
+            acc
+        }
+    }
+    struct DispatchEntry {
+        name: &'static str,
+        per_edge_ns: f64,
+        hoisted_ns: f64,
+    }
+    let mut dispatch: Vec<DispatchEntry> = Vec::new();
+    for (name, cfg) in [
+        ("bf1", PgConfig::new(Representation::Bloom { b: 1 }, 0.25)),
+        ("bf2", PgConfig::new(Representation::Bloom { b: 2 }, 0.25)),
+        (
+            "bf2_or",
+            PgConfig::new(Representation::Bloom { b: 2 }, 0.25).with_bf_estimator(BfEstimator::Or),
+        ),
+        ("khash", PgConfig::new(Representation::KHash, 0.25)),
+        ("onehash", PgConfig::new(Representation::OneHash, 0.25)),
+        ("kmv", PgConfig::new(Representation::Kmv, 0.25)),
+        ("hll", PgConfig::new(Representation::Hll, 0.25)),
+    ] {
+        let pg = ProbGraph::build_dag(&dag, g.memory_bytes(), &cfg);
+        let t_per_edge = time_median(reps, || {
+            let mut acc = 0.0f64;
+            for &(v, u) in &edges {
+                acc += pg.estimate_intersection(v, u);
+            }
+            black_box(acc)
+        });
+        let t_hoisted = time_median(reps, || black_box(pg.with_oracle(EdgeSum(&edges))));
+        let (pe, ho) = (
+            t_per_edge.seconds * 1e9 / m as f64,
+            t_hoisted.seconds * 1e9 / m as f64,
+        );
+        println!(
+            "{:>22}: per-edge {pe:8.2} ns/edge | hoisted {ho:8.2} ns/edge | {:.2}x",
+            format!("dispatch_{name}"),
+            pe / ho
+        );
+        dispatch.push(DispatchEntry {
+            name,
+            per_edge_ns: pe,
+            hoisted_ns: ho,
+        });
+    }
 
     // --- machine-readable emission ---------------------------------------
     let mut json = String::from("{\n");
@@ -252,8 +336,20 @@ fn main() {
     }
     json.push_str("  },\n");
     json.push_str(&format!(
-        "  \"fused_vs_naive\": {{\"bf_and\": {and_speedup:.3}, \"bf_or\": {or_speedup:.3}, \"bf_all3\": {all_speedup:.3}}}\n"
+        "  \"fused_vs_naive\": {{\"bf_and\": {and_speedup:.3}, \"bf_or\": {or_speedup:.3}, \"bf_all3\": {all_speedup:.3}}},\n"
     ));
+    json.push_str("  \"dispatch\": {\n");
+    for (i, d) in dispatch.iter().enumerate() {
+        let comma = if i + 1 == dispatch.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{\"per_edge_ns\": {:.3}, \"hoisted_ns\": {:.3}, \"speedup\": {:.3}}}{comma}\n",
+            d.name,
+            d.per_edge_ns,
+            d.hoisted_ns,
+            d.per_edge_ns / d.hoisted_ns
+        ));
+    }
+    json.push_str("  }\n");
     json.push_str("}\n");
     let path = "BENCH_kernels.json";
     std::fs::File::create(path)

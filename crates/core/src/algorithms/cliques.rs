@@ -2,111 +2,32 @@
 //! `|X ∩ Y|`): for every oriented edge `(u, v)` materialize the 3-clique
 //! set `C3 = N⁺_u ∩ N⁺_v`, then for each `w ∈ C3` add `|N⁺_w ∩ C3|`.
 //!
-//! The PG variant approximates the inner `|N⁺_w ∩ C3|`: `C3` is an ad-hoc
-//! set with no prebuilt sketch, so the estimator side evaluates the sketch
-//! of `N⁺_w` *against the explicit elements of `C3`* — membership queries
-//! for Bloom filters, sample/signature hit counting (scaled by
-//! `|N⁺_w|/k`) for MinHash. This keeps the expensive high-degree `N⁺_w`
-//! on the sketched side, which is where the paper's asymptotic advantage
-//! (Table VI: `O(n d² B/W)` vs `O(n d³)`) comes from.
+//! One generic kernel, [`count_on_dag`]: the inner `|N⁺_w ∩ C3|` goes
+//! through [`IntersectionOracle::estimate_vs_members`] — an exact merge
+//! for the exact oracle, membership queries for Bloom filters,
+//! sample/signature hit counting (scaled by `|N⁺_w|/k`) for MinHash.
+//! `C3` is an ad-hoc set with no prebuilt sketch, so the sketched side is
+//! always the expensive high-degree `N⁺_w` — which is where the paper's
+//! asymptotic advantage (Table VI: `O(n d² B/W)` vs `O(n d³)`) comes
+//! from. KMV/HLL store hash values, not elements, and are rejected by the
+//! oracle itself (the paper only evaluates BF and MH on clique counting).
 
-use crate::grain::clique_grain;
-use crate::intersect::{intersect_card, intersect_set};
-use crate::pg::{ProbGraph, SketchStore};
+use crate::grain::degree_power_grain;
+use crate::intersect::intersect_set;
+use crate::oracle::{ExactOracle, IntersectionOracle, OracleVisitor};
+use crate::pg::ProbGraph;
 use pg_graph::{orient_by_degree, CsrGraph, OrientedDag, VertexId};
 use pg_parallel::map_reduce_scratch;
 
-/// Exact 4-clique count (tuned baseline).
-pub fn count_exact(g: &CsrGraph) -> u64 {
-    let dag = orient_by_degree(g);
-    count_exact_on_dag(&dag)
-}
-
-/// Exact 4-clique count over a prebuilt DAG.
+/// The single Listing-2 kernel, generic over the oracle.
 ///
 /// The materialized `C3` set lives in worker-local scratch — one buffer
 /// per worker for the whole run, zero per-vertex allocation — and the
 /// grain is cube-weighted (`work(u) ∝ d⁺_u³`) so hubs don't serialize.
-pub fn count_exact_on_dag(dag: &OrientedDag) -> u64 {
+pub fn count_on_dag<O: IntersectionOracle>(dag: &OrientedDag, oracle: &O) -> f64 {
     map_reduce_scratch(
         dag.num_vertices(),
-        clique_grain(dag),
-        || 0u64,
-        Vec::new,
-        |c3, acc, u| {
-            let nu = dag.neighbors_plus(u as VertexId);
-            let mut local = 0u64;
-            for &v in nu {
-                intersect_set(nu, dag.neighbors_plus(v), c3);
-                for &w in c3.iter() {
-                    local += intersect_card(dag.neighbors_plus(w), c3) as u64;
-                }
-            }
-            acc + local
-        },
-        |a, b| a + b,
-    )
-}
-
-/// Estimates `|N⁺_w ∩ C3|` from the sketch of set `w` and the explicit
-/// sorted element list `c3`.
-fn estimate_vs_explicit(pg: &ProbGraph, w: VertexId, c3: &[u32]) -> f64 {
-    let wi = w as usize;
-    match pg.store() {
-        SketchStore::Bloom(col) => {
-            // Membership queries: no false negatives, small fp inflation.
-            c3.iter().filter(|&&x| col.contains(wi, x)).count() as f64
-        }
-        SketchStore::KHash(col) => {
-            // Each signature slot is a uniform-ish sample of N⁺_w; the hit
-            // fraction estimates |N⁺_w ∩ C3| / |N⁺_w|.
-            let sig = col.signature(wi);
-            let hits = sig
-                .iter()
-                .filter(|&&x| c3.binary_search(&x).is_ok())
-                .count();
-            let d = pg.set_size(wi);
-            if d == 0 {
-                return 0.0;
-            }
-            hits as f64 / sig.len() as f64 * d as f64
-        }
-        SketchStore::OneHash(col) => {
-            let sample = col.sample(wi);
-            let d = pg.set_size(wi);
-            if sample.is_empty() || d == 0 {
-                return 0.0;
-            }
-            let hits = sample
-                .iter()
-                .filter(|&&x| c3.binary_search(&x).is_ok())
-                .count();
-            if d <= col.k() {
-                hits as f64 // lossless sample: exact
-            } else {
-                hits as f64 * d as f64 / col.k() as f64
-            }
-        }
-        SketchStore::Kmv(_) => {
-            // KMV stores hash values, not elements, so it cannot answer
-            // "how many of these explicit vertices are in N⁺_w". The paper
-            // only evaluates BF and MH on clique counting; reject loudly
-            // rather than return a silently wrong number.
-            panic!(
-                "4-clique counting does not support the KMV representation (use Bloom or MinHash)"
-            )
-        }
-    }
-}
-
-/// Approximate 4-clique count with prebuilt DAG and DAG sketches.
-///
-/// Zero per-edge heap allocation: `C3` reuses worker-local scratch and
-/// [`estimate_vs_explicit`] evaluates sketches in place.
-pub fn count_approx_on_dag(dag: &OrientedDag, pg: &ProbGraph) -> f64 {
-    map_reduce_scratch(
-        dag.num_vertices(),
-        clique_grain(dag),
+        degree_power_grain(dag, 3),
         || 0f64,
         Vec::new,
         |c3, acc, u| {
@@ -114,17 +35,39 @@ pub fn count_approx_on_dag(dag: &OrientedDag, pg: &ProbGraph) -> f64 {
             let mut local = 0.0f64;
             for &v in nu {
                 intersect_set(nu, dag.neighbors_plus(v), c3);
-                if c3.is_empty() {
-                    continue;
-                }
                 for &w in c3.iter() {
-                    local += estimate_vs_explicit(pg, w, c3).max(0.0);
+                    local += oracle.estimate_vs_members(w, c3).max(0.0);
                 }
             }
             acc + local
         },
         |a, b| a + b,
     )
+}
+
+/// Exact 4-clique count (tuned baseline).
+pub fn count_exact(g: &CsrGraph) -> u64 {
+    let dag = orient_by_degree(g);
+    count_exact_on_dag(&dag)
+}
+
+/// Exact 4-clique count over a prebuilt DAG: the generic kernel with the
+/// exact oracle (`f64` accumulation is exact below `2^53`).
+pub fn count_exact_on_dag(dag: &OrientedDag) -> u64 {
+    count_on_dag(dag, &ExactOracle::new(dag)) as u64
+}
+
+/// Approximate 4-clique count with prebuilt DAG and DAG sketches —
+/// resolves the representation once, then runs the generic kernel.
+pub fn count_approx_on_dag(dag: &OrientedDag, pg: &ProbGraph) -> f64 {
+    struct V<'a>(&'a OrientedDag);
+    impl OracleVisitor for V<'_> {
+        type Output = f64;
+        fn visit<O: IntersectionOracle>(self, o: &O) -> f64 {
+            count_on_dag(self.0, o)
+        }
+    }
+    pg.with_oracle(V(dag))
 }
 
 /// Approximate 4-clique count: builds the DAG and sketches internally.

@@ -6,6 +6,7 @@
 //! vertices) as the accuracy metric.
 
 use crate::algorithms::dsu::Dsu;
+use crate::oracle::{ExactOracle, IntersectionOracle, OracleVisitor};
 use crate::pg::ProbGraph;
 use pg_graph::{CsrGraph, VertexId};
 use pg_parallel::parallel_init;
@@ -49,49 +50,61 @@ fn finish(n: usize, edges: &[(VertexId, VertexId)], selected: Vec<bool>) -> Clus
     }
 }
 
-fn exact_similarity(g: &CsrGraph, kind: SimilarityKind, u: VertexId, v: VertexId) -> f64 {
+/// The configured similarity of one pair under any oracle (the blue
+/// `|N_v ∩ N_u|` of Listing 4 and its Jaccard/Overlap variants).
+#[inline]
+fn similarity_with<O: IntersectionOracle>(
+    o: &O,
+    kind: SimilarityKind,
+    u: VertexId,
+    v: VertexId,
+) -> f64 {
     use crate::algorithms::similarity as sim;
     match kind {
-        SimilarityKind::CommonNeighbors => sim::common_neighbors(g, u, v) as f64,
-        SimilarityKind::Jaccard => sim::jaccard(g, u, v),
-        SimilarityKind::Overlap => sim::overlap(g, u, v),
+        SimilarityKind::CommonNeighbors => sim::common_neighbors_with(o, u, v),
+        SimilarityKind::Jaccard => sim::jaccard_with(o, u, v),
+        SimilarityKind::Overlap => sim::overlap_with(o, u, v),
     }
 }
 
-fn pg_similarity(pg: &ProbGraph, kind: SimilarityKind, u: VertexId, v: VertexId) -> f64 {
-    use crate::algorithms::similarity as sim;
-    match kind {
-        SimilarityKind::CommonNeighbors => sim::common_neighbors_pg(pg, u, v),
-        SimilarityKind::Jaccard => sim::jaccard_pg(pg, u, v),
-        SimilarityKind::Overlap => sim::overlap_pg(pg, u, v),
-    }
-}
-
-/// Exact Jarvis–Patrick clustering (tuned baseline). The per-edge loop is
-/// parallel, the component count sequential (cheap).
-pub fn jarvis_patrick_exact(g: &CsrGraph, kind: SimilarityKind, tau: f64) -> Clustering {
-    let edges = g.edge_list();
-    let selected = parallel_init(edges.len(), |i| {
-        let (u, v) = edges[i];
-        exact_similarity(g, kind, u, v) > tau
-    });
-    finish(g.num_vertices(), &edges, selected)
-}
-
-/// PG-accelerated Jarvis–Patrick clustering: the similarity is computed
-/// from the sketches (the blue `|N_v ∩ N_u|` of Listing 4).
-pub fn jarvis_patrick_pg(
+/// The single Listing-4 kernel, generic over the oracle: the per-edge
+/// selection loop is parallel, the component count sequential (cheap).
+pub fn jarvis_patrick_with<O: IntersectionOracle>(
     g: &CsrGraph,
-    pg: &ProbGraph,
+    oracle: &O,
     kind: SimilarityKind,
     tau: f64,
 ) -> Clustering {
     let edges = g.edge_list();
     let selected = parallel_init(edges.len(), |i| {
         let (u, v) = edges[i];
-        pg_similarity(pg, kind, u, v) > tau
+        similarity_with(oracle, kind, u, v) > tau
     });
     finish(g.num_vertices(), &edges, selected)
+}
+
+/// Exact Jarvis–Patrick clustering (tuned baseline): the generic kernel
+/// with the exact oracle.
+pub fn jarvis_patrick_exact(g: &CsrGraph, kind: SimilarityKind, tau: f64) -> Clustering {
+    jarvis_patrick_with(g, &ExactOracle::new(g), kind, tau)
+}
+
+/// PG-accelerated Jarvis–Patrick clustering: resolves the representation
+/// once, then runs the generic kernel.
+pub fn jarvis_patrick_pg(
+    g: &CsrGraph,
+    pg: &ProbGraph,
+    kind: SimilarityKind,
+    tau: f64,
+) -> Clustering {
+    struct V<'a>(&'a CsrGraph, SimilarityKind, f64);
+    impl OracleVisitor for V<'_> {
+        type Output = Clustering;
+        fn visit<O: IntersectionOracle>(self, o: &O) -> Clustering {
+            jarvis_patrick_with(self.0, o, self.1, self.2)
+        }
+    }
+    pg.with_oracle(V(g, kind, tau))
 }
 
 #[cfg(test)]

@@ -12,56 +12,50 @@
 //! sum of intersection cardinalities, so the blue-operation substitution
 //! of the paper applies verbatim.
 
-use crate::intersect::intersect_card;
+use crate::oracle::{ExactOracle, IntersectionOracle, OracleVisitor};
 use crate::pg::ProbGraph;
 use pg_graph::{CsrGraph, VertexId};
-use pg_parallel::{parallel_init, sum_f64, sum_u64};
+use pg_parallel::{parallel_init_scratch, sum_f64, sum_u64};
 
-/// Exact per-vertex triangle counts `t_v` (each triangle counted at each
-/// of its three vertices).
-pub fn triangles_per_vertex(g: &CsrGraph) -> Vec<u64> {
-    parallel_init(g.num_vertices(), |vi| {
+/// The single per-vertex triangle kernel `t_v = ½ Σ_{u∈N_v} |N_v ∩ N_u|̂`,
+/// generic over the oracle, batching each row through
+/// [`IntersectionOracle::estimate_row`] into worker-local scratch.
+pub fn triangles_per_vertex_with<O: IntersectionOracle>(g: &CsrGraph, oracle: &O) -> Vec<f64> {
+    parallel_init_scratch(g.num_vertices(), Vec::new, |row, vi| {
         let v = vi as VertexId;
         let nv = g.neighbors(v);
-        let mut t = 0u64;
-        for &u in nv {
-            t += intersect_card(nv, g.neighbors(u)) as u64;
-        }
-        t / 2
+        oracle.estimate_row(v, nv, row);
+        row.iter().fold(0.0f64, |s, &e| s + e.max(0.0)) / 2.0
     })
 }
 
-/// Approximate per-vertex triangle counts from a ProbGraph over full
-/// neighborhoods.
-pub fn triangles_per_vertex_pg(g: &CsrGraph, pg: &ProbGraph) -> Vec<f64> {
-    parallel_init(g.num_vertices(), |vi| {
-        let v = vi as VertexId;
-        let mut t = 0.0f64;
-        for &u in g.neighbors(v) {
-            t += pg.estimate_intersection(v, u).max(0.0);
-        }
-        t / 2.0
-    })
-}
-
-/// Exact local clustering coefficients (0 for degree < 2).
-pub fn local_clustering(g: &CsrGraph) -> Vec<f64> {
-    let t = triangles_per_vertex(g);
-    (0..g.num_vertices())
-        .map(|v| {
-            let d = g.degree(v as VertexId) as f64;
-            if d < 2.0 {
-                0.0
-            } else {
-                2.0 * t[v] as f64 / (d * (d - 1.0))
-            }
-        })
+/// Exact per-vertex triangle counts `t_v` (each triangle counted at each
+/// of its three vertices): the generic kernel with the exact oracle. The
+/// per-vertex sums are even integers, so the `f64` halves are exact.
+pub fn triangles_per_vertex(g: &CsrGraph) -> Vec<u64> {
+    triangles_per_vertex_with(g, &ExactOracle::new(g))
+        .into_iter()
+        .map(|t| t as u64)
         .collect()
 }
 
-/// Approximate local clustering coefficients, clamped to `[0, 1]`.
-pub fn local_clustering_pg(g: &CsrGraph, pg: &ProbGraph) -> Vec<f64> {
-    let t = triangles_per_vertex_pg(g, pg);
+/// Approximate per-vertex triangle counts from a ProbGraph over full
+/// neighborhoods — representation resolved once.
+pub fn triangles_per_vertex_pg(g: &CsrGraph, pg: &ProbGraph) -> Vec<f64> {
+    struct V<'a>(&'a CsrGraph);
+    impl OracleVisitor for V<'_> {
+        type Output = Vec<f64>;
+        fn visit<O: IntersectionOracle>(self, o: &O) -> Vec<f64> {
+            triangles_per_vertex_with(self.0, o)
+        }
+    }
+    pg.with_oracle(V(g))
+}
+
+/// Local coefficients `2·t_v / (d_v (d_v − 1))` from per-vertex triangle
+/// counts, clamped to `[0, 1]` (a no-op for exact counts; estimators can
+/// overshoot).
+fn local_from_triangles(g: &CsrGraph, t: &[f64]) -> Vec<f64> {
     (0..g.num_vertices())
         .map(|v| {
             let d = g.degree(v as VertexId) as f64;
@@ -72,6 +66,16 @@ pub fn local_clustering_pg(g: &CsrGraph, pg: &ProbGraph) -> Vec<f64> {
             }
         })
         .collect()
+}
+
+/// Exact local clustering coefficients (0 for degree < 2).
+pub fn local_clustering(g: &CsrGraph) -> Vec<f64> {
+    local_from_triangles(g, &triangles_per_vertex_with(g, &ExactOracle::new(g)))
+}
+
+/// Approximate local clustering coefficients, clamped to `[0, 1]`.
+pub fn local_clustering_pg(g: &CsrGraph, pg: &ProbGraph) -> Vec<f64> {
+    local_from_triangles(g, &triangles_per_vertex_pg(g, pg))
 }
 
 /// Number of wedges (paths of length 2) `Σ_v C(d_v, 2)`.
@@ -92,8 +96,10 @@ pub fn global_clustering(g: &CsrGraph) -> f64 {
     3.0 * crate::algorithms::triangles::count_exact(g) as f64 / w as f64
 }
 
-/// Approximate global clustering coefficient via the PG triangle count.
-pub fn global_clustering_pg(g: &CsrGraph, pg: &ProbGraph) -> f64 {
+/// The single global-coefficient kernel: `TC = ⅓ Σ_{(u,v)∈E} |N_u ∩ N_v|̂`
+/// over the undirected edge list, then `3·TC / wedges`, clamped to
+/// `[0, 1]`.
+pub fn global_clustering_with<O: IntersectionOracle>(g: &CsrGraph, oracle: &O) -> f64 {
     let w = wedge_count(g);
     if w == 0 {
         return 0.0;
@@ -101,9 +107,22 @@ pub fn global_clustering_pg(g: &CsrGraph, pg: &ProbGraph) -> f64 {
     let edges = g.edge_list();
     let tc = sum_f64(edges.len(), |i| {
         let (u, v) = edges[i];
-        pg.estimate_intersection(u, v).max(0.0)
+        oracle.estimate(u, v).max(0.0)
     }) / 3.0;
     (3.0 * tc / w as f64).clamp(0.0, 1.0)
+}
+
+/// Approximate global clustering coefficient via the PG triangle count —
+/// representation resolved once.
+pub fn global_clustering_pg(g: &CsrGraph, pg: &ProbGraph) -> f64 {
+    struct V<'a>(&'a CsrGraph);
+    impl OracleVisitor for V<'_> {
+        type Output = f64;
+        fn visit<O: IntersectionOracle>(self, o: &O) -> f64 {
+            global_clustering_with(self.0, o)
+        }
+    }
+    pg.with_oracle(V(g))
 }
 
 /// Exact group cohesion `TC[S] / C(|S|, 3)` (§III-A); 0 for `|S| < 3`.

@@ -11,8 +11,9 @@
 //! neighbor, so this prunes only zero-score candidates and changes nothing
 //! about the ranking.
 
+use crate::oracle::{IntersectionOracle, OracleVisitor};
 use crate::pg::ProbGraph;
-use pg_graph::{split_edges, CsrGraph, VertexId};
+use pg_graph::{split_edges, CsrGraph, EdgeSplit, VertexId};
 use pg_parallel::{parallel_init, parallel_init_scratch};
 
 /// Outcome of one evaluation run.
@@ -54,6 +55,49 @@ fn candidate_pairs(g: &CsrGraph) -> Vec<(VertexId, VertexId)> {
     per_vertex.into_iter().flatten().collect()
 }
 
+/// Shared protocol tail: deterministic ranking (descending score, ties by
+/// pair), top-`|E_rndm|` prediction, and effectiveness counting.
+fn rank_and_score(
+    split: &EdgeSplit,
+    candidates: &[(VertexId, VertexId)],
+    scores: &[f64],
+) -> LinkPredictionOutcome {
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap()
+            .then_with(|| candidates[a].cmp(&candidates[b]))
+    });
+    let k = split.removed.len().min(order.len());
+    let predicted: Vec<(VertexId, VertexId)> = order[..k].iter().map(|&i| candidates[i]).collect();
+    let removed: std::collections::HashSet<(VertexId, VertexId)> =
+        split.removed.iter().copied().collect();
+    let hits = predicted.iter().filter(|p| removed.contains(p)).count();
+    LinkPredictionOutcome {
+        num_removed: split.removed.len(),
+        precision: if split.removed.is_empty() {
+            0.0
+        } else {
+            hits as f64 / split.removed.len() as f64
+        },
+        predicted,
+        hits,
+    }
+}
+
+/// The single candidate-scoring kernel: Common-Neighbors scores of every
+/// candidate pair under any oracle, in parallel.
+pub fn score_candidates_with<O: IntersectionOracle>(
+    oracle: &O,
+    candidates: &[(VertexId, VertexId)],
+) -> Vec<f64> {
+    parallel_init(candidates.len(), |i| {
+        let (u, v) = candidates[i];
+        oracle.estimate(u, v)
+    })
+}
+
 /// Runs the Listing-5 protocol with an arbitrary scorer over the
 /// *sparsified* graph. `frac_removed ∈ (0, 1)` is the share of edges
 /// hidden; `seed` fixes the split. The scorer sees the sparse graph only.
@@ -68,29 +112,7 @@ where
         let (u, v) = candidates[i];
         scorer(sparse, u, v)
     });
-    let mut order: Vec<usize> = (0..candidates.len()).collect();
-    // Deterministic ranking: by descending score, ties by pair.
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap()
-            .then_with(|| candidates[a].cmp(&candidates[b]))
-    });
-    let k = split.removed.len().min(order.len());
-    let predicted: Vec<(VertexId, VertexId)> = order[..k].iter().map(|&i| candidates[i]).collect();
-    let removed: std::collections::HashSet<(VertexId, VertexId)> =
-        split.removed.iter().copied().collect();
-    let hits = predicted.iter().filter(|p| removed.contains(p)).count();
-    LinkPredictionOutcome {
-        num_removed: split.removed.len(),
-        precision: if split.removed.is_empty() {
-            0.0
-        } else {
-            hits as f64 / split.removed.len() as f64
-        },
-        predicted,
-        hits,
-    }
+    rank_and_score(&split, &candidates, &scores)
 }
 
 /// Exact Common-Neighbors scorer (the scheme Listing 4/5 build on).
@@ -99,7 +121,8 @@ pub fn exact_cn_scorer(g: &CsrGraph, u: VertexId, v: VertexId) -> f64 {
 }
 
 /// Runs the protocol with a ProbGraph-backed Common-Neighbors scorer
-/// (sketches are built once over the sparsified graph).
+/// (sketches are built once over the sparsified graph, the representation
+/// resolved once before the scoring loop).
 pub fn evaluate_pg(
     g: &CsrGraph,
     frac_removed: f64,
@@ -110,32 +133,15 @@ pub fn evaluate_pg(
     let sparse = &split.sparse;
     let pg = ProbGraph::build(sparse, cfg);
     let candidates = candidate_pairs(sparse);
-    let scores = parallel_init(candidates.len(), |i| {
-        let (u, v) = candidates[i];
-        pg.estimate_intersection(u, v)
-    });
-    let mut order: Vec<usize> = (0..candidates.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap()
-            .then_with(|| candidates[a].cmp(&candidates[b]))
-    });
-    let k = split.removed.len().min(order.len());
-    let predicted: Vec<(VertexId, VertexId)> = order[..k].iter().map(|&i| candidates[i]).collect();
-    let removed: std::collections::HashSet<(VertexId, VertexId)> =
-        split.removed.iter().copied().collect();
-    let hits = predicted.iter().filter(|p| removed.contains(p)).count();
-    LinkPredictionOutcome {
-        num_removed: split.removed.len(),
-        precision: if split.removed.is_empty() {
-            0.0
-        } else {
-            hits as f64 / split.removed.len() as f64
-        },
-        predicted,
-        hits,
+    struct V<'a>(&'a [(VertexId, VertexId)]);
+    impl OracleVisitor for V<'_> {
+        type Output = Vec<f64>;
+        fn visit<O: IntersectionOracle>(self, o: &O) -> Vec<f64> {
+            score_candidates_with(o, self.0)
+        }
     }
+    let scores = pg.with_oracle(V(&candidates));
+    rank_and_score(&split, &candidates, &scores)
 }
 
 #[cfg(test)]

@@ -1,15 +1,47 @@
 //! Vertex Similarity measures (Listing 3 of the paper): Jaccard, Overlap,
 //! Common Neighbors, Total Neighbors, Adamic–Adar, Resource Allocation.
 //!
-//! The first four reduce to `|N_u ∩ N_v|` and exact degrees, so each has a
-//! PG-accelerated twin. Adamic–Adar and Resource Allocation weight each
-//! *individual* shared neighbor `w` (by `1/log d_w` resp. `1/d_w`), which
-//! requires the common elements themselves — those are exact-only, exactly
-//! as in the paper's evaluation.
+//! The first four reduce to `|N_u ∩ N_v|` and exact degrees, so each is
+//! written **once** against a generic [`IntersectionOracle`]
+//! (`*_with`): the exact forms run the [`ExactOracle`], the PG forms
+//! whatever sketch oracle the ProbGraph resolves. Adamic–Adar and
+//! Resource Allocation weight each *individual* shared neighbor `w` (by
+//! `1/log d_w` resp. `1/d_w`), which requires the common elements
+//! themselves — those are exact-only, exactly as in the paper's
+//! evaluation.
 
 use crate::intersect::{for_each_common, intersect_card};
+use crate::oracle::{ExactOracle, IntersectionOracle, OracleVisitor};
 use crate::pg::ProbGraph;
 use pg_graph::{CsrGraph, VertexId};
+
+/// Generic Common Neighbors `S_C = |N_u ∩ N_v|̂`, clamped at 0.
+#[inline]
+pub fn common_neighbors_with<O: IntersectionOracle>(o: &O, u: VertexId, v: VertexId) -> f64 {
+    o.estimate(u, v).max(0.0)
+}
+
+/// Generic Jaccard `S_J = |N_u ∩ N_v| / |N_u ∪ N_v|` in `[0, 1]`.
+#[inline]
+pub fn jaccard_with<O: IntersectionOracle>(o: &O, u: VertexId, v: VertexId) -> f64 {
+    o.jaccard(u, v)
+}
+
+/// Generic Overlap `S_O = |N_u ∩ N_v| / min(d_u, d_v)` in `[0, 1]`
+/// (0 when either set is empty).
+pub fn overlap_with<O: IntersectionOracle>(o: &O, u: VertexId, v: VertexId) -> f64 {
+    let m = o.set_size(u).min(o.set_size(v));
+    if m == 0 {
+        return 0.0;
+    }
+    (common_neighbors_with(o, u, v) / m as f64).clamp(0.0, 1.0)
+}
+
+/// Generic Total Neighbors `S_T = |N_u ∪ N_v|`, clamped at 0.
+pub fn total_neighbors_with<O: IntersectionOracle>(o: &O, u: VertexId, v: VertexId) -> f64 {
+    let s = (o.set_size(u) + o.set_size(v)) as f64;
+    (s - common_neighbors_with(o, u, v)).max(0.0)
+}
 
 /// Exact common-neighbor count `S_C(u, v) = |N_u ∩ N_v|`.
 pub fn common_neighbors(g: &CsrGraph, u: VertexId, v: VertexId) -> usize {
@@ -18,27 +50,17 @@ pub fn common_neighbors(g: &CsrGraph, u: VertexId, v: VertexId) -> usize {
 
 /// Exact Jaccard `S_J = |N_u ∩ N_v| / |N_u ∪ N_v|` (0 when both empty).
 pub fn jaccard(g: &CsrGraph, u: VertexId, v: VertexId) -> f64 {
-    let inter = common_neighbors(g, u, v) as f64;
-    let union = (g.degree(u) + g.degree(v)) as f64 - inter;
-    if union <= 0.0 {
-        0.0
-    } else {
-        inter / union
-    }
+    jaccard_with(&ExactOracle::new(g), u, v)
 }
 
 /// Exact Overlap `S_O = |N_u ∩ N_v| / min(d_u, d_v)` (0 when either empty).
 pub fn overlap(g: &CsrGraph, u: VertexId, v: VertexId) -> f64 {
-    let m = g.degree(u).min(g.degree(v));
-    if m == 0 {
-        return 0.0;
-    }
-    common_neighbors(g, u, v) as f64 / m as f64
+    overlap_with(&ExactOracle::new(g), u, v)
 }
 
 /// Exact Total Neighbors `S_T = |N_u ∪ N_v|`.
 pub fn total_neighbors(g: &CsrGraph, u: VertexId, v: VertexId) -> usize {
-    g.degree(u) + g.degree(v) - common_neighbors(g, u, v)
+    total_neighbors_with(&ExactOracle::new(g), u, v) as usize
 }
 
 /// Exact Adamic–Adar `S_A = Σ_{w ∈ N_u ∩ N_v} 1/log d_w`.
@@ -62,31 +84,52 @@ pub fn resource_allocation(g: &CsrGraph, u: VertexId, v: VertexId) -> f64 {
     s
 }
 
+/// One-pair delegate through the ProbGraph's resolved oracle, so every
+/// `*_pg` measure shares the `*_with` definition (single source of truth
+/// for clamps and zero-guards).
+enum Measure {
+    CommonNeighbors,
+    Jaccard,
+    Overlap,
+    TotalNeighbors,
+}
+
+fn measure_pg(pg: &ProbGraph, m: Measure, u: VertexId, v: VertexId) -> f64 {
+    struct Pair(Measure, VertexId, VertexId);
+    impl OracleVisitor for Pair {
+        type Output = f64;
+        fn visit<O: IntersectionOracle>(self, o: &O) -> f64 {
+            match self.0 {
+                Measure::CommonNeighbors => common_neighbors_with(o, self.1, self.2),
+                Measure::Jaccard => jaccard_with(o, self.1, self.2),
+                Measure::Overlap => overlap_with(o, self.1, self.2),
+                Measure::TotalNeighbors => total_neighbors_with(o, self.1, self.2),
+            }
+        }
+    }
+    pg.with_oracle(Pair(m, u, v))
+}
+
 /// Approximate common-neighbor count via the ProbGraph estimator.
 #[inline]
 pub fn common_neighbors_pg(pg: &ProbGraph, u: VertexId, v: VertexId) -> f64 {
-    pg.estimate_intersection(u, v).max(0.0)
+    measure_pg(pg, Measure::CommonNeighbors, u, v)
 }
 
 /// Approximate Jaccard (Listing 6's `jacBF`).
 #[inline]
 pub fn jaccard_pg(pg: &ProbGraph, u: VertexId, v: VertexId) -> f64 {
-    pg.estimate_jaccard(u, v)
+    measure_pg(pg, Measure::Jaccard, u, v)
 }
 
 /// Approximate Overlap.
 pub fn overlap_pg(pg: &ProbGraph, u: VertexId, v: VertexId) -> f64 {
-    let m = pg.set_size(u as usize).min(pg.set_size(v as usize));
-    if m == 0 {
-        return 0.0;
-    }
-    (common_neighbors_pg(pg, u, v) / m as f64).clamp(0.0, 1.0)
+    measure_pg(pg, Measure::Overlap, u, v)
 }
 
 /// Approximate Total Neighbors.
 pub fn total_neighbors_pg(pg: &ProbGraph, u: VertexId, v: VertexId) -> f64 {
-    let s = (pg.set_size(u as usize) + pg.set_size(v as usize)) as f64;
-    (s - common_neighbors_pg(pg, u, v)).max(0.0)
+    measure_pg(pg, Measure::TotalNeighbors, u, v)
 }
 
 #[cfg(test)]

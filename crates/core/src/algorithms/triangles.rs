@@ -1,15 +1,43 @@
 //! Triangle Counting (Listing 1 of the paper): the node-iterator algorithm
 //! over a degree-ordered DAG, `tc = Σ_v Σ_{u ∈ N⁺_v} |N⁺_v ∩ N⁺_u|`.
 //!
-//! Both loops are parallel (`[in par]`); the exact variant uses the
-//! merge/galloping kernels, the PG variant the configured estimator. Work
-//! and depth follow Table VI.
+//! Both loops are parallel (`[in par]`). There is exactly **one**
+//! algorithm body, [`count_on_dag`], generic over the
+//! [`IntersectionOracle`]: the exact variant runs it with the
+//! merge/galloping [`ExactOracle`], the PG variant with whichever sketch
+//! oracle [`ProbGraph::with_oracle`] resolves — so representation dispatch
+//! happens once per call, never inside the per-edge loop. Work and depth
+//! follow Table VI.
 
-use crate::grain::{edge_grain, wedge_grain};
-use crate::intersect::intersect_card;
+use crate::grain::degree_power_grain;
+use crate::oracle::{ExactOracle, IntersectionOracle, OracleVisitor};
 use crate::pg::{PgConfig, ProbGraph};
 use pg_graph::{orient_by_degree, CsrGraph, OrientedDag, VertexId};
-use pg_parallel::map_reduce_grain;
+use pg_parallel::map_reduce_scratch;
+
+/// The single Listing-1 kernel: sums (estimated) wedge-closure counts over
+/// every oriented edge, batching each vertex's row through
+/// [`IntersectionOracle::estimate_row`] into worker-local scratch.
+///
+/// Scheduled with a degree-power grain matching the oracle's work profile:
+/// `d⁺²` for the exact oracle (each estimate is an `O(d⁺)` merge), `d⁺`
+/// for sketches (each estimate is `O(B/W)`/`O(k)`) — the
+/// dynamic-scheduling argument of §VI-B.
+pub fn count_on_dag<O: IntersectionOracle>(dag: &OrientedDag, oracle: &O) -> f64 {
+    let pow = if oracle.degree_scaled_cost() { 2 } else { 1 };
+    map_reduce_scratch(
+        dag.num_vertices(),
+        degree_power_grain(dag, pow),
+        || 0f64,
+        Vec::new,
+        |row, acc, v| {
+            let np = dag.neighbors_plus(v as VertexId);
+            oracle.estimate_row(v as VertexId, np, row);
+            acc + row.iter().fold(0.0f64, |s, &e| s + e.max(0.0))
+        },
+        |a, b| a + b,
+    )
+}
 
 /// Exact triangle count (tuned baseline).
 pub fn count_exact(g: &CsrGraph) -> u64 {
@@ -18,26 +46,11 @@ pub fn count_exact(g: &CsrGraph) -> u64 {
 }
 
 /// Exact triangle count when the oriented DAG is already built (lets
-/// benchmarks time preprocessing separately).
-///
-/// Scheduled with a wedge-weighted grain: per-vertex work is `O(d⁺²)`, so
-/// on power-law graphs the chunks shrink until hubs stop serializing the
-/// join (the dynamic-scheduling argument of §VI-B).
+/// benchmarks time preprocessing separately): the generic kernel run with
+/// the exact oracle. The `f64` accumulator is exact for every count below
+/// `2^53` (all summands are integers).
 pub fn count_exact_on_dag(dag: &OrientedDag) -> u64 {
-    map_reduce_grain(
-        dag.num_vertices(),
-        wedge_grain(dag),
-        || 0u64,
-        |acc, v| {
-            let np = dag.neighbors_plus(v as VertexId);
-            let mut local = 0u64;
-            for &u in np {
-                local += intersect_card(np, dag.neighbors_plus(u)) as u64;
-            }
-            acc + local
-        },
-        |a, b| a + b,
-    )
+    count_on_dag(dag, &ExactOracle::new(dag)) as u64
 }
 
 /// Approximate triangle count: builds the oriented DAG, sketches every
@@ -48,25 +61,17 @@ pub fn count_approx(g: &CsrGraph, cfg: &PgConfig) -> f64 {
     count_approx_on_dag(&dag, &pg)
 }
 
-/// Approximate triangle count with prebuilt DAG and sketches.
-///
-/// Per-edge work is one `O(B/W)` (or `O(k)`) estimator call, so the grain
-/// is edge-weighted (`work(v) ∝ d⁺_v`).
+/// Approximate triangle count with prebuilt DAG and sketches — resolves
+/// the representation once, then runs the generic kernel.
 pub fn count_approx_on_dag(dag: &OrientedDag, pg: &ProbGraph) -> f64 {
-    map_reduce_grain(
-        dag.num_vertices(),
-        edge_grain(dag),
-        || 0f64,
-        |acc, v| {
-            let np = dag.neighbors_plus(v as VertexId);
-            let mut local = 0.0f64;
-            for &u in np {
-                local += pg.estimate_intersection(v as VertexId, u).max(0.0);
-            }
-            acc + local
-        },
-        |a, b| a + b,
-    )
+    struct V<'a>(&'a OrientedDag);
+    impl OracleVisitor for V<'_> {
+        type Output = f64;
+        fn visit<O: IntersectionOracle>(self, o: &O) -> f64 {
+            count_on_dag(self.0, o)
+        }
+    }
+    pg.with_oracle(V(dag))
 }
 
 #[cfg(test)]

@@ -26,24 +26,15 @@ fn degree_power_stats(dag: &OrientedDag, pow: u32) -> (u64, u64) {
     )
 }
 
-/// Grain for per-edge kernels (`work(v) ∝ d⁺_v`), e.g. sketch-based
-/// triangle counting where every edge costs one `O(B/W)` estimator call.
-pub(crate) fn edge_grain(dag: &OrientedDag) -> usize {
-    let (total, max) = degree_power_stats(dag, 1);
-    weighted_grain(dag.num_vertices(), total, max)
-}
-
-/// Grain for wedge kernels (`work(v) ∝ d⁺_v²`), e.g. exact triangle
-/// counting whose per-vertex cost is a sum of `O(d⁺)` intersections.
-pub(crate) fn wedge_grain(dag: &OrientedDag) -> usize {
-    let (total, max) = degree_power_stats(dag, 2);
-    weighted_grain(dag.num_vertices(), total, max)
-}
-
-/// Grain for 4-clique kernels (`work(v) ∝ d⁺_v³`): each oriented edge
-/// materializes a `C3` set and intersects every member against it.
-pub(crate) fn clique_grain(dag: &OrientedDag) -> usize {
-    let (total, max) = degree_power_stats(dag, 3);
+/// Scheduling grain for kernels whose per-vertex work is `d⁺(v)^pow`:
+/// `pow = 1` for per-edge sketch estimators (one `O(B/W)`/`O(k)` call per
+/// edge), `pow = 2` for wedge kernels (exact triangle counting: a sum of
+/// `O(d⁺)` merges per vertex), `pow = 3` for 4-clique kernels (each
+/// oriented edge materializes a `C3` set and intersects every member
+/// against it). The generic oracle kernels pick `pow` from
+/// [`crate::oracle::IntersectionOracle::degree_scaled_cost`].
+pub(crate) fn degree_power_grain(dag: &OrientedDag, pow: u32) -> usize {
+    let (total, max) = degree_power_stats(dag, pow);
     weighted_grain(dag.num_vertices(), total, max)
 }
 
@@ -56,7 +47,8 @@ mod tests {
     fn grains_are_positive_and_bounded_by_n() {
         for g in [gen::kronecker(9, 8, 1), gen::complete(32), gen::path(100)] {
             let dag = orient_by_degree(&g);
-            for grain in [edge_grain(&dag), wedge_grain(&dag), clique_grain(&dag)] {
+            for pow in 1..=3 {
+                let grain = degree_power_grain(&dag, pow);
                 assert!(grain >= 1);
                 assert!(grain <= dag.num_vertices().max(1));
             }
@@ -84,8 +76,8 @@ mod tests {
             let dag = orient_by_degree(&skewed);
             assert_eq!(dag.out_degree(0), k as usize, "hub must keep its out-edges");
             let uniform = gen::cycle(next as usize);
-            let gs = wedge_grain(&dag);
-            let gu = wedge_grain(&orient_by_degree(&uniform));
+            let gs = degree_power_grain(&dag, 2);
+            let gu = degree_power_grain(&orient_by_degree(&uniform), 2);
             assert!(gs < gu, "skewed grain {gs} should be < uniform grain {gu}");
         });
     }
@@ -94,6 +86,6 @@ mod tests {
     fn empty_dag() {
         let g = pg_graph::CsrGraph::from_edges(0, &[]);
         let dag = orient_by_degree(&g);
-        assert_eq!(edge_grain(&dag), 1);
+        assert_eq!(degree_power_grain(&dag, 1), 1);
     }
 }

@@ -31,6 +31,11 @@
 //!
 //! * [`pg`] — the [`ProbGraph`] representation: per-neighborhood sketches
 //!   under a storage budget `s` (§V).
+//! * [`oracle`] — the monomorphized intersection-oracle layer: one
+//!   [`IntersectionOracle`] trait implemented by exact CSR adjacency and
+//!   every sketch (Bloom×{AND, Limit, OR}, k-hash, 1-hash, KMV, HLL);
+//!   [`ProbGraph::with_oracle`] hoists the representation dispatch out of
+//!   every per-edge loop.
 //! * [`intersect`] — exact merge & galloping kernels (Fig. 1 panel 2).
 //! * [`algorithms`] — Triangle Counting (Listing 1), 4-Clique Counting
 //!   (Listing 2), Vertex Similarity (Listing 3), Jarvis–Patrick Clustering
@@ -49,9 +54,11 @@ pub mod algorithms;
 pub mod baselines;
 mod grain;
 pub mod intersect;
+pub mod oracle;
 pub mod pg;
 pub mod tc_estimator;
 pub mod workdepth;
 
 pub use accuracy::{relative_count, relative_error};
+pub use oracle::{ExactOracle, IntersectionOracle, OracleVisitor};
 pub use pg::{BfEstimator, PgConfig, ProbGraph, Representation, SketchStore};

@@ -1,0 +1,592 @@
+//! The monomorphized intersection-oracle layer.
+//!
+//! The paper's thesis (§IV–V) is that graph mining is a hot loop of
+//! pairwise set-intersection estimates with the *representation* swappable
+//! underneath: exact CSR adjacency, Bloom filters under three estimators,
+//! k-hash MinHash, bottom-k MinHash, KMV, HyperLogLog. This module turns
+//! that thesis into the type system: every representation implements
+//! [`IntersectionOracle`], every algorithm is written **once** against a
+//! generic `O: IntersectionOracle`, and the representation dispatch happens
+//! exactly once per algorithm call — [`crate::ProbGraph::with_oracle`]
+//! matches the store enum a single time and hands the monomorphized kernel
+//! a concrete oracle, so the per-edge loop contains zero enum branching.
+//!
+//! Adding a new representation = implementing this trait and one
+//! `with_oracle` arm; every algorithm (triangles, 4-cliques, clustering,
+//! clustering coefficients, link prediction, similarity) picks it up for
+//! free.
+
+use crate::intersect::intersect_card;
+use pg_graph::{CsrGraph, OrientedDag, VertexId};
+use pg_sketch::bitvec::and_count_words;
+use pg_sketch::{
+    estimators, BloomCollection, BottomKCollection, HyperLogLogCollection, KmvCollection,
+    MinHashCollection,
+};
+use std::marker::PhantomData;
+
+/// A pairwise set-intersection estimator over an indexed family of sets
+/// (vertex neighborhoods `N_v` or oriented out-neighborhoods `N⁺_v`).
+///
+/// The contract mirrors the blue operations of the paper's listings:
+/// [`estimate`](Self::estimate) replaces `|N_u ∩ N_v|`,
+/// [`jaccard`](Self::jaccard) replaces `J(N_u, N_v)`, and
+/// [`estimate_vs_members`](Self::estimate_vs_members) replaces
+/// `|N_w ∩ C|` against an ad-hoc explicit set `C` (the 4-clique inner
+/// operation). Exact adjacency is just another oracle, which is what lets
+/// each algorithm keep a single body for its exact and approximate forms.
+pub trait IntersectionOracle: Sync {
+    /// Exact size of set `v` (degrees are free in CSR; every estimator
+    /// that needs sizes uses the exact ones, as the paper's do).
+    fn set_size(&self, v: VertexId) -> u32;
+
+    /// `|N_u ∩ N_v|̂` — possibly negative for bias-corrected estimators;
+    /// kernels clamp at their accumulation site.
+    fn estimate(&self, u: VertexId, v: VertexId) -> f64;
+
+    /// Batched row estimation: `out[i] = estimate(v, us[i])`.
+    ///
+    /// The default loops over [`estimate`](Self::estimate); oracles with
+    /// per-set state worth hoisting (the Bloom word window and cached
+    /// popcount, the exact adjacency row) override it. Kernels that sweep
+    /// a whole neighborhood per vertex should prefer this hook.
+    #[inline]
+    fn estimate_row(&self, v: VertexId, us: &[VertexId], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(us.iter().map(|&u| self.estimate(v, u)));
+    }
+
+    /// `Ĵ(N_u, N_v)`, clamped to `[0, 1]`.
+    ///
+    /// The default derives it from [`estimate`](Self::estimate) and the
+    /// exact sizes (`J = I / (|X| + |Y| − I)`); MinHash oracles override
+    /// with their native Jaccard estimators.
+    #[inline]
+    fn jaccard(&self, u: VertexId, v: VertexId) -> f64 {
+        let (nx, ny) = (self.set_size(u) as f64, self.set_size(v) as f64);
+        let inter = self.estimate(u, v);
+        let union = nx + ny - inter;
+        if union <= 0.0 {
+            // Degenerate: both empty ⇒ similarity 0 by convention.
+            if nx + ny == 0.0 {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            (inter / union).clamp(0.0, 1.0)
+        }
+    }
+
+    /// `|N_w ∩ C|̂` against an explicit **sorted** element list `C` with no
+    /// prebuilt sketch (Listing 2's inner operation). Exact adjacency
+    /// intersects directly; Bloom answers membership queries; MinHash
+    /// counts sample hits. Representations storing hash values instead of
+    /// elements (KMV, HLL) cannot answer this and panic loudly rather than
+    /// return a silently wrong number — exactly as the paper, which only
+    /// evaluates BF and MH on clique counting.
+    fn estimate_vs_members(&self, w: VertexId, members: &[u32]) -> f64 {
+        let _ = (w, members);
+        panic!(
+            "this representation stores hash values, not elements, and cannot \
+             estimate against an explicit member list (use exact, Bloom, or MinHash)"
+        )
+    }
+
+    /// True when one [`estimate`](Self::estimate) call costs `O(d)` rather
+    /// than `O(sketch)` — the exact oracle. Kernels use this to pick a
+    /// degree-power scheduling grain matching their true work profile.
+    #[inline]
+    fn degree_scaled_cost(&self) -> bool {
+        false
+    }
+}
+
+/// Rank-2 adapter for [`crate::ProbGraph::with_oracle`]: a closure cannot
+/// be generic over the oracle type, so callers implement this one-method
+/// trait instead (usually a tiny local struct capturing the kernel's other
+/// arguments). `visit` is instantiated once per concrete oracle —
+/// full monomorphization, dispatch hoisted out of the kernel.
+pub trait OracleVisitor {
+    /// The kernel's result type.
+    type Output;
+    /// Runs the kernel against one concrete, monomorphized oracle.
+    fn visit<O: IntersectionOracle>(self, oracle: &O) -> Self::Output;
+}
+
+// ---------------------------------------------------------------------------
+// Exact adjacency
+// ---------------------------------------------------------------------------
+
+/// Row access shared by the two exact set families: full neighborhoods of
+/// a [`CsrGraph`] and oriented out-neighborhoods of an [`OrientedDag`].
+pub trait AdjacencyRows: Sync {
+    /// The sorted adjacency row of vertex `v`.
+    fn adjacency_row(&self, v: VertexId) -> &[u32];
+}
+
+impl AdjacencyRows for CsrGraph {
+    #[inline]
+    fn adjacency_row(&self, v: VertexId) -> &[u32] {
+        self.neighbors(v)
+    }
+}
+
+impl AdjacencyRows for OrientedDag {
+    #[inline]
+    fn adjacency_row(&self, v: VertexId) -> &[u32] {
+        self.neighbors_plus(v)
+    }
+}
+
+/// The exact oracle: merge/galloping intersections over sorted adjacency
+/// rows (Fig. 1 panel 2). Running a generic kernel with this oracle *is*
+/// the tuned exact baseline.
+#[derive(Clone, Copy)]
+pub struct ExactOracle<'a, A: AdjacencyRows> {
+    adj: &'a A,
+}
+
+impl<'a, A: AdjacencyRows> ExactOracle<'a, A> {
+    /// Wraps an adjacency structure.
+    #[inline]
+    pub fn new(adj: &'a A) -> Self {
+        ExactOracle { adj }
+    }
+}
+
+impl<A: AdjacencyRows> IntersectionOracle for ExactOracle<'_, A> {
+    #[inline]
+    fn set_size(&self, v: VertexId) -> u32 {
+        self.adj.adjacency_row(v).len() as u32
+    }
+
+    #[inline]
+    fn estimate(&self, u: VertexId, v: VertexId) -> f64 {
+        intersect_card(self.adj.adjacency_row(u), self.adj.adjacency_row(v)) as f64
+    }
+
+    #[inline]
+    fn estimate_row(&self, v: VertexId, us: &[VertexId], out: &mut Vec<f64>) {
+        let nv = self.adj.adjacency_row(v);
+        out.clear();
+        out.extend(
+            us.iter()
+                .map(|&u| intersect_card(nv, self.adj.adjacency_row(u)) as f64),
+        );
+    }
+
+    #[inline]
+    fn estimate_vs_members(&self, w: VertexId, members: &[u32]) -> f64 {
+        intersect_card(self.adj.adjacency_row(w), members) as f64
+    }
+
+    #[inline]
+    fn degree_scaled_cost(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bloom filters: one oracle type, three zero-sized estimator strategies
+// ---------------------------------------------------------------------------
+
+/// Which Bloom intersection estimator a [`BloomOracle`] applies, resolved
+/// at *compile time*: each strategy is a zero-sized type, so
+/// `BloomOracle<BloomAnd>`, `BloomOracle<BloomLimit>`, and
+/// `BloomOracle<BloomOr>` monomorphize into three distinct branch-free
+/// kernels instead of one kernel matching an estimator enum per edge.
+pub trait BloomStrategy: Send + Sync + 'static {
+    /// Pairwise estimate between stored filters `i` and `j`.
+    fn estimate(col: &BloomCollection, i: usize, j: usize, ni: u32, nj: u32) -> f64;
+
+    /// Same estimate with set `i`'s word window, cached popcount, and size
+    /// already hoisted — the row-batch fast path.
+    fn estimate_with_row(
+        col: &BloomCollection,
+        row: &[u64],
+        row_ones: usize,
+        row_size: u32,
+        j: usize,
+        nj: u32,
+    ) -> f64;
+}
+
+/// `|X∩Y|̂_AND` (Eq. 2) — the paper's default.
+pub struct BloomAnd;
+
+/// `|X∩Y|̂_L` (Eq. 4) — better on very dense graphs (§VIII-B).
+pub struct BloomLimit;
+
+/// `|X∩Y|̂_OR` (Eq. 29) — the prior-work estimator, for comparison.
+pub struct BloomOr;
+
+impl BloomStrategy for BloomAnd {
+    #[inline]
+    fn estimate(col: &BloomCollection, i: usize, j: usize, _ni: u32, _nj: u32) -> f64 {
+        col.estimate_and(i, j)
+    }
+
+    #[inline]
+    fn estimate_with_row(
+        col: &BloomCollection,
+        row: &[u64],
+        _row_ones: usize,
+        _row_size: u32,
+        j: usize,
+        _nj: u32,
+    ) -> f64 {
+        col.estimate_and_from_ones(and_count_words(row, col.words(j)))
+    }
+}
+
+impl BloomStrategy for BloomLimit {
+    #[inline]
+    fn estimate(col: &BloomCollection, i: usize, j: usize, _ni: u32, _nj: u32) -> f64 {
+        col.estimate_limit(i, j)
+    }
+
+    #[inline]
+    fn estimate_with_row(
+        col: &BloomCollection,
+        row: &[u64],
+        _row_ones: usize,
+        _row_size: u32,
+        j: usize,
+        _nj: u32,
+    ) -> f64 {
+        estimators::bf_intersect_limit(and_count_words(row, col.words(j)), col.num_hashes())
+    }
+}
+
+impl BloomStrategy for BloomOr {
+    #[inline]
+    fn estimate(col: &BloomCollection, i: usize, j: usize, ni: u32, nj: u32) -> f64 {
+        col.estimate_or(i, j, ni as usize, nj as usize)
+    }
+
+    #[inline]
+    fn estimate_with_row(
+        col: &BloomCollection,
+        row: &[u64],
+        row_ones: usize,
+        row_size: u32,
+        j: usize,
+        nj: u32,
+    ) -> f64 {
+        let and_ones = and_count_words(row, col.words(j));
+        let or_ones = row_ones + col.count_ones(j) - and_ones;
+        (row_size + nj) as f64 - col.estimate_and_from_ones(or_ones)
+    }
+}
+
+/// Oracle over a [`BloomCollection`], specialized per estimator via the
+/// zero-sized [`BloomStrategy`] parameter.
+pub struct BloomOracle<'a, S: BloomStrategy> {
+    col: &'a BloomCollection,
+    sizes: &'a [u32],
+    _strategy: PhantomData<S>,
+}
+
+impl<'a, S: BloomStrategy> BloomOracle<'a, S> {
+    /// Wraps a collection plus the exact set sizes recorded at build time.
+    #[inline]
+    pub fn new(col: &'a BloomCollection, sizes: &'a [u32]) -> Self {
+        BloomOracle {
+            col,
+            sizes,
+            _strategy: PhantomData,
+        }
+    }
+}
+
+impl<S: BloomStrategy> IntersectionOracle for BloomOracle<'_, S> {
+    #[inline]
+    fn set_size(&self, v: VertexId) -> u32 {
+        self.sizes[v as usize]
+    }
+
+    #[inline]
+    fn estimate(&self, u: VertexId, v: VertexId) -> f64 {
+        let (i, j) = (u as usize, v as usize);
+        S::estimate(self.col, i, j, self.sizes[i], self.sizes[j])
+    }
+
+    #[inline]
+    fn estimate_row(&self, v: VertexId, us: &[VertexId], out: &mut Vec<f64>) {
+        let i = v as usize;
+        let row = self.col.words(i);
+        let row_ones = self.col.count_ones(i);
+        let row_size = self.sizes[i];
+        out.clear();
+        out.extend(us.iter().map(|&u| {
+            S::estimate_with_row(
+                self.col,
+                row,
+                row_ones,
+                row_size,
+                u as usize,
+                self.sizes[u as usize],
+            )
+        }));
+    }
+
+    #[inline]
+    fn estimate_vs_members(&self, w: VertexId, members: &[u32]) -> f64 {
+        // Membership queries: no false negatives, small fp inflation.
+        let wi = w as usize;
+        members
+            .iter()
+            .filter(|&&x| self.col.contains(wi, x))
+            .count() as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MinHash (k-hash), bottom-k (1-hash), KMV, HyperLogLog
+// ---------------------------------------------------------------------------
+
+/// Oracle over a k-hash [`MinHashCollection`] (§IV-C): native Jaccard,
+/// Eq. (5) intersection with exact sizes.
+pub struct KHashOracle<'a> {
+    col: &'a MinHashCollection,
+    sizes: &'a [u32],
+}
+
+impl<'a> KHashOracle<'a> {
+    /// Wraps a collection plus the exact set sizes.
+    #[inline]
+    pub fn new(col: &'a MinHashCollection, sizes: &'a [u32]) -> Self {
+        KHashOracle { col, sizes }
+    }
+}
+
+impl IntersectionOracle for KHashOracle<'_> {
+    #[inline]
+    fn set_size(&self, v: VertexId) -> u32 {
+        self.sizes[v as usize]
+    }
+
+    #[inline]
+    fn estimate(&self, u: VertexId, v: VertexId) -> f64 {
+        let (i, j) = (u as usize, v as usize);
+        self.col
+            .estimate_intersection(i, j, self.sizes[i] as usize, self.sizes[j] as usize)
+    }
+
+    #[inline]
+    fn jaccard(&self, u: VertexId, v: VertexId) -> f64 {
+        self.col.estimate_jaccard(u as usize, v as usize)
+    }
+
+    #[inline]
+    fn estimate_vs_members(&self, w: VertexId, members: &[u32]) -> f64 {
+        // Each signature slot is a uniform-ish sample of the set; the hit
+        // fraction estimates `|N_w ∩ C| / |N_w|`.
+        let wi = w as usize;
+        let sig = self.col.signature(wi);
+        let hits = sig
+            .iter()
+            .filter(|&&x| members.binary_search(&x).is_ok())
+            .count();
+        let d = self.sizes[wi];
+        if d == 0 {
+            return 0.0;
+        }
+        hits as f64 / sig.len() as f64 * d as f64
+    }
+}
+
+/// Oracle over a bottom-k [`BottomKCollection`] (§IV-D): union-restricted
+/// match counting, lossless shortcut for small sets.
+pub struct OneHashOracle<'a> {
+    col: &'a BottomKCollection,
+    sizes: &'a [u32],
+}
+
+impl<'a> OneHashOracle<'a> {
+    /// Wraps a collection plus the exact set sizes.
+    #[inline]
+    pub fn new(col: &'a BottomKCollection, sizes: &'a [u32]) -> Self {
+        OneHashOracle { col, sizes }
+    }
+}
+
+impl IntersectionOracle for OneHashOracle<'_> {
+    #[inline]
+    fn set_size(&self, v: VertexId) -> u32 {
+        self.sizes[v as usize]
+    }
+
+    #[inline]
+    fn estimate(&self, u: VertexId, v: VertexId) -> f64 {
+        self.col.estimate_intersection(u as usize, v as usize)
+    }
+
+    #[inline]
+    fn jaccard(&self, u: VertexId, v: VertexId) -> f64 {
+        self.col.estimate_jaccard(u as usize, v as usize)
+    }
+
+    #[inline]
+    fn estimate_vs_members(&self, w: VertexId, members: &[u32]) -> f64 {
+        let wi = w as usize;
+        let sample = self.col.sample(wi);
+        let d = self.sizes[wi] as usize;
+        if sample.is_empty() || d == 0 {
+            return 0.0;
+        }
+        let hits = sample
+            .iter()
+            .filter(|&&x| members.binary_search(&x).is_ok())
+            .count();
+        if d <= self.col.k() {
+            hits as f64 // lossless sample: exact
+        } else {
+            hits as f64 * d as f64 / self.col.k() as f64
+        }
+    }
+}
+
+/// Oracle over a [`KmvCollection`] (§IX): the low-variance
+/// union-membership estimator. Stores hash values, so it cannot answer
+/// explicit-member queries (4-clique counting rejects it).
+pub struct KmvOracle<'a> {
+    col: &'a KmvCollection,
+    sizes: &'a [u32],
+}
+
+impl<'a> KmvOracle<'a> {
+    /// Wraps a collection plus the exact set sizes.
+    #[inline]
+    pub fn new(col: &'a KmvCollection, sizes: &'a [u32]) -> Self {
+        KmvOracle { col, sizes }
+    }
+}
+
+impl IntersectionOracle for KmvOracle<'_> {
+    #[inline]
+    fn set_size(&self, v: VertexId) -> u32 {
+        self.sizes[v as usize]
+    }
+
+    #[inline]
+    fn estimate(&self, u: VertexId, v: VertexId) -> f64 {
+        self.col.estimate_intersection(u as usize, v as usize)
+    }
+}
+
+/// Oracle over a [`HyperLogLogCollection`] — the §X "beyond BF and MH"
+/// representation, reachable end-to-end through
+/// [`crate::Representation::Hll`]. Intersection by inclusion–exclusion
+/// against the exact sizes; like KMV it stores no elements, so
+/// explicit-member queries are rejected.
+pub struct HllOracle<'a> {
+    col: &'a HyperLogLogCollection,
+    sizes: &'a [u32],
+}
+
+impl<'a> HllOracle<'a> {
+    /// Wraps a collection plus the exact set sizes.
+    #[inline]
+    pub fn new(col: &'a HyperLogLogCollection, sizes: &'a [u32]) -> Self {
+        HllOracle { col, sizes }
+    }
+}
+
+impl IntersectionOracle for HllOracle<'_> {
+    #[inline]
+    fn set_size(&self, v: VertexId) -> u32 {
+        self.sizes[v as usize]
+    }
+
+    #[inline]
+    fn estimate(&self, u: VertexId, v: VertexId) -> f64 {
+        let (i, j) = (u as usize, v as usize);
+        self.col
+            .estimate_intersection(i, j, self.sizes[i] as usize, self.sizes[j] as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_graph::gen;
+
+    #[test]
+    fn exact_oracle_matches_direct_intersection() {
+        let g = gen::kronecker(8, 8, 3);
+        let o = ExactOracle::new(&g);
+        for (u, v) in g.edges().take(200) {
+            let want = intersect_card(g.neighbors(u), g.neighbors(v)) as f64;
+            assert_eq!(o.estimate(u, v), want);
+            assert_eq!(o.set_size(u) as usize, g.degree(u));
+        }
+    }
+
+    #[test]
+    fn exact_oracle_row_matches_pairwise() {
+        let g = gen::erdos_renyi_gnm(100, 1500, 5);
+        let dag = pg_graph::orient_by_degree(&g);
+        let o = ExactOracle::new(&dag);
+        let mut row = Vec::new();
+        for v in 0..g.num_vertices() as u32 {
+            let np = dag.neighbors_plus(v);
+            o.estimate_row(v, np, &mut row);
+            assert_eq!(row.len(), np.len());
+            for (t, &u) in np.iter().enumerate() {
+                assert_eq!(row[t], o.estimate(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_oracle_jaccard_matches_definition() {
+        let g = gen::kronecker(7, 8, 1);
+        let o = ExactOracle::new(&g);
+        for (u, v) in g.edges().take(100) {
+            let inter = intersect_card(g.neighbors(u), g.neighbors(v)) as f64;
+            let union = (g.degree(u) + g.degree(v)) as f64 - inter;
+            let want = if union <= 0.0 { 0.0 } else { inter / union };
+            assert!((o.jaccard(u, v) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bloom_row_path_is_bit_identical_to_pairwise() {
+        let g = gen::erdos_renyi_gnm(150, 3000, 9);
+        let sets: Vec<&[u32]> = (0..g.num_vertices())
+            .map(|v| g.neighbors(v as u32))
+            .collect();
+        let col = BloomCollection::build(sets.len(), 512, 2, 7, |i| sets[i]);
+        let sizes: Vec<u32> = sets.iter().map(|s| s.len() as u32).collect();
+        let us: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        let mut row = Vec::new();
+        fn check<S: BloomStrategy>(
+            col: &BloomCollection,
+            sizes: &[u32],
+            us: &[u32],
+            row: &mut Vec<f64>,
+        ) {
+            let o = BloomOracle::<S>::new(col, sizes);
+            for v in 0..sizes.len() as u32 {
+                o.estimate_row(v, us, row);
+                for (t, &u) in us.iter().enumerate() {
+                    assert_eq!(row[t], o.estimate(v, u), "v={v} u={u}");
+                }
+            }
+        }
+        check::<BloomAnd>(&col, &sizes, &us, &mut row);
+        check::<BloomLimit>(&col, &sizes, &us, &mut row);
+        check::<BloomOr>(&col, &sizes, &us, &mut row);
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit member list")]
+    fn kmv_oracle_rejects_member_queries() {
+        let sets = [vec![1u32, 2, 3]];
+        let col = KmvCollection::build(1, 8, 1, |i| &sets[i][..]);
+        let sizes = [3u32];
+        KmvOracle::new(&col, &sizes).estimate_vs_members(0, &[1, 2]);
+    }
+}

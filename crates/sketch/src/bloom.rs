@@ -363,6 +363,14 @@ impl BloomCollection {
         self.swamidass(self.and_ones(i, j))
     }
 
+    /// `|X∩Y|̂_AND` from a precomputed `B_{X∩Y,1}` — the memoized Swamidass
+    /// curve, exposed so batch callers (oracle row kernels) can hoist the
+    /// row's word window out of their inner loop and still hit the table.
+    #[inline]
+    pub fn estimate_and_from_ones(&self, and_ones: usize) -> f64 {
+        self.swamidass(and_ones)
+    }
+
     /// `|X∩Y|̂_L` (Eq. 4) between sets `i` and `j`.
     #[inline]
     pub fn estimate_limit(&self, i: usize, j: usize) -> f64 {

@@ -17,6 +17,8 @@ pub enum SketchParams {
     OneHash { k: usize },
     /// KMV with `k` stored 64-bit hash values.
     Kmv { k: usize },
+    /// HyperLogLog with `2^precision` one-byte registers per set.
+    Hll { precision: u8 },
 }
 
 /// A storage budget resolved against a concrete base representation.
@@ -29,13 +31,13 @@ pub struct BudgetPlan {
 
 impl BudgetPlan {
     /// `base_bytes` is the memory of the exact representation (CSR), and
-    /// `s` the additional fraction of it the sketches may use.
+    /// `s` the additional fraction of it the sketches may use. `n_sets`
+    /// may be zero (an empty graph sketches nothing).
     pub fn new(base_bytes: usize, n_sets: usize, s: f64) -> Self {
         assert!(
             (0.0..=1.0).contains(&s),
             "storage budget s={s} outside [0,1]"
         );
-        assert!(n_sets > 0, "budget needs at least one set");
         BudgetPlan {
             base_bytes,
             n_sets,
@@ -49,10 +51,14 @@ impl BudgetPlan {
         (self.base_bytes as f64 * self.s) as usize
     }
 
-    /// Bytes available per set.
+    /// Bytes available per set (zero sets ⇒ zero bytes; parameter
+    /// resolution still floors at each representation's minimum size).
     #[inline]
     pub fn bytes_per_set(&self) -> usize {
-        self.budget_bytes() / self.n_sets
+        match self.n_sets {
+            0 => 0,
+            n => self.budget_bytes() / n,
+        }
     }
 
     /// Bloom parameters: the largest whole-word bit count fitting the
@@ -91,6 +97,15 @@ impl BudgetPlan {
         SketchParams::Kmv {
             k: (self.bytes_per_set().saturating_sub(24) / 8).max(1),
         }
+    }
+
+    /// HyperLogLog parameters: the largest precision whose `2^p` one-byte
+    /// registers fit the per-set budget, clamped to the standard `4..=16`
+    /// range.
+    pub fn hll(&self) -> SketchParams {
+        let bytes = self.bytes_per_set().max(1);
+        let precision = (usize::BITS - 1 - bytes.leading_zeros()).clamp(4, 16) as u8;
+        SketchParams::Hll { precision }
     }
 }
 
@@ -165,5 +180,31 @@ mod tests {
     #[should_panic(expected = "outside [0,1]")]
     fn rejects_bad_budget() {
         BudgetPlan::new(100, 10, 1.5);
+    }
+
+    #[test]
+    fn hll_precision_fits_budget_and_clamps() {
+        let p = BudgetPlan::new(8_000_000, 2000, 0.25);
+        let SketchParams::Hll { precision } = p.hll() else {
+            panic!("wrong variant")
+        };
+        // 2^p bytes per set must fit, and 2^(p+1) must not.
+        assert!((1usize << precision) <= p.bytes_per_set());
+        assert!((1usize << (precision + 1)) > p.bytes_per_set());
+        // Tiny budgets floor at the minimum precision.
+        let tiny = BudgetPlan::new(100, 1000, 0.01);
+        assert_eq!(tiny.hll(), SketchParams::Hll { precision: 4 });
+        // Huge budgets cap at 16.
+        let huge = BudgetPlan::new(1 << 30, 2, 1.0);
+        assert_eq!(huge.hll(), SketchParams::Hll { precision: 16 });
+    }
+
+    #[test]
+    fn zero_sets_budget_is_legal() {
+        let p = BudgetPlan::new(1_000, 0, 0.25);
+        assert_eq!(p.bytes_per_set(), 0);
+        // Parameter resolution still yields usable minimum sizes.
+        assert_eq!(p.khash(), SketchParams::KHash { k: 1 });
+        assert_eq!(p.hll(), SketchParams::Hll { precision: 4 });
     }
 }

@@ -8,6 +8,67 @@
 //! `|X∩Y|` can be estimated by inclusion–exclusion exactly like KMV.
 
 use pg_hash::HashFamily;
+use pg_parallel::parallel_for;
+
+/// `2^-r` for every possible register value (`r ≤ 64`), so the harmonic-sum
+/// loop costs one table load per register instead of a `powi` call.
+static POW_NEG2: [f64; 65] = {
+    let mut t = [0.0f64; 65];
+    let mut r = 0;
+    while r <= 64 {
+        // 2^-r has exponent field 1023 - r and zero mantissa (r ≤ 64 keeps
+        // the value normal), so the bit pattern is exact.
+        t[r] = f64::from_bits((1023 - r as u64) << 52);
+        r += 1;
+    }
+    t
+};
+
+/// Flajolet et al. bias-correction constant `α_m`.
+fn alpha(m: usize) -> f64 {
+    match m {
+        16 => 0.673,
+        32 => 0.697,
+        64 => 0.709,
+        _ => 0.7213 / (1.0 + 1.079 / m as f64),
+    }
+}
+
+/// The standard HLL estimate from the register summary statistics: `m`
+/// registers with harmonic sum `sum = Σ 2^-r` of which `zeros` are zero,
+/// with the linear-counting small-range correction.
+fn estimate_from_stats(m: usize, sum: f64, zeros: usize) -> f64 {
+    let mf = m as f64;
+    let raw = alpha(m) * mf * mf / sum;
+    if raw <= 2.5 * mf && zeros > 0 {
+        return mf * (mf / zeros as f64).ln();
+    }
+    raw
+}
+
+/// Harmonic sum `Σ 2^-r` and zero count of a register window — the inputs
+/// [`estimate_from_stats`] needs.
+#[inline]
+fn register_stats(registers: &[u8]) -> (f64, usize) {
+    let mut sum = 0.0f64;
+    let mut zeros = 0usize;
+    for &r in registers {
+        sum += POW_NEG2[r as usize];
+        zeros += usize::from(r == 0);
+    }
+    (sum, zeros)
+}
+
+/// Folds `h` into a `(register index, rank)` pair at precision `p`.
+#[inline]
+fn split_hash(h: u64, p: u32) -> (usize, u8) {
+    let idx = (h >> (64 - p)) as usize;
+    let rest = h << p;
+    // Rank: position of the leftmost 1 in the remaining bits, 1-based;
+    // all-zero rest gets the maximum rank.
+    let rank = (rest.leading_zeros() + 1).min(64 - p + 1) as u8;
+    (idx, rank)
+}
 
 /// A HyperLogLog cardinality sketch with `2^precision` registers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,11 +93,13 @@ impl HyperLogLog {
         }
     }
 
-    /// Builds a sketch directly from a set of items.
+    /// Builds a sketch directly from a set of items (the hash family is
+    /// constructed once, not per item).
     pub fn from_set(items: &[u32], precision: u8, seed: u64) -> Self {
         let mut h = Self::new(precision, seed);
+        let family = HashFamily::new(1, seed);
         for &x in items {
-            h.insert(x);
+            h.insert_hash(family.hash64(0, x as u64));
         }
         h
     }
@@ -56,38 +119,16 @@ impl HyperLogLog {
 
     #[inline]
     fn insert_hash(&mut self, h: u64) {
-        let p = self.precision as u32;
-        let idx = (h >> (64 - p)) as usize;
-        let rest = h << p;
-        // Rank: position of the leftmost 1 in the remaining bits, 1-based;
-        // all-zero rest gets the maximum rank.
-        let rank = (rest.leading_zeros() + 1).min(64 - p + 1) as u8;
+        let (idx, rank) = split_hash(h, self.precision as u32);
         if rank > self.registers[idx] {
             self.registers[idx] = rank;
         }
     }
 
-    fn alpha(m: usize) -> f64 {
-        match m {
-            16 => 0.673,
-            32 => 0.697,
-            64 => 0.709,
-            _ => 0.7213 / (1.0 + 1.079 / m as f64),
-        }
-    }
-
     /// Estimated cardinality with small-range (linear counting) correction.
     pub fn estimate(&self) -> f64 {
-        let m = self.num_registers() as f64;
-        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
-        let raw = Self::alpha(self.num_registers()) * m * m / sum;
-        if raw <= 2.5 * m {
-            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
-            if zeros > 0 {
-                return m * (m / zeros as f64).ln();
-            }
-        }
-        raw
+        let (sum, zeros) = register_stats(&self.registers);
+        estimate_from_stats(self.num_registers(), sum, zeros)
     }
 
     /// Lossless merge: register-wise maximum. Panics on mismatched
@@ -115,6 +156,130 @@ impl HyperLogLog {
     /// Bytes of sketch storage.
     pub fn memory_bytes(&self) -> usize {
         self.registers.len()
+    }
+}
+
+/// All per-set HLL sketches of a ProbGraph representation, stored in one
+/// flat register array (`n_sets × 2^precision` bytes) — same fixed-size
+/// load-balancing layout as [`crate::BloomCollection`].
+///
+/// `|X∩Y|̂` follows by inclusion–exclusion against the exact set sizes
+/// (`nx + ny − |X∪Y|̂`, the Eq. 41 shape), where `|X∪Y|̂` comes from a
+/// single fused register-wise `max` + harmonic-sum pass — no merged sketch
+/// is ever materialized.
+#[derive(Clone, Debug)]
+pub struct HyperLogLogCollection {
+    registers: Vec<u8>,
+    precision: u8,
+    seed: u64,
+}
+
+impl HyperLogLogCollection {
+    /// Builds sketches for `n_sets` sets in parallel. `precision` must lie
+    /// in `4..=16`; `set(i)` returns the i-th input set.
+    pub fn build<'a, F>(n_sets: usize, precision: u8, seed: u64, set: F) -> Self
+    where
+        F: Fn(usize) -> &'a [u32] + Sync,
+    {
+        assert!(
+            (4..=16).contains(&precision),
+            "precision {precision} outside 4..=16"
+        );
+        let m = 1usize << precision;
+        let mut registers = vec![0u8; n_sets * m];
+        {
+            struct SendPtr(*mut u8);
+            unsafe impl Send for SendPtr {}
+            unsafe impl Sync for SendPtr {}
+            let base = SendPtr(registers.as_mut_ptr());
+            let base = &base;
+            let family = HashFamily::new(1, seed);
+            let family = &family;
+            let p = precision as u32;
+            parallel_for(n_sets, move |s| {
+                // SAFETY: window [s*m, (s+1)*m) is exclusive to set s.
+                let window = unsafe { std::slice::from_raw_parts_mut(base.0.add(s * m), m) };
+                for &x in set(s) {
+                    let (idx, rank) = split_hash(family.hash64(0, x as u64), p);
+                    if rank > window[idx] {
+                        window[idx] = rank;
+                    }
+                }
+            });
+        }
+        HyperLogLogCollection {
+            registers,
+            precision,
+            seed,
+        }
+    }
+
+    /// Number of sketches.
+    #[inline]
+    pub fn len(&self) -> usize {
+        // precision is asserted into 4..=16 at build, so the register
+        // count per set is a nonzero power of two.
+        self.registers.len() >> self.precision
+    }
+
+    /// True when the collection holds no sketches.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.registers.is_empty()
+    }
+
+    /// Configured precision (`m = 2^precision` registers per set).
+    #[inline]
+    pub fn precision(&self) -> u8 {
+        self.precision
+    }
+
+    /// The register window of set `i`.
+    #[inline]
+    pub fn registers(&self, i: usize) -> &[u8] {
+        let m = 1usize << self.precision;
+        &self.registers[i * m..(i + 1) * m]
+    }
+
+    /// `|X|̂` of set `i` (HLL's own estimate; callers usually have the
+    /// exact sizes and only need this for diagnostics).
+    pub fn estimate_size(&self, i: usize) -> f64 {
+        let (sum, zeros) = register_stats(self.registers(i));
+        estimate_from_stats(1 << self.precision, sum, zeros)
+    }
+
+    /// `|X∪Y|̂` of sets `i` and `j`: one fused register-wise-max pass over
+    /// the two windows accumulating the harmonic sum and zero count of the
+    /// (never materialized) merged sketch.
+    pub fn estimate_union(&self, i: usize, j: usize) -> f64 {
+        let (a, b) = (self.registers(i), self.registers(j));
+        let mut sum = 0.0f64;
+        let mut zeros = 0usize;
+        for t in 0..a.len() {
+            let r = a[t].max(b[t]);
+            sum += POW_NEG2[r as usize];
+            zeros += usize::from(r == 0);
+        }
+        estimate_from_stats(1 << self.precision, sum, zeros)
+    }
+
+    /// `|X∩Y|̂ = nx + ny − |X∪Y|̂` (inclusion–exclusion with exact sizes),
+    /// clamped into `[0, min(nx, ny)]`.
+    #[inline]
+    pub fn estimate_intersection(&self, i: usize, j: usize, nx: usize, ny: usize) -> f64 {
+        let est = (nx + ny) as f64 - self.estimate_union(i, j);
+        est.clamp(0.0, nx.min(ny) as f64)
+    }
+
+    /// Bytes of sketch storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// The seed all sketches were built with.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 }
 
@@ -179,6 +344,73 @@ mod tests {
     #[should_panic(expected = "outside 4..=16")]
     fn rejects_bad_precision() {
         HyperLogLog::new(2, 0);
+    }
+
+    #[test]
+    fn collection_matches_standalone_sketches() {
+        let sets: Vec<Vec<u32>> = (0..25)
+            .map(|s| (0..200 + s * 40).map(|i| (i * 13 + s) as u32).collect())
+            .collect();
+        let col = HyperLogLogCollection::build(sets.len(), 8, 11, |i| &sets[i][..]);
+        for (i, set) in sets.iter().enumerate() {
+            let h = HyperLogLog::from_set(set, 8, 11);
+            assert_eq!(col.registers(i), &h.registers[..], "set {i}");
+            assert_eq!(col.estimate_size(i), h.estimate(), "set {i}");
+        }
+        // The fused union pass equals merge-then-estimate.
+        let h0 = HyperLogLog::from_set(&sets[0], 8, 11);
+        let h9 = HyperLogLog::from_set(&sets[9], 8, 11);
+        assert_eq!(col.estimate_union(0, 9), h0.merge(&h9).estimate());
+    }
+
+    #[test]
+    fn collection_intersection_ballpark() {
+        let x: Vec<u32> = (0..20_000).collect();
+        let y: Vec<u32> = (10_000..30_000).collect(); // true inter = 10_000
+        let col = HyperLogLogCollection::build(2, 14, 5, |i| if i == 0 { &x } else { &y });
+        let est = col.estimate_intersection(0, 1, x.len(), y.len());
+        assert!((est - 10_000.0).abs() < 3000.0, "est={est}");
+    }
+
+    #[test]
+    fn collection_intersection_clamped() {
+        let x: Vec<u32> = (0..500).collect();
+        let y: Vec<u32> = (50_000..50_500).collect(); // disjoint
+        let col = HyperLogLogCollection::build(2, 10, 3, |i| if i == 0 { &x } else { &y });
+        let est = col.estimate_intersection(0, 1, x.len(), y.len());
+        assert!((0.0..=500.0).contains(&est), "est={est}");
+    }
+
+    #[test]
+    fn empty_collection_and_empty_sets() {
+        let col = HyperLogLogCollection::build(0, 8, 1, |_| &[][..]);
+        assert!(col.is_empty());
+        assert_eq!(col.len(), 0);
+        let sets: [Vec<u32>; 1] = [vec![]];
+        let col = HyperLogLogCollection::build(1, 8, 1, |i| &sets[i][..]);
+        assert!(col.estimate_size(0) < 1e-9);
+        assert_eq!(col.estimate_intersection(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn collection_parallel_build_deterministic() {
+        let sets: Vec<Vec<u32>> = (0..120)
+            .map(|s| (0..300).map(|i| (i * 17 + s * 3) as u32).collect())
+            .collect();
+        let a = pg_parallel::with_threads(1, || {
+            HyperLogLogCollection::build(120, 7, 9, |i| &sets[i][..])
+        });
+        let b = pg_parallel::with_threads(8, || {
+            HyperLogLogCollection::build(120, 7, 9, |i| &sets[i][..])
+        });
+        assert_eq!(a.registers, b.registers);
+    }
+
+    #[test]
+    fn pow_table_matches_powi() {
+        for (r, &p) in POW_NEG2.iter().enumerate() {
+            assert_eq!(p, 2f64.powi(-(r as i32)), "r={r}");
+        }
     }
 
     #[test]

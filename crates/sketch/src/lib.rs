@@ -13,7 +13,9 @@
 //! * [`BottomK`] / [`BottomKCollection`] — the 1-hash variant: a single
 //!   hash function, the `k` elements with smallest hashes.
 //! * [`KmvSketch`] — K-Minimum-Values (§IX), storing unit-interval hashes.
-//! * [`HyperLogLog`] — the §X extension beyond BF and MH.
+//! * [`HyperLogLog`] / [`HyperLogLogCollection`] — the §X extension beyond
+//!   BF and MH, with a flat fixed-size collection form whose intersection
+//!   estimator is one fused register-wise-max pass (no merged sketch).
 //! * [`estimators`] — every `|X|` and `|X ∩ Y|` estimator of the paper as a
 //!   pure function: Swamidass (Eq. 1), AND (Eq. 2), the limiting estimator
 //!   (Eq. 4), OR (Eq. 29), k-hash (Eq. 5), 1-hash (§IV-D), KMV (Eq. 40/41),
@@ -56,6 +58,6 @@ pub use bitvec::{and_or_ones_words, BitVec, PairOnes};
 pub use bloom::{BfPairEstimates, BloomCollection, BloomFilter, MAX_BLOOM_HASHES};
 pub use bottomk::{BottomK, BottomKCollection};
 pub use budget::{BudgetPlan, SketchParams};
-pub use hyperloglog::HyperLogLog;
+pub use hyperloglog::{HyperLogLog, HyperLogLogCollection};
 pub use kmv::{KmvCollection, KmvSketch};
 pub use minhash::{MinHashCollection, MinHashSignature};
