@@ -4,10 +4,15 @@
 //! galloping, the fused Bloom AND/Limit/OR estimators (plus their naive
 //! multi-pass counterparts, to track the fusion win), MinHash k-hash and
 //! 1-hash, KMV, and HLL — in ns/edge on the dense econ-psmigr1 stand-in,
-//! the regime where the paper's speedups appear. A `dispatch` section then
+//! the regime where the paper's speedups appear. A `row_batch` section
+//! compares, per representation, the scalar row path (source sketch
+//! pinned, one scalar kernel call per destination — what the oracle layer
+//! shipped before multi-lane) against the multi-lane row path the oracles
+//! now use (2–4 destinations per fused sweep). A `dispatch` section then
 //! compares the per-edge enum-match estimator path
 //! (`ProbGraph::estimate_intersection` in the loop) against the hoisted
-//! monomorphized oracle path (`ProbGraph::with_oracle` around the loop),
+//! monomorphized oracle path (`ProbGraph::with_oracle` +
+//! `estimate_row` sweeps — the loop every algorithm kernel runs now),
 //! and the end-to-end triangle-count comparison reruns as a sanity check.
 //!
 //! Honors `PG_SCALE` (dataset down-scale, default 1 = full size) and
@@ -17,13 +22,16 @@
 
 use pg_bench::harness::time_median;
 use pg_bench::workloads::env_scale;
-use pg_sketch::bitvec::count_ones_words;
+use pg_sketch::bitvec::{and_count_words, count_ones_words};
 use pg_sketch::{
     estimators, BloomCollection, BottomKCollection, HyperLogLogCollection, KmvCollection,
     MinHashCollection,
 };
 use probgraph::intersect::{gallop_count, merge_count};
-use probgraph::oracle::{IntersectionOracle, OracleVisitor};
+use probgraph::oracle::{
+    BloomAnd, BloomLimit, BloomOr, BloomOracle, BloomStrategy, HllOracle, IntersectionOracle,
+    KHashOracle, KmvOracle, OracleVisitor,
+};
 use probgraph::{BfEstimator, PgConfig, ProbGraph, Representation};
 use std::hint::black_box;
 use std::io::Write as _;
@@ -256,21 +264,210 @@ fn main() {
         "fused-vs-naive speedup: AND {and_speedup:.2}x | OR {or_speedup:.2}x | all3 {all_speedup:.2}x"
     );
 
+    // --- row batching: scalar row path vs multi-lane ----------------------
+    // Both paths pin the source sketch once per vertex and sweep its
+    // oriented row; the scalar path calls one kernel per destination (the
+    // pre-multi-lane oracle behavior), the multi path is the oracles'
+    // `estimate_row` (2-lane fused AND sweeps for Bloom, 4-lane signature
+    // matching for k-hash, lockstep-interleaved merge walks for KMV,
+    // 4-lane register-max passes for HLL).
+    let sizes: Vec<u32> = (0..n as u32).map(|v| dag.out_degree(v) as u32).collect();
+    fn row_sweep_multi<O: IntersectionOracle>(dag: &pg_graph::OrientedDag, o: &O) -> f64 {
+        let mut acc = 0.0f64;
+        let mut row = Vec::new();
+        for v in 0..dag.num_vertices() as u32 {
+            let np = dag.neighbors_plus(v);
+            if np.is_empty() {
+                continue;
+            }
+            o.estimate_row(v, np, &mut row);
+            acc += row.iter().sum::<f64>();
+        }
+        acc
+    }
+    struct RowBatchEntry {
+        name: &'static str,
+        scalar_row_ns: f64,
+        multi_ns: f64,
+    }
+    let mut row_batch: Vec<RowBatchEntry> = Vec::new();
+    {
+        let mut record_rb = |name: &'static str, scalar: f64, multi: f64| {
+            let (s, mu) = (scalar * 1e9 / m as f64, multi * 1e9 / m as f64);
+            println!(
+                "{:>22}: scalar-row {s:8.2} ns/edge | multi-lane {mu:8.2} ns/edge | {:.2}x",
+                format!("row_{name}"),
+                s / mu
+            );
+            row_batch.push(RowBatchEntry {
+                name,
+                scalar_row_ns: s,
+                multi_ns: mu,
+            });
+        };
+
+        // Bloom, all three estimator strategies. The scalar row path is
+        // the faithful pre-multi-lane oracle behavior: source window +
+        // popcount + size pinned, one scalar fused AND pass per
+        // destination finished by the strategy's own estimator tail,
+        // results through the same row buffer — so the ratio isolates
+        // what lane batching (+ prefetch) buys.
+        fn scalar_bloom_sweep<S: BloomStrategy>(
+            dag: &pg_graph::OrientedDag,
+            bloom: &BloomCollection,
+            sizes: &[u32],
+        ) -> f64 {
+            let mut acc = 0.0f64;
+            let mut rowbuf: Vec<f64> = Vec::new();
+            for v in 0..dag.num_vertices() as u32 {
+                let np = dag.neighbors_plus(v);
+                if np.is_empty() {
+                    continue;
+                }
+                let i = v as usize;
+                let row = bloom.words(i);
+                let row_ones = bloom.count_ones(i);
+                let row_size = sizes[i];
+                rowbuf.clear();
+                rowbuf.extend(np.iter().map(|&u| {
+                    let j = u as usize;
+                    let ones = and_count_words(row, bloom.words(j));
+                    S::estimate_from_and_ones(bloom, ones, row_ones, row_size, j, sizes[j])
+                }));
+                acc += rowbuf.iter().sum::<f64>();
+            }
+            acc
+        }
+        let t_s = time_median(reps, || {
+            black_box(scalar_bloom_sweep::<BloomAnd>(&dag, &bloom, &sizes))
+        });
+        let t_m = time_median(reps, || {
+            black_box(row_sweep_multi(
+                &dag,
+                &BloomOracle::<BloomAnd>::new(&bloom, &sizes),
+            ))
+        });
+        record_rb("bf_and", t_s.seconds, t_m.seconds);
+
+        let t_s = time_median(reps, || {
+            black_box(scalar_bloom_sweep::<BloomLimit>(&dag, &bloom, &sizes))
+        });
+        let t_m = time_median(reps, || {
+            black_box(row_sweep_multi(
+                &dag,
+                &BloomOracle::<BloomLimit>::new(&bloom, &sizes),
+            ))
+        });
+        record_rb("bf_limit", t_s.seconds, t_m.seconds);
+
+        let t_s = time_median(reps, || {
+            black_box(scalar_bloom_sweep::<BloomOr>(&dag, &bloom, &sizes))
+        });
+        let t_m = time_median(reps, || {
+            black_box(row_sweep_multi(
+                &dag,
+                &BloomOracle::<BloomOr>::new(&bloom, &sizes),
+            ))
+        });
+        record_rb("bf_or", t_s.seconds, t_m.seconds);
+
+        // k-hash MinHash: pinned signature, scalar matching vs 4-lane.
+        let t_s = time_median(reps, || {
+            let mut acc = 0.0f64;
+            let mut rowbuf: Vec<f64> = Vec::new();
+            let k = khash.k();
+            for v in 0..n as u32 {
+                let np = dag.neighbors_plus(v);
+                if np.is_empty() {
+                    continue;
+                }
+                let i = v as usize;
+                let row = khash.signature(i);
+                let ni = sizes[i] as usize;
+                rowbuf.clear();
+                rowbuf.extend(np.iter().map(|&u| {
+                    let j = u as usize;
+                    estimators::jaccard_to_intersection(
+                        estimators::mh_jaccard(khash.matches_with_row(row, j), k),
+                        ni,
+                        sizes[j] as usize,
+                    )
+                }));
+                acc += rowbuf.iter().sum::<f64>();
+            }
+            black_box(acc)
+        });
+        let t_m = time_median(reps, || {
+            black_box(row_sweep_multi(&dag, &KHashOracle::new(&khash, &sizes)))
+        });
+        record_rb("khash", t_s.seconds, t_m.seconds);
+
+        // KMV: pinned source sketch, scalar merge walks vs interleaved.
+        let t_s = time_median(reps, || {
+            let mut acc = 0.0f64;
+            let mut rowbuf: Vec<f64> = Vec::new();
+            for v in 0..n as u32 {
+                let np = dag.neighbors_plus(v);
+                if np.is_empty() {
+                    continue;
+                }
+                let s = kmv.sketch(v as usize);
+                rowbuf.clear();
+                rowbuf.extend(
+                    np.iter()
+                        .map(|&u| s.estimate_intersection(kmv.sketch(u as usize))),
+                );
+                acc += rowbuf.iter().sum::<f64>();
+            }
+            black_box(acc)
+        });
+        let t_m = time_median(reps, || {
+            black_box(row_sweep_multi(&dag, &KmvOracle::new(&kmv, &sizes)))
+        });
+        record_rb("kmv", t_s.seconds, t_m.seconds);
+
+        // HLL: pinned register window, scalar union passes vs 4-lane.
+        let t_s = time_median(reps, || {
+            let mut acc = 0.0f64;
+            let mut rowbuf: Vec<f64> = Vec::new();
+            for v in 0..n as u32 {
+                let np = dag.neighbors_plus(v);
+                if np.is_empty() {
+                    continue;
+                }
+                let i = v as usize;
+                let row = hll.registers(i);
+                let nx = sizes[i] as usize;
+                rowbuf.clear();
+                rowbuf.extend(np.iter().map(|&u| {
+                    let j = u as usize;
+                    HyperLogLogCollection::intersection_from_union(
+                        nx,
+                        sizes[j] as usize,
+                        hll.union_estimate_with_row(row, j),
+                    )
+                }));
+                acc += rowbuf.iter().sum::<f64>();
+            }
+            black_box(acc)
+        });
+        let t_m = time_median(reps, || {
+            black_box(row_sweep_multi(&dag, &HllOracle::new(&hll, &sizes)))
+        });
+        record_rb("hll", t_s.seconds, t_m.seconds);
+    }
+
     // --- hoisted dispatch vs per-edge enum match --------------------------
     // Per-edge path: `ProbGraph::estimate_intersection` inside the loop
     // re-resolves the representation (store enum + BfEstimator) on every
-    // call. Hoisted path: `ProbGraph::with_oracle` resolves once and runs
-    // the same loop against the monomorphized oracle — what every
-    // algorithm kernel now does.
-    struct EdgeSum<'a>(&'a [(u32, u32)]);
-    impl OracleVisitor for EdgeSum<'_> {
+    // call. Hoisted path: `ProbGraph::with_oracle` resolves once and
+    // sweeps each vertex's oriented row through the monomorphized
+    // `estimate_row` — exactly the loop every algorithm kernel runs now.
+    struct RowSweep<'a>(&'a pg_graph::OrientedDag);
+    impl OracleVisitor for RowSweep<'_> {
         type Output = f64;
         fn visit<O: IntersectionOracle>(self, o: &O) -> f64 {
-            let mut acc = 0.0f64;
-            for &(v, u) in self.0 {
-                acc += o.estimate(v, u);
-            }
-            acc
+            row_sweep_multi(self.0, o)
         }
     }
     struct DispatchEntry {
@@ -299,7 +496,7 @@ fn main() {
             }
             black_box(acc)
         });
-        let t_hoisted = time_median(reps, || black_box(pg.with_oracle(EdgeSum(&edges))));
+        let t_hoisted = time_median(reps, || black_box(pg.with_oracle(RowSweep(&dag))));
         let (pe, ho) = (
             t_per_edge.seconds * 1e9 / m as f64,
             t_hoisted.seconds * 1e9 / m as f64,
@@ -338,6 +535,18 @@ fn main() {
     json.push_str(&format!(
         "  \"fused_vs_naive\": {{\"bf_and\": {and_speedup:.3}, \"bf_or\": {or_speedup:.3}, \"bf_all3\": {all_speedup:.3}}},\n"
     ));
+    json.push_str("  \"row_batch\": {\n");
+    for (i, r) in row_batch.iter().enumerate() {
+        let comma = if i + 1 == row_batch.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{\"scalar_row_ns\": {:.3}, \"multi_ns\": {:.3}, \"speedup\": {:.3}}}{comma}\n",
+            r.name,
+            r.scalar_row_ns,
+            r.multi_ns,
+            r.scalar_row_ns / r.multi_ns
+        ));
+    }
+    json.push_str("  },\n");
     json.push_str("  \"dispatch\": {\n");
     for (i, d) in dispatch.iter().enumerate() {
         let comma = if i + 1 == dispatch.len() { "" } else { "," };

@@ -9,7 +9,7 @@ use crate::algorithms::dsu::Dsu;
 use crate::oracle::{ExactOracle, IntersectionOracle, OracleVisitor};
 use crate::pg::ProbGraph;
 use pg_graph::{CsrGraph, VertexId};
-use pg_parallel::parallel_init;
+use pg_parallel::{parallel_for_scratch, weighted_grain};
 
 /// Which vertex-similarity measure gates an edge into the clustering.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -50,37 +50,78 @@ fn finish(n: usize, edges: &[(VertexId, VertexId)], selected: Vec<bool>) -> Clus
     }
 }
 
-/// The configured similarity of one pair under any oracle (the blue
-/// `|N_v ∩ N_u|` of Listing 4 and its Jaccard/Overlap variants).
-#[inline]
-fn similarity_with<O: IntersectionOracle>(
-    o: &O,
-    kind: SimilarityKind,
-    u: VertexId,
-    v: VertexId,
-) -> f64 {
-    use crate::algorithms::similarity as sim;
-    match kind {
-        SimilarityKind::CommonNeighbors => sim::common_neighbors_with(o, u, v),
-        SimilarityKind::Jaccard => sim::jaccard_with(o, u, v),
-        SimilarityKind::Overlap => sim::overlap_with(o, u, v),
-    }
-}
-
-/// The single Listing-4 kernel, generic over the oracle: the per-edge
-/// selection loop is parallel, the component count sequential (cheap).
+/// The single Listing-4 kernel, generic over the oracle.
+///
+/// Edges are grouped by source vertex into worker-local runs: the edge
+/// list emits every edge once as `(u, v)` with `u < v`, sources
+/// ascending, so `u`'s edges are its contiguous block, and one
+/// [`IntersectionOracle::estimate_row`] / `jaccard_row` sweep over
+/// `u`'s forward neighbors scores the whole block with the source-side
+/// sketch state pinned once — no per-pair re-fetch, no per-edge
+/// dispatch. Per edge the similarity is bit-identical to the per-pair
+/// forms in [`crate::algorithms::similarity`], so the selection (and
+/// the component count) is exactly what the per-pair loop produced.
 pub fn jarvis_patrick_with<O: IntersectionOracle>(
     g: &CsrGraph,
     oracle: &O,
     kind: SimilarityKind,
     tau: f64,
 ) -> Clustering {
+    let n = g.num_vertices();
     let edges = g.edge_list();
-    let selected = parallel_init(edges.len(), |i| {
-        let (u, v) = edges[i];
-        similarity_with(oracle, kind, u, v) > tau
-    });
-    finish(g.num_vertices(), &edges, selected)
+    // Forward-run offsets: edges of source u live at offsets[u]..offsets[u+1].
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    let mut max_fwd = 0usize;
+    for u in 0..n {
+        let fwd = g.forward_neighbors(u as VertexId).len();
+        max_fwd = max_fwd.max(fwd);
+        offsets.push(offsets[u] + fwd);
+    }
+    debug_assert_eq!(offsets[n], edges.len());
+    let mut selected = vec![false; edges.len()];
+    {
+        struct SendPtr(*mut bool);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        let base = SendPtr(selected.as_mut_ptr());
+        let base = &base;
+        let offsets = &offsets;
+        let grain = weighted_grain(n, edges.len() as u64, max_fwd as u64);
+        parallel_for_scratch(n, grain, Vec::new, |row: &mut Vec<f64>, ui| {
+            let u = ui as VertexId;
+            let fwd = g.forward_neighbors(u);
+            if fwd.is_empty() {
+                return;
+            }
+            // SAFETY: the block offsets[ui]..offsets[ui+1] is exclusive
+            // to source u (forward runs partition the edge list).
+            let out = unsafe { std::slice::from_raw_parts_mut(base.0.add(offsets[ui]), fwd.len()) };
+            match kind {
+                SimilarityKind::CommonNeighbors => {
+                    oracle.estimate_row(u, fwd, row);
+                    for (s, &e) in out.iter_mut().zip(row.iter()) {
+                        *s = e.max(0.0) > tau;
+                    }
+                }
+                SimilarityKind::Jaccard => {
+                    oracle.jaccard_row(u, fwd, row);
+                    for (s, &j) in out.iter_mut().zip(row.iter()) {
+                        *s = j > tau;
+                    }
+                }
+                SimilarityKind::Overlap => {
+                    oracle.estimate_row(u, fwd, row);
+                    let du = oracle.set_size(u);
+                    for ((s, &e), &v) in out.iter_mut().zip(row.iter()).zip(fwd) {
+                        let m = du.min(oracle.set_size(v));
+                        *s = crate::algorithms::similarity::overlap_from_estimate(e, m) > tau;
+                    }
+                }
+            }
+        });
+    }
+    finish(n, &edges, selected)
 }
 
 /// Exact Jarvis–Patrick clustering (tuned baseline): the generic kernel

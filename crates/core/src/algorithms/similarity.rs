@@ -27,14 +27,23 @@ pub fn jaccard_with<O: IntersectionOracle>(o: &O, u: VertexId, v: VertexId) -> f
     o.jaccard(u, v)
 }
 
+/// Overlap finish from an already-computed intersection estimate and
+/// `min(d_u, d_v)` — the one place the clamp and the empty-set
+/// convention live, shared by the pairwise form below and the
+/// row-batched clustering kernel so the two stay bit-identical.
+#[inline]
+pub fn overlap_from_estimate(est: f64, min_size: u32) -> f64 {
+    if min_size == 0 {
+        0.0
+    } else {
+        (est.max(0.0) / min_size as f64).clamp(0.0, 1.0)
+    }
+}
+
 /// Generic Overlap `S_O = |N_u ∩ N_v| / min(d_u, d_v)` in `[0, 1]`
 /// (0 when either set is empty).
 pub fn overlap_with<O: IntersectionOracle>(o: &O, u: VertexId, v: VertexId) -> f64 {
-    let m = o.set_size(u).min(o.set_size(v));
-    if m == 0 {
-        return 0.0;
-    }
-    (common_neighbors_with(o, u, v) / m as f64).clamp(0.0, 1.0)
+    overlap_from_estimate(o.estimate(u, v), o.set_size(u).min(o.set_size(v)))
 }
 
 /// Generic Total Neighbors `S_T = |N_u ∪ N_v|`, clamped at 0.

@@ -14,10 +14,21 @@
 //! None of these carries an accuracy guarantee, and the paper shows they
 //! lose 25–75 % accuracy against ProbGraph; the tests only pin down the
 //! mechanics, not tight error bars.
+//!
+//! Reduced Execution and Partial Graph Processing are **oracle-generic**:
+//! their kernels batch each surviving row through
+//! [`IntersectionOracle::estimate_row`] exactly like the algorithm
+//! kernels, so the exact forms are the generic kernels + [`ExactOracle`]
+//! and each also composes with a ProbGraph (`*_tc_pg`). The
+//! Auto-Approximation pair stays vertex-centric *on purpose* — its
+//! per-message materialization and hash-set intersections are the
+//! overhead the paper measures, and routing it through the oracle layer
+//! would optimize away the very thing it baselines.
 
-use crate::intersect::intersect_card;
-use pg_graph::{orient_by_degree, CsrGraph, VertexId};
-use pg_parallel::{map_reduce, sum_u64};
+use crate::oracle::{AdjacencyRows, ExactOracle, IntersectionOracle, OracleVisitor};
+use crate::pg::{PgConfig, ProbGraph};
+use pg_graph::{orient_by_degree, CsrGraph, OrientedDag, VertexId};
+use pg_parallel::{map_reduce, map_reduce_scratch};
 
 /// Deterministic per-(seed, index) coin with probability `rho`.
 #[inline]
@@ -26,52 +37,156 @@ fn coin(seed: u64, index: u64, rho: f64) -> bool {
     (h as f64 / u64::MAX as f64) < rho
 }
 
-/// Reduced Execution: node-iterator TC over a random `ρ`-fraction of the
-/// vertices, rescaled by `1/ρ`.
-pub fn reduced_execution_tc(g: &CsrGraph, rho: f64, seed: u64) -> f64 {
+/// The single Reduced-Execution kernel, generic over the oracle: a random
+/// `ρ`-fraction of sources, each surviving source's oriented row batched
+/// through [`IntersectionOracle::estimate_row`] into worker-local scratch
+/// (same hoisting as the algorithm kernels), rescaled by `1/ρ`.
+pub fn reduced_execution_tc_with<O: IntersectionOracle>(
+    dag: &OrientedDag,
+    oracle: &O,
+    rho: f64,
+    seed: u64,
+) -> f64 {
     assert!(rho > 0.0 && rho <= 1.0, "rho={rho} outside (0,1]");
-    let dag = orient_by_degree(g);
-    let total = sum_u64(dag.num_vertices(), |v| {
-        if !coin(seed, v as u64, rho) {
-            return 0;
-        }
-        let np = dag.neighbors_plus(v as VertexId);
-        let mut local = 0u64;
-        for &u in np {
-            local += intersect_card(np, dag.neighbors_plus(u)) as u64;
-        }
-        local
-    });
-    total as f64 / rho
+    let n = dag.num_vertices();
+    let total = map_reduce_scratch(
+        n,
+        pg_parallel::auto_grain(n),
+        || 0f64,
+        Vec::new,
+        |row, acc, v| {
+            if !coin(seed, v as u64, rho) {
+                return acc;
+            }
+            let np = dag.neighbors_plus(v as VertexId);
+            if np.is_empty() {
+                return acc;
+            }
+            oracle.estimate_row(v as VertexId, np, row);
+            acc + row.iter().fold(0.0f64, |s, &e| s + e.max(0.0))
+        },
+        |a, b| a + b,
+    );
+    total / rho
 }
 
-/// Partial Graph Processing: every vertex keeps a random `ρ`-subset of its
-/// oriented neighborhood; intersections run on the subsets and the result
-/// is rescaled by `1/ρ³` (a triangle survives iff three independent
-/// neighbor-retention coins land heads).
-pub fn partial_processing_tc(g: &CsrGraph, rho: f64, seed: u64) -> f64 {
-    assert!(rho > 0.0 && rho <= 1.0, "rho={rho} outside (0,1]");
+/// Reduced Execution over exact intersections (the \[112\] scheme as
+/// evaluated in Fig. 6): the generic kernel with the exact oracle.
+pub fn reduced_execution_tc(g: &CsrGraph, rho: f64, seed: u64) -> f64 {
     let dag = orient_by_degree(g);
-    let n = dag.num_vertices();
-    // Sampled oriented neighborhoods; retention decided per (owner, index)
-    // so the subsets are independent across vertices.
-    let sampled: Vec<Vec<VertexId>> = pg_parallel::parallel_init(n, |v| {
+    reduced_execution_tc_with(&dag, &ExactOracle::new(&dag), rho, seed)
+}
+
+/// Reduced Execution stacked on a ProbGraph: sketches over `N⁺` score the
+/// surviving rows — representation resolved once through
+/// [`ProbGraph::with_oracle`], then the same generic kernel.
+pub fn reduced_execution_tc_pg(g: &CsrGraph, cfg: &PgConfig, rho: f64, seed: u64) -> f64 {
+    let dag = orient_by_degree(g);
+    let pg = ProbGraph::build_dag(&dag, g.memory_bytes(), cfg);
+    struct V<'a> {
+        dag: &'a OrientedDag,
+        rho: f64,
+        seed: u64,
+    }
+    impl OracleVisitor for V<'_> {
+        type Output = f64;
+        fn visit<O: IntersectionOracle>(self, o: &O) -> f64 {
+            reduced_execution_tc_with(self.dag, o, self.rho, self.seed)
+        }
+    }
+    pg.with_oracle(V {
+        dag: &dag,
+        rho,
+        seed,
+    })
+}
+
+/// Per-vertex `ρ`-sampled oriented neighborhoods; retention decided per
+/// (owner, slot) so the subsets are independent across vertices. Subsets
+/// of sorted rows stay sorted.
+fn sampled_neighborhoods(dag: &OrientedDag, rho: f64, seed: u64) -> Vec<Vec<VertexId>> {
+    pg_parallel::parallel_init(dag.num_vertices(), |v| {
         dag.neighbors_plus(v as VertexId)
             .iter()
             .enumerate()
             .filter(|&(i, _)| coin(seed ^ 0x9a77, ((v as u64) << 24) | i as u64, rho))
             .map(|(_, &u)| u)
             .collect()
-    });
-    let total = sum_u64(n, |v| {
-        let nv = &sampled[v];
-        let mut local = 0u64;
-        for &u in nv {
-            local += intersect_card(nv, &sampled[u as usize]) as u64;
+    })
+}
+
+/// Sorted-row adapter: lets the sampled neighborhoods back an
+/// [`ExactOracle`] (or be sketched via [`ProbGraph::build_over`]) so the
+/// Partial-Processing kernel is the same generic row-batched loop as
+/// everything else.
+struct SampledRows(Vec<Vec<VertexId>>);
+
+impl AdjacencyRows for SampledRows {
+    #[inline]
+    fn adjacency_row(&self, v: VertexId) -> &[u32] {
+        &self.0[v as usize]
+    }
+}
+
+/// The single Partial-Graph-Processing kernel, generic over the oracle:
+/// every vertex's retained `ρ`-subset is one batched row, rescaled by
+/// `1/ρ³` (a triangle survives iff three independent neighbor-retention
+/// coins land heads).
+pub fn partial_processing_tc_with<O: IntersectionOracle>(
+    sampled: &[Vec<VertexId>],
+    oracle: &O,
+    rho: f64,
+) -> f64 {
+    assert!(rho > 0.0 && rho <= 1.0, "rho={rho} outside (0,1]");
+    let total = map_reduce_scratch(
+        sampled.len(),
+        pg_parallel::auto_grain(sampled.len()),
+        || 0f64,
+        Vec::new,
+        |row, acc, v| {
+            let nv = &sampled[v];
+            if nv.is_empty() {
+                return acc;
+            }
+            oracle.estimate_row(v as VertexId, nv, row);
+            acc + row.iter().fold(0.0f64, |s, &e| s + e.max(0.0))
+        },
+        |a, b| a + b,
+    );
+    total / (rho * rho * rho)
+}
+
+/// Partial Graph Processing over exact intersections (\[112\]): the
+/// generic kernel with an exact oracle over the sampled rows.
+pub fn partial_processing_tc(g: &CsrGraph, rho: f64, seed: u64) -> f64 {
+    assert!(rho > 0.0 && rho <= 1.0, "rho={rho} outside (0,1]");
+    let dag = orient_by_degree(g);
+    let rows = SampledRows(sampled_neighborhoods(&dag, rho, seed));
+    partial_processing_tc_with(&rows.0, &ExactOracle::new(&rows), rho)
+}
+
+/// Partial Graph Processing stacked on a ProbGraph: the retained subsets
+/// are sketched under `cfg` and the same generic kernel runs against the
+/// resolved oracle.
+pub fn partial_processing_tc_pg(g: &CsrGraph, cfg: &PgConfig, rho: f64, seed: u64) -> f64 {
+    assert!(rho > 0.0 && rho <= 1.0, "rho={rho} outside (0,1]");
+    let dag = orient_by_degree(g);
+    let sampled = sampled_neighborhoods(&dag, rho, seed);
+    let pg = ProbGraph::build_over(sampled.len(), g.memory_bytes(), |v| &sampled[v][..], cfg);
+    struct V<'a> {
+        sampled: &'a [Vec<VertexId>],
+        rho: f64,
+    }
+    impl OracleVisitor for V<'_> {
+        type Output = f64;
+        fn visit<O: IntersectionOracle>(self, o: &O) -> f64 {
+            partial_processing_tc_with(self.sampled, o, self.rho)
         }
-        local
-    });
-    total as f64 / (rho * rho * rho)
+    }
+    pg.with_oracle(V {
+        sampled: &sampled,
+        rho,
+    })
 }
 
 /// Vertex-centric local triangle contribution of `v`: materializes each

@@ -25,6 +25,52 @@ use pg_sketch::{
 };
 use std::marker::PhantomData;
 
+/// `J = I / (|X| + |Y| − I)` clamped to `[0, 1]`, with the two-empty-sets
+/// convention `J = 0` — the one place the Jaccard transform lives, so the
+/// pairwise default and the row-batched default are bit-identical.
+#[inline]
+pub fn jaccard_from_intersection(nx: f64, ny: f64, inter: f64) -> f64 {
+    let union = nx + ny - inter;
+    if union <= 0.0 {
+        // Degenerate: both empty ⇒ similarity 0 by convention.
+        if nx + ny == 0.0 {
+            0.0
+        } else {
+            1.0
+        }
+    } else {
+        (inter / union).clamp(0.0, 1.0)
+    }
+}
+
+/// Shapes a reusable row buffer to `n` slots.
+///
+/// **Reuse contract:** kernels keep one scratch `Vec<f64>` per worker and
+/// pass it to every [`IntersectionOracle::estimate_row`] /
+/// [`IntersectionOracle::jaccard_row`] call; the buffer grows to the
+/// widest row once and is then reused allocation-free. Implementations
+/// write through `&mut [f64]` ([`IntersectionOracle::estimate_row_into`])
+/// and *cannot* allocate; this wrapper is the only place the buffer may
+/// grow, and it debug-asserts the buffer is not reallocated when its
+/// capacity already suffices.
+#[inline]
+fn prepare_row_buf(out: &mut Vec<f64>, n: usize) {
+    let cap = out.capacity();
+    let ptr = out.as_ptr();
+    if n <= out.len() {
+        // Shrinking a warm buffer writes nothing; every slot is
+        // overwritten by the row kernel.
+        out.truncate(n);
+    } else {
+        out.resize(n, 0.0);
+    }
+    debug_assert!(
+        cap < n || std::ptr::eq(ptr, out.as_ptr()),
+        "row buffer reallocated despite sufficient capacity — \
+         reuse one scratch Vec per worker, do not rebuild it per vertex"
+    );
+}
+
 /// A pairwise set-intersection estimator over an indexed family of sets
 /// (vertex neighborhoods `N_v` or oriented out-neighborhoods `N⁺_v`).
 ///
@@ -44,38 +90,77 @@ pub trait IntersectionOracle: Sync {
     /// kernels clamp at their accumulation site.
     fn estimate(&self, u: VertexId, v: VertexId) -> f64;
 
-    /// Batched row estimation: `out[i] = estimate(v, us[i])`.
+    /// Slice-based batched row estimation: `out[t] = estimate(v, us[t])`,
+    /// with `out.len() == us.len()` guaranteed by the caller.
     ///
-    /// The default loops over [`estimate`](Self::estimate); oracles with
-    /// per-set state worth hoisting (the Bloom word window and cached
-    /// popcount, the exact adjacency row) override it. Kernels that sweep
-    /// a whole neighborhood per vertex should prefer this hook.
+    /// This is the hook oracles override — it takes a plain slice, so an
+    /// implementation *cannot* allocate per row. Every real oracle pins
+    /// its source-side state (the Bloom word window and cached popcount,
+    /// the MinHash signature, the bottom-k sample, the KMV sketch, the
+    /// HLL register window, the exact adjacency row) once per call and
+    /// sweeps the destinations with multi-lane fused kernels where the
+    /// representation has one. Results are bit-identical to the pairwise
+    /// [`estimate`](Self::estimate), per destination.
+    #[inline]
+    fn estimate_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
+        debug_assert_eq!(us.len(), out.len());
+        for (o, &u) in out.iter_mut().zip(us) {
+            *o = self.estimate(v, u);
+        }
+    }
+
+    /// Batched row estimation into a reusable buffer:
+    /// `out[t] = estimate(v, us[t])`.
+    ///
+    /// Kernels that sweep a whole neighborhood per vertex should prefer
+    /// this over pairwise [`estimate`](Self::estimate) calls. `out` is a
+    /// worker-local scratch vector under the reuse contract: it is
+    /// resized (never shrunk below capacity) to `us.len()` here — the
+    /// **only** place the buffer may grow — and implementations then
+    /// write through the slice hook
+    /// [`estimate_row_into`](Self::estimate_row_into), so a warm buffer
+    /// is reused allocation-free; debug builds assert it.
     #[inline]
     fn estimate_row(&self, v: VertexId, us: &[VertexId], out: &mut Vec<f64>) {
-        out.clear();
-        out.extend(us.iter().map(|&u| self.estimate(v, u)));
+        prepare_row_buf(out, us.len());
+        self.estimate_row_into(v, us, out);
     }
 
     /// `Ĵ(N_u, N_v)`, clamped to `[0, 1]`.
     ///
     /// The default derives it from [`estimate`](Self::estimate) and the
-    /// exact sizes (`J = I / (|X| + |Y| − I)`); MinHash oracles override
-    /// with their native Jaccard estimators.
+    /// exact sizes via [`jaccard_from_intersection`]; MinHash oracles
+    /// override with their native Jaccard estimators.
     #[inline]
     fn jaccard(&self, u: VertexId, v: VertexId) -> f64 {
-        let (nx, ny) = (self.set_size(u) as f64, self.set_size(v) as f64);
-        let inter = self.estimate(u, v);
-        let union = nx + ny - inter;
-        if union <= 0.0 {
-            // Degenerate: both empty ⇒ similarity 0 by convention.
-            if nx + ny == 0.0 {
-                0.0
-            } else {
-                1.0
-            }
-        } else {
-            (inter / union).clamp(0.0, 1.0)
+        jaccard_from_intersection(
+            self.set_size(u) as f64,
+            self.set_size(v) as f64,
+            self.estimate(u, v),
+        )
+    }
+
+    /// Slice-based batched row Jaccard: `out[t] = jaccard(v, us[t])`.
+    ///
+    /// The default runs [`estimate_row_into`](Self::estimate_row_into)
+    /// and applies [`jaccard_from_intersection`] in place — bit-identical
+    /// to the default pairwise [`jaccard`](Self::jaccard). Oracles with
+    /// native Jaccard estimators (k-hash, bottom-k) override.
+    #[inline]
+    fn jaccard_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
+        self.estimate_row_into(v, us, out);
+        let nv = self.set_size(v) as f64;
+        for (o, &u) in out.iter_mut().zip(us) {
+            *o = jaccard_from_intersection(nv, self.set_size(u) as f64, *o);
         }
+    }
+
+    /// Batched row Jaccard into a reusable buffer — same reuse contract
+    /// as [`estimate_row`](Self::estimate_row).
+    #[inline]
+    fn jaccard_row(&self, v: VertexId, us: &[VertexId], out: &mut Vec<f64>) {
+        prepare_row_buf(out, us.len());
+        self.jaccard_row_into(v, us, out);
     }
 
     /// `|N_w ∩ C|̂` against an explicit **sorted** element list `C` with no
@@ -167,13 +252,11 @@ impl<A: AdjacencyRows> IntersectionOracle for ExactOracle<'_, A> {
     }
 
     #[inline]
-    fn estimate_row(&self, v: VertexId, us: &[VertexId], out: &mut Vec<f64>) {
+    fn estimate_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
         let nv = self.adj.adjacency_row(v);
-        out.clear();
-        out.extend(
-            us.iter()
-                .map(|&u| intersect_card(nv, self.adj.adjacency_row(u)) as f64),
-        );
+        for (o, &u) in out.iter_mut().zip(us) {
+            *o = intersect_card(nv, self.adj.adjacency_row(u)) as f64;
+        }
     }
 
     #[inline]
@@ -200,11 +283,15 @@ pub trait BloomStrategy: Send + Sync + 'static {
     /// Pairwise estimate between stored filters `i` and `j`.
     fn estimate(col: &BloomCollection, i: usize, j: usize, ni: u32, nj: u32) -> f64;
 
-    /// Same estimate with set `i`'s word window, cached popcount, and size
-    /// already hoisted — the row-batch fast path.
-    fn estimate_with_row(
+    /// The estimator tail applied to a precomputed `B_{X∩Y,1}`, with set
+    /// `i`'s cached popcount and exact size already hoisted — the
+    /// row-batch fast path: the multi-lane word-window kernel produces
+    /// `and_ones` for 2 destinations per sweep, and this finishes each
+    /// lane. Bit-identical to [`estimate`](Self::estimate) because every
+    /// strategy's pairwise form is exactly AND-popcount + this tail.
+    fn estimate_from_and_ones(
         col: &BloomCollection,
-        row: &[u64],
+        and_ones: usize,
         row_ones: usize,
         row_size: u32,
         j: usize,
@@ -228,15 +315,15 @@ impl BloomStrategy for BloomAnd {
     }
 
     #[inline]
-    fn estimate_with_row(
+    fn estimate_from_and_ones(
         col: &BloomCollection,
-        row: &[u64],
+        and_ones: usize,
         _row_ones: usize,
         _row_size: u32,
-        j: usize,
+        _j: usize,
         _nj: u32,
     ) -> f64 {
-        col.estimate_and_from_ones(and_count_words(row, col.words(j)))
+        col.estimate_and_from_ones(and_ones)
     }
 }
 
@@ -247,15 +334,15 @@ impl BloomStrategy for BloomLimit {
     }
 
     #[inline]
-    fn estimate_with_row(
+    fn estimate_from_and_ones(
         col: &BloomCollection,
-        row: &[u64],
+        and_ones: usize,
         _row_ones: usize,
         _row_size: u32,
-        j: usize,
+        _j: usize,
         _nj: u32,
     ) -> f64 {
-        estimators::bf_intersect_limit(and_count_words(row, col.words(j)), col.num_hashes())
+        estimators::bf_intersect_limit(and_ones, col.num_hashes())
     }
 }
 
@@ -266,15 +353,14 @@ impl BloomStrategy for BloomOr {
     }
 
     #[inline]
-    fn estimate_with_row(
+    fn estimate_from_and_ones(
         col: &BloomCollection,
-        row: &[u64],
+        and_ones: usize,
         row_ones: usize,
         row_size: u32,
         j: usize,
         nj: u32,
     ) -> f64 {
-        let and_ones = and_count_words(row, col.words(j));
         let or_ones = row_ones + col.count_ones(j) - and_ones;
         (row_size + nj) as f64 - col.estimate_and_from_ones(or_ones)
     }
@@ -312,23 +398,64 @@ impl<S: BloomStrategy> IntersectionOracle for BloomOracle<'_, S> {
         S::estimate(self.col, i, j, self.sizes[i], self.sizes[j])
     }
 
+    /// Multi-lane row sweep: the source word window, cached popcount, and
+    /// exact size are pinned once; destinations go two per fused
+    /// AND+popcount word-window pass (two vector reduction chains
+    /// pipeline without spills) while the next pair's windows are
+    /// prefetched — the sweep is destination-bandwidth bound, so
+    /// overlapping the fills with the current pair's popcounts is where
+    /// the remaining time goes. Scalar fused pass on the odd tail.
     #[inline]
-    fn estimate_row(&self, v: VertexId, us: &[VertexId], out: &mut Vec<f64>) {
+    fn estimate_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
         let i = v as usize;
         let row = self.col.words(i);
         let row_ones = self.col.count_ones(i);
         let row_size = self.sizes[i];
-        out.clear();
-        out.extend(us.iter().map(|&u| {
-            S::estimate_with_row(
-                self.col,
-                row,
-                row_ones,
-                row_size,
-                u as usize,
-                self.sizes[u as usize],
-            )
-        }));
+        let mut t = 0;
+        while t + 4 <= us.len() {
+            for &p in us.iter().take((t + 8).min(us.len())).skip(t + 4) {
+                pg_sketch::bitvec::prefetch_slice(self.col.words(p as usize));
+            }
+            let js = [
+                us[t] as usize,
+                us[t + 1] as usize,
+                us[t + 2] as usize,
+                us[t + 3] as usize,
+            ];
+            let ones = self.col.and_ones_multi(row, js);
+            for l in 0..4 {
+                out[t + l] = S::estimate_from_and_ones(
+                    self.col,
+                    ones[l],
+                    row_ones,
+                    row_size,
+                    js[l],
+                    self.sizes[js[l]],
+                );
+            }
+            t += 4;
+        }
+        if t + 2 <= us.len() {
+            let js = [us[t] as usize, us[t + 1] as usize];
+            let ones = self.col.and_ones_multi(row, js);
+            for l in 0..2 {
+                out[t + l] = S::estimate_from_and_ones(
+                    self.col,
+                    ones[l],
+                    row_ones,
+                    row_size,
+                    js[l],
+                    self.sizes[js[l]],
+                );
+            }
+            t += 2;
+        }
+        if t < us.len() {
+            let j = us[t] as usize;
+            let ones = and_count_words(row, self.col.words(j));
+            out[t] =
+                S::estimate_from_and_ones(self.col, ones, row_ones, row_size, j, self.sizes[j]);
+        }
     }
 
     #[inline]
@@ -374,9 +501,61 @@ impl IntersectionOracle for KHashOracle<'_> {
             .estimate_intersection(i, j, self.sizes[i] as usize, self.sizes[j] as usize)
     }
 
+    /// Multi-lane row sweep: the source signature and exact size are
+    /// pinned once; destinations go two per fused compare sweep
+    /// ([`MinHashCollection::matches_with_row_x2`] — `vpcmpeqd` against
+    /// both destinations per source vector load on AVX-512), scalar
+    /// pinned matching on the odd tail.
+    #[inline]
+    fn estimate_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
+        let i = v as usize;
+        let row = self.col.signature(i);
+        let ni = self.sizes[i] as usize;
+        let k = self.col.k();
+        let finish = |m: usize, j: usize| {
+            estimators::jaccard_to_intersection(
+                estimators::mh_jaccard(m, k),
+                ni,
+                self.sizes[j] as usize,
+            )
+        };
+        let mut t = 0;
+        while t + 2 <= us.len() {
+            let (j0, j1) = (us[t] as usize, us[t + 1] as usize);
+            let (m0, m1) = self.col.matches_with_row_x2(row, j0, j1);
+            out[t] = finish(m0, j0);
+            out[t + 1] = finish(m1, j1);
+            t += 2;
+        }
+        if t < us.len() {
+            let j = us[t] as usize;
+            out[t] = finish(self.col.matches_with_row(row, j), j);
+        }
+    }
+
     #[inline]
     fn jaccard(&self, u: VertexId, v: VertexId) -> f64 {
         self.col.estimate_jaccard(u as usize, v as usize)
+    }
+
+    /// Native row Jaccard: same pinned two-lane matching as
+    /// [`estimate_row_into`](IntersectionOracle::estimate_row_into), with
+    /// the `Ĵ = matches/k` tail instead of the Eq. (5) transform.
+    #[inline]
+    fn jaccard_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
+        let row = self.col.signature(v as usize);
+        let k = self.col.k();
+        let mut t = 0;
+        while t + 2 <= us.len() {
+            let (j0, j1) = (us[t] as usize, us[t + 1] as usize);
+            let (m0, m1) = self.col.matches_with_row_x2(row, j0, j1);
+            out[t] = estimators::mh_jaccard(m0, k);
+            out[t + 1] = estimators::mh_jaccard(m1, k);
+            t += 2;
+        }
+        if t < us.len() {
+            out[t] = estimators::mh_jaccard(self.col.matches_with_row(row, us[t] as usize), k);
+        }
     }
 
     #[inline]
@@ -423,9 +602,52 @@ impl IntersectionOracle for OneHashOracle<'_> {
         self.col.estimate_intersection(u as usize, v as usize)
     }
 
+    /// Row sweep with the source sample, its precomputed hashes, and the
+    /// exact size pinned once per row; destinations are processed two per
+    /// step through the lockstep-interleaved branchless merge walk
+    /// (two comparison chains overlap instead of serializing), scalar on
+    /// the odd tail.
+    #[inline]
+    fn estimate_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
+        let i = v as usize;
+        let a = self.col.sample(i);
+        let ah = self.col.sample_hashes(i);
+        let ni = self.col.set_size(i);
+        let mut t = 0;
+        while t + 2 <= us.len() {
+            let (e0, e1) = self.col.estimate_intersection_with_row_x2(
+                a,
+                ah,
+                ni,
+                us[t] as usize,
+                us[t + 1] as usize,
+            );
+            out[t] = e0;
+            out[t + 1] = e1;
+            t += 2;
+        }
+        if t < us.len() {
+            out[t] = self
+                .col
+                .estimate_intersection_with_row(a, ah, ni, us[t] as usize);
+        }
+    }
+
     #[inline]
     fn jaccard(&self, u: VertexId, v: VertexId) -> f64 {
         self.col.estimate_jaccard(u as usize, v as usize)
+    }
+
+    /// Native row Jaccard with the source sample pinned.
+    #[inline]
+    fn jaccard_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
+        let i = v as usize;
+        let a = self.col.sample(i);
+        let ah = self.col.sample_hashes(i);
+        let ni = self.col.set_size(i);
+        for (o, &u) in out.iter_mut().zip(us) {
+            *o = self.col.estimate_jaccard_with_row(a, ah, ni, u as usize);
+        }
     }
 
     #[inline]
@@ -474,6 +696,28 @@ impl IntersectionOracle for KmvOracle<'_> {
     fn estimate(&self, u: VertexId, v: VertexId) -> f64 {
         self.col.estimate_intersection(u as usize, v as usize)
     }
+
+    /// Row sweep with the source sketch pinned once; destinations are
+    /// processed two per step through the lockstep-interleaved merge walk
+    /// (two data-dependent comparison chains overlap instead of
+    /// serializing), scalar on the odd tail.
+    #[inline]
+    fn estimate_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
+        let s = self.col.sketch(v as usize);
+        let mut t = 0;
+        while t + 2 <= us.len() {
+            let (e0, e1) = s.estimate_intersection_x2(
+                self.col.sketch(us[t] as usize),
+                self.col.sketch(us[t + 1] as usize),
+            );
+            out[t] = e0;
+            out[t + 1] = e1;
+            t += 2;
+        }
+        if t < us.len() {
+            out[t] = s.estimate_intersection(self.col.sketch(us[t] as usize));
+        }
+    }
 }
 
 /// Oracle over a [`HyperLogLogCollection`] — the §X "beyond BF and MH"
@@ -505,6 +749,50 @@ impl IntersectionOracle for HllOracle<'_> {
         let (i, j) = (u as usize, v as usize);
         self.col
             .estimate_intersection(i, j, self.sizes[i] as usize, self.sizes[j] as usize)
+    }
+
+    /// Multi-lane row sweep: the source register window and exact size
+    /// are pinned once; destinations go four per fused register-max pass
+    /// (four independent harmonic-sum chains pipeline where the scalar
+    /// pass is `f64`-add latency-bound), then a two-lane pass and a
+    /// scalar pass mop up the ragged tail.
+    #[inline]
+    fn estimate_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
+        let i = v as usize;
+        let row = self.col.registers(i);
+        let nx = self.sizes[i] as usize;
+        let inter = |j: usize, union_est: f64| {
+            HyperLogLogCollection::intersection_from_union(nx, self.sizes[j] as usize, union_est)
+        };
+        let mut t = 0;
+        while t + 4 <= us.len() {
+            for &p in us.iter().take((t + 8).min(us.len())).skip(t + 4) {
+                pg_sketch::bitvec::prefetch_slice(self.col.registers(p as usize));
+            }
+            let js = [
+                us[t] as usize,
+                us[t + 1] as usize,
+                us[t + 2] as usize,
+                us[t + 3] as usize,
+            ];
+            let u4 = self.col.union_estimates_multi(row, js);
+            for l in 0..4 {
+                out[t + l] = inter(js[l], u4[l]);
+            }
+            t += 4;
+        }
+        if t + 2 <= us.len() {
+            let js = [us[t] as usize, us[t + 1] as usize];
+            let u2 = self.col.union_estimates_multi(row, js);
+            for l in 0..2 {
+                out[t + l] = inter(js[l], u2[l]);
+            }
+            t += 2;
+        }
+        if t < us.len() {
+            let j = us[t] as usize;
+            out[t] = inter(j, self.col.union_estimate_with_row(row, j));
+        }
     }
 }
 

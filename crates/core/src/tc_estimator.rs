@@ -6,30 +6,67 @@
 //! theory-grade estimator of Table VII (the node-iterator PG algorithm of
 //! Listing 1 is the systems-grade one; both are exposed).
 
+use crate::oracle::{IntersectionOracle, OracleVisitor};
 use crate::pg::ProbGraph;
-use pg_graph::CsrGraph;
-use pg_parallel::sum_f64;
+use pg_graph::{CsrGraph, VertexId};
+use pg_parallel::{map_reduce, map_reduce_scratch, weighted_grain};
+
+/// The single edge-sum kernel, generic over the oracle: edges are grouped
+/// by source vertex (every edge appears once in the source's forward run),
+/// and each source row is batched through
+/// [`IntersectionOracle::estimate_row`] into worker-local scratch — the
+/// source-side sketch state is pinned once per vertex instead of being
+/// re-fetched (and the representation re-dispatched) per edge.
+pub fn tc_estimate_with<O: IntersectionOracle>(g: &CsrGraph, oracle: &O) -> f64 {
+    let n = g.num_vertices();
+    let (total_fwd, max_fwd) = map_reduce(
+        n,
+        || (0u64, 0u64),
+        |(sum, max), v| {
+            let f = g.forward_neighbors(v as VertexId).len() as u64;
+            (sum + f, max.max(f))
+        },
+        |(s1, m1), (s2, m2)| (s1 + s2, m1.max(m2)),
+    );
+    map_reduce_scratch(
+        n,
+        weighted_grain(n, total_fwd, max_fwd),
+        || 0f64,
+        Vec::new,
+        |row, acc, ui| {
+            let u = ui as VertexId;
+            let fwd = g.forward_neighbors(u);
+            if fwd.is_empty() {
+                return acc;
+            }
+            oracle.estimate_row(u, fwd, row);
+            acc + row.iter().fold(0.0f64, |s, &e| s + e.max(0.0))
+        },
+        |a, b| a + b,
+    ) / 3.0
+}
 
 /// `T̂C_⋆` with the estimator configured in `pg` (which must sketch the
-/// **full** neighborhoods of `g`, i.e. come from [`ProbGraph::build`]).
+/// **full** neighborhoods of `g`, i.e. come from [`ProbGraph::build`]) —
+/// representation resolved once, then the generic row-batched kernel.
 pub fn tc_estimate(g: &CsrGraph, pg: &ProbGraph) -> f64 {
-    let edges = g.edge_list();
-    sum_f64(edges.len(), |i| {
-        let (u, v) = edges[i];
-        pg.estimate_intersection(u, v).max(0.0)
-    }) / 3.0
+    struct V<'a>(&'a CsrGraph);
+    impl OracleVisitor for V<'_> {
+        type Output = f64;
+        fn visit<O: IntersectionOracle>(self, o: &O) -> f64 {
+            tc_estimate_with(self.0, o)
+        }
+    }
+    pg.with_oracle(V(g))
 }
 
 /// Exact `TC` via the same edge-sum identity (useful to validate the
-/// identity itself against the node-iterator count).
+/// identity itself against the node-iterator count): the generic kernel
+/// with the exact oracle. All summands are integers, so the `f64`
+/// accumulator — and the division by the (exactly represented) factor 3
+/// of the tripled count — is exact for every count below `2^53`.
 pub fn tc_exact_edge_sum(g: &CsrGraph) -> u64 {
-    let edges = g.edge_list();
-    let tripled = pg_parallel::sum_u64(edges.len(), |i| {
-        let (u, v) = edges[i];
-        crate::intersect::intersect_card(g.neighbors(u), g.neighbors(v)) as u64
-    });
-    debug_assert_eq!(tripled % 3, 0);
-    tripled / 3
+    tc_estimate_with(g, &crate::oracle::ExactOracle::new(g)) as u64
 }
 
 /// Theorem VII.1 bound instantiation for a concrete graph: the probability

@@ -210,6 +210,18 @@ impl CsrGraph {
         })
     }
 
+    /// The *forward* neighbors of `v`: the suffix of [`CsrGraph::neighbors`]
+    /// with IDs strictly greater than `v`. Because [`CsrGraph::edge_list`]
+    /// emits every edge once as `(u, v)` with `u < v`, sources ascending,
+    /// the forward run of `u` is exactly `u`'s contiguous block of the
+    /// edge list — which is what lets edge kernels batch per-source rows
+    /// through `estimate_row` instead of looping edge-by-edge.
+    #[inline]
+    pub fn forward_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let nv = self.neighbors(v);
+        &nv[nv.partition_point(|&w| w <= v)..]
+    }
+
     /// Iterates every undirected edge exactly once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         (0..self.num_vertices() as VertexId).flat_map(move |v| {

@@ -108,6 +108,18 @@ impl BitVec {
         and_or_ones_words(&self.words, &other.words)
     }
 
+    /// Multi-lane fused AND + popcount: one traversal of this vector's
+    /// words against `L` destination vectors with independent accumulator
+    /// lanes — `out[l] == self.and_count(others[l])` exactly. See
+    /// [`and_count_words_multi`] for why batching destinations wins.
+    #[inline]
+    pub fn and_count_multi<const L: usize>(&self, others: [&BitVec; L]) -> [usize; L] {
+        for o in others {
+            assert_eq!(self.len_bits, o.len_bits, "bit vectors differ in size");
+        }
+        and_count_words_multi(&self.words, others.map(|o| o.words.as_slice()))
+    }
+
     /// Materialized AND (for callers that need the intersected filter).
     pub fn and(&self, other: &BitVec) -> BitVec {
         assert_eq!(self.len_bits, other.len_bits, "bit vectors differ in size");
@@ -174,6 +186,116 @@ pub fn and_count_words(a: &[u64], b: &[u64]) -> usize {
         total += (x & y).count_ones() as usize;
     }
     total
+}
+
+/// Multi-lane fused AND + popcount: one traversal of the pinned source
+/// slice `a` against `L` destination slices (all equal length), one
+/// independent popcount accumulator per lane.
+///
+/// This is the SIMD-style row kernel of the batched estimation path: a row
+/// sweep `estimate_row(v, us)` re-reads the source window once *per
+/// destination*; processing `L ∈ 2..=4` destinations per sweep amortizes
+/// every source-word load over `L` AND+popcount operations and gives the
+/// autovectorizer `L` independent reduction chains to pipeline (AVX-512
+/// `vpopcntq` hardware chews through them at full width). Each lane's
+/// accumulation is the plain word-order sum, so `out[l]` is bit-identical
+/// to `and_count_words(a, bs[l])` for every lane count.
+#[inline]
+pub fn and_count_words_multi<const L: usize>(a: &[u64], bs: [&[u64]; L]) -> [usize; L] {
+    // Pin every destination to the source length once; inner indexing is
+    // then bounds-check-free in the eyes of the optimizer.
+    let bs: [&[u64]; L] = bs.map(|b| {
+        debug_assert_eq!(a.len(), b.len());
+        &b[..a.len()]
+    });
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx512f",
+        target_feature = "avx512vpopcntdq"
+    ))]
+    {
+        and_count_words_multi_512(a, bs)
+    }
+    #[cfg(not(all(
+        target_arch = "x86_64",
+        target_feature = "avx512f",
+        target_feature = "avx512vpopcntdq"
+    )))]
+    {
+        let mut lanes = [0usize; L];
+        for (w, &x) in a.iter().enumerate() {
+            for l in 0..L {
+                lanes[l] += (x & bs[l][w]).count_ones() as usize;
+            }
+        }
+        lanes
+    }
+}
+
+/// AVX-512 form of the multi-lane kernel: one `vpand` + `vpopcntq` per
+/// destination per 8-word block, one masked block for the ragged word
+/// tail, `L` independent vector accumulators. Popcounts are exact
+/// integers, so this is bit-identical to the portable loop.
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx512f",
+    target_feature = "avx512vpopcntdq"
+))]
+#[inline]
+fn and_count_words_multi_512<const L: usize>(a: &[u64], bs: [&[u64]; L]) -> [usize; L] {
+    use std::arch::x86_64::*;
+    // SAFETY: avx512f/avx512vpopcntdq are compile-time target features
+    // here; unaligned loads are explicit (`loadu`), and every pointer
+    // offset stays inside the equal-length slices checked by the caller.
+    unsafe {
+        let n = a.len();
+        let mut acc = [_mm512_setzero_si512(); L];
+        let mut w = 0;
+        while w + 8 <= n {
+            let x = _mm512_loadu_si512(a.as_ptr().add(w) as *const _);
+            for l in 0..L {
+                let y = _mm512_loadu_si512(bs[l].as_ptr().add(w) as *const _);
+                acc[l] = _mm512_add_epi64(acc[l], _mm512_popcnt_epi64(_mm512_and_si512(x, y)));
+            }
+            w += 8;
+        }
+        if w < n {
+            let mask: __mmask8 = (1u8 << (n - w)) - 1;
+            let x = _mm512_maskz_loadu_epi64(mask, a.as_ptr().add(w) as *const _);
+            for l in 0..L {
+                let y = _mm512_maskz_loadu_epi64(mask, bs[l].as_ptr().add(w) as *const _);
+                acc[l] = _mm512_add_epi64(acc[l], _mm512_popcnt_epi64(_mm512_and_si512(x, y)));
+            }
+        }
+        let mut out = [0usize; L];
+        for l in 0..L {
+            out[l] = _mm512_reduce_add_epi64(acc[l]) as usize;
+        }
+        out
+    }
+}
+
+/// Prefetches a destination window (word, register, or signature slice)
+/// into L1 — issued by row sweeps a couple of destinations ahead so the
+/// L2 fills overlap the current destinations' work (the row kernels are
+/// destination-bandwidth bound once the source is pinned in L1). One
+/// prefetch per cache line; no-op off x86-64.
+#[inline]
+pub fn prefetch_slice<T>(w: &[T]) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let step = (64 / std::mem::size_of::<T>().max(1)).max(1);
+        let mut off = 0;
+        while off < w.len() {
+            _mm_prefetch(w.as_ptr().add(off) as *const i8, _MM_HINT_T0);
+            off += step;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = w;
+    }
 }
 
 /// Fused OR + popcount of two word slices (must be equal length).
@@ -340,6 +462,62 @@ mod tests {
         assert_eq!(p.a_ones, a.count_ones());
         assert_eq!(p.b_ones, b.count_ones());
         assert_eq!(p.a_ones + p.b_ones, p.and_ones + p.or_ones);
+    }
+
+    #[test]
+    fn multi_lane_matches_scalar_all_lane_counts() {
+        // Sweep word counts across the 8-word AVX tail boundary and the
+        // 4-word unroll remainders.
+        for words in 0usize..26 {
+            let mut state = 0x1234u64 ^ words as u64;
+            let mk = |state: &mut u64| -> Vec<u64> {
+                (0..words).map(|_| pg_hash::splitmix64(state)).collect()
+            };
+            let a = mk(&mut state);
+            let b: Vec<Vec<u64>> = (0..4).map(|_| mk(&mut state)).collect();
+            let want: Vec<usize> = b.iter().map(|x| and_count_words(&a, x)).collect();
+            assert_eq!(and_count_words_multi(&a, [&b[0][..]]), [want[0]]);
+            assert_eq!(
+                and_count_words_multi(&a, [&b[0][..], &b[1][..]]),
+                [want[0], want[1]]
+            );
+            assert_eq!(
+                and_count_words_multi(&a, [&b[0][..], &b[1][..], &b[2][..]]),
+                [want[0], want[1], want[2]]
+            );
+            assert_eq!(
+                and_count_words_multi(&a, [&b[0][..], &b[1][..], &b[2][..], &b[3][..]]),
+                [want[0], want[1], want[2], want[3]]
+            );
+        }
+    }
+
+    #[test]
+    fn bitvec_and_count_multi_matches_pairwise() {
+        let mut a = BitVec::zeros(300);
+        let mut b0 = BitVec::zeros(300);
+        let mut b1 = BitVec::zeros(300);
+        for i in (0..300).step_by(3) {
+            a.set(i);
+        }
+        for i in (0..300).step_by(4) {
+            b0.set(i);
+        }
+        for i in (0..300).step_by(7) {
+            b1.set(i);
+        }
+        assert_eq!(
+            a.and_count_multi([&b0, &b1]),
+            [a.and_count(&b0), a.and_count(&b1)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in size")]
+    fn multi_lane_size_mismatch_panics() {
+        let a = BitVec::zeros(64);
+        let b = BitVec::zeros(128);
+        let _ = a.and_count_multi([&b]);
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //!    via `B_{X∪Y,1} = B_{X,1} + B_{Y,1} − B_{X∩Y,1}`, so the AND, Limit,
 //!    *and* OR estimators all cost a single pass per edge.
 
-use crate::bitvec::{and_count_words, count_ones_words, or_count_words, BitVec, PairOnes};
+use crate::bitvec::{
+    and_count_words, and_count_words_multi, count_ones_words, or_count_words, BitVec, PairOnes,
+};
 use crate::estimators;
 use pg_hash::HashFamily;
 use pg_parallel::parallel_for;
@@ -326,6 +328,18 @@ impl BloomCollection {
     #[inline]
     pub fn or_ones(&self, i: usize, j: usize) -> usize {
         or_count_words(self.words(i), self.words(j))
+    }
+
+    /// Multi-lane `B_{X∩Y,1}`: one word-window pass ANDs the pinned source
+    /// `row` (a filter's word window, usually hoisted once per vertex)
+    /// against `L` destination filters with independent popcount
+    /// accumulators — `out[l] == and_count_words(row, self.words(js[l]))`
+    /// exactly, for every lane count. This is the batched-estimation hot
+    /// path: source-word loads amortize over `L` destinations and the `L`
+    /// reduction chains pipeline at full `vpopcnt` issue width.
+    #[inline]
+    pub fn and_ones_multi<const L: usize>(&self, row: &[u64], js: [usize; L]) -> [usize; L] {
+        and_count_words_multi(row, js.map(|j| self.words(j)))
     }
 
     /// All four pair statistics of filters `i` and `j` from **one** fused

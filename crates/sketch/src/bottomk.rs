@@ -48,36 +48,101 @@ fn select_bottom_k(items: &[u32], k: usize, family: &HashFamily) -> (Vec<u32>, V
 /// *both* samples. Returns `(matches, union_seen)` where `union_seen ≤ k`
 /// is how many union elements were available (if `< k`, the union was
 /// exhausted and the count is exact).
+///
+/// The precomputed `(hash, element)` keys — no hashing in the kernel, as
+/// the paper's `O(k)` Table IV cost requires — are packed into one `u64`
+/// whose ordering equals the tuple ordering, and the merge advances with
+/// branchless conditional increments: merge-order outcomes are
+/// data-random, so a three-way branch is a predictor loss on every other
+/// element, while compare+increment pipelines. Once either sample is
+/// exhausted no matches remain and the leftover union draws are counted
+/// in one step.
 fn union_matches(a: &[u32], ah: &[u32], b: &[u32], bh: &[u32], k: usize) -> (usize, usize) {
     debug_assert_eq!(a.len(), ah.len());
     debug_assert_eq!(b.len(), bh.len());
+    #[inline(always)]
+    fn key(h: &[u32], e: &[u32], t: usize) -> u64 {
+        (h[t] as u64) << 32 | e[t] as u64
+    }
     let mut i = 0;
     let mut j = 0;
     let mut taken = 0usize;
     let mut matches = 0usize;
-    while taken < k && (i < a.len() || j < b.len()) {
-        if i < a.len() && j < b.len() {
-            // Compare precomputed (hash, element) keys — no hashing in the
-            // kernel, as the paper's O(k) Table IV cost requires.
-            let ka = (ah[i], a[i]);
-            let kb = (bh[j], b[j]);
-            match ka.cmp(&kb) {
-                std::cmp::Ordering::Equal => {
-                    matches += 1;
-                    i += 1;
-                    j += 1;
-                }
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-            }
-        } else if i < a.len() {
-            i += 1;
-        } else {
-            j += 1;
-        }
+    while taken < k && i < a.len() && j < b.len() {
+        let ka = key(ah, a, i);
+        let kb = key(bh, b, j);
+        matches += usize::from(ka == kb);
+        i += usize::from(ka <= kb);
+        j += usize::from(kb <= ka);
         taken += 1;
     }
+    // Tail: at most one sample still has elements; each is one union draw.
+    let rest = (a.len() - i) + (b.len() - j);
+    taken += rest.min(k - taken);
     (matches, taken)
+}
+
+/// Two-lane lockstep form of [`union_matches`] sharing one source sample:
+/// each loop iteration advances one branchless step of each still-active
+/// lane, so the two load→compare→increment dependency chains interleave
+/// and pipeline. Per lane the `(matches, taken)` result is exactly the
+/// scalar walk's.
+#[allow(clippy::too_many_arguments)]
+fn union_matches_x2(
+    a: &[u32],
+    ah: &[u32],
+    b0: &[u32],
+    bh0: &[u32],
+    b1: &[u32],
+    bh1: &[u32],
+    k: usize,
+) -> ((usize, usize), (usize, usize)) {
+    #[inline(always)]
+    fn key(h: &[u32], e: &[u32], t: usize) -> u64 {
+        (h[t] as u64) << 32 | e[t] as u64
+    }
+    let (mut i0, mut j0, mut m0, mut t0) = (0usize, 0usize, 0usize, 0usize);
+    let (mut i1, mut j1, mut m1, mut t1) = (0usize, 0usize, 0usize, 0usize);
+    loop {
+        while t0 < k && i0 < a.len() && j0 < b0.len() && t1 < k && i1 < a.len() && j1 < b1.len() {
+            let ka0 = key(ah, a, i0);
+            let kb0 = key(bh0, b0, j0);
+            let ka1 = key(ah, a, i1);
+            let kb1 = key(bh1, b1, j1);
+            m0 += usize::from(ka0 == kb0);
+            m1 += usize::from(ka1 == kb1);
+            i0 += usize::from(ka0 <= kb0);
+            i1 += usize::from(ka1 <= kb1);
+            j0 += usize::from(kb0 <= ka0);
+            j1 += usize::from(kb1 <= ka1);
+            t0 += 1;
+            t1 += 1;
+        }
+        let act0 = t0 < k && i0 < a.len() && j0 < b0.len();
+        let act1 = t1 < k && i1 < a.len() && j1 < b1.len();
+        if act0 {
+            let ka = key(ah, a, i0);
+            let kb = key(bh0, b0, j0);
+            m0 += usize::from(ka == kb);
+            i0 += usize::from(ka <= kb);
+            j0 += usize::from(kb <= ka);
+            t0 += 1;
+        } else if act1 {
+            let ka = key(ah, a, i1);
+            let kb = key(bh1, b1, j1);
+            m1 += usize::from(ka == kb);
+            i1 += usize::from(ka <= kb);
+            j1 += usize::from(kb <= ka);
+            t1 += 1;
+        } else {
+            break;
+        }
+    }
+    let rest0 = (a.len() - i0) + (b0.len() - j0);
+    t0 += rest0.min(k - t0);
+    let rest1 = (a.len() - i1) + (b1.len() - j1);
+    t1 += rest1.min(k - t1);
+    ((m0, t0), (m1, t1))
 }
 
 impl BottomK {
@@ -300,10 +365,31 @@ impl BottomKCollection {
 
     /// `|X∩Y|̂_1H` between sets `i` and `j`; see
     /// [`BottomK::estimate_intersection`] for the lossless shortcut.
+    #[inline]
     pub fn estimate_intersection(&self, i: usize, j: usize) -> f64 {
-        let (a, b) = (self.sample(i), self.sample(j));
-        let (ah, bh) = (self.sample_hashes(i), self.sample_hashes(j));
-        let (ni, nj) = (self.set_size(i), self.set_size(j));
+        self.estimate_intersection_with_row(
+            self.sample(i),
+            self.sample_hashes(i),
+            self.set_size(i),
+            j,
+        )
+    }
+
+    /// `|X∩Y|̂_1H` with the source sample, hashes, and exact size already
+    /// pinned (the row-batch fast path: hoist them once per row sweep
+    /// instead of re-slicing the flat arrays per pair). Identical to
+    /// [`BottomKCollection::estimate_intersection`] when the pinned parts
+    /// belong to set `i`.
+    pub fn estimate_intersection_with_row(
+        &self,
+        a: &[u32],
+        ah: &[u32],
+        ni: usize,
+        j: usize,
+    ) -> f64 {
+        let b = self.sample(j);
+        let bh = self.sample_hashes(j);
+        let nj = self.set_size(j);
         if ni <= self.k && nj <= self.k {
             // Lossless: full sets stored — exact uncapped merge.
             let cap = (a.len() + b.len()).max(1);
@@ -314,10 +400,55 @@ impl BottomKCollection {
     }
 
     /// `Ĵ_1H` between sets `i` and `j`.
+    #[inline]
     pub fn estimate_jaccard(&self, i: usize, j: usize) -> f64 {
-        let (a, b) = (self.sample(i), self.sample(j));
-        let (ah, bh) = (self.sample_hashes(i), self.sample_hashes(j));
-        let (ni, nj) = (self.set_size(i), self.set_size(j));
+        self.estimate_jaccard_with_row(self.sample(i), self.sample_hashes(i), self.set_size(i), j)
+    }
+
+    /// Two-lane batched `|X∩Y|̂_1H` with the source sample pinned:
+    /// estimates against **two** destination sets at once through the
+    /// lockstep-interleaved merge walk ([`union_matches_x2`]); any lane
+    /// touching the lossless shortcut falls back to the scalar path.
+    /// Each lane is bit-identical to
+    /// [`BottomKCollection::estimate_intersection`].
+    pub fn estimate_intersection_with_row_x2(
+        &self,
+        a: &[u32],
+        ah: &[u32],
+        ni: usize,
+        j0: usize,
+        j1: usize,
+    ) -> (f64, f64) {
+        let (nj0, nj1) = (self.set_size(j0), self.set_size(j1));
+        let lossless0 = ni <= self.k && nj0 <= self.k;
+        let lossless1 = ni <= self.k && nj1 <= self.k;
+        if lossless0 || lossless1 {
+            return (
+                self.estimate_intersection_with_row(a, ah, ni, j0),
+                self.estimate_intersection_with_row(a, ah, ni, j1),
+            );
+        }
+        let ((m0, _), (m1, _)) = union_matches_x2(
+            a,
+            ah,
+            self.sample(j0),
+            self.sample_hashes(j0),
+            self.sample(j1),
+            self.sample_hashes(j1),
+            self.k,
+        );
+        (
+            estimators::jaccard_to_intersection(estimators::mh_jaccard(m0, self.k), ni, nj0),
+            estimators::jaccard_to_intersection(estimators::mh_jaccard(m1, self.k), ni, nj1),
+        )
+    }
+
+    /// `Ĵ_1H` with the source sample pinned — the row-sweep twin of
+    /// [`BottomKCollection::estimate_jaccard`].
+    pub fn estimate_jaccard_with_row(&self, a: &[u32], ah: &[u32], ni: usize, j: usize) -> f64 {
+        let b = self.sample(j);
+        let bh = self.sample_hashes(j);
+        let nj = self.set_size(j);
         if ni <= self.k && nj <= self.k {
             let cap = a.len() + b.len();
             let (matches, _) = union_matches(a, ah, b, bh, cap.max(1));
@@ -452,6 +583,47 @@ mod tests {
         let b = BottomK::from_set(&sets[20], 12, 7);
         assert_eq!(col.matches(5, 20), a.matches(&b));
         assert!((col.estimate_intersection(5, 20) - a.estimate_intersection(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_lane_walk_matches_scalar_across_regimes() {
+        // Mix of lossless (≤ k) and sampled (> k) sets so both the
+        // interleaved fast path and the scalar fallback are exercised.
+        let sets: Vec<Vec<u32>> = (0..14)
+            .map(|s| (0..3 + s * 11).map(|i| (i * 5 + s) as u32).collect())
+            .collect();
+        let col = BottomKCollection::build(sets.len(), 12, 3, |i| &sets[i][..]);
+        for i in 0..sets.len() {
+            let (a, ah, ni) = (col.sample(i), col.sample_hashes(i), col.set_size(i));
+            for j in 0..sets.len() - 1 {
+                let (e0, e1) = col.estimate_intersection_with_row_x2(a, ah, ni, j, j + 1);
+                assert_eq!(e0, col.estimate_intersection(i, j), "i={i} j={j}");
+                assert_eq!(e1, col.estimate_intersection(i, j + 1), "i={i} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_row_paths_match_indexed_paths() {
+        let sets: Vec<Vec<u32>> = (0..25)
+            .map(|s| (0..5 + s * 9).map(|i| (i * 3 + s) as u32).collect())
+            .collect();
+        let col = BottomKCollection::build(sets.len(), 16, 7, |i| &sets[i][..]);
+        for i in 0..sets.len() {
+            let (a, ah, ni) = (col.sample(i), col.sample_hashes(i), col.set_size(i));
+            for j in 0..sets.len() {
+                assert_eq!(
+                    col.estimate_intersection_with_row(a, ah, ni, j),
+                    col.estimate_intersection(i, j),
+                    "({i},{j})"
+                );
+                assert_eq!(
+                    col.estimate_jaccard_with_row(a, ah, ni, j),
+                    col.estimate_jaccard(i, j),
+                    "({i},{j})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -10,19 +10,16 @@
 use pg_hash::HashFamily;
 use pg_parallel::parallel_for;
 
-/// `2^-r` for every possible register value (`r ≤ 64`), so the harmonic-sum
-/// loop costs one table load per register instead of a `powi` call.
-static POW_NEG2: [f64; 65] = {
-    let mut t = [0.0f64; 65];
-    let mut r = 0;
-    while r <= 64 {
-        // 2^-r has exponent field 1023 - r and zero mantissa (r ≤ 64 keeps
-        // the value normal), so the bit pattern is exact.
-        t[r] = f64::from_bits((1023 - r as u64) << 52);
-        r += 1;
-    }
-    t
-};
+/// `2^-r` for `r ≤ 64`, built directly in the exponent field: `2^-r` has
+/// exponent `1023 − r` and zero mantissa (`r ≤ 64` keeps the value
+/// normal), so the bit pattern is exact and costs two integer ops — no
+/// table load competing with the register streams for the load ports,
+/// which is what bounds the fused union passes.
+#[inline]
+fn pow_neg2(r: u8) -> f64 {
+    debug_assert!(r <= 64);
+    f64::from_bits((1023 - r as u64) << 52)
+}
 
 /// Flajolet et al. bias-correction constant `α_m`.
 fn alpha(m: usize) -> f64 {
@@ -53,7 +50,7 @@ fn register_stats(registers: &[u8]) -> (f64, usize) {
     let mut sum = 0.0f64;
     let mut zeros = 0usize;
     for &r in registers {
-        sum += POW_NEG2[r as usize];
+        sum += pow_neg2(r);
         zeros += usize::from(r == 0);
     }
     (sum, zeros)
@@ -251,24 +248,66 @@ impl HyperLogLogCollection {
     /// `|X∪Y|̂` of sets `i` and `j`: one fused register-wise-max pass over
     /// the two windows accumulating the harmonic sum and zero count of the
     /// (never materialized) merged sketch.
+    #[inline]
     pub fn estimate_union(&self, i: usize, j: usize) -> f64 {
-        let (a, b) = (self.registers(i), self.registers(j));
+        self.union_estimate_with_row(self.registers(i), j)
+    }
+
+    /// `|X∪Y|̂` with the source register window already pinned — the
+    /// scalar row-sweep path (hoist `registers(i)` once per row instead of
+    /// re-slicing per pair). Identical to
+    /// [`HyperLogLogCollection::estimate_union`] when `row` is window `i`.
+    pub fn union_estimate_with_row(&self, row: &[u8], j: usize) -> f64 {
+        let b = &self.registers(j)[..row.len()];
         let mut sum = 0.0f64;
         let mut zeros = 0usize;
-        for t in 0..a.len() {
-            let r = a[t].max(b[t]);
-            sum += POW_NEG2[r as usize];
+        for t in 0..row.len() {
+            let r = row[t].max(b[t]);
+            sum += pow_neg2(r);
             zeros += usize::from(r == 0);
         }
         estimate_from_stats(1 << self.precision, sum, zeros)
+    }
+
+    /// Multi-lane `|X∪Y|̂`: one pass over the pinned source window `row`
+    /// merges it against `L` destination windows with independent
+    /// harmonic-sum/zero-count accumulators —
+    /// `out[l] == union_estimate_with_row(row, js[l])` bit-for-bit, since
+    /// each lane accumulates in the same register order as the scalar
+    /// pass. The win is instruction-level parallelism: the serial `f64`
+    /// add chain of one harmonic sum is latency-bound, and `L`
+    /// independent chains pipeline in parallel.
+    pub fn union_estimates_multi<const L: usize>(&self, row: &[u8], js: [usize; L]) -> [f64; L] {
+        let bs: [&[u8]; L] = js.map(|j| &self.registers(j)[..row.len()]);
+        let mut sum = [0.0f64; L];
+        let mut zeros = [0usize; L];
+        for (t, &x) in row.iter().enumerate() {
+            for l in 0..L {
+                let r = x.max(bs[l][t]);
+                sum[l] += pow_neg2(r);
+                zeros[l] += usize::from(r == 0);
+            }
+        }
+        let mut out = [0.0f64; L];
+        for l in 0..L {
+            out[l] = estimate_from_stats(1 << self.precision, sum[l], zeros[l]);
+        }
+        out
+    }
+
+    /// The inclusion–exclusion transform `|X∩Y|̂ = nx + ny − |X∪Y|̂`,
+    /// clamped into `[0, min(nx, ny)]` — shared by the pairwise and
+    /// row-batched paths so both clamp identically.
+    #[inline]
+    pub fn intersection_from_union(nx: usize, ny: usize, union_est: f64) -> f64 {
+        ((nx + ny) as f64 - union_est).clamp(0.0, nx.min(ny) as f64)
     }
 
     /// `|X∩Y|̂ = nx + ny − |X∪Y|̂` (inclusion–exclusion with exact sizes),
     /// clamped into `[0, min(nx, ny)]`.
     #[inline]
     pub fn estimate_intersection(&self, i: usize, j: usize, nx: usize, ny: usize) -> f64 {
-        let est = (nx + ny) as f64 - self.estimate_union(i, j);
-        est.clamp(0.0, nx.min(ny) as f64)
+        Self::intersection_from_union(nx, ny, self.estimate_union(i, j))
     }
 
     /// Bytes of sketch storage.
@@ -407,9 +446,9 @@ mod tests {
     }
 
     #[test]
-    fn pow_table_matches_powi() {
-        for (r, &p) in POW_NEG2.iter().enumerate() {
-            assert_eq!(p, 2f64.powi(-(r as i32)), "r={r}");
+    fn pow_neg2_matches_powi() {
+        for r in 0u8..=64 {
+            assert_eq!(pow_neg2(r), 2f64.powi(-(r as i32)), "r={r}");
         }
     }
 

@@ -158,6 +158,40 @@ impl KmvSketch {
         .max(0.0)
     }
 
+    /// Two-lane batched `|X∩Y|̂_K`: estimates this sketch against **two**
+    /// destination sketches at once. When both pairs are in the sampling
+    /// regime the two union-membership merge walks advance in lockstep
+    /// ([`union_match_walk_x2`]) so their data-dependent branch chains
+    /// overlap instead of serializing; any lane touching the lossless
+    /// shortcut falls back to the scalar path. Each lane's result is
+    /// bit-identical to [`KmvSketch::estimate_intersection`].
+    pub fn estimate_intersection_x2(&self, o0: &KmvSketch, o1: &KmvSketch) -> (f64, f64) {
+        let exact0 = self.is_exact() && o0.is_exact();
+        let exact1 = self.is_exact() && o1.is_exact();
+        if exact0 || exact1 {
+            return (
+                self.estimate_intersection(o0),
+                self.estimate_intersection(o1),
+            );
+        }
+        let ((p0, seen0), (p1, seen1)) = union_match_walk_x2(
+            &self.hashes,
+            &o0.hashes,
+            self.k.min(o0.k),
+            &o1.hashes,
+            self.k.min(o1.k),
+        );
+        let finish = |p: usize, seen: usize, other: &KmvSketch| {
+            let j = if seen == 0 {
+                0.0
+            } else {
+                p as f64 / seen as f64
+            };
+            estimators::jaccard_to_intersection(j, self.set_size, other.set_size).max(0.0)
+        };
+        (finish(p0, seen0, o0), finish(p1, seen1, o1))
+    }
+
     /// The paper's Eq. (41) inclusion–exclusion estimator
     /// `|X| + |Y| − |X∪Y|̂_KMV`, clamped below at 0 — kept for the §IX
     /// comparison experiments.
@@ -169,19 +203,17 @@ impl KmvSketch {
 
 /// Uncapped merge walk counting hashes present in both ascending lists.
 /// Hash equality is exact: both lists store outputs of the same
-/// deterministic function.
+/// deterministic function. Branchless pointer updates: per union element
+/// the walk does two compares and three conditional increments instead of
+/// a three-way branch the predictor loses on (merge-order outcomes are
+/// data-random), which roughly halves the walk's cost.
 fn count_common_hashes(a: &[f64], b: &[f64]) -> usize {
     let (mut i, mut j, mut c) = (0, 0, 0);
     while i < a.len() && j < b.len() {
-        if a[i] < b[j] {
-            i += 1;
-        } else if b[j] < a[i] {
-            j += 1;
-        } else {
-            c += 1;
-            i += 1;
-            j += 1;
-        }
+        let (x, y) = (a[i], b[j]);
+        c += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
     }
     c
 }
@@ -191,29 +223,87 @@ fn count_common_hashes(a: &[f64], b: &[f64]) -> usize {
 /// hashes present in **both** lists and `union_seen ≤ cap` is how many
 /// union hashes were available. Mirrors `union_matches` in the bottom-k
 /// module — the hypergeometric sampling argument is the same.
+///
+/// The loop is branchless per union element (see [`count_common_hashes`]);
+/// once either list is exhausted no further matches are possible, so the
+/// remaining union draws are counted in one step instead of walked.
 fn union_match_walk(a: &[f64], b: &[f64], cap: usize) -> (usize, usize) {
     let (mut i, mut j) = (0, 0);
     let mut taken = 0usize;
     let mut matches = 0usize;
-    while taken < cap && (i < a.len() || j < b.len()) {
-        if i < a.len() && j < b.len() {
-            if a[i] < b[j] {
-                i += 1;
-            } else if b[j] < a[i] {
-                j += 1;
-            } else {
-                matches += 1;
-                i += 1;
-                j += 1;
-            }
-        } else if i < a.len() {
-            i += 1;
-        } else {
-            j += 1;
-        }
+    while taken < cap && i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        matches += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
         taken += 1;
     }
+    // Tail: at most one list still has elements; each is one union draw.
+    let rest = (a.len() - i) + (b.len() - j);
+    taken += rest.min(cap - taken);
     (matches, taken)
+}
+
+/// Two [`union_match_walk`]s sharing one source list `a`, advanced in
+/// lockstep: each loop iteration performs one branchless step of each
+/// still-active lane, so the two load→compare→increment dependency
+/// chains interleave and pipeline instead of serializing. Per lane the
+/// `(matches, taken)` result is exactly the scalar walk's.
+fn union_match_walk_x2(
+    a: &[f64],
+    b0: &[f64],
+    cap0: usize,
+    b1: &[f64],
+    cap1: usize,
+) -> ((usize, usize), (usize, usize)) {
+    let (mut i0, mut j0, mut m0, mut t0) = (0usize, 0usize, 0usize, 0usize);
+    let (mut i1, mut j1, mut m1, mut t1) = (0usize, 0usize, 0usize, 0usize);
+    loop {
+        // Both-active fast path: two interleaved branchless steps.
+        while t0 < cap0
+            && i0 < a.len()
+            && j0 < b0.len()
+            && t1 < cap1
+            && i1 < a.len()
+            && j1 < b1.len()
+        {
+            let (x0, y0) = (a[i0], b0[j0]);
+            let (x1, y1) = (a[i1], b1[j1]);
+            m0 += usize::from(x0 == y0);
+            m1 += usize::from(x1 == y1);
+            i0 += usize::from(x0 <= y0);
+            i1 += usize::from(x1 <= y1);
+            j0 += usize::from(y0 <= x0);
+            j1 += usize::from(y1 <= x1);
+            t0 += 1;
+            t1 += 1;
+        }
+        // One lane went inactive: finish the other with the scalar walk's
+        // merge phase, then stop.
+        let act0 = t0 < cap0 && i0 < a.len() && j0 < b0.len();
+        let act1 = t1 < cap1 && i1 < a.len() && j1 < b1.len();
+        if act0 {
+            let (x, y) = (a[i0], b0[j0]);
+            m0 += usize::from(x == y);
+            i0 += usize::from(x <= y);
+            j0 += usize::from(y <= x);
+            t0 += 1;
+        } else if act1 {
+            let (x, y) = (a[i1], b1[j1]);
+            m1 += usize::from(x == y);
+            i1 += usize::from(x <= y);
+            j1 += usize::from(y <= x);
+            t1 += 1;
+        } else {
+            break;
+        }
+    }
+    // Exhaustion tails, one step each (same shortcut as the scalar walk).
+    let rest0 = (a.len() - i0) + (b0.len() - j0);
+    t0 += rest0.min(cap0 - t0);
+    let rest1 = (a.len() - i1) + (b1.len() - j1);
+    t1 += rest1.min(cap1 - t1);
+    ((m0, t0), (m1, t1))
 }
 
 /// All KMV sketches of a ProbGraph representation (flat storage).
@@ -358,6 +448,33 @@ mod tests {
         // And the truncated union must no longer claim exactness.
         assert!(!a.union(&b).is_exact());
         assert!(a.union(&a).is_exact());
+    }
+
+    #[test]
+    fn two_lane_walk_matches_scalar_across_regimes() {
+        // Mix of lossless (small) and sampled (large) sketches so both
+        // the interleaved fast path and the scalar fallback are hit.
+        let sets: Vec<Vec<u32>> = vec![
+            (0..2000).collect(),
+            (1000..3000).collect(),
+            (0..10).collect(), // lossless
+            (5..25).collect(), // lossless
+            (500..2500).collect(),
+            vec![], // empty
+        ];
+        let col = KmvCollection::build(sets.len(), 64, 3, |i| &sets[i][..]);
+        for i in 0..sets.len() {
+            let s = col.sketch(i);
+            for j in 0..sets.len() - 1 {
+                let (e0, e1) = s.estimate_intersection_x2(col.sketch(j), col.sketch(j + 1));
+                assert_eq!(e0, s.estimate_intersection(col.sketch(j)), "i={i} j={j}");
+                assert_eq!(
+                    e1,
+                    s.estimate_intersection(col.sketch(j + 1)),
+                    "i={i} j={j}"
+                );
+            }
+        }
     }
 
     #[test]

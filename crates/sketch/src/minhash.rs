@@ -151,13 +151,96 @@ impl MinHashCollection {
     /// Table IV.
     #[inline]
     pub fn matches(&self, i: usize, j: usize) -> usize {
-        let a = self.signature(i);
-        let b = self.signature(j);
+        self.matches_with_row(self.signature(i), j)
+    }
+
+    /// `|M_X ∩ M_Y|` of a pinned signature `row` (usually
+    /// [`MinHashCollection::signature`] of a source vertex, hoisted once
+    /// per row sweep) against set `j` — identical to
+    /// [`MinHashCollection::matches`] when `row` is signature `i`.
+    #[inline]
+    pub fn matches_with_row(&self, row: &[u32], j: usize) -> usize {
+        // Equal-length reslices so the compare loop is bounds-check-free
+        // and auto-vectorizes (`vpcmpeqd` over full vector width).
+        let a = &row[..self.k];
+        let b = &self.signature(j)[..self.k];
         let mut c = 0usize;
         for t in 0..self.k {
             c += usize::from(a[t] == b[t] && a[t] != EMPTY);
         }
         c
+    }
+
+    /// Multi-lane `|M_X ∩ M_Y|`: the pinned signature `row` against `L`
+    /// destination signatures — `out[l] == matches_with_row(row, js[l])`
+    /// exactly. Each lane is its own contiguous compare/count pass (the
+    /// `u32` equality loop auto-vectorizes to full-width `vpcmpeqd` per
+    /// destination; element-interleaving the lanes would defeat exactly
+    /// that), so the batching win is the source signature staying pinned
+    /// in L1 across the `L` vectorized passes.
+    #[inline]
+    pub fn matches_multi<const L: usize>(&self, row: &[u32], js: [usize; L]) -> [usize; L] {
+        debug_assert_eq!(row.len(), self.k);
+        let mut c = [0usize; L];
+        for l in 0..L {
+            c[l] = self.matches_with_row(row, js[l]);
+        }
+        c
+    }
+
+    /// Two-lane `|M_X ∩ M_Y|`: the pinned signature `row` against two
+    /// destination signatures in one sweep. On AVX-512 targets both
+    /// destinations are compared against each 16-slot source vector load
+    /// (`vpcmpeqd` → mask popcount), amortizing the source stream over
+    /// two lanes; elsewhere it is two vectorized scalar passes. Either
+    /// way each lane equals [`MinHashCollection::matches_with_row`].
+    #[inline]
+    pub fn matches_with_row_x2(&self, row: &[u32], j0: usize, j1: usize) -> (usize, usize) {
+        #[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+        {
+            debug_assert_eq!(row.len(), self.k);
+            let a = &row[..self.k];
+            let b0 = &self.signature(j0)[..self.k];
+            let b1 = &self.signature(j1)[..self.k];
+            // SAFETY: avx512f is a compile-time target feature here; all
+            // loads are explicit-unaligned or masked, and offsets stay
+            // inside the three equal-length slices above.
+            unsafe {
+                use std::arch::x86_64::*;
+                let empty = _mm512_set1_epi32(EMPTY as i32);
+                let (mut c0, mut c1) = (0usize, 0usize);
+                let mut t = 0;
+                while t + 16 <= self.k {
+                    let x = _mm512_loadu_si512(a.as_ptr().add(t) as *const _);
+                    let ne = _mm512_cmpneq_epi32_mask(x, empty);
+                    let y0 = _mm512_loadu_si512(b0.as_ptr().add(t) as *const _);
+                    let y1 = _mm512_loadu_si512(b1.as_ptr().add(t) as *const _);
+                    c0 += ((_mm512_cmpeq_epi32_mask(x, y0) & ne) as u32).count_ones() as usize;
+                    c1 += ((_mm512_cmpeq_epi32_mask(x, y1) & ne) as u32).count_ones() as usize;
+                    t += 16;
+                }
+                if t < self.k {
+                    // Masked tail: zeroed slots compare equal (0 == 0), so
+                    // the not-EMPTY mask is ANDed with the load mask to
+                    // discard them.
+                    let mask: __mmask16 = (1u16 << (self.k - t)) - 1;
+                    let x = _mm512_maskz_loadu_epi32(mask, a.as_ptr().add(t) as *const _);
+                    let ne = _mm512_cmpneq_epi32_mask(x, empty) & mask;
+                    let y0 = _mm512_maskz_loadu_epi32(mask, b0.as_ptr().add(t) as *const _);
+                    let y1 = _mm512_maskz_loadu_epi32(mask, b1.as_ptr().add(t) as *const _);
+                    c0 += ((_mm512_cmpeq_epi32_mask(x, y0) & ne) as u32).count_ones() as usize;
+                    c1 += ((_mm512_cmpeq_epi32_mask(x, y1) & ne) as u32).count_ones() as usize;
+                }
+                (c0, c1)
+            }
+        }
+        #[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
+        {
+            (
+                self.matches_with_row(row, j0),
+                self.matches_with_row(row, j1),
+            )
+        }
     }
 
     /// `Ĵ_kH` between sets `i` and `j`.
@@ -245,6 +328,26 @@ mod tests {
         let s0 = MinHashSignature::from_set(&sets[0], 24, 11);
         let s1 = MinHashSignature::from_set(&sets[1], 24, 11);
         assert_eq!(col.matches(0, 1), s0.matches(&s1));
+    }
+
+    #[test]
+    fn row_matching_paths_agree_with_pairwise() {
+        // k sweeps the 16-slot AVX tail boundary (and k < 16 entirely).
+        for k in [1usize, 7, 15, 16, 17, 24, 31, 32, 40] {
+            let sets: Vec<Vec<u32>> = (0..12)
+                .map(|s| (0..s * 13).map(|i| (i * 7 + s) as u32).collect())
+                .collect();
+            let col = MinHashCollection::build(sets.len(), k, 11, |i| &sets[i][..]);
+            for i in 0..sets.len() {
+                let row = col.signature(i);
+                for j in 0..sets.len() - 1 {
+                    assert_eq!(col.matches_with_row(row, j), col.matches(i, j), "k={k}");
+                    let (m0, m1) = col.matches_with_row_x2(row, j, j + 1);
+                    assert_eq!(m0, col.matches(i, j), "k={k} i={i} j={j}");
+                    assert_eq!(m1, col.matches(i, j + 1), "k={k} i={i} j={j}");
+                }
+            }
+        }
     }
 
     #[test]

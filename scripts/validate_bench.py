@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Schema + regression gates for BENCH_kernels.json (CI and local use).
+
+The speedup gates enforce ">= 1.0" with a 10% shared-runner noise floor:
+a real multi-lane or hoisted-dispatch regression sits well below 0.90
+persistently, while median-of-reps jitter on a noisy runner does not.
+The committed full-scale BENCH_kernels.json holds >= 1.0 everywhere.
+"""
+
+import json
+import sys
+
+path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernels.json"
+d = json.load(open(path))
+
+for key in ("workload", "sketch_params", "ns_per_edge", "fused_vs_naive", "row_batch", "dispatch"):
+    assert key in d, f"missing section: {key}"
+
+assert d["dispatch"], "dispatch section is empty"
+for name, e in d["dispatch"].items():
+    for field in ("per_edge_ns", "hoisted_ns", "speedup"):
+        assert isinstance(e.get(field), (int, float)), f"dispatch.{name}.{field}"
+    assert e["speedup"] >= 0.90, f"dispatch.{name} regressed: {e['speedup']}"
+
+for name in ("exact_merge", "bf_and_fused", "mh_khash", "mh_1hash", "kmv", "hll"):
+    assert name in d["ns_per_edge"], f"missing kernel: {name}"
+
+rb = d["row_batch"]
+for name in ("bf_and", "bf_limit", "bf_or", "khash", "kmv", "hll"):
+    e = rb.get(name)
+    assert e is not None, f"missing row_batch entry: {name}"
+    for field in ("scalar_row_ns", "multi_ns", "speedup"):
+        assert isinstance(e.get(field), (int, float)), f"row_batch.{name}.{field}"
+    assert e["speedup"] >= 0.90, f"row_batch.{name} multi-lane slower than scalar row: {e['speedup']}"
+
+print(f"{path} ok:", {k: round(v["speedup"], 3) for k, v in rb.items()})

@@ -72,6 +72,7 @@ fn non_exact_reps() -> Vec<(PgConfig, &'static str)> {
         (mk(Representation::KHash), "kH"),
         (mk(Representation::OneHash), "1H"),
         (mk(Representation::Kmv), "KMV"),
+        (mk(Representation::Hll), "HLL"),
     ]
 }
 
