@@ -14,6 +14,10 @@
 //! monomorphized oracle path (`ProbGraph::with_oracle` +
 //! `estimate_row` sweeps — the loop every algorithm kernel runs now),
 //! and the end-to-end triangle-count comparison reruns as a sanity check.
+//! A `streaming` section times the `MutableOracle` write path: ns per
+//! inserted oriented edge (batched and single-edge `apply_arcs`) against
+//! the full rebuild each update replaces, per representation, with the
+//! update-vs-rebuild ratio and the batch-size crossover point.
 //!
 //! Honors `PG_SCALE` (dataset down-scale, default 1 = full size) and
 //! `PG_REPS` (timing repetitions, default 5). Writes `BENCH_kernels.json`
@@ -513,6 +517,102 @@ fn main() {
         });
     }
 
+    // --- streaming: incremental updates vs full rebuild --------------------
+    // Per representation: the cost of absorbing new oriented edges in
+    // place (`ProbGraph::apply_arcs` on a streamed base — batched and as
+    // single-edge batches) against the cost of the full `build_dag`
+    // rebuild those updates replace. `update_vs_rebuild` is
+    // rebuild-time / single-edge-update-time (an incremental update must
+    // beat rebuilding, by orders of magnitude); `crossover_edges` is how
+    // many single-edge updates one rebuild buys — the batch size beyond
+    // which rebuilding from scratch becomes the cheaper response.
+    struct StreamingEntry {
+        name: &'static str,
+        ns_per_insert: f64,
+        single_insert_ns: f64,
+        rebuild_ns: f64,
+        update_vs_rebuild: f64,
+        crossover_edges: f64,
+    }
+    let mut streaming: Vec<StreamingEntry> = Vec::new();
+    {
+        let median = |mut ts: Vec<f64>| -> f64 {
+            ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            ts[ts.len() / 2]
+        };
+        // Hold out ~1 % of the oriented edges as the live stream.
+        let tail_len = (m / 100).clamp(1, 4096.min(m));
+        let (hist, tail) = edges.split_at(edges.len() - tail_len);
+        for (name, cfg) in [
+            ("bf2", PgConfig::new(Representation::Bloom { b: 2 }, 0.25)),
+            ("khash", PgConfig::new(Representation::KHash, 0.25)),
+            ("onehash", PgConfig::new(Representation::OneHash, 0.25)),
+            ("kmv", PgConfig::new(Representation::Kmv, 0.25)),
+            ("hll", PgConfig::new(Representation::Hll, 0.25)),
+        ] {
+            let t_rebuild = time_median(reps, || {
+                black_box(ProbGraph::build_dag(&dag, g.memory_bytes(), &cfg))
+            })
+            .seconds;
+            // The incremental base: streamed from the historical arcs, so
+            // the mutable layouts are already in place (the one-time
+            // bottom-k stride conversion happens here, not in the timed
+            // region — exactly how a live deployment would run).
+            let base = {
+                let mut p = ProbGraph::stream_from(n, g.memory_bytes(), &cfg, &[]);
+                p.apply_arcs(hist);
+                p
+            };
+            let t_batch = median(
+                (0..reps)
+                    .map(|_| {
+                        let mut p = base.clone();
+                        let t0 = Instant::now();
+                        p.apply_arcs(tail);
+                        let dt = t0.elapsed().as_secs_f64();
+                        black_box(&p);
+                        dt
+                    })
+                    .collect(),
+            );
+            let t_single = median(
+                (0..reps)
+                    .map(|_| {
+                        let mut p = base.clone();
+                        let t0 = Instant::now();
+                        for arc in tail {
+                            p.apply_arcs(std::slice::from_ref(arc));
+                        }
+                        let dt = t0.elapsed().as_secs_f64();
+                        black_box(&p);
+                        dt
+                    })
+                    .collect(),
+            );
+            let ns_per_insert = t_batch * 1e9 / tail_len as f64;
+            let single_insert_ns = t_single * 1e9 / tail_len as f64;
+            let rebuild_ns = t_rebuild * 1e9;
+            let update_vs_rebuild = rebuild_ns / single_insert_ns;
+            // Batched updates are the realistic steady state; one rebuild
+            // buys this many of them.
+            let crossover_edges = rebuild_ns / ns_per_insert;
+            println!(
+                "{:>22}: batched {ns_per_insert:8.1} ns/edge | single {single_insert_ns:8.1} ns/edge | \
+                 rebuild {:8.1} µs | update-vs-rebuild {update_vs_rebuild:.0}x",
+                format!("streaming_{name}"),
+                rebuild_ns / 1e3
+            );
+            streaming.push(StreamingEntry {
+                name,
+                ns_per_insert,
+                single_insert_ns,
+                rebuild_ns,
+                update_vs_rebuild,
+                crossover_edges,
+            });
+        }
+    }
+
     // --- machine-readable emission ---------------------------------------
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -556,6 +656,15 @@ fn main() {
             d.per_edge_ns,
             d.hoisted_ns,
             d.per_edge_ns / d.hoisted_ns
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"streaming\": {\n");
+    for (i, s) in streaming.iter().enumerate() {
+        let comma = if i + 1 == streaming.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{\"ns_per_insert\": {:.3}, \"single_insert_ns\": {:.3}, \"rebuild_ns\": {:.1}, \"update_vs_rebuild\": {:.3}, \"crossover_edges\": {:.1}}}{comma}\n",
+            s.name, s.ns_per_insert, s.single_insert_ns, s.rebuild_ns, s.update_vs_rebuild, s.crossover_edges
         ));
     }
     json.push_str("  }\n");

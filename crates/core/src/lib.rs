@@ -60,5 +60,5 @@ pub mod tc_estimator;
 pub mod workdepth;
 
 pub use accuracy::{relative_count, relative_error};
-pub use oracle::{ExactOracle, IntersectionOracle, OracleVisitor};
-pub use pg::{BfEstimator, PgConfig, ProbGraph, Representation, SketchStore};
+pub use oracle::{ExactOracle, IntersectionOracle, MutableOracle, OracleVisitor};
+pub use pg::{BfEstimator, Edge, PgConfig, ProbGraph, Representation, SketchStore};

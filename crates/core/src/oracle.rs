@@ -187,6 +187,126 @@ pub trait IntersectionOracle: Sync {
     }
 }
 
+/// The streaming extension of the oracle layer: in-place, insert-only
+/// sketch updates for evolving graphs (the ROADMAP's "dynamic / streaming
+/// sketches" item).
+///
+/// Where [`IntersectionOracle`] is the read path — borrowed views over
+/// built collections — `MutableOracle` is the write path, implemented
+/// directly by the owning sketch collections (and by
+/// [`crate::ProbGraph`], which also maintains the exact set sizes). Each
+/// representation absorbs an element in place:
+///
+/// * **Bloom** sets its `b` bits and bumps the cached popcount — filters
+///   are naturally insert-only;
+/// * **HLL** takes register-wise maxima — also naturally insert-only;
+/// * **k-hash MinHash** takes per-slot minima, recovering each slot's
+///   current best hash once per batch (the collection stores elements,
+///   not hashes);
+/// * **KMV and bottom-k** maintain a bounded max-heap behind their
+///   sorted-slice views — `O(log k)` per element — and re-sort once per
+///   batch, before the next row sweep reads the slices.
+///
+/// Every update is equivalent to a from-scratch rebuild over the extended
+/// set (bit-identical sketches for Bloom/k-hash/HLL, estimator-identical
+/// for KMV/bottom-k), which `tests/streaming_equivalence.rs` pins
+/// differentially. Callers must not insert an edge that is already
+/// present: sketches tolerate it (min/max/bit updates are idempotent,
+/// sample dedup collapses repeats), but recorded set sizes would inflate
+/// and diverge from a rebuild.
+pub trait MutableOracle {
+    /// Absorbs element `x` into the sketch of set `v`, in place.
+    fn insert_into(&mut self, v: VertexId, x: u32);
+
+    /// Batched per-set insert: absorbs all of `xs` into set `v`.
+    ///
+    /// Implementations hoist per-set state (the Bloom word window, the
+    /// recovered MinHash slot hashes, the bottom-k/KMV heap) once per
+    /// call, so callers should group updates by source vertex — exactly
+    /// what [`crate::ProbGraph::apply_batch`] does.
+    fn insert_into_many(&mut self, v: VertexId, xs: &[u32]) {
+        for &x in xs {
+            self.insert_into(v, x);
+        }
+    }
+
+    /// Inserts the undirected edge `{u, v}`: `v` into `N_u`'s sketch and
+    /// `u` into `N_v`'s.
+    fn insert_edge(&mut self, u: VertexId, v: VertexId) {
+        self.insert_into(u, v);
+        self.insert_into(v, u);
+    }
+
+    /// True when the representation supports removals. None of the five
+    /// current representations do: Bloom bits and HLL register maxima are
+    /// not invertible, and the MinHash/bottom-k/KMV samples evict without
+    /// remembering what they evicted. A counting Bloom filter (ROADMAP's
+    /// "more representations" item) would return true.
+    fn remove_supported(&self) -> bool {
+        false
+    }
+}
+
+impl MutableOracle for BloomCollection {
+    #[inline]
+    fn insert_into(&mut self, v: VertexId, x: u32) {
+        self.insert(v as usize, x);
+    }
+
+    #[inline]
+    fn insert_into_many(&mut self, v: VertexId, xs: &[u32]) {
+        self.insert_batch(v as usize, xs);
+    }
+}
+
+impl MutableOracle for MinHashCollection {
+    #[inline]
+    fn insert_into(&mut self, v: VertexId, x: u32) {
+        self.insert(v as usize, x);
+    }
+
+    #[inline]
+    fn insert_into_many(&mut self, v: VertexId, xs: &[u32]) {
+        self.insert_batch(v as usize, xs);
+    }
+}
+
+impl MutableOracle for BottomKCollection {
+    #[inline]
+    fn insert_into(&mut self, v: VertexId, x: u32) {
+        self.insert(v as usize, x);
+    }
+
+    #[inline]
+    fn insert_into_many(&mut self, v: VertexId, xs: &[u32]) {
+        self.insert_batch(v as usize, xs);
+    }
+}
+
+impl MutableOracle for KmvCollection {
+    #[inline]
+    fn insert_into(&mut self, v: VertexId, x: u32) {
+        self.insert(v as usize, x);
+    }
+
+    #[inline]
+    fn insert_into_many(&mut self, v: VertexId, xs: &[u32]) {
+        self.insert_batch(v as usize, xs);
+    }
+}
+
+impl MutableOracle for HyperLogLogCollection {
+    #[inline]
+    fn insert_into(&mut self, v: VertexId, x: u32) {
+        self.insert(v as usize, x);
+    }
+
+    #[inline]
+    fn insert_into_many(&mut self, v: VertexId, xs: &[u32]) {
+        self.insert_batch(v as usize, xs);
+    }
+}
+
 /// Rank-2 adapter for [`crate::ProbGraph::with_oracle`]: a closure cannot
 /// be generic over the oracle type, so callers implement this one-method
 /// trait instead (usually a tiny local struct capturing the kernel's other

@@ -9,7 +9,7 @@
 
 use crate::oracle::{
     BloomAnd, BloomLimit, BloomOr, BloomOracle, HllOracle, IntersectionOracle, KHashOracle,
-    KmvOracle, OneHashOracle, OracleVisitor,
+    KmvOracle, MutableOracle, OneHashOracle, OracleVisitor,
 };
 use pg_graph::{CsrGraph, OrientedDag, VertexId};
 use pg_sketch::{
@@ -84,6 +84,9 @@ impl PgConfig {
         self
     }
 }
+
+/// An undirected edge, as consumed by [`ProbGraph::apply_batch`].
+pub type Edge = (VertexId, VertexId);
 
 /// The per-set sketches backing a [`ProbGraph`].
 #[derive(Clone, Debug)]
@@ -299,6 +302,93 @@ impl ProbGraph {
         }
     }
 
+    /// Incremental builder for evolving graphs: empty sketches resolved
+    /// under exactly the same budget plan as [`ProbGraph::build`] (same
+    /// `base_bytes`, set count, and config ⇒ same sketch parameters),
+    /// then `edges` absorbed in place via [`ProbGraph::apply_batch`].
+    ///
+    /// `base_bytes` should be the CSR footprint the budget is measured
+    /// against — for a graph that will grow to a known working size, pass
+    /// that target footprint so the sketches are provisioned once. The
+    /// differential property suite (`tests/streaming_equivalence.rs`)
+    /// pins this path to [`ProbGraph::build`]: streaming any prefix and
+    /// applying the rest in batches yields bit-identical sketches for
+    /// Bloom/k-hash/HLL and estimator-identical ones for KMV/bottom-k.
+    pub fn stream_from(
+        n_vertices: usize,
+        base_bytes: usize,
+        cfg: &PgConfig,
+        edges: &[Edge],
+    ) -> ProbGraph {
+        let mut pg = Self::build_over(n_vertices, base_bytes, |_| &[][..], cfg);
+        pg.apply_batch(edges);
+        pg
+    }
+
+    /// Absorbs a batch of **new undirected edges** into the sketches in
+    /// place — no rebuild. Each `{u, v}` inserts `v` into `N_u`'s sketch
+    /// and `u` into `N_v`'s and bumps both recorded set sizes.
+    ///
+    /// Updates are grouped per source vertex before hitting the store, so
+    /// per-set state (Bloom word window, MinHash slot hashes, the
+    /// bottom-k/KMV bounded heap) is hoisted once per touched set and the
+    /// multi-lane row kernels remain the untouched read path. Edges must
+    /// not already be present (see [`MutableOracle`]); endpoints must lie
+    /// in `0..len()` — the vertex universe is fixed at construction.
+    pub fn apply_batch(&mut self, edges: &[Edge]) {
+        if let [(u, v)] = edges {
+            // Single-edge batches — the live-tick steady state — skip the
+            // sort/group machinery and its allocations entirely.
+            self.insert_edge(*u, *v);
+            return;
+        }
+        let mut updates = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            updates.push((u, v));
+            updates.push((v, u));
+        }
+        self.apply_updates(updates);
+    }
+
+    /// Directed form of [`ProbGraph::apply_batch`] for oriented sets
+    /// (DAG out-neighborhoods, [`ProbGraph::build_dag`]'s shape): each
+    /// arc `(v, u)` inserts `u` into set `v`'s sketch only. Use it with
+    /// sketches *seeded from arcs too* (`stream_from` with an empty edge
+    /// list, then `apply_arcs` for the history) — seeding through the
+    /// undirected [`ProbGraph::stream_from`] would put both endpoints in
+    /// every sketch and silently corrupt the `N⁺` sets.
+    pub fn apply_arcs(&mut self, arcs: &[Edge]) {
+        if let [(v, u)] = arcs {
+            self.insert_into(*v, *u);
+            return;
+        }
+        self.apply_updates(arcs.to_vec());
+    }
+
+    /// Shared update path: sort `(set, element)` pairs so each touched
+    /// set is one contiguous run, then one batched store insert per run.
+    fn apply_updates(&mut self, mut updates: Vec<(VertexId, u32)>) {
+        updates.sort_unstable();
+        let mut xs: Vec<u32> = Vec::new();
+        let mut i = 0;
+        while i < updates.len() {
+            let s = updates[i].0;
+            xs.clear();
+            while i < updates.len() && updates[i].0 == s {
+                xs.push(updates[i].1);
+                i += 1;
+            }
+            self.insert_into_many(s, &xs);
+        }
+    }
+
+    /// True when the stored representation supports edge removals (none
+    /// of the current five do; see [`MutableOracle::remove_supported`]).
+    #[inline]
+    pub fn remove_supported(&self) -> bool {
+        self.store.remove_supported()
+    }
+
     /// `|N_u ∩ N_v|̂` — the drop-in replacement for the exact intersection
     /// cardinality (the blue operations in the paper's listings).
     ///
@@ -343,6 +433,52 @@ impl ProbGraph {
             SketchStore::Hll(c) => c.memory_bytes(),
         };
         store + self.sizes.len() * 4
+    }
+}
+
+impl MutableOracle for SketchStore {
+    #[inline]
+    fn insert_into(&mut self, v: VertexId, x: u32) {
+        match self {
+            SketchStore::Bloom(c) => c.insert_into(v, x),
+            SketchStore::KHash(c) => c.insert_into(v, x),
+            SketchStore::OneHash(c) => c.insert_into(v, x),
+            SketchStore::Kmv(c) => c.insert_into(v, x),
+            SketchStore::Hll(c) => c.insert_into(v, x),
+        }
+    }
+
+    #[inline]
+    fn insert_into_many(&mut self, v: VertexId, xs: &[u32]) {
+        match self {
+            SketchStore::Bloom(c) => c.insert_into_many(v, xs),
+            SketchStore::KHash(c) => c.insert_into_many(v, xs),
+            SketchStore::OneHash(c) => c.insert_into_many(v, xs),
+            SketchStore::Kmv(c) => c.insert_into_many(v, xs),
+            SketchStore::Hll(c) => c.insert_into_many(v, xs),
+        }
+    }
+}
+
+/// The [`ProbGraph`]-level write path: updates the stored sketch **and**
+/// the recorded exact set size, keeping every size-consuming estimator
+/// (Eq. 5, OR, inclusion–exclusion) consistent with the mutation.
+impl MutableOracle for ProbGraph {
+    #[inline]
+    fn insert_into(&mut self, v: VertexId, x: u32) {
+        self.store.insert_into(v, x);
+        self.sizes[v as usize] += 1;
+    }
+
+    #[inline]
+    fn insert_into_many(&mut self, v: VertexId, xs: &[u32]) {
+        self.store.insert_into_many(v, xs);
+        self.sizes[v as usize] += xs.len() as u32;
+    }
+
+    #[inline]
+    fn remove_supported(&self) -> bool {
+        self.store.remove_supported()
     }
 }
 
@@ -465,6 +601,65 @@ mod tests {
         let b = ProbGraph::build(&g, &cfg);
         let (u, v) = g.edges().next().unwrap();
         assert_eq!(a.estimate_intersection(u, v), b.estimate_intersection(u, v));
+    }
+
+    #[test]
+    fn stream_from_matches_build_for_every_representation() {
+        let g = gen::erdos_renyi_gnm(80, 600, 11);
+        let edges = g.edge_list();
+        let split = edges.len() / 2;
+        for rep in all_reps() {
+            let cfg = PgConfig::new(rep, 0.3);
+            let full = ProbGraph::build(&g, &cfg);
+            let mut inc =
+                ProbGraph::stream_from(g.num_vertices(), g.memory_bytes(), &cfg, &edges[..split]);
+            inc.apply_batch(&edges[split..]);
+            assert_eq!(inc.params(), full.params(), "{rep:?}");
+            for v in 0..g.num_vertices() {
+                assert_eq!(inc.set_size(v), full.set_size(v), "{rep:?} v={v}");
+            }
+            for (u, v) in g.edges().take(300) {
+                assert_eq!(
+                    inc.estimate_intersection(u, v),
+                    full.estimate_intersection(u, v),
+                    "{rep:?} ({u},{v})"
+                );
+                assert_eq!(
+                    inc.estimate_jaccard(u, v),
+                    full.estimate_jaccard(u, v),
+                    "{rep:?} ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_edge_insert_updates_sketch_and_sizes() {
+        // A fresh edge between previously unconnected vertices must show
+        // up in sizes immediately and match the rebuilt graph exactly.
+        let edges: Vec<(u32, u32)> = vec![(0, 1), (0, 2), (1, 2), (3, 4)];
+        let g = pg_graph::CsrGraph::from_edges(6, &edges);
+        let mut with_new = edges.clone();
+        with_new.push((2, 3));
+        let g2 = pg_graph::CsrGraph::from_edges(6, &with_new);
+        for rep in all_reps() {
+            let cfg = PgConfig::new(rep, 1.0);
+            let mut pg = ProbGraph::stream_from(6, g.memory_bytes(), &cfg, &edges);
+            assert!(!pg.remove_supported(), "{rep:?}");
+            pg.insert_edge(2, 3);
+            let rebuilt =
+                ProbGraph::build_over(6, g.memory_bytes(), |v| g2.neighbors(v as u32), &cfg);
+            for v in 0..6u32 {
+                assert_eq!(pg.set_size(v as usize), g2.degree(v), "{rep:?} v={v}");
+                for u in 0..6u32 {
+                    assert_eq!(
+                        pg.estimate_intersection(v, u),
+                        rebuilt.estimate_intersection(v, u),
+                        "{rep:?} ({v},{u})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -306,6 +306,33 @@ impl BloomCollection {
         self.ones[i] as usize
     }
 
+    /// Inserts one item into filter `i` in place, maintaining the cached
+    /// popcount incrementally (each freshly set bit bumps it by one) —
+    /// Bloom filters are naturally insert-only, so a streamed edge costs
+    /// exactly `b` bucket probes, same as at build time.
+    #[inline]
+    pub fn insert(&mut self, i: usize, item: u32) {
+        self.insert_batch(i, std::slice::from_ref(&item));
+    }
+
+    /// Batched per-set insert: absorbs all of `xs` into filter `i` with
+    /// the word window and popcount delta hoisted out of the element loop
+    /// (the streaming hot path — updates arrive grouped by source vertex).
+    pub fn insert_batch(&mut self, i: usize, xs: &[u32]) {
+        let window = &mut self.data[i * self.words_per_set..(i + 1) * self.words_per_set];
+        let mut added = 0u32;
+        for &x in xs {
+            self.family
+                .for_each_bucket(x as u64, self.bits_per_set, |pos| {
+                    let w = &mut window[pos as usize / 64];
+                    let bit = 1u64 << (pos % 64);
+                    added += u32::from(*w & bit == 0);
+                    *w |= bit;
+                });
+        }
+        self.ones[i] += added;
+    }
+
     /// Membership query against filter `i` (buckets batched).
     pub fn contains(&self, i: usize, item: u32) -> bool {
         let w = self.words(i);
@@ -570,6 +597,32 @@ mod tests {
             BloomCollection::build(100, 512, 2, 9, |i| &sets[i][..])
         });
         assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn incremental_insert_matches_rebuild() {
+        let full: Vec<Vec<u32>> = (0..10)
+            .map(|s| (0..80 + s * 9).map(|i| (i * 19 + s) as u32).collect())
+            .collect();
+        let want = BloomCollection::build(full.len(), 768, 2, 13, |i| &full[i][..]);
+        // Seed with a prefix of each set, then stream the rest in place.
+        let mut got =
+            BloomCollection::build(full.len(), 768, 2, 13, |i| &full[i][..full[i].len() / 3]);
+        for (i, set) in full.iter().enumerate() {
+            let (head, tail) = set.split_at(set.len() / 3);
+            let _ = head;
+            got.insert_batch(i, tail);
+            assert_eq!(got.words(i), want.words(i), "set {i}");
+            assert_eq!(got.count_ones(i), want.count_ones(i), "set {i}");
+        }
+        // Single-element path agrees with the batch path.
+        let mut one = BloomCollection::build(1, 256, 3, 5, |_| &[][..]);
+        for x in [7u32, 8, 9] {
+            one.insert(0, x);
+        }
+        let rebuilt = BloomCollection::build(1, 256, 3, 5, |_| &[7u32, 8, 9][..]);
+        assert_eq!(one.words(0), rebuilt.words(0));
+        assert_eq!(one.count_ones(0), rebuilt.count_ones(0));
     }
 
     #[test]

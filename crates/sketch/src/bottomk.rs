@@ -16,6 +16,7 @@
 //! order so this union-merge costs `O(k)` (Table IV).
 
 use crate::estimators;
+use crate::heap::{sift_down, sift_up};
 use pg_hash::HashFamily;
 
 /// A bottom-k sketch of one set: the (up to) `k` elements with smallest
@@ -262,13 +263,37 @@ impl BottomK {
 
 /// All bottom-k sketches of a ProbGraph representation: one flat element
 /// array plus per-set offsets (sets smaller than `k` store fewer entries).
+///
+/// ## Streaming layout
+///
+/// The static build tight-packs samples (`offsets[i+1] − offsets[i]` is
+/// each sample's exact length). The first in-place insert converts the
+/// arrays once to a *strided* layout — every set owns a full capacity-`k`
+/// region with a live length in `lens` — because samples grow under
+/// insertion and tight packing would force an `O(total)` shift per
+/// element. `k` slots of 8 bytes per set is exactly what
+/// `BudgetPlan::onehash` charges (Table I's `W·k` bits), so the strided
+/// form stays inside the same storage budget the static form was planned
+/// under. Inside one [`BottomKCollection::insert_batch`] call the touched
+/// region is maintained as a bounded max-heap on the packed
+/// `(hash, element)` key (`O(log k)` per element instead of an `O(k)`
+/// sorted-insert shift) and re-sorted once at the end of the batch, so
+/// the sorted-slice views every merge-walk estimator reads stay valid
+/// between batches.
 #[derive(Clone, Debug)]
 pub struct BottomKCollection {
     elems: Vec<u32>,
     hashes: Vec<u32>,
     offsets: Vec<u32>,
+    /// Live sample length per set (`≤` region capacity).
+    lens: Vec<u32>,
     set_sizes: Vec<u32>,
     k: usize,
+    /// The single seeded hash function — kept after construction so
+    /// streamed elements can be keyed without re-deriving the family.
+    family: HashFamily,
+    /// True once every region has capacity `k` (streaming layout).
+    strided: bool,
 }
 
 impl BottomKCollection {
@@ -305,13 +330,139 @@ impl BottomKCollection {
         }
         let mut set_sizes = vec![0u32; n_sets];
         pg_parallel::parallel_fill_with(&mut set_sizes, |s| set(s).len() as u32);
+        let lens: Vec<u32> = offsets.windows(2).map(|w| w[1] - w[0]).collect();
+        let strided = total == n_sets * k;
         BottomKCollection {
             elems,
             hashes,
             offsets,
+            lens,
             set_sizes,
             k,
+            family,
+            strided,
         }
+    }
+
+    /// Converts the tight-packed arrays to the strided capacity-`k`
+    /// layout (see the type docs). Idempotent; called once, lazily, by
+    /// the first insert.
+    fn ensure_streaming_layout(&mut self) {
+        if self.strided {
+            return;
+        }
+        let (n, k) = (self.len(), self.k);
+        assert!(
+            n * k <= u32::MAX as usize,
+            "streaming sketch storage exceeds u32 offsets"
+        );
+        let mut elems = vec![0u32; n * k];
+        let mut hashes = vec![0u32; n * k];
+        let mut offsets = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            offsets.push((i * k) as u32);
+            let len = self.lens[i] as usize;
+            let src = self.offsets[i] as usize;
+            elems[i * k..i * k + len].copy_from_slice(&self.elems[src..src + len]);
+            hashes[i * k..i * k + len].copy_from_slice(&self.hashes[src..src + len]);
+        }
+        offsets.push((n * k) as u32);
+        self.elems = elems;
+        self.hashes = hashes;
+        self.offsets = offsets;
+        self.strided = true;
+    }
+
+    /// Inserts one element into sample `i` in place — the allocation-free
+    /// single-edge path: one hash, a linear scan for the insertion point,
+    /// and one in-region memmove (dropping the largest key at capacity).
+    /// Equivalent to [`BottomKCollection::insert_batch`] with a
+    /// one-element batch.
+    pub fn insert(&mut self, i: usize, x: u32) {
+        self.set_sizes[i] += 1;
+        self.ensure_streaming_layout();
+        let k = self.k;
+        let start = i * k;
+        let len = self.lens[i] as usize;
+        let h = self.family.hash32(0, x as u64);
+        let key = (h as u64) << 32 | x as u64;
+        let pos = (0..len)
+            .find(|&t| {
+                ((self.hashes[start + t] as u64) << 32 | self.elems[start + t] as u64) >= key
+            })
+            .unwrap_or(len);
+        if pos < len && self.hashes[start + pos] == h && self.elems[start + pos] == x {
+            return; // duplicate insert: collapsed, like the offline dedup
+        }
+        if len == k {
+            if pos == k {
+                return; // not among the k smallest
+            }
+            self.hashes
+                .copy_within(start + pos..start + k - 1, start + pos + 1);
+            self.elems
+                .copy_within(start + pos..start + k - 1, start + pos + 1);
+        } else {
+            self.hashes
+                .copy_within(start + pos..start + len, start + pos + 1);
+            self.elems
+                .copy_within(start + pos..start + len, start + pos + 1);
+            self.lens[i] += 1;
+        }
+        self.hashes[start + pos] = h;
+        self.elems[start + pos] = x;
+    }
+
+    /// Batched per-set insert: absorbs all of `xs` into sample `i`.
+    ///
+    /// The sample region is loaded once as a bounded max-heap of packed
+    /// `(hash, element)` keys (a descending-sorted array is already a
+    /// valid max-heap), each element costs one hash plus an `O(log k)`
+    /// heap step — push while below capacity, replace-root when the key
+    /// beats the current maximum — and the region is re-sorted once at
+    /// the end of the batch, restoring the ascending sorted-slice views
+    /// the merge-walk estimators read. The k smallest keys of a stream
+    /// are associative, so the result is exactly the sample a
+    /// from-scratch build over the extended set produces (callers must
+    /// not re-insert an element already in the set; a duplicate is
+    /// collapsed like the offline build's dedup, but only if it never
+    /// forced an eviction).
+    pub fn insert_batch(&mut self, i: usize, xs: &[u32]) {
+        if let [x] = xs {
+            // One element: the allocation-free sorted-insert path.
+            self.insert(i, *x);
+            return;
+        }
+        self.set_sizes[i] += xs.len() as u32;
+        if xs.is_empty() {
+            return;
+        }
+        self.ensure_streaming_layout();
+        let k = self.k;
+        let start = i * k;
+        let len = self.lens[i] as usize;
+        let mut heap: Vec<u64> = (start..start + len)
+            .map(|t| (self.hashes[t] as u64) << 32 | self.elems[t] as u64)
+            .collect();
+        heap.reverse();
+        for &x in xs {
+            let key = (self.family.hash32(0, x as u64) as u64) << 32 | x as u64;
+            if heap.len() < k {
+                heap.push(key);
+                let last = heap.len() - 1;
+                sift_up(&mut heap, last);
+            } else if key < heap[0] {
+                heap[0] = key;
+                sift_down(&mut heap, 0);
+            }
+        }
+        heap.sort_unstable();
+        heap.dedup();
+        for (t, &key) in heap.iter().enumerate() {
+            self.hashes[start + t] = (key >> 32) as u32;
+            self.elems[start + t] = key as u32;
+        }
+        self.lens[i] = heap.len() as u32;
     }
 
     /// Number of sketches.
@@ -335,13 +486,13 @@ impl BottomKCollection {
     /// The sample of set `i`, in ascending hash order.
     #[inline]
     pub fn sample(&self, i: usize) -> &[u32] {
-        &self.elems[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        &self.elems[self.offsets[i] as usize..][..self.lens[i] as usize]
     }
 
     /// The precomputed hashes of [`BottomKCollection::sample`], same order.
     #[inline]
     pub fn sample_hashes(&self, i: usize) -> &[u32] {
-        &self.hashes[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        &self.hashes[self.offsets[i] as usize..][..self.lens[i] as usize]
     }
 
     /// Exact input-set size recorded at build time.
@@ -466,11 +617,16 @@ impl BottomKCollection {
         estimators::mh_jaccard(matches, seen)
     }
 
-    /// Bytes of sketch storage (elements + hashes + offsets + sizes).
-    /// Table I charges `W·k` bits per set with `W = 64`, i.e. 8 bytes per
-    /// slot — exactly one element + one stored hash.
+    /// Bytes of sketch storage (elements + hashes + offsets + lengths +
+    /// sizes). Table I charges `W·k` bits per set with `W = 64`, i.e. 8
+    /// bytes per slot — exactly one element + one stored hash; in the
+    /// strided streaming layout every set holds its full `k` slots, which
+    /// is the same `W·k` the budget planned for.
     pub fn memory_bytes(&self) -> usize {
-        self.elems.len() * 8 + self.offsets.len() * 4 + self.set_sizes.len() * 4
+        self.elems.len() * 8
+            + self.offsets.len() * 4
+            + self.lens.len() * 4
+            + self.set_sizes.len() * 4
     }
 }
 
@@ -624,6 +780,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn incremental_insert_matches_rebuild() {
+        // Samples after streaming a suffix (lossless sets growing past k,
+        // already-sampled sets, empty prefixes) must equal a from-scratch
+        // build over the extended sets — sample, hashes, and set size.
+        let full: Vec<Vec<u32>> = (0..12)
+            .map(|s| (0..2 + s * 7).map(|i| (i * 13 + s) as u32).collect())
+            .collect();
+        let k = 10;
+        let want = BottomKCollection::build(full.len(), k, 23, |i| &full[i][..]);
+        let mut got =
+            BottomKCollection::build(full.len(), k, 23, |i| &full[i][..full[i].len() / 3]);
+        for (i, set) in full.iter().enumerate() {
+            got.insert_batch(i, &set[set.len() / 3..]);
+        }
+        for i in 0..full.len() {
+            assert_eq!(got.sample(i), want.sample(i), "set {i}");
+            assert_eq!(got.sample_hashes(i), want.sample_hashes(i), "set {i}");
+            assert_eq!(got.set_size(i), want.set_size(i), "set {i}");
+            for j in 0..full.len() {
+                assert_eq!(
+                    got.estimate_intersection(i, j),
+                    want.estimate_intersection(i, j),
+                    "({i},{j})"
+                );
+            }
+        }
+        // The strided layout charges exactly the planned k slots per set.
+        assert_eq!(got.memory_bytes(), full.len() * (k * 8 + 12) + 4);
+        // Single-element path agrees too.
+        let mut one = BottomKCollection::build(1, 4, 1, |_| &[][..]);
+        for x in [9u32, 2, 5, 7, 1, 8] {
+            one.insert(0, x);
+        }
+        let rebuilt = BottomKCollection::build(1, 4, 1, |_| &[9u32, 2, 5, 7, 1, 8][..]);
+        assert_eq!(one.sample(0), rebuilt.sample(0));
+        assert_eq!(one.set_size(0), rebuilt.set_size(0));
     }
 
     #[test]

@@ -82,11 +82,18 @@ impl BudgetPlan {
 
     /// 1-hash / bottom-k parameters: `k` = number of 8-byte slots (element +
     /// precomputed hash, i.e. Table I's `W·k` bits with `W = 64`), after
-    /// deducting the 8 bytes/set of collection bookkeeping (offset + exact
-    /// size) so sparse graphs stay inside the budget too.
+    /// deducting the 12 bytes/set of collection bookkeeping (offset + live
+    /// length + exact size) so sparse graphs stay inside the budget too.
+    ///
+    /// `k` is also the **streaming heap capacity**: the mutable bottom-k
+    /// layout gives every set a full capacity-`k` region (the bounded
+    /// max-heap inserts grow samples toward `k`), so the budget must — and
+    /// does — charge all `k · 8` bytes per set up front, whether or not a
+    /// static build fills them. `onehash_streaming_capacity_fits_budget`
+    /// asserts the invariant.
     pub fn onehash(&self) -> SketchParams {
         SketchParams::OneHash {
-            k: (self.bytes_per_set().saturating_sub(8) / 8).max(1),
+            k: (self.bytes_per_set().saturating_sub(12) / 8).max(1),
         }
     }
 
@@ -153,15 +160,47 @@ mod tests {
     fn onehash_has_half_the_slots_of_khash() {
         // k-hash signatures store one u32 per slot; bottom-k stores the
         // element plus its precomputed hash (Table I: W·k bits, W = 64),
-        // plus 8 bytes/set of bookkeeping.
+        // plus 12 bytes/set of bookkeeping.
         let p = BudgetPlan::new(8_000_000, 2000, 0.2);
         let (SketchParams::KHash { k: k1 }, SketchParams::OneHash { k: k2 }) =
             (p.khash(), p.onehash())
         else {
             panic!("wrong variants")
         };
-        assert_eq!(k2, (p.bytes_per_set() - 8) / 8);
+        assert_eq!(k2, (p.bytes_per_set() - 12) / 8);
         assert!(k1 / 2 >= k2 - 1 && k1 / 2 <= k2 + 2);
+    }
+
+    #[test]
+    fn onehash_streaming_capacity_fits_budget() {
+        // Mirrors `budget_scales_linearly`, for the streaming (strided)
+        // bottom-k layout: every set owns a full capacity-k region of
+        // 8-byte slots plus 12 bytes of bookkeeping (offset + live length
+        // + exact size), and that worst case must stay inside the per-set
+        // budget at every scale — the heap capacity is *planned*, not
+        // borrowed, memory.
+        for s in [0.05, 0.10, 0.25, 0.33, 1.0] {
+            let p = BudgetPlan::new(1_000_000, 1000, s);
+            let SketchParams::OneHash { k } = p.onehash() else {
+                panic!("wrong variant")
+            };
+            assert!(
+                k * 8 + 12 <= p.bytes_per_set().max(20),
+                "s={s}: streaming capacity {}B exceeds per-set budget {}B",
+                k * 8 + 12,
+                p.bytes_per_set()
+            );
+        }
+        // Capacity scales linearly with the budget, like the byte pool.
+        let SketchParams::OneHash { k: k10 } = BudgetPlan::new(1_000_000, 1000, 0.10).onehash()
+        else {
+            panic!("wrong variant")
+        };
+        let SketchParams::OneHash { k: k30 } = BudgetPlan::new(1_000_000, 1000, 0.30).onehash()
+        else {
+            panic!("wrong variant")
+        };
+        assert!(k30 >= 3 * k10 - 3 && k30 <= 3 * k10 + 3);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Bounded max-heap primitives shared by the streaming insert paths.
+//!
+//! Bottom-k keeps packed `(hash, element)` `u64` keys, KMV keeps
+//! unit-interval `f64` hashes; both maintain "the k smallest values seen"
+//! with the eviction candidate (the current maximum) at the heap root, so
+//! one generic sift pair serves both. Comparisons must be total over the
+//! stored values — integer keys trivially, KMV's hashes because they are
+//! always finite.
+
+/// Max-heap sift-up of the element at index `i` (after a push).
+pub(crate) fn sift_up<T: Copy + PartialOrd>(heap: &mut [T], mut i: usize) {
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if heap[i] <= heap[parent] {
+            break;
+        }
+        heap.swap(i, parent);
+        i = parent;
+    }
+}
+
+/// Max-heap sift-down from index `i` (after a replace-root eviction).
+pub(crate) fn sift_down<T: Copy + PartialOrd>(heap: &mut [T], mut i: usize) {
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut largest = i;
+        if l < heap.len() && heap[l] > heap[largest] {
+            largest = l;
+        }
+        if r < heap.len() && heap[r] > heap[largest] {
+            largest = r;
+        }
+        if largest == i {
+            break;
+        }
+        heap.swap(i, largest);
+        i = largest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_heap_keeps_k_smallest() {
+        // Push-or-evict through the sifts must retain exactly the k
+        // smallest values, for both key types the streaming paths use.
+        let xs: Vec<u64> = (0..100).map(|i| (i * 7919 + 13) % 101).collect();
+        let k = 8;
+        let mut heap: Vec<u64> = Vec::new();
+        for &x in &xs {
+            if heap.len() < k {
+                heap.push(x);
+                let last = heap.len() - 1;
+                sift_up(&mut heap, last);
+            } else if x < heap[0] {
+                heap[0] = x;
+                sift_down(&mut heap, 0);
+            }
+        }
+        heap.sort_unstable();
+        // 7919 is coprime to 101, so the residues are distinct and the k
+        // smallest are well defined.
+        let mut want = xs.clone();
+        want.sort_unstable();
+        assert_eq!(heap, want[..k].to_vec());
+    }
+}

@@ -169,6 +169,9 @@ pub struct HyperLogLogCollection {
     registers: Vec<u8>,
     precision: u8,
     seed: u64,
+    /// The seeded hash function — kept after construction so streamed
+    /// elements can be absorbed in place (register max updates).
+    family: HashFamily,
 }
 
 impl HyperLogLogCollection {
@@ -208,6 +211,29 @@ impl HyperLogLogCollection {
             registers,
             precision,
             seed,
+            family: HashFamily::new(1, seed),
+        }
+    }
+
+    /// Inserts one item into sketch `i` in place. HLL registers are
+    /// monotone maxima, so insertion is naturally incremental and the
+    /// result is bit-identical to rebuilding over the extended set.
+    #[inline]
+    pub fn insert(&mut self, i: usize, x: u32) {
+        self.insert_batch(i, std::slice::from_ref(&x));
+    }
+
+    /// Batched per-set insert: absorbs all of `xs` into sketch `i` with
+    /// the register window hoisted out of the element loop.
+    pub fn insert_batch(&mut self, i: usize, xs: &[u32]) {
+        let m = 1usize << self.precision;
+        let p = self.precision as u32;
+        let window = &mut self.registers[i * m..(i + 1) * m];
+        for &x in xs {
+            let (idx, rank) = split_hash(self.family.hash64(0, x as u64), p);
+            if rank > window[idx] {
+                window[idx] = rank;
+            }
         }
     }
 
@@ -429,6 +455,27 @@ mod tests {
         let col = HyperLogLogCollection::build(1, 8, 1, |i| &sets[i][..]);
         assert!(col.estimate_size(0) < 1e-9);
         assert_eq!(col.estimate_intersection(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn incremental_insert_matches_rebuild() {
+        let full: Vec<Vec<u32>> = (0..8)
+            .map(|s| (0..100 + s * 30).map(|i| (i * 13 + s) as u32).collect())
+            .collect();
+        let want = HyperLogLogCollection::build(full.len(), 8, 17, |i| &full[i][..]);
+        let mut got =
+            HyperLogLogCollection::build(full.len(), 8, 17, |i| &full[i][..full[i].len() / 2]);
+        for (i, set) in full.iter().enumerate() {
+            got.insert_batch(i, &set[set.len() / 2..]);
+            assert_eq!(got.registers(i), want.registers(i), "set {i}");
+        }
+        // Single-element path agrees too.
+        let mut one = HyperLogLogCollection::build(1, 6, 3, |_| &[][..]);
+        for x in [11u32, 4, 900] {
+            one.insert(0, x);
+        }
+        let rebuilt = HyperLogLogCollection::build(1, 6, 3, |_| &[11u32, 4, 900][..]);
+        assert_eq!(one.registers(0), rebuilt.registers(0));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! these estimators are Prop. A.7–A.9.
 
 use crate::estimators;
+use crate::heap::{sift_down, sift_up};
 use pg_hash::HashFamily;
 
 /// A KMV sketch: up to `k` smallest unit-interval hashes, ascending.
@@ -199,6 +200,37 @@ impl KmvSketch {
         let u = self.estimate_union_size(other);
         estimators::kmv_intersection(self.set_size, other.set_size, u).max(0.0)
     }
+
+    /// Absorbs pre-hashed values into the sketch in place; `items` is how
+    /// many input elements they came from (`set_size` bookkeeping).
+    ///
+    /// The stored ascending list is reversed into a bounded max-heap
+    /// (descending order is already heap order), each hash costs an
+    /// `O(log k)` push / replace-root step, and one final sort restores
+    /// the ascending view — so a batch of inserts pays one sort, not one
+    /// memmove per element. Keeping the k smallest values of a stream is
+    /// associative, hence the result equals a from-scratch build over the
+    /// extended set (callers must not re-insert elements already in the
+    /// set; an exact duplicate hash is collapsed like the offline build's
+    /// dedup, but only if it never forced an eviction).
+    pub fn absorb<I: IntoIterator<Item = f64>>(&mut self, hs: I, items: usize) {
+        self.set_size = self.set_size.saturating_add(items);
+        let k = self.k;
+        self.hashes.reverse();
+        for h in hs {
+            if self.hashes.len() < k {
+                self.hashes.push(h);
+                let last = self.hashes.len() - 1;
+                sift_up(&mut self.hashes, last);
+            } else if h < self.hashes[0] {
+                self.hashes[0] = h;
+                sift_down(&mut self.hashes, 0);
+            }
+        }
+        self.hashes
+            .sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        self.hashes.dedup();
+    }
 }
 
 /// Uncapped merge walk counting hashes present in both ascending lists.
@@ -310,6 +342,9 @@ fn union_match_walk_x2(
 #[derive(Clone, Debug)]
 pub struct KmvCollection {
     sketches: Vec<KmvSketch>,
+    /// The single seeded hash function — kept after construction so
+    /// streamed elements can be hashed for in-place absorption.
+    family: HashFamily,
 }
 
 impl KmvCollection {
@@ -319,7 +354,23 @@ impl KmvCollection {
         F: Fn(usize) -> &'a [u32] + Sync,
     {
         let sketches = pg_parallel::parallel_init(n_sets, |s| KmvSketch::from_set(set(s), k, seed));
-        KmvCollection { sketches }
+        KmvCollection {
+            sketches,
+            family: HashFamily::new(1, seed),
+        }
+    }
+
+    /// Inserts one element into sketch `i` in place.
+    #[inline]
+    pub fn insert(&mut self, i: usize, x: u32) {
+        self.insert_batch(i, std::slice::from_ref(&x));
+    }
+
+    /// Batched per-set insert: hashes `xs` and absorbs them into sketch
+    /// `i` through one bounded-heap pass ([`KmvSketch::absorb`]).
+    pub fn insert_batch(&mut self, i: usize, xs: &[u32]) {
+        let family = &self.family;
+        self.sketches[i].absorb(xs.iter().map(|&x| family.unit(0, x as u64)), xs.len());
     }
 
     /// Number of sketches.
@@ -491,6 +542,38 @@ mod tests {
     fn empty_set_estimates_zero() {
         let e = KmvSketch::from_set(&[], 16, 1);
         assert_eq!(e.estimate_size(), 0.0);
+    }
+
+    #[test]
+    fn incremental_insert_matches_rebuild() {
+        // Stored hash lists (and hence every estimate) after streaming a
+        // suffix must equal a from-scratch build over the extended sets.
+        let full: Vec<Vec<u32>> = (0..10)
+            .map(|s| (0..5 + s * 17).map(|i| (i * 7 + s) as u32).collect())
+            .collect();
+        let k = 16;
+        let want = KmvCollection::build(full.len(), k, 31, |i| &full[i][..]);
+        let mut got = KmvCollection::build(full.len(), k, 31, |i| &full[i][..full[i].len() / 3]);
+        for (i, set) in full.iter().enumerate() {
+            got.insert_batch(i, &set[set.len() / 3..]);
+        }
+        for i in 0..full.len() {
+            assert_eq!(got.sketch(i), want.sketch(i), "set {i}");
+            for j in 0..full.len() {
+                assert_eq!(
+                    got.estimate_intersection(i, j),
+                    want.estimate_intersection(i, j),
+                    "({i},{j})"
+                );
+            }
+        }
+        // Single-element path agrees too.
+        let mut one = KmvCollection::build(1, 4, 2, |_| &[][..]);
+        for x in [3u32, 14, 15, 9, 26, 5] {
+            one.insert(0, x);
+        }
+        let rebuilt = KmvCollection::build(1, 4, 2, |_| &[3u32, 14, 15, 9, 26, 5][..]);
+        assert_eq!(one.sketch(0), rebuilt.sketch(0));
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod bloom;
 pub mod bottomk;
 pub mod budget;
 pub mod estimators;
+mod heap;
 pub mod hyperloglog;
 pub mod kmv;
 pub mod minhash;

@@ -84,6 +84,9 @@ impl MinHashSignature {
 pub struct MinHashCollection {
     sigs: Vec<u32>,
     k: usize,
+    /// The k seeded hash functions — kept after construction so streamed
+    /// elements can be absorbed in place (per-slot min updates).
+    family: HashFamily,
 }
 
 impl MinHashCollection {
@@ -120,7 +123,73 @@ impl MinHashCollection {
                 }
             });
         }
-        MinHashCollection { sigs, k }
+        MinHashCollection { sigs, k, family }
+    }
+
+    /// Inserts one item into signature `i` in place (per-slot min with the
+    /// same `(hash, element)` tie-break as construction, so the result is
+    /// bit-identical to rebuilding the signature from the extended set).
+    /// Allocation-free: per slot, one scalar hash of `x` and — only when
+    /// needed for the comparison — one recomputed hash of the stored min.
+    pub fn insert(&mut self, i: usize, x: u32) {
+        let k = self.k;
+        let window = &mut self.sigs[i * k..(i + 1) * k];
+        for (t, slot) in window.iter_mut().enumerate() {
+            let h = self.family.hash32(t, x as u64);
+            let e = *slot;
+            let best = if e == EMPTY {
+                u32::MAX
+            } else {
+                self.family.hash32(t, e as u64)
+            };
+            if h < best || (h == best && x < e) {
+                *slot = x;
+            }
+        }
+    }
+
+    /// Batched per-set insert: absorbs all of `xs` into signature `i`.
+    ///
+    /// The collection stores only the minimizing *elements* (Table I
+    /// memory), not their hashes, so the per-slot best hashes are
+    /// recovered once per batch — `k` scalar hashes — and then maintained
+    /// across the whole run of `xs`; each element costs one batched
+    /// `hashes_into` plus `k` compares, exactly the construction loop.
+    pub fn insert_batch(&mut self, i: usize, xs: &[u32]) {
+        if let [x] = xs {
+            // One element: the allocation-free scalar path (hash32 is
+            // bit-identical to the batched hashes_into).
+            self.insert(i, *x);
+            return;
+        }
+        if xs.is_empty() {
+            return;
+        }
+        let k = self.k;
+        let window = &mut self.sigs[i * k..(i + 1) * k];
+        let mut best: Vec<u32> = window
+            .iter()
+            .enumerate()
+            .map(|(t, &e)| {
+                if e == EMPTY {
+                    // Empty slot: construction's initial `best` sentinel.
+                    u32::MAX
+                } else {
+                    self.family.hash32(t, e as u64)
+                }
+            })
+            .collect();
+        let mut hashes = vec![0u32; k];
+        for &x in xs {
+            self.family.hashes_into(x as u64, &mut hashes);
+            for t in 0..k {
+                let h = hashes[t];
+                if h < best[t] || (h == best[t] && x < window[t]) {
+                    best[t] = h;
+                    window[t] = x;
+                }
+            }
+        }
     }
 
     /// Number of signatures.
@@ -348,6 +417,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn incremental_insert_matches_rebuild() {
+        // Signatures after streaming a suffix must be bit-identical to a
+        // from-scratch build over the extended sets, including empty
+        // prefixes (EMPTY-slot handling) and the k unroll tails.
+        for k in [1usize, 7, 16, 24] {
+            let full: Vec<Vec<u32>> = (0..8)
+                .map(|s| (0..30 + s * 13).map(|i| (i * 11 + s) as u32).collect())
+                .collect();
+            let want = MinHashCollection::build(full.len(), k, 19, |i| &full[i][..]);
+            let mut got =
+                MinHashCollection::build(full.len(), k, 19, |i| &full[i][..full[i].len() / 4]);
+            for (i, set) in full.iter().enumerate() {
+                got.insert_batch(i, &set[set.len() / 4..]);
+                assert_eq!(got.signature(i), want.signature(i), "k={k} set {i}");
+            }
+        }
+        // Single-element path agrees too.
+        let mut one = MinHashCollection::build(1, 8, 3, |_| &[][..]);
+        for x in [42u32, 7, 99] {
+            one.insert(0, x);
+        }
+        let rebuilt = MinHashCollection::build(1, 8, 3, |_| &[42u32, 7, 99][..]);
+        assert_eq!(one.signature(0), rebuilt.signature(0));
     }
 
     #[test]

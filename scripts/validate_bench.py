@@ -13,7 +13,8 @@ import sys
 path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernels.json"
 d = json.load(open(path))
 
-for key in ("workload", "sketch_params", "ns_per_edge", "fused_vs_naive", "row_batch", "dispatch"):
+for key in ("workload", "sketch_params", "ns_per_edge", "fused_vs_naive", "row_batch", "dispatch",
+            "streaming"):
     assert key in d, f"missing section: {key}"
 
 assert d["dispatch"], "dispatch section is empty"
@@ -33,4 +34,21 @@ for name in ("bf_and", "bf_limit", "bf_or", "khash", "kmv", "hll"):
         assert isinstance(e.get(field), (int, float)), f"row_batch.{name}.{field}"
     assert e["speedup"] >= 0.90, f"row_batch.{name} multi-lane slower than scalar row: {e['speedup']}"
 
-print(f"{path} ok:", {k: round(v["speedup"], 3) for k, v in rb.items()})
+st = d["streaming"]
+for name in ("bf2", "khash", "onehash", "kmv", "hll"):
+    e = st.get(name)
+    assert e is not None, f"missing streaming entry: {name}"
+    for field in ("ns_per_insert", "single_insert_ns", "rebuild_ns", "update_vs_rebuild",
+                  "crossover_edges"):
+        assert isinstance(e.get(field), (int, float)), f"streaming.{name}.{field}"
+        assert e[field] > 0, f"streaming.{name}.{field} must be positive"
+    # Gate update-vs-rebuild at >= 1.0 with the shared 10% noise floor: a
+    # single-edge in-place update that fails to beat a full sketch rebuild
+    # means the incremental path has rotted (real ratios sit in the
+    # thousands, so 0.90 only filters runner jitter, not regressions).
+    assert e["update_vs_rebuild"] >= 0.90, \
+        f"streaming.{name} update no faster than rebuild: {e['update_vs_rebuild']}"
+
+print(f"{path} ok:", {k: round(v["speedup"], 3) for k, v in rb.items()},
+      "| streaming update-vs-rebuild:",
+      {k: round(v["update_vs_rebuild"]) for k, v in st.items()})

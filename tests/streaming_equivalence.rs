@@ -1,0 +1,286 @@
+//! Differential harness for the streaming `MutableOracle` path: every
+//! in-place incremental update must be indistinguishable from a
+//! from-scratch rebuild.
+//!
+//! For random edge-stream prefixes (proptest-generated graphs and split
+//! points):
+//!
+//! * **bit-identical sketches** for the naturally-mergeable
+//!   representations — Bloom word windows + cached popcounts, k-hash
+//!   signature slots, HLL register windows;
+//! * **estimator-identical outputs** for the sample-based ones — KMV and
+//!   bottom-k `estimate` / `estimate_row_into` agree exactly after the
+//!   lazy re-sort restores their sorted-slice views;
+//! * **algorithm-identical results** — triangle counting and
+//!   Jarvis–Patrick clustering through `with_oracle` agree between the
+//!   two build paths;
+//! * the `estimate_row_into` buffer-reuse contract holds **across a
+//!   mutation**: a warm row buffer is truncated, never reallocated, and
+//!   every slot is overwritten after an `insert_edge`.
+
+use probgraph::algorithms::{clustering, triangles};
+use probgraph::oracle::{IntersectionOracle, MutableOracle, OracleVisitor};
+use probgraph::{BfEstimator, PgConfig, ProbGraph, Representation, SketchStore};
+use proptest::prelude::*;
+
+/// The configurations under differential test: every representation, and
+/// every Bloom estimator variant (the estimator tail reads the mutated
+/// sizes, so all three must stay consistent).
+fn all_cfgs() -> Vec<(PgConfig, &'static str)> {
+    let mk = |r| PgConfig::new(r, 0.3).with_seed(0xD1FF);
+    vec![
+        (mk(Representation::Bloom { b: 1 }), "BF1"),
+        (mk(Representation::Bloom { b: 2 }), "BF2"),
+        (
+            mk(Representation::Bloom { b: 2 }).with_bf_estimator(BfEstimator::Limit),
+            "BF2-L",
+        ),
+        (
+            mk(Representation::Bloom { b: 2 }).with_bf_estimator(BfEstimator::Or),
+            "BF2-OR",
+        ),
+        (mk(Representation::KHash), "kH"),
+        (mk(Representation::OneHash), "1H"),
+        (mk(Representation::Kmv), "KMV"),
+        (mk(Representation::Hll), "HLL"),
+    ]
+}
+
+/// Streams `edges[..split]`, applies the rest in two uneven batches (the
+/// second of size 1 when possible, so the single-edge path is always
+/// exercised), and returns the incrementally-built ProbGraph.
+fn stream_in_batches(
+    n: usize,
+    base_bytes: usize,
+    cfg: &PgConfig,
+    edges: &[(u32, u32)],
+    split: usize,
+) -> ProbGraph {
+    let mut pg = ProbGraph::stream_from(n, base_bytes, cfg, &edges[..split]);
+    let rest = &edges[split..];
+    if let Some((last, bulk)) = rest.split_last() {
+        pg.apply_batch(bulk);
+        pg.insert_edge(last.0, last.1);
+    }
+    pg
+}
+
+/// Bit-identical sketch comparison for Bloom/k-hash/HLL; the sample-based
+/// stores (KMV, bottom-k) are pinned through their estimators instead.
+fn assert_stores_bit_identical(inc: &ProbGraph, full: &ProbGraph, label: &str) {
+    match (inc.store(), full.store()) {
+        (SketchStore::Bloom(a), SketchStore::Bloom(b)) => {
+            for i in 0..full.len() {
+                assert_eq!(a.words(i), b.words(i), "{label}: words of set {i}");
+                assert_eq!(
+                    a.count_ones(i),
+                    b.count_ones(i),
+                    "{label}: cached popcount of set {i}"
+                );
+            }
+        }
+        (SketchStore::KHash(a), SketchStore::KHash(b)) => {
+            for i in 0..full.len() {
+                assert_eq!(a.signature(i), b.signature(i), "{label}: signature {i}");
+            }
+        }
+        (SketchStore::Hll(a), SketchStore::Hll(b)) => {
+            for i in 0..full.len() {
+                assert_eq!(a.registers(i), b.registers(i), "{label}: registers {i}");
+            }
+        }
+        (SketchStore::OneHash(_), SketchStore::OneHash(_))
+        | (SketchStore::Kmv(_), SketchStore::Kmv(_)) => {}
+        _ => panic!("{label}: build paths resolved different representations"),
+    }
+}
+
+/// Row-sweep visitor: estimates every vertex's row against all vertices
+/// through the batched `estimate_row` path into one reused buffer.
+struct AllRows<'a> {
+    us: &'a [u32],
+}
+
+impl OracleVisitor for AllRows<'_> {
+    type Output = Vec<f64>;
+    fn visit<O: IntersectionOracle>(self, o: &O) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut row = Vec::new();
+        for &v in self.us {
+            o.estimate_row(v, self.us, &mut row);
+            out.extend_from_slice(&row);
+        }
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tentpole differential property: incremental build == rebuild, for
+    /// every representation, at a random stream prefix.
+    #[test]
+    fn incremental_build_matches_rebuild(
+        n in 12usize..48,
+        density in 2usize..8,
+        seed in 0u64..500,
+        split_pct in 0usize..101,
+    ) {
+        let m = (n * density).min(n * (n - 1) / 2);
+        let g = pg_graph::gen::erdos_renyi_gnm(n, m, seed);
+        let edges = g.edge_list();
+        let split = edges.len() * split_pct / 100;
+        let us: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        for (cfg, label) in all_cfgs() {
+            let full = ProbGraph::build(&g, &cfg);
+            let inc = stream_in_batches(g.num_vertices(), g.memory_bytes(), &cfg, &edges, split);
+            prop_assert!(inc.params() == full.params(), "{}: params differ", label);
+            for v in 0..g.num_vertices() {
+                prop_assert!(
+                    inc.set_size(v) == full.set_size(v),
+                    "{}: size of {} differs", label, v
+                );
+            }
+            assert_stores_bit_identical(&inc, &full, label);
+            // Estimator equivalence: pairwise and batched row paths.
+            for &(u, v) in &edges {
+                prop_assert!(
+                    inc.estimate_intersection(u, v) == full.estimate_intersection(u, v),
+                    "{}: estimate ({},{}) differs", label, u, v
+                );
+                prop_assert!(
+                    inc.estimate_jaccard(u, v) == full.estimate_jaccard(u, v),
+                    "{}: jaccard ({},{}) differs", label, u, v
+                );
+            }
+            let rows_inc = inc.with_oracle(AllRows { us: &us });
+            let rows_full = full.with_oracle(AllRows { us: &us });
+            prop_assert!(rows_inc == rows_full, "{}: estimate_row_into sweep differs", label);
+        }
+    }
+
+    /// Algorithms through `with_oracle` agree between the build paths:
+    /// triangle counting over incrementally-streamed DAG sets, and
+    /// Jarvis–Patrick clustering over streamed full neighborhoods.
+    #[test]
+    fn algorithms_agree_between_build_paths(
+        n in 16usize..40,
+        density in 3usize..9,
+        seed in 0u64..500,
+        split_pct in 0usize..101,
+    ) {
+        let m = (n * density).min(n * (n - 1) / 2);
+        let g = pg_graph::gen::erdos_renyi_gnm(n, m, seed);
+        let dag = pg_graph::orient_by_degree(&g);
+        let arcs: Vec<(u32, u32)> = (0..dag.num_vertices() as u32)
+            .flat_map(|v| dag.neighbors_plus(v).iter().map(move |&u| (v, u)))
+            .collect();
+        let split = arcs.len() * split_pct / 100;
+        let edges = g.edge_list();
+        let esplit = edges.len() * split_pct / 100;
+        for (cfg, label) in all_cfgs() {
+            // Oriented sets: stream the DAG arcs in two chunks.
+            let full_dag = ProbGraph::build_dag(&dag, g.memory_bytes(), &cfg);
+            let mut inc_dag =
+                ProbGraph::stream_from(dag.num_vertices(), g.memory_bytes(), &cfg, &[]);
+            inc_dag.apply_arcs(&arcs[..split]);
+            inc_dag.apply_arcs(&arcs[split..]);
+            // f64 reductions combine in an unspecified order under the
+            // parallel runtime, so compare serial runs exactly.
+            let (tc_full, tc_inc) = pg_parallel::with_threads(1, || {
+                (
+                    triangles::count_approx_on_dag(&dag, &full_dag),
+                    triangles::count_approx_on_dag(&dag, &inc_dag),
+                )
+            });
+            prop_assert!(tc_full == tc_inc, "{}: triangle count differs", label);
+            // Full neighborhoods: clustering decisions are per-edge bools,
+            // deterministic under any schedule.
+            let full = ProbGraph::build(&g, &cfg);
+            let inc = stream_in_batches(g.num_vertices(), g.memory_bytes(), &cfg, &edges, esplit);
+            let c_full = clustering::jarvis_patrick_pg(
+                &g, &full, clustering::SimilarityKind::Jaccard, 0.2,
+            );
+            let c_inc = clustering::jarvis_patrick_pg(
+                &g, &inc, clustering::SimilarityKind::Jaccard, 0.2,
+            );
+            prop_assert!(c_full.selected == c_inc.selected, "{}: selected edges differ", label);
+            prop_assert!(
+                c_full.num_clusters == c_inc.num_clusters,
+                "{}: cluster count differs", label
+            );
+        }
+    }
+}
+
+/// The `estimate_row_into` reuse contract across a mutation: a row sweep
+/// warms the buffer, an `insert_edge` mutates the sketches, and the next
+/// sweep over a *narrower* row must truncate the warm buffer in place —
+/// no reallocation, no stale slots — while reflecting the new edge.
+#[test]
+fn row_buffer_reuse_contract_survives_mutation() {
+    let g = pg_graph::gen::erdos_renyi_gnm(60, 400, 3);
+    let edges = g.edge_list();
+    let wide: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    // A fresh edge between the two lowest-degree vertices not yet joined.
+    let (a, b) = (0..g.num_vertices() as u32)
+        .flat_map(|u| ((u + 1)..g.num_vertices() as u32).map(move |v| (u, v)))
+        .find(|&(u, v)| !g.has_edge(u, v))
+        .expect("graph is not complete");
+    for (cfg, label) in all_cfgs() {
+        let mut pg = ProbGraph::stream_from(g.num_vertices(), g.memory_bytes(), &cfg, &edges);
+        struct Sweep<'a> {
+            us: &'a [u32],
+            buf: &'a mut Vec<f64>,
+            v: u32,
+        }
+        impl OracleVisitor for Sweep<'_> {
+            type Output = ();
+            fn visit<O: IntersectionOracle>(self, o: &O) {
+                o.estimate_row(self.v, self.us, self.buf);
+            }
+        }
+        let mut buf = Vec::new();
+        // 1. Wide sweep warms the buffer to n slots.
+        pg.with_oracle(Sweep {
+            us: &wide,
+            buf: &mut buf,
+            v: a,
+        });
+        assert_eq!(buf.len(), wide.len(), "{label}: warm width");
+        let warm_ptr = buf.as_ptr();
+        let warm_cap = buf.capacity();
+        // 2. Mutate: sketches and sizes change underneath the buffer.
+        pg.insert_edge(a, b);
+        // 3. Narrow sweep after the mutation reuses the same allocation.
+        let narrow = &wide[..wide.len() / 2];
+        pg.with_oracle(Sweep {
+            us: narrow,
+            buf: &mut buf,
+            v: a,
+        });
+        assert_eq!(buf.len(), narrow.len(), "{label}: truncated width");
+        assert!(
+            std::ptr::eq(warm_ptr, buf.as_ptr()) && buf.capacity() == warm_cap,
+            "{label}: warm row buffer was reallocated across a mutation"
+        );
+        // Every surviving slot was overwritten with post-mutation values:
+        // compare against a rebuild of the mutated graph.
+        let mut with_new = edges.clone();
+        with_new.push((a.min(b), a.max(b)));
+        let g2 = pg_graph::CsrGraph::from_edges(g.num_vertices(), &with_new);
+        let rebuilt = ProbGraph::build_over(
+            g.num_vertices(),
+            g.memory_bytes(),
+            |v| g2.neighbors(v as u32),
+            &cfg,
+        );
+        for (t, &u) in narrow.iter().enumerate() {
+            assert_eq!(
+                buf[t],
+                rebuilt.estimate_intersection(a, u),
+                "{label}: stale slot {t} after mutation"
+            );
+        }
+    }
+}
