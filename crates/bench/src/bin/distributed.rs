@@ -31,6 +31,10 @@ fn main() {
                 let pg = ProbGraph::build(&g, &PgConfig::new(rep, 0.25));
                 let bytes_per_set = match pg.params() {
                     SketchParams::Bloom { bits_per_set, .. } => bits_per_set / 8,
+                    // View bit + 4-bit counter per bucket (5 bits each).
+                    SketchParams::CountingBloom { bits_per_set, .. } => {
+                        bits_per_set * (1 + pg_sketch::counting_bloom::COUNTER_BITS) / 8
+                    }
                     SketchParams::OneHash { k } => 4 * k,
                     SketchParams::KHash { k } => 4 * k,
                     SketchParams::Kmv { k } => 8 * k,

@@ -17,7 +17,12 @@
 //! A `streaming` section times the `MutableOracle` write path: ns per
 //! inserted oriented edge (batched and single-edge `apply_arcs`) against
 //! the full rebuild each update replaces, per representation, with the
-//! update-vs-rebuild ratio and the batch-size crossover point.
+//! update-vs-rebuild ratio and the batch-size crossover point. A
+//! `streaming_removal` section times the deletion path of the
+//! removal-capable counting-Bloom representation (batched and
+//! single-edge `remove_arcs`) against its own insert path — counter
+//! decrement mirrors counter increment, so removal ns/edge is gated at
+//! insert parity in CI.
 //!
 //! Honors `PG_SCALE` (dataset down-scale, default 1 = full size) and
 //! `PG_REPS` (timing repetitions, default 5). Writes `BENCH_kernels.json`
@@ -534,17 +539,24 @@ fn main() {
         update_vs_rebuild: f64,
         crossover_edges: f64,
     }
+    // Shared by the streaming and streaming_removal sections: the same
+    // held-out tail is timed through insert and removal, so the
+    // remove-vs-insert gate compares identical workloads.
+    let median = |mut ts: Vec<f64>| -> f64 {
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ts[ts.len() / 2]
+    };
+    // Hold out ~1 % of the oriented edges as the live stream.
+    let tail_len = (m / 100).clamp(1, 4096.min(m));
+    let (hist, tail) = edges.split_at(edges.len() - tail_len);
     let mut streaming: Vec<StreamingEntry> = Vec::new();
     {
-        let median = |mut ts: Vec<f64>| -> f64 {
-            ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            ts[ts.len() / 2]
-        };
-        // Hold out ~1 % of the oriented edges as the live stream.
-        let tail_len = (m / 100).clamp(1, 4096.min(m));
-        let (hist, tail) = edges.split_at(edges.len() - tail_len);
         for (name, cfg) in [
             ("bf2", PgConfig::new(Representation::Bloom { b: 2 }, 0.25)),
+            (
+                "cbloom",
+                PgConfig::new(Representation::CountingBloom { b: 2 }, 0.25),
+            ),
             ("khash", PgConfig::new(Representation::KHash, 0.25)),
             ("onehash", PgConfig::new(Representation::OneHash, 0.25)),
             ("kmv", PgConfig::new(Representation::Kmv, 0.25)),
@@ -613,6 +625,92 @@ fn main() {
         }
     }
 
+    // --- streaming removals: the deletion path vs the insert path ---------
+    // Counting Bloom is the representation with a real deletion path;
+    // removing an oriented edge decrements the same `b` bucket counters
+    // its insertion incremented (plus the derived-bit maintenance), so
+    // removal ns/edge should sit at insert parity — `remove_vs_insert`
+    // (insert-time / removal-time, batched) is gated ≥ 1.0 in CI with the
+    // usual 10 % runner-noise floor.
+    struct RemovalEntry {
+        name: &'static str,
+        insert_ns: f64,
+        remove_ns: f64,
+        single_remove_ns: f64,
+        remove_vs_insert: f64,
+    }
+    let mut removal: Vec<RemovalEntry> = Vec::new();
+    {
+        let cfg = PgConfig::new(Representation::CountingBloom { b: 2 }, 0.25);
+        // Insert path: historical arcs streamed, the live tail timed in.
+        let base_hist = {
+            let mut p = ProbGraph::stream_from(n, g.memory_bytes(), &cfg, &[]);
+            p.apply_arcs(hist);
+            p
+        };
+        let t_insert = median(
+            (0..reps)
+                .map(|_| {
+                    let mut p = base_hist.clone();
+                    let t0 = Instant::now();
+                    p.apply_arcs(tail);
+                    let dt = t0.elapsed().as_secs_f64();
+                    black_box(&p);
+                    dt
+                })
+                .collect(),
+        );
+        // Removal path: the full arc set streamed, the same tail timed out.
+        let base_full = {
+            let mut p = base_hist.clone();
+            p.apply_arcs(tail);
+            p
+        };
+        assert!(base_full.remove_supported());
+        let t_remove = median(
+            (0..reps)
+                .map(|_| {
+                    let mut p = base_full.clone();
+                    let t0 = Instant::now();
+                    p.remove_arcs(tail);
+                    let dt = t0.elapsed().as_secs_f64();
+                    black_box(&p);
+                    dt
+                })
+                .collect(),
+        );
+        let t_single = median(
+            (0..reps)
+                .map(|_| {
+                    let mut p = base_full.clone();
+                    let t0 = Instant::now();
+                    for arc in tail {
+                        p.remove_arcs(std::slice::from_ref(arc));
+                    }
+                    let dt = t0.elapsed().as_secs_f64();
+                    black_box(&p);
+                    dt
+                })
+                .collect(),
+        );
+        let insert_ns = t_insert * 1e9 / tail_len as f64;
+        let remove_ns = t_remove * 1e9 / tail_len as f64;
+        let single_remove_ns = t_single * 1e9 / tail_len as f64;
+        let remove_vs_insert = insert_ns / remove_ns;
+        println!(
+            "{:>22}: insert {insert_ns:8.1} ns/edge | remove {remove_ns:8.1} ns/edge | \
+             single remove {single_remove_ns:8.1} ns/edge | remove-vs-insert {remove_vs_insert:.2}x",
+            "removal_cbloom"
+        );
+        removal.push(RemovalEntry {
+            name: "cbloom",
+            insert_ns,
+            remove_ns,
+            single_remove_ns,
+            remove_vs_insert,
+        });
+    }
+
     // --- machine-readable emission ---------------------------------------
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -665,6 +763,15 @@ fn main() {
         json.push_str(&format!(
             "    \"{}\": {{\"ns_per_insert\": {:.3}, \"single_insert_ns\": {:.3}, \"rebuild_ns\": {:.1}, \"update_vs_rebuild\": {:.3}, \"crossover_edges\": {:.1}}}{comma}\n",
             s.name, s.ns_per_insert, s.single_insert_ns, s.rebuild_ns, s.update_vs_rebuild, s.crossover_edges
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"streaming_removal\": {\n");
+    for (i, r) in removal.iter().enumerate() {
+        let comma = if i + 1 == removal.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{\"insert_ns\": {:.3}, \"remove_ns\": {:.3}, \"single_remove_ns\": {:.3}, \"remove_vs_insert\": {:.3}}}{comma}\n",
+            r.name, r.insert_ns, r.remove_ns, r.single_remove_ns, r.remove_vs_insert
         ));
     }
     json.push_str("  }\n");

@@ -20,8 +20,8 @@ use crate::intersect::intersect_card;
 use pg_graph::{CsrGraph, OrientedDag, VertexId};
 use pg_sketch::bitvec::and_count_words;
 use pg_sketch::{
-    estimators, BloomCollection, BottomKCollection, HyperLogLogCollection, KmvCollection,
-    MinHashCollection,
+    estimators, BloomCollection, BottomKCollection, CountingBloomCollection,
+    HyperLogLogCollection, KmvCollection, MinHashCollection,
 };
 use std::marker::PhantomData;
 
@@ -187,9 +187,9 @@ pub trait IntersectionOracle: Sync {
     }
 }
 
-/// The streaming extension of the oracle layer: in-place, insert-only
-/// sketch updates for evolving graphs (the ROADMAP's "dynamic / streaming
-/// sketches" item).
+/// The streaming extension of the oracle layer: in-place sketch updates
+/// for evolving graphs (the ROADMAP's "dynamic / streaming sketches"
+/// item, now closed under deletion for invertible representations).
 ///
 /// Where [`IntersectionOracle`] is the read path — borrowed views over
 /// built collections — `MutableOracle` is the write path, implemented
@@ -199,7 +199,11 @@ pub trait IntersectionOracle: Sync {
 ///
 /// * **Bloom** sets its `b` bits and bumps the cached popcount — filters
 ///   are naturally insert-only;
-/// * **HLL** takes register-wise maxima — also naturally insert-only;
+/// * **Counting Bloom** increments its `b` bucket counters and maintains
+///   the derived bit view (counter > 0 ⇔ bit set) — the one
+///   representation whose update is *invertible*, so it also implements
+///   the `remove_*` family below;
+/// * **HLL** takes register-wise maxima — naturally insert-only;
 /// * **k-hash MinHash** takes per-slot minima, recovering each slot's
 ///   current best hash once per batch (the collection stores elements,
 ///   not hashes);
@@ -207,13 +211,14 @@ pub trait IntersectionOracle: Sync {
 ///   sorted-slice views — `O(log k)` per element — and re-sort once per
 ///   batch, before the next row sweep reads the slices.
 ///
-/// Every update is equivalent to a from-scratch rebuild over the extended
-/// set (bit-identical sketches for Bloom/k-hash/HLL, estimator-identical
-/// for KMV/bottom-k), which `tests/streaming_equivalence.rs` pins
-/// differentially. Callers must not insert an edge that is already
-/// present: sketches tolerate it (min/max/bit updates are idempotent,
-/// sample dedup collapses repeats), but recorded set sizes would inflate
-/// and diverge from a rebuild.
+/// Every update is equivalent to a from-scratch rebuild over the
+/// surviving set (bit-identical sketches for Bloom/counting-Bloom/
+/// k-hash/HLL, estimator-identical for KMV/bottom-k), which
+/// `tests/streaming_equivalence.rs` pins differentially. Callers must
+/// not insert an edge that is already present, and must only remove
+/// edges that are: sketches tolerate a double insert (min/max/bit
+/// updates are idempotent), but counting-Bloom counters and the recorded
+/// set sizes would diverge from a rebuild.
 pub trait MutableOracle {
     /// Absorbs element `x` into the sketch of set `v`, in place.
     fn insert_into(&mut self, v: VertexId, x: u32);
@@ -237,11 +242,44 @@ pub trait MutableOracle {
         self.insert_into(v, u);
     }
 
-    /// True when the representation supports removals. None of the five
-    /// current representations do: Bloom bits and HLL register maxima are
-    /// not invertible, and the MinHash/bottom-k/KMV samples evict without
-    /// remembering what they evicted. A counting Bloom filter (ROADMAP's
-    /// "more representations" item) would return true.
+    /// Removes element `x` from the sketch of set `v`, in place. `x`
+    /// must have been inserted (sketches cannot verify membership, so a
+    /// bogus removal silently corrupts shared state — the counting-Bloom
+    /// implementation debug-asserts what it can).
+    ///
+    /// The default panics loudly: most representations' updates are not
+    /// invertible. Check [`MutableOracle::remove_supported`] before
+    /// routing deletions at a store.
+    fn remove_from(&mut self, v: VertexId, x: u32) {
+        let _ = (v, x);
+        panic!(
+            "this representation does not support removals \
+             (remove_supported() == false); use Representation::CountingBloom"
+        )
+    }
+
+    /// Batched per-set removal: removes all of `xs` from set `v`. Same
+    /// per-set-state hoisting contract as
+    /// [`MutableOracle::insert_into_many`]; callers group removals by
+    /// source vertex ([`crate::ProbGraph::remove_batch`] does).
+    fn remove_from_many(&mut self, v: VertexId, xs: &[u32]) {
+        for &x in xs {
+            self.remove_from(v, x);
+        }
+    }
+
+    /// Removes the undirected edge `{u, v}`: `v` out of `N_u`'s sketch
+    /// and `u` out of `N_v`'s.
+    fn remove_edge(&mut self, u: VertexId, v: VertexId) {
+        self.remove_from(u, v);
+        self.remove_from(v, u);
+    }
+
+    /// True when the representation supports removals. Counting Bloom
+    /// filters do (decrementable counters); the other five do not —
+    /// plain Bloom bits and HLL register maxima are not invertible, and
+    /// the MinHash/bottom-k/KMV samples evict without remembering what
+    /// they evicted.
     fn remove_supported(&self) -> bool {
         false
     }
@@ -256,6 +294,33 @@ impl MutableOracle for BloomCollection {
     #[inline]
     fn insert_into_many(&mut self, v: VertexId, xs: &[u32]) {
         self.insert_batch(v as usize, xs);
+    }
+}
+
+impl MutableOracle for CountingBloomCollection {
+    #[inline]
+    fn insert_into(&mut self, v: VertexId, x: u32) {
+        self.insert(v as usize, x);
+    }
+
+    #[inline]
+    fn insert_into_many(&mut self, v: VertexId, xs: &[u32]) {
+        self.insert_batch(v as usize, xs);
+    }
+
+    #[inline]
+    fn remove_from(&mut self, v: VertexId, x: u32) {
+        self.remove(v as usize, x);
+    }
+
+    #[inline]
+    fn remove_from_many(&mut self, v: VertexId, xs: &[u32]) {
+        self.remove_batch(v as usize, xs);
+    }
+
+    #[inline]
+    fn remove_supported(&self) -> bool {
+        true
     }
 }
 

@@ -13,8 +13,8 @@ use crate::oracle::{
 };
 use pg_graph::{CsrGraph, OrientedDag, VertexId};
 use pg_sketch::{
-    BloomCollection, BottomKCollection, BudgetPlan, HyperLogLogCollection, KmvCollection,
-    MinHashCollection, SketchParams,
+    BloomCollection, BottomKCollection, BudgetPlan, CountingBloomCollection,
+    HyperLogLogCollection, KmvCollection, MinHashCollection, SketchParams,
 };
 
 /// Which probabilistic set representation backs the ProbGraph.
@@ -23,6 +23,17 @@ pub enum Representation {
     /// Bloom filters with `b` hash functions (§IV-B).
     Bloom {
         /// Number of hash functions; the paper finds `b ∈ {1, 2}` best.
+        b: usize,
+    },
+    /// Counting Bloom filters with `b` hash functions — the same derived
+    /// read view (and estimators) as [`Representation::Bloom`], with
+    /// per-bucket saturating counters paying for a real deletion path
+    /// ([`crate::oracle::MutableOracle::remove_edge`] /
+    /// [`ProbGraph::remove_batch`]). The counter width is charged against
+    /// the storage budget, so a counting filter gets ~5× fewer buckets
+    /// than a plain one at the same `s`.
+    CountingBloom {
+        /// Number of hash functions, as for [`Representation::Bloom`].
         b: usize,
     },
     /// k-hash MinHash (§IV-C) — the MLE estimator with exponential bounds.
@@ -93,6 +104,8 @@ pub type Edge = (VertexId, VertexId);
 pub enum SketchStore {
     /// Flat Bloom filters.
     Bloom(BloomCollection),
+    /// Counting Bloom filters (packed counters + derived Bloom view).
+    CountingBloom(CountingBloomCollection),
     /// Flat k-hash signatures.
     KHash(MinHashCollection),
     /// Flat bottom-k samples.
@@ -148,6 +161,13 @@ impl ProbGraph {
         F: Fn(usize) -> &'a [u32] + Sync,
     {
         let plan = BudgetPlan::new(base_bytes, n_sets, cfg.budget);
+        // The strict `BudgetPlan` planners reject budgets below one slot
+        // (`PlanError::BudgetTooSmall`); ProbGraph explicitly opts into
+        // the minimal sketch instead — on the degenerate graphs where a
+        // sane `s` still cannot pay for one slot (a few dozen vertices),
+        // overshooting the budget by a handful of bytes per set beats
+        // refusing to build. Real deployments planning real budgets should
+        // use the `try_*` planners and surface the error.
         let (params, store) = match cfg.representation {
             Representation::Bloom { b } => {
                 let params = plan.bloom(b);
@@ -165,8 +185,26 @@ impl ProbGraph {
                     )),
                 )
             }
+            Representation::CountingBloom { b } => {
+                let params = plan.counting_bloom(b);
+                let SketchParams::CountingBloom { bits_per_set, .. } = params else {
+                    unreachable!()
+                };
+                (
+                    params,
+                    SketchStore::CountingBloom(CountingBloomCollection::build(
+                        n_sets,
+                        bits_per_set,
+                        b,
+                        cfg.seed,
+                        &set,
+                    )),
+                )
+            }
             Representation::KHash => {
-                let params = plan.khash();
+                let params = plan
+                    .try_khash()
+                    .unwrap_or(SketchParams::KHash { k: 1 });
                 let SketchParams::KHash { k } = params else {
                     unreachable!()
                 };
@@ -176,7 +214,9 @@ impl ProbGraph {
                 )
             }
             Representation::OneHash => {
-                let params = plan.onehash();
+                let params = plan
+                    .try_onehash()
+                    .unwrap_or(SketchParams::OneHash { k: 1 });
                 let SketchParams::OneHash { k } = params else {
                     unreachable!()
                 };
@@ -186,7 +226,7 @@ impl ProbGraph {
                 )
             }
             Representation::Kmv => {
-                let params = plan.kmv();
+                let params = plan.try_kmv().unwrap_or(SketchParams::Kmv { k: 1 });
                 let SketchParams::Kmv { k } = params else {
                     unreachable!()
                 };
@@ -295,6 +335,19 @@ impl ProbGraph {
                 BfEstimator::Limit => visitor.visit(&BloomOracle::<BloomLimit>::new(c, sizes)),
                 BfEstimator::Or => visitor.visit(&BloomOracle::<BloomOr>::new(c, sizes)),
             },
+            // The counting store reads through its derived Bloom view, so
+            // the very same monomorphized oracles (and estimator
+            // strategies) serve it — deletions cost nothing on this path.
+            SketchStore::CountingBloom(c) => {
+                let view = c.read_view();
+                match self.bf_estimator {
+                    BfEstimator::And => visitor.visit(&BloomOracle::<BloomAnd>::new(view, sizes)),
+                    BfEstimator::Limit => {
+                        visitor.visit(&BloomOracle::<BloomLimit>::new(view, sizes))
+                    }
+                    BfEstimator::Or => visitor.visit(&BloomOracle::<BloomOr>::new(view, sizes)),
+                }
+            }
             SketchStore::KHash(c) => visitor.visit(&KHashOracle::new(c, sizes)),
             SketchStore::OneHash(c) => visitor.visit(&OneHashOracle::new(c, sizes)),
             SketchStore::Kmv(c) => visitor.visit(&KmvOracle::new(c, sizes)),
@@ -330,24 +383,26 @@ impl ProbGraph {
     /// and `u` into `N_v`'s and bumps both recorded set sizes.
     ///
     /// Updates are grouped per source vertex before hitting the store, so
-    /// per-set state (Bloom word window, MinHash slot hashes, the
-    /// bottom-k/KMV bounded heap) is hoisted once per touched set and the
-    /// multi-lane row kernels remain the untouched read path. Edges must
-    /// not already be present (see [`MutableOracle`]); endpoints must lie
-    /// in `0..len()` — the vertex universe is fixed at construction.
+    /// per-set state (Bloom word window, counting-Bloom counter window,
+    /// MinHash slot hashes, the bottom-k/KMV bounded heap) is hoisted
+    /// once per touched set and the multi-lane row kernels remain the
+    /// untouched read path. Batches follow [`pg_graph::CsrGraph`] rebuild
+    /// semantics: self-loops are dropped, and duplicate edges *within the
+    /// batch* (in either orientation) are applied once. Edges must not
+    /// already be present in the graph (see [`MutableOracle`] — sketches
+    /// cannot check membership, so cross-batch duplicates still inflate
+    /// the recorded sizes); endpoints must lie in `0..len()` — the vertex
+    /// universe is fixed at construction.
     pub fn apply_batch(&mut self, edges: &[Edge]) {
         if let [(u, v)] = edges {
             // Single-edge batches — the live-tick steady state — skip the
             // sort/group machinery and its allocations entirely.
-            self.insert_edge(*u, *v);
+            if u != v {
+                self.insert_edge(*u, *v);
+            }
             return;
         }
-        let mut updates = Vec::with_capacity(edges.len() * 2);
-        for &(u, v) in edges {
-            updates.push((u, v));
-            updates.push((v, u));
-        }
-        self.apply_updates(updates);
+        self.apply_updates(Self::undirected_updates(edges), false);
     }
 
     /// Directed form of [`ProbGraph::apply_batch`] for oriented sets
@@ -356,19 +411,75 @@ impl ProbGraph {
     /// sketches *seeded from arcs too* (`stream_from` with an empty edge
     /// list, then `apply_arcs` for the history) — seeding through the
     /// undirected [`ProbGraph::stream_from`] would put both endpoints in
-    /// every sketch and silently corrupt the `N⁺` sets.
+    /// every sketch and silently corrupt the `N⁺` sets. Self-loop arcs
+    /// are dropped and in-batch duplicates applied once, as in
+    /// [`ProbGraph::apply_batch`].
     pub fn apply_arcs(&mut self, arcs: &[Edge]) {
         if let [(v, u)] = arcs {
-            self.insert_into(*v, *u);
+            if v != u {
+                self.insert_into(*v, *u);
+            }
             return;
         }
-        self.apply_updates(arcs.to_vec());
+        self.apply_updates(Self::arc_updates(arcs), false);
+    }
+
+    /// Removes a batch of **present undirected edges** from the sketches
+    /// in place — the deletion mirror of [`ProbGraph::apply_batch`], with
+    /// identical per-source-vertex grouping and the same rebuild
+    /// semantics (self-loops dropped, in-batch duplicates removed once).
+    /// Every edge must currently be present, and the representation must
+    /// support removals ([`ProbGraph::remove_supported`], i.e.
+    /// [`Representation::CountingBloom`]) — routing a removal at any
+    /// other store panics loudly rather than corrupting it.
+    pub fn remove_batch(&mut self, edges: &[Edge]) {
+        if let [(u, v)] = edges {
+            if u != v {
+                self.remove_edge(*u, *v);
+            }
+            return;
+        }
+        self.apply_updates(Self::undirected_updates(edges), true);
+    }
+
+    /// Directed form of [`ProbGraph::remove_batch`]: each arc `(v, u)`
+    /// removes `u` from set `v`'s sketch only — the deletion mirror of
+    /// [`ProbGraph::apply_arcs`].
+    pub fn remove_arcs(&mut self, arcs: &[Edge]) {
+        if let [(v, u)] = arcs {
+            if v != u {
+                self.remove_from(*v, *u);
+            }
+            return;
+        }
+        self.apply_updates(Self::arc_updates(arcs), true);
+    }
+
+    /// Expands undirected edges into per-set `(set, element)` updates,
+    /// dropping self-loops (duplicates die in `apply_updates`' dedup).
+    fn undirected_updates(edges: &[Edge]) -> Vec<(VertexId, u32)> {
+        let mut updates = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            if u != v {
+                updates.push((u, v));
+                updates.push((v, u));
+            }
+        }
+        updates
+    }
+
+    /// Keeps arcs as they are, dropping self-loops.
+    fn arc_updates(arcs: &[Edge]) -> Vec<(VertexId, u32)> {
+        arcs.iter().copied().filter(|&(v, u)| v != u).collect()
     }
 
     /// Shared update path: sort `(set, element)` pairs so each touched
-    /// set is one contiguous run, then one batched store insert per run.
-    fn apply_updates(&mut self, mut updates: Vec<(VertexId, u32)>) {
+    /// set is one contiguous run, dedup within the batch (CSR rebuild
+    /// semantics — a duplicate edge contributes one neighbor), then one
+    /// batched store insert/remove per run.
+    fn apply_updates(&mut self, mut updates: Vec<(VertexId, u32)>, remove: bool) {
         updates.sort_unstable();
+        updates.dedup();
         let mut xs: Vec<u32> = Vec::new();
         let mut i = 0;
         while i < updates.len() {
@@ -378,12 +489,17 @@ impl ProbGraph {
                 xs.push(updates[i].1);
                 i += 1;
             }
-            self.insert_into_many(s, &xs);
+            if remove {
+                self.remove_from_many(s, &xs);
+            } else {
+                self.insert_into_many(s, &xs);
+            }
         }
     }
 
-    /// True when the stored representation supports edge removals (none
-    /// of the current five do; see [`MutableOracle::remove_supported`]).
+    /// True when the stored representation supports edge removals —
+    /// [`Representation::CountingBloom`] does, the other five do not
+    /// (see [`MutableOracle::remove_supported`]).
     #[inline]
     pub fn remove_supported(&self) -> bool {
         self.store.remove_supported()
@@ -427,6 +543,7 @@ impl ProbGraph {
     pub fn memory_bytes(&self) -> usize {
         let store = match &self.store {
             SketchStore::Bloom(c) => c.memory_bytes(),
+            SketchStore::CountingBloom(c) => c.memory_bytes(),
             SketchStore::KHash(c) => c.memory_bytes(),
             SketchStore::OneHash(c) => c.memory_bytes(),
             SketchStore::Kmv(c) => c.memory_bytes(),
@@ -441,6 +558,7 @@ impl MutableOracle for SketchStore {
     fn insert_into(&mut self, v: VertexId, x: u32) {
         match self {
             SketchStore::Bloom(c) => c.insert_into(v, x),
+            SketchStore::CountingBloom(c) => c.insert_into(v, x),
             SketchStore::KHash(c) => c.insert_into(v, x),
             SketchStore::OneHash(c) => c.insert_into(v, x),
             SketchStore::Kmv(c) => c.insert_into(v, x),
@@ -452,12 +570,46 @@ impl MutableOracle for SketchStore {
     fn insert_into_many(&mut self, v: VertexId, xs: &[u32]) {
         match self {
             SketchStore::Bloom(c) => c.insert_into_many(v, xs),
+            SketchStore::CountingBloom(c) => c.insert_into_many(v, xs),
             SketchStore::KHash(c) => c.insert_into_many(v, xs),
             SketchStore::OneHash(c) => c.insert_into_many(v, xs),
             SketchStore::Kmv(c) => c.insert_into_many(v, xs),
             SketchStore::Hll(c) => c.insert_into_many(v, xs),
         }
     }
+
+    #[inline]
+    fn remove_from(&mut self, v: VertexId, x: u32) {
+        match self {
+            SketchStore::CountingBloom(c) => c.remove_from(v, x),
+            // Defer to the trait default's loud panic for the
+            // non-invertible stores.
+            _ => fail_remove_unsupported(),
+        }
+    }
+
+    #[inline]
+    fn remove_from_many(&mut self, v: VertexId, xs: &[u32]) {
+        match self {
+            SketchStore::CountingBloom(c) => c.remove_from_many(v, xs),
+            _ => fail_remove_unsupported(),
+        }
+    }
+
+    #[inline]
+    fn remove_supported(&self) -> bool {
+        matches!(self, SketchStore::CountingBloom(_))
+    }
+}
+
+/// The shared removal-unsupported panic (same message as the
+/// [`MutableOracle`] trait default, which `match` arms cannot call).
+#[cold]
+fn fail_remove_unsupported() -> ! {
+    panic!(
+        "this representation does not support removals \
+         (remove_supported() == false); use Representation::CountingBloom"
+    )
 }
 
 /// The [`ProbGraph`]-level write path: updates the stored sketch **and**
@@ -477,6 +629,18 @@ impl MutableOracle for ProbGraph {
     }
 
     #[inline]
+    fn remove_from(&mut self, v: VertexId, x: u32) {
+        self.store.remove_from(v, x);
+        self.sizes[v as usize] -= 1;
+    }
+
+    #[inline]
+    fn remove_from_many(&mut self, v: VertexId, xs: &[u32]) {
+        self.store.remove_from_many(v, xs);
+        self.sizes[v as usize] -= xs.len() as u32;
+    }
+
+    #[inline]
     fn remove_supported(&self) -> bool {
         self.store.remove_supported()
     }
@@ -491,6 +655,7 @@ mod tests {
     fn all_reps() -> Vec<Representation> {
         vec![
             Representation::Bloom { b: 2 },
+            Representation::CountingBloom { b: 2 },
             Representation::KHash,
             Representation::OneHash,
             Representation::Kmv,
@@ -544,7 +709,15 @@ mod tests {
             // |X∩Y| (same caveat as the paper's Eq. 41 KMV estimator), so
             // its tolerance on this intersection-dominated workload is
             // looser; the element-based sketches keep the tight bound.
-            let bound = if rep == Representation::Hll { 3.0 } else { 0.8 };
+            // Counting Bloom pays 4 counter bits per view bit, so at equal
+            // budget its filters hold ~1/5 the buckets of plain Bloom and
+            // run far denser — the deletion path is what the accuracy gap
+            // buys.
+            let bound = match rep {
+                Representation::Hll => 3.0,
+                Representation::CountingBloom { .. } => 6.0,
+                _ => 0.8,
+            };
             assert!(mean_err < bound, "{rep:?}: mean relative error {mean_err}");
         }
     }
@@ -645,7 +818,11 @@ mod tests {
         for rep in all_reps() {
             let cfg = PgConfig::new(rep, 1.0);
             let mut pg = ProbGraph::stream_from(6, g.memory_bytes(), &cfg, &edges);
-            assert!(!pg.remove_supported(), "{rep:?}");
+            assert_eq!(
+                pg.remove_supported(),
+                matches!(rep, Representation::CountingBloom { .. }),
+                "{rep:?}"
+            );
             pg.insert_edge(2, 3);
             let rebuilt =
                 ProbGraph::build_over(6, g.memory_bytes(), |v| g2.neighbors(v as u32), &cfg);
@@ -654,6 +831,127 @@ mod tests {
                 for u in 0..6u32 {
                     assert_eq!(
                         pg.estimate_intersection(v, u),
+                        rebuilt.estimate_intersection(v, u),
+                        "{rep:?} ({v},{u})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counting_bloom_removal_matches_survivor_rebuild() {
+        // Build, remove a batch of edges, and compare every estimator
+        // against a from-scratch build over the surviving edge set.
+        let g = gen::erdos_renyi_gnm(60, 400, 13);
+        let edges = g.edge_list();
+        let (gone, kept) = edges.split_at(edges.len() / 4);
+        let g2 = pg_graph::CsrGraph::from_edges(g.num_vertices(), kept);
+        for est in [BfEstimator::And, BfEstimator::Limit, BfEstimator::Or] {
+            let cfg =
+                PgConfig::new(Representation::CountingBloom { b: 2 }, 0.3).with_bf_estimator(est);
+            let mut pg = ProbGraph::build(&g, &cfg);
+            assert!(pg.remove_supported());
+            // Batched removal plus the single-edge path on the last one.
+            let (last, bulk) = gone.split_last().unwrap();
+            pg.remove_batch(bulk);
+            pg.remove_edge(last.0, last.1);
+            let rebuilt =
+                ProbGraph::build_over(g.num_vertices(), g.memory_bytes(), |v| g2.neighbors(v as u32), &cfg);
+            for v in 0..g.num_vertices() {
+                assert_eq!(pg.set_size(v), g2.degree(v as u32) as usize, "{est:?} v={v}");
+            }
+            for (u, v) in g2.edges().take(300) {
+                assert_eq!(
+                    pg.estimate_intersection(u, v),
+                    rebuilt.estimate_intersection(u, v),
+                    "{est:?} ({u},{v})"
+                );
+                assert_eq!(
+                    pg.estimate_jaccard(u, v),
+                    rebuilt.estimate_jaccard(u, v),
+                    "{est:?} ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counting_bloom_remove_arcs_matches_dag_rebuild() {
+        let g = gen::erdos_renyi_gnm(50, 300, 5);
+        let dag = pg_graph::orient_by_degree(&g);
+        let arcs: Vec<(u32, u32)> = (0..dag.num_vertices() as u32)
+            .flat_map(|v| dag.neighbors_plus(v).iter().map(move |&u| (v, u)))
+            .collect();
+        let cfg = PgConfig::new(Representation::CountingBloom { b: 2 }, 0.3);
+        let mut pg = ProbGraph::build_dag(&dag, g.memory_bytes(), &cfg);
+        let (gone, kept) = arcs.split_at(arcs.len() / 3);
+        pg.remove_arcs(gone);
+        // Rebuild over the surviving oriented sets.
+        let mut survivors: Vec<Vec<u32>> = vec![Vec::new(); dag.num_vertices()];
+        for &(v, u) in kept {
+            survivors[v as usize].push(u);
+        }
+        let rebuilt = ProbGraph::build_over(
+            dag.num_vertices(),
+            g.memory_bytes(),
+            |v| &survivors[v][..],
+            &cfg,
+        );
+        for (v, surv) in survivors.iter().enumerate() {
+            assert_eq!(pg.set_size(v), surv.len(), "v={v}");
+            for u in 0..dag.num_vertices() as u32 {
+                assert_eq!(
+                    pg.estimate_intersection(v as u32, u),
+                    rebuilt.estimate_intersection(v as u32, u),
+                    "({v},{u})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support removals")]
+    fn removal_on_plain_bloom_panics_loudly() {
+        let g = gen::erdos_renyi_gnm(20, 60, 1);
+        let mut pg = ProbGraph::build(&g, &PgConfig::new(Representation::Bloom { b: 2 }, 0.3));
+        let (u, v) = g.edges().next().unwrap();
+        pg.remove_edge(u, v);
+    }
+
+    #[test]
+    fn batches_follow_csr_rebuild_semantics() {
+        // Self-loops are dropped and in-batch duplicates (either
+        // orientation) applied once — streaming a dirty edge list must
+        // land exactly where building from the same dirty list does.
+        let dirty: Vec<(u32, u32)> = vec![
+            (0, 1),
+            (1, 0), // duplicate, flipped orientation
+            (2, 2), // self-loop
+            (1, 2),
+            (1, 2), // duplicate, same orientation
+            (3, 4),
+        ];
+        let g = pg_graph::CsrGraph::from_edges(6, &dirty);
+        for rep in all_reps() {
+            let cfg = PgConfig::new(rep, 1.0);
+            let streamed = ProbGraph::stream_from(6, g.memory_bytes(), &cfg, &dirty);
+            // Single-edge path: a lone self-loop batch must be a no-op.
+            let mut looped = streamed.clone();
+            looped.apply_batch(&[(5, 5)]);
+            let rebuilt =
+                ProbGraph::build_over(6, g.memory_bytes(), |v| g.neighbors(v as u32), &cfg);
+            for v in 0..6u32 {
+                assert_eq!(streamed.set_size(v as usize), g.degree(v), "{rep:?} v={v}");
+                assert_eq!(looped.set_size(v as usize), g.degree(v), "{rep:?} v={v}");
+                for u in 0..6u32 {
+                    assert_eq!(
+                        streamed.estimate_intersection(v, u),
+                        rebuilt.estimate_intersection(v, u),
+                        "{rep:?} ({v},{u})"
+                    );
+                    assert_eq!(
+                        looped.estimate_intersection(v, u),
                         rebuilt.estimate_intersection(v, u),
                         "{rep:?} ({v},{u})"
                     );

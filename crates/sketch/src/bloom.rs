@@ -201,6 +201,16 @@ pub struct BloomCollection {
 /// `f64`; per-neighborhood budgets are orders of magnitude below this).
 const MAX_SWAMI_TABLE_BITS: usize = 1 << 16;
 
+/// Memoized Swamidass curve for `bits_per_set`-bit filters with `b` hash
+/// functions; `None` when the table would not stay cache-resident.
+fn make_swami(bits_per_set: usize, b: usize) -> Option<Vec<f64>> {
+    (bits_per_set <= MAX_SWAMI_TABLE_BITS).then(|| {
+        pg_parallel::parallel_init(bits_per_set + 1, |o| {
+            estimators::bf_size_swamidass(o, bits_per_set, b)
+        })
+    })
+}
+
 impl BloomCollection {
     /// Builds filters for `n_sets` sets in parallel. `set(i)` must return
     /// the i-th input set; it is called once per set, from worker threads.
@@ -253,11 +263,6 @@ impl BloomCollection {
                 unsafe { *ones_base.0.add(s) = count_ones_words(window) as u32 };
             });
         }
-        let swami = (bits_per_set <= MAX_SWAMI_TABLE_BITS).then(|| {
-            pg_parallel::parallel_init(bits_per_set + 1, |o| {
-                estimators::bf_size_swamidass(o, bits_per_set, b)
-            })
-        });
         BloomCollection {
             data,
             words_per_set,
@@ -265,7 +270,44 @@ impl BloomCollection {
             b,
             family,
             ones,
-            swami,
+            swami: make_swami(bits_per_set, b),
+        }
+    }
+
+    /// Crate-internal: assembles a collection around already-materialized
+    /// filter words — the counting-Bloom sibling derives its view bits
+    /// from the counters in one linear sweep instead of re-hashing every
+    /// set through a second [`BloomCollection::build`]. The cached
+    /// popcounts are computed here, in parallel; `data` must hold a whole
+    /// number of `words_per_set` windows whose bits were produced by the
+    /// same `(b, seed)` bucket sequence this collection will hash with.
+    pub(crate) fn from_raw_words(
+        data: Vec<u64>,
+        words_per_set: usize,
+        b: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(b > 0, "need at least one hash function");
+        assert!(
+            b <= MAX_BLOOM_HASHES,
+            "at most {MAX_BLOOM_HASHES} hash functions supported"
+        );
+        assert!(words_per_set > 0, "filters own at least one word");
+        debug_assert_eq!(data.len() % words_per_set, 0);
+        let bits_per_set = words_per_set * 64;
+        let n_sets = data.len() / words_per_set;
+        let mut ones = vec![0u32; n_sets];
+        pg_parallel::parallel_fill_with(&mut ones, |i| {
+            count_ones_words(&data[i * words_per_set..(i + 1) * words_per_set]) as u32
+        });
+        BloomCollection {
+            data,
+            words_per_set,
+            bits_per_set,
+            b,
+            family: HashFamily::new(b, seed),
+            ones,
+            swami: make_swami(bits_per_set, b),
         }
     }
 
@@ -331,6 +373,32 @@ impl BloomCollection {
                 });
         }
         self.ones[i] += added;
+    }
+
+    /// Sets bucket bit `pos` of filter `i` directly (no hashing),
+    /// maintaining the cached popcount. Crate-internal hook for
+    /// [`crate::CountingBloomCollection`], whose counters decide *when* a
+    /// derived bit flips; everyone else inserts elements.
+    #[inline]
+    pub(crate) fn set_bit(&mut self, i: usize, pos: usize) {
+        debug_assert!(pos < self.bits_per_set);
+        let w = &mut self.data[i * self.words_per_set + pos / 64];
+        let bit = 1u64 << (pos % 64);
+        self.ones[i] += u32::from(*w & bit == 0);
+        *w |= bit;
+    }
+
+    /// Clears bucket bit `pos` of filter `i` directly, maintaining the
+    /// cached popcount. Counterpart of [`BloomCollection::set_bit`]; only
+    /// the counting-Bloom sibling may clear bits (a plain Bloom filter is
+    /// insert-only by construction).
+    #[inline]
+    pub(crate) fn clear_bit(&mut self, i: usize, pos: usize) {
+        debug_assert!(pos < self.bits_per_set);
+        let w = &mut self.data[i * self.words_per_set + pos / 64];
+        let bit = 1u64 << (pos % 64);
+        self.ones[i] -= u32::from(*w & bit != 0);
+        *w &= !bit;
     }
 
     /// Membership query against filter `i` (buckets batched).

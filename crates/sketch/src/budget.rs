@@ -6,11 +6,17 @@
 //! filter bits `B`, MinHash `k`, KMV `k` — uniform across all sets, which
 //! is what gives ProbGraph its load-balancing behaviour.
 
+use std::fmt;
+
 /// Concrete parameters for one probabilistic representation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SketchParams {
     /// Bloom filter: `bits_per_set` bits and `b` hash functions per set.
     Bloom { bits_per_set: usize, b: usize },
+    /// Counting Bloom filter: `bits_per_set` buckets, each costing one
+    /// derived-view bit **plus** a [`crate::counting_bloom::COUNTER_BITS`]-bit
+    /// saturating counter, with `b` hash functions per set.
+    CountingBloom { bits_per_set: usize, b: usize },
     /// k-hash MinHash with `k` hash functions (k 32-bit words per set).
     KHash { k: usize },
     /// 1-hash / bottom-k MinHash with sample size `k`.
@@ -20,6 +26,42 @@ pub enum SketchParams {
     /// HyperLogLog with `2^precision` one-byte registers per set.
     Hll { precision: u8 },
 }
+
+/// Why a budget could not be resolved into usable sketch parameters.
+///
+/// Returned by the `try_*` planners instead of silently degrading the
+/// sketch to a floor size the budget cannot actually pay for (the
+/// infallible planners debug-assert on the same condition).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// The per-set byte budget cannot afford even the representation's
+    /// minimal sketch (one slot plus its fixed bookkeeping).
+    BudgetTooSmall {
+        /// Which planner rejected the budget.
+        representation: &'static str,
+        /// Bytes per set the minimal sketch needs.
+        needed_bytes: usize,
+        /// Bytes per set the budget provides.
+        available_bytes: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let PlanError::BudgetTooSmall {
+            representation,
+            needed_bytes,
+            available_bytes,
+        } = self;
+        write!(
+            f,
+            "budget too small for {representation}: minimal sketch needs \
+             {needed_bytes} bytes/set, budget provides {available_bytes}"
+        )
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// A storage budget resolved against a concrete base representation.
 #[derive(Clone, Copy, Debug)]
@@ -46,9 +88,19 @@ impl BudgetPlan {
     }
 
     /// Total sketch bytes allowed.
+    ///
+    /// `s` is resolved to a 32-bit fixed-point fraction once, then scaled
+    /// in pure integer arithmetic with round-half-up — deterministic
+    /// across platforms and FP modes, unlike the previous
+    /// `(base as f64 * s) as usize`, whose truncation toward zero made
+    /// the budget depend on the rounding direction of one multiply.
+    /// `s ≤ 1` guarantees the result never exceeds `base_bytes`.
     #[inline]
     pub fn budget_bytes(&self) -> usize {
-        (self.base_bytes as f64 * self.s) as usize
+        let frac = (self.s * (1u64 << 32) as f64).round() as u128;
+        let bytes = ((self.base_bytes as u128 * frac + (1u128 << 31)) >> 32) as usize;
+        debug_assert!(bytes <= self.base_bytes, "budget exceeds the base bytes");
+        bytes
     }
 
     /// Bytes available per set (zero sets ⇒ zero bytes; parameter
@@ -73,11 +125,64 @@ impl BudgetPlan {
         }
     }
 
-    /// k-hash parameters: `k` = number of 4-byte signature slots that fit.
-    pub fn khash(&self) -> SketchParams {
-        SketchParams::KHash {
-            k: (self.bytes_per_set() / 4).max(1),
+    /// Counting Bloom parameters: each bucket costs one derived-view bit
+    /// **plus** a [`crate::counting_bloom::COUNTER_BITS`]-bit saturating
+    /// counter, so a byte budget buys `8·bytes / (1 + COUNTER_BITS)`
+    /// buckets — the counter width is deducted up front, not borrowed
+    /// (the plain-Bloom planner would hand out 5× the buckets for the
+    /// same bytes; deletions are what the difference pays for). Rounded
+    /// down to whole 64-bit view words (at least one), with the
+    /// caller-chosen number of hash functions `b`.
+    pub fn counting_bloom(&self, b: usize) -> SketchParams {
+        assert!(b > 0);
+        let bucket_bits = 1 + crate::counting_bloom::COUNTER_BITS;
+        let bits = (self.bytes_per_set() * 8 / bucket_bits) / 64 * 64;
+        SketchParams::CountingBloom {
+            bits_per_set: bits.max(64),
+            b,
         }
+    }
+
+    /// Shared guard for the fixed-slot planners: the per-set byte budget,
+    /// provided it affords at least the minimal footprint. The vacuous
+    /// zero-sets plan returns the minimum itself — nothing will be
+    /// allocated, but callers still resolve usable minimal parameters —
+    /// so the planners below need no `.max(1)` floors: this guard is the
+    /// single source of `k ≥ 1`.
+    #[inline]
+    fn afford(&self, representation: &'static str, needed_bytes: usize) -> Result<usize, PlanError> {
+        if self.n_sets == 0 {
+            return Ok(needed_bytes);
+        }
+        let available_bytes = self.bytes_per_set();
+        if available_bytes >= needed_bytes {
+            Ok(available_bytes)
+        } else {
+            Err(PlanError::BudgetTooSmall {
+                representation,
+                needed_bytes,
+                available_bytes,
+            })
+        }
+    }
+
+    /// k-hash parameters: `k` = number of 4-byte signature slots that
+    /// fit, or [`PlanError::BudgetTooSmall`] when not even one does.
+    pub fn try_khash(&self) -> Result<SketchParams, PlanError> {
+        let bytes = self.afford("k-hash MinHash", 4)?;
+        Ok(SketchParams::KHash { k: bytes / 4 })
+    }
+
+    /// k-hash parameters: `k` = number of 4-byte signature slots that fit.
+    ///
+    /// A budget below one slot is a planning bug: debug builds assert;
+    /// release builds fall back to `k = 1` (4 bytes/set past budget) for
+    /// robustness. Use [`BudgetPlan::try_khash`] to handle tiny budgets.
+    pub fn khash(&self) -> SketchParams {
+        self.try_khash().unwrap_or_else(|e| {
+            debug_assert!(false, "{e} (use try_khash to handle tiny budgets)");
+            SketchParams::KHash { k: 1 }
+        })
     }
 
     /// 1-hash / bottom-k parameters: `k` = number of 8-byte slots (element +
@@ -92,18 +197,43 @@ impl BudgetPlan {
     /// static build fills them. `onehash_streaming_capacity_fits_budget`
     /// asserts the invariant.
     pub fn onehash(&self) -> SketchParams {
-        SketchParams::OneHash {
-            k: (self.bytes_per_set().saturating_sub(12) / 8).max(1),
-        }
+        self.try_onehash().unwrap_or_else(|e| {
+            debug_assert!(false, "{e} (use try_onehash to handle tiny budgets)");
+            SketchParams::OneHash { k: 1 }
+        })
+    }
+
+    /// Fallible form of [`BudgetPlan::onehash`]: the minimal streaming
+    /// bottom-k layout is one 8-byte slot plus the 12 bytes/set of
+    /// bookkeeping, and a budget below those 20 bytes is reported as
+    /// [`PlanError::BudgetTooSmall`] instead of silently degrading to a
+    /// `k = 1` that would overrun the per-set budget the capacity
+    /// invariant promises to respect.
+    pub fn try_onehash(&self) -> Result<SketchParams, PlanError> {
+        let bytes = self.afford("1-hash / bottom-k MinHash", 12 + 8)?;
+        Ok(SketchParams::OneHash {
+            k: (bytes - 12) / 8,
+        })
     }
 
     /// KMV parameters: `k` = number of 8-byte hash values, after deducting
     /// the ~24 bytes of per-sketch bookkeeping ([`crate::KmvSketch`] stores
     /// its length/k/size words individually rather than flat).
+    ///
+    /// Budgets below one slot + bookkeeping debug-assert (release builds
+    /// floor at `k = 1`); use [`BudgetPlan::try_kmv`] to handle them.
     pub fn kmv(&self) -> SketchParams {
-        SketchParams::Kmv {
-            k: (self.bytes_per_set().saturating_sub(24) / 8).max(1),
-        }
+        self.try_kmv().unwrap_or_else(|e| {
+            debug_assert!(false, "{e} (use try_kmv to handle tiny budgets)");
+            SketchParams::Kmv { k: 1 }
+        })
+    }
+
+    /// Fallible form of [`BudgetPlan::kmv`]: minimal footprint is one
+    /// 8-byte slot plus 24 bytes of per-sketch bookkeeping.
+    pub fn try_kmv(&self) -> Result<SketchParams, PlanError> {
+        let bytes = self.afford("KMV", 24 + 8)?;
+        Ok(SketchParams::Kmv { k: (bytes - 24) / 8 })
     }
 
     /// HyperLogLog parameters: the largest precision whose `2^p` one-byte
@@ -143,8 +273,10 @@ mod tests {
     }
 
     #[test]
-    fn tiny_budgets_floor_at_minimum_sizes() {
+    fn tiny_budgets_error_instead_of_degrading() {
         let p = BudgetPlan::new(100, 1000, 0.01); // ~0 bytes per set
+        // Bloom keeps its documented one-word floor (a 64-bit filter is
+        // still a filter; fractional words are not).
         assert_eq!(
             p.bloom(1),
             SketchParams::Bloom {
@@ -152,8 +284,103 @@ mod tests {
                 b: 1
             }
         );
-        assert_eq!(p.khash(), SketchParams::KHash { k: 1 });
-        assert_eq!(p.kmv(), SketchParams::Kmv { k: 1 });
+        // The fixed-slot planners report the shortfall instead of quietly
+        // handing out a k=1 sketch the budget cannot pay for.
+        assert_eq!(
+            p.try_khash(),
+            Err(PlanError::BudgetTooSmall {
+                representation: "k-hash MinHash",
+                needed_bytes: 4,
+                available_bytes: 0,
+            })
+        );
+        assert!(p.try_onehash().is_err());
+        assert!(p.try_kmv().is_err());
+        let msg = p.try_kmv().unwrap_err().to_string();
+        assert!(msg.contains("KMV") && msg.contains("32"), "{msg}");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "budget too small")]
+    fn infallible_planner_asserts_on_tiny_budget() {
+        let p = BudgetPlan::new(100, 1000, 0.01);
+        let _ = p.onehash();
+    }
+
+    #[test]
+    fn counting_bloom_charges_counter_width() {
+        let p = BudgetPlan::new(8_000_000, 2000, 0.25);
+        let (SketchParams::CountingBloom { bits_per_set, b }, SketchParams::Bloom { bits_per_set: plain, .. }) =
+            (p.counting_bloom(2), p.bloom(2))
+        else {
+            panic!("wrong variants")
+        };
+        assert_eq!(b, 2);
+        assert_eq!(bits_per_set % 64, 0);
+        // Each bucket costs 1 view bit + COUNTER_BITS counter bits, so the
+        // full footprint must fit the per-set budget...
+        let bucket_bits = 1 + crate::counting_bloom::COUNTER_BITS;
+        assert!(bits_per_set * bucket_bits / 8 <= p.bytes_per_set());
+        // ...and the plain planner hands out ~bucket_bits× the buckets.
+        assert!(plain / bits_per_set >= bucket_bits - 1);
+        assert!(plain / bits_per_set <= bucket_bits + 1);
+        // Tiny budgets floor at one word, like plain Bloom.
+        let tiny = BudgetPlan::new(100, 1000, 0.01);
+        assert_eq!(
+            tiny.counting_bloom(1),
+            SketchParams::CountingBloom {
+                bits_per_set: 64,
+                b: 1
+            }
+        );
+    }
+
+    #[test]
+    fn resolved_plans_never_exceed_budget() {
+        // Every planner's resolved parameters, multiplied back into bytes,
+        // must fit the per-set budget — across scales and budgets, for
+        // every representation (floors exempt only the sub-minimal budgets
+        // the try_ planners reject).
+        let bucket_bits = 1 + crate::counting_bloom::COUNTER_BITS;
+        for base in [10_000usize, 777_777, 8_000_000] {
+            for n in [3usize, 100, 4096] {
+                for s in [0.02, 0.1, 0.25, 0.33, 1.0] {
+                    let p = BudgetPlan::new(base, n, s);
+                    let bps = p.bytes_per_set();
+                    let ctx = format!("base={base} n={n} s={s} bps={bps}");
+                    assert!(p.budget_bytes() <= base, "{ctx}");
+                    if bps >= 8 {
+                        let SketchParams::Bloom { bits_per_set, .. } = p.bloom(2) else {
+                            panic!()
+                        };
+                        assert!(bits_per_set / 8 <= bps, "{ctx}: bloom");
+                    }
+                    if bps >= bucket_bits * 8 {
+                        let SketchParams::CountingBloom { bits_per_set, .. } = p.counting_bloom(2)
+                        else {
+                            panic!()
+                        };
+                        assert!(bits_per_set * bucket_bits / 8 <= bps, "{ctx}: cbloom");
+                    }
+                    if let Ok(SketchParams::KHash { k }) = p.try_khash() {
+                        assert!(k * 4 <= bps, "{ctx}: khash");
+                    }
+                    if let Ok(SketchParams::OneHash { k }) = p.try_onehash() {
+                        assert!(k * 8 + 12 <= bps, "{ctx}: onehash");
+                    }
+                    if let Ok(SketchParams::Kmv { k }) = p.try_kmv() {
+                        assert!(k * 8 + 24 <= bps, "{ctx}: kmv");
+                    }
+                    if bps >= 16 {
+                        let SketchParams::Hll { precision } = p.hll() else {
+                            panic!()
+                        };
+                        assert!(1usize << precision <= bps, "{ctx}: hll");
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -191,6 +418,31 @@ mod tests {
                 p.bytes_per_set()
             );
         }
+        // Minimal-budget boundary: exactly 20 bytes/set (one 8-byte slot
+        // + 12 bytes bookkeeping) is the smallest plannable budget — k=1
+        // fits it exactly; one byte less is a planning error, not a
+        // silent k=1 that would overrun the budget by 1 byte/set.
+        let boundary = BudgetPlan::new(20 * 1000, 1000, 1.0);
+        assert_eq!(boundary.bytes_per_set(), 20);
+        assert_eq!(boundary.try_onehash(), Ok(SketchParams::OneHash { k: 1 }));
+        let below = BudgetPlan::new(19 * 1000, 1000, 1.0);
+        assert_eq!(
+            below.try_onehash(),
+            Err(PlanError::BudgetTooSmall {
+                representation: "1-hash / bottom-k MinHash",
+                needed_bytes: 20,
+                available_bytes: 19,
+            })
+        );
+        // The k=1 → k=2 step happens exactly where the second slot fits.
+        let SketchParams::OneHash { k } = BudgetPlan::new(27 * 1000, 1000, 1.0).onehash() else {
+            panic!("wrong variant")
+        };
+        assert_eq!(k, 1);
+        let SketchParams::OneHash { k } = BudgetPlan::new(28 * 1000, 1000, 1.0).onehash() else {
+            panic!("wrong variant")
+        };
+        assert_eq!(k, 2);
         // Capacity scales linearly with the budget, like the byte pool.
         let SketchParams::OneHash { k: k10 } = BudgetPlan::new(1_000_000, 1000, 0.10).onehash()
         else {

@@ -1,0 +1,432 @@
+//! Counting Bloom filters — the first representation with a real deletion
+//! path (the ROADMAP's "removals" half of the dynamic-graph story).
+//!
+//! A [`CountingBloomCollection`] keeps, per set, one small saturating
+//! counter per bucket (packed [`COUNTER_BITS`]-bit fields in the same
+//! flat-word layout as [`crate::BitVec`]) **plus** a derived plain
+//! [`BloomCollection`] read view maintained under the invariant
+//!
+//! > view bit `pos` of set `i` is set  ⇔  counter `pos` of set `i` > 0.
+//!
+//! Inserting an element increments its `b` bucket counters (setting the
+//! derived bit on every 0 → 1 transition); removing decrements them
+//! (clearing the bit on every 1 → 0 transition). Because insert and
+//! remove walk the *same* deterministic bucket sequence, they are exactly
+//! symmetric — any interleaving of inserts and removes leaves the
+//! counters, the derived bits, and the cached popcounts identical to a
+//! from-scratch build over the surviving elements. The whole read side
+//! (fused AND+popcount pair kernels, multi-lane row sweeps, memoized
+//! Swamidass estimators) is the untouched [`BloomCollection`] machinery
+//! running over the view.
+//!
+//! ## Saturation caveat
+//!
+//! Counters saturate at [`COUNTER_MAX`] and then become **sticky**: a
+//! saturated counter is never incremented *or decremented* again, so its
+//! derived bit stays set forever. This preserves the no-false-negatives
+//! invariant (decrementing a saturated counter could drop a bucket other
+//! live elements still need) at the cost of a permanent false positive in
+//! that bucket. With [`COUNTER_BITS`] = 4 a bucket saturates only once 15
+//! (element, hash) pairs land on it — far beyond the load factor any
+//! budget-resolved filter reaches (the expected count per bucket is
+//! `b·|X| / B`, and estimators are useless long before it nears 15).
+//!
+//! Removing an element that was never inserted is a caller bug: it is
+//! debug-asserted, and release builds leave zero counters untouched
+//! rather than wrapping.
+
+use crate::bloom::BloomCollection;
+use pg_hash::HashFamily;
+use pg_parallel::parallel_for;
+
+/// Width of one saturating counter, in bits. 16 counters pack into each
+/// 64-bit word — the classic summary-cache choice (Fan et al.).
+pub const COUNTER_BITS: usize = 4;
+
+/// Saturation value: a counter that reaches this sticks there forever
+/// (see the module docs for why sticky beats wrapping or clamped
+/// decrement).
+pub const COUNTER_MAX: u64 = (1 << COUNTER_BITS) - 1;
+
+/// Counters per 64-bit word.
+const COUNTERS_PER_WORD: usize = 64 / COUNTER_BITS;
+
+/// All per-set counting Bloom filters of a ProbGraph representation:
+/// packed per-bucket counters plus the derived [`BloomCollection`] read
+/// view (see the module docs for the invariant tying them together).
+#[derive(Clone, Debug)]
+pub struct CountingBloomCollection {
+    /// The derived insert-only view every estimator reads — a real
+    /// `BloomCollection`, so the fused kernels and the memoized Swamidass
+    /// table work unchanged.
+    view: BloomCollection,
+    /// Packed saturating counters, `n_sets × words_per_set` words of
+    /// [`COUNTERS_PER_WORD`] counters each.
+    counters: Vec<u64>,
+    /// Counter words per set (`bits_per_set / COUNTERS_PER_WORD`).
+    words_per_set: usize,
+    /// The seeded hash family — identical to the view's (same `(b, seed)`
+    /// construction), kept here so removals can re-derive bucket
+    /// sequences without touching the view's private state.
+    family: HashFamily,
+    bits_per_set: usize,
+}
+
+/// The bucket-occupancy bits of one packed counter word: bit `t` is set
+/// iff counter `t` is nonzero — the derived-view invariant, evaluated
+/// [`COUNTERS_PER_WORD`] buckets at a time during builds.
+#[inline]
+fn occupancy_bits(w: u64) -> u64 {
+    let mut bits = 0u64;
+    for t in 0..COUNTERS_PER_WORD {
+        bits |= u64::from((w >> (t * COUNTER_BITS)) & COUNTER_MAX != 0) << t;
+    }
+    bits
+}
+
+/// Saturating increment of counter `pos` inside a packed word window.
+/// Returns `true` on the 0 → 1 transition (the derived bit must be set).
+#[inline]
+fn inc(window: &mut [u64], pos: usize) -> bool {
+    let w = &mut window[pos / COUNTERS_PER_WORD];
+    let shift = (pos % COUNTERS_PER_WORD) * COUNTER_BITS;
+    let c = (*w >> shift) & COUNTER_MAX;
+    if c < COUNTER_MAX {
+        *w += 1u64 << shift;
+    }
+    c == 0
+}
+
+/// Saturating decrement of counter `pos` inside a packed word window.
+/// Returns `true` on the 1 → 0 transition (the derived bit must be
+/// cleared). Saturated counters are sticky; zero counters are a caller
+/// bug (debug-asserted) and left untouched.
+#[inline]
+fn dec(window: &mut [u64], pos: usize) -> bool {
+    let w = &mut window[pos / COUNTERS_PER_WORD];
+    let shift = (pos % COUNTERS_PER_WORD) * COUNTER_BITS;
+    let c = (*w >> shift) & COUNTER_MAX;
+    debug_assert!(
+        c > 0,
+        "counting-Bloom removal of an element that was never inserted"
+    );
+    if c == 0 || c == COUNTER_MAX {
+        return false;
+    }
+    *w -= 1u64 << shift;
+    c == 1
+}
+
+impl CountingBloomCollection {
+    /// Builds filters for `n_sets` sets in parallel. Each set is hashed
+    /// **once**, into its counters; the derived view is then one linear
+    /// occupancy sweep over the counter words (no second hashing pass),
+    /// which makes it bit-identical to [`BloomCollection::build`] with
+    /// the same parameters — the counters count exactly the bucket hits
+    /// that build would have set. `bits_per_set` is rounded up to a
+    /// multiple of 64 (whole view words; counter words pack
+    /// [`COUNTERS_PER_WORD`] buckets each).
+    pub fn build<'a, F>(n_sets: usize, bits_per_set: usize, b: usize, seed: u64, set: F) -> Self
+    where
+        F: Fn(usize) -> &'a [u32] + Sync,
+    {
+        let view_words_per_set = bits_per_set.div_ceil(64).max(1);
+        let bits_per_set = view_words_per_set * 64;
+        let words_per_set = bits_per_set / COUNTERS_PER_WORD;
+        let family = HashFamily::new(b, seed);
+        let mut counters = vec![0u64; n_sets * words_per_set];
+        {
+            struct SendPtr(*mut u64);
+            unsafe impl Send for SendPtr {}
+            unsafe impl Sync for SendPtr {}
+            let base = SendPtr(counters.as_mut_ptr());
+            let base = &base;
+            let family = &family;
+            parallel_for(n_sets, |s| {
+                // SAFETY: window [s*wps, (s+1)*wps) is exclusive to set s.
+                let window = unsafe {
+                    std::slice::from_raw_parts_mut(base.0.add(s * words_per_set), words_per_set)
+                };
+                for &x in set(s) {
+                    family.for_each_bucket(x as u64, bits_per_set, |pos| {
+                        inc(window, pos as usize);
+                    });
+                }
+            });
+        }
+        // One view word gathers the occupancy of its 64 buckets from
+        // `64 / COUNTERS_PER_WORD` consecutive counter words.
+        const CW_PER_VIEW_WORD: usize = 64 / COUNTERS_PER_WORD;
+        let mut view_words = vec![0u64; n_sets * view_words_per_set];
+        pg_parallel::parallel_fill_with(&mut view_words, |w| {
+            let mut bits = 0u64;
+            for j in 0..CW_PER_VIEW_WORD {
+                bits |= occupancy_bits(counters[w * CW_PER_VIEW_WORD + j])
+                    << (j * COUNTERS_PER_WORD);
+            }
+            bits
+        });
+        CountingBloomCollection {
+            view: BloomCollection::from_raw_words(view_words, view_words_per_set, b, seed),
+            counters,
+            words_per_set,
+            family,
+            bits_per_set,
+        }
+    }
+
+    /// The derived insert-only read view. Estimators, oracles, and the
+    /// fused row kernels read this exactly as they would a plain
+    /// [`BloomCollection`]; it stays consistent through every insert and
+    /// remove.
+    #[inline]
+    pub fn read_view(&self) -> &BloomCollection {
+        &self.view
+    }
+
+    /// Number of filters.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.view.len()
+    }
+
+    /// True when the collection holds no filters.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.view.is_empty()
+    }
+
+    /// Buckets (= derived-view bits) per filter.
+    #[inline]
+    pub fn bits_per_set(&self) -> usize {
+        self.bits_per_set
+    }
+
+    /// Number of hash functions `b`.
+    #[inline]
+    pub fn num_hashes(&self) -> usize {
+        self.view.num_hashes()
+    }
+
+    /// Current value of counter `pos` of set `i` (diagnostics and tests).
+    #[inline]
+    pub fn counter(&self, i: usize, pos: usize) -> u64 {
+        let w = self.counters[i * self.words_per_set + pos / COUNTERS_PER_WORD];
+        (w >> ((pos % COUNTERS_PER_WORD) * COUNTER_BITS)) & COUNTER_MAX
+    }
+
+    /// The packed counter words of set `i` (tests compare these against a
+    /// from-scratch build).
+    #[inline]
+    pub fn counter_words(&self, i: usize) -> &[u64] {
+        &self.counters[i * self.words_per_set..(i + 1) * self.words_per_set]
+    }
+
+    /// Inserts one item into filter `i` in place.
+    #[inline]
+    pub fn insert(&mut self, i: usize, item: u32) {
+        self.insert_batch(i, std::slice::from_ref(&item));
+    }
+
+    /// Batched per-set insert: increments each item's `b` bucket counters
+    /// and sets the derived bit on every 0 → 1 transition. The counter
+    /// window is hoisted out of the element loop (the streaming hot path —
+    /// updates arrive grouped by source vertex).
+    pub fn insert_batch(&mut self, i: usize, xs: &[u32]) {
+        let window = &mut self.counters[i * self.words_per_set..(i + 1) * self.words_per_set];
+        let view = &mut self.view;
+        for &x in xs {
+            self.family
+                .for_each_bucket(x as u64, self.bits_per_set, |pos| {
+                    if inc(window, pos as usize) {
+                        view.set_bit(i, pos as usize);
+                    }
+                });
+        }
+    }
+
+    /// Removes one item from filter `i` in place. The item must have been
+    /// inserted (counting filters cannot verify membership; removing an
+    /// absent element silently corrupts shared buckets — debug builds
+    /// assert, release builds refuse to underflow).
+    #[inline]
+    pub fn remove(&mut self, i: usize, item: u32) {
+        self.remove_batch(i, std::slice::from_ref(&item));
+    }
+
+    /// Batched per-set removal: decrements each item's `b` bucket counters
+    /// and clears the derived bit on every 1 → 0 transition — the exact
+    /// mirror of [`CountingBloomCollection::insert_batch`] over the same
+    /// deterministic bucket sequence. Saturated counters stay sticky (see
+    /// the module docs).
+    pub fn remove_batch(&mut self, i: usize, xs: &[u32]) {
+        let window = &mut self.counters[i * self.words_per_set..(i + 1) * self.words_per_set];
+        let view = &mut self.view;
+        for &x in xs {
+            self.family
+                .for_each_bucket(x as u64, self.bits_per_set, |pos| {
+                    if dec(window, pos as usize) {
+                        view.clear_bit(i, pos as usize);
+                    }
+                });
+        }
+    }
+
+    /// Membership query against filter `i` — no false negatives for
+    /// elements inserted and not removed.
+    #[inline]
+    pub fn contains(&self, i: usize, item: u32) -> bool {
+        self.view.contains(i, item)
+    }
+
+    /// Bytes of sketch storage: the packed counters plus the derived view
+    /// — both charged against the paper's budget `s`
+    /// ([`crate::BudgetPlan::counting_bloom`] deducts the counter width up
+    /// front).
+    pub fn memory_bytes(&self) -> usize {
+        self.view.memory_bytes() + self.counters.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sets(n: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|s| (0..40 + s * 9).map(|i| (i * 31 + s) as u32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn view_matches_plain_bloom_build() {
+        let sets = sets(12);
+        let cbf = CountingBloomCollection::build(sets.len(), 768, 2, 13, |i| &sets[i][..]);
+        let plain = BloomCollection::build(sets.len(), 768, 2, 13, |i| &sets[i][..]);
+        for (i, set) in sets.iter().enumerate() {
+            assert_eq!(cbf.read_view().words(i), plain.words(i), "set {i}");
+            assert_eq!(cbf.read_view().count_ones(i), plain.count_ones(i));
+            for &x in set {
+                assert!(cbf.contains(i, x));
+            }
+        }
+        // Estimator path is the untouched BloomCollection machinery.
+        assert_eq!(
+            cbf.read_view().estimate_and(0, 1),
+            plain.estimate_and(0, 1)
+        );
+    }
+
+    #[test]
+    fn counters_count_bucket_hits() {
+        let xs: Vec<u32> = (0..30).collect();
+        let cbf = CountingBloomCollection::build(1, 256, 2, 7, |_| &xs[..]);
+        // Total counter mass equals the number of (element, hash) pairs
+        // (no bucket reached saturation at this load factor).
+        let total: u64 = (0..cbf.bits_per_set()).map(|p| cbf.counter(0, p)).sum();
+        assert_eq!(total, (xs.len() * cbf.num_hashes()) as u64);
+        // Derived invariant: bit set ⇔ counter > 0.
+        for pos in 0..cbf.bits_per_set() {
+            assert_eq!(
+                cbf.counter(0, pos) > 0,
+                cbf.read_view().words(0)[pos / 64] >> (pos % 64) & 1 == 1,
+                "pos {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_everything_leaves_empty_filter() {
+        let xs: Vec<u32> = (0..80).map(|i| i * 7 + 3).collect();
+        let mut cbf = CountingBloomCollection::build(1, 512, 3, 5, |_| &xs[..]);
+        cbf.remove_batch(0, &xs);
+        assert_eq!(cbf.read_view().count_ones(0), 0);
+        assert!(cbf.read_view().words(0).iter().all(|&w| w == 0));
+        assert!(cbf.counter_words(0).iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn interleaved_insert_remove_matches_survivor_build() {
+        let all: Vec<u32> = (0..120).map(|i| i * 13 + 1).collect();
+        let mut cbf = CountingBloomCollection::build(1, 1024, 2, 9, |_| &all[..60]);
+        // Insert the back half one by one, then remove every third element
+        // of the front half, interleaved.
+        for (t, &x) in all[60..].iter().enumerate() {
+            cbf.insert(0, x);
+            if t % 3 == 0 {
+                cbf.remove(0, all[t]);
+            }
+        }
+        let live: Vec<u32> = (0..all.len())
+            .filter(|&t| !(t < 60 && t % 3 == 0))
+            .map(|t| all[t])
+            .collect();
+        let rebuilt = CountingBloomCollection::build(1, 1024, 2, 9, |_| &live[..]);
+        assert_eq!(cbf.read_view().words(0), rebuilt.read_view().words(0));
+        assert_eq!(
+            cbf.read_view().count_ones(0),
+            rebuilt.read_view().count_ones(0)
+        );
+        assert_eq!(cbf.counter_words(0), rebuilt.counter_words(0));
+    }
+
+    #[test]
+    fn saturated_counters_are_sticky_and_safe() {
+        // 64 buckets, b = 2, 600 distinct elements: every bucket blows
+        // far past COUNTER_MAX.
+        let xs: Vec<u32> = (0..600).collect();
+        let mut cbf = CountingBloomCollection::build(1, 64, 2, 3, |_| &xs[..]);
+        assert!(
+            (0..64).any(|p| cbf.counter(0, p) == COUNTER_MAX),
+            "load factor should saturate at least one counter"
+        );
+        // Removing everything must neither underflow nor produce a false
+        // negative for the (empty) surviving set; sticky buckets keep
+        // their bits, non-saturated ones drain to zero.
+        cbf.remove_batch(0, &xs);
+        for p in 0..64 {
+            let c = cbf.counter(0, p);
+            assert!(c == 0 || c == COUNTER_MAX, "pos {p}: counter {c}");
+            assert_eq!(
+                c > 0,
+                cbf.read_view().words(0)[p / 64] >> (p % 64) & 1 == 1
+            );
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "never inserted")]
+    fn removing_absent_element_is_a_caller_bug() {
+        let xs: Vec<u32> = (0..10).collect();
+        let mut cbf = CountingBloomCollection::build(1, 4096, 2, 3, |_| &xs[..]);
+        // 4096 buckets for 10 elements: element 9999's buckets are almost
+        // surely untouched, so the zero-counter debug assertion fires.
+        cbf.remove(0, 9999);
+    }
+
+    #[test]
+    fn parallel_build_deterministic() {
+        let sets: Vec<Vec<u32>> = (0..60)
+            .map(|s| (0..150).map(|i| (i * 17 + s * 3) as u32).collect())
+            .collect();
+        let a = pg_parallel::with_threads(1, || {
+            CountingBloomCollection::build(60, 512, 2, 9, |i| &sets[i][..])
+        });
+        let b = pg_parallel::with_threads(8, || {
+            CountingBloomCollection::build(60, 512, 2, 9, |i| &sets[i][..])
+        });
+        for i in 0..60 {
+            assert_eq!(a.counter_words(i), b.counter_words(i));
+            assert_eq!(a.read_view().words(i), b.read_view().words(i));
+        }
+    }
+
+    #[test]
+    fn memory_accounts_counters_and_view() {
+        let xs = [1u32, 2, 3];
+        let cbf = CountingBloomCollection::build(1, 128, 1, 1, |_| &xs[..]);
+        // 128 buckets: 16 view bytes + 128 * 4 / 8 = 64 counter bytes.
+        assert_eq!(cbf.memory_bytes(), 16 + 64);
+    }
+}

@@ -34,6 +34,25 @@ fn alpha(m: usize) -> f64 {
 /// The standard HLL estimate from the register summary statistics: `m`
 /// registers with harmonic sum `sum = Σ 2^-r` of which `zeros` are zero,
 /// with the linear-counting small-range correction.
+///
+/// Range-correction boundaries (audited; pinned by the
+/// `range_correction_*` tests below):
+///
+/// * **Small range** (`raw ≤ 2.5m`, `zeros > 0`): linear counting
+///   `m·ln(m/zeros)` — the better estimator while registers are sparse.
+///   `zeros == m` (an empty sketch) gives exactly `0`.
+/// * **`zeros == 0` with `raw ≤ 2.5m`**: linear counting is undefined
+///   (`ln(m/0)`), so the raw estimate is returned. This happens with
+///   small probability right at the crossover; raw is biased high there
+///   but finite, which beats `inf`.
+/// * **Large range / u32-universe top end**: the classic 32-bit HLL
+///   correction `−2³²·ln(1 − E/2³²)` compensates for *hash collisions*
+///   in a 32-bit hash space. This implementation hashes through 64-bit
+///   Murmur finalizers ([`split_hash`] consumes all 64 bits), so the
+///   collision term is negligible even at the full `u32` item universe
+///   (`n ≤ 2³² ≪ 2⁶⁴`) and no large-range branch is needed — standard
+///   practice for 64-bit HLL. The raw estimate stays finite up to
+///   all-registers-saturated (`sum ≥ m·2^{-(64-p+1)}` by construction).
 fn estimate_from_stats(m: usize, sum: f64, zeros: usize) -> f64 {
     let mf = m as f64;
     let raw = alpha(m) * mf * mf / sum;
@@ -490,6 +509,74 @@ mod tests {
             HyperLogLogCollection::build(120, 7, 9, |i| &sets[i][..])
         });
         assert_eq!(a.registers, b.registers);
+    }
+
+    #[test]
+    fn range_correction_crossover_boundaries() {
+        // p = 10, m = 1024: the linear-counting crossover sits at
+        // raw == 2.5m. Drive `estimate_from_stats` directly with
+        // synthetic register statistics bracketing every boundary.
+        let m = 1024usize;
+        let mf = m as f64;
+        let threshold = 2.5 * mf;
+        // sum that makes raw land exactly on a target estimate E:
+        // raw = α·m²/sum  ⇒  sum = α·m²/E.
+        let sum_for = |e: f64| alpha(m) * mf * mf / e;
+        // Below the crossover with zero registers left: linear counting.
+        let below = estimate_from_stats(m, sum_for(threshold * 0.99), 100);
+        assert_eq!(below, mf * (mf / 100.0).ln());
+        // Above the crossover: raw, even though zeros remain.
+        let above = estimate_from_stats(m, sum_for(threshold * 1.01), 100);
+        assert!((above - threshold * 1.01).abs() < 1e-6 * threshold);
+        // Exactly at the boundary `raw == 2.5m`: the small-range branch
+        // (inclusive comparison, matching Flajolet et al.).
+        let at = estimate_from_stats(m, sum_for(threshold), 100);
+        assert_eq!(at, mf * (mf / 100.0).ln());
+        // The two branches stay within the algorithm's error band of each
+        // other at the crossover — no order-of-magnitude cliff.
+        assert!((above - at).abs() < 0.15 * threshold, "at={at} above={above}");
+        // zeros == 0 with raw under the threshold: linear counting is
+        // undefined (ln of ∞), so raw must be returned — finite, not NaN.
+        let no_zeros = estimate_from_stats(m, sum_for(threshold * 0.5), 0);
+        assert!((no_zeros - threshold * 0.5).abs() < 1e-6 * threshold);
+        assert!(no_zeros.is_finite());
+        // All registers zero (empty sketch): exactly 0.
+        assert_eq!(estimate_from_stats(m, mf, m), 0.0);
+    }
+
+    #[test]
+    fn range_correction_u32_universe_top_end() {
+        // With 64-bit hashes there is no 32-bit large-range correction
+        // (see `estimate_from_stats` docs): the raw estimate must stay
+        // finite, positive, and strictly monotone in the register ranks
+        // all the way past the u32-item universe — the dynamic range a
+        // full-universe set needs — up to total register saturation.
+        for p in [4u32, 12, 16] {
+            let m = 1usize << p;
+            let max_rank = (64 - p + 1) as u8;
+            let mut prev = 0.0f64;
+            for rank in 1..=max_rank {
+                // Every register at `rank`: sum = m · 2^-rank.
+                let est = estimate_from_stats(m, m as f64 * pow_neg2(rank), 0);
+                assert!(est.is_finite() && est > 0.0, "p={p} rank={rank}: {est}");
+                assert!(est > prev, "p={p} rank={rank}: not monotone");
+                prev = est;
+            }
+            // Saturated registers reach far beyond 2^32 without overflow
+            // or a correction cliff — the top of the u32 universe is well
+            // inside the representable range.
+            assert!(prev > (1u64 << 33) as f64, "p={p}: top end {prev}");
+        }
+        // A concrete near-top-end sketch: registers distributed as a
+        // cardinality of ~2^32 would leave them (rank ≈ 32 - p + 1 bits
+        // of leading zeros on average). The estimate lands within an
+        // order of magnitude of 2^32 — no silent collapse at the top.
+        let p = 12u32;
+        let m = 1usize << p;
+        let rank = (32 - p + 1) as u8;
+        let est = estimate_from_stats(m, m as f64 * pow_neg2(rank), 0);
+        let top = (1u64 << 32) as f64;
+        assert!(est > top / 4.0 && est < top * 4.0, "est={est}");
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //!   hash functions; the collection form stores all per-vertex filters in
 //!   one flat word array (identical fixed size per set — the paper's load
 //!   balancing argument).
+//! * [`CountingBloomCollection`] — counting Bloom filters: packed 4-bit
+//!   saturating counters behind a derived [`BloomCollection`] read view
+//!   (counter > 0 ⇔ bit set), the first representation with a real
+//!   deletion path.
 //! * [`MinHashSignature`] / [`MinHashCollection`] — the k-hash MinHash
 //!   variant: `k` independent hash functions, one minimum per function.
 //! * [`BottomK`] / [`BottomKCollection`] — the 1-hash variant: a single
@@ -49,6 +53,7 @@ pub mod bitvec;
 pub mod bloom;
 pub mod bottomk;
 pub mod budget;
+pub mod counting_bloom;
 pub mod estimators;
 mod heap;
 pub mod hyperloglog;
@@ -58,7 +63,8 @@ pub mod minhash;
 pub use bitvec::{and_or_ones_words, BitVec, PairOnes};
 pub use bloom::{BfPairEstimates, BloomCollection, BloomFilter, MAX_BLOOM_HASHES};
 pub use bottomk::{BottomK, BottomKCollection};
-pub use budget::{BudgetPlan, SketchParams};
+pub use budget::{BudgetPlan, PlanError, SketchParams};
+pub use counting_bloom::CountingBloomCollection;
 pub use hyperloglog::{HyperLogLog, HyperLogLogCollection};
 pub use kmv::{KmvCollection, KmvSketch};
 pub use minhash::{MinHashCollection, MinHashSignature};

@@ -14,7 +14,7 @@ path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernels.json"
 d = json.load(open(path))
 
 for key in ("workload", "sketch_params", "ns_per_edge", "fused_vs_naive", "row_batch", "dispatch",
-            "streaming"):
+            "streaming", "streaming_removal"):
     assert key in d, f"missing section: {key}"
 
 assert d["dispatch"], "dispatch section is empty"
@@ -35,7 +35,7 @@ for name in ("bf_and", "bf_limit", "bf_or", "khash", "kmv", "hll"):
     assert e["speedup"] >= 0.90, f"row_batch.{name} multi-lane slower than scalar row: {e['speedup']}"
 
 st = d["streaming"]
-for name in ("bf2", "khash", "onehash", "kmv", "hll"):
+for name in ("bf2", "cbloom", "khash", "onehash", "kmv", "hll"):
     e = st.get(name)
     assert e is not None, f"missing streaming entry: {name}"
     for field in ("ns_per_insert", "single_insert_ns", "rebuild_ns", "update_vs_rebuild",
@@ -49,6 +49,22 @@ for name in ("bf2", "khash", "onehash", "kmv", "hll"):
     assert e["update_vs_rebuild"] >= 0.90, \
         f"streaming.{name} update no faster than rebuild: {e['update_vs_rebuild']}"
 
+sr = d["streaming_removal"]
+for name in ("cbloom",):
+    e = sr.get(name)
+    assert e is not None, f"missing streaming_removal entry: {name}"
+    for field in ("insert_ns", "remove_ns", "single_remove_ns", "remove_vs_insert"):
+        assert isinstance(e.get(field), (int, float)), f"streaming_removal.{name}.{field}"
+        assert e[field] > 0, f"streaming_removal.{name}.{field} must be positive"
+    # Gate removal ns/edge against the insert path at >= 1.0 with the
+    # shared 10% noise floor: a counter decrement mirrors the counter
+    # increment its insert performed, so batched removal drifting past
+    # ~10% slower than batched insert means the deletion path has rotted.
+    assert e["remove_vs_insert"] >= 0.90, \
+        f"streaming_removal.{name} removal slower than insert: {e['remove_vs_insert']}"
+
 print(f"{path} ok:", {k: round(v["speedup"], 3) for k, v in rb.items()},
       "| streaming update-vs-rebuild:",
-      {k: round(v["update_vs_rebuild"]) for k, v in st.items()})
+      {k: round(v["update_vs_rebuild"]) for k, v in st.items()},
+      "| removal remove-vs-insert:",
+      {k: round(v["remove_vs_insert"], 2) for k, v in sr.items()})

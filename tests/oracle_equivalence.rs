@@ -69,6 +69,11 @@ fn non_exact_reps() -> Vec<(PgConfig, &'static str)> {
             mk(Representation::Bloom { b: 2 }).with_bf_estimator(BfEstimator::Or),
             "BF2-OR",
         ),
+        (mk(Representation::CountingBloom { b: 2 }), "CBF2-AND"),
+        (
+            mk(Representation::CountingBloom { b: 2 }).with_bf_estimator(BfEstimator::Or),
+            "CBF2-OR",
+        ),
         (mk(Representation::KHash), "kH"),
         (mk(Representation::OneHash), "1H"),
         (mk(Representation::Kmv), "KMV"),

@@ -31,6 +31,7 @@ fn all_cfgs() -> Vec<(PgConfig, &'static str)> {
     vec![
         (mk(Representation::Bloom { b: 1 }), "BF1"),
         (mk(Representation::Bloom { b: 2 }), "BF2"),
+        (mk(Representation::CountingBloom { b: 2 }), "CBF2"),
         (
             mk(Representation::Bloom { b: 2 }).with_bf_estimator(BfEstimator::Limit),
             "BF2-L",
@@ -76,6 +77,25 @@ fn assert_stores_bit_identical(inc: &ProbGraph, full: &ProbGraph, label: &str) {
                     a.count_ones(i),
                     b.count_ones(i),
                     "{label}: cached popcount of set {i}"
+                );
+            }
+        }
+        (SketchStore::CountingBloom(a), SketchStore::CountingBloom(b)) => {
+            for i in 0..full.len() {
+                assert_eq!(
+                    a.read_view().words(i),
+                    b.read_view().words(i),
+                    "{label}: view words of set {i}"
+                );
+                assert_eq!(
+                    a.read_view().count_ones(i),
+                    b.read_view().count_ones(i),
+                    "{label}: cached popcount of set {i}"
+                );
+                assert_eq!(
+                    a.counter_words(i),
+                    b.counter_words(i),
+                    "{label}: counters of set {i}"
                 );
             }
         }
@@ -159,6 +179,130 @@ proptest! {
         }
     }
 
+    /// Deletion differential (PR 5's tentpole): for the removal-capable
+    /// counting-Bloom representation, any interleaving of inserts and
+    /// removals must land bit-identically (derived view words, cached
+    /// popcounts, counters) and estimator-identically on a from-scratch
+    /// rebuild of the **surviving** edge set.
+    #[test]
+    fn insert_remove_interleavings_match_survivor_rebuild(
+        n in 12usize..48,
+        density in 2usize..8,
+        seed in 0u64..500,
+        split_pct in 0usize..101,
+        remove_mod in 2usize..5,
+    ) {
+        let m = (n * density).min(n * (n - 1) / 2);
+        let g = pg_graph::gen::erdos_renyi_gnm(n, m, seed);
+        let edges = g.edge_list();
+        let split = edges.len() * split_pct / 100;
+        let us: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        for b in [1usize, 2] {
+            let cfg = PgConfig::new(Representation::CountingBloom { b }, 0.3).with_seed(0xD1FF);
+            let mut pg =
+                ProbGraph::stream_from(g.num_vertices(), g.memory_bytes(), &cfg, &edges[..split]);
+            prop_assert!(pg.remove_supported(), "b={}", b);
+            // Interleave: insert the remaining edges in small batches,
+            // removing every `remove_mod`-th already-inserted edge in
+            // between — batched removals plus one single-edge removal per
+            // round so both removal paths stay exercised.
+            let mut removed = vec![false; edges.len()];
+            let mut inserted = split;
+            while inserted < edges.len() {
+                let chunk_end = (inserted + 5).min(edges.len());
+                pg.apply_batch(&edges[inserted..chunk_end]);
+                inserted = chunk_end;
+                let victims: Vec<usize> = (0..inserted)
+                    .filter(|&t| t % remove_mod == 0 && !removed[t])
+                    .collect();
+                if let Some((&last, bulk)) = victims.split_last() {
+                    let batch: Vec<(u32, u32)> = bulk.iter().map(|&t| edges[t]).collect();
+                    pg.remove_batch(&batch);
+                    pg.remove_edge(edges[last].0, edges[last].1);
+                    for t in victims {
+                        removed[t] = true;
+                    }
+                }
+            }
+            let survivors: Vec<(u32, u32)> = (0..edges.len())
+                .filter(|&t| !removed[t])
+                .map(|t| edges[t])
+                .collect();
+            let g2 = pg_graph::CsrGraph::from_edges(g.num_vertices(), &survivors);
+            // Same budget resolution as the streamed graph: base_bytes is
+            // the *original* CSR footprint, not the shrunken survivor one.
+            let full = ProbGraph::build_over(
+                g.num_vertices(),
+                g.memory_bytes(),
+                |v| g2.neighbors(v as u32),
+                &cfg,
+            );
+            prop_assert!(pg.params() == full.params(), "b={}: params differ", b);
+            for v in 0..g.num_vertices() {
+                prop_assert!(
+                    pg.set_size(v) == full.set_size(v),
+                    "b={}: size of {} differs", b, v
+                );
+            }
+            assert_stores_bit_identical(&pg, &full, "CBF-removal");
+            for &(u, v) in &edges {
+                prop_assert!(
+                    pg.estimate_intersection(u, v) == full.estimate_intersection(u, v),
+                    "b={}: estimate ({},{}) differs", b, u, v
+                );
+                prop_assert!(
+                    pg.estimate_jaccard(u, v) == full.estimate_jaccard(u, v),
+                    "b={}: jaccard ({},{}) differs", b, u, v
+                );
+            }
+            let rows_pg = pg.with_oracle(AllRows { us: &us });
+            let rows_full = full.with_oracle(AllRows { us: &us });
+            prop_assert!(rows_pg == rows_full, "b={}: row sweep differs", b);
+        }
+    }
+
+    /// Dirty streams follow CSR rebuild semantics for every
+    /// representation: self-loops are dropped and duplicate edges within
+    /// a batch (either orientation) are applied once, so streaming a
+    /// dirty edge list lands exactly where building from it does.
+    #[test]
+    fn dirty_streams_match_csr_rebuild_semantics(
+        n in 8usize..32,
+        density in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let m = (n * density).min(n * (n - 1) / 2);
+        let g = pg_graph::gen::erdos_renyi_gnm(n, m, seed);
+        let clean = g.edge_list();
+        // Dirty the stream: every edge once, a prefix again in flipped
+        // orientation, and a sprinkle of self-loops.
+        let mut dirty = clean.clone();
+        for &(u, v) in clean.iter().take(clean.len() / 3) {
+            dirty.push((v, u));
+        }
+        for v in 0..(n as u32).min(5) {
+            dirty.push((v, v));
+        }
+        for (cfg, label) in all_cfgs() {
+            let streamed =
+                ProbGraph::stream_from(g.num_vertices(), g.memory_bytes(), &cfg, &dirty);
+            let full = ProbGraph::build(&g, &cfg);
+            for v in 0..g.num_vertices() {
+                prop_assert!(
+                    streamed.set_size(v) == full.set_size(v),
+                    "{}: size of {} differs", label, v
+                );
+            }
+            assert_stores_bit_identical(&streamed, &full, label);
+            for &(u, v) in clean.iter().take(150) {
+                prop_assert!(
+                    streamed.estimate_intersection(u, v) == full.estimate_intersection(u, v),
+                    "{}: estimate ({},{}) differs", label, u, v
+                );
+            }
+        }
+    }
+
     /// Algorithms through `with_oracle` agree between the build paths:
     /// triangle counting over incrementally-streamed DAG sets, and
     /// Jarvis–Patrick clustering over streamed full neighborhoods.
@@ -208,6 +352,59 @@ proptest! {
             prop_assert!(
                 c_full.num_clusters == c_inc.num_clusters,
                 "{}: cluster count differs", label
+            );
+        }
+    }
+}
+
+/// Interleaved insert/remove of the *same* edge follows rebuild
+/// semantics: an insert→remove cycle is a perfect no-op (counters,
+/// derived bits, cached popcounts, sizes all restored), and a
+/// remove→re-insert cycle restores the edge exactly — at any point in
+/// the cycle the store equals a rebuild of the then-current edge set.
+#[test]
+fn same_edge_insert_remove_cycle_matches_rebuild() {
+    let g = pg_graph::gen::erdos_renyi_gnm(40, 200, 7);
+    let edges = g.edge_list();
+    let (a, b) = (0..g.num_vertices() as u32)
+        .flat_map(|u| ((u + 1)..g.num_vertices() as u32).map(move |v| (u, v)))
+        .find(|&(u, v)| !g.has_edge(u, v))
+        .expect("graph is not complete");
+    for bhash in [1usize, 2] {
+        let cfg = PgConfig::new(Representation::CountingBloom { b: bhash }, 0.3).with_seed(0xD1FF);
+        let baseline = ProbGraph::build(&g, &cfg);
+        let mut pg = ProbGraph::stream_from(g.num_vertices(), g.memory_bytes(), &cfg, &edges);
+        // Fresh edge in, same edge out — back to the baseline exactly.
+        pg.insert_edge(a, b);
+        pg.remove_edge(a, b);
+        assert_stores_bit_identical(&pg, &baseline, "insert-remove cycle");
+        for v in 0..g.num_vertices() {
+            assert_eq!(pg.set_size(v), baseline.set_size(v), "cycle v={v}");
+        }
+        // Present edge out, same edge back in — baseline again, and the
+        // intermediate state equals a rebuild without the edge.
+        let (eu, ev) = edges[edges.len() / 2];
+        pg.remove_edge(eu, ev);
+        let survivors: Vec<(u32, u32)> = edges
+            .iter()
+            .copied()
+            .filter(|&e| e != (eu, ev))
+            .collect();
+        let g2 = pg_graph::CsrGraph::from_edges(g.num_vertices(), &survivors);
+        let without = ProbGraph::build_over(
+            g.num_vertices(),
+            g.memory_bytes(),
+            |v| g2.neighbors(v as u32),
+            &cfg,
+        );
+        assert_stores_bit_identical(&pg, &without, "mid-cycle");
+        pg.insert_edge(eu, ev);
+        assert_stores_bit_identical(&pg, &baseline, "remove-reinsert cycle");
+        for (u, v) in g.edges().take(200) {
+            assert_eq!(
+                pg.estimate_intersection(u, v),
+                baseline.estimate_intersection(u, v),
+                "cycle estimate ({u},{v})"
             );
         }
     }
