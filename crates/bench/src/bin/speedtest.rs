@@ -711,6 +711,83 @@ fn main() {
         });
     }
 
+    // --- snapshot: durable save/load vs rebuild ----------------------------
+    // Per representation: atomic `save_snapshot` and validating
+    // `load_snapshot` throughput (GB/s over the on-disk size), and the
+    // load-vs-rebuild ratio. Loading re-verifies every checksum and
+    // derived invariant, yet must still beat rebuilding the sketches from
+    // the graph — `load_vs_build` (build-time / load-time) is gated in CI
+    // at >= 0.90, the usual noise floor.
+    struct SnapshotEntry {
+        name: &'static str,
+        bytes: u64,
+        save_gbps: f64,
+        load_gbps: f64,
+        load_vs_build: f64,
+    }
+    let mut snapshot: Vec<SnapshotEntry> = Vec::new();
+    {
+        let dir = std::env::temp_dir().join(format!("pg_speedtest_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create snapshot bench dir");
+        for (name, cfg) in [
+            ("bf2", PgConfig::new(Representation::Bloom { b: 2 }, 0.25)),
+            (
+                "cbloom",
+                PgConfig::new(Representation::CountingBloom { b: 2 }, 0.25),
+            ),
+            ("khash", PgConfig::new(Representation::KHash, 0.25)),
+            ("onehash", PgConfig::new(Representation::OneHash, 0.25)),
+            ("kmv", PgConfig::new(Representation::Kmv, 0.25)),
+            ("hll", PgConfig::new(Representation::Hll, 0.25)),
+        ] {
+            let t_build = time_median(reps, || {
+                black_box(ProbGraph::build_dag(&dag, g.memory_bytes(), &cfg))
+            })
+            .seconds;
+            let pg = ProbGraph::build_dag(&dag, g.memory_bytes(), &cfg);
+            let path = dir.join(format!("{name}.pgsnap"));
+            let t_save = median(
+                (0..reps)
+                    .map(|_| {
+                        let t0 = Instant::now();
+                        pg.save_snapshot(&path).expect("save snapshot");
+                        t0.elapsed().as_secs_f64()
+                    })
+                    .collect(),
+            );
+            let bytes = std::fs::metadata(&path).expect("stat snapshot").len();
+            let t_load = median(
+                (0..reps)
+                    .map(|_| {
+                        let t0 = Instant::now();
+                        let p = ProbGraph::load_snapshot(&path).expect("load snapshot");
+                        let dt = t0.elapsed().as_secs_f64();
+                        black_box(&p);
+                        dt
+                    })
+                    .collect(),
+            );
+            let gb = bytes as f64 / 1e9;
+            let save_gbps = gb / t_save;
+            let load_gbps = gb / t_load;
+            let load_vs_build = t_build / t_load;
+            println!(
+                "{:>22}: {:8.1} KiB | save {save_gbps:6.2} GB/s | load {load_gbps:6.2} GB/s | \
+                 load-vs-build {load_vs_build:.1}x",
+                format!("snapshot_{name}"),
+                bytes as f64 / 1024.0
+            );
+            snapshot.push(SnapshotEntry {
+                name,
+                bytes,
+                save_gbps,
+                load_gbps,
+                load_vs_build,
+            });
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     // --- machine-readable emission ---------------------------------------
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -772,6 +849,15 @@ fn main() {
         json.push_str(&format!(
             "    \"{}\": {{\"insert_ns\": {:.3}, \"remove_ns\": {:.3}, \"single_remove_ns\": {:.3}, \"remove_vs_insert\": {:.3}}}{comma}\n",
             r.name, r.insert_ns, r.remove_ns, r.single_remove_ns, r.remove_vs_insert
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"snapshot\": {\n");
+    for (i, s) in snapshot.iter().enumerate() {
+        let comma = if i + 1 == snapshot.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{\"bytes\": {}, \"save_gbps\": {:.3}, \"load_gbps\": {:.3}, \"load_vs_build\": {:.3}}}{comma}\n",
+            s.name, s.bytes, s.save_gbps, s.load_gbps, s.load_vs_build
         ));
     }
     json.push_str("  }\n");

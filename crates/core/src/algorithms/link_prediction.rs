@@ -63,10 +63,11 @@ fn rank_and_score(
     scores: &[f64],
 ) -> LinkPredictionOutcome {
     let mut order: Vec<usize> = (0..candidates.len()).collect();
+    // total_cmp keeps the ranking total even if an estimator ever emits a
+    // NaN score — a hostile input must degrade the ranking, not panic it.
     order.sort_by(|&a, &b| {
         scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap()
+            .total_cmp(&scores[a])
             .then_with(|| candidates[a].cmp(&candidates[b]))
     });
     let k = split.removed.len().min(order.len());

@@ -48,6 +48,9 @@
 //! * [`accuracy`] — relative-count / relative-error metrics of §VIII-A.
 //! * [`workdepth`] — operation-count instrumentation validating the
 //!   work/depth claims of Tables IV–VI.
+//! * [`snapshot`] — durable checksummed on-disk snapshots of a
+//!   [`ProbGraph`]: atomic saves, fault-attributing validated loads, and
+//!   warm restarts that continue bit-identically.
 
 pub mod accuracy;
 pub mod algorithms;
@@ -56,9 +59,13 @@ mod grain;
 pub mod intersect;
 pub mod oracle;
 pub mod pg;
+pub mod snapshot;
 pub mod tc_estimator;
 pub mod workdepth;
 
 pub use accuracy::{relative_count, relative_error};
-pub use oracle::{ExactOracle, IntersectionOracle, MutableOracle, OracleVisitor};
+pub use oracle::{
+    ExactOracle, IntersectionOracle, MutableOracle, OracleVisitor, UnsupportedOperation,
+};
 pub use pg::{BfEstimator, Edge, PgConfig, ProbGraph, Representation, SketchStore};
+pub use snapshot::{SnapshotError, SnapshotReport};

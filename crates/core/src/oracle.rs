@@ -20,8 +20,8 @@ use crate::intersect::intersect_card;
 use pg_graph::{CsrGraph, OrientedDag, VertexId};
 use pg_sketch::bitvec::and_count_words;
 use pg_sketch::{
-    estimators, BloomCollection, BottomKCollection, CountingBloomCollection,
-    HyperLogLogCollection, KmvCollection, MinHashCollection,
+    estimators, BloomCollection, BottomKCollection, CountingBloomCollection, HyperLogLogCollection,
+    KmvCollection, MinHashCollection,
 };
 use std::marker::PhantomData;
 
@@ -283,7 +283,71 @@ pub trait MutableOracle {
     fn remove_supported(&self) -> bool {
         false
     }
+
+    /// Non-panicking form of [`MutableOracle::remove_from`]: checks
+    /// [`MutableOracle::remove_supported`] first and reports an
+    /// unsupported store as an error instead of unwinding — the right
+    /// entry point when the representation is picked at runtime (config
+    /// files, loaded snapshots).
+    fn try_remove_from(&mut self, v: VertexId, x: u32) -> Result<(), UnsupportedOperation> {
+        if !self.remove_supported() {
+            return Err(UnsupportedOperation::removal());
+        }
+        self.remove_from(v, x);
+        Ok(())
+    }
+
+    /// Non-panicking form of [`MutableOracle::remove_from_many`]. Either
+    /// the whole batch applies or nothing does.
+    fn try_remove_from_many(
+        &mut self,
+        v: VertexId,
+        xs: &[u32],
+    ) -> Result<(), UnsupportedOperation> {
+        if !self.remove_supported() {
+            return Err(UnsupportedOperation::removal());
+        }
+        self.remove_from_many(v, xs);
+        Ok(())
+    }
+
+    /// Non-panicking form of [`MutableOracle::remove_edge`]. Either both
+    /// endpoints update or neither does.
+    fn try_remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), UnsupportedOperation> {
+        if !self.remove_supported() {
+            return Err(UnsupportedOperation::removal());
+        }
+        self.remove_edge(u, v);
+        Ok(())
+    }
 }
+
+/// A mutation was routed at a representation that cannot perform it —
+/// the typed counterpart of the loud panic in
+/// [`MutableOracle::remove_from`], returned by the `try_remove_*` family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnsupportedOperation {
+    /// The mutation that was refused.
+    pub operation: &'static str,
+}
+
+impl UnsupportedOperation {
+    /// The removal refusal every non-invertible store returns.
+    pub(crate) fn removal() -> Self {
+        UnsupportedOperation {
+            operation: "edge removal (remove_supported() == false); \
+                        use Representation::CountingBloom",
+        }
+    }
+}
+
+impl core::fmt::Display for UnsupportedOperation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unsupported operation: {}", self.operation)
+    }
+}
+
+impl std::error::Error for UnsupportedOperation {}
 
 impl MutableOracle for BloomCollection {
     #[inline]

@@ -9,12 +9,12 @@
 
 use crate::oracle::{
     BloomAnd, BloomLimit, BloomOr, BloomOracle, HllOracle, IntersectionOracle, KHashOracle,
-    KmvOracle, MutableOracle, OneHashOracle, OracleVisitor,
+    KmvOracle, MutableOracle, OneHashOracle, OracleVisitor, UnsupportedOperation,
 };
 use pg_graph::{CsrGraph, OrientedDag, VertexId};
 use pg_sketch::{
-    BloomCollection, BottomKCollection, BudgetPlan, CountingBloomCollection,
-    HyperLogLogCollection, KmvCollection, MinHashCollection, SketchParams,
+    BloomCollection, BottomKCollection, BudgetPlan, CountingBloomCollection, HyperLogLogCollection,
+    KmvCollection, MinHashCollection, SketchParams,
 };
 
 /// Which probabilistic set representation backs the ProbGraph.
@@ -125,6 +125,11 @@ pub struct ProbGraph {
     sizes: Vec<u32>,
     bf_estimator: BfEstimator,
     params: SketchParams,
+    /// The master hash seed the sketches were built under. The collections
+    /// only retain their derived [`pg_hash::HashFamily`] seeds, so the
+    /// master is recorded here — snapshots persist it, and a reloaded
+    /// store hashes identically to the one that was saved.
+    seed: u64,
 }
 
 impl ProbGraph {
@@ -202,9 +207,7 @@ impl ProbGraph {
                 )
             }
             Representation::KHash => {
-                let params = plan
-                    .try_khash()
-                    .unwrap_or(SketchParams::KHash { k: 1 });
+                let params = plan.try_khash().unwrap_or(SketchParams::KHash { k: 1 });
                 let SketchParams::KHash { k } = params else {
                     unreachable!()
                 };
@@ -214,9 +217,7 @@ impl ProbGraph {
                 )
             }
             Representation::OneHash => {
-                let params = plan
-                    .try_onehash()
-                    .unwrap_or(SketchParams::OneHash { k: 1 });
+                let params = plan.try_onehash().unwrap_or(SketchParams::OneHash { k: 1 });
                 let SketchParams::OneHash { k } = params else {
                     unreachable!()
                 };
@@ -255,6 +256,26 @@ impl ProbGraph {
             sizes,
             bf_estimator: cfg.bf_estimator,
             params,
+            seed: cfg.seed,
+        }
+    }
+
+    /// Assembles a ProbGraph from already-validated parts — the snapshot
+    /// load path (`crate::snapshot`), which has checked that the store,
+    /// sizes, params, and seed are mutually consistent before calling.
+    pub(crate) fn from_parts(
+        store: SketchStore,
+        sizes: Vec<u32>,
+        bf_estimator: BfEstimator,
+        params: SketchParams,
+        seed: u64,
+    ) -> ProbGraph {
+        ProbGraph {
+            store,
+            sizes,
+            bf_estimator,
+            params,
+            seed,
         }
     }
 
@@ -293,6 +314,13 @@ impl ProbGraph {
     #[inline]
     pub fn bf_estimator(&self) -> BfEstimator {
         self.bf_estimator
+    }
+
+    /// The master hash seed the sketches were built under (persisted by
+    /// snapshots so a reloaded store hashes identically).
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The exact set sizes recorded at build time (one per sketched set).
@@ -453,6 +481,27 @@ impl ProbGraph {
             return;
         }
         self.apply_updates(Self::arc_updates(arcs), true);
+    }
+
+    /// Non-panicking form of [`ProbGraph::remove_batch`]: refuses the
+    /// whole batch with [`UnsupportedOperation`] when the stored
+    /// representation is not invertible, leaving the sketches untouched.
+    pub fn try_remove_batch(&mut self, edges: &[Edge]) -> Result<(), UnsupportedOperation> {
+        if !self.remove_supported() {
+            return Err(UnsupportedOperation::removal());
+        }
+        self.remove_batch(edges);
+        Ok(())
+    }
+
+    /// Non-panicking form of [`ProbGraph::remove_arcs`] — same all-or-
+    /// nothing contract as [`ProbGraph::try_remove_batch`].
+    pub fn try_remove_arcs(&mut self, arcs: &[Edge]) -> Result<(), UnsupportedOperation> {
+        if !self.remove_supported() {
+            return Err(UnsupportedOperation::removal());
+        }
+        self.remove_arcs(arcs);
+        Ok(())
     }
 
     /// Expands undirected edges into per-set `(set, element)` updates,
@@ -856,10 +905,18 @@ mod tests {
             let (last, bulk) = gone.split_last().unwrap();
             pg.remove_batch(bulk);
             pg.remove_edge(last.0, last.1);
-            let rebuilt =
-                ProbGraph::build_over(g.num_vertices(), g.memory_bytes(), |v| g2.neighbors(v as u32), &cfg);
+            let rebuilt = ProbGraph::build_over(
+                g.num_vertices(),
+                g.memory_bytes(),
+                |v| g2.neighbors(v as u32),
+                &cfg,
+            );
             for v in 0..g.num_vertices() {
-                assert_eq!(pg.set_size(v), g2.degree(v as u32) as usize, "{est:?} v={v}");
+                assert_eq!(
+                    pg.set_size(v),
+                    g2.degree(v as u32) as usize,
+                    "{est:?} v={v}"
+                );
             }
             for (u, v) in g2.edges().take(300) {
                 assert_eq!(
@@ -917,6 +974,54 @@ mod tests {
         let mut pg = ProbGraph::build(&g, &PgConfig::new(Representation::Bloom { b: 2 }, 0.3));
         let (u, v) = g.edges().next().unwrap();
         pg.remove_edge(u, v);
+    }
+
+    #[test]
+    fn try_removals_error_instead_of_panicking() {
+        let g = gen::erdos_renyi_gnm(30, 120, 2);
+        let (u, v) = g.edges().next().unwrap();
+        for rep in all_reps() {
+            let mut pg = ProbGraph::build(&g, &PgConfig::new(rep, 0.3));
+            let before = pg.sizes().to_vec();
+            let supported = matches!(rep, Representation::CountingBloom { .. });
+            assert_eq!(pg.try_remove_edge(u, v).is_ok(), supported, "{rep:?}");
+            if supported {
+                // The supported store applied exactly one removal.
+                assert_eq!(pg.set_size(u as usize), before[u as usize] as usize - 1);
+                assert_eq!(pg.set_size(v as usize), before[v as usize] as usize - 1);
+                pg.apply_batch(&[(u, v)]);
+            } else {
+                // The refusing stores touched nothing.
+                assert_eq!(pg.sizes(), &before[..], "{rep:?}");
+                assert!(pg.try_remove_batch(&[(u, v)]).is_err(), "{rep:?}");
+                assert!(pg.try_remove_arcs(&[(u, v)]).is_err(), "{rep:?}");
+                let err = pg.try_remove_edge(u, v).unwrap_err();
+                assert!(err.to_string().contains("CountingBloom"), "{rep:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_remove_batch_matches_panicking_form_on_cbf() {
+        let g = gen::erdos_renyi_gnm(50, 300, 9);
+        let edges = g.edge_list();
+        let (gone, _) = edges.split_at(edges.len() / 3);
+        let cfg = PgConfig::new(Representation::CountingBloom { b: 2 }, 0.3);
+        let mut via_try = ProbGraph::build(&g, &cfg);
+        let mut via_panic = ProbGraph::build(&g, &cfg);
+        via_try
+            .try_remove_batch(gone)
+            .expect("CBF supports removal");
+        via_panic.remove_batch(gone);
+        for u in 0..g.num_vertices() as u32 {
+            for v in 0..g.num_vertices() as u32 {
+                assert_eq!(
+                    via_try.estimate_intersection(u, v),
+                    via_panic.estimate_intersection(u, v),
+                    "({u},{v})"
+                );
+            }
+        }
     }
 
     #[test]

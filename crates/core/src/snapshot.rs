@@ -1,0 +1,1298 @@
+//! Durable, checksummed on-disk snapshots of a [`ProbGraph`].
+//!
+//! A snapshot is the flat sketch arrays a [`crate::SketchStore`] already
+//! holds, written verbatim behind a fixed self-describing header — saving
+//! is `O(bytes)` with no re-encoding, and loading a validated snapshot is
+//! allocation + checksum, orders of magnitude cheaper than rebuilding the
+//! sketches from the edge list (the `snapshot` section of the bench suite
+//! measures the ratio). The format is deliberately simple enough to serve
+//! as the wire format for multi-process sketch exchange later.
+//!
+//! ## Format (version 1, all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  89 50 47 53 4E 41 50 0A  ("\x89PGSNAP\n")
+//!      8     4  format version (= 1)
+//!     12     4  representation tag (0 Bloom, 1 CountingBloom, 2 KHash,
+//!                                   3 OneHash, 4 Kmv, 5 Hll)
+//!     16     4  Bloom estimator tag (0 And, 1 Limit, 2 Or)
+//!     20     4  section count
+//!     24     8  master hash seed
+//!     32     8  number of sets
+//!     40     8  param A (bits_per_set | k | precision)
+//!     48     8  param B (b | strided flag | 0)
+//!     56     8  header checksum: xxh64 over bytes 0..56
+//!     64     —  section table: per section 24 bytes
+//!               (kind u32, reserved u32 = 0, payload len u64,
+//!                payload checksum u64), then 8 bytes table checksum
+//!      …     —  section payloads, concatenated, no padding
+//! ```
+//!
+//! Every region is covered by exactly one checksum (header, table, each
+//! payload), so [`ProbGraph::from_snapshot_bytes`] can attribute any
+//! corruption to the region it hit and return the matching typed
+//! [`SnapshotError`] — it never panics and never constructs a store from
+//! unvalidated bytes. Beyond checksums, the loader re-derives every
+//! redundant structure (Bloom popcount caches, the counting-Bloom read
+//! view, bottom-k layout and hash integrity, KMV order/range, HLL rank
+//! bounds) and rejects files whose sections are individually intact but
+//! mutually inconsistent.
+//!
+//! [`ProbGraph::save_snapshot`] is atomic: bytes go to a temp file in the
+//! destination directory, are fsynced, and rename into place, so a crash
+//! mid-save leaves either the old snapshot or the new one — never a torn
+//! file. [`inspect`] gives a best-effort per-section damage report for
+//! files that fail to load.
+//!
+//! ## Version policy
+//!
+//! The version field gates the whole layout: readers reject any version
+//! they do not know ([`SnapshotError::UnsupportedVersion`]) rather than
+//! guessing. Layout changes bump the version; the magic never changes.
+
+use std::fmt;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::pg::{BfEstimator, ProbGraph, SketchStore};
+use pg_hash::{xxh64, HashFamily};
+use pg_sketch::{
+    BloomCollection, BottomKCollection, CountingBloomCollection, HyperLogLogCollection,
+    KmvCollection, KmvSketch, MinHashCollection, SketchParams, MAX_BLOOM_HASHES,
+};
+
+/// The eight magic bytes opening every snapshot. PNG-style framing: the
+/// high bit catches 7-bit transport, the trailing `\n` catches newline
+/// translation.
+pub const SNAPSHOT_MAGIC: [u8; 8] = [0x89, b'P', b'G', b'S', b'N', b'A', b'P', 0x0A];
+
+/// The format version this build writes and the only one it reads.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Fixed header size in bytes (including its trailing checksum).
+pub const HEADER_LEN: usize = 64;
+/// Size of one section-table entry in bytes.
+pub const ENTRY_LEN: usize = 24;
+/// Seed for every xxh64 checksum in the file (header, table, payloads).
+/// Public so external recovery / fuzzing tooling can recompute them.
+pub const CHECKSUM_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Sanity bound on the section count honored by [`inspect`] (loads use
+/// the exact per-representation layout instead).
+const MAX_SECTIONS: u32 = 16;
+
+/// Identifies what a snapshot section stores. Tags are part of the wire
+/// format and never reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SectionKind {
+    /// Exact per-set sizes (`u32` each) — every representation.
+    Sizes = 1,
+    /// Flat Bloom filter words (`u64` each).
+    BloomWords = 2,
+    /// Per-filter popcount cache (`u32` each).
+    BloomOnes = 3,
+    /// Packed 4-bit counting-Bloom counters (`u64` words).
+    CbfCounters = 4,
+    /// The derived counting-Bloom read view (`u64` words).
+    CbfView = 5,
+    /// Flat k-hash MinHash signatures (`u32` each).
+    MinHashSigs = 6,
+    /// Bottom-k sample elements (`u32` each).
+    BkElems = 7,
+    /// Bottom-k sample hashes, same order as the elements (`u32` each).
+    BkHashes = 8,
+    /// Bottom-k per-set region offsets (`n + 1` × `u32`).
+    BkOffsets = 9,
+    /// Bottom-k live sample lengths (`u32` each).
+    BkLens = 10,
+    /// Bottom-k recorded exact set sizes (`u32` each).
+    BkSetSizes = 11,
+    /// KMV per-sketch hash counts (`u32` each).
+    KmvLens = 12,
+    /// KMV per-sketch recorded exact set sizes (`u64` each).
+    KmvSetSizes = 13,
+    /// KMV unit-interval hashes, concatenated per sketch (`f64` each).
+    KmvHashes = 14,
+    /// HyperLogLog registers (`2^precision` bytes per set).
+    HllRegisters = 15,
+}
+
+impl SectionKind {
+    /// Decodes a wire tag; `None` for tags this build does not know.
+    pub fn from_tag(tag: u32) -> Option<SectionKind> {
+        use SectionKind::*;
+        Some(match tag {
+            1 => Sizes,
+            2 => BloomWords,
+            3 => BloomOnes,
+            4 => CbfCounters,
+            5 => CbfView,
+            6 => MinHashSigs,
+            7 => BkElems,
+            8 => BkHashes,
+            9 => BkOffsets,
+            10 => BkLens,
+            11 => BkSetSizes,
+            12 => KmvLens,
+            13 => KmvSetSizes,
+            14 => KmvHashes,
+            15 => HllRegisters,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for SectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Everything that can be wrong with a snapshot, attributed to the region
+/// the damage hit. Loading never panics: every malformed, truncated, or
+/// bit-flipped input maps to one of these.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// Fewer bytes than the fixed header + section table need.
+    TooShort {
+        /// Minimum byte count the structure requires.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The magic bytes are wrong — not a snapshot (or mangled transport).
+    BadMagic,
+    /// A format version this build does not read.
+    UnsupportedVersion {
+        /// The version the file claims.
+        found: u32,
+    },
+    /// The header checksum does not match — header bytes were corrupted.
+    HeaderCorrupt,
+    /// The representation tag is not one of the six known stores.
+    BadRepresentation {
+        /// The unknown tag.
+        tag: u32,
+    },
+    /// The Bloom estimator tag is not And/Limit/Or.
+    BadEstimator {
+        /// The unknown tag.
+        tag: u32,
+    },
+    /// Header parameters are impossible for the claimed representation
+    /// (zero `k`, non-word Bloom width, out-of-range precision, …).
+    BadParams {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The header's section count disagrees with the representation's
+    /// fixed layout.
+    SectionCount {
+        /// Sections the representation's layout defines.
+        expected: usize,
+        /// Sections the header declares.
+        found: usize,
+    },
+    /// The section table checksum does not match — table bytes were
+    /// corrupted.
+    SectionTableCorrupt,
+    /// A table entry names a different section than the layout expects
+    /// at that position.
+    WrongSection {
+        /// Zero-based table position.
+        index: usize,
+        /// The section the layout expects there.
+        expected: SectionKind,
+        /// The tag actually found.
+        found_tag: u32,
+    },
+    /// The file ends before the declared payloads do.
+    Truncated {
+        /// Total bytes the header + table promise.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The file continues past the declared payloads.
+    TrailingBytes {
+        /// Total bytes the header + table promise.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// A payload checksum does not match — that section was corrupted.
+    ChecksumMismatch {
+        /// The damaged section.
+        section: SectionKind,
+    },
+    /// A section's declared length is impossible for the header's set
+    /// count and parameters.
+    SectionLength {
+        /// The inconsistent section.
+        section: SectionKind,
+        /// Bytes the parameters require.
+        expected_bytes: u64,
+        /// Bytes the table declares.
+        got_bytes: u64,
+    },
+    /// Sections are individually intact but mutually inconsistent — a
+    /// derived invariant (popcount cache, counter/view agreement, sample
+    /// ordering, hash integrity, register range, …) does not hold.
+    InvariantViolation {
+        /// The section the violated invariant lives in.
+        section: SectionKind,
+        /// Which invariant failed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use SnapshotError::*;
+        match self {
+            Io(e) => write!(f, "snapshot I/O failed: {e}"),
+            TooShort { needed, got } => {
+                write!(f, "snapshot too short: need {needed} bytes, got {got}")
+            }
+            BadMagic => write!(f, "not a ProbGraph snapshot (bad magic)"),
+            UnsupportedVersion { found } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads {SNAPSHOT_VERSION})"
+            ),
+            HeaderCorrupt => write!(f, "snapshot header failed its checksum"),
+            BadRepresentation { tag } => write!(f, "unknown representation tag {tag}"),
+            BadEstimator { tag } => write!(f, "unknown Bloom estimator tag {tag}"),
+            BadParams { detail } => write!(f, "invalid sketch parameters: {detail}"),
+            SectionCount { expected, found } => write!(
+                f,
+                "section count {found} does not match the representation's layout ({expected})"
+            ),
+            SectionTableCorrupt => write!(f, "snapshot section table failed its checksum"),
+            WrongSection {
+                index,
+                expected,
+                found_tag,
+            } => write!(
+                f,
+                "section {index} should be {expected} but the table says tag {found_tag}"
+            ),
+            Truncated { expected, got } => {
+                write!(f, "snapshot truncated: {expected} bytes declared, {got} present")
+            }
+            TrailingBytes { expected, got } => write!(
+                f,
+                "snapshot has trailing bytes: {expected} declared, {got} present"
+            ),
+            ChecksumMismatch { section } => {
+                write!(f, "section {section} failed its checksum")
+            }
+            SectionLength {
+                section,
+                expected_bytes,
+                got_bytes,
+            } => write!(
+                f,
+                "section {section} should be {expected_bytes} bytes for these parameters, table declares {got_bytes}"
+            ),
+            InvariantViolation { section, detail } => {
+                write!(f, "section {section} violates a derived invariant: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian (de)serialization helpers
+// ---------------------------------------------------------------------------
+
+fn le_u32s(v: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 4);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+fn le_u64s(v: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+fn le_f64s(v: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+fn decode_u32s(b: &[u8]) -> Vec<u32> {
+    debug_assert_eq!(b.len() % 4, 0);
+    b.chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+fn decode_u64s(b: &[u8]) -> Vec<u64> {
+    debug_assert_eq!(b.len() % 8, 0);
+    b.chunks_exact(8)
+        .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect()
+}
+
+fn decode_f64s(b: &[u8]) -> Vec<f64> {
+    debug_assert_eq!(b.len() % 8, 0);
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect()
+}
+
+/// Reads a `u32` at `off`; callers bounds-check before calling.
+fn u32le(b: &[u8], off: usize) -> u32 {
+    let mut x = [0u8; 4];
+    x.copy_from_slice(&b[off..off + 4]);
+    u32::from_le_bytes(x)
+}
+
+/// Reads a `u64` at `off`; callers bounds-check before calling.
+fn u64le(b: &[u8], off: usize) -> u64 {
+    let mut x = [0u8; 8];
+    x.copy_from_slice(&b[off..off + 8]);
+    u64::from_le_bytes(x)
+}
+
+// ---------------------------------------------------------------------------
+// Encode
+// ---------------------------------------------------------------------------
+
+/// The fixed section sequence each representation writes and expects.
+fn layout_for(rep_tag: u32) -> Result<&'static [SectionKind], SnapshotError> {
+    use SectionKind::*;
+    Ok(match rep_tag {
+        0 => &[Sizes, BloomWords, BloomOnes],
+        1 => &[Sizes, CbfCounters, CbfView],
+        2 => &[Sizes, MinHashSigs],
+        3 => &[Sizes, BkElems, BkHashes, BkOffsets, BkLens, BkSetSizes],
+        4 => &[Sizes, KmvLens, KmvSetSizes, KmvHashes],
+        5 => &[Sizes, HllRegisters],
+        tag => return Err(SnapshotError::BadRepresentation { tag }),
+    })
+}
+
+/// Flattens a ProbGraph into `(rep tag, param A, param B, sections)` —
+/// the payloads are the collections' own flat arrays, byte for byte.
+fn sections_of(pg: &ProbGraph) -> (u32, u64, u64, Vec<(SectionKind, Vec<u8>)>) {
+    use SectionKind::*;
+    let sizes = (Sizes, le_u32s(pg.sizes()));
+    match (pg.store(), pg.params()) {
+        (SketchStore::Bloom(c), SketchParams::Bloom { bits_per_set, b }) => (
+            0,
+            bits_per_set as u64,
+            b as u64,
+            vec![
+                sizes,
+                (BloomWords, le_u64s(c.raw_words())),
+                (BloomOnes, le_u32s(c.raw_ones())),
+            ],
+        ),
+        (SketchStore::CountingBloom(c), SketchParams::CountingBloom { bits_per_set, b }) => (
+            1,
+            bits_per_set as u64,
+            b as u64,
+            vec![
+                sizes,
+                (CbfCounters, le_u64s(c.raw_counters())),
+                (CbfView, le_u64s(c.read_view().raw_words())),
+            ],
+        ),
+        (SketchStore::KHash(c), SketchParams::KHash { k }) => (
+            2,
+            k as u64,
+            0,
+            vec![sizes, (MinHashSigs, le_u32s(c.raw_sigs()))],
+        ),
+        (SketchStore::OneHash(c), SketchParams::OneHash { k }) => (
+            3,
+            k as u64,
+            c.is_strided() as u64,
+            vec![
+                sizes,
+                (BkElems, le_u32s(c.raw_elems())),
+                (BkHashes, le_u32s(c.raw_hashes())),
+                (BkOffsets, le_u32s(c.raw_offsets())),
+                (BkLens, le_u32s(c.raw_lens())),
+                (BkSetSizes, le_u32s(c.raw_set_sizes())),
+            ],
+        ),
+        (SketchStore::Kmv(c), SketchParams::Kmv { k }) => {
+            let n = c.len();
+            let mut lens = Vec::with_capacity(n);
+            let mut set_sizes = Vec::with_capacity(n);
+            let mut hashes = Vec::new();
+            for i in 0..n {
+                let s = c.sketch(i);
+                lens.push(s.hashes().len() as u32);
+                set_sizes.push(s.set_size() as u64);
+                hashes.extend_from_slice(s.hashes());
+            }
+            (
+                4,
+                k as u64,
+                0,
+                vec![
+                    sizes,
+                    (KmvLens, le_u32s(&lens)),
+                    (KmvSetSizes, le_u64s(&set_sizes)),
+                    (KmvHashes, le_f64s(&hashes)),
+                ],
+            )
+        }
+        (SketchStore::Hll(c), SketchParams::Hll { precision }) => (
+            5,
+            precision as u64,
+            0,
+            vec![sizes, (HllRegisters, c.raw_registers().to_vec())],
+        ),
+        // `build_over` resolves store and params from the same
+        // representation; no constructor can mix them.
+        _ => unreachable!("SketchStore and SketchParams variants disagree"),
+    }
+}
+
+fn encode(pg: &ProbGraph) -> Vec<u8> {
+    let (rep_tag, param_a, param_b, sections) = sections_of(pg);
+    let est_tag: u32 = match pg.bf_estimator() {
+        BfEstimator::And => 0,
+        BfEstimator::Limit => 1,
+        BfEstimator::Or => 2,
+    };
+    let payload_total: usize = sections.iter().map(|(_, p)| p.len()).sum();
+    let mut out = Vec::with_capacity(HEADER_LEN + sections.len() * ENTRY_LEN + 8 + payload_total);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&rep_tag.to_le_bytes());
+    out.extend_from_slice(&est_tag.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    out.extend_from_slice(&pg.seed().to_le_bytes());
+    out.extend_from_slice(&(pg.len() as u64).to_le_bytes());
+    out.extend_from_slice(&param_a.to_le_bytes());
+    out.extend_from_slice(&param_b.to_le_bytes());
+    debug_assert_eq!(out.len(), HEADER_LEN - 8);
+    let header_sum = xxh64(&out, CHECKSUM_SEED);
+    out.extend_from_slice(&header_sum.to_le_bytes());
+    let table_start = out.len();
+    for (kind, payload) in &sections {
+        out.extend_from_slice(&(*kind as u32).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&xxh64(payload, CHECKSUM_SEED).to_le_bytes());
+    }
+    let table_sum = xxh64(&out[table_start..], CHECKSUM_SEED);
+    out.extend_from_slice(&table_sum.to_le_bytes());
+    for (_, payload) in &sections {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decode
+// ---------------------------------------------------------------------------
+
+struct Header {
+    rep_tag: u32,
+    est_tag: u32,
+    section_count: u32,
+    seed: u64,
+    n_sets: u64,
+    param_a: u64,
+    param_b: u64,
+}
+
+/// Validates magic, version, and the header checksum, in that order — a
+/// flip in the magic reports [`SnapshotError::BadMagic`], in the version
+/// [`SnapshotError::UnsupportedVersion`], anywhere else in the header
+/// [`SnapshotError::HeaderCorrupt`].
+fn parse_header(bytes: &[u8]) -> Result<Header, SnapshotError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapshotError::TooShort {
+            needed: HEADER_LEN,
+            got: bytes.len(),
+        });
+    }
+    if bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32le(bytes, 8);
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    if xxh64(&bytes[..HEADER_LEN - 8], CHECKSUM_SEED) != u64le(bytes, HEADER_LEN - 8) {
+        return Err(SnapshotError::HeaderCorrupt);
+    }
+    Ok(Header {
+        rep_tag: u32le(bytes, 12),
+        est_tag: u32le(bytes, 16),
+        section_count: u32le(bytes, 20),
+        seed: u64le(bytes, 24),
+        n_sets: u64le(bytes, 32),
+        param_a: u64le(bytes, 40),
+        param_b: u64le(bytes, 48),
+    })
+}
+
+fn bad_params(detail: impl Into<String>) -> SnapshotError {
+    SnapshotError::BadParams {
+        detail: detail.into(),
+    }
+}
+
+fn invariant(section: SectionKind, detail: impl Into<String>) -> SnapshotError {
+    SnapshotError::InvariantViolation {
+        section,
+        detail: detail.into(),
+    }
+}
+
+/// `count × size` with overflow mapped to [`SnapshotError::BadParams`]
+/// (only absurd headers overflow 64-bit byte counts).
+fn expected_bytes(count: u64, size: u64) -> Result<u64, SnapshotError> {
+    count
+        .checked_mul(size)
+        .ok_or_else(|| bad_params("section size overflows"))
+}
+
+/// Enforces a section's declared length against what the header's
+/// parameters require.
+fn check_len(section: SectionKind, got: u64, expected: u64) -> Result<(), SnapshotError> {
+    if got != expected {
+        return Err(SnapshotError::SectionLength {
+            section,
+            expected_bytes: expected,
+            got_bytes: got,
+        });
+    }
+    Ok(())
+}
+
+fn decode(bytes: &[u8]) -> Result<ProbGraph, SnapshotError> {
+    let h = parse_header(bytes)?;
+    let layout = layout_for(h.rep_tag)?;
+    let est = match h.est_tag {
+        0 => BfEstimator::And,
+        1 => BfEstimator::Limit,
+        2 => BfEstimator::Or,
+        tag => return Err(SnapshotError::BadEstimator { tag }),
+    };
+    if h.section_count as usize != layout.len() {
+        return Err(SnapshotError::SectionCount {
+            expected: layout.len(),
+            found: h.section_count as usize,
+        });
+    }
+    let table_end = HEADER_LEN + layout.len() * ENTRY_LEN + 8;
+    if bytes.len() < table_end {
+        return Err(SnapshotError::TooShort {
+            needed: table_end,
+            got: bytes.len(),
+        });
+    }
+    if xxh64(&bytes[HEADER_LEN..table_end - 8], CHECKSUM_SEED) != u64le(bytes, table_end - 8) {
+        return Err(SnapshotError::SectionTableCorrupt);
+    }
+    let mut entries: Vec<(SectionKind, u64, u64)> = Vec::with_capacity(layout.len());
+    for (i, kind) in layout.iter().enumerate() {
+        let off = HEADER_LEN + i * ENTRY_LEN;
+        let tag = u32le(bytes, off);
+        if tag != *kind as u32 {
+            return Err(SnapshotError::WrongSection {
+                index: i,
+                expected: *kind,
+                found_tag: tag,
+            });
+        }
+        entries.push((*kind, u64le(bytes, off + 8), u64le(bytes, off + 16)));
+    }
+    let mut total = table_end as u64;
+    for &(_, len, _) in &entries {
+        total = total
+            .checked_add(len)
+            .ok_or_else(|| bad_params("section lengths overflow"))?;
+    }
+    let got = bytes.len() as u64;
+    if got < total {
+        return Err(SnapshotError::Truncated {
+            expected: total as usize,
+            got: bytes.len(),
+        });
+    }
+    if got > total {
+        return Err(SnapshotError::TrailingBytes {
+            expected: total as usize,
+            got: bytes.len(),
+        });
+    }
+    // All declared lengths fit the file, so payload slicing cannot go out
+    // of bounds. Verify each section's checksum before decoding anything.
+    let mut payloads: Vec<&[u8]> = Vec::with_capacity(entries.len());
+    let mut off = table_end;
+    for &(kind, len, sum) in &entries {
+        let payload = &bytes[off..off + len as usize];
+        if xxh64(payload, CHECKSUM_SEED) != sum {
+            return Err(SnapshotError::ChecksumMismatch { section: kind });
+        }
+        payloads.push(payload);
+        off += len as usize;
+    }
+    build_store(&h, est, &entries, &payloads)
+}
+
+/// Decodes the checksummed payloads into a live store, re-deriving every
+/// redundant structure and rejecting any cross-section inconsistency.
+fn build_store(
+    h: &Header,
+    est: BfEstimator,
+    entries: &[(SectionKind, u64, u64)],
+    payloads: &[&[u8]],
+) -> Result<ProbGraph, SnapshotError> {
+    use SectionKind::*;
+    let n = h.n_sets;
+    let n_us = usize::try_from(n).map_err(|_| bad_params("set count exceeds address space"))?;
+    // Section 0 is always the exact sizes.
+    check_len(Sizes, entries[0].1, expected_bytes(n, 4)?)?;
+    let sizes = decode_u32s(payloads[0]);
+    let (params, store) = match h.rep_tag {
+        0 | 1 => {
+            let (bits, b) = (h.param_a, h.param_b);
+            if bits == 0 || bits % 64 != 0 {
+                return Err(bad_params(format!(
+                    "Bloom width {bits} is not a positive multiple of 64"
+                )));
+            }
+            if b == 0 || b > MAX_BLOOM_HASHES as u64 {
+                return Err(bad_params(format!(
+                    "Bloom hash count {b} outside 1..={MAX_BLOOM_HASHES}"
+                )));
+            }
+            let view_words = bits / 64;
+            if h.rep_tag == 0 {
+                check_len(BloomWords, entries[1].1, expected_bytes(n, view_words * 8)?)?;
+                check_len(BloomOnes, entries[2].1, expected_bytes(n, 4)?)?;
+                let words = decode_u64s(payloads[1]);
+                let ones = decode_u32s(payloads[2]);
+                let col =
+                    BloomCollection::from_raw_words(words, view_words as usize, b as usize, h.seed);
+                // `from_raw_words` recounts every filter; the persisted
+                // cache must agree bit for bit.
+                if col.raw_ones() != &ones[..] {
+                    return Err(invariant(
+                        BloomOnes,
+                        "persisted popcount cache disagrees with the recounted filter words",
+                    ));
+                }
+                (
+                    SketchParams::Bloom {
+                        bits_per_set: bits as usize,
+                        b: b as usize,
+                    },
+                    SketchStore::Bloom(col),
+                )
+            } else {
+                // 4-bit counters, 16 per word.
+                let counter_words = bits / 16;
+                check_len(
+                    CbfCounters,
+                    entries[1].1,
+                    expected_bytes(n, counter_words * 8)?,
+                )?;
+                check_len(CbfView, entries[2].1, expected_bytes(n, view_words * 8)?)?;
+                let counters = decode_u64s(payloads[1]);
+                let view = decode_u64s(payloads[2]);
+                let col = CountingBloomCollection::from_counter_words(
+                    counters,
+                    bits as usize,
+                    b as usize,
+                    h.seed,
+                );
+                // The read view is fully determined by the counters
+                // (counter > 0 ⇔ bit set); a mismatch means one of the
+                // two sections is stale or forged.
+                if col.read_view().raw_words() != &view[..] {
+                    return Err(invariant(
+                        CbfView,
+                        "persisted read view disagrees with the view derived from the \
+                         counters (counter > 0 ⇔ bit set)",
+                    ));
+                }
+                (
+                    SketchParams::CountingBloom {
+                        bits_per_set: bits as usize,
+                        b: b as usize,
+                    },
+                    SketchStore::CountingBloom(col),
+                )
+            }
+        }
+        2 => {
+            let k = h.param_a;
+            if k == 0 {
+                return Err(bad_params("MinHash k must be ≥ 1"));
+            }
+            if h.param_b != 0 {
+                return Err(bad_params("param B must be 0 for k-hash MinHash"));
+            }
+            check_len(MinHashSigs, entries[1].1, expected_bytes(n, k * 4)?)?;
+            let sigs = decode_u32s(payloads[1]);
+            let k = k as usize;
+            // An empty set's signature must be all empty-slot sentinels —
+            // nothing ever wrote to it.
+            for (i, &size) in sizes.iter().enumerate() {
+                if size == 0 && sigs[i * k..(i + 1) * k].iter().any(|&s| s != u32::MAX) {
+                    return Err(invariant(
+                        MinHashSigs,
+                        format!("set {i} is empty but its signature has occupied slots"),
+                    ));
+                }
+            }
+            (
+                SketchParams::KHash { k },
+                SketchStore::KHash(MinHashCollection::from_raw_sigs(sigs, k, h.seed)),
+            )
+        }
+        3 => decode_onehash(h, entries, payloads, &sizes)?,
+        4 => decode_kmv(h, entries, payloads, &sizes)?,
+        5 => {
+            let p = h.param_a;
+            if !(4..=16).contains(&p) {
+                return Err(bad_params(format!("HLL precision {p} outside 4..=16")));
+            }
+            if h.param_b != 0 {
+                return Err(bad_params("param B must be 0 for HLL"));
+            }
+            check_len(HllRegisters, entries[1].1, expected_bytes(n, 1 << p)?)?;
+            let registers = payloads[1].to_vec();
+            // A register holds the max rank seen; rank caps at
+            // 64 − p + 1 leading-zero bits + 1.
+            let max_rank = (64 - p + 1) as u8;
+            if let Some(pos) = registers.iter().position(|&r| r > max_rank) {
+                return Err(invariant(
+                    HllRegisters,
+                    format!(
+                        "register {pos} holds rank {} above the precision-{p} maximum {max_rank}",
+                        registers[pos]
+                    ),
+                ));
+            }
+            (
+                SketchParams::Hll { precision: p as u8 },
+                SketchStore::Hll(HyperLogLogCollection::from_raw_registers(
+                    registers, p as u8, h.seed,
+                )),
+            )
+        }
+        // `layout_for` already rejected unknown tags.
+        tag => return Err(SnapshotError::BadRepresentation { tag }),
+    };
+    debug_assert_eq!(sizes.len(), n_us);
+    Ok(ProbGraph::from_parts(store, sizes, est, params, h.seed))
+}
+
+/// Bottom-k reconstruction: the layout has the most redundant structure
+/// of any store, and all of it is validated — offsets shape, region
+/// capacities, live lengths, ascending packed `(hash, element)` order,
+/// and per-element hash integrity under the persisted seed.
+fn decode_onehash(
+    h: &Header,
+    entries: &[(SectionKind, u64, u64)],
+    payloads: &[&[u8]],
+    sizes: &[u32],
+) -> Result<(SketchParams, SketchStore), SnapshotError> {
+    use SectionKind::*;
+    let n = h.n_sets;
+    let k = h.param_a;
+    if k == 0 {
+        return Err(bad_params("bottom-k k must be ≥ 1"));
+    }
+    let strided = match h.param_b {
+        0 => false,
+        1 => true,
+        other => return Err(bad_params(format!("bottom-k strided flag {other} not 0/1"))),
+    };
+    check_len(BkOffsets, entries[3].1, expected_bytes(n + 1, 4)?)?;
+    check_len(BkLens, entries[4].1, expected_bytes(n, 4)?)?;
+    check_len(BkSetSizes, entries[5].1, expected_bytes(n, 4)?)?;
+    if entries[1].1 != entries[2].1 {
+        return Err(SnapshotError::SectionLength {
+            section: BkHashes,
+            expected_bytes: entries[1].1,
+            got_bytes: entries[2].1,
+        });
+    }
+    if !entries[1].1.is_multiple_of(4) {
+        return Err(SnapshotError::SectionLength {
+            section: BkElems,
+            expected_bytes: entries[1].1 / 4 * 4,
+            got_bytes: entries[1].1,
+        });
+    }
+    if strided {
+        check_len(BkElems, entries[1].1, expected_bytes(n, k * 4)?)?;
+    }
+    let elems = decode_u32s(payloads[1]);
+    let hashes = decode_u32s(payloads[2]);
+    let offsets = decode_u32s(payloads[3]);
+    let lens = decode_u32s(payloads[4]);
+    let set_sizes = decode_u32s(payloads[5]);
+    let k_us = k as usize;
+    if offsets[0] != 0 {
+        return Err(invariant(BkOffsets, "offsets must start at 0"));
+    }
+    if *offsets.last().unwrap_or(&0) as usize != elems.len() {
+        return Err(invariant(
+            BkOffsets,
+            "final offset disagrees with the element array length",
+        ));
+    }
+    let family = HashFamily::new(1, h.seed);
+    for i in 0..n as usize {
+        let (start, end) = (offsets[i] as usize, offsets[i + 1] as usize);
+        if end < start {
+            return Err(invariant(BkOffsets, format!("offsets decrease at set {i}")));
+        }
+        let cap = end - start;
+        if cap > k_us {
+            return Err(invariant(
+                BkOffsets,
+                format!("set {i} region capacity {cap} exceeds k = {k_us}"),
+            ));
+        }
+        if strided && start != i * k_us {
+            return Err(invariant(
+                BkOffsets,
+                format!("strided layout requires offset {i} = i·k"),
+            ));
+        }
+        let len = lens[i] as usize;
+        if len > cap {
+            return Err(invariant(
+                BkLens,
+                format!("set {i} live length {len} exceeds region capacity {cap}"),
+            ));
+        }
+        if !strided && len != cap {
+            return Err(invariant(
+                BkLens,
+                format!("tight-packed layout requires set {i} length {len} to fill its region"),
+            ));
+        }
+        if set_sizes[i] != sizes[i] {
+            return Err(invariant(
+                BkSetSizes,
+                format!("set {i} recorded size disagrees with the Sizes section"),
+            ));
+        }
+        if (len as u32) > set_sizes[i] {
+            return Err(invariant(
+                BkLens,
+                format!("set {i} holds more samples than its recorded size"),
+            ));
+        }
+        let mut prev_key: Option<u64> = None;
+        for t in start..start + len {
+            let key = (hashes[t] as u64) << 32 | elems[t] as u64;
+            if prev_key.is_some_and(|p| p >= key) {
+                return Err(invariant(
+                    BkElems,
+                    format!("set {i} sample not in strictly ascending (hash, element) order"),
+                ));
+            }
+            prev_key = Some(key);
+            if family.hash32(0, elems[t] as u64) != hashes[t] {
+                return Err(invariant(
+                    BkHashes,
+                    format!("set {i} stored hash disagrees with hashing its element"),
+                ));
+            }
+        }
+    }
+    Ok((
+        SketchParams::OneHash { k: k_us },
+        SketchStore::OneHash(BottomKCollection::from_raw_parts(
+            elems, hashes, offsets, lens, set_sizes, k_us, h.seed, strided,
+        )),
+    ))
+}
+
+/// KMV reconstruction: per-sketch lengths bounded by `k`, hashes finite,
+/// strictly ascending, and inside the unit interval `(0, 1]` (which also
+/// rejects NaN), recorded sizes consistent with the Sizes section.
+fn decode_kmv(
+    h: &Header,
+    entries: &[(SectionKind, u64, u64)],
+    payloads: &[&[u8]],
+    sizes: &[u32],
+) -> Result<(SketchParams, SketchStore), SnapshotError> {
+    use SectionKind::*;
+    let n = h.n_sets;
+    let k = h.param_a;
+    if k == 0 {
+        return Err(bad_params("KMV k must be ≥ 1"));
+    }
+    if h.param_b != 0 {
+        return Err(bad_params("param B must be 0 for KMV"));
+    }
+    check_len(KmvLens, entries[1].1, expected_bytes(n, 4)?)?;
+    check_len(KmvSetSizes, entries[2].1, expected_bytes(n, 8)?)?;
+    let lens = decode_u32s(payloads[1]);
+    let set_sizes = decode_u64s(payloads[2]);
+    let mut total: u64 = 0;
+    for (i, &len) in lens.iter().enumerate() {
+        if len as u64 > k {
+            return Err(invariant(
+                KmvLens,
+                format!("sketch {i} holds {len} hashes, above k = {k}"),
+            ));
+        }
+        total = total
+            .checked_add(len as u64)
+            .ok_or_else(|| bad_params("KMV hash counts overflow"))?;
+    }
+    check_len(KmvHashes, entries[3].1, expected_bytes(total, 8)?)?;
+    let hashes = decode_f64s(payloads[3]);
+    let k_us = k as usize;
+    let mut sketches = Vec::with_capacity(n as usize);
+    let mut off = 0usize;
+    for i in 0..n as usize {
+        if set_sizes[i] != sizes[i] as u64 {
+            return Err(invariant(
+                KmvSetSizes,
+                format!("sketch {i} recorded size disagrees with the Sizes section"),
+            ));
+        }
+        let hs = &hashes[off..off + lens[i] as usize];
+        off += lens[i] as usize;
+        let mut prev = 0.0f64;
+        for &x in hs {
+            // `unit()` maps into (0, 1]; NaN fails the comparison too.
+            if !(x > prev && x <= 1.0) {
+                return Err(invariant(
+                    KmvHashes,
+                    format!("sketch {i} hashes must be strictly ascending inside (0, 1]"),
+                ));
+            }
+            prev = x;
+        }
+        sketches.push(KmvSketch::from_raw_parts(
+            hs.to_vec(),
+            k_us,
+            set_sizes[i] as usize,
+        ));
+    }
+    Ok((
+        SketchParams::Kmv { k: k_us },
+        SketchStore::Kmv(KmvCollection::from_sketches(sketches, h.seed)),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Inspection
+// ---------------------------------------------------------------------------
+
+/// Per-section damage status from [`inspect`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SectionStatus {
+    /// Present in full with a matching checksum.
+    Ok,
+    /// The file ends before the declared payload does.
+    Truncated {
+        /// Payload bytes actually present.
+        available: u64,
+    },
+    /// Present in full but the checksum does not match.
+    ChecksumMismatch,
+}
+
+/// One section-table row as seen by [`inspect`].
+#[derive(Clone, Debug)]
+pub struct SectionReport {
+    /// The decoded kind, if the tag is known.
+    pub kind: Option<SectionKind>,
+    /// The raw tag from the table.
+    pub kind_tag: u32,
+    /// The payload length the table declares.
+    pub declared_len: u64,
+    /// Whether the payload survived.
+    pub status: SectionStatus,
+}
+
+/// Best-effort structural damage report from [`inspect`]. Field-level so
+/// recovery tooling can decide what is salvageable; [`SnapshotReport::ok`]
+/// collapses it to "would the structural checks pass".
+#[derive(Clone, Debug)]
+pub struct SnapshotReport {
+    /// Total bytes inspected.
+    pub len: usize,
+    /// Magic bytes matched.
+    pub magic_ok: bool,
+    /// The version field, when enough bytes exist to read it.
+    pub version: Option<u32>,
+    /// Magic, version, and header checksum all valid.
+    pub header_ok: bool,
+    /// The representation tag, when readable.
+    pub representation_tag: Option<u32>,
+    /// The set count, when readable.
+    pub n_sets: Option<u64>,
+    /// Section table checksum valid.
+    pub table_ok: bool,
+    /// One entry per table row that could be read.
+    pub sections: Vec<SectionReport>,
+}
+
+impl SnapshotReport {
+    /// True when every structural check (header, table, each payload
+    /// checksum) passed — semantic invariants still run at load.
+    pub fn ok(&self) -> bool {
+        self.header_ok
+            && self.table_ok
+            && self.sections.iter().all(|s| s.status == SectionStatus::Ok)
+    }
+}
+
+/// Surveys a snapshot without constructing anything: which regions are
+/// intact, which are damaged, and what the header claims. Never fails —
+/// arbitrary bytes yield a report, not an error — so it is safe to run on
+/// exactly the files [`ProbGraph::from_snapshot_bytes`] rejects.
+pub fn inspect(bytes: &[u8]) -> SnapshotReport {
+    let mut r = SnapshotReport {
+        len: bytes.len(),
+        magic_ok: false,
+        version: None,
+        header_ok: false,
+        representation_tag: None,
+        n_sets: None,
+        table_ok: false,
+        sections: Vec::new(),
+    };
+    if bytes.len() < HEADER_LEN {
+        return r;
+    }
+    r.magic_ok = bytes[..8] == SNAPSHOT_MAGIC;
+    r.version = Some(u32le(bytes, 8));
+    r.representation_tag = Some(u32le(bytes, 12));
+    r.n_sets = Some(u64le(bytes, 32));
+    r.header_ok = r.magic_ok
+        && r.version == Some(SNAPSHOT_VERSION)
+        && xxh64(&bytes[..HEADER_LEN - 8], CHECKSUM_SEED) == u64le(bytes, HEADER_LEN - 8);
+    let count = u32le(bytes, 20).min(MAX_SECTIONS) as usize;
+    let table_end = HEADER_LEN + count * ENTRY_LEN + 8;
+    if bytes.len() < table_end {
+        return r;
+    }
+    r.table_ok =
+        xxh64(&bytes[HEADER_LEN..table_end - 8], CHECKSUM_SEED) == u64le(bytes, table_end - 8);
+    let mut off = table_end as u64;
+    for i in 0..count {
+        let e = HEADER_LEN + i * ENTRY_LEN;
+        let tag = u32le(bytes, e);
+        let len = u64le(bytes, e + 8);
+        let sum = u64le(bytes, e + 16);
+        let available = (bytes.len() as u64).saturating_sub(off);
+        let status = if available < len {
+            SectionStatus::Truncated { available }
+        } else if xxh64(&bytes[off as usize..(off + len) as usize], CHECKSUM_SEED) == sum {
+            SectionStatus::Ok
+        } else {
+            SectionStatus::ChecksumMismatch
+        };
+        r.sections.push(SectionReport {
+            kind: SectionKind::from_tag(tag),
+            kind_tag: tag,
+            declared_len: len,
+            status,
+        });
+        off = off.saturating_add(len);
+    }
+    r
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+impl ProbGraph {
+    /// Serializes this ProbGraph into the version-1 snapshot format — a
+    /// pure in-memory flatten (no I/O). Deterministic: the same store
+    /// yields the same bytes, and a loaded snapshot re-serializes to the
+    /// identical byte string.
+    pub fn snapshot_to_bytes(&self) -> Vec<u8> {
+        encode(self)
+    }
+
+    /// Reconstructs a ProbGraph from snapshot bytes, validating
+    /// everything — framing, checksums, parameter sanity, and the derived
+    /// invariants of each store — before any collection is built. Never
+    /// panics on malformed input; every failure is a typed
+    /// [`SnapshotError`].
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<ProbGraph, SnapshotError> {
+        decode(bytes)
+    }
+
+    /// Atomically writes a snapshot to `path`: the bytes go to a fresh
+    /// temp file in the same directory, are fsynced, and rename over the
+    /// destination (followed by a best-effort directory fsync), so a
+    /// crash at any point leaves either the previous file or the complete
+    /// new one.
+    pub fn save_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<(), SnapshotError> {
+        let path = path.as_ref();
+        let bytes = self.snapshot_to_bytes();
+        let dir = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => Path::new(".").to_path_buf(),
+        };
+        let stem = path
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "snapshot".to_string());
+        let tmp = dir.join(format!(".{stem}.tmp.{}", std::process::id()));
+        let write_tmp = (|| -> std::io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()
+        })();
+        if let Err(e) = write_tmp.and_then(|()| fs::rename(&tmp, path)) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        // Durability of the rename itself; failures here do not make the
+        // snapshot unreadable, so they are not surfaced.
+        if let Ok(d) = File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Reads and validates a snapshot file —
+    /// [`ProbGraph::from_snapshot_bytes`] over [`std::fs::read`].
+    pub fn load_snapshot<P: AsRef<Path>>(path: P) -> Result<ProbGraph, SnapshotError> {
+        ProbGraph::from_snapshot_bytes(&fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pg::{PgConfig, Representation};
+    use pg_graph::gen;
+
+    fn sample(rep: Representation) -> ProbGraph {
+        let g = gen::erdos_renyi_gnm(60, 400, 3);
+        ProbGraph::build(&g, &PgConfig::new(rep, 0.3))
+    }
+
+    #[test]
+    fn header_layout_is_64_bytes() {
+        let bytes = sample(Representation::Hll).snapshot_to_bytes();
+        assert_eq!(&bytes[..8], &SNAPSHOT_MAGIC);
+        assert_eq!(u32le(&bytes, 8), SNAPSHOT_VERSION);
+        assert_eq!(u32le(&bytes, 12), 5); // Hll tag
+        assert_eq!(u64le(&bytes, 32), 60); // n_sets
+        assert_eq!(
+            u64le(&bytes, 56),
+            xxh64(&bytes[..56], CHECKSUM_SEED),
+            "header checksum covers the first 56 bytes"
+        );
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        for rep in [
+            Representation::Bloom { b: 2 },
+            Representation::CountingBloom { b: 2 },
+            Representation::KHash,
+            Representation::OneHash,
+            Representation::Kmv,
+            Representation::Hll,
+        ] {
+            let pg = sample(rep);
+            let bytes = pg.snapshot_to_bytes();
+            let back =
+                ProbGraph::from_snapshot_bytes(&bytes).unwrap_or_else(|e| panic!("{rep:?}: {e}"));
+            assert_eq!(back.snapshot_to_bytes(), bytes, "{rep:?}");
+            assert_eq!(back.params(), pg.params(), "{rep:?}");
+            assert_eq!(back.seed(), pg.seed(), "{rep:?}");
+            assert_eq!(back.sizes(), pg.sizes(), "{rep:?}");
+        }
+    }
+
+    #[test]
+    fn empty_probgraph_roundtrips() {
+        let g = pg_graph::CsrGraph::from_edges(0, &[]);
+        for rep in [Representation::Bloom { b: 1 }, Representation::OneHash] {
+            let pg = ProbGraph::build(&g, &PgConfig::new(rep, 0.2));
+            let bytes = pg.snapshot_to_bytes();
+            let back = ProbGraph::from_snapshot_bytes(&bytes).expect("empty snapshot loads");
+            assert!(back.is_empty());
+            assert_eq!(back.snapshot_to_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn obvious_garbage_is_typed_not_panicked() {
+        assert!(matches!(
+            ProbGraph::from_snapshot_bytes(&[]),
+            Err(SnapshotError::TooShort { .. })
+        ));
+        assert!(matches!(
+            ProbGraph::from_snapshot_bytes(&[0u8; 64]),
+            Err(SnapshotError::BadMagic)
+        ));
+        let mut bytes = sample(Representation::KHash).snapshot_to_bytes();
+        bytes[9] ^= 1; // version field
+        assert!(matches!(
+            ProbGraph::from_snapshot_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn inspect_reports_damage_without_failing() {
+        let pg = sample(Representation::Bloom { b: 2 });
+        let mut bytes = pg.snapshot_to_bytes();
+        assert!(inspect(&bytes).ok());
+        // Flip one bit inside the BloomWords payload and inspect again.
+        let words_start = HEADER_LEN + 3 * ENTRY_LEN + 8 + pg.len() * 4;
+        bytes[words_start + 5] ^= 0x10;
+        let report = inspect(&bytes);
+        assert!(!report.ok());
+        assert!(report.header_ok && report.table_ok);
+        assert_eq!(report.sections[0].status, SectionStatus::Ok);
+        assert_eq!(report.sections[1].status, SectionStatus::ChecksumMismatch);
+        assert_eq!(report.sections[1].kind, Some(SectionKind::BloomWords));
+        assert_eq!(report.sections[2].status, SectionStatus::Ok);
+        // Arbitrary garbage still yields a report.
+        assert!(!inspect(&[0xAB; 200]).ok());
+        assert!(!inspect(b"tiny").ok());
+    }
+}

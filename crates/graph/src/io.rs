@@ -4,15 +4,98 @@
 //! interchange format there is a whitespace-separated edge list with `#`
 //! comments (the SNAP convention). We implement reading and writing of that
 //! format so users can run the library on real downloaded datasets.
+//!
+//! Readers are hardened against hostile input: a malformed line, and a
+//! vertex id that would blow `n = max id + 1` up into an address-space-
+//! sized CSR (one stray `4294967295` in a text file means a 16 GB offsets
+//! array), are both typed [`EdgeListError`]s with the offending line
+//! number — never a panic, never an unchecked giant allocation. The cap is
+//! [`DEFAULT_MAX_VERTICES`] unless [`read_edge_list_capped`] overrides it.
 
 use crate::csr::{CsrGraph, VertexId};
+use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+/// Default bound on `max id + 1` accepted by [`read_edge_list`]:
+/// 2²⁷ ≈ 134M vertices (a ~0.5 GB offsets array) — far above every
+/// benchmark graph, far below an allocation that takes a machine down.
+pub const DEFAULT_MAX_VERTICES: usize = 1 << 27;
+
+/// Everything that can go wrong reading an edge list, with the line it
+/// went wrong on.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// A non-comment line did not hold two `u32` vertex ids.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line body.
+        content: String,
+    },
+    /// A vertex id implies more vertices than the configured cap — the
+    /// file would expand into an address-space-sized CSR.
+    TooManyVertices {
+        /// The id that broke the cap.
+        max_id: u64,
+        /// The configured vertex cap.
+        cap: usize,
+        /// 1-based line number of the offending edge.
+        line: usize,
+    },
+}
+
+impl fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "edge list I/O failed: {e}"),
+            EdgeListError::Parse { line, content } => {
+                write!(
+                    f,
+                    "line {line}: expected two u32 vertex ids, got {content:?}"
+                )
+            }
+            EdgeListError::TooManyVertices { max_id, cap, line } => write!(
+                f,
+                "line {line}: vertex id {max_id} implies {} vertices, above the cap of {cap} \
+                 (raise it with read_edge_list_capped if intentional)",
+                max_id + 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdgeListError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EdgeListError {
+    fn from(e: std::io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
 /// Parses a SNAP-style edge list: one `u v` pair per line, `#` comments and
-/// blank lines ignored. Vertex IDs may be arbitrary `u32`s; `n` is taken as
-/// `max id + 1`.
-pub fn read_edge_list<R: Read>(reader: R) -> std::io::Result<CsrGraph> {
+/// blank lines ignored. Vertex IDs may be arbitrary `u32`s up to
+/// [`DEFAULT_MAX_VERTICES`]; `n` is taken as `max id + 1`.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, EdgeListError> {
+    read_edge_list_capped(reader, DEFAULT_MAX_VERTICES)
+}
+
+/// [`read_edge_list`] with an explicit vertex cap — the id bound a caller
+/// who actually holds a billion-vertex graph raises deliberately, instead
+/// of every caller inheriting unbounded allocation from any typo'd id.
+pub fn read_edge_list_capped<R: Read>(
+    reader: R,
+    max_vertices: usize,
+) -> Result<CsrGraph, EdgeListError> {
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut max_id: u64 = 0;
     let mut line = String::new();
@@ -29,17 +112,24 @@ pub fn read_edge_list<R: Read>(reader: R) -> std::io::Result<CsrGraph> {
             continue;
         }
         let mut it = body.split_whitespace();
-        let parse = |tok: Option<&str>| -> std::io::Result<VertexId> {
-            tok.and_then(|t| t.parse::<VertexId>().ok()).ok_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("line {lineno}: expected two u32 vertex ids, got {body:?}"),
-                )
-            })
+        let parse = |tok: Option<&str>| -> Result<VertexId, EdgeListError> {
+            tok.and_then(|t| t.parse::<VertexId>().ok())
+                .ok_or(EdgeListError::Parse {
+                    line: lineno,
+                    content: body.to_string(),
+                })
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
-        max_id = max_id.max(u as u64).max(v as u64);
+        let line_max = u.max(v) as u64;
+        if line_max + 1 > max_vertices as u64 {
+            return Err(EdgeListError::TooManyVertices {
+                max_id: line_max,
+                cap: max_vertices,
+                line: lineno,
+            });
+        }
+        max_id = max_id.max(line_max);
         edges.push((u, v));
     }
     let n = if edges.is_empty() {
@@ -50,8 +140,8 @@ pub fn read_edge_list<R: Read>(reader: R) -> std::io::Result<CsrGraph> {
     Ok(CsrGraph::from_edges(n, &edges))
 }
 
-/// Reads an edge-list file from disk.
-pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> std::io::Result<CsrGraph> {
+/// Reads an edge-list file from disk, under the default vertex cap.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph, EdgeListError> {
     read_edge_list(std::fs::File::open(path)?)
 }
 
@@ -89,15 +179,72 @@ mod tests {
     }
 
     #[test]
-    fn rejects_garbage() {
-        assert!(read_edge_list("0 x\n".as_bytes()).is_err());
+    fn rejects_garbage_with_line_numbers() {
+        let err = read_edge_list("0 1\n0 x\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, EdgeListError::Parse { line: 2, .. }),
+            "{err:?}"
+        );
         assert!(read_edge_list("42\n".as_bytes()).is_err());
+        // Negative ids and overflowing literals are parse errors too.
+        assert!(matches!(
+            read_edge_list("-1 2\n".as_bytes()),
+            Err(EdgeListError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_edge_list("0 99999999999\n".as_bytes()),
+            Err(EdgeListError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn huge_ids_hit_the_cap_not_the_allocator() {
+        // u32::MAX parses fine but implies 2³² vertices — a 16 GB offsets
+        // array under the old behavior. It must be a typed refusal.
+        let text = format!("0 1\n5 {}\n", u32::MAX);
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            EdgeListError::TooManyVertices { max_id, cap, line } => {
+                assert_eq!(max_id, u32::MAX as u64);
+                assert_eq!(cap, DEFAULT_MAX_VERTICES);
+                assert_eq!(line, 2);
+            }
+            other => panic!("expected TooManyVertices, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cap_is_a_boundary_not_a_fence_post() {
+        // max id == cap - 1 is exactly cap vertices: allowed.
+        let ok = read_edge_list_capped("0 9\n".as_bytes(), 10).unwrap();
+        assert_eq!(ok.num_vertices(), 10);
+        // max id == cap is cap + 1 vertices: refused.
+        assert!(matches!(
+            read_edge_list_capped("0 10\n".as_bytes(), 10),
+            Err(EdgeListError::TooManyVertices { max_id: 10, .. })
+        ));
+        // The default reader enforces DEFAULT_MAX_VERTICES.
+        let text = format!("0 {}\n", DEFAULT_MAX_VERTICES);
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(EdgeListError::TooManyVertices { .. })
+        ));
     }
 
     #[test]
     fn empty_input_is_empty_graph() {
         let g = read_edge_list("# nothing here\n".as_bytes()).unwrap();
         assert_eq!(g.num_vertices(), 0);
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_edge_list_file("/nonexistent/pg/evenless.el").unwrap_err();
+        assert!(matches!(err, EdgeListError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
     }
 
     #[test]

@@ -20,7 +20,9 @@
 pub mod family;
 pub mod mix;
 pub mod murmur3;
+pub mod xxhash;
 
 pub use family::HashFamily;
 pub use mix::{splitmix64, splitmix64_at, xxmix64};
 pub use murmur3::{fmix32, fmix64, murmur3_bytes, murmur3_u32, murmur3_u64};
+pub use xxhash::xxh64;

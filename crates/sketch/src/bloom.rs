@@ -274,19 +274,15 @@ impl BloomCollection {
         }
     }
 
-    /// Crate-internal: assembles a collection around already-materialized
-    /// filter words — the counting-Bloom sibling derives its view bits
-    /// from the counters in one linear sweep instead of re-hashing every
-    /// set through a second [`BloomCollection::build`]. The cached
+    /// Assembles a collection around already-materialized filter words —
+    /// the counting-Bloom sibling derives its view bits from the counters
+    /// in one linear sweep instead of re-hashing every set through a
+    /// second [`BloomCollection::build`], and snapshot loads reconstruct
+    /// collections from validated on-disk word arrays. The cached
     /// popcounts are computed here, in parallel; `data` must hold a whole
     /// number of `words_per_set` windows whose bits were produced by the
     /// same `(b, seed)` bucket sequence this collection will hash with.
-    pub(crate) fn from_raw_words(
-        data: Vec<u64>,
-        words_per_set: usize,
-        b: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn from_raw_words(data: Vec<u64>, words_per_set: usize, b: usize, seed: u64) -> Self {
         assert!(b > 0, "need at least one hash function");
         assert!(
             b <= MAX_BLOOM_HASHES,
@@ -335,10 +331,31 @@ impl BloomCollection {
         self.b
     }
 
+    /// Words per filter (`bits_per_set / 64`).
+    #[inline]
+    pub fn words_per_set(&self) -> usize {
+        self.words_per_set
+    }
+
     /// The word window of filter `i`.
     #[inline]
     pub fn words(&self, i: usize) -> &[u64] {
         &self.data[i * self.words_per_set..(i + 1) * self.words_per_set]
+    }
+
+    /// The whole flat word array (`n_sets × words_per_set`) — the
+    /// byte-stable payload snapshots persist.
+    #[inline]
+    pub fn raw_words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// The cached per-filter popcounts, in set order. Snapshots persist
+    /// these alongside the words and cross-check them against freshly
+    /// recomputed popcounts on load.
+    #[inline]
+    pub fn raw_ones(&self) -> &[u32] {
+        &self.ones
     }
 
     /// Popcount of filter `i` — cached at build time, `O(1)`.

@@ -344,6 +344,84 @@ impl BottomKCollection {
         }
     }
 
+    /// Reconstructs a collection from already-materialized flat arrays
+    /// (the snapshot load path). Callers must pass arrays satisfying the
+    /// layout invariants of whichever form `strided` names: monotone
+    /// `offsets` with `offsets[0] == 0` and `offsets[n] == elems.len()`,
+    /// `lens[i]` live entries per region in ascending packed
+    /// `(hash, element)` order, and for the strided form
+    /// `offsets[i] == i·k`. The snapshot loader validates all of this
+    /// (plus hash integrity) before calling; the debug assertions here
+    /// only guard direct in-crate use.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        elems: Vec<u32>,
+        hashes: Vec<u32>,
+        offsets: Vec<u32>,
+        lens: Vec<u32>,
+        set_sizes: Vec<u32>,
+        k: usize,
+        seed: u64,
+        strided: bool,
+    ) -> Self {
+        assert!(k > 0, "bottom-k needs k ≥ 1");
+        assert!(!offsets.is_empty(), "offsets must hold n + 1 entries");
+        let n = offsets.len() - 1;
+        assert_eq!(lens.len(), n);
+        assert_eq!(set_sizes.len(), n);
+        assert_eq!(elems.len(), hashes.len());
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert_eq!(*offsets.last().expect("non-empty") as usize, elems.len());
+        BottomKCollection {
+            elems,
+            hashes,
+            offsets,
+            lens,
+            set_sizes,
+            k,
+            family: HashFamily::new(1, seed),
+            strided,
+        }
+    }
+
+    /// The whole flat element array — the byte-stable payload snapshots
+    /// persist (paired with [`Self::raw_hashes`]).
+    #[inline]
+    pub fn raw_elems(&self) -> &[u32] {
+        &self.elems
+    }
+
+    /// The whole flat hash array, same order as [`Self::raw_elems`].
+    #[inline]
+    pub fn raw_hashes(&self) -> &[u32] {
+        &self.hashes
+    }
+
+    /// The per-set region offsets (`n + 1` entries).
+    #[inline]
+    pub fn raw_offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The per-set live sample lengths.
+    #[inline]
+    pub fn raw_lens(&self) -> &[u32] {
+        &self.lens
+    }
+
+    /// The per-set exact input sizes.
+    #[inline]
+    pub fn raw_set_sizes(&self) -> &[u32] {
+        &self.set_sizes
+    }
+
+    /// True when the collection is in the strided capacity-`k` streaming
+    /// layout (see the type docs).
+    #[inline]
+    pub fn is_strided(&self) -> bool {
+        self.strided
+    }
+
     /// Converts the tight-packed arrays to the strided capacity-`k`
     /// layout (see the type docs). Idempotent; called once, lazily, by
     /// the first insert.

@@ -150,7 +150,11 @@ impl BudgetPlan {
     /// so the planners below need no `.max(1)` floors: this guard is the
     /// single source of `k ≥ 1`.
     #[inline]
-    fn afford(&self, representation: &'static str, needed_bytes: usize) -> Result<usize, PlanError> {
+    fn afford(
+        &self,
+        representation: &'static str,
+        needed_bytes: usize,
+    ) -> Result<usize, PlanError> {
         if self.n_sets == 0 {
             return Ok(needed_bytes);
         }
@@ -233,7 +237,9 @@ impl BudgetPlan {
     /// 8-byte slot plus 24 bytes of per-sketch bookkeeping.
     pub fn try_kmv(&self) -> Result<SketchParams, PlanError> {
         let bytes = self.afford("KMV", 24 + 8)?;
-        Ok(SketchParams::Kmv { k: (bytes - 24) / 8 })
+        Ok(SketchParams::Kmv {
+            k: (bytes - 24) / 8,
+        })
     }
 
     /// HyperLogLog parameters: the largest precision whose `2^p` one-byte
@@ -275,8 +281,8 @@ mod tests {
     #[test]
     fn tiny_budgets_error_instead_of_degrading() {
         let p = BudgetPlan::new(100, 1000, 0.01); // ~0 bytes per set
-        // Bloom keeps its documented one-word floor (a 64-bit filter is
-        // still a filter; fractional words are not).
+                                                  // Bloom keeps its documented one-word floor (a 64-bit filter is
+                                                  // still a filter; fractional words are not).
         assert_eq!(
             p.bloom(1),
             SketchParams::Bloom {
@@ -311,8 +317,13 @@ mod tests {
     #[test]
     fn counting_bloom_charges_counter_width() {
         let p = BudgetPlan::new(8_000_000, 2000, 0.25);
-        let (SketchParams::CountingBloom { bits_per_set, b }, SketchParams::Bloom { bits_per_set: plain, .. }) =
-            (p.counting_bloom(2), p.bloom(2))
+        let (
+            SketchParams::CountingBloom { bits_per_set, b },
+            SketchParams::Bloom {
+                bits_per_set: plain,
+                ..
+            },
+        ) = (p.counting_bloom(2), p.bloom(2))
         else {
             panic!("wrong variants")
         };

@@ -117,6 +117,24 @@ fn dec(window: &mut [u64], pos: usize) -> bool {
     c == 1
 }
 
+/// Derives the occupancy view words from packed counters: one view word
+/// gathers the occupancy of its 64 buckets from `64 / COUNTERS_PER_WORD`
+/// consecutive counter words. Shared by [`CountingBloomCollection::build`]
+/// and the snapshot reconstruction path so both produce bit-identical
+/// views.
+fn derive_view_words(counters: &[u64], n_view_words: usize) -> Vec<u64> {
+    const CW_PER_VIEW_WORD: usize = 64 / COUNTERS_PER_WORD;
+    let mut view_words = vec![0u64; n_view_words];
+    pg_parallel::parallel_fill_with(&mut view_words, |w| {
+        let mut bits = 0u64;
+        for j in 0..CW_PER_VIEW_WORD {
+            bits |= occupancy_bits(counters[w * CW_PER_VIEW_WORD + j]) << (j * COUNTERS_PER_WORD);
+        }
+        bits
+    });
+    view_words
+}
+
 impl CountingBloomCollection {
     /// Builds filters for `n_sets` sets in parallel. Each set is hashed
     /// **once**, into its counters; the derived view is then one linear
@@ -154,23 +172,48 @@ impl CountingBloomCollection {
                 }
             });
         }
-        // One view word gathers the occupancy of its 64 buckets from
-        // `64 / COUNTERS_PER_WORD` consecutive counter words.
-        const CW_PER_VIEW_WORD: usize = 64 / COUNTERS_PER_WORD;
-        let mut view_words = vec![0u64; n_sets * view_words_per_set];
-        pg_parallel::parallel_fill_with(&mut view_words, |w| {
-            let mut bits = 0u64;
-            for j in 0..CW_PER_VIEW_WORD {
-                bits |= occupancy_bits(counters[w * CW_PER_VIEW_WORD + j])
-                    << (j * COUNTERS_PER_WORD);
-            }
-            bits
-        });
+        let view_words = derive_view_words(&counters, n_sets * view_words_per_set);
         CountingBloomCollection {
             view: BloomCollection::from_raw_words(view_words, view_words_per_set, b, seed),
             counters,
             words_per_set,
             family,
+            bits_per_set,
+        }
+    }
+
+    /// Reconstructs a collection from already-materialized counter words
+    /// (the snapshot load path). The derived view is re-derived from the
+    /// counters with the same occupancy sweep as [`Self::build`], so the
+    /// `counter > 0 ⇔ bit set` invariant holds by construction — a caller
+    /// holding an independently persisted view can compare it against
+    /// [`Self::read_view`] to detect corruption. `bits_per_set` must be a
+    /// multiple of 64 (resolved filter sizes always are) and `counters`
+    /// must hold a whole number of per-set windows.
+    pub fn from_counter_words(
+        counters: Vec<u64>,
+        bits_per_set: usize,
+        b: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            bits_per_set > 0 && bits_per_set.is_multiple_of(64),
+            "bits_per_set must be a positive multiple of 64"
+        );
+        let words_per_set = bits_per_set / COUNTERS_PER_WORD;
+        let view_words_per_set = bits_per_set / 64;
+        assert_eq!(
+            counters.len() % words_per_set,
+            0,
+            "counter array must hold whole per-set windows"
+        );
+        let n_sets = counters.len() / words_per_set;
+        let view_words = derive_view_words(&counters, n_sets * view_words_per_set);
+        CountingBloomCollection {
+            view: BloomCollection::from_raw_words(view_words, view_words_per_set, b, seed),
+            counters,
+            words_per_set,
+            family: HashFamily::new(b, seed),
             bits_per_set,
         }
     }
@@ -220,6 +263,13 @@ impl CountingBloomCollection {
     #[inline]
     pub fn counter_words(&self, i: usize) -> &[u64] {
         &self.counters[i * self.words_per_set..(i + 1) * self.words_per_set]
+    }
+
+    /// The whole flat counter array (`n_sets × words_per_set`) — the
+    /// byte-stable payload snapshots persist.
+    #[inline]
+    pub fn raw_counters(&self) -> &[u64] {
+        &self.counters
     }
 
     /// Inserts one item into filter `i` in place.
@@ -311,10 +361,7 @@ mod tests {
             }
         }
         // Estimator path is the untouched BloomCollection machinery.
-        assert_eq!(
-            cbf.read_view().estimate_and(0, 1),
-            plain.estimate_and(0, 1)
-        );
+        assert_eq!(cbf.read_view().estimate_and(0, 1), plain.estimate_and(0, 1));
     }
 
     #[test]
@@ -387,10 +434,7 @@ mod tests {
         for p in 0..64 {
             let c = cbf.counter(0, p);
             assert!(c == 0 || c == COUNTER_MAX, "pos {p}: counter {c}");
-            assert_eq!(
-                c > 0,
-                cbf.read_view().words(0)[p / 64] >> (p % 64) & 1 == 1
-            );
+            assert_eq!(c > 0, cbf.read_view().words(0)[p / 64] >> (p % 64) & 1 == 1);
         }
     }
 

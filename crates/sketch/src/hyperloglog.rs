@@ -234,6 +234,36 @@ impl HyperLogLogCollection {
         }
     }
 
+    /// Reconstructs a collection from an already-materialized flat
+    /// register array (the snapshot load path). `registers` must hold a
+    /// whole number of `2^precision`-byte windows with every rank in
+    /// `0..=(64 - precision + 1)`; the snapshot loader validates this
+    /// before calling.
+    pub fn from_raw_registers(registers: Vec<u8>, precision: u8, seed: u64) -> Self {
+        assert!(
+            (4..=16).contains(&precision),
+            "precision {precision} outside 4..=16"
+        );
+        assert_eq!(
+            registers.len() % (1usize << precision),
+            0,
+            "register array must hold whole sketches"
+        );
+        HyperLogLogCollection {
+            registers,
+            precision,
+            seed,
+            family: HashFamily::new(1, seed),
+        }
+    }
+
+    /// The whole flat register array (`n_sets × 2^precision`) — the
+    /// byte-stable payload snapshots persist.
+    #[inline]
+    pub fn raw_registers(&self) -> &[u8] {
+        &self.registers
+    }
+
     /// Inserts one item into sketch `i` in place. HLL registers are
     /// monotone maxima, so insertion is naturally incremental and the
     /// result is bit-identical to rebuilding over the extended set.
@@ -534,7 +564,10 @@ mod tests {
         assert_eq!(at, mf * (mf / 100.0).ln());
         // The two branches stay within the algorithm's error band of each
         // other at the crossover — no order-of-magnitude cliff.
-        assert!((above - at).abs() < 0.15 * threshold, "at={at} above={above}");
+        assert!(
+            (above - at).abs() < 0.15 * threshold,
+            "at={at} above={above}"
+        );
         // zeros == 0 with raw under the threshold: linear counting is
         // undefined (ln of ∞), so raw must be returned — finite, not NaN.
         let no_zeros = estimate_from_stats(m, sum_for(threshold * 0.5), 0);

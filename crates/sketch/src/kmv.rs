@@ -25,13 +25,30 @@ impl KmvSketch {
         assert!(k > 0, "KMV needs k ≥ 1");
         let family = HashFamily::new(1, seed);
         let mut hashes: Vec<f64> = items.iter().map(|&x| family.unit(0, x as u64)).collect();
-        hashes.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        // `HashFamily::unit` maps into (0, 1] — never NaN — so the total
+        // order is the usual numeric order.
+        hashes.sort_unstable_by(f64::total_cmp);
         hashes.dedup();
         hashes.truncate(k);
         KmvSketch {
             hashes,
             k,
             set_size: items.len(),
+        }
+    }
+
+    /// Reconstructs a sketch from already-materialized parts (the
+    /// snapshot load path). `hashes` must be strictly ascending values in
+    /// (0, 1] with `hashes.len() ≤ k`; the snapshot loader validates this
+    /// before calling.
+    pub fn from_raw_parts(hashes: Vec<f64>, k: usize, set_size: usize) -> Self {
+        assert!(k > 0, "KMV needs k ≥ 1");
+        debug_assert!(hashes.len() <= k);
+        debug_assert!(hashes.windows(2).all(|w| w[0] < w[1]));
+        KmvSketch {
+            hashes,
+            k,
+            set_size,
         }
     }
 
@@ -62,13 +79,13 @@ impl KmvSketch {
     /// `|X|̂_KMV = (k−1)/max(K_X)` (Eq. 39); exact count when the sketch is
     /// lossless.
     pub fn estimate_size(&self) -> f64 {
-        if self.hashes.is_empty() {
-            return 0.0;
-        }
         if self.is_exact() {
             return self.hashes.len() as f64;
         }
-        estimators::kmv_size(*self.hashes.last().unwrap(), self.hashes.len())
+        match self.hashes.last() {
+            Some(&max) => estimators::kmv_size(max, self.hashes.len()),
+            None => 0.0,
+        }
     }
 
     /// The union sketch `K_{X∪Y}`: k smallest of the merged hash lists
@@ -227,8 +244,8 @@ impl KmvSketch {
                 sift_down(&mut self.hashes, 0);
             }
         }
-        self.hashes
-            .sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        // Hashes come from `HashFamily::unit` — (0, 1], never NaN.
+        self.hashes.sort_unstable_by(f64::total_cmp);
         self.hashes.dedup();
     }
 }
@@ -354,6 +371,15 @@ impl KmvCollection {
         F: Fn(usize) -> &'a [u32] + Sync,
     {
         let sketches = pg_parallel::parallel_init(n_sets, |s| KmvSketch::from_set(set(s), k, seed));
+        KmvCollection {
+            sketches,
+            family: HashFamily::new(1, seed),
+        }
+    }
+
+    /// Reconstructs a collection from already-validated sketches built
+    /// under `seed` (the snapshot load path).
+    pub fn from_sketches(sketches: Vec<KmvSketch>, seed: u64) -> Self {
         KmvCollection {
             sketches,
             family: HashFamily::new(1, seed),

@@ -126,6 +126,27 @@ impl MinHashCollection {
         MinHashCollection { sigs, k, family }
     }
 
+    /// Reconstructs a collection from an already-materialized flat
+    /// signature array (the snapshot load path). `sigs` must hold a whole
+    /// number of `k`-slot signatures produced under the same `(k, seed)`
+    /// family; slots may carry the `u32::MAX` empty sentinel.
+    pub fn from_raw_sigs(sigs: Vec<u32>, k: usize, seed: u64) -> Self {
+        assert!(k > 0, "MinHash needs k ≥ 1");
+        assert_eq!(sigs.len() % k, 0, "signature array must hold whole sets");
+        MinHashCollection {
+            sigs,
+            k,
+            family: HashFamily::new(k, seed),
+        }
+    }
+
+    /// The whole flat signature array (`n_sets × k`) — the byte-stable
+    /// payload snapshots persist.
+    #[inline]
+    pub fn raw_sigs(&self) -> &[u32] {
+        &self.sigs
+    }
+
     /// Inserts one item into signature `i` in place (per-slot min with the
     /// same `(hash, element)` tie-break as construction, so the result is
     /// bit-identical to rebuilding the signature from the extended set).

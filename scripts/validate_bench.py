@@ -14,7 +14,7 @@ path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernels.json"
 d = json.load(open(path))
 
 for key in ("workload", "sketch_params", "ns_per_edge", "fused_vs_naive", "row_batch", "dispatch",
-            "streaming", "streaming_removal"):
+            "streaming", "streaming_removal", "snapshot"):
     assert key in d, f"missing section: {key}"
 
 assert d["dispatch"], "dispatch section is empty"
@@ -63,8 +63,24 @@ for name in ("cbloom",):
     assert e["remove_vs_insert"] >= 0.90, \
         f"streaming_removal.{name} removal slower than insert: {e['remove_vs_insert']}"
 
+sn = d["snapshot"]
+for name in ("bf2", "cbloom", "khash", "onehash", "kmv", "hll"):
+    e = sn.get(name)
+    assert e is not None, f"missing snapshot entry: {name}"
+    for field in ("bytes", "save_gbps", "load_gbps", "load_vs_build"):
+        assert isinstance(e.get(field), (int, float)), f"snapshot.{name}.{field}"
+        assert e[field] > 0, f"snapshot.{name}.{field} must be positive"
+    # The validating load re-checks every checksum and derived invariant
+    # but still only streams flat arrays; it must at least keep pace with
+    # rebuilding the sketches from the graph (real ratios are well above
+    # 1, so 0.90 only filters runner jitter).
+    assert e["load_vs_build"] >= 0.90, \
+        f"snapshot.{name} load slower than rebuild: {e['load_vs_build']}"
+
 print(f"{path} ok:", {k: round(v["speedup"], 3) for k, v in rb.items()},
       "| streaming update-vs-rebuild:",
       {k: round(v["update_vs_rebuild"]) for k, v in st.items()},
       "| removal remove-vs-insert:",
-      {k: round(v["remove_vs_insert"], 2) for k, v in sr.items()})
+      {k: round(v["remove_vs_insert"], 2) for k, v in sr.items()},
+      "| snapshot load-vs-build:",
+      {k: round(v["load_vs_build"], 1) for k, v in sn.items()})

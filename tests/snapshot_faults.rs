@@ -1,0 +1,513 @@
+//! Fault-injection hardening for `probgraph::snapshot`.
+//!
+//! Three guarantees, exercised across every store variant (BF1 / BF2 /
+//! BF2-Limit / BF2-OR / CBF / k-hash / 1-hash / KMV / HLL):
+//!
+//! 1. **Round trip**: save → load reproduces the store bit-identically —
+//!    the reloaded ProbGraph re-serializes to the same bytes and answers
+//!    every estimator query identically.
+//! 2. **Fault attribution**: truncation at every section boundary (and a
+//!    dense stride sweep), plus bit flips in every region, are each
+//!    detected and reported as the *matching* typed [`SnapshotError`] —
+//!    and corruptions crafted to pass every checksum still fall to the
+//!    semantic invariant checks.
+//! 3. **Zero panics**: the entire corruption matrix runs under
+//!    `catch_unwind` with a panic counter asserted to be exactly zero.
+//!
+//! Plus the warm-restart differential: a loaded snapshot continues under
+//! `apply_batch` / `remove_batch` bit-identically with the never-persisted
+//! original.
+
+use pg_graph::{gen, CsrGraph};
+use pg_hash::xxh64;
+use probgraph::snapshot::{self, SectionStatus, CHECKSUM_SEED, ENTRY_LEN, HEADER_LEN};
+use probgraph::{BfEstimator, PgConfig, ProbGraph, Representation, SnapshotError};
+
+/// The nine store variants of the acceptance matrix.
+fn variants() -> Vec<(&'static str, PgConfig)> {
+    vec![
+        ("bf1", PgConfig::new(Representation::Bloom { b: 1 }, 0.3)),
+        ("bf2", PgConfig::new(Representation::Bloom { b: 2 }, 0.3)),
+        (
+            "bf2_limit",
+            PgConfig::new(Representation::Bloom { b: 2 }, 0.3)
+                .with_bf_estimator(BfEstimator::Limit),
+        ),
+        (
+            "bf2_or",
+            PgConfig::new(Representation::Bloom { b: 2 }, 0.3).with_bf_estimator(BfEstimator::Or),
+        ),
+        (
+            "cbf",
+            PgConfig::new(Representation::CountingBloom { b: 2 }, 0.3),
+        ),
+        ("khash", PgConfig::new(Representation::KHash, 0.3)),
+        ("onehash", PgConfig::new(Representation::OneHash, 0.3)),
+        ("kmv", PgConfig::new(Representation::Kmv, 0.3)),
+        ("hll", PgConfig::new(Representation::Hll, 0.3)),
+    ]
+}
+
+fn graph() -> CsrGraph {
+    gen::erdos_renyi_gnm(80, 600, 17)
+}
+
+fn assert_estimator_identical(a: &ProbGraph, b: &ProbGraph, g: &CsrGraph, tag: &str) {
+    assert_eq!(a.sizes(), b.sizes(), "{tag}: sizes");
+    for (u, v) in g.edges().take(250) {
+        assert_eq!(
+            a.estimate_intersection(u, v),
+            b.estimate_intersection(u, v),
+            "{tag} ({u},{v})"
+        );
+        assert_eq!(
+            a.estimate_jaccard(u, v),
+            b.estimate_jaccard(u, v),
+            "{tag} ({u},{v})"
+        );
+    }
+}
+
+/// Parses the section table of a *valid* snapshot into
+/// `(kind_tag, payload_start, payload_end)` triples.
+fn payload_spans(bytes: &[u8]) -> Vec<(u32, usize, usize)> {
+    let count = u32::from_le_bytes(bytes[20..24].try_into().unwrap()) as usize;
+    let mut spans = Vec::with_capacity(count);
+    let mut off = HEADER_LEN + count * ENTRY_LEN + 8;
+    for i in 0..count {
+        let e = HEADER_LEN + i * ENTRY_LEN;
+        let tag = u32::from_le_bytes(bytes[e..e + 4].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[e + 8..e + 16].try_into().unwrap()) as usize;
+        spans.push((tag, off, off + len));
+        off += len;
+    }
+    spans
+}
+
+/// Recomputes every checksum (payloads, table, header) over possibly
+/// edited bytes — the tool for crafting corruptions that pass all
+/// structural checks and must be caught by the semantic invariants.
+fn refresh_checksums(bytes: &mut [u8]) {
+    let spans = payload_spans(bytes);
+    let count = spans.len();
+    for (i, &(_, start, end)) in spans.iter().enumerate() {
+        let sum = xxh64(&bytes[start..end], CHECKSUM_SEED);
+        let e = HEADER_LEN + i * ENTRY_LEN + 16;
+        bytes[e..e + 8].copy_from_slice(&sum.to_le_bytes());
+    }
+    let table_end = HEADER_LEN + count * ENTRY_LEN + 8;
+    let tsum = xxh64(&bytes[HEADER_LEN..table_end - 8], CHECKSUM_SEED);
+    bytes[table_end - 8..table_end].copy_from_slice(&tsum.to_le_bytes());
+    let hsum = xxh64(&bytes[..HEADER_LEN - 8], CHECKSUM_SEED);
+    bytes[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&hsum.to_le_bytes());
+}
+
+#[test]
+fn round_trip_is_bit_identical_for_every_variant() {
+    let g = graph();
+    for (tag, cfg) in variants() {
+        let pg = ProbGraph::build(&g, &cfg);
+        let bytes = pg.snapshot_to_bytes();
+        let back = ProbGraph::from_snapshot_bytes(&bytes).unwrap_or_else(|e| panic!("{tag}: {e}"));
+        assert_eq!(back.snapshot_to_bytes(), bytes, "{tag}: re-serialization");
+        assert_eq!(back.params(), pg.params(), "{tag}: params");
+        assert_eq!(back.bf_estimator(), pg.bf_estimator(), "{tag}: estimator");
+        assert_eq!(back.seed(), pg.seed(), "{tag}: seed");
+        assert_estimator_identical(&pg, &back, &g, tag);
+    }
+}
+
+#[test]
+fn warm_restart_continues_bit_identically() {
+    // Save mid-stream, load, keep streaming on both sides: the loaded
+    // store and the never-persisted original must stay bit-identical
+    // through further inserts (and removals where supported).
+    let g = graph();
+    let edges = g.edge_list();
+    let split = edges.len() / 2;
+    for (tag, cfg) in variants() {
+        let mut original =
+            ProbGraph::stream_from(g.num_vertices(), g.memory_bytes(), &cfg, &edges[..split]);
+        let bytes = original.snapshot_to_bytes();
+        let mut restarted =
+            ProbGraph::from_snapshot_bytes(&bytes).unwrap_or_else(|e| panic!("{tag}: {e}"));
+        original.apply_batch(&edges[split..]);
+        restarted.apply_batch(&edges[split..]);
+        assert_eq!(
+            original.snapshot_to_bytes(),
+            restarted.snapshot_to_bytes(),
+            "{tag}: post-restart inserts diverged"
+        );
+        assert_estimator_identical(&original, &restarted, &g, tag);
+        if original.remove_supported() {
+            let gone = &edges[..split / 2];
+            original
+                .try_remove_batch(gone)
+                .unwrap_or_else(|e| panic!("{tag}: {e}"));
+            restarted
+                .try_remove_batch(gone)
+                .unwrap_or_else(|e| panic!("{tag}: {e}"));
+            assert_eq!(
+                original.snapshot_to_bytes(),
+                restarted.snapshot_to_bytes(),
+                "{tag}: post-restart removals diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn onehash_persists_both_layouts() {
+    // The bottom-k store has two on-disk shapes: the static build's
+    // tight-packed arrays and the post-insert strided layout. Both must
+    // round-trip, and a load of the tight form must convert to the
+    // strided form exactly as the original did.
+    let g = graph();
+    let cfg = PgConfig::new(Representation::OneHash, 0.3);
+    let tight = ProbGraph::build(&g, &cfg);
+    let tight_bytes = tight.snapshot_to_bytes();
+    let mut from_tight = ProbGraph::from_snapshot_bytes(&tight_bytes).unwrap();
+    assert_eq!(from_tight.snapshot_to_bytes(), tight_bytes);
+
+    let mut original = tight.clone();
+    original.apply_batch(&[(0, 79)]);
+    from_tight.apply_batch(&[(0, 79)]);
+    let strided_bytes = original.snapshot_to_bytes();
+    assert_eq!(
+        from_tight.snapshot_to_bytes(),
+        strided_bytes,
+        "tight→strided conversion diverged after a restart"
+    );
+    // And the strided form itself round-trips.
+    let back = ProbGraph::from_snapshot_bytes(&strided_bytes).unwrap();
+    assert_eq!(back.snapshot_to_bytes(), strided_bytes);
+}
+
+/// Runs a load under `catch_unwind`, bumping `panics` if it unwound.
+fn load_guarded(bytes: &[u8], panics: &mut usize) -> Option<Result<ProbGraph, SnapshotError>> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ProbGraph::from_snapshot_bytes(bytes)
+    })) {
+        Ok(r) => Some(r),
+        Err(_) => {
+            *panics += 1;
+            None
+        }
+    }
+}
+
+#[test]
+fn fault_injection_matrix_detects_everything_without_panicking() {
+    // Every variant × {truncation at every section boundary and a dense
+    // stride, single-bit flips across every region}. Each injected fault
+    // must yield the typed error matching the region it hit, and the
+    // panic counter across the whole matrix must be exactly zero.
+    let g = graph();
+    let mut panics = 0usize;
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // keep the matrix's output readable
+    for (tag, cfg) in variants() {
+        let pg = ProbGraph::build(&g, &cfg);
+        let bytes = pg.snapshot_to_bytes();
+        let spans = payload_spans(&bytes);
+        let table_end = HEADER_LEN + spans.len() * ENTRY_LEN + 8;
+
+        // --- Truncations: every structural boundary, each payload
+        // boundary and its off-by-one neighbors, plus a dense stride.
+        let mut cuts: Vec<usize> = vec![
+            0,
+            1,
+            7,
+            8,
+            HEADER_LEN - 1,
+            HEADER_LEN,
+            table_end - 1,
+            table_end,
+            bytes.len() - 1,
+        ];
+        for &(_, start, end) in &spans {
+            cuts.extend_from_slice(&[start, start + 1, end.saturating_sub(1), end]);
+        }
+        cuts.extend((0..bytes.len()).step_by(101));
+        cuts.retain(|&c| c < bytes.len());
+        for cut in cuts {
+            let Some(res) = load_guarded(&bytes[..cut], &mut panics) else {
+                continue;
+            };
+            let err = match res {
+                Err(e) => e,
+                Ok(_) => panic!("{tag}: truncation at {cut} loaded"),
+            };
+            if cut < table_end {
+                assert!(
+                    matches!(err, SnapshotError::TooShort { .. }),
+                    "{tag}: cut {cut}: {err:?}"
+                );
+            } else {
+                assert!(
+                    matches!(err, SnapshotError::Truncated { .. }),
+                    "{tag}: cut {cut}: {err:?}"
+                );
+            }
+        }
+
+        // --- Bit flips: exhaustive over header + table, strided over the
+        // payloads, each attributed to the region it hit.
+        let mut flips: Vec<usize> = (0..table_end).collect();
+        flips.extend((table_end..bytes.len()).step_by(53));
+        for pos in flips {
+            let mut dirty = bytes.clone();
+            dirty[pos] ^= 1 << (pos % 8);
+            let Some(res) = load_guarded(&dirty, &mut panics) else {
+                continue;
+            };
+            let err = match res {
+                Err(e) => e,
+                Ok(_) => panic!("{tag}: bit flip at {pos} loaded"),
+            };
+            if pos < 8 {
+                assert!(
+                    matches!(err, SnapshotError::BadMagic),
+                    "{tag}@{pos}: {err:?}"
+                );
+            } else if pos < 12 {
+                assert!(
+                    matches!(err, SnapshotError::UnsupportedVersion { .. }),
+                    "{tag}@{pos}: {err:?}"
+                );
+            } else if pos < HEADER_LEN {
+                assert!(
+                    matches!(err, SnapshotError::HeaderCorrupt),
+                    "{tag}@{pos}: {err:?}"
+                );
+            } else if pos < table_end {
+                assert!(
+                    matches!(err, SnapshotError::SectionTableCorrupt),
+                    "{tag}@{pos}: {err:?}"
+                );
+            } else {
+                let hit = spans
+                    .iter()
+                    .find(|&&(_, s, e)| pos >= s && pos < e)
+                    .map(|&(kind_tag, ..)| kind_tag)
+                    .expect("flip position inside some payload");
+                match err {
+                    SnapshotError::ChecksumMismatch { section } => {
+                        assert_eq!(section as u32, hit, "{tag}@{pos}: wrong section blamed")
+                    }
+                    other => panic!("{tag}@{pos}: {other:?}"),
+                }
+            }
+        }
+
+        // --- Trailing garbage is its own typed error.
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(b"junk");
+        match load_guarded(&padded, &mut panics) {
+            Some(Err(SnapshotError::TrailingBytes { .. })) => {}
+            Some(other) => panic!("{tag}: trailing bytes: {other:?}"),
+            None => {}
+        }
+    }
+    std::panic::set_hook(prev_hook);
+    assert_eq!(panics, 0, "the fault-injection matrix must never panic");
+}
+
+#[test]
+fn checksum_valid_semantic_corruption_hits_invariant_checks() {
+    use probgraph::snapshot::SectionKind;
+    let g = graph();
+    let mut panics = 0usize;
+
+    // Helper: corrupt payload bytes of section `idx`, fix every checksum,
+    // and expect the given check to fire.
+    let corrupt = |cfg: &PgConfig, idx: usize, edit: &dyn Fn(&mut [u8])| -> SnapshotError {
+        let pg = ProbGraph::build(&g, cfg);
+        let mut bytes = pg.snapshot_to_bytes();
+        let (_, start, end) = payload_spans(&bytes)[idx];
+        edit(&mut bytes[start..end]);
+        refresh_checksums(&mut bytes);
+        ProbGraph::from_snapshot_bytes(&bytes).expect_err("corruption must not load")
+    };
+
+    // Bloom: flip a filter bit → the persisted popcount cache disagrees.
+    let cfg = PgConfig::new(Representation::Bloom { b: 2 }, 0.3);
+    match corrupt(&cfg, 1, &|p| p[0] ^= 1) {
+        SnapshotError::InvariantViolation { section, .. } => {
+            assert_eq!(section, SectionKind::BloomOnes)
+        }
+        other => panic!("bloom: {other:?}"),
+    }
+
+    // CBF: zero the counters → the derived view (all clear) no longer
+    // matches the persisted one.
+    let cfg = PgConfig::new(Representation::CountingBloom { b: 2 }, 0.3);
+    match corrupt(&cfg, 1, &|p| p.fill(0)) {
+        SnapshotError::InvariantViolation { section, .. } => {
+            assert_eq!(section, SectionKind::CbfView)
+        }
+        other => panic!("cbf: {other:?}"),
+    }
+
+    // Bottom-k: rewrite an element → its stored hash no longer matches.
+    let cfg = PgConfig::new(Representation::OneHash, 0.3);
+    match corrupt(&cfg, 1, &|p| p[0] = p[0].wrapping_add(1)) {
+        SnapshotError::InvariantViolation { section, .. } => {
+            assert!(
+                section == SectionKind::BkHashes || section == SectionKind::BkElems,
+                "onehash blamed {section:?}"
+            )
+        }
+        other => panic!("onehash: {other:?}"),
+    }
+
+    // KMV: push a hash outside (0, 1].
+    let cfg = PgConfig::new(Representation::Kmv, 0.3);
+    match corrupt(&cfg, 3, &|p| p[..8].copy_from_slice(&2.0f64.to_le_bytes())) {
+        SnapshotError::InvariantViolation { section, .. } => {
+            assert_eq!(section, SectionKind::KmvHashes)
+        }
+        other => panic!("kmv: {other:?}"),
+    }
+
+    // HLL: a register above the maximum possible rank.
+    let cfg = PgConfig::new(Representation::Hll, 0.3);
+    match corrupt(&cfg, 1, &|p| p[3] = 0xFF) {
+        SnapshotError::InvariantViolation { section, .. } => {
+            assert_eq!(section, SectionKind::HllRegisters)
+        }
+        other => panic!("hll: {other:?}"),
+    }
+
+    // k-hash: occupy a slot of an empty set's signature. Vertex sets in
+    // the ER graph are all non-empty, so build over a graph with an
+    // isolated vertex.
+    let edges: Vec<(u32, u32)> = vec![(0, 1), (0, 2)];
+    let iso = CsrGraph::from_edges(4, &edges);
+    let pg = ProbGraph::build(&iso, &PgConfig::new(Representation::KHash, 1.0));
+    let mut bytes = pg.snapshot_to_bytes();
+    let (_, _, end) = payload_spans(&bytes)[1];
+    bytes[end - 4..end].copy_from_slice(&7u32.to_le_bytes()); // vertex 3 is empty
+    refresh_checksums(&mut bytes);
+    match ProbGraph::from_snapshot_bytes(&bytes).expect_err("occupied empty signature") {
+        SnapshotError::InvariantViolation { section, .. } => {
+            assert_eq!(section, SectionKind::MinHashSigs);
+        }
+        other => panic!("khash: {other:?}"),
+    }
+
+    // Header params that pass checksums but are impossible: Bloom width
+    // not a word multiple.
+    let cfg = PgConfig::new(Representation::Bloom { b: 2 }, 0.3);
+    let pg = ProbGraph::build(&g, &cfg);
+    let mut bytes = pg.snapshot_to_bytes();
+    bytes[40..48].copy_from_slice(&63u64.to_le_bytes());
+    refresh_checksums(&mut bytes);
+    assert!(matches!(
+        ProbGraph::from_snapshot_bytes(&bytes),
+        Err(SnapshotError::BadParams { .. })
+    ));
+
+    // Unknown representation and estimator tags.
+    let mut bytes = pg.snapshot_to_bytes();
+    bytes[12..16].copy_from_slice(&99u32.to_le_bytes());
+    refresh_checksums(&mut bytes);
+    assert!(matches!(
+        ProbGraph::from_snapshot_bytes(&bytes),
+        Err(SnapshotError::BadRepresentation { tag: 99 })
+    ));
+    let mut bytes = pg.snapshot_to_bytes();
+    bytes[16..20].copy_from_slice(&3u32.to_le_bytes());
+    refresh_checksums(&mut bytes);
+    assert!(matches!(
+        ProbGraph::from_snapshot_bytes(&bytes),
+        Err(SnapshotError::BadEstimator { tag: 3 })
+    ));
+
+    // A declared section length that disagrees with the parameters (and
+    // a matching payload, so the structural checks all pass).
+    let pg = ProbGraph::build(&g, &PgConfig::new(Representation::Hll, 0.3));
+    let bytes = pg.snapshot_to_bytes();
+    let (_, start, _) = payload_spans(&bytes)[1];
+    let mut shrunk = bytes[..start + 16].to_vec(); // drop register bytes
+    let e = HEADER_LEN + ENTRY_LEN + 8;
+    shrunk[e..e + 8].copy_from_slice(&16u64.to_le_bytes());
+    // Recompute the (now shorter) payload checksum by hand.
+    let sum = xxh64(&shrunk[start..start + 16], CHECKSUM_SEED);
+    shrunk[e + 8..e + 16].copy_from_slice(&sum.to_le_bytes());
+    let table_end = HEADER_LEN + 2 * ENTRY_LEN + 8;
+    let tsum = xxh64(&shrunk[HEADER_LEN..table_end - 8], CHECKSUM_SEED);
+    shrunk[table_end - 8..table_end].copy_from_slice(&tsum.to_le_bytes());
+    match load_guarded(&shrunk, &mut panics) {
+        Some(Err(SnapshotError::SectionLength { .. })) => {}
+        Some(other) => panic!("hll shrink: {other:?}"),
+        None => panic!("hll shrink panicked"),
+    }
+    assert_eq!(panics, 0);
+}
+
+#[test]
+fn inspect_attributes_damage_and_never_fails() {
+    let g = graph();
+    let pg = ProbGraph::build(&g, &PgConfig::new(Representation::Kmv, 0.3));
+    let bytes = pg.snapshot_to_bytes();
+    assert!(snapshot::inspect(&bytes).ok());
+
+    // Damage one payload: only that section is flagged.
+    let spans = payload_spans(&bytes);
+    let (_, start, _) = spans[2];
+    let mut dirty = bytes.clone();
+    dirty[start] ^= 0x40;
+    let report = snapshot::inspect(&dirty);
+    assert!(report.header_ok && report.table_ok && !report.ok());
+    for (i, s) in report.sections.iter().enumerate() {
+        let expect = if i == 2 {
+            SectionStatus::ChecksumMismatch
+        } else {
+            SectionStatus::Ok
+        };
+        assert_eq!(s.status, expect, "section {i}");
+    }
+
+    // Truncation mid-payload: that section reports Truncated.
+    let (_, s3, e3) = spans[3];
+    let cut = &bytes[..(s3 + e3) / 2];
+    let report = snapshot::inspect(cut);
+    assert!(matches!(
+        report.sections[3].status,
+        SectionStatus::Truncated { .. }
+    ));
+
+    // Arbitrary garbage and short inputs still produce reports.
+    assert!(!snapshot::inspect(&[0xA5; 300]).ok());
+    assert!(!snapshot::inspect(&[]).ok());
+}
+
+#[test]
+fn file_save_and_load_are_durable_and_typed() {
+    let g = graph();
+    let dir = std::env::temp_dir().join(format!("pg_snapshot_faults_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("store.pgsnap");
+    for (tag, cfg) in variants() {
+        let pg = ProbGraph::build(&g, &cfg);
+        // Overwrites the previous variant's file atomically each round.
+        pg.save_snapshot(&path)
+            .unwrap_or_else(|e| panic!("{tag}: {e}"));
+        let back = ProbGraph::load_snapshot(&path).unwrap_or_else(|e| panic!("{tag}: {e}"));
+        assert_eq!(back.snapshot_to_bytes(), pg.snapshot_to_bytes(), "{tag}");
+    }
+    // No temp droppings left behind by the atomic rename protocol.
+    let stray: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+        .collect();
+    assert!(stray.is_empty(), "{stray:?}");
+    // Missing files surface as typed I/O errors, not panics.
+    assert!(matches!(
+        ProbGraph::load_snapshot(dir.join("never_written.pgsnap")),
+        Err(SnapshotError::Io(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -385,11 +385,7 @@ fn same_edge_insert_remove_cycle_matches_rebuild() {
         // intermediate state equals a rebuild without the edge.
         let (eu, ev) = edges[edges.len() / 2];
         pg.remove_edge(eu, ev);
-        let survivors: Vec<(u32, u32)> = edges
-            .iter()
-            .copied()
-            .filter(|&e| e != (eu, ev))
-            .collect();
+        let survivors: Vec<(u32, u32)> = edges.iter().copied().filter(|&e| e != (eu, ev)).collect();
         let g2 = pg_graph::CsrGraph::from_edges(g.num_vertices(), &survivors);
         let without = ProbGraph::build_over(
             g.num_vertices(),
