@@ -14,6 +14,15 @@
 //! monomorphized oracle path (`ProbGraph::with_oracle` +
 //! `estimate_row` sweeps — the loop every algorithm kernel runs now),
 //! and the end-to-end triangle-count comparison reruns as a sanity check.
+//! A `tiling` section times the blocked source-batch × destination-tile
+//! traversal (`tiled_block_sweep`) against the flat multi-lane row sweep
+//! for the three Bloom strategies on a dedicated workload whose
+//! destination store is sized at ~6× the probed L2 (the out-of-cache
+//! regime the blocked schedule targets — the scaled main workload is
+//! L2-resident, where the planner correctly declines), single-threaded so
+//! the ratio isolates the cache-blocked schedule; the Bloom `row_batch`
+//! entries also carry a fixed-lane-count (2/3/4) breakdown, and a `host`
+//! object records the probed cache topology plus the chosen tile budget.
 //! A `streaming` section times the `MutableOracle` write path: ns per
 //! inserted oriented edge (batched and single-edge `apply_arcs`) against
 //! the full rebuild each update replaces, per representation, with the
@@ -31,7 +40,8 @@
 
 use pg_bench::harness::time_median;
 use pg_bench::workloads::env_scale;
-use pg_sketch::bitvec::{and_count_words, count_ones_words};
+use pg_parallel::{cache_topology, tile_bytes, with_threads};
+use pg_sketch::bitvec::{and_count_words, and_count_words_multi, count_ones_words};
 use pg_sketch::{
     estimators, BloomCollection, BottomKCollection, HyperLogLogCollection, KmvCollection,
     MinHashCollection,
@@ -298,22 +308,102 @@ fn main() {
         name: &'static str,
         scalar_row_ns: f64,
         multi_ns: f64,
+        /// Fixed-lane-count sweeps (exactly 2 / 3 / 4 destinations per
+        /// fused pass, scalar tail), Bloom strategies only — shows where
+        /// the lane-batching win saturates against the bandwidth wall.
+        lane_ns: Option<[f64; 3]>,
     }
     let mut row_batch: Vec<RowBatchEntry> = Vec::new();
     {
-        let mut record_rb = |name: &'static str, scalar: f64, multi: f64| {
-            let (s, mu) = (scalar * 1e9 / m as f64, multi * 1e9 / m as f64);
-            println!(
-                "{:>22}: scalar-row {s:8.2} ns/edge | multi-lane {mu:8.2} ns/edge | {:.2}x",
-                format!("row_{name}"),
-                s / mu
-            );
-            row_batch.push(RowBatchEntry {
-                name,
-                scalar_row_ns: s,
-                multi_ns: mu,
-            });
-        };
+        let mut record_rb =
+            |name: &'static str, scalar: f64, multi: f64, lanes: Option<[f64; 3]>| {
+                let (s, mu) = (scalar * 1e9 / m as f64, multi * 1e9 / m as f64);
+                let lane_ns = lanes.map(|l| l.map(|t| t * 1e9 / m as f64));
+                println!(
+                    "{:>22}: scalar-row {s:8.2} ns/edge | multi-lane {mu:8.2} ns/edge | {:.2}x",
+                    format!("row_{name}"),
+                    s / mu
+                );
+                if let Some(l) = lane_ns {
+                    println!(
+                        "{:>22}: 2-lane {:8.2} | 3-lane {:8.2} | 4-lane {:8.2} ns/edge",
+                        "", l[0], l[1], l[2]
+                    );
+                }
+                row_batch.push(RowBatchEntry {
+                    name,
+                    scalar_row_ns: s,
+                    multi_ns: mu,
+                    lane_ns,
+                });
+            };
+
+        /// Fixed-lane Bloom sweep: exactly `L` destinations per fused
+        /// multi-lane pass (scalar remainder, no prefetch) — isolates what
+        /// each extra accumulator lane buys over the scalar row path.
+        fn bloom_sweep_lanes<S: BloomStrategy, const L: usize>(
+            dag: &pg_graph::OrientedDag,
+            bloom: &BloomCollection,
+            sizes: &[u32],
+        ) -> f64 {
+            let mut acc = 0.0f64;
+            let mut rowbuf: Vec<f64> = Vec::new();
+            for v in 0..dag.num_vertices() as u32 {
+                let np = dag.neighbors_plus(v);
+                if np.is_empty() {
+                    continue;
+                }
+                let i = v as usize;
+                let row = bloom.words(i);
+                let row_ones = bloom.count_ones(i);
+                let row_size = sizes[i];
+                rowbuf.clear();
+                let mut t = 0;
+                while t + L <= np.len() {
+                    let ones = and_count_words_multi(
+                        row,
+                        std::array::from_fn::<_, L, _>(|l| bloom.words(np[t + l] as usize)),
+                    );
+                    for (l, &o) in ones.iter().enumerate() {
+                        let j = np[t + l] as usize;
+                        rowbuf.push(S::estimate_from_and_ones(
+                            bloom, o, row_ones, row_size, j, sizes[j],
+                        ));
+                    }
+                    t += L;
+                }
+                for &u in &np[t..] {
+                    let j = u as usize;
+                    let ones = and_count_words(row, bloom.words(j));
+                    rowbuf.push(S::estimate_from_and_ones(
+                        bloom, ones, row_ones, row_size, j, sizes[j],
+                    ));
+                }
+                acc += rowbuf.iter().sum::<f64>();
+            }
+            acc
+        }
+        fn time_lanes<S: BloomStrategy>(
+            reps: usize,
+            dag: &pg_graph::OrientedDag,
+            bloom: &BloomCollection,
+            sizes: &[u32],
+        ) -> [f64; 3] {
+            [
+                time_median(reps, || {
+                    black_box(bloom_sweep_lanes::<S, 2>(dag, bloom, sizes))
+                })
+                .seconds,
+                time_median(reps, || {
+                    black_box(bloom_sweep_lanes::<S, 3>(dag, bloom, sizes))
+                })
+                .seconds,
+                time_median(reps, || {
+                    black_box(bloom_sweep_lanes::<S, 4>(dag, bloom, sizes))
+                })
+                .seconds,
+            ]
+        }
 
         // Bloom, all three estimator strategies. The scalar row path is
         // the faithful pre-multi-lane oracle behavior: source window +
@@ -356,7 +446,12 @@ fn main() {
                 &BloomOracle::<BloomAnd>::new(&bloom, &sizes),
             ))
         });
-        record_rb("bf_and", t_s.seconds, t_m.seconds);
+        record_rb(
+            "bf_and",
+            t_s.seconds,
+            t_m.seconds,
+            Some(time_lanes::<BloomAnd>(reps, &dag, &bloom, &sizes)),
+        );
 
         let t_s = time_median(reps, || {
             black_box(scalar_bloom_sweep::<BloomLimit>(&dag, &bloom, &sizes))
@@ -367,7 +462,12 @@ fn main() {
                 &BloomOracle::<BloomLimit>::new(&bloom, &sizes),
             ))
         });
-        record_rb("bf_limit", t_s.seconds, t_m.seconds);
+        record_rb(
+            "bf_limit",
+            t_s.seconds,
+            t_m.seconds,
+            Some(time_lanes::<BloomLimit>(reps, &dag, &bloom, &sizes)),
+        );
 
         let t_s = time_median(reps, || {
             black_box(scalar_bloom_sweep::<BloomOr>(&dag, &bloom, &sizes))
@@ -378,7 +478,12 @@ fn main() {
                 &BloomOracle::<BloomOr>::new(&bloom, &sizes),
             ))
         });
-        record_rb("bf_or", t_s.seconds, t_m.seconds);
+        record_rb(
+            "bf_or",
+            t_s.seconds,
+            t_m.seconds,
+            Some(time_lanes::<BloomOr>(reps, &dag, &bloom, &sizes)),
+        );
 
         // k-hash MinHash: pinned signature, scalar matching vs 4-lane.
         let t_s = time_median(reps, || {
@@ -409,7 +514,7 @@ fn main() {
         let t_m = time_median(reps, || {
             black_box(row_sweep_multi(&dag, &KHashOracle::new(&khash, &sizes)))
         });
-        record_rb("khash", t_s.seconds, t_m.seconds);
+        record_rb("khash", t_s.seconds, t_m.seconds, None);
 
         // KMV: pinned source sketch, scalar merge walks vs interleaved.
         let t_s = time_median(reps, || {
@@ -433,7 +538,7 @@ fn main() {
         let t_m = time_median(reps, || {
             black_box(row_sweep_multi(&dag, &KmvOracle::new(&kmv, &sizes)))
         });
-        record_rb("kmv", t_s.seconds, t_m.seconds);
+        record_rb("kmv", t_s.seconds, t_m.seconds, None);
 
         // HLL: pinned register window, scalar union passes vs 4-lane.
         let t_s = time_median(reps, || {
@@ -463,7 +568,7 @@ fn main() {
         let t_m = time_median(reps, || {
             black_box(row_sweep_multi(&dag, &HllOracle::new(&hll, &sizes)))
         });
-        record_rb("hll", t_s.seconds, t_m.seconds);
+        record_rb("hll", t_s.seconds, t_m.seconds, None);
     }
 
     // --- hoisted dispatch vs per-edge enum match --------------------------
@@ -520,6 +625,125 @@ fn main() {
             per_edge_ns: pe,
             hoisted_ns: ho,
         });
+    }
+
+    // --- tiling: blocked destination-tile sweep vs multi-lane row sweep ---
+    // Tiling pays when the destination store outgrows the fast cache. The
+    // scaled econ-psmigr1 store above is L2-resident — there the planner
+    // correctly declines and the flat sweep measurably wins — so this
+    // section builds its own sweep workload sized off the probed topology:
+    // a destination store of ~6× L2 under the same sketch parameters, the
+    // out-of-cache regime the blocked schedule targets. The flat multi-lane
+    // sweep then takes a last-level-cache round trip per destination
+    // (software prefetch hides part of it); the blocked traversal
+    // (`probgraph::tiled_block_sweep`, the schedule every algorithm kernel
+    // routes through when `plan_for` fires) re-reads one L2-resident
+    // destination tile across a batch of pinned source rows. Both sides
+    // run the same reduction single-threaded, so the ratio isolates the
+    // blocked schedule — not parallel scaling, not the kernel.
+    struct TilingEntry {
+        name: &'static str,
+        multi_ns: f64,
+        tiled_ns: f64,
+    }
+    let window_bytes = bloom.words_per_set() * 8;
+    let topo = cache_topology();
+    let n_t = (6 * topo.l2_bytes / window_bytes.max(1)).clamp(4096, 1 << 17);
+    let g_t = pg_graph::gen::erdos_renyi_gnm(n_t, n_t * 128, 0x7117);
+    let dag_t = pg_graph::orient_by_degree(&g_t);
+    let m_t: usize = (0..n_t as u32)
+        .map(|v| dag_t.neighbors_plus(v).len())
+        .sum::<usize>()
+        .max(1);
+    let sizes_t: Vec<u32> = (0..n_t as u32)
+        .map(|v| dag_t.out_degree(v) as u32)
+        .collect();
+    let bloom_t =
+        BloomCollection::build(n_t, bits_per_set, 2, 7, |v| dag_t.neighbors_plus(v as u32));
+    let tile_plan = probgraph::plan_tiles(n_t, window_bytes).unwrap_or_else(|| {
+        // Only reachable under a degenerate PG_TILE_BYTES override; keep
+        // the section populated with the shape the default budget picks.
+        let tile_ids = (tile_bytes() / window_bytes.max(1)).max(1).min(n_t);
+        probgraph::TilePlan {
+            tile_ids,
+            batch: tile_ids.clamp(64, 8192),
+        }
+    });
+    println!(
+        "tiling workload: n={n_t} m={m_t} store={:.1} MiB (~{:.1}x L2) | plan: {} sets/tile ({} B windows) x {} source rows/batch",
+        (n_t * window_bytes) as f64 / (1 << 20) as f64,
+        (n_t * window_bytes) as f64 / topo.l2_bytes.max(1) as f64,
+        tile_plan.tile_ids,
+        window_bytes,
+        tile_plan.batch
+    );
+    let mut tiling: Vec<TilingEntry> = Vec::new();
+    {
+        fn tiled_sweep<O: IntersectionOracle>(
+            dag: &pg_graph::OrientedDag,
+            o: &O,
+            plan: &probgraph::TilePlan,
+        ) -> f64 {
+            probgraph::tiled_block_sweep(
+                dag.num_vertices(),
+                dag.num_vertices(),
+                o,
+                plan,
+                probgraph::BlockKind::Estimate,
+                |u| dag.neighbors_plus(u),
+                || 0.0f64,
+                |acc, _u, _lo, _dests, vals: &[f64]| acc + vals.iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+        }
+        fn measure_tiled<S: BloomStrategy>(
+            reps: usize,
+            dag: &pg_graph::OrientedDag,
+            bloom: &BloomCollection,
+            sizes: &[u32],
+            plan: &probgraph::TilePlan,
+        ) -> (f64, f64) {
+            let o = BloomOracle::<S>::new(bloom, sizes);
+            // Per-destination values are bit-identical; only the f64 sum
+            // reassociates. Check agreement once before timing.
+            let a = row_sweep_multi(dag, &o);
+            let b = tiled_sweep(dag, &o, plan);
+            assert!(
+                (a - b).abs() <= a.abs().max(1.0) * 1e-9,
+                "tiled sweep diverged: {a} vs {b}"
+            );
+            with_threads(1, || {
+                (
+                    time_median(reps, || black_box(row_sweep_multi(dag, &o))).seconds,
+                    time_median(reps, || black_box(tiled_sweep(dag, &o, plan))).seconds,
+                )
+            })
+        }
+        let mut record_tl = |name: &'static str, (t_multi, t_tiled): (f64, f64)| {
+            let (mu, ti) = (t_multi * 1e9 / m_t as f64, t_tiled * 1e9 / m_t as f64);
+            println!(
+                "{:>22}: multi-lane {mu:8.2} ns/edge | tiled {ti:8.2} ns/edge | {:.2}x",
+                format!("tiling_{name}"),
+                mu / ti
+            );
+            tiling.push(TilingEntry {
+                name,
+                multi_ns: mu,
+                tiled_ns: ti,
+            });
+        };
+        record_tl(
+            "bf_and",
+            measure_tiled::<BloomAnd>(reps, &dag_t, &bloom_t, &sizes_t, &tile_plan),
+        );
+        record_tl(
+            "bf_limit",
+            measure_tiled::<BloomLimit>(reps, &dag_t, &bloom_t, &sizes_t, &tile_plan),
+        );
+        record_tl(
+            "bf_or",
+            measure_tiled::<BloomOr>(reps, &dag_t, &bloom_t, &sizes_t, &tile_plan),
+        );
     }
 
     // --- streaming: incremental updates vs full rebuild --------------------
@@ -798,6 +1022,15 @@ fn main() {
     json.push_str(&format!(
         "  \"sketch_params\": {{\"bf_bits\": {bits_per_set}, \"bf_b\": 2, \"mh_k\": {k}, \"budget\": 0.25}},\n"
     ));
+    let topo = cache_topology();
+    json.push_str(&format!(
+        "  \"host\": {{\"l1d_bytes\": {}, \"l2_bytes\": {}, \"l3_bytes\": {}, \"line_bytes\": {}, \"tile_bytes\": {}}},\n",
+        topo.l1d_bytes,
+        topo.l2_bytes,
+        topo.l3_bytes,
+        topo.line_bytes,
+        tile_bytes()
+    ));
     json.push_str("  \"ns_per_edge\": {\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };
@@ -813,8 +1046,17 @@ fn main() {
     json.push_str("  \"row_batch\": {\n");
     for (i, r) in row_batch.iter().enumerate() {
         let comma = if i + 1 == row_batch.len() { "" } else { "," };
+        let lanes = r
+            .lane_ns
+            .map(|l| {
+                format!(
+                    ", \"lanes\": {{\"2\": {:.3}, \"3\": {:.3}, \"4\": {:.3}}}",
+                    l[0], l[1], l[2]
+                )
+            })
+            .unwrap_or_default();
         json.push_str(&format!(
-            "    \"{}\": {{\"scalar_row_ns\": {:.3}, \"multi_ns\": {:.3}, \"speedup\": {:.3}}}{comma}\n",
+            "    \"{}\": {{\"scalar_row_ns\": {:.3}, \"multi_ns\": {:.3}, \"speedup\": {:.3}{lanes}}}{comma}\n",
             r.name,
             r.scalar_row_ns,
             r.multi_ns,
@@ -831,6 +1073,26 @@ fn main() {
             d.per_edge_ns,
             d.hoisted_ns,
             d.per_edge_ns / d.hoisted_ns
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"tiling\": {\n");
+    json.push_str(&format!(
+        "    \"workload\": {{\"n\": {n_t}, \"m\": {m_t}, \"store_bytes\": {}}},\n",
+        n_t * window_bytes
+    ));
+    json.push_str(&format!(
+        "    \"plan\": {{\"tile_ids\": {}, \"batch\": {}, \"window_bytes\": {window_bytes}}},\n",
+        tile_plan.tile_ids, tile_plan.batch
+    ));
+    for (i, t) in tiling.iter().enumerate() {
+        let comma = if i + 1 == tiling.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{\"multi_ns\": {:.3}, \"tiled_ns\": {:.3}, \"speedup\": {:.3}}}{comma}\n",
+            t.name,
+            t.multi_ns,
+            t.tiled_ns,
+            t.multi_ns / t.tiled_ns
         ));
     }
     json.push_str("  },\n");

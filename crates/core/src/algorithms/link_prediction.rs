@@ -89,14 +89,18 @@ fn rank_and_score(
 
 /// The single candidate-scoring kernel: Common-Neighbors scores of every
 /// candidate pair under any oracle, in parallel.
+///
+/// [`candidate_pairs`] emits pairs grouped by source with ascending
+/// destinations, so scoring delegates to the shared batched scorer
+/// ([`crate::algorithms::similarity::estimate_pairs_with`]), which routes
+/// sketch-backed oracles through the blocked source-batch ×
+/// destination-tile traversal when profitable — per-pair scores (and
+/// therefore the ranking) are bit-identical to the per-pair loop.
 pub fn score_candidates_with<O: IntersectionOracle>(
     oracle: &O,
     candidates: &[(VertexId, VertexId)],
 ) -> Vec<f64> {
-    parallel_init(candidates.len(), |i| {
-        let (u, v) = candidates[i];
-        oracle.estimate(u, v)
-    })
+    crate::algorithms::similarity::estimate_pairs_with(oracle, candidates)
 }
 
 /// Runs the Listing-5 protocol with an arbitrary scorer over the

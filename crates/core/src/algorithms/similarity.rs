@@ -14,6 +14,7 @@ use crate::intersect::{for_each_common, intersect_card};
 use crate::oracle::{ExactOracle, IntersectionOracle, OracleVisitor};
 use crate::pg::ProbGraph;
 use pg_graph::{CsrGraph, VertexId};
+use pg_parallel::parallel_init;
 
 /// Generic Common Neighbors `S_C = |N_u ∩ N_v|̂`, clamped at 0.
 #[inline]
@@ -50,6 +51,99 @@ pub fn overlap_with<O: IntersectionOracle>(o: &O, u: VertexId, v: VertexId) -> f
 pub fn total_neighbors_with<O: IntersectionOracle>(o: &O, u: VertexId, v: VertexId) -> f64 {
     let s = (o.set_size(u) + o.set_size(v)) as f64;
     (s - common_neighbors_with(o, u, v)).max(0.0)
+}
+
+/// Batched raw intersection estimates for a list of pairs — the bulk form
+/// every pair-list consumer (link prediction's candidate scoring, bulk
+/// similarity queries) shares.
+///
+/// When the pairs arrive grouped by source (lexicographically sorted, as
+/// candidate generators emit them) and the oracle's destinations tile
+/// ([`crate::grain::plan_for`]), the scores run through the blocked
+/// source-batch × destination-tile traversal; otherwise one
+/// [`IntersectionOracle::estimate`] per pair in parallel. Per-pair values
+/// are bit-identical either way (tiled-equivalence suite).
+pub fn estimate_pairs_with<O: IntersectionOracle>(
+    o: &O,
+    pairs: &[(VertexId, VertexId)],
+) -> Vec<f64> {
+    if let Some(scores) = tiled_pair_estimates(o, pairs) {
+        return scores;
+    }
+    parallel_init(pairs.len(), |i| {
+        let (u, v) = pairs[i];
+        o.estimate(u, v)
+    })
+}
+
+/// Batched Common Neighbors over a pair list: [`estimate_pairs_with`]
+/// with the per-pair clamp of [`common_neighbors_with`].
+pub fn common_neighbors_scores_with<O: IntersectionOracle>(
+    o: &O,
+    pairs: &[(VertexId, VertexId)],
+) -> Vec<f64> {
+    let mut scores = estimate_pairs_with(o, pairs);
+    for s in &mut scores {
+        *s = s.max(0.0);
+    }
+    scores
+}
+
+/// The blocked path of [`estimate_pairs_with`]: regroups a sorted pair
+/// list into per-source destination rows (a prefix-sum over source ids)
+/// and sweeps them with [`crate::grain::tiled_block_sweep`]. `None` when
+/// the pairs aren't grouped or the planner prefers the plain path.
+fn tiled_pair_estimates<O: IntersectionOracle>(
+    o: &O,
+    pairs: &[(VertexId, VertexId)],
+) -> Option<Vec<f64>> {
+    if pairs.is_empty() {
+        return None;
+    }
+    // Grouped = lexicographically non-decreasing: sources ascending, each
+    // source's destinations ascending (binary-searchable segments).
+    if !pairs.windows(2).all(|w| w[0] <= w[1]) {
+        return None;
+    }
+    let n_ids = pairs.iter().map(|&(u, v)| u.max(v)).max()? as usize + 1;
+    let plan = crate::grain::plan_for(o, n_ids)?;
+    let mut offs = vec![0usize; n_ids + 1];
+    for &(u, _) in pairs {
+        offs[u as usize + 1] += 1;
+    }
+    for i in 0..n_ids {
+        offs[i + 1] += offs[i];
+    }
+    let dests: Vec<VertexId> = pairs.iter().map(|&(_, v)| v).collect();
+    let mut scores = vec![0.0f64; pairs.len()];
+    {
+        struct SendPtr(*mut f64);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        let base = SendPtr(scores.as_mut_ptr());
+        let base = &base;
+        let offs = &offs;
+        let dests: &[VertexId] = &dests;
+        crate::grain::tiled_block_sweep(
+            n_ids,
+            n_ids,
+            o,
+            &plan,
+            crate::grain::BlockKind::Estimate,
+            |u| &dests[offs[u as usize]..offs[u as usize + 1]],
+            || (),
+            |(), u, lo, _seg_dests, vals| {
+                // SAFETY: each (source, tile) segment owns the disjoint
+                // range offs[u]+lo .. +vals.len() of the scores vector.
+                let out = unsafe {
+                    std::slice::from_raw_parts_mut(base.0.add(offs[u as usize] + lo), vals.len())
+                };
+                out.copy_from_slice(vals);
+            },
+            |(), ()| (),
+        );
+    }
+    Some(scores)
 }
 
 /// Exact common-neighbor count `S_C(u, v) = |N_u ∩ N_v|`.
@@ -224,6 +318,45 @@ mod tests {
             let mean_err = err_j / n as f64;
             assert!(mean_err < 0.25, "{rep:?}: mean |ΔJ| = {mean_err}");
         }
+    }
+
+    #[test]
+    fn batched_pair_estimates_match_pairwise() {
+        let g = gen::erdos_renyi_gnm(150, 150 * 10, 5);
+        let pg = ProbGraph::build(&g, &PgConfig::new(Representation::Bloom { b: 2 }, 0.3));
+        let mut pairs: Vec<_> = g.edges().take(400).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        let per_pair: Vec<f64> = pairs
+            .iter()
+            .map(|&(u, v)| pg.estimate_intersection(u, v))
+            .collect();
+        struct V<'a>(&'a [(VertexId, VertexId)]);
+        impl OracleVisitor for V<'_> {
+            type Output = Vec<f64>;
+            fn visit<O: IntersectionOracle>(self, o: &O) -> Vec<f64> {
+                estimate_pairs_with(o, self.0)
+            }
+        }
+        // A huge budget forces the plain per-pair path, a tiny one the
+        // blocked traversal; both must be bit-identical to pairwise.
+        for budget in [usize::MAX, 512] {
+            let scores = pg_parallel::with_tile_bytes(budget, || pg.with_oracle(V(&pairs)));
+            assert_eq!(scores, per_pair, "tile budget {budget}");
+        }
+        // Ungrouped pairs take the per-pair fallback and still match.
+        let mut shuffled = pairs.clone();
+        shuffled.reverse();
+        let rev: Vec<f64> = per_pair.iter().rev().copied().collect();
+        struct W<'a>(&'a [(VertexId, VertexId)]);
+        impl OracleVisitor for W<'_> {
+            type Output = Vec<f64>;
+            fn visit<O: IntersectionOracle>(self, o: &O) -> Vec<f64> {
+                estimate_pairs_with(o, self.0)
+            }
+        }
+        let scores = pg_parallel::with_tile_bytes(512, || pg.with_oracle(W(&shuffled)));
+        assert_eq!(scores, rev);
     }
 
     #[test]

@@ -55,7 +55,7 @@
 pub mod accuracy;
 pub mod algorithms;
 pub mod baselines;
-mod grain;
+pub mod grain;
 pub mod intersect;
 pub mod oracle;
 pub mod pg;
@@ -64,6 +64,7 @@ pub mod tc_estimator;
 pub mod workdepth;
 
 pub use accuracy::{relative_count, relative_error};
+pub use grain::{plan_for, plan_tiles, tiled_block_sweep, BlockKind, TilePlan};
 pub use oracle::{
     ExactOracle, IntersectionOracle, MutableOracle, OracleVisitor, UnsupportedOperation,
 };

@@ -185,6 +185,95 @@ pub trait IntersectionOracle: Sync {
     fn degree_scaled_cost(&self) -> bool {
         false
     }
+
+    /// Bytes of one destination window (filter words, register block) when
+    /// the oracle's destinations live in a flat array that a blocked sweep
+    /// can tile into cache-resident destination ranges; `None` when there
+    /// is no such array (exact CSR rows have variable length) or tiling is
+    /// not profitable for the representation. The tiling planner
+    /// ([`crate::grain::plan_tiles`]) consumes this to decide between the
+    /// blocked and the plain row-sweep traversal.
+    #[inline]
+    fn dest_window_bytes(&self) -> Option<usize> {
+        None
+    }
+
+    /// Blocked batched estimation over one (source-batch × destination-tile)
+    /// block: for each batch slot `s`, `us[seg_offsets[s]..seg_offsets[s+1]]`
+    /// holds source `sources[s]`'s in-tile destinations, and the matching
+    /// `out` range receives `estimate(sources[s], u)` per destination —
+    /// bit-identical to [`estimate_row_into`](Self::estimate_row_into) over
+    /// the same segments, which is exactly what the default does (so every
+    /// oracle is block-correct for free). Tiled overrides (Bloom, and CBF
+    /// via its read view) re-pin each source and sweep the cache-resident
+    /// tile with the tiled kernels instead.
+    #[inline]
+    fn estimate_block_into(
+        &self,
+        sources: &[VertexId],
+        seg_offsets: &[usize],
+        us: &[VertexId],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(seg_offsets.len(), sources.len() + 1);
+        debug_assert_eq!(us.len(), out.len());
+        for (s, &v) in sources.iter().enumerate() {
+            let (lo, hi) = (seg_offsets[s], seg_offsets[s + 1]);
+            self.estimate_row_into(v, &us[lo..hi], &mut out[lo..hi]);
+        }
+    }
+
+    /// Blocked batched Jaccard — segment layout as
+    /// [`estimate_block_into`](Self::estimate_block_into). The default
+    /// loops [`jaccard_row_into`](Self::jaccard_row_into) per segment (not
+    /// the estimate block + transform), so oracles with native Jaccard row
+    /// kernels (k-hash, 1-hash) stay bit-identical under tiling.
+    #[inline]
+    fn jaccard_block_into(
+        &self,
+        sources: &[VertexId],
+        seg_offsets: &[usize],
+        us: &[VertexId],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(seg_offsets.len(), sources.len() + 1);
+        debug_assert_eq!(us.len(), out.len());
+        for (s, &v) in sources.iter().enumerate() {
+            let (lo, hi) = (seg_offsets[s], seg_offsets[s + 1]);
+            self.jaccard_row_into(v, &us[lo..hi], &mut out[lo..hi]);
+        }
+    }
+
+    /// Blocked estimation into a reusable buffer — the block-level analog
+    /// of [`estimate_row`](Self::estimate_row), under the same
+    /// truncate-don't-zero reuse contract: one scratch `Vec<f64>` per
+    /// worker grows to the widest block once, then every later block
+    /// reuses it allocation-free (debug-asserted).
+    #[inline]
+    fn estimate_block(
+        &self,
+        sources: &[VertexId],
+        seg_offsets: &[usize],
+        us: &[VertexId],
+        out: &mut Vec<f64>,
+    ) {
+        prepare_row_buf(out, us.len());
+        self.estimate_block_into(sources, seg_offsets, us, out);
+    }
+
+    /// Blocked Jaccard into a reusable buffer — same contract as
+    /// [`estimate_block`](Self::estimate_block).
+    #[inline]
+    fn jaccard_block(
+        &self,
+        sources: &[VertexId],
+        seg_offsets: &[usize],
+        us: &[VertexId],
+        out: &mut Vec<f64>,
+    ) {
+        prepare_row_buf(out, us.len());
+        self.jaccard_block_into(sources, seg_offsets, us, out);
+    }
 }
 
 /// The streaming extension of the oracle layer: in-place sketch updates
@@ -648,22 +737,40 @@ impl<S: BloomStrategy> IntersectionOracle for BloomOracle<'_, S> {
     }
 
     /// Multi-lane row sweep: the source word window, cached popcount, and
-    /// exact size are pinned once; destinations go two per fused
-    /// AND+popcount word-window pass (two vector reduction chains
-    /// pipeline without spills) while the next pair's windows are
-    /// prefetched — the sweep is destination-bandwidth bound, so
-    /// overlapping the fills with the current pair's popcounts is where
-    /// the remaining time goes. Scalar fused pass on the odd tail.
+    /// exact size are pinned once; destinations go four per fused
+    /// AND+popcount word-window pass (the estimator tails of a group stay
+    /// adjacent so their table lookups pipeline), then a two-lane pass and
+    /// a scalar pass mop up the ragged tail. Destination windows are
+    /// prefetched a window-size-aware
+    /// [`pg_sketch::bitvec::prefetch_distance`] ahead — but only when the
+    /// destination store outgrows the probed L2: on a cache-resident store
+    /// every window is already a hit and the prefetch ramp is pure
+    /// instruction overhead (measurably slower than no prefetch at the
+    /// scaled bench sizes). Out of cache, keeping ~4 KiB of fills in
+    /// flight (rather than the old fixed one-group look-ahead) is where
+    /// the remaining time goes.
     #[inline]
     fn estimate_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
+        debug_assert_eq!(us.len(), out.len());
         let i = v as usize;
         let row = self.col.words(i);
         let row_ones = self.col.count_ones(i);
         let row_size = self.sizes[i];
+        let window_bytes = self.col.words_per_set() * 8;
+        let dist = if window_bytes * self.sizes.len() <= pg_parallel::cache_topology().l2_bytes {
+            0
+        } else {
+            pg_sketch::bitvec::prefetch_distance(window_bytes)
+        };
+        for &p in us.iter().take(dist.min(us.len())) {
+            pg_sketch::bitvec::prefetch_slice(self.col.words(p as usize));
+        }
         let mut t = 0;
         while t + 4 <= us.len() {
-            for &p in us.iter().take((t + 8).min(us.len())).skip(t + 4) {
-                pg_sketch::bitvec::prefetch_slice(self.col.words(p as usize));
+            if dist > 0 {
+                for &p in us.iter().take((t + dist + 4).min(us.len())).skip(t + dist) {
+                    pg_sketch::bitvec::prefetch_slice(self.col.words(p as usize));
+                }
             }
             let js = [
                 us[t] as usize,
@@ -704,6 +811,50 @@ impl<S: BloomStrategy> IntersectionOracle for BloomOracle<'_, S> {
             let ones = and_count_words(row, self.col.words(j));
             out[t] =
                 S::estimate_from_and_ones(self.col, ones, row_ones, row_size, j, self.sizes[j]);
+        }
+    }
+
+    #[inline]
+    fn dest_window_bytes(&self) -> Option<usize> {
+        Some(self.col.words_per_set() * 8)
+    }
+
+    /// Tiled block sweep: each batch source re-pins its window state and
+    /// runs the tiled kernel over its in-tile destination segment with
+    /// software prefetch off — the whole point of the blocked schedule is
+    /// that the destination tile is already cache-resident across the
+    /// source batch, so per-segment prefetch would be pure instruction
+    /// overhead on segments a few destinations long. While one segment is
+    /// swept, the *next* source's word window is prefetched — the one fill
+    /// the per-segment kernel cannot overlap itself. Values are
+    /// bit-identical to [`IntersectionOracle::estimate_row_into`] over the
+    /// same segments.
+    #[inline]
+    fn estimate_block_into(
+        &self,
+        sources: &[VertexId],
+        seg_offsets: &[usize],
+        us: &[VertexId],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(seg_offsets.len(), sources.len() + 1);
+        debug_assert_eq!(us.len(), out.len());
+        for (s, &v) in sources.iter().enumerate() {
+            if let Some(&next) = sources.get(s + 1) {
+                pg_sketch::bitvec::prefetch_slice(self.col.words(next as usize));
+            }
+            let (lo, hi) = (seg_offsets[s], seg_offsets[s + 1]);
+            let i = v as usize;
+            let row = self.col.words(i);
+            let row_ones = self.col.count_ones(i);
+            let row_size = self.sizes[i];
+            let seg_us = &us[lo..hi];
+            let seg_out = &mut out[lo..hi];
+            self.col.and_ones_tiled(row, seg_us, 0, |t, ones| {
+                let j = seg_us[t] as usize;
+                seg_out[t] =
+                    S::estimate_from_and_ones(self.col, ones, row_ones, row_size, j, self.sizes[j]);
+            });
         }
     }
 
@@ -1004,7 +1155,11 @@ impl IntersectionOracle for HllOracle<'_> {
     /// are pinned once; destinations go four per fused register-max pass
     /// (four independent harmonic-sum chains pipeline where the scalar
     /// pass is `f64`-add latency-bound), then a two-lane pass and a
-    /// scalar pass mop up the ragged tail.
+    /// scalar pass mop up the ragged tail. Register windows are
+    /// prefetched a window-size-aware
+    /// [`pg_sketch::bitvec::prefetch_distance`] ahead when the register
+    /// store outgrows the probed L2 (on a cache-resident store the
+    /// prefetch ramp is pure instruction overhead).
     #[inline]
     fn estimate_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
         let i = v as usize;
@@ -1013,10 +1168,20 @@ impl IntersectionOracle for HllOracle<'_> {
         let inter = |j: usize, union_est: f64| {
             HyperLogLogCollection::intersection_from_union(nx, self.sizes[j] as usize, union_est)
         };
+        let dist = if row.len() * self.sizes.len() <= pg_parallel::cache_topology().l2_bytes {
+            0
+        } else {
+            pg_sketch::bitvec::prefetch_distance(row.len())
+        };
+        for &p in us.iter().take(dist.min(us.len())) {
+            pg_sketch::bitvec::prefetch_slice(self.col.registers(p as usize));
+        }
         let mut t = 0;
         while t + 4 <= us.len() {
-            for &p in us.iter().take((t + 8).min(us.len())).skip(t + 4) {
-                pg_sketch::bitvec::prefetch_slice(self.col.registers(p as usize));
+            if dist > 0 {
+                for &p in us.iter().take((t + dist + 4).min(us.len())).skip(t + dist) {
+                    pg_sketch::bitvec::prefetch_slice(self.col.registers(p as usize));
+                }
             }
             let js = [
                 us[t] as usize,

@@ -40,11 +40,15 @@
 //! assert_eq!(s, 999 * 1000 / 2);
 //! ```
 
+pub mod cache;
 pub mod config;
 mod init;
 mod par;
 mod reduce;
 
+pub use cache::{
+    cache_line_bytes, cache_topology, set_tile_bytes, tile_bytes, with_tile_bytes, CacheTopology,
+};
 pub use config::{available_threads, current_threads, set_threads, with_threads};
 pub use init::{parallel_fill_with, parallel_init, parallel_init_scratch};
 pub use par::{join, parallel_for, parallel_for_grain, parallel_for_range, parallel_for_scratch};

@@ -276,16 +276,19 @@ fn and_count_words_multi_512<const L: usize>(a: &[u64], bs: [&[u64]; L]) -> [usi
 }
 
 /// Prefetches a destination window (word, register, or signature slice)
-/// into L1 — issued by row sweeps a couple of destinations ahead so the
-/// L2 fills overlap the current destinations' work (the row kernels are
-/// destination-bandwidth bound once the source is pinned in L1). One
-/// prefetch per cache line; no-op off x86-64.
+/// into L1 — issued by row sweeps some destinations ahead (see
+/// [`prefetch_distance`]) so the L2 fills overlap the current destinations'
+/// work (the row kernels are destination-bandwidth bound once the source is
+/// pinned in L1). Strides in cache-line units of `size_of::<T>()` using the
+/// probed line size, so one prefetch is issued per actual line regardless of
+/// the element type; no-op off x86-64.
 #[inline]
 pub fn prefetch_slice<T>(w: &[T]) {
     #[cfg(target_arch = "x86_64")]
     unsafe {
         use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-        let step = (64 / std::mem::size_of::<T>().max(1)).max(1);
+        let line = pg_parallel::cache_line_bytes();
+        let step = (line / std::mem::size_of::<T>().max(1)).max(1);
         let mut off = 0;
         while off < w.len() {
             _mm_prefetch(w.as_ptr().add(off) as *const i8, _MM_HINT_T0);
@@ -295,6 +298,103 @@ pub fn prefetch_slice<T>(w: &[T]) {
     #[cfg(not(target_arch = "x86_64"))]
     {
         let _ = w;
+    }
+}
+
+/// How many destinations ahead a row sweep should issue [`prefetch_slice`]
+/// for windows of `window_bytes` each.
+///
+/// Targets ~4 KiB of fills in flight — enough to cover L2 latency at small
+/// windows (tiny windows need many outstanding destinations, large windows
+/// only one or two) without overrunning the L1 fill buffers. Returns 0 for
+/// windows past 32 KiB: software-prefetching whole huge filters evicts more
+/// than it hides and the hardware streamer already tracks a sequential
+/// window walk (the same size regime where `BloomCollection` skips its
+/// Swamidass lookup table).
+#[inline]
+pub fn prefetch_distance(window_bytes: usize) -> usize {
+    const IN_FLIGHT_BYTES: usize = 4096;
+    const MAX_WINDOW_BYTES: usize = 32 * 1024;
+    if window_bytes == 0 || window_bytes > MAX_WINDOW_BYTES {
+        return 0;
+    }
+    (IN_FLIGHT_BYTES / window_bytes).clamp(1, 16)
+}
+
+/// Tiled flat-array row kernel: fused AND + popcount of one pinned source
+/// window against destination windows `js` of a flat collection
+/// (`data[j*words_per_set..][..words_per_set]`), invoking
+/// `emit(t, and_ones)` for each destination index `t` in `js` order.
+///
+/// `prefetch_dist` is how many destinations ahead to issue
+/// [`prefetch_slice`]: the flat full-row sweep passes
+/// [`prefetch_distance`] so L2 fills overlap the current group's
+/// popcounts, while the blocked sweep passes 0 — its `js` are one
+/// source's in-tile destinations, already cache-resident across the
+/// source batch, so prefetching them is pure instruction overhead.
+/// Destinations are processed through the same 4/2/1 multi-lane split
+/// either way; popcounts are exact integers, so every emitted count is
+/// bit-identical to `and_count_words(row, window(js[t]))` no matter how a
+/// row is segmented into tiles.
+#[inline]
+pub fn and_count_words_tiled<F: FnMut(usize, usize)>(
+    row: &[u64],
+    data: &[u64],
+    words_per_set: usize,
+    js: &[u32],
+    prefetch_dist: usize,
+    mut emit: F,
+) {
+    let wps = words_per_set;
+    if wps == 0 {
+        for t in 0..js.len() {
+            emit(t, 0);
+        }
+        return;
+    }
+    debug_assert_eq!(row.len(), wps);
+    let window = |j: u32| -> &[u64] {
+        let j = j as usize;
+        &data[j * wps..(j + 1) * wps]
+    };
+    let n = js.len();
+    let dist = prefetch_dist;
+    // Warm-up: get the first `dist` windows' fills started before any work.
+    for &j in js.iter().take(dist.min(n)) {
+        prefetch_slice(window(j));
+    }
+    let mut t = 0;
+    while t + 4 <= n {
+        if dist > 0 {
+            // Each group prefetches exactly the windows entering the
+            // look-ahead horizon, so every window is prefetched once.
+            for &j in js.iter().take((t + dist + 4).min(n)).skip(t + dist) {
+                prefetch_slice(window(j));
+            }
+        }
+        let ones = and_count_words_multi(
+            row,
+            [
+                window(js[t]),
+                window(js[t + 1]),
+                window(js[t + 2]),
+                window(js[t + 3]),
+            ],
+        );
+        emit(t, ones[0]);
+        emit(t + 1, ones[1]);
+        emit(t + 2, ones[2]);
+        emit(t + 3, ones[3]);
+        t += 4;
+    }
+    if t + 2 <= n {
+        let ones = and_count_words_multi(row, [window(js[t]), window(js[t + 1])]);
+        emit(t, ones[0]);
+        emit(t + 1, ones[1]);
+        t += 2;
+    }
+    if t < n {
+        emit(t, and_count_words(row, window(js[t])));
     }
 }
 

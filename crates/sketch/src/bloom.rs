@@ -24,7 +24,8 @@
 //!    *and* OR estimators all cost a single pass per edge.
 
 use crate::bitvec::{
-    and_count_words, and_count_words_multi, count_ones_words, or_count_words, BitVec, PairOnes,
+    and_count_words, and_count_words_multi, and_count_words_tiled, count_ones_words,
+    or_count_words, BitVec, PairOnes,
 };
 use crate::estimators;
 use pg_hash::HashFamily;
@@ -452,6 +453,26 @@ impl BloomCollection {
     #[inline]
     pub fn and_ones_multi<const L: usize>(&self, row: &[u64], js: [usize; L]) -> [usize; L] {
         and_count_words_multi(row, js.map(|j| self.words(j)))
+    }
+
+    /// Tiled multi-lane `B_{X∩Y,1}`: ANDs the pinned source `row` against
+    /// the destination filters `js` (one source's in-tile destination ids),
+    /// invoking `emit(t, and_ones)` per destination in `js` order. The
+    /// blocked row sweep calls this once per (source, tile) segment with
+    /// `prefetch_dist = 0` (the tile is cache-resident across the source
+    /// batch); the flat full-row sweep passes
+    /// [`crate::bitvec::prefetch_distance`] so L2 fills overlap the
+    /// popcounts. Counts are bit-identical to [`BloomCollection::and_ones`]
+    /// for any tiling (see [`crate::bitvec::and_count_words_tiled`]).
+    #[inline]
+    pub fn and_ones_tiled<F: FnMut(usize, usize)>(
+        &self,
+        row: &[u64],
+        js: &[u32],
+        prefetch_dist: usize,
+        emit: F,
+    ) {
+        and_count_words_tiled(row, &self.data, self.words_per_set, js, prefetch_dist, emit);
     }
 
     /// All four pair statistics of filters `i` and `j` from **one** fused
