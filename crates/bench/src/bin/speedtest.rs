@@ -31,7 +31,16 @@
 //! removal-capable counting-Bloom representation (batched and
 //! single-edge `remove_arcs`) against its own insert path — counter
 //! decrement mirrors counter increment, so removal ns/edge is gated at
-//! insert parity in CI.
+//! insert parity in CI — and reports the store's sticky-saturated
+//! counter count (4-bit counters frozen at 15, which removals can no
+//! longer clear). A `serving` section times the sharded concurrent
+//! serving layer (`ShardedProbGraph`): a fixed mixed read/write op
+//! stream run serially on one thread vs. concurrently (writer thread
+//! staging/publishing epochs, query thread sweeping pinned snapshots)
+//! across 1/2/4 shard lanes at 0/10/50 % write mixes. The
+//! serial-vs-serving ratios are gated in CI conditionally on the
+//! recorded thread count — a single-CPU runner time-slices the threads
+//! and can only lose.
 //!
 //! Honors `PG_SCALE` (dataset down-scale, default 1 = full size) and
 //! `PG_REPS` (timing repetitions, default 5). Writes `BENCH_kernels.json`
@@ -862,6 +871,7 @@ fn main() {
         remove_ns: f64,
         single_remove_ns: f64,
         remove_vs_insert: f64,
+        saturated_counters: usize,
     }
     let mut removal: Vec<RemovalEntry> = Vec::new();
     {
@@ -921,9 +931,17 @@ fn main() {
         let remove_ns = t_remove * 1e9 / tail_len as f64;
         let single_remove_ns = t_single * 1e9 / tail_len as f64;
         let remove_vs_insert = insert_ns / remove_ns;
+        // Sticky-saturation exposure: 4-bit counters that hit 15 freeze
+        // (removals can no longer clear their bits), so long-window
+        // deployments should watch this stat — see the README caveat.
+        let saturated_counters = match base_full.store() {
+            probgraph::SketchStore::CountingBloom(c) => c.saturated_counters(),
+            _ => unreachable!("removal bench runs on the counting-Bloom store"),
+        };
         println!(
             "{:>22}: insert {insert_ns:8.1} ns/edge | remove {remove_ns:8.1} ns/edge | \
-             single remove {single_remove_ns:8.1} ns/edge | remove-vs-insert {remove_vs_insert:.2}x",
+             single remove {single_remove_ns:8.1} ns/edge | remove-vs-insert {remove_vs_insert:.2}x | \
+             saturated counters {saturated_counters}",
             "removal_cbloom"
         );
         removal.push(RemovalEntry {
@@ -932,6 +950,7 @@ fn main() {
             remove_ns,
             single_remove_ns,
             remove_vs_insert,
+            saturated_counters,
         });
     }
 
@@ -1011,6 +1030,164 @@ fn main() {
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    // --- serving: sharded concurrent ingest + epoch-snapshot queries ------
+    // Fixed mixed read/write work: N_OPS operations, a `mix`-percent
+    // slice of which are 64-arc write batches (cycling the oriented edge
+    // stream), the rest 256-destination row-sweep queries. The serial
+    // baseline interleaves both on one thread over a plain `ProbGraph`;
+    // the serving layer runs the same writes on the main thread (staged,
+    // publishing an epoch every PUBLISH_EVERY batches so the parallel
+    // lane drain engages) while a query thread serves the same queries
+    // off pinned epoch snapshots. `speedup` = serial wall / serving wall
+    // for identical op mixes. CI gates `mixed_vs_serial_1shard` (mix 10 %,
+    // one lane: epoch/publish overhead must not tax a query-dominated mix
+    // by more than the noise floor) and `mixed_vs_serial_4shard` (mix
+    // 50 %, four lanes: ingest overlap + parallel drains must win).
+    struct ServingCell {
+        ms: f64,
+        qps: f64,
+    }
+    const SERVING_MIXES: [usize; 3] = [0, 10, 50];
+    const SERVING_SHARDS: [usize; 3] = [1, 2, 4];
+    let serving_ops: usize = 2048;
+    let serving_write_batch: usize = 64;
+    let serving_publish_every: usize = 32;
+    let serving_dests: usize = 256.min(n);
+    let mut serving_serial: Vec<ServingCell> = Vec::new();
+    let mut serving_sharded: Vec<Vec<ServingCell>> = Vec::new();
+    {
+        use probgraph::serving::ShardedProbGraph;
+        let cfg = PgConfig::new(Representation::Bloom { b: 2 }, 0.25);
+        let dests: Vec<u32> = (0..serving_dests as u32).collect();
+        // Write batch j cycles the oriented edge stream.
+        let batch_for = |j: usize| -> Vec<(u32, u32)> {
+            (0..serving_write_batch)
+                .map(|t| edges[(j * serving_write_batch + t) % edges.len()])
+                .collect()
+        };
+        struct RowSweep<'a> {
+            v: u32,
+            us: &'a [u32],
+            buf: &'a mut Vec<f64>,
+        }
+        impl OracleVisitor for RowSweep<'_> {
+            type Output = f64;
+            fn visit<O: IntersectionOracle>(self, o: &O) -> f64 {
+                o.estimate_row(self.v, self.us, self.buf);
+                self.buf.iter().sum()
+            }
+        }
+        // Evenly spaced write ops: op i writes iff the scaled write
+        // counter advances — the serial and sharded runs use the same
+        // deterministic schedule.
+        let is_write = |i: usize, writes: usize| -> bool {
+            (i + 1) * writes / serving_ops != i * writes / serving_ops
+        };
+        for &mix in &SERVING_MIXES {
+            let writes = serving_ops * mix / 100;
+            let queries = serving_ops - writes;
+            // Serial baseline: one thread, one ProbGraph, interleaved.
+            let t_serial = median(
+                (0..reps)
+                    .map(|_| {
+                        let mut p = ProbGraph::stream_from(n, g.memory_bytes(), &cfg, &[]);
+                        p.apply_arcs(&edges);
+                        let mut buf = Vec::new();
+                        let mut j = 0usize;
+                        let t0 = Instant::now();
+                        let mut acc = 0.0;
+                        for i in 0..serving_ops {
+                            if is_write(i, writes) {
+                                p.apply_arcs(&batch_for(j));
+                                j += 1;
+                            } else {
+                                acc += p.with_oracle(RowSweep {
+                                    v: (i % n) as u32,
+                                    us: &dests,
+                                    buf: &mut buf,
+                                });
+                            }
+                        }
+                        black_box(acc);
+                        t0.elapsed().as_secs_f64()
+                    })
+                    .collect(),
+            );
+            serving_serial.push(ServingCell {
+                ms: t_serial * 1e3,
+                qps: queries as f64 / t_serial,
+            });
+            println!(
+                "{:>22}: {:8.2} ms | {:9.0} queries/s",
+                format!("serving_serial_mix{mix}"),
+                t_serial * 1e3,
+                queries as f64 / t_serial
+            );
+        }
+        for (si, &shards) in SERVING_SHARDS.iter().enumerate() {
+            serving_sharded.push(Vec::new());
+            for &mix in &SERVING_MIXES {
+                let writes = serving_ops * mix / 100;
+                let queries = serving_ops - writes;
+                let t_shard = median(
+                    (0..reps)
+                        .map(|_| {
+                            let mut srv =
+                                ShardedProbGraph::with_shards(n, g.memory_bytes(), &cfg, shards);
+                            srv.apply_arcs(&edges);
+                            srv.publish_epoch();
+                            let reader = srv.reader();
+                            let t0 = Instant::now();
+                            std::thread::scope(|scope| {
+                                // The query thread: the same Q row sweeps,
+                                // each pinning whatever epoch is current.
+                                scope.spawn(|| {
+                                    let mut buf = Vec::new();
+                                    let mut acc = 0.0;
+                                    for i in 0..queries {
+                                        acc += reader.query_with_oracle(RowSweep {
+                                            v: (i % n) as u32,
+                                            us: &dests,
+                                            buf: &mut buf,
+                                        });
+                                    }
+                                    black_box(acc);
+                                });
+                                // The writer: stage batches, publish an
+                                // epoch every PUBLISH_EVERY batches.
+                                for j in 0..writes {
+                                    srv.stage_arcs(&batch_for(j));
+                                    if (j + 1) % serving_publish_every == 0 {
+                                        srv.publish_epoch();
+                                    }
+                                }
+                                srv.publish_epoch();
+                            });
+                            t0.elapsed().as_secs_f64()
+                        })
+                        .collect(),
+                );
+                serving_sharded[si].push(ServingCell {
+                    ms: t_shard * 1e3,
+                    qps: queries as f64 / t_shard,
+                });
+                println!(
+                    "{:>22}: {:8.2} ms | {:9.0} queries/s",
+                    format!("serving_s{shards}_mix{mix}"),
+                    t_shard * 1e3,
+                    queries as f64 / t_shard
+                );
+            }
+        }
+    }
+    // Gate ratios: serial wall / serving wall on the same op mix.
+    let serving_r1 = serving_serial[1].ms / serving_sharded[0][1].ms;
+    let serving_r4 = serving_serial[2].ms / serving_sharded[2][2].ms;
+    println!(
+        "{:>22}: 1-shard mix10 {serving_r1:.2}x | 4-shard mix50 {serving_r4:.2}x",
+        "serving_vs_serial"
+    );
 
     // --- machine-readable emission ---------------------------------------
     let mut json = String::from("{\n");
@@ -1109,8 +1286,8 @@ fn main() {
     for (i, r) in removal.iter().enumerate() {
         let comma = if i + 1 == removal.len() { "" } else { "," };
         json.push_str(&format!(
-            "    \"{}\": {{\"insert_ns\": {:.3}, \"remove_ns\": {:.3}, \"single_remove_ns\": {:.3}, \"remove_vs_insert\": {:.3}}}{comma}\n",
-            r.name, r.insert_ns, r.remove_ns, r.single_remove_ns, r.remove_vs_insert
+            "    \"{}\": {{\"insert_ns\": {:.3}, \"remove_ns\": {:.3}, \"single_remove_ns\": {:.3}, \"remove_vs_insert\": {:.3}, \"saturated_counters\": {}}}{comma}\n",
+            r.name, r.insert_ns, r.remove_ns, r.single_remove_ns, r.remove_vs_insert, r.saturated_counters
         ));
     }
     json.push_str("  },\n");
@@ -1122,6 +1299,48 @@ fn main() {
             s.name, s.bytes, s.save_gbps, s.load_gbps, s.load_vs_build
         ));
     }
+    json.push_str("  },\n");
+    json.push_str("  \"serving\": {\n");
+    json.push_str(&format!(
+        "    \"workload\": {{\"ops\": {serving_ops}, \"write_batch\": {serving_write_batch}, \"publish_every\": {serving_publish_every}, \"dests\": {serving_dests}, \"threads\": {}}},\n",
+        pg_parallel::current_threads()
+    ));
+    let mix_cells = |cells: &[ServingCell]| -> String {
+        SERVING_MIXES
+            .iter()
+            .zip(cells)
+            .map(|(mix, c)| {
+                format!(
+                    "\"mix{mix}\": {{\"ms\": {:.3}, \"qps\": {:.1}}}",
+                    c.ms, c.qps
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    json.push_str(&format!(
+        "    \"serial\": {{{}}},\n",
+        mix_cells(&serving_serial)
+    ));
+    json.push_str("    \"sharded\": {\n");
+    for (si, shards) in SERVING_SHARDS.iter().enumerate() {
+        let comma = if si + 1 == SERVING_SHARDS.len() {
+            ""
+        } else {
+            ","
+        };
+        json.push_str(&format!(
+            "      \"shards{shards}\": {{{}}}{comma}\n",
+            mix_cells(&serving_sharded[si])
+        ));
+    }
+    json.push_str("    },\n");
+    json.push_str(&format!(
+        "    \"mixed_vs_serial_1shard\": {serving_r1:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"mixed_vs_serial_4shard\": {serving_r4:.3}\n"
+    ));
     json.push_str("  }\n");
     json.push_str("}\n");
     let path = "BENCH_kernels.json";

@@ -59,6 +59,7 @@ pub mod grain;
 pub mod intersect;
 pub mod oracle;
 pub mod pg;
+pub mod serving;
 pub mod snapshot;
 pub mod tc_estimator;
 pub mod workdepth;
@@ -69,4 +70,5 @@ pub use oracle::{
     ExactOracle, IntersectionOracle, MutableOracle, OracleVisitor, UnsupportedOperation,
 };
 pub use pg::{BfEstimator, Edge, PgConfig, ProbGraph, Representation, SketchStore};
+pub use serving::{ServingReader, ShardedProbGraph};
 pub use snapshot::{SnapshotError, SnapshotReport};

@@ -165,90 +165,8 @@ impl ProbGraph {
     where
         F: Fn(usize) -> &'a [u32] + Sync,
     {
-        let plan = BudgetPlan::new(base_bytes, n_sets, cfg.budget);
-        // The strict `BudgetPlan` planners reject budgets below one slot
-        // (`PlanError::BudgetTooSmall`); ProbGraph explicitly opts into
-        // the minimal sketch instead — on the degenerate graphs where a
-        // sane `s` still cannot pay for one slot (a few dozen vertices),
-        // overshooting the budget by a handful of bytes per set beats
-        // refusing to build. Real deployments planning real budgets should
-        // use the `try_*` planners and surface the error.
-        let (params, store) = match cfg.representation {
-            Representation::Bloom { b } => {
-                let params = plan.bloom(b);
-                let SketchParams::Bloom { bits_per_set, .. } = params else {
-                    unreachable!()
-                };
-                (
-                    params,
-                    SketchStore::Bloom(BloomCollection::build(
-                        n_sets,
-                        bits_per_set,
-                        b,
-                        cfg.seed,
-                        &set,
-                    )),
-                )
-            }
-            Representation::CountingBloom { b } => {
-                let params = plan.counting_bloom(b);
-                let SketchParams::CountingBloom { bits_per_set, .. } = params else {
-                    unreachable!()
-                };
-                (
-                    params,
-                    SketchStore::CountingBloom(CountingBloomCollection::build(
-                        n_sets,
-                        bits_per_set,
-                        b,
-                        cfg.seed,
-                        &set,
-                    )),
-                )
-            }
-            Representation::KHash => {
-                let params = plan.try_khash().unwrap_or(SketchParams::KHash { k: 1 });
-                let SketchParams::KHash { k } = params else {
-                    unreachable!()
-                };
-                (
-                    params,
-                    SketchStore::KHash(MinHashCollection::build(n_sets, k, cfg.seed, &set)),
-                )
-            }
-            Representation::OneHash => {
-                let params = plan.try_onehash().unwrap_or(SketchParams::OneHash { k: 1 });
-                let SketchParams::OneHash { k } = params else {
-                    unreachable!()
-                };
-                (
-                    params,
-                    SketchStore::OneHash(BottomKCollection::build(n_sets, k, cfg.seed, &set)),
-                )
-            }
-            Representation::Kmv => {
-                let params = plan.try_kmv().unwrap_or(SketchParams::Kmv { k: 1 });
-                let SketchParams::Kmv { k } = params else {
-                    unreachable!()
-                };
-                (
-                    params,
-                    SketchStore::Kmv(KmvCollection::build(n_sets, k, cfg.seed, &set)),
-                )
-            }
-            Representation::Hll => {
-                let params = plan.hll();
-                let SketchParams::Hll { precision } = params else {
-                    unreachable!()
-                };
-                (
-                    params,
-                    SketchStore::Hll(HyperLogLogCollection::build(
-                        n_sets, precision, cfg.seed, &set,
-                    )),
-                )
-            }
-        };
+        let params = resolve_params(n_sets, base_bytes, cfg);
+        let store = build_store(params, n_sets, cfg.seed, &set);
         let mut sizes = vec![0u32; n_sets];
         pg_parallel::parallel_fill_with(&mut sizes, |i| set(i).len() as u32);
         ProbGraph {
@@ -258,6 +176,15 @@ impl ProbGraph {
             params,
             seed: cfg.seed,
         }
+    }
+
+    /// Mutable access to the store and size array together — the serving
+    /// layer's publish path gathers shard lanes into a reclaimed snapshot
+    /// in place (`crate::serving`), which is only sound because it
+    /// overwrites both halves from lanes built under this graph's own
+    /// params and seed.
+    pub(crate) fn parts_mut(&mut self) -> (&mut SketchStore, &mut Vec<u32>) {
+        (&mut self.store, &mut self.sizes)
     }
 
     /// Assembles a ProbGraph from already-validated parts — the snapshot
@@ -648,6 +575,65 @@ impl MutableOracle for SketchStore {
     #[inline]
     fn remove_supported(&self) -> bool {
         matches!(self, SketchStore::CountingBloom(_))
+    }
+}
+
+/// Resolves the sketch parameters [`ProbGraph::build_over`] would use for
+/// a `n_sets`-set graph with CSR footprint `base_bytes` under `cfg` — the
+/// **one** place budget planning happens, shared with the serving layer so
+/// shard lanes resolve against the *global* set count and footprint and
+/// end up parameter-identical to a serial build.
+///
+/// The strict `BudgetPlan` planners reject budgets below one slot
+/// (`PlanError::BudgetTooSmall`); ProbGraph explicitly opts into the
+/// minimal sketch instead — on the degenerate graphs where a sane `s`
+/// still cannot pay for one slot (a few dozen vertices), overshooting the
+/// budget by a handful of bytes per set beats refusing to build. Real
+/// deployments planning real budgets should use the `try_*` planners and
+/// surface the error.
+pub(crate) fn resolve_params(n_sets: usize, base_bytes: usize, cfg: &PgConfig) -> SketchParams {
+    let plan = BudgetPlan::new(base_bytes, n_sets, cfg.budget);
+    match cfg.representation {
+        Representation::Bloom { b } => plan.bloom(b),
+        Representation::CountingBloom { b } => plan.counting_bloom(b),
+        Representation::KHash => plan.try_khash().unwrap_or(SketchParams::KHash { k: 1 }),
+        Representation::OneHash => plan.try_onehash().unwrap_or(SketchParams::OneHash { k: 1 }),
+        Representation::Kmv => plan.try_kmv().unwrap_or(SketchParams::Kmv { k: 1 }),
+        Representation::Hll => plan.hll(),
+    }
+}
+
+/// Builds the concrete store for already-resolved `params` over `n_sets`
+/// sets. The params variant determines the representation, so a store
+/// built here always matches its params — serving constructs per-shard
+/// lanes (and empty snapshot buffers) with globally-resolved params but
+/// local set counts.
+pub(crate) fn build_store<'a, F>(
+    params: SketchParams,
+    n_sets: usize,
+    seed: u64,
+    set: F,
+) -> SketchStore
+where
+    F: Fn(usize) -> &'a [u32] + Sync,
+{
+    match params {
+        SketchParams::Bloom { bits_per_set, b } => {
+            SketchStore::Bloom(BloomCollection::build(n_sets, bits_per_set, b, seed, set))
+        }
+        SketchParams::CountingBloom { bits_per_set, b } => SketchStore::CountingBloom(
+            CountingBloomCollection::build(n_sets, bits_per_set, b, seed, set),
+        ),
+        SketchParams::KHash { k } => {
+            SketchStore::KHash(MinHashCollection::build(n_sets, k, seed, set))
+        }
+        SketchParams::OneHash { k } => {
+            SketchStore::OneHash(BottomKCollection::build(n_sets, k, seed, set))
+        }
+        SketchParams::Kmv { k } => SketchStore::Kmv(KmvCollection::build(n_sets, k, seed, set)),
+        SketchParams::Hll { precision } => {
+            SketchStore::Hll(HyperLogLogCollection::build(n_sets, precision, seed, set))
+        }
     }
 }
 

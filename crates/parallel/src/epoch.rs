@@ -1,0 +1,360 @@
+//! Epoch-based snapshot publication with a lock-free read path.
+//!
+//! The serving layer (`probgraph::serving`) wants row-sweep queries to run
+//! concurrently with streaming ingest **without any lock on the read path**.
+//! [`EpochCell`] provides exactly that primitive: a single published value
+//! behind an atomic pointer, replaced wholesale by a writer and reclaimed
+//! only once every reader that could still observe the old value has moved
+//! on — classic epoch-based reclamation, specialized to the one-pointer
+//! snapshot case so it stays small enough to reason about exhaustively.
+//!
+//! ## Protocol
+//!
+//! A global epoch counter increments once per [`EpochCell::publish`].
+//! Readers *announce* the epoch they observed in one of a fixed array of
+//! cache-line-padded slots before loading the snapshot pointer, and
+//! re-announce until the epoch is stable across the announcement
+//! (`load epoch → claim slot → verify epoch unchanged`). Writers retire the
+//! replaced snapshot into a limbo list and free a retired snapshot only
+//! when every announced slot is strictly newer than it.
+//!
+//! All protocol atomics use `SeqCst`, giving one total order over the
+//! epoch loads, slot stores, and pointer swaps. The safety argument:
+//!
+//! * A reader whose verified announcement is `a` loads the pointer *after*
+//!   (in the total order) the publish that set the global epoch to `a`, so
+//!   it can only observe nodes published at epoch ≥ `a`.
+//! * A retired node published at epoch `x` is freed only when the minimum
+//!   announced slot exceeds `x`; while any reader with announcement
+//!   `a ≤ x` is pinned, the node survives. Together: no reader ever
+//!   dereferences a freed snapshot.
+//!
+//! The write side takes a private mutex around the limbo list — writers
+//! are expected to be rare and serialized anyway (the serving layer is
+//! single-writer by construction); readers never touch it. The CI
+//! ThreadSanitizer job races this module directly
+//! (`tests/serving_equivalence.rs`).
+
+use std::cell::Cell;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::Mutex;
+
+/// Announcement value meaning "no reader in this slot".
+const IDLE: u64 = u64::MAX;
+
+/// Fixed number of reader announcement slots. Pins are short (one query
+/// sweep); with more simultaneous pins than slots, surplus readers spin
+/// until a slot frees — correctness is unaffected.
+const SLOTS: usize = 64;
+
+/// One reader announcement, padded to its own cache line pair so readers
+/// on different cores never false-share.
+#[repr(align(128))]
+struct Slot(AtomicU64);
+
+/// A published value and the epoch at which it was published.
+struct Node<T> {
+    epoch: u64,
+    value: T,
+}
+
+/// A single epoch-published snapshot: lock-free `pin` on the read side,
+/// `publish` + deferred reclamation on the write side.
+///
+/// ```
+/// use pg_parallel::EpochCell;
+///
+/// let cell = EpochCell::new(vec![1u32, 2, 3]);
+/// {
+///     let guard = cell.pin();
+///     assert_eq!(guard.epoch(), 0);
+///     assert_eq!(*guard, vec![1, 2, 3]);
+/// }
+/// let (epoch, reclaimed) = cell.publish(vec![4, 5, 6]);
+/// assert_eq!(epoch, 1);
+/// // No reader pinned: the initial value comes straight back for reuse.
+/// assert_eq!(reclaimed, vec![vec![1, 2, 3]]);
+/// assert_eq!(*cell.pin(), vec![4, 5, 6]);
+/// ```
+pub struct EpochCell<T> {
+    current: AtomicPtr<Node<T>>,
+    /// Epoch of the latest completed publish; the initial value is epoch 0.
+    epoch: AtomicU64,
+    slots: Box<[Slot]>,
+    /// Retired-but-not-yet-freed snapshots. Writer-side only.
+    limbo: Mutex<Vec<Box<Node<T>>>>,
+}
+
+// SAFETY: the cell owns its `T` values (moves them in through `publish`,
+// out through reclamation, drops them in `Drop`), so sending the cell
+// needs `T: Send`. Sharing it hands `&T` to arbitrary pinning threads and
+// accepts `publish`/reclaim through `&self`, so it additionally needs
+// `T: Sync`.
+unsafe impl<T: Send> Send for EpochCell<T> {}
+unsafe impl<T: Send + Sync> Sync for EpochCell<T> {}
+
+impl<T> EpochCell<T> {
+    /// Creates a cell whose epoch-0 snapshot is `initial`.
+    pub fn new(initial: T) -> Self {
+        let node = Box::into_raw(Box::new(Node {
+            epoch: 0,
+            value: initial,
+        }));
+        EpochCell {
+            current: AtomicPtr::new(node),
+            epoch: AtomicU64::new(0),
+            slots: (0..SLOTS).map(|_| Slot(AtomicU64::new(IDLE))).collect(),
+            limbo: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The epoch of the latest completed publish (0 for the initial value).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(SeqCst)
+    }
+
+    /// Pins the current snapshot: announces this reader's epoch, then loads
+    /// the pointer. Lock-free — no mutex, no writer coordination; the guard
+    /// dereferences to the snapshot and releases the announcement on drop.
+    pub fn pin(&self) -> EpochGuard<'_, T> {
+        let start = slot_hint();
+        let mut attempt = 0usize;
+        let (slot_idx, mut announced) = loop {
+            let idx = (start + attempt) % SLOTS;
+            let e = self.epoch.load(SeqCst);
+            // Claiming and announcing are one CAS: a slot transitions
+            // IDLE → epoch, so a concurrent publish either sees IDLE
+            // (reader not yet protected, but it has not loaded the pointer
+            // either) or the announced epoch.
+            if self.slots[idx]
+                .0
+                .compare_exchange(IDLE, e, SeqCst, SeqCst)
+                .is_ok()
+            {
+                break (idx, e);
+            }
+            attempt += 1;
+            if attempt.is_multiple_of(SLOTS) {
+                // Every slot busy: back off until one frees.
+                std::hint::spin_loop();
+            }
+        };
+        // Re-announce until the epoch is stable across the announcement —
+        // only then is this reader guaranteed to be visible to any publish
+        // that could retire the snapshot it is about to load.
+        loop {
+            let e = self.epoch.load(SeqCst);
+            if e == announced {
+                break;
+            }
+            self.slots[slot_idx].0.store(e, SeqCst);
+            announced = e;
+        }
+        let node = self.current.load(SeqCst);
+        EpochGuard {
+            cell: self,
+            slot: slot_idx,
+            node,
+        }
+    }
+
+    /// Publishes `value` as the next epoch's snapshot and retires the
+    /// previous one. Returns the new epoch and any retired snapshots that
+    /// are no longer observable by any reader — callers reuse their
+    /// allocations (double-buffering). The write side serializes on a
+    /// private mutex; the read side is untouched.
+    pub fn publish(&self, value: T) -> (u64, Vec<T>) {
+        let mut limbo = self.limbo.lock().unwrap();
+        let e = self.epoch.load(SeqCst) + 1;
+        let new = Box::into_raw(Box::new(Node { epoch: e, value }));
+        let old = self.current.swap(new, SeqCst);
+        self.epoch.store(e, SeqCst);
+        // SAFETY: `old` was the unique current pointer; ownership transfers
+        // to the limbo list here and nowhere else.
+        limbo.push(unsafe { Box::from_raw(old) });
+        let freed = self.reclaim_locked(&mut limbo);
+        (e, freed)
+    }
+
+    /// Frees every retired snapshot no longer observable by any reader and
+    /// returns the values for reuse. Called automatically by
+    /// [`EpochCell::publish`]; exposed for writers that want to drain limbo
+    /// between publishes.
+    pub fn try_reclaim(&self) -> Vec<T> {
+        let mut limbo = self.limbo.lock().unwrap();
+        self.reclaim_locked(&mut limbo)
+    }
+
+    /// Number of retired snapshots still waiting on readers.
+    pub fn limbo_len(&self) -> usize {
+        self.limbo.lock().unwrap().len()
+    }
+
+    fn reclaim_locked(&self, limbo: &mut Vec<Box<Node<T>>>) -> Vec<T> {
+        let min_active = self
+            .slots
+            .iter()
+            .map(|s| s.0.load(SeqCst))
+            .min()
+            .unwrap_or(IDLE);
+        let mut freed = Vec::new();
+        let mut i = 0;
+        while i < limbo.len() {
+            // A node published at epoch x is observable only by readers
+            // announced at ≤ x; it is free once every announcement is
+            // strictly newer.
+            if limbo[i].epoch < min_active {
+                freed.push(limbo.swap_remove(i).value);
+            } else {
+                i += 1;
+            }
+        }
+        freed
+    }
+}
+
+impl<T> Drop for EpochCell<T> {
+    fn drop(&mut self) {
+        // Exclusive access: no guards can outlive the cell (they borrow it).
+        // SAFETY: `current` is the unique live pointer; limbo boxes are
+        // owned by the mutex we now hold exclusively.
+        unsafe { drop(Box::from_raw(*self.current.get_mut())) };
+        self.limbo.get_mut().unwrap().clear();
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for EpochCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochCell")
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A pinned snapshot: dereferences to the published value; dropping it
+/// releases the reader's announcement slot.
+pub struct EpochGuard<'a, T> {
+    cell: &'a EpochCell<T>,
+    slot: usize,
+    node: *const Node<T>,
+}
+
+impl<T> EpochGuard<'_, T> {
+    /// The epoch at which the pinned snapshot was published.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        // SAFETY: the node outlives the guard — it is either current or in
+        // limbo, and reclamation skips nodes at ≥ our announced epoch.
+        unsafe { (*self.node).epoch }
+    }
+}
+
+impl<T> Deref for EpochGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // SAFETY: as in `epoch` — the announcement protocol keeps this
+        // node alive for the guard's lifetime.
+        unsafe { &(*self.node).value }
+    }
+}
+
+impl<T> Drop for EpochGuard<'_, T> {
+    fn drop(&mut self) {
+        self.cell.slots[self.slot].0.store(IDLE, SeqCst);
+    }
+}
+
+/// Per-thread starting slot so concurrent readers spread over the
+/// announcement array instead of contending on slot 0.
+fn slot_hint() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static HINT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    HINT.with(|h| {
+        if h.get() == usize::MAX {
+            h.set(NEXT.fetch_add(1, SeqCst) % SLOTS);
+        }
+        h.get()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn initial_value_is_epoch_zero() {
+        let cell = EpochCell::new(7u32);
+        assert_eq!(cell.epoch(), 0);
+        let g = cell.pin();
+        assert_eq!(g.epoch(), 0);
+        assert_eq!(*g, 7);
+    }
+
+    #[test]
+    fn publish_advances_epoch_and_reclaims_unpinned() {
+        let cell = EpochCell::new(vec![0u8; 16]);
+        let (e1, freed) = cell.publish(vec![1u8; 16]);
+        assert_eq!(e1, 1);
+        assert_eq!(freed, vec![vec![0u8; 16]]);
+        assert_eq!(cell.limbo_len(), 0);
+        assert_eq!(*cell.pin(), vec![1u8; 16]);
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_publishes() {
+        let cell = EpochCell::new(10u64);
+        let old = cell.pin();
+        let (_, freed) = cell.publish(20);
+        // The pinned epoch-0 value must stay in limbo.
+        assert!(freed.is_empty());
+        assert_eq!(cell.limbo_len(), 1);
+        assert_eq!(*old, 10);
+        assert_eq!(old.epoch(), 0);
+        // A fresh pin sees the new value while the old guard still reads
+        // the old one.
+        assert_eq!(*cell.pin(), 20);
+        drop(old);
+        assert_eq!(cell.try_reclaim(), vec![10]);
+        assert_eq!(cell.limbo_len(), 0);
+    }
+
+    #[test]
+    fn nested_pins_use_distinct_slots() {
+        let cell = EpochCell::new(1u32);
+        let a = cell.pin();
+        let b = cell.pin();
+        assert_ne!(a.slot, b.slot);
+        assert_eq!(*a, *b);
+    }
+
+    #[test]
+    fn concurrent_readers_see_only_published_values() {
+        // Writer publishes monotonically increasing values; readers must
+        // only ever observe (epoch, value) pairs with value == epoch.
+        let cell = EpochCell::new(0u64);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while !stop.load(SeqCst) {
+                        let g = cell.pin();
+                        assert_eq!(*g, g.epoch());
+                    }
+                });
+            }
+            for v in 1..=2000u64 {
+                cell.publish(v);
+            }
+            stop.store(true, SeqCst);
+        });
+        // All readers gone: everything retired must be reclaimable.
+        cell.try_reclaim();
+        assert_eq!(cell.limbo_len(), 0);
+    }
+}

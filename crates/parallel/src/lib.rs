@@ -42,19 +42,23 @@
 
 pub mod cache;
 pub mod config;
+pub mod epoch;
 mod init;
 mod par;
 mod reduce;
+pub mod shard;
 
 pub use cache::{
     cache_line_bytes, cache_topology, set_tile_bytes, tile_bytes, with_tile_bytes, CacheTopology,
 };
 pub use config::{available_threads, current_threads, set_threads, with_threads};
+pub use epoch::{EpochCell, EpochGuard};
 pub use init::{parallel_fill_with, parallel_init, parallel_init_scratch};
 pub use par::{join, parallel_for, parallel_for_grain, parallel_for_range, parallel_for_scratch};
 pub use reduce::{
     map_reduce, map_reduce_grain, map_reduce_scratch, max_f64, min_f64, sum_f64, sum_u64,
 };
+pub use shard::{current_shards, set_shards, with_shards};
 
 /// Picks a chunk size ("grain") for a loop of `n` iterations.
 ///

@@ -308,6 +308,47 @@ impl BloomCollection {
         }
     }
 
+    /// Assembles one collection holding the concatenation of `parts`'
+    /// filters, in order — the copy-on-publish path of the sharded serving
+    /// layer, where each part is one shard's contiguous vertex range. All
+    /// parts must share the filter shape `(words_per_set, b)` and have
+    /// been built under the same seed (the families are not comparable at
+    /// runtime; the serving layer constructs every shard from one config).
+    pub fn gather(parts: &[&Self]) -> Self {
+        let first = parts.first().expect("gather needs at least one part");
+        let mut out = BloomCollection {
+            data: Vec::new(),
+            words_per_set: first.words_per_set,
+            bits_per_set: first.bits_per_set,
+            b: first.b,
+            family: first.family.clone(),
+            ones: Vec::new(),
+            swami: first.swami.clone(),
+        };
+        out.gather_into(parts);
+        out
+    }
+
+    /// In-place form of [`BloomCollection::gather`]: overwrites `self`
+    /// with the concatenation of `parts`, reusing `self`'s allocations —
+    /// the double-buffer path, fed by snapshots reclaimed from the epoch
+    /// cell. `self` must share the parts' filter shape; the word and
+    /// popcount arrays are straight memcpys, so a publish costs one linear
+    /// pass over the store and re-hashes nothing.
+    pub fn gather_into(&mut self, parts: &[&Self]) {
+        self.data.clear();
+        self.ones.clear();
+        for p in parts {
+            assert_eq!(
+                p.words_per_set, self.words_per_set,
+                "gather: mismatched filter widths"
+            );
+            assert_eq!(p.b, self.b, "gather: mismatched hash counts");
+            self.data.extend_from_slice(&p.data);
+            self.ones.extend_from_slice(&p.ones);
+        }
+    }
+
     /// Number of filters.
     #[inline]
     pub fn len(&self) -> usize {

@@ -422,6 +422,61 @@ impl BottomKCollection {
         self.strided
     }
 
+    /// Assembles one collection holding the concatenation of `parts`'
+    /// samples, in order — the serving layer's copy-on-publish path. All
+    /// parts must share `(k, seed)`; they may be in either layout. The
+    /// result is always strided (offsets are the trivial `i·k` sequence),
+    /// with unused capacity slots zeroed so gathers are deterministic.
+    pub fn gather(parts: &[&Self]) -> Self {
+        let first = parts.first().expect("gather needs at least one part");
+        let mut out = BottomKCollection {
+            elems: Vec::new(),
+            hashes: Vec::new(),
+            offsets: Vec::new(),
+            lens: Vec::new(),
+            set_sizes: Vec::new(),
+            k: first.k,
+            family: first.family.clone(),
+            strided: true,
+        };
+        out.gather_into(parts);
+        out
+    }
+
+    /// In-place form of [`BottomKCollection::gather`], reusing `self`'s
+    /// allocations (the double-buffer path).
+    pub fn gather_into(&mut self, parts: &[&Self]) {
+        let k = self.k;
+        let n: usize = parts.iter().map(|p| p.lens.len()).sum();
+        assert!(
+            n * k <= u32::MAX as usize,
+            "gathered sketch storage exceeds u32 offsets"
+        );
+        self.elems.clear();
+        self.elems.resize(n * k, 0);
+        self.hashes.clear();
+        self.hashes.resize(n * k, 0);
+        self.offsets.clear();
+        self.offsets.extend((0..=n).map(|i| (i * k) as u32));
+        self.lens.clear();
+        self.set_sizes.clear();
+        let mut out_set = 0usize;
+        for p in parts {
+            assert_eq!(p.k, k, "gather: mismatched sample sizes");
+            for i in 0..p.lens.len() {
+                let src = p.offsets[i] as usize;
+                let len = p.lens[i] as usize;
+                let dst = out_set * k;
+                self.elems[dst..dst + len].copy_from_slice(&p.elems[src..src + len]);
+                self.hashes[dst..dst + len].copy_from_slice(&p.hashes[src..src + len]);
+                out_set += 1;
+            }
+            self.lens.extend_from_slice(&p.lens);
+            self.set_sizes.extend_from_slice(&p.set_sizes);
+        }
+        self.strided = true;
+    }
+
     /// Converts the tight-packed arrays to the strided capacity-`k`
     /// layout (see the type docs). Idempotent; called once, lazily, by
     /// the first insert.

@@ -218,6 +218,61 @@ impl CountingBloomCollection {
         }
     }
 
+    /// Assembles one collection holding the concatenation of `parts`'
+    /// filters, in order — the serving layer's copy-on-publish path. All
+    /// parts must share `(bits_per_set, b)` and a common seed; both the
+    /// packed counters and the derived views concatenate as straight
+    /// memcpys (shards own contiguous vertex ranges), so no re-derivation
+    /// sweep runs.
+    pub fn gather(parts: &[&Self]) -> Self {
+        let first = parts.first().expect("gather needs at least one part");
+        let mut out = CountingBloomCollection {
+            view: BloomCollection::gather(&parts.iter().map(|p| &p.view).collect::<Vec<_>>()),
+            counters: Vec::new(),
+            words_per_set: first.words_per_set,
+            family: first.family.clone(),
+            bits_per_set: first.bits_per_set,
+        };
+        out.gather_counters(parts);
+        out
+    }
+
+    /// In-place form of [`CountingBloomCollection::gather`], reusing
+    /// `self`'s counter and view allocations (the double-buffer path).
+    pub fn gather_into(&mut self, parts: &[&Self]) {
+        let views: Vec<&BloomCollection> = parts.iter().map(|p| &p.view).collect();
+        self.view.gather_into(&views);
+        self.gather_counters(parts);
+    }
+
+    fn gather_counters(&mut self, parts: &[&Self]) {
+        self.counters.clear();
+        for p in parts {
+            assert_eq!(
+                p.words_per_set, self.words_per_set,
+                "gather: mismatched counter widths"
+            );
+            self.counters.extend_from_slice(&p.counters);
+        }
+    }
+
+    /// Number of **saturated** counters across all sets — buckets stuck at
+    /// [`COUNTER_MAX`], which removals can never clear again (sticky
+    /// saturation, see the module docs). On long insert/remove windows
+    /// this is the drift metric to watch: each saturated bucket behaves
+    /// like a plain Bloom bit from then on, so estimates inflate as the
+    /// count grows. The `streaming_removal` bench section reports it.
+    pub fn saturated_counters(&self) -> usize {
+        self.counters
+            .iter()
+            .map(|&w| {
+                (0..COUNTERS_PER_WORD)
+                    .filter(|&t| (w >> (t * COUNTER_BITS)) & COUNTER_MAX == COUNTER_MAX)
+                    .count()
+            })
+            .sum()
+    }
+
     /// The derived insert-only read view. Estimators, oracles, and the
     /// fused row kernels read this exactly as they would a plain
     /// [`BloomCollection`]; it stays consistent through every insert and

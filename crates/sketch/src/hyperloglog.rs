@@ -264,6 +264,32 @@ impl HyperLogLogCollection {
         &self.registers
     }
 
+    /// Assembles one collection holding the concatenation of `parts`'
+    /// register arrays, in order — the serving layer's copy-on-publish
+    /// path. All parts must share `(precision, seed)`.
+    pub fn gather(parts: &[&Self]) -> Self {
+        let first = parts.first().expect("gather needs at least one part");
+        let mut out = HyperLogLogCollection {
+            registers: Vec::new(),
+            precision: first.precision,
+            seed: first.seed,
+            family: first.family.clone(),
+        };
+        out.gather_into(parts);
+        out
+    }
+
+    /// In-place form of [`HyperLogLogCollection::gather`], reusing `self`'s
+    /// register allocation (the double-buffer path).
+    pub fn gather_into(&mut self, parts: &[&Self]) {
+        self.registers.clear();
+        for p in parts {
+            assert_eq!(p.precision, self.precision, "gather: mismatched precision");
+            assert_eq!(p.seed, self.seed, "gather: mismatched seeds");
+            self.registers.extend_from_slice(&p.registers);
+        }
+    }
+
     /// Inserts one item into sketch `i` in place. HLL registers are
     /// monotone maxima, so insertion is naturally incremental and the
     /// result is bit-identical to rebuilding over the extended set.

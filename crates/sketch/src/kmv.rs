@@ -386,6 +386,37 @@ impl KmvCollection {
         }
     }
 
+    /// Assembles one collection holding the concatenation of `parts`'
+    /// sketches, in order — the serving layer's copy-on-publish path. All
+    /// parts must have been built under one `(k, seed)`.
+    pub fn gather(parts: &[&Self]) -> Self {
+        let first = parts.first().expect("gather needs at least one part");
+        let mut out = KmvCollection {
+            sketches: Vec::new(),
+            family: first.family.clone(),
+        };
+        out.gather_into(parts);
+        out
+    }
+
+    /// In-place form of [`KmvCollection::gather`]: sketches already
+    /// present in `self` keep their per-sketch hash allocations
+    /// (`clone_from`), so a steady-state double-buffered publish
+    /// allocates nothing beyond hash vectors that grew since the last
+    /// epoch.
+    pub fn gather_into(&mut self, parts: &[&Self]) {
+        let total: usize = parts.iter().map(|p| p.sketches.len()).sum();
+        self.sketches.truncate(total);
+        let mut src = parts.iter().flat_map(|p| p.sketches.iter());
+        for dst in self.sketches.iter_mut() {
+            let s = src.next().expect("src covers the truncated prefix");
+            dst.hashes.clone_from(&s.hashes);
+            dst.k = s.k;
+            dst.set_size = s.set_size;
+        }
+        self.sketches.extend(src.cloned());
+    }
+
     /// Inserts one element into sketch `i` in place.
     #[inline]
     pub fn insert(&mut self, i: usize, x: u32) {

@@ -147,6 +147,30 @@ impl MinHashCollection {
         &self.sigs
     }
 
+    /// Assembles one collection holding the concatenation of `parts`'
+    /// signatures, in order — the serving layer's copy-on-publish path.
+    /// All parts must share `k` and a common seed.
+    pub fn gather(parts: &[&Self]) -> Self {
+        let first = parts.first().expect("gather needs at least one part");
+        let mut out = MinHashCollection {
+            sigs: Vec::new(),
+            k: first.k,
+            family: first.family.clone(),
+        };
+        out.gather_into(parts);
+        out
+    }
+
+    /// In-place form of [`MinHashCollection::gather`], reusing `self`'s
+    /// signature allocation (the double-buffer path).
+    pub fn gather_into(&mut self, parts: &[&Self]) {
+        self.sigs.clear();
+        for p in parts {
+            assert_eq!(p.k, self.k, "gather: mismatched signature widths");
+            self.sigs.extend_from_slice(&p.sigs);
+        }
+    }
+
     /// Inserts one item into signature `i` in place (per-slot min with the
     /// same `(hash, element)` tie-break as construction, so the result is
     /// bit-identical to rebuilding the signature from the extended set).

@@ -1,0 +1,226 @@
+//! Race harness for the epoch-snapshot serving layer — the
+//! ThreadSanitizer target (see the `tsan` CI job).
+//!
+//! Readers on real threads pin epochs off a [`ShardedProbGraph`] while
+//! the writer churns batches, removals, and publishes underneath them.
+//! Every assertion is *exact*: each epoch number maps to one serially
+//! precomputed prefix of the batch stream, so a pinned snapshot must
+//! reproduce that prefix's fingerprint bit-for-bit — any torn read,
+//! premature reclamation, or double-buffer reuse of a pinned snapshot
+//! shows up as a fingerprint mismatch (and as a data race under TSan).
+
+use probgraph::serving::ShardedProbGraph;
+use probgraph::{PgConfig, ProbGraph, Representation};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+type Edge = (u32, u32);
+
+/// An exact per-epoch fingerprint: total recorded set size plus raw
+/// intersection estimates of a fixed probe set. f64s compare with `==`
+/// — the serving layer promises bit-identity to the serial prefix, not
+/// approximate agreement.
+fn fingerprint(pg: &ProbGraph, probes: &[Edge]) -> (u64, Vec<f64>) {
+    let sum = pg.sizes().iter().map(|&s| s as u64).sum();
+    let ests = probes
+        .iter()
+        .map(|&(u, v)| pg.estimate_intersection(u, v))
+        .collect();
+    (sum, ests)
+}
+
+/// Serially streams `batches` one by one, recording the fingerprint
+/// after each prefix: `expected[k]` is what epoch `k` must look like.
+fn expected_per_epoch(
+    n: usize,
+    base_bytes: usize,
+    cfg: &PgConfig,
+    batches: &[&[Edge]],
+    probes: &[Edge],
+) -> Vec<(u64, Vec<f64>)> {
+    let mut serial = ProbGraph::stream_from(n, base_bytes, cfg, &[]);
+    let mut expected = vec![fingerprint(&serial, probes)];
+    for batch in batches {
+        serial.apply_batch(batch);
+        expected.push(fingerprint(&serial, probes));
+    }
+    expected
+}
+
+/// The core race: `readers` threads continuously pin snapshots and check
+/// them against the precomputed per-epoch fingerprints while `body`
+/// (the writer) runs to completion on the calling thread.
+fn race_epoch_checks<F: FnOnce()>(
+    reader: &probgraph::ServingReader,
+    probes: &[Edge],
+    expected: &[(u64, Vec<f64>)],
+    readers: usize,
+    body: F,
+) {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..readers {
+            let reader = reader.clone();
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut pins = 0usize;
+                loop {
+                    let done = stop.load(Ordering::Relaxed);
+                    let snap = reader.snapshot();
+                    let epoch = snap.epoch() as usize;
+                    assert!(epoch < expected.len(), "epoch {epoch} out of range");
+                    assert_eq!(
+                        fingerprint(&snap, probes),
+                        expected[epoch],
+                        "pinned epoch {epoch} does not match its serial prefix"
+                    );
+                    assert_eq!(snap.epoch() as usize, epoch, "epoch moved under a pin");
+                    pins += 1;
+                    if done {
+                        break;
+                    }
+                }
+                assert!(pins >= 1, "reader never pinned an epoch");
+            });
+        }
+        body();
+        stop.store(true, Ordering::Relaxed);
+    });
+}
+
+/// Insert-only churn: every pinned epoch equals its serial prefix,
+/// bit-for-bit, for a mergeable (Bloom) and a sample-based (KMV)
+/// representation, while four readers race the writer.
+#[test]
+fn pinned_epochs_match_serial_prefixes_under_churn() {
+    let g = pg_graph::gen::erdos_renyi_gnm(120, 900, 11);
+    let edges = g.edge_list();
+    let probes: Vec<Edge> = edges.iter().copied().take(8).collect();
+    let batches: Vec<&[Edge]> = edges.chunks(48).collect();
+    for rep in [Representation::Bloom { b: 2 }, Representation::Kmv] {
+        let cfg = PgConfig::new(rep, 0.3).with_seed(0xD1FF);
+        let expected =
+            expected_per_epoch(g.num_vertices(), g.memory_bytes(), &cfg, &batches, &probes);
+        let mut srv = ShardedProbGraph::with_shards(g.num_vertices(), g.memory_bytes(), &cfg, 4);
+        let reader = srv.reader();
+        race_epoch_checks(&reader, &probes, &expected, 4, || {
+            for batch in &batches {
+                srv.apply_batch(batch);
+                srv.publish_epoch();
+            }
+        });
+        assert_eq!(srv.epoch() as usize, batches.len());
+    }
+}
+
+/// Removal churn: counting-Bloom counters decrement through the shard
+/// queues while readers pin epochs. Rounds alternate staged inserts and
+/// staged removals of earlier edges before each publish, so each epoch
+/// is a mixed prefix — precomputed by replaying the same rounds
+/// serially.
+#[test]
+fn pinned_epochs_match_serial_prefixes_under_removal_churn() {
+    let g = pg_graph::gen::erdos_renyi_gnm(100, 700, 23);
+    let edges = g.edge_list();
+    let probes: Vec<Edge> = edges.iter().copied().take(8).collect();
+    let cfg = PgConfig::new(Representation::CountingBloom { b: 2 }, 0.3).with_seed(0xD1FF);
+
+    // Round r: insert chunk r, then remove every 3rd edge of chunk r-1.
+    let chunks: Vec<&[Edge]> = edges.chunks(40).collect();
+    let removal_for = |r: usize| -> Vec<Edge> {
+        if r == 0 {
+            return Vec::new();
+        }
+        chunks[r - 1].iter().copied().step_by(3).collect()
+    };
+
+    // Serial replay — one fingerprint per published round.
+    let mut serial = ProbGraph::stream_from(g.num_vertices(), g.memory_bytes(), &cfg, &[]);
+    let mut expected = vec![fingerprint(&serial, &probes)];
+    for (r, chunk) in chunks.iter().enumerate() {
+        serial.apply_batch(chunk);
+        serial.remove_batch(&removal_for(r));
+        expected.push(fingerprint(&serial, &probes));
+    }
+
+    let mut srv = ShardedProbGraph::with_shards(g.num_vertices(), g.memory_bytes(), &cfg, 4);
+    let reader = srv.reader();
+    race_epoch_checks(&reader, &probes, &expected, 3, || {
+        for (r, chunk) in chunks.iter().enumerate() {
+            srv.stage_batch(chunk);
+            srv.stage_removals(&removal_for(r));
+            srv.publish_epoch();
+        }
+    });
+    assert_eq!(srv.epoch() as usize, chunks.len());
+}
+
+/// Big staged rounds cross the parallel-drain threshold, so the lane
+/// drains themselves fork across pool workers while readers race the
+/// publishes — the full write path (route → parallel drain → gather →
+/// publish) under TSan.
+#[test]
+fn parallel_lane_drains_race_cleanly_with_readers() {
+    let g = pg_graph::gen::erdos_renyi_gnm(400, 6000, 31);
+    let edges = g.edge_list();
+    let probes: Vec<Edge> = edges.iter().copied().take(8).collect();
+    let cfg = PgConfig::new(Representation::Bloom { b: 2 }, 0.3).with_seed(0xD1FF);
+    // Three mega-rounds of ~2000 edges (≥4000 routed updates each): well
+    // past PARALLEL_DRAIN_THRESHOLD, so apply_pending forks per lane.
+    let rounds: Vec<&[Edge]> = edges.chunks(edges.len().div_ceil(3)).collect();
+    let expected = expected_per_epoch(g.num_vertices(), g.memory_bytes(), &cfg, &rounds, &probes);
+    let mut srv = ShardedProbGraph::with_shards(g.num_vertices(), g.memory_bytes(), &cfg, 4);
+    let reader = srv.reader();
+    race_epoch_checks(&reader, &probes, &expected, 3, || {
+        // Force a multi-worker pool even on single-core runners, so the
+        // parallel drain branch (not the serial fallback) is what races
+        // the readers.
+        pg_parallel::with_threads(4, || {
+            for round in &rounds {
+                srv.stage_batch(round);
+                assert!(srv.pending_updates() > 0);
+                srv.publish_epoch();
+            }
+        });
+    });
+    assert_eq!(srv.pending_updates(), 0);
+}
+
+/// A held guard protects its snapshot across later publishes: the
+/// pinned epoch keeps reading its own serial prefix — never a newer
+/// epoch's bytes, never a reclaimed buffer — until the guard drops.
+#[test]
+fn held_guard_survives_later_publishes() {
+    let g = pg_graph::gen::erdos_renyi_gnm(80, 500, 3);
+    let edges = g.edge_list();
+    let probes: Vec<Edge> = edges.iter().copied().take(8).collect();
+    let cfg = PgConfig::new(Representation::Bloom { b: 2 }, 0.3).with_seed(0xD1FF);
+    let batches: Vec<&[Edge]> = edges.chunks(50).collect();
+    let expected = expected_per_epoch(g.num_vertices(), g.memory_bytes(), &cfg, &batches, &probes);
+    let mut srv = ShardedProbGraph::with_shards(g.num_vertices(), g.memory_bytes(), &cfg, 2);
+
+    srv.apply_batch(batches[0]);
+    srv.publish_epoch();
+    let reader = srv.reader();
+    let guard = reader.snapshot();
+    assert_eq!(guard.epoch(), 1);
+
+    // Publish every remaining batch while the guard is held. Each
+    // publish retires a snapshot; none of them may touch epoch 1's.
+    for batch in &batches[1..] {
+        srv.apply_batch(batch);
+        srv.publish_epoch();
+        assert_eq!(
+            fingerprint(&guard, &probes),
+            expected[1],
+            "held guard drifted after a publish"
+        );
+    }
+    assert_eq!(guard.epoch(), 1);
+    drop(guard);
+
+    // With the pin gone the writer's next publishes recycle buffers and
+    // the latest epoch reads the full stream's fingerprint.
+    srv.publish_epoch();
+    let snap = reader.snapshot();
+    assert_eq!(fingerprint(&snap, &probes), expected[batches.len()]);
+}

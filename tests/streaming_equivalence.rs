@@ -20,8 +20,10 @@
 
 use probgraph::algorithms::{clustering, triangles};
 use probgraph::oracle::{IntersectionOracle, MutableOracle, OracleVisitor};
+use probgraph::serving::ShardedProbGraph;
 use probgraph::{BfEstimator, PgConfig, ProbGraph, Representation, SketchStore};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// The configurations under differential test: every representation, and
 /// every Bloom estimator variant (the estimator tail reads the mutated
@@ -352,6 +354,168 @@ proptest! {
             prop_assert!(
                 c_full.num_clusters == c_inc.num_clusters,
                 "{}: cluster count differs", label
+            );
+        }
+    }
+}
+
+/// Runs `body` (the sharded writer) while a reader thread continuously
+/// pins epochs off `reader` and row-sweeps them — queries racing ingest
+/// on real threads. Returns after asserting the reader completed at
+/// least one sweep and every pinned snapshot was internally consistent
+/// (stable epoch, full-width rows, sizes matching the pinned universe).
+fn race_reader_during<F: FnOnce()>(reader: &probgraph::ServingReader, us: &[u32], body: F) {
+    let stop = AtomicBool::new(false);
+    let sweeps = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            let mut sweeps = 0usize;
+            loop {
+                let done = stop.load(Ordering::Relaxed);
+                let snap = reader.snapshot();
+                let epoch = snap.epoch();
+                assert_eq!(snap.len(), us.len(), "pinned snapshot universe");
+                let rows = snap.with_oracle(AllRows { us });
+                assert_eq!(rows.len(), us.len() * us.len(), "row sweep width");
+                assert!(rows.iter().all(|x| x.is_finite()), "row sweep values");
+                // The pin must hold the epoch stable for the whole sweep.
+                assert_eq!(snap.epoch(), epoch, "epoch moved under a pin");
+                sweeps += 1;
+                if done {
+                    return sweeps;
+                }
+            }
+        });
+        body();
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap()
+    });
+    assert!(sweeps >= 1, "reader thread never completed a sweep");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Concurrent differential property (PR 8's tentpole): random write
+    /// batches routed through N shard lanes, published as epochs while a
+    /// reader thread row-sweeps pinned snapshots mid-ingest. The final
+    /// drained epoch must equal the serial from-scratch rebuild — the
+    /// same bit-identity standard as the single-writer suite above, for
+    /// every representation and shard count.
+    #[test]
+    fn sharded_concurrent_ingest_matches_rebuild(
+        n in 16usize..48,
+        density in 2usize..8,
+        seed in 0u64..500,
+        chunk in 3usize..17,
+        shards in 1usize..5,
+    ) {
+        let m = (n * density).min(n * (n - 1) / 2);
+        let g = pg_graph::gen::erdos_renyi_gnm(n, m, seed);
+        let edges = g.edge_list();
+        let us: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        for (cfg, label) in all_cfgs() {
+            let full = ProbGraph::build(&g, &cfg);
+            let mut srv =
+                ShardedProbGraph::with_shards(g.num_vertices(), g.memory_bytes(), &cfg, shards);
+            prop_assert!(srv.shards() == shards.min(g.num_vertices()), "{}: shard count", label);
+            let reader = srv.reader();
+            race_reader_during(&reader, &us, || {
+                for c in edges.chunks(chunk) {
+                    srv.apply_batch(c);
+                    srv.publish_epoch();
+                }
+            });
+            prop_assert!(
+                srv.epoch() == edges.chunks(chunk).count() as u64,
+                "{}: one epoch per published batch", label
+            );
+            let snap = srv.snapshot();
+            prop_assert!(snap.params() == full.params(), "{}: params differ", label);
+            for v in 0..g.num_vertices() {
+                prop_assert!(
+                    snap.set_size(v) == full.set_size(v),
+                    "{}: size of {} differs", label, v
+                );
+            }
+            assert_stores_bit_identical(&snap, &full, label);
+            for &(u, v) in &edges {
+                prop_assert!(
+                    snap.estimate_intersection(u, v) == full.estimate_intersection(u, v),
+                    "{}: estimate ({},{}) differs", label, u, v
+                );
+            }
+            let rows_snap = snap.with_oracle(AllRows { us: &us });
+            let rows_full = full.with_oracle(AllRows { us: &us });
+            prop_assert!(rows_snap == rows_full, "{}: row sweep differs", label);
+        }
+    }
+
+    /// Sharded deletion differential: counting-Bloom insert/remove
+    /// interleavings through the shard queues — staged, drained in
+    /// parallel, published per round under a racing reader — land
+    /// bit-identically on a rebuild of the surviving edge set, exactly
+    /// like the serial interleaving suite above.
+    #[test]
+    fn sharded_insert_remove_interleave_matches_survivor_rebuild(
+        n in 16usize..48,
+        density in 2usize..8,
+        seed in 0u64..500,
+        shards in 2usize..5,
+        remove_mod in 2usize..5,
+    ) {
+        let m = (n * density).min(n * (n - 1) / 2);
+        let g = pg_graph::gen::erdos_renyi_gnm(n, m, seed);
+        let edges = g.edge_list();
+        let us: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        let cfg = PgConfig::new(Representation::CountingBloom { b: 2 }, 0.3).with_seed(0xD1FF);
+        let mut srv =
+            ShardedProbGraph::with_shards(g.num_vertices(), g.memory_bytes(), &cfg, shards);
+        prop_assert!(srv.remove_supported());
+        let reader = srv.reader();
+        let mut removed = vec![false; edges.len()];
+        race_reader_during(&reader, &us, || {
+            let mut inserted = 0usize;
+            while inserted < edges.len() {
+                let chunk_end = (inserted + 5).min(edges.len());
+                // Stage the round's inserts and removals together, so the
+                // queued-segment ordering path (not just the apply-now
+                // path) is under differential test.
+                srv.stage_batch(&edges[inserted..chunk_end]);
+                inserted = chunk_end;
+                let victims: Vec<usize> = (0..inserted)
+                    .filter(|&t| t % remove_mod == 0 && !removed[t])
+                    .collect();
+                let batch: Vec<(u32, u32)> = victims.iter().map(|&t| edges[t]).collect();
+                for t in victims {
+                    removed[t] = true;
+                }
+                srv.stage_removals(&batch);
+                srv.publish_epoch();
+            }
+        });
+        let survivors: Vec<(u32, u32)> = (0..edges.len())
+            .filter(|&t| !removed[t])
+            .map(|t| edges[t])
+            .collect();
+        let g2 = pg_graph::CsrGraph::from_edges(g.num_vertices(), &survivors);
+        let full = ProbGraph::build_over(
+            g.num_vertices(),
+            g.memory_bytes(),
+            |v| g2.neighbors(v as u32),
+            &cfg,
+        );
+        let snap = srv.snapshot();
+        for v in 0..g.num_vertices() {
+            prop_assert!(
+                snap.set_size(v) == full.set_size(v),
+                "size of {} differs", v
+            );
+        }
+        assert_stores_bit_identical(&snap, &full, "sharded-CBF-removal");
+        for &(u, v) in &edges {
+            prop_assert!(
+                snap.estimate_intersection(u, v) == full.estimate_intersection(u, v),
+                "estimate ({},{}) differs", u, v
             );
         }
     }
