@@ -50,11 +50,18 @@
 //!   work/depth claims of Tables IV–VI.
 //! * [`snapshot`] — durable checksummed on-disk snapshots of a
 //!   [`ProbGraph`]: atomic saves, fault-attributing validated loads, and
-//!   warm restarts that continue bit-identically.
+//!   warm restarts that continue bit-identically — plus zero-copy loads
+//!   (borrowed buffers and mmap) serving the same bits in place.
+//! * [`exchange`] (Unix) — real multi-process neighborhood exchange over
+//!   Unix sockets for distributed triangle counting (§VIII-F): snapshot
+//!   wire format, per-(vertex, part) deduped ship sets, typed faults,
+//!   bit-equal distributed counts.
 
 pub mod accuracy;
 pub mod algorithms;
 pub mod baselines;
+#[cfg(unix)]
+pub mod exchange;
 pub mod grain;
 pub mod intersect;
 pub mod oracle;
@@ -65,10 +72,18 @@ pub mod tc_estimator;
 pub mod workdepth;
 
 pub use accuracy::{relative_count, relative_error};
+#[cfg(unix)]
+pub use exchange::{
+    run_exchange, single_process_partials, ExchangeError, ExchangeOptions, ExchangeReport, Fault,
+};
 pub use grain::{plan_for, plan_tiles, tiled_block_sweep, BlockKind, TilePlan};
 pub use oracle::{
     ExactOracle, IntersectionOracle, MutableOracle, OracleVisitor, UnsupportedOperation,
 };
-pub use pg::{BfEstimator, Edge, PgConfig, ProbGraph, Representation, SketchStore};
+pub use pg::{
+    BfEstimator, Edge, PgConfig, ProbGraph, ProbGraphIn, Representation, SketchStore, SketchStoreIn,
+};
 pub use serving::{ServingReader, ShardedProbGraph};
-pub use snapshot::{SnapshotError, SnapshotReport};
+#[cfg(unix)]
+pub use snapshot::{load_snapshot_mmap, SnapshotMapping};
+pub use snapshot::{AlignedBytes, SnapshotError, SnapshotReport};

@@ -20,8 +20,8 @@ use crate::intersect::intersect_card;
 use pg_graph::{CsrGraph, OrientedDag, VertexId};
 use pg_sketch::bitvec::and_count_words;
 use pg_sketch::{
-    estimators, BloomCollection, BottomKCollection, CountingBloomCollection, HyperLogLogCollection,
-    KmvCollection, MinHashCollection,
+    estimators, BloomCollectionIn, BottomKCollectionIn, CountingBloomCollectionIn,
+    HyperLogLogCollection, HyperLogLogCollectionIn, KmvCollectionIn, MinHashCollectionIn,
 };
 use std::marker::PhantomData;
 
@@ -438,7 +438,7 @@ impl core::fmt::Display for UnsupportedOperation {
 
 impl std::error::Error for UnsupportedOperation {}
 
-impl MutableOracle for BloomCollection {
+impl MutableOracle for BloomCollectionIn<'_> {
     #[inline]
     fn insert_into(&mut self, v: VertexId, x: u32) {
         self.insert(v as usize, x);
@@ -450,7 +450,7 @@ impl MutableOracle for BloomCollection {
     }
 }
 
-impl MutableOracle for CountingBloomCollection {
+impl MutableOracle for CountingBloomCollectionIn<'_> {
     #[inline]
     fn insert_into(&mut self, v: VertexId, x: u32) {
         self.insert(v as usize, x);
@@ -477,7 +477,7 @@ impl MutableOracle for CountingBloomCollection {
     }
 }
 
-impl MutableOracle for MinHashCollection {
+impl MutableOracle for MinHashCollectionIn<'_> {
     #[inline]
     fn insert_into(&mut self, v: VertexId, x: u32) {
         self.insert(v as usize, x);
@@ -489,7 +489,7 @@ impl MutableOracle for MinHashCollection {
     }
 }
 
-impl MutableOracle for BottomKCollection {
+impl MutableOracle for BottomKCollectionIn<'_> {
     #[inline]
     fn insert_into(&mut self, v: VertexId, x: u32) {
         self.insert(v as usize, x);
@@ -501,7 +501,7 @@ impl MutableOracle for BottomKCollection {
     }
 }
 
-impl MutableOracle for KmvCollection {
+impl MutableOracle for KmvCollectionIn<'_> {
     #[inline]
     fn insert_into(&mut self, v: VertexId, x: u32) {
         self.insert(v as usize, x);
@@ -513,7 +513,7 @@ impl MutableOracle for KmvCollection {
     }
 }
 
-impl MutableOracle for HyperLogLogCollection {
+impl MutableOracle for HyperLogLogCollectionIn<'_> {
     #[inline]
     fn insert_into(&mut self, v: VertexId, x: u32) {
         self.insert(v as usize, x);
@@ -619,7 +619,7 @@ impl<A: AdjacencyRows> IntersectionOracle for ExactOracle<'_, A> {
 /// kernels instead of one kernel matching an estimator enum per edge.
 pub trait BloomStrategy: Send + Sync + 'static {
     /// Pairwise estimate between stored filters `i` and `j`.
-    fn estimate(col: &BloomCollection, i: usize, j: usize, ni: u32, nj: u32) -> f64;
+    fn estimate(col: &BloomCollectionIn<'_>, i: usize, j: usize, ni: u32, nj: u32) -> f64;
 
     /// The estimator tail applied to a precomputed `B_{X∩Y,1}`, with set
     /// `i`'s cached popcount and exact size already hoisted — the
@@ -628,7 +628,7 @@ pub trait BloomStrategy: Send + Sync + 'static {
     /// lane. Bit-identical to [`estimate`](Self::estimate) because every
     /// strategy's pairwise form is exactly AND-popcount + this tail.
     fn estimate_from_and_ones(
-        col: &BloomCollection,
+        col: &BloomCollectionIn<'_>,
         and_ones: usize,
         row_ones: usize,
         row_size: u32,
@@ -648,13 +648,13 @@ pub struct BloomOr;
 
 impl BloomStrategy for BloomAnd {
     #[inline]
-    fn estimate(col: &BloomCollection, i: usize, j: usize, _ni: u32, _nj: u32) -> f64 {
+    fn estimate(col: &BloomCollectionIn<'_>, i: usize, j: usize, _ni: u32, _nj: u32) -> f64 {
         col.estimate_and(i, j)
     }
 
     #[inline]
     fn estimate_from_and_ones(
-        col: &BloomCollection,
+        col: &BloomCollectionIn<'_>,
         and_ones: usize,
         _row_ones: usize,
         _row_size: u32,
@@ -667,13 +667,13 @@ impl BloomStrategy for BloomAnd {
 
 impl BloomStrategy for BloomLimit {
     #[inline]
-    fn estimate(col: &BloomCollection, i: usize, j: usize, _ni: u32, _nj: u32) -> f64 {
+    fn estimate(col: &BloomCollectionIn<'_>, i: usize, j: usize, _ni: u32, _nj: u32) -> f64 {
         col.estimate_limit(i, j)
     }
 
     #[inline]
     fn estimate_from_and_ones(
-        col: &BloomCollection,
+        col: &BloomCollectionIn<'_>,
         and_ones: usize,
         _row_ones: usize,
         _row_size: u32,
@@ -686,13 +686,13 @@ impl BloomStrategy for BloomLimit {
 
 impl BloomStrategy for BloomOr {
     #[inline]
-    fn estimate(col: &BloomCollection, i: usize, j: usize, ni: u32, nj: u32) -> f64 {
+    fn estimate(col: &BloomCollectionIn<'_>, i: usize, j: usize, ni: u32, nj: u32) -> f64 {
         col.estimate_or(i, j, ni as usize, nj as usize)
     }
 
     #[inline]
     fn estimate_from_and_ones(
-        col: &BloomCollection,
+        col: &BloomCollectionIn<'_>,
         and_ones: usize,
         row_ones: usize,
         row_size: u32,
@@ -707,7 +707,7 @@ impl BloomStrategy for BloomOr {
 /// Oracle over a [`BloomCollection`], specialized per estimator via the
 /// zero-sized [`BloomStrategy`] parameter.
 pub struct BloomOracle<'a, S: BloomStrategy> {
-    col: &'a BloomCollection,
+    col: &'a BloomCollectionIn<'a>,
     sizes: &'a [u32],
     _strategy: PhantomData<S>,
 }
@@ -715,7 +715,7 @@ pub struct BloomOracle<'a, S: BloomStrategy> {
 impl<'a, S: BloomStrategy> BloomOracle<'a, S> {
     /// Wraps a collection plus the exact set sizes recorded at build time.
     #[inline]
-    pub fn new(col: &'a BloomCollection, sizes: &'a [u32]) -> Self {
+    pub fn new(col: &'a BloomCollectionIn<'a>, sizes: &'a [u32]) -> Self {
         BloomOracle {
             col,
             sizes,
@@ -876,14 +876,14 @@ impl<S: BloomStrategy> IntersectionOracle for BloomOracle<'_, S> {
 /// Oracle over a k-hash [`MinHashCollection`] (§IV-C): native Jaccard,
 /// Eq. (5) intersection with exact sizes.
 pub struct KHashOracle<'a> {
-    col: &'a MinHashCollection,
+    col: &'a MinHashCollectionIn<'a>,
     sizes: &'a [u32],
 }
 
 impl<'a> KHashOracle<'a> {
     /// Wraps a collection plus the exact set sizes.
     #[inline]
-    pub fn new(col: &'a MinHashCollection, sizes: &'a [u32]) -> Self {
+    pub fn new(col: &'a MinHashCollectionIn<'a>, sizes: &'a [u32]) -> Self {
         KHashOracle { col, sizes }
     }
 }
@@ -979,14 +979,14 @@ impl IntersectionOracle for KHashOracle<'_> {
 /// Oracle over a bottom-k [`BottomKCollection`] (§IV-D): union-restricted
 /// match counting, lossless shortcut for small sets.
 pub struct OneHashOracle<'a> {
-    col: &'a BottomKCollection,
+    col: &'a BottomKCollectionIn<'a>,
     sizes: &'a [u32],
 }
 
 impl<'a> OneHashOracle<'a> {
     /// Wraps a collection plus the exact set sizes.
     #[inline]
-    pub fn new(col: &'a BottomKCollection, sizes: &'a [u32]) -> Self {
+    pub fn new(col: &'a BottomKCollectionIn<'a>, sizes: &'a [u32]) -> Self {
         OneHashOracle { col, sizes }
     }
 }
@@ -1074,14 +1074,14 @@ impl IntersectionOracle for OneHashOracle<'_> {
 /// union-membership estimator. Stores hash values, so it cannot answer
 /// explicit-member queries (4-clique counting rejects it).
 pub struct KmvOracle<'a> {
-    col: &'a KmvCollection,
+    col: &'a KmvCollectionIn<'a>,
     sizes: &'a [u32],
 }
 
 impl<'a> KmvOracle<'a> {
     /// Wraps a collection plus the exact set sizes.
     #[inline]
-    pub fn new(col: &'a KmvCollection, sizes: &'a [u32]) -> Self {
+    pub fn new(col: &'a KmvCollectionIn<'a>, sizes: &'a [u32]) -> Self {
         KmvOracle { col, sizes }
     }
 }
@@ -1126,14 +1126,14 @@ impl IntersectionOracle for KmvOracle<'_> {
 /// against the exact sizes; like KMV it stores no elements, so
 /// explicit-member queries are rejected.
 pub struct HllOracle<'a> {
-    col: &'a HyperLogLogCollection,
+    col: &'a HyperLogLogCollectionIn<'a>,
     sizes: &'a [u32],
 }
 
 impl<'a> HllOracle<'a> {
     /// Wraps a collection plus the exact set sizes.
     #[inline]
-    pub fn new(col: &'a HyperLogLogCollection, sizes: &'a [u32]) -> Self {
+    pub fn new(col: &'a HyperLogLogCollectionIn<'a>, sizes: &'a [u32]) -> Self {
         HllOracle { col, sizes }
     }
 }
@@ -1214,6 +1214,7 @@ impl IntersectionOracle for HllOracle<'_> {
 mod tests {
     use super::*;
     use pg_graph::gen;
+    use pg_sketch::{BloomCollection, KmvCollection};
 
     #[test]
     fn exact_oracle_matches_direct_intersection() {

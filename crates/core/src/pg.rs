@@ -13,9 +13,12 @@ use crate::oracle::{
 };
 use pg_graph::{CsrGraph, OrientedDag, VertexId};
 use pg_sketch::{
-    BloomCollection, BottomKCollection, BudgetPlan, CountingBloomCollection, HyperLogLogCollection,
-    KmvCollection, MinHashCollection, SketchParams,
+    BloomCollection, BloomCollectionIn, BottomKCollection, BottomKCollectionIn, BudgetPlan,
+    CountingBloomCollection, CountingBloomCollectionIn, HyperLogLogCollection,
+    HyperLogLogCollectionIn, KmvCollection, KmvCollectionIn, MinHashCollection,
+    MinHashCollectionIn, SketchParams,
 };
+use std::borrow::Cow;
 
 /// Which probabilistic set representation backs the ProbGraph.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,30 +102,125 @@ impl PgConfig {
 /// An undirected edge, as consumed by [`ProbGraph::apply_batch`].
 pub type Edge = (VertexId, VertexId);
 
-/// The per-set sketches backing a [`ProbGraph`].
+/// The per-set sketches backing a [`ProbGraph`]. The lifetime tracks
+/// copy-on-write backing storage: an owned store ([`SketchStore`], the
+/// `'static` alias) carries its arrays in `Vec`s, while a borrowed one
+/// serves a validated snapshot buffer in place (the zero-copy load path,
+/// [`crate::snapshot::ProbGraphIn`] borrowing semantics).
 #[derive(Clone, Debug)]
-pub enum SketchStore {
+pub enum SketchStoreIn<'a> {
     /// Flat Bloom filters.
-    Bloom(BloomCollection),
+    Bloom(BloomCollectionIn<'a>),
     /// Counting Bloom filters (packed counters + derived Bloom view).
-    CountingBloom(CountingBloomCollection),
+    CountingBloom(CountingBloomCollectionIn<'a>),
     /// Flat k-hash signatures.
-    KHash(MinHashCollection),
+    KHash(MinHashCollectionIn<'a>),
     /// Flat bottom-k samples.
-    OneHash(BottomKCollection),
+    OneHash(BottomKCollectionIn<'a>),
     /// KMV sketches.
-    Kmv(KmvCollection),
+    Kmv(KmvCollectionIn<'a>),
     /// HyperLogLog register arrays.
-    Hll(HyperLogLogCollection),
+    Hll(HyperLogLogCollectionIn<'a>),
+}
+
+/// The owned (`'static`) form of [`SketchStoreIn`].
+pub type SketchStore = SketchStoreIn<'static>;
+
+impl<'a> SketchStoreIn<'a> {
+    /// Detaches the store from any borrowed snapshot buffer, cloning the
+    /// backing arrays if they were served in place. No-op for owned data.
+    pub fn into_owned(self) -> SketchStore {
+        match self {
+            SketchStoreIn::Bloom(c) => SketchStoreIn::Bloom(c.into_owned()),
+            SketchStoreIn::CountingBloom(c) => SketchStoreIn::CountingBloom(c.into_owned()),
+            SketchStoreIn::KHash(c) => SketchStoreIn::KHash(c.into_owned()),
+            SketchStoreIn::OneHash(c) => SketchStoreIn::OneHash(c.into_owned()),
+            SketchStoreIn::Kmv(c) => SketchStoreIn::Kmv(c.into_owned()),
+            SketchStoreIn::Hll(c) => SketchStoreIn::Hll(c.into_owned()),
+        }
+    }
+}
+
+/// Gathers per-part stores into `target` by concatenation, reusing
+/// `target`'s allocations (the serving layer's double-buffer publish path
+/// and the exchange layer's combined-store assembly both route here — the
+/// **one** place the six-way gather dispatch lives). Panics if the parts'
+/// representations disagree with `target`'s.
+pub(crate) fn gather_store_into(target: &mut SketchStore, parts: &[&SketchStoreIn<'_>]) {
+    match target {
+        SketchStoreIn::Bloom(dst) => {
+            let srcs: Vec<_> = parts
+                .iter()
+                .map(|p| match p {
+                    SketchStoreIn::Bloom(c) => c,
+                    _ => panic!("gather: mixed representations"),
+                })
+                .collect();
+            dst.gather_into(&srcs);
+        }
+        SketchStoreIn::CountingBloom(dst) => {
+            let srcs: Vec<_> = parts
+                .iter()
+                .map(|p| match p {
+                    SketchStoreIn::CountingBloom(c) => c,
+                    _ => panic!("gather: mixed representations"),
+                })
+                .collect();
+            dst.gather_into(&srcs);
+        }
+        SketchStoreIn::KHash(dst) => {
+            let srcs: Vec<_> = parts
+                .iter()
+                .map(|p| match p {
+                    SketchStoreIn::KHash(c) => c,
+                    _ => panic!("gather: mixed representations"),
+                })
+                .collect();
+            dst.gather_into(&srcs);
+        }
+        SketchStoreIn::OneHash(dst) => {
+            let srcs: Vec<_> = parts
+                .iter()
+                .map(|p| match p {
+                    SketchStoreIn::OneHash(c) => c,
+                    _ => panic!("gather: mixed representations"),
+                })
+                .collect();
+            dst.gather_into(&srcs);
+        }
+        SketchStoreIn::Kmv(dst) => {
+            let srcs: Vec<_> = parts
+                .iter()
+                .map(|p| match p {
+                    SketchStoreIn::Kmv(c) => c,
+                    _ => panic!("gather: mixed representations"),
+                })
+                .collect();
+            dst.gather_into(&srcs);
+        }
+        SketchStoreIn::Hll(dst) => {
+            let srcs: Vec<_> = parts
+                .iter()
+                .map(|p| match p {
+                    SketchStoreIn::Hll(c) => c,
+                    _ => panic!("gather: mixed representations"),
+                })
+                .collect();
+            dst.gather_into(&srcs);
+        }
+    }
 }
 
 /// The probabilistic graph representation: one sketch per vertex set plus
 /// the exact set sizes (degrees are free in CSR, and the MinHash/OR
-/// estimators use them).
+/// estimators use them). Like [`SketchStoreIn`], the lifetime tracks
+/// copy-on-write backing storage; the owned alias [`ProbGraph`] is the
+/// ordinary built form, a borrowed graph serves a snapshot buffer in
+/// place.
 #[derive(Clone, Debug)]
-pub struct ProbGraph {
-    store: SketchStore,
-    sizes: Vec<u32>,
+pub struct ProbGraphIn<'a> {
+    store: SketchStoreIn<'a>,
+    sizes: Cow<'a, [u32]>,
     bf_estimator: BfEstimator,
     params: SketchParams,
     /// The master hash seed the sketches were built under. The collections
@@ -132,7 +230,10 @@ pub struct ProbGraph {
     seed: u64,
 }
 
-impl ProbGraph {
+/// The owned (`'static`) form of [`ProbGraphIn`].
+pub type ProbGraph = ProbGraphIn<'static>;
+
+impl<'a> ProbGraphIn<'a> {
     /// Builds sketches of the full neighborhoods `N_v` of `g`
     /// (Listing 6: `ProbGraph pg = ProbGraph(g, BF, 0.25)`).
     pub fn build(g: &CsrGraph, cfg: &PgConfig) -> ProbGraph {
@@ -161,20 +262,62 @@ impl ProbGraph {
     /// Low-level constructor over arbitrary sorted sets. `n_sets` may be
     /// zero — an empty graph yields a truly empty ProbGraph
     /// (`len() == 0`), not a dummy one-set sentinel.
-    pub fn build_over<'a, F>(n_sets: usize, base_bytes: usize, set: F, cfg: &PgConfig) -> ProbGraph
+    pub fn build_over<'s, F>(n_sets: usize, base_bytes: usize, set: F, cfg: &PgConfig) -> ProbGraph
     where
-        F: Fn(usize) -> &'a [u32] + Sync,
+        F: Fn(usize) -> &'s [u32] + Sync,
     {
         let params = resolve_params(n_sets, base_bytes, cfg);
         let store = build_store(params, n_sets, cfg.seed, &set);
         let mut sizes = vec![0u32; n_sets];
         pg_parallel::parallel_fill_with(&mut sizes, |i| set(i).len() as u32);
-        ProbGraph {
+        ProbGraphIn {
             store,
-            sizes,
+            sizes: Cow::Owned(sizes),
             bf_estimator: cfg.bf_estimator,
             params,
             seed: cfg.seed,
+        }
+    }
+
+    /// Builds sketches over `n_sets` sorted sets with **already-resolved**
+    /// parameters, bypassing budget resolution. Each row's sketch depends
+    /// only on `(params, seed, set(i))`, so a store built here over any
+    /// subset of a graph's rows is bit-identical, row for row, to the
+    /// corresponding rows of the full [`ProbGraph::build_dag`] store built
+    /// under the same params and seed — the property the distributed
+    /// exchange (`crate::exchange`) relies on when workers rebuild their
+    /// owned sub-stores independently.
+    pub fn build_rows<'s, F>(
+        n_sets: usize,
+        params: SketchParams,
+        bf_estimator: BfEstimator,
+        seed: u64,
+        set: F,
+    ) -> ProbGraph
+    where
+        F: Fn(usize) -> &'s [u32] + Sync,
+    {
+        let store = build_store(params, n_sets, seed, &set);
+        let mut sizes = vec![0u32; n_sets];
+        pg_parallel::parallel_fill_with(&mut sizes, |i| set(i).len() as u32);
+        ProbGraphIn {
+            store,
+            sizes: Cow::Owned(sizes),
+            bf_estimator,
+            params,
+            seed,
+        }
+    }
+
+    /// Detaches the graph from any borrowed snapshot buffer, cloning the
+    /// backing arrays if they were served in place. No-op for owned data.
+    pub fn into_owned(self) -> ProbGraph {
+        ProbGraphIn {
+            store: self.store.into_owned(),
+            sizes: Cow::Owned(self.sizes.into_owned()),
+            bf_estimator: self.bf_estimator,
+            params: self.params,
+            seed: self.seed,
         }
     }
 
@@ -183,23 +326,23 @@ impl ProbGraph {
     /// in place (`crate::serving`), which is only sound because it
     /// overwrites both halves from lanes built under this graph's own
     /// params and seed.
-    pub(crate) fn parts_mut(&mut self) -> (&mut SketchStore, &mut Vec<u32>) {
-        (&mut self.store, &mut self.sizes)
+    pub(crate) fn parts_mut(&mut self) -> (&mut SketchStoreIn<'a>, &mut Vec<u32>) {
+        (&mut self.store, self.sizes.to_mut())
     }
 
     /// Assembles a ProbGraph from already-validated parts — the snapshot
     /// load path (`crate::snapshot`), which has checked that the store,
     /// sizes, params, and seed are mutually consistent before calling.
     pub(crate) fn from_parts(
-        store: SketchStore,
-        sizes: Vec<u32>,
+        store: SketchStoreIn<'a>,
+        sizes: impl Into<Cow<'a, [u32]>>,
         bf_estimator: BfEstimator,
         params: SketchParams,
         seed: u64,
-    ) -> ProbGraph {
-        ProbGraph {
+    ) -> ProbGraphIn<'a> {
+        ProbGraphIn {
             store,
-            sizes,
+            sizes: sizes.into(),
             bf_estimator,
             params,
             seed,
@@ -233,7 +376,7 @@ impl ProbGraph {
     /// The underlying sketches (for algorithms needing membership queries
     /// or raw samples, e.g. 4-clique counting).
     #[inline]
-    pub fn store(&self) -> &SketchStore {
+    pub fn store(&self) -> &SketchStoreIn<'a> {
         &self.store
     }
 
@@ -285,7 +428,7 @@ impl ProbGraph {
     pub fn with_oracle<V: OracleVisitor>(&self, visitor: V) -> V::Output {
         let sizes = &self.sizes[..];
         match &self.store {
-            SketchStore::Bloom(c) => match self.bf_estimator {
+            SketchStoreIn::Bloom(c) => match self.bf_estimator {
                 BfEstimator::And => visitor.visit(&BloomOracle::<BloomAnd>::new(c, sizes)),
                 BfEstimator::Limit => visitor.visit(&BloomOracle::<BloomLimit>::new(c, sizes)),
                 BfEstimator::Or => visitor.visit(&BloomOracle::<BloomOr>::new(c, sizes)),
@@ -293,7 +436,7 @@ impl ProbGraph {
             // The counting store reads through its derived Bloom view, so
             // the very same monomorphized oracles (and estimator
             // strategies) serve it — deletions cost nothing on this path.
-            SketchStore::CountingBloom(c) => {
+            SketchStoreIn::CountingBloom(c) => {
                 let view = c.read_view();
                 match self.bf_estimator {
                     BfEstimator::And => visitor.visit(&BloomOracle::<BloomAnd>::new(view, sizes)),
@@ -303,10 +446,10 @@ impl ProbGraph {
                     BfEstimator::Or => visitor.visit(&BloomOracle::<BloomOr>::new(view, sizes)),
                 }
             }
-            SketchStore::KHash(c) => visitor.visit(&KHashOracle::new(c, sizes)),
-            SketchStore::OneHash(c) => visitor.visit(&OneHashOracle::new(c, sizes)),
-            SketchStore::Kmv(c) => visitor.visit(&KmvOracle::new(c, sizes)),
-            SketchStore::Hll(c) => visitor.visit(&HllOracle::new(c, sizes)),
+            SketchStoreIn::KHash(c) => visitor.visit(&KHashOracle::new(c, sizes)),
+            SketchStoreIn::OneHash(c) => visitor.visit(&OneHashOracle::new(c, sizes)),
+            SketchStoreIn::Kmv(c) => visitor.visit(&KmvOracle::new(c, sizes)),
+            SketchStoreIn::Hll(c) => visitor.visit(&HllOracle::new(c, sizes)),
         }
     }
 
@@ -518,46 +661,46 @@ impl ProbGraph {
     /// paper's "relative memory" axis reports against the budget.
     pub fn memory_bytes(&self) -> usize {
         let store = match &self.store {
-            SketchStore::Bloom(c) => c.memory_bytes(),
-            SketchStore::CountingBloom(c) => c.memory_bytes(),
-            SketchStore::KHash(c) => c.memory_bytes(),
-            SketchStore::OneHash(c) => c.memory_bytes(),
-            SketchStore::Kmv(c) => c.memory_bytes(),
-            SketchStore::Hll(c) => c.memory_bytes(),
+            SketchStoreIn::Bloom(c) => c.memory_bytes(),
+            SketchStoreIn::CountingBloom(c) => c.memory_bytes(),
+            SketchStoreIn::KHash(c) => c.memory_bytes(),
+            SketchStoreIn::OneHash(c) => c.memory_bytes(),
+            SketchStoreIn::Kmv(c) => c.memory_bytes(),
+            SketchStoreIn::Hll(c) => c.memory_bytes(),
         };
         store + self.sizes.len() * 4
     }
 }
 
-impl MutableOracle for SketchStore {
+impl MutableOracle for SketchStoreIn<'_> {
     #[inline]
     fn insert_into(&mut self, v: VertexId, x: u32) {
         match self {
-            SketchStore::Bloom(c) => c.insert_into(v, x),
-            SketchStore::CountingBloom(c) => c.insert_into(v, x),
-            SketchStore::KHash(c) => c.insert_into(v, x),
-            SketchStore::OneHash(c) => c.insert_into(v, x),
-            SketchStore::Kmv(c) => c.insert_into(v, x),
-            SketchStore::Hll(c) => c.insert_into(v, x),
+            SketchStoreIn::Bloom(c) => c.insert_into(v, x),
+            SketchStoreIn::CountingBloom(c) => c.insert_into(v, x),
+            SketchStoreIn::KHash(c) => c.insert_into(v, x),
+            SketchStoreIn::OneHash(c) => c.insert_into(v, x),
+            SketchStoreIn::Kmv(c) => c.insert_into(v, x),
+            SketchStoreIn::Hll(c) => c.insert_into(v, x),
         }
     }
 
     #[inline]
     fn insert_into_many(&mut self, v: VertexId, xs: &[u32]) {
         match self {
-            SketchStore::Bloom(c) => c.insert_into_many(v, xs),
-            SketchStore::CountingBloom(c) => c.insert_into_many(v, xs),
-            SketchStore::KHash(c) => c.insert_into_many(v, xs),
-            SketchStore::OneHash(c) => c.insert_into_many(v, xs),
-            SketchStore::Kmv(c) => c.insert_into_many(v, xs),
-            SketchStore::Hll(c) => c.insert_into_many(v, xs),
+            SketchStoreIn::Bloom(c) => c.insert_into_many(v, xs),
+            SketchStoreIn::CountingBloom(c) => c.insert_into_many(v, xs),
+            SketchStoreIn::KHash(c) => c.insert_into_many(v, xs),
+            SketchStoreIn::OneHash(c) => c.insert_into_many(v, xs),
+            SketchStoreIn::Kmv(c) => c.insert_into_many(v, xs),
+            SketchStoreIn::Hll(c) => c.insert_into_many(v, xs),
         }
     }
 
     #[inline]
     fn remove_from(&mut self, v: VertexId, x: u32) {
         match self {
-            SketchStore::CountingBloom(c) => c.remove_from(v, x),
+            SketchStoreIn::CountingBloom(c) => c.remove_from(v, x),
             // Defer to the trait default's loud panic for the
             // non-invertible stores.
             _ => fail_remove_unsupported(),
@@ -567,14 +710,14 @@ impl MutableOracle for SketchStore {
     #[inline]
     fn remove_from_many(&mut self, v: VertexId, xs: &[u32]) {
         match self {
-            SketchStore::CountingBloom(c) => c.remove_from_many(v, xs),
+            SketchStoreIn::CountingBloom(c) => c.remove_from_many(v, xs),
             _ => fail_remove_unsupported(),
         }
     }
 
     #[inline]
     fn remove_supported(&self) -> bool {
-        matches!(self, SketchStore::CountingBloom(_))
+        matches!(self, SketchStoreIn::CountingBloom(_))
     }
 }
 
@@ -619,20 +762,20 @@ where
 {
     match params {
         SketchParams::Bloom { bits_per_set, b } => {
-            SketchStore::Bloom(BloomCollection::build(n_sets, bits_per_set, b, seed, set))
+            SketchStoreIn::Bloom(BloomCollection::build(n_sets, bits_per_set, b, seed, set))
         }
-        SketchParams::CountingBloom { bits_per_set, b } => SketchStore::CountingBloom(
+        SketchParams::CountingBloom { bits_per_set, b } => SketchStoreIn::CountingBloom(
             CountingBloomCollection::build(n_sets, bits_per_set, b, seed, set),
         ),
         SketchParams::KHash { k } => {
-            SketchStore::KHash(MinHashCollection::build(n_sets, k, seed, set))
+            SketchStoreIn::KHash(MinHashCollection::build(n_sets, k, seed, set))
         }
         SketchParams::OneHash { k } => {
-            SketchStore::OneHash(BottomKCollection::build(n_sets, k, seed, set))
+            SketchStoreIn::OneHash(BottomKCollection::build(n_sets, k, seed, set))
         }
-        SketchParams::Kmv { k } => SketchStore::Kmv(KmvCollection::build(n_sets, k, seed, set)),
+        SketchParams::Kmv { k } => SketchStoreIn::Kmv(KmvCollection::build(n_sets, k, seed, set)),
         SketchParams::Hll { precision } => {
-            SketchStore::Hll(HyperLogLogCollection::build(n_sets, precision, seed, set))
+            SketchStoreIn::Hll(HyperLogLogCollection::build(n_sets, precision, seed, set))
         }
     }
 }
@@ -650,29 +793,29 @@ fn fail_remove_unsupported() -> ! {
 /// The [`ProbGraph`]-level write path: updates the stored sketch **and**
 /// the recorded exact set size, keeping every size-consuming estimator
 /// (Eq. 5, OR, inclusion–exclusion) consistent with the mutation.
-impl MutableOracle for ProbGraph {
+impl MutableOracle for ProbGraphIn<'_> {
     #[inline]
     fn insert_into(&mut self, v: VertexId, x: u32) {
         self.store.insert_into(v, x);
-        self.sizes[v as usize] += 1;
+        self.sizes.to_mut()[v as usize] += 1;
     }
 
     #[inline]
     fn insert_into_many(&mut self, v: VertexId, xs: &[u32]) {
         self.store.insert_into_many(v, xs);
-        self.sizes[v as usize] += xs.len() as u32;
+        self.sizes.to_mut()[v as usize] += xs.len() as u32;
     }
 
     #[inline]
     fn remove_from(&mut self, v: VertexId, x: u32) {
         self.store.remove_from(v, x);
-        self.sizes[v as usize] -= 1;
+        self.sizes.to_mut()[v as usize] -= 1;
     }
 
     #[inline]
     fn remove_from_many(&mut self, v: VertexId, xs: &[u32]) {
         self.store.remove_from_many(v, xs);
-        self.sizes[v as usize] -= xs.len() as u32;
+        self.sizes.to_mut()[v as usize] -= xs.len() as u32;
     }
 
     #[inline]

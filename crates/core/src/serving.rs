@@ -58,13 +58,12 @@
 //! ```
 
 use crate::oracle::{MutableOracle, OracleVisitor, UnsupportedOperation};
-use crate::pg::{build_store, resolve_params, Edge, PgConfig, ProbGraph, SketchStore};
+use crate::pg::{
+    build_store, gather_store_into, resolve_params, Edge, PgConfig, ProbGraph, SketchStore,
+};
 use pg_graph::VertexId;
 use pg_parallel::{EpochCell, EpochGuard};
-use pg_sketch::{
-    BloomCollection, BottomKCollection, CountingBloomCollection, HyperLogLogCollection,
-    KmvCollection, MinHashCollection, SketchParams,
-};
+use pg_sketch::SketchParams;
 use std::sync::Arc;
 
 /// Below this many pending `(set, element)` updates a drain runs on the
@@ -409,7 +408,8 @@ impl ShardedProbGraph {
         });
         {
             let (store, sizes) = snap.parts_mut();
-            gather_store_into(store, &self.lanes);
+            let parts: Vec<&SketchStore> = self.lanes.iter().map(|l| &l.store).collect();
+            gather_store_into(store, &parts);
             sizes.clear();
             for lane in &self.lanes {
                 sizes.extend_from_slice(&lane.sizes);
@@ -572,75 +572,6 @@ fn store_bytes_estimate(params: SketchParams, n: usize) -> usize {
         SketchParams::Hll { precision } => 1usize << precision,
     };
     per_set.saturating_mul(n)
-}
-
-/// Gathers the lanes' stores into `target` in shard order — each
-/// collection's copy-on-publish concatenation, reusing `target`'s
-/// allocations. Lanes and target always share the representation (both
-/// were built from the same resolved params).
-fn gather_store_into(target: &mut SketchStore, lanes: &[Lane]) {
-    match target {
-        SketchStore::Bloom(t) => {
-            let parts: Vec<&BloomCollection> = lanes
-                .iter()
-                .map(|l| match &l.store {
-                    SketchStore::Bloom(c) => c,
-                    _ => unreachable!("lanes share the snapshot's representation"),
-                })
-                .collect();
-            t.gather_into(&parts);
-        }
-        SketchStore::CountingBloom(t) => {
-            let parts: Vec<&CountingBloomCollection> = lanes
-                .iter()
-                .map(|l| match &l.store {
-                    SketchStore::CountingBloom(c) => c,
-                    _ => unreachable!("lanes share the snapshot's representation"),
-                })
-                .collect();
-            t.gather_into(&parts);
-        }
-        SketchStore::KHash(t) => {
-            let parts: Vec<&MinHashCollection> = lanes
-                .iter()
-                .map(|l| match &l.store {
-                    SketchStore::KHash(c) => c,
-                    _ => unreachable!("lanes share the snapshot's representation"),
-                })
-                .collect();
-            t.gather_into(&parts);
-        }
-        SketchStore::OneHash(t) => {
-            let parts: Vec<&BottomKCollection> = lanes
-                .iter()
-                .map(|l| match &l.store {
-                    SketchStore::OneHash(c) => c,
-                    _ => unreachable!("lanes share the snapshot's representation"),
-                })
-                .collect();
-            t.gather_into(&parts);
-        }
-        SketchStore::Kmv(t) => {
-            let parts: Vec<&KmvCollection> = lanes
-                .iter()
-                .map(|l| match &l.store {
-                    SketchStore::Kmv(c) => c,
-                    _ => unreachable!("lanes share the snapshot's representation"),
-                })
-                .collect();
-            t.gather_into(&parts);
-        }
-        SketchStore::Hll(t) => {
-            let parts: Vec<&HyperLogLogCollection> = lanes
-                .iter()
-                .map(|l| match &l.store {
-                    SketchStore::Hll(c) => c,
-                    _ => unreachable!("lanes share the snapshot's representation"),
-                })
-                .collect();
-            t.gather_into(&parts);
-        }
-    }
 }
 
 #[cfg(test)]

@@ -8,12 +8,12 @@
 //! measures the ratio). The format is deliberately simple enough to serve
 //! as the wire format for multi-process sketch exchange later.
 //!
-//! ## Format (version 1, all integers little-endian)
+//! ## Format (version 2, all integers little-endian)
 //!
 //! ```text
 //! offset  size  field
 //!      0     8  magic  89 50 47 53 4E 41 50 0A  ("\x89PGSNAP\n")
-//!      8     4  format version (= 1)
+//!      8     4  format version (= 2)
 //!     12     4  representation tag (0 Bloom, 1 CountingBloom, 2 KHash,
 //!                                   3 OneHash, 4 Kmv, 5 Hll)
 //!     16     4  Bloom estimator tag (0 And, 1 Limit, 2 Or)
@@ -28,6 +28,16 @@
 //!                payload checksum u64), then 8 bytes table checksum
 //!      …     —  section payloads, concatenated, no padding
 //! ```
+//!
+//! Version 2 orders each representation's sections coarsest-element-first
+//! (`u64`/`f64` arrays before `u32` arrays before bytes). The payload base
+//! (`64 + 24·sections + 8`) is a multiple of 8, so with that ordering
+//! every section is naturally aligned for its element type whenever the
+//! whole buffer is 8-aligned — which is what lets
+//! [`ProbGraph::from_snapshot_bytes_borrowed`] and [`load_snapshot_mmap`]
+//! serve validated sketch arrays **in place**, zero-copy, instead of
+//! decoding them into fresh allocations. (Unaligned buffers and
+//! big-endian hosts transparently fall back to copying.)
 //!
 //! Every region is covered by exactly one checksum (header, table, each
 //! payload), so [`ProbGraph::from_snapshot_bytes`] can attribute any
@@ -51,16 +61,17 @@
 //! they do not know ([`SnapshotError::UnsupportedVersion`]) rather than
 //! guessing. Layout changes bump the version; the magic never changes.
 
+use std::borrow::Cow;
 use std::fmt;
 use std::fs::{self, File};
 use std::io::Write as _;
 use std::path::Path;
 
-use crate::pg::{BfEstimator, ProbGraph, SketchStore};
+use crate::pg::{BfEstimator, ProbGraph, ProbGraphIn, SketchStoreIn};
 use pg_hash::{xxh64, HashFamily};
 use pg_sketch::{
-    BloomCollection, BottomKCollection, CountingBloomCollection, HyperLogLogCollection,
-    KmvCollection, KmvSketch, MinHashCollection, SketchParams, MAX_BLOOM_HASHES,
+    BloomCollectionIn, BottomKCollectionIn, CountingBloomCollectionIn, HyperLogLogCollectionIn,
+    KmvCollectionIn, KmvSketchIn, MinHashCollectionIn, SketchParams, MAX_BLOOM_HASHES,
 };
 
 /// The eight magic bytes opening every snapshot. PNG-style framing: the
@@ -69,7 +80,7 @@ use pg_sketch::{
 pub const SNAPSHOT_MAGIC: [u8; 8] = [0x89, b'P', b'G', b'S', b'N', b'A', b'P', 0x0A];
 
 /// The format version this build writes and the only one it reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Fixed header size in bytes (including its trailing checksum).
 pub const HEADER_LEN: usize = 64;
@@ -387,53 +398,56 @@ fn u64le(b: &[u8], off: usize) -> u64 {
 // Encode
 // ---------------------------------------------------------------------------
 
-/// The fixed section sequence each representation writes and expects.
+/// The fixed section sequence each representation writes and expects —
+/// coarsest element type first (see the module docs' alignment note), so
+/// every section is naturally aligned when the buffer base is.
 fn layout_for(rep_tag: u32) -> Result<&'static [SectionKind], SnapshotError> {
     use SectionKind::*;
     Ok(match rep_tag {
-        0 => &[Sizes, BloomWords, BloomOnes],
-        1 => &[Sizes, CbfCounters, CbfView],
+        0 => &[BloomWords, Sizes, BloomOnes],
+        1 => &[CbfCounters, CbfView, Sizes],
         2 => &[Sizes, MinHashSigs],
         3 => &[Sizes, BkElems, BkHashes, BkOffsets, BkLens, BkSetSizes],
-        4 => &[Sizes, KmvLens, KmvSetSizes, KmvHashes],
+        4 => &[KmvHashes, KmvSetSizes, KmvLens, Sizes],
         5 => &[Sizes, HllRegisters],
         tag => return Err(SnapshotError::BadRepresentation { tag }),
     })
 }
 
 /// Flattens a ProbGraph into `(rep tag, param A, param B, sections)` —
-/// the payloads are the collections' own flat arrays, byte for byte.
-fn sections_of(pg: &ProbGraph) -> (u32, u64, u64, Vec<(SectionKind, Vec<u8>)>) {
+/// the payloads are the collections' own flat arrays, byte for byte, in
+/// the coarsest-first order `layout_for` declares.
+fn sections_of(pg: &ProbGraphIn<'_>) -> (u32, u64, u64, Vec<(SectionKind, Vec<u8>)>) {
     use SectionKind::*;
     let sizes = (Sizes, le_u32s(pg.sizes()));
     match (pg.store(), pg.params()) {
-        (SketchStore::Bloom(c), SketchParams::Bloom { bits_per_set, b }) => (
+        (SketchStoreIn::Bloom(c), SketchParams::Bloom { bits_per_set, b }) => (
             0,
             bits_per_set as u64,
             b as u64,
             vec![
-                sizes,
                 (BloomWords, le_u64s(c.raw_words())),
+                sizes,
                 (BloomOnes, le_u32s(c.raw_ones())),
             ],
         ),
-        (SketchStore::CountingBloom(c), SketchParams::CountingBloom { bits_per_set, b }) => (
+        (SketchStoreIn::CountingBloom(c), SketchParams::CountingBloom { bits_per_set, b }) => (
             1,
             bits_per_set as u64,
             b as u64,
             vec![
-                sizes,
                 (CbfCounters, le_u64s(c.raw_counters())),
                 (CbfView, le_u64s(c.read_view().raw_words())),
+                sizes,
             ],
         ),
-        (SketchStore::KHash(c), SketchParams::KHash { k }) => (
+        (SketchStoreIn::KHash(c), SketchParams::KHash { k }) => (
             2,
             k as u64,
             0,
             vec![sizes, (MinHashSigs, le_u32s(c.raw_sigs()))],
         ),
-        (SketchStore::OneHash(c), SketchParams::OneHash { k }) => (
+        (SketchStoreIn::OneHash(c), SketchParams::OneHash { k }) => (
             3,
             k as u64,
             c.is_strided() as u64,
@@ -446,7 +460,7 @@ fn sections_of(pg: &ProbGraph) -> (u32, u64, u64, Vec<(SectionKind, Vec<u8>)>) {
                 (BkSetSizes, le_u32s(c.raw_set_sizes())),
             ],
         ),
-        (SketchStore::Kmv(c), SketchParams::Kmv { k }) => {
+        (SketchStoreIn::Kmv(c), SketchParams::Kmv { k }) => {
             let n = c.len();
             let mut lens = Vec::with_capacity(n);
             let mut set_sizes = Vec::with_capacity(n);
@@ -462,14 +476,14 @@ fn sections_of(pg: &ProbGraph) -> (u32, u64, u64, Vec<(SectionKind, Vec<u8>)>) {
                 k as u64,
                 0,
                 vec![
-                    sizes,
-                    (KmvLens, le_u32s(&lens)),
-                    (KmvSetSizes, le_u64s(&set_sizes)),
                     (KmvHashes, le_f64s(&hashes)),
+                    (KmvSetSizes, le_u64s(&set_sizes)),
+                    (KmvLens, le_u32s(&lens)),
+                    sizes,
                 ],
             )
         }
-        (SketchStore::Hll(c), SketchParams::Hll { precision }) => (
+        (SketchStoreIn::Hll(c), SketchParams::Hll { precision }) => (
             5,
             precision as u64,
             0,
@@ -481,7 +495,7 @@ fn sections_of(pg: &ProbGraph) -> (u32, u64, u64, Vec<(SectionKind, Vec<u8>)>) {
     }
 }
 
-fn encode(pg: &ProbGraph) -> Vec<u8> {
+fn encode(pg: &ProbGraphIn<'_>) -> Vec<u8> {
     let (rep_tag, param_a, param_b, sections) = sections_of(pg);
     let est_tag: u32 = match pg.bf_estimator() {
         BfEstimator::And => 0,
@@ -597,7 +611,57 @@ fn check_len(section: SectionKind, got: u64, expected: u64) -> Result<(), Snapsh
     Ok(())
 }
 
-fn decode(bytes: &[u8]) -> Result<ProbGraph, SnapshotError> {
+// ---------------------------------------------------------------------------
+// Zero-copy payload views
+// ---------------------------------------------------------------------------
+//
+// On little-endian hosts a validated payload IS the flat sketch array —
+// same element order, same byte order — so when the slice happens to be
+// correctly aligned for its element type we hand the collection a
+// `Cow::Borrowed` view of the wire bytes instead of decoding a copy. The
+// v2 section ordering makes that the common case for any 8-aligned
+// buffer (a mapped file or [`AlignedBytes`]); everything else falls back
+// to the copying decoder, bit-for-bit identical.
+
+fn cow_u32s(bytes: &[u8]) -> Cow<'_, [u32]> {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: any initialized bytes are a valid [u32]; `align_to`
+        // only yields an aligned, in-bounds middle slice.
+        let (head, mid, tail) = unsafe { bytes.align_to::<u32>() };
+        if head.is_empty() && tail.is_empty() {
+            return Cow::Borrowed(mid);
+        }
+    }
+    Cow::Owned(decode_u32s(bytes))
+}
+
+fn cow_u64s(bytes: &[u8]) -> Cow<'_, [u64]> {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: as in `cow_u32s`.
+        let (head, mid, tail) = unsafe { bytes.align_to::<u64>() };
+        if head.is_empty() && tail.is_empty() {
+            return Cow::Borrowed(mid);
+        }
+    }
+    Cow::Owned(decode_u64s(bytes))
+}
+
+fn cow_f64s(bytes: &[u8]) -> Cow<'_, [f64]> {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: every bit pattern is a valid f64 (the loader's range
+        // checks reject NaN payloads afterwards, exactly as when copying).
+        let (head, mid, tail) = unsafe { bytes.align_to::<f64>() };
+        if head.is_empty() && tail.is_empty() {
+            return Cow::Borrowed(mid);
+        }
+    }
+    Cow::Owned(decode_f64s(bytes))
+}
+
+fn decode_in(bytes: &[u8]) -> Result<ProbGraphIn<'_>, SnapshotError> {
     let h = parse_header(bytes)?;
     let layout = layout_for(h.rep_tag)?;
     let est = match h.est_tag {
@@ -671,18 +735,29 @@ fn decode(bytes: &[u8]) -> Result<ProbGraph, SnapshotError> {
 
 /// Decodes the checksummed payloads into a live store, re-deriving every
 /// redundant structure and rejecting any cross-section inconsistency.
-fn build_store(
+/// The store borrows any payload it can serve in place (see the zero-copy
+/// helpers above); the caller decides whether to keep the borrow or
+/// `into_owned()` it.
+fn build_store<'a>(
     h: &Header,
     est: BfEstimator,
     entries: &[(SectionKind, u64, u64)],
-    payloads: &[&[u8]],
-) -> Result<ProbGraph, SnapshotError> {
+    payloads: &[&'a [u8]],
+) -> Result<ProbGraphIn<'a>, SnapshotError> {
     use SectionKind::*;
     let n = h.n_sets;
     let n_us = usize::try_from(n).map_err(|_| bad_params("set count exceeds address space"))?;
-    // Section 0 is always the exact sizes.
-    check_len(Sizes, entries[0].1, expected_bytes(n, 4)?)?;
-    let sizes = decode_u32s(payloads[0]);
+    // `decode_in` already matched every entry against the layout, so each
+    // kind occurs exactly once.
+    let idx = |kind: SectionKind| {
+        entries
+            .iter()
+            .position(|&(k, _, _)| k == kind)
+            .expect("entry kinds match the representation layout")
+    };
+    let sizes_at = idx(Sizes);
+    check_len(Sizes, entries[sizes_at].1, expected_bytes(n, 4)?)?;
+    let sizes = cow_u32s(payloads[sizes_at]);
     let (params, store) = match h.rep_tag {
         0 | 1 => {
             let (bits, b) = (h.param_a, h.param_b);
@@ -698,12 +773,21 @@ fn build_store(
             }
             let view_words = bits / 64;
             if h.rep_tag == 0 {
-                check_len(BloomWords, entries[1].1, expected_bytes(n, view_words * 8)?)?;
-                check_len(BloomOnes, entries[2].1, expected_bytes(n, 4)?)?;
-                let words = decode_u64s(payloads[1]);
-                let ones = decode_u32s(payloads[2]);
-                let col =
-                    BloomCollection::from_raw_words(words, view_words as usize, b as usize, h.seed);
+                let (w_at, o_at) = (idx(BloomWords), idx(BloomOnes));
+                check_len(
+                    BloomWords,
+                    entries[w_at].1,
+                    expected_bytes(n, view_words * 8)?,
+                )?;
+                check_len(BloomOnes, entries[o_at].1, expected_bytes(n, 4)?)?;
+                let words = cow_u64s(payloads[w_at]);
+                let ones = cow_u32s(payloads[o_at]);
+                let col = BloomCollectionIn::from_raw_words(
+                    words,
+                    view_words as usize,
+                    b as usize,
+                    h.seed,
+                );
                 // `from_raw_words` recounts every filter; the persisted
                 // cache must agree bit for bit.
                 if col.raw_ones() != &ones[..] {
@@ -717,20 +801,21 @@ fn build_store(
                         bits_per_set: bits as usize,
                         b: b as usize,
                     },
-                    SketchStore::Bloom(col),
+                    SketchStoreIn::Bloom(col),
                 )
             } else {
                 // 4-bit counters, 16 per word.
                 let counter_words = bits / 16;
+                let (c_at, v_at) = (idx(CbfCounters), idx(CbfView));
                 check_len(
                     CbfCounters,
-                    entries[1].1,
+                    entries[c_at].1,
                     expected_bytes(n, counter_words * 8)?,
                 )?;
-                check_len(CbfView, entries[2].1, expected_bytes(n, view_words * 8)?)?;
-                let counters = decode_u64s(payloads[1]);
-                let view = decode_u64s(payloads[2]);
-                let col = CountingBloomCollection::from_counter_words(
+                check_len(CbfView, entries[v_at].1, expected_bytes(n, view_words * 8)?)?;
+                let counters = cow_u64s(payloads[c_at]);
+                let view = cow_u64s(payloads[v_at]);
+                let col = CountingBloomCollectionIn::from_counter_words(
                     counters,
                     bits as usize,
                     b as usize,
@@ -751,7 +836,7 @@ fn build_store(
                         bits_per_set: bits as usize,
                         b: b as usize,
                     },
-                    SketchStore::CountingBloom(col),
+                    SketchStoreIn::CountingBloom(col),
                 )
             }
         }
@@ -763,8 +848,9 @@ fn build_store(
             if h.param_b != 0 {
                 return Err(bad_params("param B must be 0 for k-hash MinHash"));
             }
-            check_len(MinHashSigs, entries[1].1, expected_bytes(n, k * 4)?)?;
-            let sigs = decode_u32s(payloads[1]);
+            let s_at = idx(MinHashSigs);
+            check_len(MinHashSigs, entries[s_at].1, expected_bytes(n, k * 4)?)?;
+            let sigs = cow_u32s(payloads[s_at]);
             let k = k as usize;
             // An empty set's signature must be all empty-slot sentinels —
             // nothing ever wrote to it.
@@ -778,7 +864,7 @@ fn build_store(
             }
             (
                 SketchParams::KHash { k },
-                SketchStore::KHash(MinHashCollection::from_raw_sigs(sigs, k, h.seed)),
+                SketchStoreIn::KHash(MinHashCollectionIn::from_raw_sigs(sigs, k, h.seed)),
             )
         }
         3 => decode_onehash(h, entries, payloads, &sizes)?,
@@ -791,8 +877,11 @@ fn build_store(
             if h.param_b != 0 {
                 return Err(bad_params("param B must be 0 for HLL"));
             }
-            check_len(HllRegisters, entries[1].1, expected_bytes(n, 1 << p)?)?;
-            let registers = payloads[1].to_vec();
+            let r_at = idx(HllRegisters);
+            check_len(HllRegisters, entries[r_at].1, expected_bytes(n, 1 << p)?)?;
+            // Raw bytes need neither endianness nor alignment — always
+            // served in place.
+            let registers = payloads[r_at];
             // A register holds the max rank seen; rank caps at
             // 64 − p + 1 leading-zero bits + 1.
             let max_rank = (64 - p + 1) as u8;
@@ -807,7 +896,7 @@ fn build_store(
             }
             (
                 SketchParams::Hll { precision: p as u8 },
-                SketchStore::Hll(HyperLogLogCollection::from_raw_registers(
+                SketchStoreIn::Hll(HyperLogLogCollectionIn::from_raw_registers(
                     registers, p as u8, h.seed,
                 )),
             )
@@ -816,19 +905,19 @@ fn build_store(
         tag => return Err(SnapshotError::BadRepresentation { tag }),
     };
     debug_assert_eq!(sizes.len(), n_us);
-    Ok(ProbGraph::from_parts(store, sizes, est, params, h.seed))
+    Ok(ProbGraphIn::from_parts(store, sizes, est, params, h.seed))
 }
 
 /// Bottom-k reconstruction: the layout has the most redundant structure
 /// of any store, and all of it is validated — offsets shape, region
 /// capacities, live lengths, ascending packed `(hash, element)` order,
 /// and per-element hash integrity under the persisted seed.
-fn decode_onehash(
+fn decode_onehash<'a>(
     h: &Header,
     entries: &[(SectionKind, u64, u64)],
-    payloads: &[&[u8]],
+    payloads: &[&'a [u8]],
     sizes: &[u32],
-) -> Result<(SketchParams, SketchStore), SnapshotError> {
+) -> Result<(SketchParams, SketchStoreIn<'a>), SnapshotError> {
     use SectionKind::*;
     let n = h.n_sets;
     let k = h.param_a;
@@ -860,11 +949,11 @@ fn decode_onehash(
     if strided {
         check_len(BkElems, entries[1].1, expected_bytes(n, k * 4)?)?;
     }
-    let elems = decode_u32s(payloads[1]);
-    let hashes = decode_u32s(payloads[2]);
-    let offsets = decode_u32s(payloads[3]);
-    let lens = decode_u32s(payloads[4]);
-    let set_sizes = decode_u32s(payloads[5]);
+    let elems = cow_u32s(payloads[1]);
+    let hashes = cow_u32s(payloads[2]);
+    let offsets = cow_u32s(payloads[3]);
+    let lens = cow_u32s(payloads[4]);
+    let set_sizes = cow_u32s(payloads[5]);
     let k_us = k as usize;
     if offsets[0] != 0 {
         return Err(invariant(BkOffsets, "offsets must start at 0"));
@@ -939,7 +1028,7 @@ fn decode_onehash(
     }
     Ok((
         SketchParams::OneHash { k: k_us },
-        SketchStore::OneHash(BottomKCollection::from_raw_parts(
+        SketchStoreIn::OneHash(BottomKCollectionIn::from_raw_parts(
             elems, hashes, offsets, lens, set_sizes, k_us, h.seed, strided,
         )),
     ))
@@ -948,12 +1037,12 @@ fn decode_onehash(
 /// KMV reconstruction: per-sketch lengths bounded by `k`, hashes finite,
 /// strictly ascending, and inside the unit interval `(0, 1]` (which also
 /// rejects NaN), recorded sizes consistent with the Sizes section.
-fn decode_kmv(
+fn decode_kmv<'a>(
     h: &Header,
     entries: &[(SectionKind, u64, u64)],
-    payloads: &[&[u8]],
+    payloads: &[&'a [u8]],
     sizes: &[u32],
-) -> Result<(SketchParams, SketchStore), SnapshotError> {
+) -> Result<(SketchParams, SketchStoreIn<'a>), SnapshotError> {
     use SectionKind::*;
     let n = h.n_sets;
     let k = h.param_a;
@@ -963,10 +1052,10 @@ fn decode_kmv(
     if h.param_b != 0 {
         return Err(bad_params("param B must be 0 for KMV"));
     }
-    check_len(KmvLens, entries[1].1, expected_bytes(n, 4)?)?;
-    check_len(KmvSetSizes, entries[2].1, expected_bytes(n, 8)?)?;
-    let lens = decode_u32s(payloads[1]);
-    let set_sizes = decode_u64s(payloads[2]);
+    check_len(KmvLens, entries[2].1, expected_bytes(n, 4)?)?;
+    check_len(KmvSetSizes, entries[1].1, expected_bytes(n, 8)?)?;
+    let lens = cow_u32s(payloads[2]);
+    let set_sizes = cow_u64s(payloads[1]);
     let mut total: u64 = 0;
     for (i, &len) in lens.iter().enumerate() {
         if len as u64 > k {
@@ -979,10 +1068,10 @@ fn decode_kmv(
             .checked_add(len as u64)
             .ok_or_else(|| bad_params("KMV hash counts overflow"))?;
     }
-    check_len(KmvHashes, entries[3].1, expected_bytes(total, 8)?)?;
-    let hashes = decode_f64s(payloads[3]);
+    check_len(KmvHashes, entries[0].1, expected_bytes(total, 8)?)?;
+    let hashes = cow_f64s(payloads[0]);
     let k_us = k as usize;
-    let mut sketches = Vec::with_capacity(n as usize);
+    let mut sketches: Vec<KmvSketchIn<'a>> = Vec::with_capacity(n as usize);
     let mut off = 0usize;
     for i in 0..n as usize {
         if set_sizes[i] != sizes[i] as u64 {
@@ -991,10 +1080,10 @@ fn decode_kmv(
                 format!("sketch {i} recorded size disagrees with the Sizes section"),
             ));
         }
-        let hs = &hashes[off..off + lens[i] as usize];
-        off += lens[i] as usize;
+        let (start, end) = (off, off + lens[i] as usize);
+        off = end;
         let mut prev = 0.0f64;
-        for &x in hs {
+        for &x in &hashes[start..end] {
             // `unit()` maps into (0, 1]; NaN fails the comparison too.
             if !(x > prev && x <= 1.0) {
                 return Err(invariant(
@@ -1004,15 +1093,20 @@ fn decode_kmv(
             }
             prev = x;
         }
-        sketches.push(KmvSketch::from_raw_parts(
-            hs.to_vec(),
-            k_us,
-            set_sizes[i] as usize,
-        ));
+        // Per-sketch views stay zero-copy only when the flat array
+        // borrows the wire bytes; an owned decode is re-sliced per sketch.
+        sketches.push(match &hashes {
+            Cow::Borrowed(all) => {
+                KmvSketchIn::from_raw_parts(&all[start..end], k_us, set_sizes[i] as usize)
+            }
+            Cow::Owned(all) => {
+                KmvSketchIn::from_raw_parts(all[start..end].to_vec(), k_us, set_sizes[i] as usize)
+            }
+        });
     }
     Ok((
         SketchParams::Kmv { k: k_us },
-        SketchStore::Kmv(KmvCollection::from_sketches(sketches, h.seed)),
+        SketchStoreIn::Kmv(KmvCollectionIn::from_sketches(sketches, h.seed)),
     ))
 }
 
@@ -1141,22 +1235,36 @@ pub fn inspect(bytes: &[u8]) -> SnapshotReport {
 // Public API
 // ---------------------------------------------------------------------------
 
-impl ProbGraph {
-    /// Serializes this ProbGraph into the version-1 snapshot format — a
+impl<'a> ProbGraphIn<'a> {
+    /// Serializes this ProbGraph into the version-2 snapshot format — a
     /// pure in-memory flatten (no I/O). Deterministic: the same store
     /// yields the same bytes, and a loaded snapshot re-serializes to the
-    /// identical byte string.
+    /// identical byte string, whether it was loaded copying or borrowed.
     pub fn snapshot_to_bytes(&self) -> Vec<u8> {
         encode(self)
     }
 
+    /// Reconstructs a graph view that borrows `bytes` wherever alignment
+    /// and host endianness allow — the validated wire payloads double as
+    /// the live sketch arrays, so an 8-aligned buffer (a mapped file, an
+    /// [`AlignedBytes`] receive buffer) is served with no per-array
+    /// allocation or copy. Validation is identical to
+    /// [`ProbGraph::from_snapshot_bytes`]: the two constructors accept
+    /// and reject exactly the same byte strings, and their stores
+    /// estimate bit-identically.
+    pub fn from_snapshot_bytes_borrowed(bytes: &'a [u8]) -> Result<ProbGraphIn<'a>, SnapshotError> {
+        decode_in(bytes)
+    }
+}
+
+impl ProbGraph {
     /// Reconstructs a ProbGraph from snapshot bytes, validating
     /// everything — framing, checksums, parameter sanity, and the derived
     /// invariants of each store — before any collection is built. Never
     /// panics on malformed input; every failure is a typed
     /// [`SnapshotError`].
     pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<ProbGraph, SnapshotError> {
-        decode(bytes)
+        decode_in(bytes).map(ProbGraphIn::into_owned)
     }
 
     /// Atomically writes a snapshot to `path`: the bytes go to a fresh
@@ -1198,6 +1306,188 @@ impl ProbGraph {
     pub fn load_snapshot<P: AsRef<Path>>(path: P) -> Result<ProbGraph, SnapshotError> {
         ProbGraph::from_snapshot_bytes(&fs::read(path)?)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy loading: mmap and aligned receive buffers
+// ---------------------------------------------------------------------------
+
+/// A byte buffer whose base is 8-aligned, so a snapshot received into it
+/// (e.g. off a socket during sketch exchange) decodes zero-copy through
+/// [`ProbGraphIn::from_snapshot_bytes_borrowed`] exactly like a mapped
+/// file. `Vec<u8>` makes no alignment promise; this wraps a `Vec<u64>`.
+pub struct AlignedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl std::fmt::Debug for AlignedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedBytes")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl AlignedBytes {
+    /// A zero-filled buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> AlignedBytes {
+        AlignedBytes {
+            words: vec![0u64; len.div_ceil(8)],
+            len,
+        }
+    }
+
+    /// Copies `bytes` into a fresh aligned buffer.
+    pub fn copy_from(bytes: &[u8]) -> AlignedBytes {
+        let mut buf = AlignedBytes::zeroed(bytes.len());
+        buf.copy_from_slice(bytes);
+        buf
+    }
+}
+
+impl std::ops::Deref for AlignedBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        // SAFETY: `words` owns ≥ `len` initialized bytes at its base.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+impl std::ops::DerefMut for AlignedBytes {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as in `Deref`, and `&mut self` guarantees exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+/// Minimal read-only `mmap(2)` binding — the workspace takes no external
+/// dependencies, and only snapshot loading needs the syscall.
+#[cfg(unix)]
+mod mmap_raw {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+#[cfg(unix)]
+struct MmapBuf {
+    ptr: *mut std::ffi::c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is private and read-only (PROT_READ | MAP_PRIVATE),
+// exclusively owned by this buffer until `munmap` runs in Drop.
+#[cfg(unix)]
+unsafe impl Send for MmapBuf {}
+#[cfg(unix)]
+unsafe impl Sync for MmapBuf {}
+
+#[cfg(unix)]
+impl MmapBuf {
+    fn map(file: &File, len: usize) -> std::io::Result<MmapBuf> {
+        use std::os::fd::AsRawFd;
+        if len == 0 {
+            // mmap rejects zero-length mappings; an empty snapshot file
+            // still deserves the same typed TooShort error as empty bytes.
+            return Ok(MmapBuf {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        let ptr = unsafe {
+            mmap_raw::mmap(
+                std::ptr::null_mut(),
+                len,
+                mmap_raw::PROT_READ,
+                mmap_raw::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(MmapBuf { ptr, len })
+    }
+
+    fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: the mapping spans exactly `len` readable bytes and
+        // outlives this borrow (munmap only runs in Drop).
+        unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for MmapBuf {
+    fn drop(&mut self) {
+        if !self.ptr.is_null() {
+            // SAFETY: `ptr`/`len` are the exact values mmap returned.
+            unsafe { mmap_raw::munmap(self.ptr, self.len) };
+        }
+    }
+}
+
+/// A snapshot file mapped read-only and validated in place — the mapping
+/// guard returned by [`load_snapshot_mmap`].
+///
+/// Page-aligned mapping base + the v2 coarsest-first section order means
+/// [`SnapshotMapping::graph`] serves the sketch arrays straight out of
+/// the page cache with no per-array copy. The graph view borrows the
+/// mapping, so the guard must outlive it; decoding runs per call (its
+/// cost is checksumming, which the eager validation in
+/// [`load_snapshot_mmap`] has already proven will succeed).
+#[cfg(unix)]
+pub struct SnapshotMapping {
+    buf: MmapBuf,
+}
+
+#[cfg(unix)]
+impl SnapshotMapping {
+    /// The raw mapped snapshot bytes.
+    pub fn bytes(&self) -> &[u8] {
+        self.buf.bytes()
+    }
+
+    /// Decodes a graph view borrowing the mapped bytes — zero-copy on
+    /// little-endian hosts. Validation is identical to
+    /// [`ProbGraph::from_snapshot_bytes`].
+    pub fn graph(&self) -> Result<ProbGraphIn<'_>, SnapshotError> {
+        decode_in(self.buf.bytes())
+    }
+}
+
+/// Maps a snapshot file read-only and validates it in place, without
+/// reading it into an allocation. Corruption surfaces here, eagerly, with
+/// the same typed [`SnapshotError`]s as [`ProbGraph::load_snapshot`];
+/// the returned guard's [`SnapshotMapping::graph`] then cannot fail for
+/// reasons other than the file changing underneath the mapping.
+#[cfg(unix)]
+pub fn load_snapshot_mmap<P: AsRef<Path>>(path: P) -> Result<SnapshotMapping, SnapshotError> {
+    let file = File::open(path)?;
+    let len = usize::try_from(file.metadata()?.len())
+        .map_err(|_| bad_params("snapshot exceeds address space"))?;
+    let mapping = SnapshotMapping {
+        buf: MmapBuf::map(&file, len)?,
+    };
+    mapping.graph()?;
+    Ok(mapping)
 }
 
 #[cfg(test)]
@@ -1281,18 +1571,78 @@ mod tests {
         let pg = sample(Representation::Bloom { b: 2 });
         let mut bytes = pg.snapshot_to_bytes();
         assert!(inspect(&bytes).ok());
-        // Flip one bit inside the BloomWords payload and inspect again.
-        let words_start = HEADER_LEN + 3 * ENTRY_LEN + 8 + pg.len() * 4;
+        // Flip one bit inside the BloomWords payload (the first section in
+        // the v2 Bloom layout, at the payload base) and inspect again.
+        let words_start = HEADER_LEN + 3 * ENTRY_LEN + 8;
         bytes[words_start + 5] ^= 0x10;
         let report = inspect(&bytes);
         assert!(!report.ok());
         assert!(report.header_ok && report.table_ok);
-        assert_eq!(report.sections[0].status, SectionStatus::Ok);
-        assert_eq!(report.sections[1].status, SectionStatus::ChecksumMismatch);
-        assert_eq!(report.sections[1].kind, Some(SectionKind::BloomWords));
+        assert_eq!(report.sections[0].status, SectionStatus::ChecksumMismatch);
+        assert_eq!(report.sections[0].kind, Some(SectionKind::BloomWords));
+        assert_eq!(report.sections[1].status, SectionStatus::Ok);
+        assert_eq!(report.sections[1].kind, Some(SectionKind::Sizes));
         assert_eq!(report.sections[2].status, SectionStatus::Ok);
         // Arbitrary garbage still yields a report.
         assert!(!inspect(&[0xAB; 200]).ok());
         assert!(!inspect(b"tiny").ok());
+    }
+
+    #[test]
+    fn borrowed_load_matches_copying_load() {
+        for rep in [
+            Representation::Bloom { b: 2 },
+            Representation::CountingBloom { b: 2 },
+            Representation::KHash,
+            Representation::OneHash,
+            Representation::Kmv,
+            Representation::Hll,
+        ] {
+            let pg = sample(rep);
+            let bytes = AlignedBytes::copy_from(&pg.snapshot_to_bytes());
+            let borrowed = ProbGraphIn::from_snapshot_bytes_borrowed(&bytes)
+                .unwrap_or_else(|e| panic!("{rep:?}: {e}"));
+            assert_eq!(borrowed.snapshot_to_bytes(), &bytes[..], "{rep:?}");
+            assert_eq!(borrowed.sizes(), pg.sizes(), "{rep:?}");
+            assert_eq!(borrowed.params(), pg.params(), "{rep:?}");
+        }
+    }
+
+    #[test]
+    fn unaligned_bytes_still_load_borrowed() {
+        // Shift the snapshot off 8-alignment: the borrow fast path cannot
+        // apply, and the copying fallback must decode identically.
+        let pg = sample(Representation::Kmv);
+        let bytes = pg.snapshot_to_bytes();
+        let mut shifted = AlignedBytes::zeroed(bytes.len() + 1);
+        shifted[1..].copy_from_slice(&bytes);
+        let back = ProbGraphIn::from_snapshot_bytes_borrowed(&shifted[1..]).expect("loads");
+        assert_eq!(back.snapshot_to_bytes(), bytes);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_load_matches_copying_load() {
+        let dir = std::env::temp_dir().join(format!("pg-snap-mmap-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bloom.pgsnap");
+        let pg = sample(Representation::Bloom { b: 2 });
+        pg.save_snapshot(&path).unwrap();
+        let mapping = load_snapshot_mmap(&path).expect("mmap load");
+        let view = mapping.graph().expect("validated at load");
+        assert_eq!(view.snapshot_to_bytes(), pg.snapshot_to_bytes());
+        assert_eq!(view.sizes(), pg.sizes());
+        drop(view);
+        drop(mapping);
+        // Corruption surfaces at load time, typed.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot_mmap(&path),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -27,9 +27,11 @@ use crate::bitvec::{
     and_count_words, and_count_words_multi, and_count_words_tiled, count_ones_words,
     or_count_words, BitVec, PairOnes,
 };
+use crate::cowvec::cow_clear;
 use crate::estimators;
 use pg_hash::HashFamily;
 use pg_parallel::parallel_for;
+use std::borrow::Cow;
 
 /// Upper bound on `b` so bucket batches fit a stack buffer. The paper finds
 /// `b ∈ {1, 2}` best and never evaluates past 4; 16 leaves generous slack.
@@ -178,9 +180,16 @@ impl BloomFilter {
 
 /// All per-set Bloom filters of a ProbGraph representation, stored in one
 /// flat word array (`n_sets × words_per_set`).
+///
+/// The word array is copy-on-write over `'a`: the owned alias
+/// [`BloomCollection`] is the ordinary built/streamed form, while a
+/// borrowed `BloomCollectionIn<'buf>` serves estimates directly out of a
+/// validated snapshot buffer (the zero-copy exchange/mmap load path).
+/// Mutation of a borrowed collection clones the words first (`Cow`
+/// semantics); the cached popcounts are always owned bookkeeping.
 #[derive(Clone, Debug)]
-pub struct BloomCollection {
-    data: Vec<u64>,
+pub struct BloomCollectionIn<'a> {
+    data: Cow<'a, [u64]>,
     words_per_set: usize,
     bits_per_set: usize,
     b: usize,
@@ -198,6 +207,10 @@ pub struct BloomCollection {
     swami: Option<Vec<f64>>,
 }
 
+/// The owned (`'static`) form of [`BloomCollectionIn`] — what builds,
+/// streaming updates, and the copying snapshot loader produce.
+pub type BloomCollection = BloomCollectionIn<'static>;
+
 /// Largest `B` for which the Swamidass table is materialized (512 KiB of
 /// `f64`; per-neighborhood budgets are orders of magnitude below this).
 const MAX_SWAMI_TABLE_BITS: usize = 1 << 16;
@@ -212,15 +225,15 @@ fn make_swami(bits_per_set: usize, b: usize) -> Option<Vec<f64>> {
     })
 }
 
-impl BloomCollection {
+impl<'a> BloomCollectionIn<'a> {
     /// Builds filters for `n_sets` sets in parallel. `set(i)` must return
     /// the i-th input set; it is called once per set, from worker threads.
     ///
     /// `bits_per_set` is rounded up to a multiple of 64 so each filter owns
     /// whole words.
-    pub fn build<'a, F>(n_sets: usize, bits_per_set: usize, b: usize, seed: u64, set: F) -> Self
+    pub fn build<'s, F>(n_sets: usize, bits_per_set: usize, b: usize, seed: u64, set: F) -> Self
     where
-        F: Fn(usize) -> &'a [u32] + Sync,
+        F: Fn(usize) -> &'s [u32] + Sync,
     {
         assert!(b > 0, "need at least one hash function");
         assert!(
@@ -264,8 +277,8 @@ impl BloomCollection {
                 unsafe { *ones_base.0.add(s) = count_ones_words(window) as u32 };
             });
         }
-        BloomCollection {
-            data,
+        BloomCollectionIn {
+            data: Cow::Owned(data),
             words_per_set,
             bits_per_set,
             b,
@@ -283,7 +296,15 @@ impl BloomCollection {
     /// popcounts are computed here, in parallel; `data` must hold a whole
     /// number of `words_per_set` windows whose bits were produced by the
     /// same `(b, seed)` bucket sequence this collection will hash with.
-    pub fn from_raw_words(data: Vec<u64>, words_per_set: usize, b: usize, seed: u64) -> Self {
+    /// Accepts either an owned `Vec<u64>` or a borrowed `&'a [u64]` (the
+    /// zero-copy snapshot load serves filters straight from the buffer).
+    pub fn from_raw_words(
+        data: impl Into<Cow<'a, [u64]>>,
+        words_per_set: usize,
+        b: usize,
+        seed: u64,
+    ) -> Self {
+        let data = data.into();
         assert!(b > 0, "need at least one hash function");
         assert!(
             b <= MAX_BLOOM_HASHES,
@@ -297,7 +318,7 @@ impl BloomCollection {
         pg_parallel::parallel_fill_with(&mut ones, |i| {
             count_ones_words(&data[i * words_per_set..(i + 1) * words_per_set]) as u32
         });
-        BloomCollection {
+        BloomCollectionIn {
             data,
             words_per_set,
             bits_per_set,
@@ -314,10 +335,10 @@ impl BloomCollection {
     /// parts must share the filter shape `(words_per_set, b)` and have
     /// been built under the same seed (the families are not comparable at
     /// runtime; the serving layer constructs every shard from one config).
-    pub fn gather(parts: &[&Self]) -> Self {
+    pub fn gather(parts: &[&BloomCollectionIn<'_>]) -> BloomCollection {
         let first = parts.first().expect("gather needs at least one part");
-        let mut out = BloomCollection {
-            data: Vec::new(),
+        let mut out = BloomCollectionIn {
+            data: Cow::Owned(Vec::new()),
             words_per_set: first.words_per_set,
             bits_per_set: first.bits_per_set,
             b: first.b,
@@ -335,8 +356,8 @@ impl BloomCollection {
     /// cell. `self` must share the parts' filter shape; the word and
     /// popcount arrays are straight memcpys, so a publish costs one linear
     /// pass over the store and re-hashes nothing.
-    pub fn gather_into(&mut self, parts: &[&Self]) {
-        self.data.clear();
+    pub fn gather_into(&mut self, parts: &[&BloomCollectionIn<'_>]) {
+        let data = cow_clear(&mut self.data);
         self.ones.clear();
         for p in parts {
             assert_eq!(
@@ -344,8 +365,22 @@ impl BloomCollection {
                 "gather: mismatched filter widths"
             );
             assert_eq!(p.b, self.b, "gather: mismatched hash counts");
-            self.data.extend_from_slice(&p.data);
+            data.extend_from_slice(&p.data);
             self.ones.extend_from_slice(&p.ones);
+        }
+    }
+
+    /// Detaches the collection from any borrowed snapshot buffer, cloning
+    /// the word array if it was served in place. No-op for owned data.
+    pub fn into_owned(self) -> BloomCollection {
+        BloomCollectionIn {
+            data: Cow::Owned(self.data.into_owned()),
+            words_per_set: self.words_per_set,
+            bits_per_set: self.bits_per_set,
+            b: self.b,
+            family: self.family,
+            ones: self.ones,
+            swami: self.swami,
         }
     }
 
@@ -420,7 +455,7 @@ impl BloomCollection {
     /// the word window and popcount delta hoisted out of the element loop
     /// (the streaming hot path — updates arrive grouped by source vertex).
     pub fn insert_batch(&mut self, i: usize, xs: &[u32]) {
-        let window = &mut self.data[i * self.words_per_set..(i + 1) * self.words_per_set];
+        let window = &mut self.data.to_mut()[i * self.words_per_set..(i + 1) * self.words_per_set];
         let mut added = 0u32;
         for &x in xs {
             self.family
@@ -441,7 +476,7 @@ impl BloomCollection {
     #[inline]
     pub(crate) fn set_bit(&mut self, i: usize, pos: usize) {
         debug_assert!(pos < self.bits_per_set);
-        let w = &mut self.data[i * self.words_per_set + pos / 64];
+        let w = &mut self.data.to_mut()[i * self.words_per_set + pos / 64];
         let bit = 1u64 << (pos % 64);
         self.ones[i] += u32::from(*w & bit == 0);
         *w |= bit;
@@ -454,7 +489,7 @@ impl BloomCollection {
     #[inline]
     pub(crate) fn clear_bit(&mut self, i: usize, pos: usize) {
         debug_assert!(pos < self.bits_per_set);
-        let w = &mut self.data[i * self.words_per_set + pos / 64];
+        let w = &mut self.data.to_mut()[i * self.words_per_set + pos / 64];
         let bit = 1u64 << (pos % 64);
         self.ones[i] -= u32::from(*w & bit != 0);
         *w &= !bit;

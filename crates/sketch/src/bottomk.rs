@@ -15,9 +15,11 @@
 //! Prop. IV.3's exponential bound applicable. Samples are stored in hash
 //! order so this union-merge costs `O(k)` (Table IV).
 
+use crate::cowvec::cow_clear;
 use crate::estimators;
 use crate::heap::{sift_down, sift_up};
 use pg_hash::HashFamily;
+use std::borrow::Cow;
 
 /// A bottom-k sketch of one set: the (up to) `k` elements with smallest
 /// hashes, stored in ascending hash order.
@@ -280,14 +282,19 @@ impl BottomK {
 /// sorted-insert shift) and re-sorted once at the end of the batch, so
 /// the sorted-slice views every merge-walk estimator reads stay valid
 /// between batches.
+/// All five flat arrays are copy-on-write over `'a` (see
+/// [`crate::BloomCollectionIn`]): borrowed collections serve a validated
+/// snapshot buffer in place; the first insert into a borrowed collection
+/// clones the touched arrays (`Cow` semantics). The owned alias
+/// [`BottomKCollection`] is the ordinary built/streamed form.
 #[derive(Clone, Debug)]
-pub struct BottomKCollection {
-    elems: Vec<u32>,
-    hashes: Vec<u32>,
-    offsets: Vec<u32>,
+pub struct BottomKCollectionIn<'a> {
+    elems: Cow<'a, [u32]>,
+    hashes: Cow<'a, [u32]>,
+    offsets: Cow<'a, [u32]>,
     /// Live sample length per set (`≤` region capacity).
-    lens: Vec<u32>,
-    set_sizes: Vec<u32>,
+    lens: Cow<'a, [u32]>,
+    set_sizes: Cow<'a, [u32]>,
     k: usize,
     /// The single seeded hash function — kept after construction so
     /// streamed elements can be keyed without re-deriving the family.
@@ -296,11 +303,14 @@ pub struct BottomKCollection {
     strided: bool,
 }
 
-impl BottomKCollection {
+/// The owned (`'static`) form of [`BottomKCollectionIn`].
+pub type BottomKCollection = BottomKCollectionIn<'static>;
+
+impl<'a> BottomKCollectionIn<'a> {
     /// Builds sketches for `n_sets` sets in parallel.
-    pub fn build<'a, F>(n_sets: usize, k: usize, seed: u64, set: F) -> Self
+    pub fn build<'s, F>(n_sets: usize, k: usize, seed: u64, set: F) -> Self
     where
-        F: Fn(usize) -> &'a [u32] + Sync,
+        F: Fn(usize) -> &'s [u32] + Sync,
     {
         assert!(k > 0, "bottom-k needs k ≥ 1");
         let family = HashFamily::new(1, seed);
@@ -332,12 +342,12 @@ impl BottomKCollection {
         pg_parallel::parallel_fill_with(&mut set_sizes, |s| set(s).len() as u32);
         let lens: Vec<u32> = offsets.windows(2).map(|w| w[1] - w[0]).collect();
         let strided = total == n_sets * k;
-        BottomKCollection {
-            elems,
-            hashes,
-            offsets,
-            lens,
-            set_sizes,
+        BottomKCollectionIn {
+            elems: Cow::Owned(elems),
+            hashes: Cow::Owned(hashes),
+            offsets: Cow::Owned(offsets),
+            lens: Cow::Owned(lens),
+            set_sizes: Cow::Owned(set_sizes),
             k,
             family,
             strided,
@@ -355,15 +365,17 @@ impl BottomKCollection {
     /// only guard direct in-crate use.
     #[allow(clippy::too_many_arguments)]
     pub fn from_raw_parts(
-        elems: Vec<u32>,
-        hashes: Vec<u32>,
-        offsets: Vec<u32>,
-        lens: Vec<u32>,
-        set_sizes: Vec<u32>,
+        elems: impl Into<Cow<'a, [u32]>>,
+        hashes: impl Into<Cow<'a, [u32]>>,
+        offsets: impl Into<Cow<'a, [u32]>>,
+        lens: impl Into<Cow<'a, [u32]>>,
+        set_sizes: impl Into<Cow<'a, [u32]>>,
         k: usize,
         seed: u64,
         strided: bool,
     ) -> Self {
+        let (elems, hashes) = (elems.into(), hashes.into());
+        let (offsets, lens, set_sizes) = (offsets.into(), lens.into(), set_sizes.into());
         assert!(k > 0, "bottom-k needs k ≥ 1");
         assert!(!offsets.is_empty(), "offsets must hold n + 1 entries");
         let n = offsets.len() - 1;
@@ -372,7 +384,7 @@ impl BottomKCollection {
         assert_eq!(elems.len(), hashes.len());
         debug_assert_eq!(offsets[0], 0);
         debug_assert_eq!(*offsets.last().expect("non-empty") as usize, elems.len());
-        BottomKCollection {
+        BottomKCollectionIn {
             elems,
             hashes,
             offsets,
@@ -427,14 +439,14 @@ impl BottomKCollection {
     /// parts must share `(k, seed)`; they may be in either layout. The
     /// result is always strided (offsets are the trivial `i·k` sequence),
     /// with unused capacity slots zeroed so gathers are deterministic.
-    pub fn gather(parts: &[&Self]) -> Self {
+    pub fn gather(parts: &[&BottomKCollectionIn<'_>]) -> BottomKCollection {
         let first = parts.first().expect("gather needs at least one part");
-        let mut out = BottomKCollection {
-            elems: Vec::new(),
-            hashes: Vec::new(),
-            offsets: Vec::new(),
-            lens: Vec::new(),
-            set_sizes: Vec::new(),
+        let mut out = BottomKCollectionIn {
+            elems: Cow::Owned(Vec::new()),
+            hashes: Cow::Owned(Vec::new()),
+            offsets: Cow::Owned(Vec::new()),
+            lens: Cow::Owned(Vec::new()),
+            set_sizes: Cow::Owned(Vec::new()),
             k: first.k,
             family: first.family.clone(),
             strided: true,
@@ -445,21 +457,21 @@ impl BottomKCollection {
 
     /// In-place form of [`BottomKCollection::gather`], reusing `self`'s
     /// allocations (the double-buffer path).
-    pub fn gather_into(&mut self, parts: &[&Self]) {
+    pub fn gather_into(&mut self, parts: &[&BottomKCollectionIn<'_>]) {
         let k = self.k;
         let n: usize = parts.iter().map(|p| p.lens.len()).sum();
         assert!(
             n * k <= u32::MAX as usize,
             "gathered sketch storage exceeds u32 offsets"
         );
-        self.elems.clear();
-        self.elems.resize(n * k, 0);
-        self.hashes.clear();
-        self.hashes.resize(n * k, 0);
-        self.offsets.clear();
-        self.offsets.extend((0..=n).map(|i| (i * k) as u32));
-        self.lens.clear();
-        self.set_sizes.clear();
+        let elems = cow_clear(&mut self.elems);
+        elems.resize(n * k, 0);
+        let hashes = cow_clear(&mut self.hashes);
+        hashes.resize(n * k, 0);
+        let offsets = cow_clear(&mut self.offsets);
+        offsets.extend((0..=n).map(|i| (i * k) as u32));
+        let lens = cow_clear(&mut self.lens);
+        let set_sizes = cow_clear(&mut self.set_sizes);
         let mut out_set = 0usize;
         for p in parts {
             assert_eq!(p.k, k, "gather: mismatched sample sizes");
@@ -467,14 +479,29 @@ impl BottomKCollection {
                 let src = p.offsets[i] as usize;
                 let len = p.lens[i] as usize;
                 let dst = out_set * k;
-                self.elems[dst..dst + len].copy_from_slice(&p.elems[src..src + len]);
-                self.hashes[dst..dst + len].copy_from_slice(&p.hashes[src..src + len]);
+                elems[dst..dst + len].copy_from_slice(&p.elems[src..src + len]);
+                hashes[dst..dst + len].copy_from_slice(&p.hashes[src..src + len]);
                 out_set += 1;
             }
-            self.lens.extend_from_slice(&p.lens);
-            self.set_sizes.extend_from_slice(&p.set_sizes);
+            lens.extend_from_slice(&p.lens);
+            set_sizes.extend_from_slice(&p.set_sizes);
         }
         self.strided = true;
+    }
+
+    /// Detaches the collection from any borrowed snapshot buffer, cloning
+    /// in-place-served arrays. No-op for owned data.
+    pub fn into_owned(self) -> BottomKCollection {
+        BottomKCollectionIn {
+            elems: Cow::Owned(self.elems.into_owned()),
+            hashes: Cow::Owned(self.hashes.into_owned()),
+            offsets: Cow::Owned(self.offsets.into_owned()),
+            lens: Cow::Owned(self.lens.into_owned()),
+            set_sizes: Cow::Owned(self.set_sizes.into_owned()),
+            k: self.k,
+            family: self.family,
+            strided: self.strided,
+        }
     }
 
     /// Converts the tight-packed arrays to the strided capacity-`k`
@@ -500,9 +527,9 @@ impl BottomKCollection {
             hashes[i * k..i * k + len].copy_from_slice(&self.hashes[src..src + len]);
         }
         offsets.push((n * k) as u32);
-        self.elems = elems;
-        self.hashes = hashes;
-        self.offsets = offsets;
+        self.elems = Cow::Owned(elems);
+        self.hashes = Cow::Owned(hashes);
+        self.offsets = Cow::Owned(offsets);
         self.strided = true;
     }
 
@@ -512,38 +539,34 @@ impl BottomKCollection {
     /// Equivalent to [`BottomKCollection::insert_batch`] with a
     /// one-element batch.
     pub fn insert(&mut self, i: usize, x: u32) {
-        self.set_sizes[i] += 1;
+        self.set_sizes.to_mut()[i] += 1;
         self.ensure_streaming_layout();
         let k = self.k;
         let start = i * k;
         let len = self.lens[i] as usize;
         let h = self.family.hash32(0, x as u64);
         let key = (h as u64) << 32 | x as u64;
+        let hashes = self.hashes.to_mut();
+        let elems = self.elems.to_mut();
         let pos = (0..len)
-            .find(|&t| {
-                ((self.hashes[start + t] as u64) << 32 | self.elems[start + t] as u64) >= key
-            })
+            .find(|&t| ((hashes[start + t] as u64) << 32 | elems[start + t] as u64) >= key)
             .unwrap_or(len);
-        if pos < len && self.hashes[start + pos] == h && self.elems[start + pos] == x {
+        if pos < len && hashes[start + pos] == h && elems[start + pos] == x {
             return; // duplicate insert: collapsed, like the offline dedup
         }
         if len == k {
             if pos == k {
                 return; // not among the k smallest
             }
-            self.hashes
-                .copy_within(start + pos..start + k - 1, start + pos + 1);
-            self.elems
-                .copy_within(start + pos..start + k - 1, start + pos + 1);
+            hashes.copy_within(start + pos..start + k - 1, start + pos + 1);
+            elems.copy_within(start + pos..start + k - 1, start + pos + 1);
         } else {
-            self.hashes
-                .copy_within(start + pos..start + len, start + pos + 1);
-            self.elems
-                .copy_within(start + pos..start + len, start + pos + 1);
-            self.lens[i] += 1;
+            hashes.copy_within(start + pos..start + len, start + pos + 1);
+            elems.copy_within(start + pos..start + len, start + pos + 1);
+            self.lens.to_mut()[i] += 1;
         }
-        self.hashes[start + pos] = h;
-        self.elems[start + pos] = x;
+        hashes[start + pos] = h;
+        elems[start + pos] = x;
     }
 
     /// Batched per-set insert: absorbs all of `xs` into sample `i`.
@@ -566,7 +589,7 @@ impl BottomKCollection {
             self.insert(i, *x);
             return;
         }
-        self.set_sizes[i] += xs.len() as u32;
+        self.set_sizes.to_mut()[i] += xs.len() as u32;
         if xs.is_empty() {
             return;
         }
@@ -574,8 +597,10 @@ impl BottomKCollection {
         let k = self.k;
         let start = i * k;
         let len = self.lens[i] as usize;
+        let hashes = self.hashes.to_mut();
+        let elems = self.elems.to_mut();
         let mut heap: Vec<u64> = (start..start + len)
-            .map(|t| (self.hashes[t] as u64) << 32 | self.elems[t] as u64)
+            .map(|t| (hashes[t] as u64) << 32 | elems[t] as u64)
             .collect();
         heap.reverse();
         for &x in xs {
@@ -592,10 +617,10 @@ impl BottomKCollection {
         heap.sort_unstable();
         heap.dedup();
         for (t, &key) in heap.iter().enumerate() {
-            self.hashes[start + t] = (key >> 32) as u32;
-            self.elems[start + t] = key as u32;
+            hashes[start + t] = (key >> 32) as u32;
+            elems[start + t] = key as u32;
         }
-        self.lens[i] = heap.len() as u32;
+        self.lens.to_mut()[i] = heap.len() as u32;
     }
 
     /// Number of sketches.

@@ -36,8 +36,10 @@
 //! rather than wrapping.
 
 use crate::bloom::BloomCollection;
+use crate::cowvec::cow_clear;
 use pg_hash::HashFamily;
 use pg_parallel::parallel_for;
+use std::borrow::Cow;
 
 /// Width of one saturating counter, in bits. 16 counters pack into each
 /// 64-bit word — the classic summary-cache choice (Fan et al.).
@@ -54,15 +56,19 @@ const COUNTERS_PER_WORD: usize = 64 / COUNTER_BITS;
 /// All per-set counting Bloom filters of a ProbGraph representation:
 /// packed per-bucket counters plus the derived [`BloomCollection`] read
 /// view (see the module docs for the invariant tying them together).
+/// The packed counters are copy-on-write over `'a` (see
+/// [`BloomCollectionIn`]): borrowed collections serve a validated
+/// snapshot buffer in place, while the derived view — recomputed at load
+/// — is always owned bookkeeping.
 #[derive(Clone, Debug)]
-pub struct CountingBloomCollection {
+pub struct CountingBloomCollectionIn<'a> {
     /// The derived insert-only view every estimator reads — a real
     /// `BloomCollection`, so the fused kernels and the memoized Swamidass
     /// table work unchanged.
     view: BloomCollection,
     /// Packed saturating counters, `n_sets × words_per_set` words of
     /// [`COUNTERS_PER_WORD`] counters each.
-    counters: Vec<u64>,
+    counters: Cow<'a, [u64]>,
     /// Counter words per set (`bits_per_set / COUNTERS_PER_WORD`).
     words_per_set: usize,
     /// The seeded hash family — identical to the view's (same `(b, seed)`
@@ -71,6 +77,9 @@ pub struct CountingBloomCollection {
     family: HashFamily,
     bits_per_set: usize,
 }
+
+/// The owned (`'static`) form of [`CountingBloomCollectionIn`].
+pub type CountingBloomCollection = CountingBloomCollectionIn<'static>;
 
 /// The bucket-occupancy bits of one packed counter word: bit `t` is set
 /// iff counter `t` is nonzero — the derived-view invariant, evaluated
@@ -135,7 +144,7 @@ fn derive_view_words(counters: &[u64], n_view_words: usize) -> Vec<u64> {
     view_words
 }
 
-impl CountingBloomCollection {
+impl<'a> CountingBloomCollectionIn<'a> {
     /// Builds filters for `n_sets` sets in parallel. Each set is hashed
     /// **once**, into its counters; the derived view is then one linear
     /// occupancy sweep over the counter words (no second hashing pass),
@@ -144,9 +153,9 @@ impl CountingBloomCollection {
     /// that build would have set. `bits_per_set` is rounded up to a
     /// multiple of 64 (whole view words; counter words pack
     /// [`COUNTERS_PER_WORD`] buckets each).
-    pub fn build<'a, F>(n_sets: usize, bits_per_set: usize, b: usize, seed: u64, set: F) -> Self
+    pub fn build<'s, F>(n_sets: usize, bits_per_set: usize, b: usize, seed: u64, set: F) -> Self
     where
-        F: Fn(usize) -> &'a [u32] + Sync,
+        F: Fn(usize) -> &'s [u32] + Sync,
     {
         let view_words_per_set = bits_per_set.div_ceil(64).max(1);
         let bits_per_set = view_words_per_set * 64;
@@ -173,9 +182,9 @@ impl CountingBloomCollection {
             });
         }
         let view_words = derive_view_words(&counters, n_sets * view_words_per_set);
-        CountingBloomCollection {
+        CountingBloomCollectionIn {
             view: BloomCollection::from_raw_words(view_words, view_words_per_set, b, seed),
-            counters,
+            counters: Cow::Owned(counters),
             words_per_set,
             family,
             bits_per_set,
@@ -191,11 +200,12 @@ impl CountingBloomCollection {
     /// multiple of 64 (resolved filter sizes always are) and `counters`
     /// must hold a whole number of per-set windows.
     pub fn from_counter_words(
-        counters: Vec<u64>,
+        counters: impl Into<Cow<'a, [u64]>>,
         bits_per_set: usize,
         b: usize,
         seed: u64,
     ) -> Self {
+        let counters = counters.into();
         assert!(
             bits_per_set > 0 && bits_per_set.is_multiple_of(64),
             "bits_per_set must be a positive multiple of 64"
@@ -209,7 +219,7 @@ impl CountingBloomCollection {
         );
         let n_sets = counters.len() / words_per_set;
         let view_words = derive_view_words(&counters, n_sets * view_words_per_set);
-        CountingBloomCollection {
+        CountingBloomCollectionIn {
             view: BloomCollection::from_raw_words(view_words, view_words_per_set, b, seed),
             counters,
             words_per_set,
@@ -224,11 +234,11 @@ impl CountingBloomCollection {
     /// packed counters and the derived views concatenate as straight
     /// memcpys (shards own contiguous vertex ranges), so no re-derivation
     /// sweep runs.
-    pub fn gather(parts: &[&Self]) -> Self {
+    pub fn gather(parts: &[&CountingBloomCollectionIn<'_>]) -> CountingBloomCollection {
         let first = parts.first().expect("gather needs at least one part");
-        let mut out = CountingBloomCollection {
+        let mut out = CountingBloomCollectionIn {
             view: BloomCollection::gather(&parts.iter().map(|p| &p.view).collect::<Vec<_>>()),
-            counters: Vec::new(),
+            counters: Cow::Owned(Vec::new()),
             words_per_set: first.words_per_set,
             family: first.family.clone(),
             bits_per_set: first.bits_per_set,
@@ -239,20 +249,32 @@ impl CountingBloomCollection {
 
     /// In-place form of [`CountingBloomCollection::gather`], reusing
     /// `self`'s counter and view allocations (the double-buffer path).
-    pub fn gather_into(&mut self, parts: &[&Self]) {
+    pub fn gather_into(&mut self, parts: &[&CountingBloomCollectionIn<'_>]) {
         let views: Vec<&BloomCollection> = parts.iter().map(|p| &p.view).collect();
         self.view.gather_into(&views);
         self.gather_counters(parts);
     }
 
-    fn gather_counters(&mut self, parts: &[&Self]) {
-        self.counters.clear();
+    fn gather_counters(&mut self, parts: &[&CountingBloomCollectionIn<'_>]) {
+        let counters = cow_clear(&mut self.counters);
         for p in parts {
             assert_eq!(
                 p.words_per_set, self.words_per_set,
                 "gather: mismatched counter widths"
             );
-            self.counters.extend_from_slice(&p.counters);
+            counters.extend_from_slice(&p.counters);
+        }
+    }
+
+    /// Detaches the collection from any borrowed snapshot buffer, cloning
+    /// the counters if they were served in place. No-op for owned data.
+    pub fn into_owned(self) -> CountingBloomCollection {
+        CountingBloomCollectionIn {
+            view: self.view,
+            counters: Cow::Owned(self.counters.into_owned()),
+            words_per_set: self.words_per_set,
+            family: self.family,
+            bits_per_set: self.bits_per_set,
         }
     }
 
@@ -338,7 +360,8 @@ impl CountingBloomCollection {
     /// window is hoisted out of the element loop (the streaming hot path —
     /// updates arrive grouped by source vertex).
     pub fn insert_batch(&mut self, i: usize, xs: &[u32]) {
-        let window = &mut self.counters[i * self.words_per_set..(i + 1) * self.words_per_set];
+        let window =
+            &mut self.counters.to_mut()[i * self.words_per_set..(i + 1) * self.words_per_set];
         let view = &mut self.view;
         for &x in xs {
             self.family
@@ -365,7 +388,8 @@ impl CountingBloomCollection {
     /// deterministic bucket sequence. Saturated counters stay sticky (see
     /// the module docs).
     pub fn remove_batch(&mut self, i: usize, xs: &[u32]) {
-        let window = &mut self.counters[i * self.words_per_set..(i + 1) * self.words_per_set];
+        let window =
+            &mut self.counters.to_mut()[i * self.words_per_set..(i + 1) * self.words_per_set];
         let view = &mut self.view;
         for &x in xs {
             self.family

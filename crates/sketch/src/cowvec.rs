@@ -1,0 +1,28 @@
+//! Copy-on-write storage plumbing shared by the sketch collections.
+//!
+//! Every collection stores its flat arrays as `Cow<'a, [T]>` so a
+//! validated snapshot buffer (a received exchange frame, an mmapped file)
+//! can back a collection **in place** — the borrowed variant — while all
+//! existing owned construction keeps its `Vec`-based paths through
+//! `Cow::Owned`. The `'static` aliases (`BloomCollection`, …) are exactly
+//! the owned collections the rest of the crate always had.
+
+use std::borrow::Cow;
+
+/// Resets a copy-on-write buffer to an empty owned vector, reusing the
+/// existing allocation when the buffer is already owned. The gather /
+/// double-buffer paths clear-and-refill through this so steady-state
+/// publishes stay allocation-free; a borrowed buffer is simply dropped
+/// (it was never this collection's to grow).
+pub(crate) fn cow_clear<'c, 'a, T: Clone>(c: &'c mut Cow<'a, [T]>) -> &'c mut Vec<T> {
+    if matches!(c, Cow::Borrowed(_)) {
+        *c = Cow::Owned(Vec::new());
+    }
+    match c {
+        Cow::Owned(v) => {
+            v.clear();
+            v
+        }
+        Cow::Borrowed(_) => unreachable!("just replaced with Owned"),
+    }
+}

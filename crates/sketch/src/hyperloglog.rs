@@ -7,8 +7,10 @@
 //! linear-counting small-range correction, plus lossless merging, so
 //! `|X∩Y|` can be estimated by inclusion–exclusion exactly like KMV.
 
+use crate::cowvec::cow_clear;
 use pg_hash::HashFamily;
 use pg_parallel::parallel_for;
+use std::borrow::Cow;
 
 /// `2^-r` for `r ≤ 64`, built directly in the exponent field: `2^-r` has
 /// exponent `1023 − r` and zero mantissa (`r ≤ 64` keeps the value
@@ -183,9 +185,13 @@ impl HyperLogLog {
 /// (`nx + ny − |X∪Y|̂`, the Eq. 41 shape), where `|X∪Y|̂` comes from a
 /// single fused register-wise `max` + harmonic-sum pass — no merged sketch
 /// is ever materialized.
+/// The register array is copy-on-write over `'a` (see
+/// [`crate::BloomCollectionIn`]): borrowed collections serve a validated
+/// snapshot buffer in place; the owned alias [`HyperLogLogCollection`] is
+/// the ordinary built/streamed form.
 #[derive(Clone, Debug)]
-pub struct HyperLogLogCollection {
-    registers: Vec<u8>,
+pub struct HyperLogLogCollectionIn<'a> {
+    registers: Cow<'a, [u8]>,
     precision: u8,
     seed: u64,
     /// The seeded hash function — kept after construction so streamed
@@ -193,12 +199,15 @@ pub struct HyperLogLogCollection {
     family: HashFamily,
 }
 
-impl HyperLogLogCollection {
+/// The owned (`'static`) form of [`HyperLogLogCollectionIn`].
+pub type HyperLogLogCollection = HyperLogLogCollectionIn<'static>;
+
+impl<'a> HyperLogLogCollectionIn<'a> {
     /// Builds sketches for `n_sets` sets in parallel. `precision` must lie
     /// in `4..=16`; `set(i)` returns the i-th input set.
-    pub fn build<'a, F>(n_sets: usize, precision: u8, seed: u64, set: F) -> Self
+    pub fn build<'s, F>(n_sets: usize, precision: u8, seed: u64, set: F) -> Self
     where
-        F: Fn(usize) -> &'a [u32] + Sync,
+        F: Fn(usize) -> &'s [u32] + Sync,
     {
         assert!(
             (4..=16).contains(&precision),
@@ -226,8 +235,8 @@ impl HyperLogLogCollection {
                 }
             });
         }
-        HyperLogLogCollection {
-            registers,
+        HyperLogLogCollectionIn {
+            registers: Cow::Owned(registers),
             precision,
             seed,
             family: HashFamily::new(1, seed),
@@ -235,11 +244,17 @@ impl HyperLogLogCollection {
     }
 
     /// Reconstructs a collection from an already-materialized flat
-    /// register array (the snapshot load path). `registers` must hold a
-    /// whole number of `2^precision`-byte windows with every rank in
+    /// register array (the snapshot load path; owned `Vec<u8>` or
+    /// borrowed `&'a [u8]`). `registers` must hold a whole number of
+    /// `2^precision`-byte windows with every rank in
     /// `0..=(64 - precision + 1)`; the snapshot loader validates this
     /// before calling.
-    pub fn from_raw_registers(registers: Vec<u8>, precision: u8, seed: u64) -> Self {
+    pub fn from_raw_registers(
+        registers: impl Into<Cow<'a, [u8]>>,
+        precision: u8,
+        seed: u64,
+    ) -> Self {
+        let registers = registers.into();
         assert!(
             (4..=16).contains(&precision),
             "precision {precision} outside 4..=16"
@@ -249,7 +264,7 @@ impl HyperLogLogCollection {
             0,
             "register array must hold whole sketches"
         );
-        HyperLogLogCollection {
+        HyperLogLogCollectionIn {
             registers,
             precision,
             seed,
@@ -267,10 +282,10 @@ impl HyperLogLogCollection {
     /// Assembles one collection holding the concatenation of `parts`'
     /// register arrays, in order — the serving layer's copy-on-publish
     /// path. All parts must share `(precision, seed)`.
-    pub fn gather(parts: &[&Self]) -> Self {
+    pub fn gather(parts: &[&HyperLogLogCollectionIn<'_>]) -> HyperLogLogCollection {
         let first = parts.first().expect("gather needs at least one part");
-        let mut out = HyperLogLogCollection {
-            registers: Vec::new(),
+        let mut out = HyperLogLogCollectionIn {
+            registers: Cow::Owned(Vec::new()),
             precision: first.precision,
             seed: first.seed,
             family: first.family.clone(),
@@ -281,12 +296,23 @@ impl HyperLogLogCollection {
 
     /// In-place form of [`HyperLogLogCollection::gather`], reusing `self`'s
     /// register allocation (the double-buffer path).
-    pub fn gather_into(&mut self, parts: &[&Self]) {
-        self.registers.clear();
+    pub fn gather_into(&mut self, parts: &[&HyperLogLogCollectionIn<'_>]) {
+        let registers = cow_clear(&mut self.registers);
         for p in parts {
             assert_eq!(p.precision, self.precision, "gather: mismatched precision");
             assert_eq!(p.seed, self.seed, "gather: mismatched seeds");
-            self.registers.extend_from_slice(&p.registers);
+            registers.extend_from_slice(&p.registers);
+        }
+    }
+
+    /// Detaches the collection from any borrowed snapshot buffer, cloning
+    /// the registers if they were served in place. No-op for owned data.
+    pub fn into_owned(self) -> HyperLogLogCollection {
+        HyperLogLogCollectionIn {
+            registers: Cow::Owned(self.registers.into_owned()),
+            precision: self.precision,
+            seed: self.seed,
+            family: self.family,
         }
     }
 
@@ -303,7 +329,7 @@ impl HyperLogLogCollection {
     pub fn insert_batch(&mut self, i: usize, xs: &[u32]) {
         let m = 1usize << self.precision;
         let p = self.precision as u32;
-        let window = &mut self.registers[i * m..(i + 1) * m];
+        let window = &mut self.registers.to_mut()[i * m..(i + 1) * m];
         for &x in xs {
             let (idx, rank) = split_hash(self.family.hash64(0, x as u64), p);
             if rank > window[idx] {

@@ -9,16 +9,25 @@
 use crate::estimators;
 use crate::heap::{sift_down, sift_up};
 use pg_hash::HashFamily;
+use std::borrow::Cow;
 
 /// A KMV sketch: up to `k` smallest unit-interval hashes, ascending.
+///
+/// The hash list is copy-on-write over `'a` (see
+/// [`crate::BloomCollectionIn`]): the owned alias [`KmvSketch`] is the
+/// ordinary built/streamed form, while a borrowed sketch serves a
+/// validated snapshot buffer in place.
 #[derive(Clone, Debug, PartialEq)]
-pub struct KmvSketch {
-    hashes: Vec<f64>,
+pub struct KmvSketchIn<'a> {
+    hashes: Cow<'a, [f64]>,
     k: usize,
     set_size: usize,
 }
 
-impl KmvSketch {
+/// The owned (`'static`) form of [`KmvSketchIn`].
+pub type KmvSketch = KmvSketchIn<'static>;
+
+impl<'a> KmvSketchIn<'a> {
     /// Builds the sketch of `items` with parameter `k`, hash seeded from
     /// `seed`. Comparable only across sketches with equal `seed`.
     pub fn from_set(items: &[u32], k: usize, seed: u64) -> Self {
@@ -30,25 +39,37 @@ impl KmvSketch {
         hashes.sort_unstable_by(f64::total_cmp);
         hashes.dedup();
         hashes.truncate(k);
-        KmvSketch {
-            hashes,
+        KmvSketchIn {
+            hashes: Cow::Owned(hashes),
             k,
             set_size: items.len(),
         }
     }
 
     /// Reconstructs a sketch from already-materialized parts (the
-    /// snapshot load path). `hashes` must be strictly ascending values in
-    /// (0, 1] with `hashes.len() ≤ k`; the snapshot loader validates this
-    /// before calling.
-    pub fn from_raw_parts(hashes: Vec<f64>, k: usize, set_size: usize) -> Self {
+    /// snapshot load path; owned `Vec<f64>` or borrowed `&'a [f64]`).
+    /// `hashes` must be strictly ascending values in (0, 1] with
+    /// `hashes.len() ≤ k`; the snapshot loader validates this before
+    /// calling.
+    pub fn from_raw_parts(hashes: impl Into<Cow<'a, [f64]>>, k: usize, set_size: usize) -> Self {
+        let hashes = hashes.into();
         assert!(k > 0, "KMV needs k ≥ 1");
         debug_assert!(hashes.len() <= k);
         debug_assert!(hashes.windows(2).all(|w| w[0] < w[1]));
-        KmvSketch {
+        KmvSketchIn {
             hashes,
             k,
             set_size,
+        }
+    }
+
+    /// Detaches the sketch from any borrowed snapshot buffer, cloning the
+    /// hash list if it was served in place. No-op for owned data.
+    pub fn into_owned(self) -> KmvSketch {
+        KmvSketchIn {
+            hashes: Cow::Owned(self.hashes.into_owned()),
+            k: self.k,
+            set_size: self.set_size,
         }
     }
 
@@ -90,7 +111,7 @@ impl KmvSketch {
 
     /// The union sketch `K_{X∪Y}`: k smallest of the merged hash lists
     /// (`k = min(k_X, k_Y)` as §IX prescribes).
-    pub fn union(&self, other: &KmvSketch) -> KmvSketch {
+    pub fn union(&self, other: &KmvSketchIn<'_>) -> KmvSketch {
         let k = self.k.min(other.k);
         let mut merged = Vec::with_capacity(self.hashes.len() + other.hashes.len());
         let (a, b) = (&self.hashes, &other.hashes);
@@ -119,15 +140,15 @@ impl KmvSketch {
         // an ordinary k-sample of X ∪ Y, not the whole union.
         let exact = self.is_exact() && other.is_exact() && full_union_len <= k;
         let set_size = if exact { merged.len() } else { usize::MAX };
-        KmvSketch {
-            hashes: merged,
+        KmvSketchIn {
+            hashes: Cow::Owned(merged),
             k,
             set_size,
         }
     }
 
     /// `|X∪Y|̂_KMV = (k−1)/max(K_{X∪Y})` (§IX).
-    pub fn estimate_union_size(&self, other: &KmvSketch) -> f64 {
+    pub fn estimate_union_size(&self, other: &KmvSketchIn<'_>) -> f64 {
         self.union(other).estimate_size()
     }
 
@@ -138,7 +159,7 @@ impl KmvSketch {
     /// replacement from `X ∪ Y`, and such a draw lies in both sketches iff
     /// its element lies in `X ∩ Y` — the same hypergeometric argument as
     /// the paper's 1-hash MinHash (§IV-D).
-    pub fn estimate_jaccard(&self, other: &KmvSketch) -> f64 {
+    pub fn estimate_jaccard(&self, other: &KmvSketchIn<'_>) -> f64 {
         // A union-sketch hash lies in both input sketches iff the merge walk
         // sees it on both sides simultaneously, so p accumulates in the same
         // single ascending pass that would build the union — no allocation,
@@ -159,7 +180,7 @@ impl KmvSketch {
     /// scaling with `|X∪Y|` — ruinous when the intersection is a small
     /// fraction of the union, which is the common case for per-edge
     /// neighborhood intersections.
-    pub fn estimate_intersection(&self, other: &KmvSketch) -> f64 {
+    pub fn estimate_intersection(&self, other: &KmvSketchIn<'_>) -> f64 {
         if self.is_exact() && other.is_exact() {
             // Both sketches hold every hash of their set, so the number of
             // common hashes IS |X ∩ Y| (same hash function, duplicates
@@ -183,7 +204,11 @@ impl KmvSketch {
     /// overlap instead of serializing; any lane touching the lossless
     /// shortcut falls back to the scalar path. Each lane's result is
     /// bit-identical to [`KmvSketch::estimate_intersection`].
-    pub fn estimate_intersection_x2(&self, o0: &KmvSketch, o1: &KmvSketch) -> (f64, f64) {
+    pub fn estimate_intersection_x2(
+        &self,
+        o0: &KmvSketchIn<'_>,
+        o1: &KmvSketchIn<'_>,
+    ) -> (f64, f64) {
         let exact0 = self.is_exact() && o0.is_exact();
         let exact1 = self.is_exact() && o1.is_exact();
         if exact0 || exact1 {
@@ -199,7 +224,7 @@ impl KmvSketch {
             &o1.hashes,
             self.k.min(o1.k),
         );
-        let finish = |p: usize, seen: usize, other: &KmvSketch| {
+        let finish = |p: usize, seen: usize, other: &KmvSketchIn<'_>| {
             let j = if seen == 0 {
                 0.0
             } else {
@@ -213,7 +238,7 @@ impl KmvSketch {
     /// The paper's Eq. (41) inclusion–exclusion estimator
     /// `|X| + |Y| − |X∪Y|̂_KMV`, clamped below at 0 — kept for the §IX
     /// comparison experiments.
-    pub fn estimate_intersection_ie(&self, other: &KmvSketch) -> f64 {
+    pub fn estimate_intersection_ie(&self, other: &KmvSketchIn<'_>) -> f64 {
         let u = self.estimate_union_size(other);
         estimators::kmv_intersection(self.set_size, other.set_size, u).max(0.0)
     }
@@ -233,20 +258,21 @@ impl KmvSketch {
     pub fn absorb<I: IntoIterator<Item = f64>>(&mut self, hs: I, items: usize) {
         self.set_size = self.set_size.saturating_add(items);
         let k = self.k;
-        self.hashes.reverse();
+        let hashes = self.hashes.to_mut();
+        hashes.reverse();
         for h in hs {
-            if self.hashes.len() < k {
-                self.hashes.push(h);
-                let last = self.hashes.len() - 1;
-                sift_up(&mut self.hashes, last);
-            } else if h < self.hashes[0] {
-                self.hashes[0] = h;
-                sift_down(&mut self.hashes, 0);
+            if hashes.len() < k {
+                hashes.push(h);
+                let last = hashes.len() - 1;
+                sift_up(hashes, last);
+            } else if h < hashes[0] {
+                hashes[0] = h;
+                sift_down(hashes, 0);
             }
         }
         // Hashes come from `HashFamily::unit` — (0, 1], never NaN.
-        self.hashes.sort_unstable_by(f64::total_cmp);
-        self.hashes.dedup();
+        hashes.sort_unstable_by(f64::total_cmp);
+        hashes.dedup();
     }
 }
 
@@ -357,21 +383,24 @@ fn union_match_walk_x2(
 
 /// All KMV sketches of a ProbGraph representation (flat storage).
 #[derive(Clone, Debug)]
-pub struct KmvCollection {
-    sketches: Vec<KmvSketch>,
+pub struct KmvCollectionIn<'a> {
+    sketches: Vec<KmvSketchIn<'a>>,
     /// The single seeded hash function — kept after construction so
     /// streamed elements can be hashed for in-place absorption.
     family: HashFamily,
 }
 
-impl KmvCollection {
+/// The owned (`'static`) form of [`KmvCollectionIn`].
+pub type KmvCollection = KmvCollectionIn<'static>;
+
+impl<'a> KmvCollectionIn<'a> {
     /// Builds sketches for `n_sets` sets in parallel.
-    pub fn build<'a, F>(n_sets: usize, k: usize, seed: u64, set: F) -> Self
+    pub fn build<'s, F>(n_sets: usize, k: usize, seed: u64, set: F) -> Self
     where
-        F: Fn(usize) -> &'a [u32] + Sync,
+        F: Fn(usize) -> &'s [u32] + Sync,
     {
         let sketches = pg_parallel::parallel_init(n_sets, |s| KmvSketch::from_set(set(s), k, seed));
-        KmvCollection {
+        KmvCollectionIn {
             sketches,
             family: HashFamily::new(1, seed),
         }
@@ -379,8 +408,8 @@ impl KmvCollection {
 
     /// Reconstructs a collection from already-validated sketches built
     /// under `seed` (the snapshot load path).
-    pub fn from_sketches(sketches: Vec<KmvSketch>, seed: u64) -> Self {
-        KmvCollection {
+    pub fn from_sketches(sketches: Vec<KmvSketchIn<'a>>, seed: u64) -> Self {
+        KmvCollectionIn {
             sketches,
             family: HashFamily::new(1, seed),
         }
@@ -389,9 +418,9 @@ impl KmvCollection {
     /// Assembles one collection holding the concatenation of `parts`'
     /// sketches, in order — the serving layer's copy-on-publish path. All
     /// parts must have been built under one `(k, seed)`.
-    pub fn gather(parts: &[&Self]) -> Self {
+    pub fn gather(parts: &[&KmvCollectionIn<'_>]) -> KmvCollection {
         let first = parts.first().expect("gather needs at least one part");
-        let mut out = KmvCollection {
+        let mut out = KmvCollectionIn {
             sketches: Vec::new(),
             family: first.family.clone(),
         };
@@ -400,21 +429,44 @@ impl KmvCollection {
     }
 
     /// In-place form of [`KmvCollection::gather`]: sketches already
-    /// present in `self` keep their per-sketch hash allocations
-    /// (`clone_from`), so a steady-state double-buffered publish
+    /// present in `self` keep their per-sketch hash allocations (owned
+    /// lists clear-and-refill), so a steady-state double-buffered publish
     /// allocates nothing beyond hash vectors that grew since the last
     /// epoch.
-    pub fn gather_into(&mut self, parts: &[&Self]) {
+    pub fn gather_into(&mut self, parts: &[&KmvCollectionIn<'_>]) {
         let total: usize = parts.iter().map(|p| p.sketches.len()).sum();
         self.sketches.truncate(total);
         let mut src = parts.iter().flat_map(|p| p.sketches.iter());
         for dst in self.sketches.iter_mut() {
             let s = src.next().expect("src covers the truncated prefix");
-            dst.hashes.clone_from(&s.hashes);
+            match &mut dst.hashes {
+                Cow::Owned(v) => {
+                    v.clear();
+                    v.extend_from_slice(&s.hashes);
+                }
+                h => *h = Cow::Owned(s.hashes.to_vec()),
+            }
             dst.k = s.k;
             dst.set_size = s.set_size;
         }
-        self.sketches.extend(src.cloned());
+        self.sketches.extend(src.map(|s| KmvSketchIn {
+            hashes: Cow::Owned(s.hashes.to_vec()),
+            k: s.k,
+            set_size: s.set_size,
+        }));
+    }
+
+    /// Detaches the collection from any borrowed snapshot buffer, cloning
+    /// in-place-served hash lists. No-op for owned data.
+    pub fn into_owned(self) -> KmvCollection {
+        KmvCollectionIn {
+            sketches: self
+                .sketches
+                .into_iter()
+                .map(KmvSketchIn::into_owned)
+                .collect(),
+            family: self.family,
+        }
     }
 
     /// Inserts one element into sketch `i` in place.
@@ -444,7 +496,7 @@ impl KmvCollection {
 
     /// The sketch of set `i`.
     #[inline]
-    pub fn sketch(&self, i: usize) -> &KmvSketch {
+    pub fn sketch(&self, i: usize) -> &KmvSketchIn<'a> {
         &self.sketches[i]
     }
 

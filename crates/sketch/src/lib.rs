@@ -54,6 +54,7 @@ pub mod bloom;
 pub mod bottomk;
 pub mod budget;
 pub mod counting_bloom;
+mod cowvec;
 pub mod estimators;
 mod heap;
 pub mod hyperloglog;
@@ -61,10 +62,12 @@ pub mod kmv;
 pub mod minhash;
 
 pub use bitvec::{and_or_ones_words, BitVec, PairOnes};
-pub use bloom::{BfPairEstimates, BloomCollection, BloomFilter, MAX_BLOOM_HASHES};
-pub use bottomk::{BottomK, BottomKCollection};
+pub use bloom::{
+    BfPairEstimates, BloomCollection, BloomCollectionIn, BloomFilter, MAX_BLOOM_HASHES,
+};
+pub use bottomk::{BottomK, BottomKCollection, BottomKCollectionIn};
 pub use budget::{BudgetPlan, PlanError, SketchParams};
-pub use counting_bloom::CountingBloomCollection;
-pub use hyperloglog::{HyperLogLog, HyperLogLogCollection};
-pub use kmv::{KmvCollection, KmvSketch};
-pub use minhash::{MinHashCollection, MinHashSignature};
+pub use counting_bloom::{CountingBloomCollection, CountingBloomCollectionIn};
+pub use hyperloglog::{HyperLogLog, HyperLogLogCollection, HyperLogLogCollectionIn};
+pub use kmv::{KmvCollection, KmvCollectionIn, KmvSketch, KmvSketchIn};
+pub use minhash::{MinHashCollection, MinHashCollectionIn, MinHashSignature};

@@ -7,9 +7,11 @@
 //! `Ĵ = matches/k` unbiased and the Eq. (5) intersection estimator an MLE
 //! (Table II).
 
+use crate::cowvec::cow_clear;
 use crate::estimators;
 use pg_hash::HashFamily;
 use pg_parallel::parallel_for;
+use std::borrow::Cow;
 
 /// Sentinel signature entry for "set was empty under this function".
 const EMPTY: u32 = u32::MAX;
@@ -80,21 +82,29 @@ impl MinHashSignature {
 
 /// All k-hash signatures of a ProbGraph representation, flat in one array
 /// (`n_sets × k` entries of 4 bytes — Table I: `W·k` bits per set).
+///
+/// The signature array is copy-on-write over `'a` (see
+/// [`crate::BloomCollectionIn`]): borrowed collections serve a validated
+/// snapshot buffer in place; the owned alias [`MinHashCollection`] is the
+/// ordinary built/streamed form.
 #[derive(Clone, Debug)]
-pub struct MinHashCollection {
-    sigs: Vec<u32>,
+pub struct MinHashCollectionIn<'a> {
+    sigs: Cow<'a, [u32]>,
     k: usize,
     /// The k seeded hash functions — kept after construction so streamed
     /// elements can be absorbed in place (per-slot min updates).
     family: HashFamily,
 }
 
-impl MinHashCollection {
+/// The owned (`'static`) form of [`MinHashCollectionIn`].
+pub type MinHashCollection = MinHashCollectionIn<'static>;
+
+impl<'a> MinHashCollectionIn<'a> {
     /// Builds signatures for `n_sets` sets in parallel; `set(i)` returns the
     /// i-th input set.
-    pub fn build<'a, F>(n_sets: usize, k: usize, seed: u64, set: F) -> Self
+    pub fn build<'s, F>(n_sets: usize, k: usize, seed: u64, set: F) -> Self
     where
-        F: Fn(usize) -> &'a [u32] + Sync,
+        F: Fn(usize) -> &'s [u32] + Sync,
     {
         assert!(k > 0, "MinHash needs k ≥ 1");
         let family = HashFamily::new(k, seed);
@@ -123,17 +133,23 @@ impl MinHashCollection {
                 }
             });
         }
-        MinHashCollection { sigs, k, family }
+        MinHashCollectionIn {
+            sigs: Cow::Owned(sigs),
+            k,
+            family,
+        }
     }
 
     /// Reconstructs a collection from an already-materialized flat
-    /// signature array (the snapshot load path). `sigs` must hold a whole
-    /// number of `k`-slot signatures produced under the same `(k, seed)`
-    /// family; slots may carry the `u32::MAX` empty sentinel.
-    pub fn from_raw_sigs(sigs: Vec<u32>, k: usize, seed: u64) -> Self {
+    /// signature array (the snapshot load path; owned `Vec<u32>` or
+    /// borrowed `&'a [u32]`). `sigs` must hold a whole number of `k`-slot
+    /// signatures produced under the same `(k, seed)` family; slots may
+    /// carry the `u32::MAX` empty sentinel.
+    pub fn from_raw_sigs(sigs: impl Into<Cow<'a, [u32]>>, k: usize, seed: u64) -> Self {
+        let sigs = sigs.into();
         assert!(k > 0, "MinHash needs k ≥ 1");
         assert_eq!(sigs.len() % k, 0, "signature array must hold whole sets");
-        MinHashCollection {
+        MinHashCollectionIn {
             sigs,
             k,
             family: HashFamily::new(k, seed),
@@ -150,10 +166,10 @@ impl MinHashCollection {
     /// Assembles one collection holding the concatenation of `parts`'
     /// signatures, in order — the serving layer's copy-on-publish path.
     /// All parts must share `k` and a common seed.
-    pub fn gather(parts: &[&Self]) -> Self {
+    pub fn gather(parts: &[&MinHashCollectionIn<'_>]) -> MinHashCollection {
         let first = parts.first().expect("gather needs at least one part");
-        let mut out = MinHashCollection {
-            sigs: Vec::new(),
+        let mut out = MinHashCollectionIn {
+            sigs: Cow::Owned(Vec::new()),
             k: first.k,
             family: first.family.clone(),
         };
@@ -163,11 +179,21 @@ impl MinHashCollection {
 
     /// In-place form of [`MinHashCollection::gather`], reusing `self`'s
     /// signature allocation (the double-buffer path).
-    pub fn gather_into(&mut self, parts: &[&Self]) {
-        self.sigs.clear();
+    pub fn gather_into(&mut self, parts: &[&MinHashCollectionIn<'_>]) {
+        let sigs = cow_clear(&mut self.sigs);
         for p in parts {
             assert_eq!(p.k, self.k, "gather: mismatched signature widths");
-            self.sigs.extend_from_slice(&p.sigs);
+            sigs.extend_from_slice(&p.sigs);
+        }
+    }
+
+    /// Detaches the collection from any borrowed snapshot buffer, cloning
+    /// the signatures if they were served in place. No-op for owned data.
+    pub fn into_owned(self) -> MinHashCollection {
+        MinHashCollectionIn {
+            sigs: Cow::Owned(self.sigs.into_owned()),
+            k: self.k,
+            family: self.family,
         }
     }
 
@@ -178,7 +204,7 @@ impl MinHashCollection {
     /// needed for the comparison — one recomputed hash of the stored min.
     pub fn insert(&mut self, i: usize, x: u32) {
         let k = self.k;
-        let window = &mut self.sigs[i * k..(i + 1) * k];
+        let window = &mut self.sigs.to_mut()[i * k..(i + 1) * k];
         for (t, slot) in window.iter_mut().enumerate() {
             let h = self.family.hash32(t, x as u64);
             let e = *slot;
@@ -211,7 +237,7 @@ impl MinHashCollection {
             return;
         }
         let k = self.k;
-        let window = &mut self.sigs[i * k..(i + 1) * k];
+        let window = &mut self.sigs.to_mut()[i * k..(i + 1) * k];
         let mut best: Vec<u32> = window
             .iter()
             .enumerate()

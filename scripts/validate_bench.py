@@ -14,7 +14,8 @@ path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernels.json"
 d = json.load(open(path))
 
 for key in ("workload", "sketch_params", "host", "ns_per_edge", "fused_vs_naive", "row_batch",
-            "dispatch", "tiling", "streaming", "streaming_removal", "snapshot", "serving"):
+            "dispatch", "tiling", "streaming", "streaming_removal", "snapshot", "serving",
+            "distributed"):
     assert key in d, f"missing section: {key}"
 
 host = d["host"]
@@ -165,6 +166,47 @@ if wl["threads"] >= 4:
     assert sv["mixed_vs_serial_4shard"] >= 1.17, \
         f"serving 4-shard mixed no longer beats serial: {sv['mixed_vs_serial_4shard']}"
 
+dx = d["distributed"]
+dwl = dx.get("workload", {})
+assert isinstance(dwl.get("graph"), str), "distributed.workload.graph"
+for field in ("n", "m"):
+    assert isinstance(dwl.get(field), int), f"distributed.workload.{field}"
+    assert dwl[field] > 0, f"distributed.workload.{field} must be positive"
+assert dx.get("budget_base") == "oriented_dag_bytes", \
+    "distributed.budget_base: the s=25% budget is defined against the oriented DAG footprint"
+for rep in ("bf", "onehash"):
+    cells = dx.get(rep)
+    assert cells is not None, f"missing distributed.{rep}"
+    for parts in ("parts2", "parts4", "parts16"):
+        e = cells.get(parts)
+        assert e is not None, f"missing distributed.{rep}.{parts}"
+        for field in ("measured_sketch_bytes", "measured_exact_bytes",
+                      "model_sketch_bytes", "model_exact_bytes"):
+            assert isinstance(e.get(field), int), f"distributed.{rep}.{parts}.{field}"
+            assert e[field] > 0, f"distributed.{rep}.{parts}.{field} must be positive"
+        for field in ("measured_reduction", "distributed_tc", "single_process_tc"):
+            assert isinstance(e.get(field), (int, float)), f"distributed.{rep}.{parts}.{field}"
+        # The distributed count must equal the single-process estimate
+        # BIT-FOR-BIT: both sides sum per-part partials in part order over
+        # deterministically rebuilt sketches, so any drift is a real
+        # exchange bug, never float noise.
+        assert e["distributed_tc"] == e["single_process_tc"], \
+            f"distributed.{rep}.{parts}: multi-process TC diverged from single-process"
+        # The corrected model must track the socket within 10%; it is
+        # byte-exact on the committed file, so 10% only absorbs future
+        # wire-format slack, not a wrong dedupe or wire-size formula.
+        for kind in ("sketch", "exact"):
+            model, measured = e[f"model_{kind}_bytes"], e[f"measured_{kind}_bytes"]
+            err = abs(model - measured) / max(measured, 1)
+            assert err <= 0.10, \
+                f"distributed.{rep}.{parts}: model {kind} bytes off by {err:.1%}"
+# Headline gate (paper §VIII-F): Bloom s=25% at 4 parts must cut measured
+# communication at least 2x vs shipping exact N+ rows. OneHash is reported
+# but not gated here — its honest wire cost (8 B/element) is exactly what
+# the old 4*k model hid.
+bf4 = dx["bf"]["parts4"]["measured_reduction"]
+assert bf4 >= 2.0, f"distributed.bf.parts4 measured reduction below 2x: {bf4}"
+
 print(f"{path} ok:", {k: round(v["speedup"], 3) for k, v in rb.items()},
       "| tiling tiled-vs-multi:",
       {k: round(v["speedup"], 2) for k, v in ti.items() if isinstance(v.get("speedup"), (int, float))},
@@ -176,4 +218,7 @@ print(f"{path} ok:", {k: round(v["speedup"], 3) for k, v in rb.items()},
       {k: round(v["load_vs_build"], 1) for k, v in sn.items()},
       "| serving vs serial (threads=%d):" % wl["threads"],
       {"1shard_mix10": round(sv["mixed_vs_serial_1shard"], 2),
-       "4shard_mix50": round(sv["mixed_vs_serial_4shard"], 2)})
+       "4shard_mix50": round(sv["mixed_vs_serial_4shard"], 2)},
+      "| distributed reduction:",
+      {f"{rep}_{p}": round(dx[rep][f"parts{p}"]["measured_reduction"], 2)
+       for rep in ("bf", "onehash") for p in (2, 4, 16)})

@@ -1,0 +1,140 @@
+//! Zero-copy load equivalence: validating a snapshot **in place** — from
+//! an aligned byte buffer or an mmapped file — must serve estimates
+//! bit-identical to the copying loader, for every representation variant
+//! the suite tracks (bf1, bf2, bf2_limit, bf2_or, cbf, khash, onehash,
+//! kmv, hll).
+
+use probgraph::{
+    AlignedBytes, BfEstimator, IntersectionOracle, OracleVisitor, PgConfig, ProbGraph, ProbGraphIn,
+    Representation,
+};
+
+use pg_graph::{gen, orient_by_degree, OrientedDag};
+
+fn variants() -> Vec<(&'static str, PgConfig)> {
+    vec![
+        ("bf1", PgConfig::new(Representation::Bloom { b: 1 }, 0.25)),
+        ("bf2", PgConfig::new(Representation::Bloom { b: 2 }, 0.25)),
+        (
+            "bf2_limit",
+            PgConfig::new(Representation::Bloom { b: 2 }, 0.25)
+                .with_bf_estimator(BfEstimator::Limit),
+        ),
+        (
+            "bf2_or",
+            PgConfig::new(Representation::Bloom { b: 2 }, 0.25).with_bf_estimator(BfEstimator::Or),
+        ),
+        (
+            "cbf",
+            PgConfig::new(Representation::CountingBloom { b: 2 }, 0.25),
+        ),
+        ("khash", PgConfig::new(Representation::KHash, 0.25)),
+        ("onehash", PgConfig::new(Representation::OneHash, 0.25)),
+        ("kmv", PgConfig::new(Representation::Kmv, 0.25)),
+        ("hll", PgConfig::new(Representation::Hll, 0.25)),
+    ]
+}
+
+/// Sequential triangle-count sweep — deterministic accumulation order, so
+/// equal sketches produce equal bits.
+fn seq_tc(dag: &OrientedDag, pg: &ProbGraphIn<'_>) -> f64 {
+    struct V<'a>(&'a OrientedDag);
+    impl OracleVisitor for V<'_> {
+        type Output = f64;
+        fn visit<O: IntersectionOracle>(self, o: &O) -> f64 {
+            let mut acc = 0.0f64;
+            let mut row = Vec::new();
+            for v in 0..self.0.num_vertices() {
+                o.estimate_row(v as u32, self.0.neighbors_plus(v as u32), &mut row);
+                acc += row.iter().fold(0.0f64, |s, &e| s + e.max(0.0));
+            }
+            acc
+        }
+    }
+    pg.with_oracle(V(dag))
+}
+
+fn assert_same(name: &str, how: &str, dag: &OrientedDag, a: &ProbGraphIn<'_>, b: &ProbGraphIn<'_>) {
+    assert_eq!(a.len(), b.len(), "{name}/{how}: set count");
+    assert_eq!(a.sizes(), b.sizes(), "{name}/{how}: sizes");
+    assert_eq!(a.params(), b.params(), "{name}/{how}: params");
+    assert_eq!(a.seed(), b.seed(), "{name}/{how}: seed");
+    let ta = seq_tc(dag, a);
+    let tb = seq_tc(dag, b);
+    assert_eq!(
+        ta.to_bits(),
+        tb.to_bits(),
+        "{name}/{how}: TC sweep differs: {ta} vs {tb}"
+    );
+    // Spot-check pairwise estimates too (different code path than rows).
+    let n = a.len() as u32;
+    for (u, v) in [(0, 1), (1, 2), (3, n - 1), (n / 2, n / 3)] {
+        let ea = a.estimate_intersection(u, v);
+        let eb = b.estimate_intersection(u, v);
+        assert_eq!(
+            ea.to_bits(),
+            eb.to_bits(),
+            "{name}/{how}: estimate({u},{v})"
+        );
+    }
+}
+
+#[test]
+fn borrowed_and_mmap_loads_match_copying_loader_bitwise() {
+    let g = gen::kronecker(8, 8, 7);
+    let dag = orient_by_degree(&g);
+    for (name, cfg) in variants() {
+        let pg = ProbGraph::build_dag(&dag, g.memory_bytes(), &cfg);
+        let bytes = pg.snapshot_to_bytes();
+
+        // Copying loader: the baseline.
+        let copied = ProbGraph::from_snapshot_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("{name}: copying load failed: {e}"));
+        assert_same(name, "copied-vs-built", &dag, &pg, &copied);
+
+        // Borrowed loader over an aligned receive buffer: validates and
+        // serves in place, no array copies.
+        let buf = AlignedBytes::copy_from(&bytes);
+        let borrowed = ProbGraphIn::from_snapshot_bytes_borrowed(&buf)
+            .unwrap_or_else(|e| panic!("{name}: borrowed load failed: {e}"));
+        assert_same(name, "borrowed-vs-copied", &dag, &copied, &borrowed);
+
+        // Mmap loader: the same borrowed decode over a mapped file.
+        #[cfg(unix)]
+        {
+            let path = std::env::temp_dir().join(format!(
+                "pg_borrowed_equiv_{name}_{}.snap",
+                std::process::id()
+            ));
+            pg.save_snapshot(&path)
+                .unwrap_or_else(|e| panic!("{name}: save failed: {e}"));
+            let mapping = probgraph::load_snapshot_mmap(&path)
+                .unwrap_or_else(|e| panic!("{name}: mmap load failed: {e}"));
+            let mapped = mapping.graph().expect("validated at load time");
+            assert_same(name, "mmap-vs-copied", &dag, &copied, &mapped);
+            drop(mapped);
+            drop(mapping);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+#[test]
+fn unaligned_borrowed_load_still_matches() {
+    // Shift the payload by one byte so every section is misaligned; the
+    // borrowed loader must fall back to copying those arrays and still
+    // produce identical estimates.
+    let g = gen::kronecker(7, 8, 11);
+    let dag = orient_by_degree(&g);
+    for (name, cfg) in variants() {
+        let pg = ProbGraph::build_dag(&dag, g.memory_bytes(), &cfg);
+        let bytes = pg.snapshot_to_bytes();
+        let copied = ProbGraph::from_snapshot_bytes(&bytes).unwrap();
+
+        let mut shifted = vec![0u8; bytes.len() + 1];
+        shifted[1..].copy_from_slice(&bytes);
+        let borrowed = ProbGraphIn::from_snapshot_bytes_borrowed(&shifted[1..])
+            .unwrap_or_else(|e| panic!("{name}: unaligned borrowed load failed: {e}"));
+        assert_same(name, "unaligned-vs-copied", &dag, &copied, &borrowed);
+    }
+}

@@ -319,12 +319,16 @@ fn checksum_valid_semantic_corruption_hits_invariant_checks() {
     let g = graph();
     let mut panics = 0usize;
 
-    // Helper: corrupt payload bytes of section `idx`, fix every checksum,
-    // and expect the given check to fire.
-    let corrupt = |cfg: &PgConfig, idx: usize, edit: &dyn Fn(&mut [u8])| -> SnapshotError {
+    // Helper: corrupt payload bytes of the section holding `kind`, fix
+    // every checksum, and expect the given check to fire. Sections are
+    // found by tag, not position, so this survives layout reorderings.
+    let corrupt = |cfg: &PgConfig, kind: SectionKind, edit: &dyn Fn(&mut [u8])| -> SnapshotError {
         let pg = ProbGraph::build(&g, cfg);
         let mut bytes = pg.snapshot_to_bytes();
-        let (_, start, end) = payload_spans(&bytes)[idx];
+        let (_, start, end) = *payload_spans(&bytes)
+            .iter()
+            .find(|&&(tag, ..)| tag == kind as u32)
+            .unwrap_or_else(|| panic!("snapshot has no {kind:?} section"));
         edit(&mut bytes[start..end]);
         refresh_checksums(&mut bytes);
         ProbGraph::from_snapshot_bytes(&bytes).expect_err("corruption must not load")
@@ -332,7 +336,7 @@ fn checksum_valid_semantic_corruption_hits_invariant_checks() {
 
     // Bloom: flip a filter bit → the persisted popcount cache disagrees.
     let cfg = PgConfig::new(Representation::Bloom { b: 2 }, 0.3);
-    match corrupt(&cfg, 1, &|p| p[0] ^= 1) {
+    match corrupt(&cfg, SectionKind::BloomWords, &|p| p[0] ^= 1) {
         SnapshotError::InvariantViolation { section, .. } => {
             assert_eq!(section, SectionKind::BloomOnes)
         }
@@ -342,7 +346,7 @@ fn checksum_valid_semantic_corruption_hits_invariant_checks() {
     // CBF: zero the counters → the derived view (all clear) no longer
     // matches the persisted one.
     let cfg = PgConfig::new(Representation::CountingBloom { b: 2 }, 0.3);
-    match corrupt(&cfg, 1, &|p| p.fill(0)) {
+    match corrupt(&cfg, SectionKind::CbfCounters, &|p| p.fill(0)) {
         SnapshotError::InvariantViolation { section, .. } => {
             assert_eq!(section, SectionKind::CbfView)
         }
@@ -351,7 +355,7 @@ fn checksum_valid_semantic_corruption_hits_invariant_checks() {
 
     // Bottom-k: rewrite an element → its stored hash no longer matches.
     let cfg = PgConfig::new(Representation::OneHash, 0.3);
-    match corrupt(&cfg, 1, &|p| p[0] = p[0].wrapping_add(1)) {
+    match corrupt(&cfg, SectionKind::BkElems, &|p| p[0] = p[0].wrapping_add(1)) {
         SnapshotError::InvariantViolation { section, .. } => {
             assert!(
                 section == SectionKind::BkHashes || section == SectionKind::BkElems,
@@ -363,7 +367,9 @@ fn checksum_valid_semantic_corruption_hits_invariant_checks() {
 
     // KMV: push a hash outside (0, 1].
     let cfg = PgConfig::new(Representation::Kmv, 0.3);
-    match corrupt(&cfg, 3, &|p| p[..8].copy_from_slice(&2.0f64.to_le_bytes())) {
+    match corrupt(&cfg, SectionKind::KmvHashes, &|p| {
+        p[..8].copy_from_slice(&2.0f64.to_le_bytes())
+    }) {
         SnapshotError::InvariantViolation { section, .. } => {
             assert_eq!(section, SectionKind::KmvHashes)
         }
@@ -372,7 +378,7 @@ fn checksum_valid_semantic_corruption_hits_invariant_checks() {
 
     // HLL: a register above the maximum possible rank.
     let cfg = PgConfig::new(Representation::Hll, 0.3);
-    match corrupt(&cfg, 1, &|p| p[3] = 0xFF) {
+    match corrupt(&cfg, SectionKind::HllRegisters, &|p| p[3] = 0xFF) {
         SnapshotError::InvariantViolation { section, .. } => {
             assert_eq!(section, SectionKind::HllRegisters)
         }
