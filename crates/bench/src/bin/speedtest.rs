@@ -40,7 +40,11 @@
 //! across 1/2/4 shard lanes at 0/10/50 % write mixes. The
 //! serial-vs-serving ratios are gated in CI conditionally on the
 //! recorded thread count — a single-CPU runner time-slices the threads
-//! and can only lose.
+//! and can only lose. A `stratified` section compares degree-stratified
+//! against uniform sketch plans at the same storage budget on a fixed
+//! skewed Chung-Lu workload: TC relative error, sweep runtime, and
+//! snapshot bytes per plan, gated in CI for bf2 (stratified error must
+//! beat uniform; runtime within the 0.90 noise floor).
 //!
 //! Honors `PG_SCALE` (dataset down-scale, default 1 = full size) and
 //! `PG_REPS` (timing repetitions, default 5). Writes `BENCH_kernels.json`
@@ -1189,6 +1193,90 @@ fn main() {
         "serving_vs_serial"
     );
 
+    // --- stratified: degree-stratified budgets vs the uniform plan ---------
+    // Fixed skewed workload (independent of PG_SCALE so the cell is
+    // comparable across runs): a Chung-Lu power-law graph, degree-oriented,
+    // triangle-counted. Both plans spend the same storage budget; the
+    // stratified plan gives the top-5% highest-degree vertices 2x-width
+    // sketches paid for by narrowing the tail. Gated in CI for bf2
+    // (validate_bench.py): the stratified TC relative error must not exceed
+    // uniform's, and `runtime_ratio` (uniform ms / stratified ms) must stay
+    // >= 0.90 — the heterogeneous row sweep must price within the usual
+    // noise floor of the uniform kernel. kmv rides along informationally
+    // (its coarse k granularity can collapse the plan to one stratum).
+    struct StratCell {
+        relerr: f64,
+        ms: f64,
+        snapshot_bytes: u64,
+        n_strata: usize,
+    }
+    struct StratEntry {
+        name: &'static str,
+        uniform: StratCell,
+        stratified: StratCell,
+        runtime_ratio: f64,
+    }
+    let strat_n: usize = 8192;
+    let strat_m: usize = 131_072;
+    let strat_gamma = 2.0;
+    let strat_seed = 7;
+    let strat_budget = 0.15;
+    let strat_spec = pg_sketch::StrataSpec::new(vec![0.05], vec![2, 1]);
+    let sgraph = pg_graph::gen::chung_lu(strat_n, strat_m, strat_gamma, strat_seed);
+    let sdag = pg_graph::orient_by_degree(&sgraph);
+    let strat_exact = probgraph::algorithms::triangles::count_exact_on_dag(&sdag) as f64;
+    let mut stratified_entries: Vec<StratEntry> = Vec::new();
+    {
+        let dir = std::env::temp_dir().join(format!("pg_speedtest_strat_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create stratified bench dir");
+        let measure = |cfg: &PgConfig, tag: &str| -> StratCell {
+            let pg = ProbGraph::build_dag(&sdag, sgraph.memory_bytes(), cfg);
+            let timed = time_median(reps, || {
+                black_box(probgraph::algorithms::triangles::count_approx_on_dag(
+                    &sdag, &pg,
+                ))
+            });
+            let est = probgraph::algorithms::triangles::count_approx_on_dag(&sdag, &pg);
+            let path = dir.join(format!("{tag}.pgsnap"));
+            pg.save_snapshot(&path).expect("save stratified snapshot");
+            let snapshot_bytes = std::fs::metadata(&path).expect("stat snapshot").len();
+            StratCell {
+                relerr: (est / strat_exact - 1.0).abs(),
+                ms: timed.seconds * 1e3,
+                snapshot_bytes,
+                n_strata: pg.stratified_params().map_or(1, |sp| sp.n_strata()),
+            }
+        };
+        for (name, rep) in [
+            ("bf2", Representation::Bloom { b: 2 }),
+            ("kmv", Representation::Kmv),
+        ] {
+            let uniform = measure(
+                &PgConfig::new(rep, strat_budget),
+                &format!("{name}_uniform"),
+            );
+            let stratified = measure(
+                &PgConfig::stratified(rep, strat_budget, strat_spec.clone()),
+                &format!("{name}_strat"),
+            );
+            let runtime_ratio = uniform.ms / stratified.ms;
+            println!(
+                "{:>22}: relerr {:.4} -> {:.4} | runtime ratio {runtime_ratio:.2} | strata {}",
+                format!("stratified_{name}"),
+                uniform.relerr,
+                stratified.relerr,
+                stratified.n_strata
+            );
+            stratified_entries.push(StratEntry {
+                name,
+                uniform,
+                stratified,
+                runtime_ratio,
+            });
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     // --- machine-readable emission ---------------------------------------
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -1341,6 +1429,30 @@ fn main() {
     json.push_str(&format!(
         "    \"mixed_vs_serial_4shard\": {serving_r4:.3}\n"
     ));
+    json.push_str("  },\n");
+    json.push_str("  \"stratified\": {\n");
+    json.push_str(&format!(
+        "    \"workload\": {{\"model\": \"chung_lu\", \"n\": {strat_n}, \"m\": {strat_m}, \"gamma\": {strat_gamma}, \"seed\": {strat_seed}, \"budget\": {strat_budget}, \"spec\": \"top5pct_x2\", \"exact_tc\": {strat_exact}}},\n"
+    ));
+    for (i, e) in stratified_entries.iter().enumerate() {
+        let comma = if i + 1 == stratified_entries.len() {
+            ""
+        } else {
+            ","
+        };
+        json.push_str(&format!(
+            "    \"{}\": {{\"uniform\": {{\"relerr\": {:.4}, \"ms\": {:.3}, \"snapshot_bytes\": {}}}, \"stratified\": {{\"relerr\": {:.4}, \"ms\": {:.3}, \"snapshot_bytes\": {}, \"n_strata\": {}}}, \"runtime_ratio\": {:.3}}}{comma}\n",
+            e.name,
+            e.uniform.relerr,
+            e.uniform.ms,
+            e.uniform.snapshot_bytes,
+            e.stratified.relerr,
+            e.stratified.ms,
+            e.stratified.snapshot_bytes,
+            e.stratified.n_strata,
+            e.runtime_ratio
+        ));
+    }
     json.push_str("  }\n");
     json.push_str("}\n");
     let path = "BENCH_kernels.json";

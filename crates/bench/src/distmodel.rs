@@ -30,7 +30,7 @@
 //! prediction matches the measured byte count exactly.
 
 use pg_graph::{CsrGraph, OrientedDag, VertexId};
-use pg_sketch::SketchParams;
+use pg_sketch::{SketchParams, StratifiedParams};
 use probgraph::pg::BfEstimator;
 use probgraph::ProbGraph;
 
@@ -130,6 +130,74 @@ pub fn wire_cost(params: SketchParams, est: BfEstimator, seed: u64) -> WireCost 
     }
 }
 
+/// Wire-format cost coefficients of one **stratified** snapshot payload:
+/// the fixed overhead covers the per-payload stratum parameter table, and
+/// the per-set/per-element marginals are **per stratum** — a shipped
+/// vertex is charged its own stratum's bytes, not a uniform average.
+/// Probed from the serializer exactly like [`WireCost`].
+#[derive(Clone, Debug)]
+pub struct StratifiedWireCost {
+    /// Header + section table + stratum parameter table of an empty
+    /// stratified snapshot.
+    pub fixed_per_payload: u64,
+    /// Marginal bytes per additional empty set, by stratum (includes the
+    /// set's assignment byte).
+    pub per_set: Vec<u64>,
+    /// Marginal bytes per stored element, by stratum.
+    pub per_elem: Vec<u64>,
+    /// Stored elements cap per set, by stratum (0 = none).
+    pub elem_cap: Vec<usize>,
+}
+
+impl StratifiedWireCost {
+    /// Stored elements for a row of `degree` neighbors in stratum `j`.
+    pub fn capped_elems(&self, j: usize, degree: usize) -> u64 {
+        if self.per_elem[j] == 0 {
+            0
+        } else {
+            degree.min(self.elem_cap[j]) as u64
+        }
+    }
+}
+
+/// Derives the [`StratifiedWireCost`] of a resolved per-set geometry by
+/// serializing micro snapshots through `build_rows_stratified` +
+/// `snapshot_to_bytes` — one (empty set, single-element set) probe pair
+/// per stratum against the zero-set baseline, so every stratum's marginal
+/// comes from the real wire format of the full stratum table.
+pub fn stratified_wire_cost(
+    sp: &StratifiedParams,
+    est: BfEstimator,
+    seed: u64,
+) -> StratifiedWireCost {
+    let snap_len = |assign: Vec<u8>, rows: &[&[u32]]| -> u64 {
+        let sub = StratifiedParams::new(sp.strata().to_vec(), assign);
+        let pg = ProbGraph::build_rows_stratified(rows.len(), sub, est, seed, |i| rows[i]);
+        pg.snapshot_to_bytes().len() as u64
+    };
+    let b00 = snap_len(Vec::new(), &[]);
+    let n_strata = sp.n_strata();
+    let mut per_set = Vec::with_capacity(n_strata);
+    let mut per_elem = Vec::with_capacity(n_strata);
+    let mut elem_cap = Vec::with_capacity(n_strata);
+    for j in 0..n_strata {
+        let bj0 = snap_len(vec![j as u8], &[&[]]);
+        let bj1 = snap_len(vec![j as u8], &[&[7]]);
+        per_set.push(bj0 - b00);
+        per_elem.push(bj1 - bj0);
+        elem_cap.push(match sp.strata()[j] {
+            SketchParams::OneHash { k } | SketchParams::Kmv { k } => k,
+            _ => 0,
+        });
+    }
+    StratifiedWireCost {
+        fixed_per_payload: b00,
+        per_set,
+        per_elem,
+        elem_cap,
+    }
+}
+
 /// Per-pair ship-set statistics: the deduplicated boundary rows `q` must
 /// send `r` and their degree mass.
 #[derive(Clone, Copy, Debug, Default)]
@@ -215,6 +283,60 @@ pub fn model_pair_bytes(
     (sketch, exact)
 }
 
+/// Stratified sibling of [`model_pair_bytes`]: each shipped vertex is
+/// charged **its own stratum's** per-set and per-element wire bytes
+/// (`sp.assign()[u]` picks the stratum), mirroring the heterogeneous
+/// payloads the exchange actually serializes. The exact baseline is
+/// unchanged — stratification only reshapes the sketch side.
+pub fn model_pair_bytes_stratified(
+    dag: &OrientedDag,
+    parts: &[u32],
+    p: usize,
+    sp: &StratifiedParams,
+    cost: &StratifiedWireCost,
+    chunk_sets: usize,
+) -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
+    let chunk = chunk_sets.max(1) as u64;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); p * p];
+    for v in 0..dag.num_vertices() {
+        let r = parts[v] as usize;
+        for &u in dag.neighbors_plus(v as VertexId) {
+            let q = parts[u as usize] as usize;
+            if q != r {
+                buckets[q * p + r].push(u);
+            }
+        }
+    }
+    let mut sketch = vec![vec![0u64; p]; p];
+    let mut exact = vec![vec![0u64; p]; p];
+    for (idx, b) in buckets.iter_mut().enumerate() {
+        let (q, r) = (idx / p, idx % p);
+        if q == r {
+            continue;
+        }
+        b.sort_unstable();
+        b.dedup();
+        if b.is_empty() {
+            sketch[q][r] = FRAME_OVERHEAD;
+            exact[q][r] = FRAME_OVERHEAD;
+            continue;
+        }
+        let sets = b.len() as u64;
+        let n_chunks = sets.div_ceil(chunk);
+        let mut sketch_bytes = n_chunks * (FRAME_OVERHEAD + cost.fixed_per_payload);
+        let mut elems_raw = 0u64;
+        for &u in b.iter() {
+            let j = sp.assign()[u as usize] as usize;
+            let d = dag.out_degree(u);
+            sketch_bytes += cost.per_set[j] + cost.per_elem[j] * cost.capped_elems(j, d);
+            elems_raw += d as u64;
+        }
+        sketch[q][r] = sketch_bytes;
+        exact[q][r] = n_chunks * (FRAME_OVERHEAD + EXACT_PAYLOAD_FIXED) + 4 * sets + 4 * elems_raw;
+    }
+    (sketch, exact)
+}
+
 /// Models one neighborhood-exchange round over the oriented DAG: total
 /// predicted bytes for the sketch round and the exact-adjacency baseline,
 /// shipping each boundary vertex **once per (vertex, remote part)**.
@@ -234,7 +356,8 @@ pub fn model_volume(
 
 /// Convenience: the model for a graph sketched under `cfg`-style inputs —
 /// orients the graph by degree (the TC/4-clique orientation the exchange
-/// uses) and probes the wire cost of the resolved parameters.
+/// uses) and probes the wire cost of the resolved parameters. Stratified
+/// graphs route through the per-stratum probes and per-vertex charging.
 pub fn model_volume_for(
     g: &CsrGraph,
     pg: &ProbGraph,
@@ -243,6 +366,14 @@ pub fn model_volume_for(
     chunk_sets: usize,
 ) -> CommVolume {
     let dag = pg_graph::orient_by_degree(g);
+    if let Some(sp) = pg.stratified_params() {
+        let cost = stratified_wire_cost(sp, pg.bf_estimator(), pg.seed());
+        let (sketch, exact) = model_pair_bytes_stratified(&dag, parts, p, sp, &cost, chunk_sets);
+        return CommVolume {
+            exact_bytes: exact.iter().flatten().sum(),
+            sketch_bytes: sketch.iter().flatten().sum(),
+        };
+    }
     let cost = wire_cost(pg.params(), pg.bf_estimator(), pg.seed());
     model_volume(&dag, parts, p, &cost, chunk_sets)
 }
@@ -393,6 +524,70 @@ mod tests {
             rs > rl,
             "smaller sketches must model a larger reduction: {rs} vs {rl}"
         );
+    }
+
+    #[test]
+    fn stratified_wire_cost_probes_per_stratum_marginals() {
+        use pg_sketch::StrataSpec;
+        let g = gen::erdos_renyi_gnm(800, 24_000, 3);
+        let cfg = PgConfig::stratified(Representation::OneHash, 0.3, StrataSpec::skewed_default());
+        let pg = ProbGraph::build(&g, &cfg);
+        let sp = pg
+            .stratified_params()
+            .expect("collapsed to uniform")
+            .clone();
+        let cost = stratified_wire_cost(&sp, pg.bf_estimator(), pg.seed());
+        assert_eq!(cost.per_set.len(), sp.n_strata());
+        // Every stratum stores element + hash on the wire, and the wider
+        // stratum 0 cannot cap fewer elements than the base stratum.
+        for j in 0..sp.n_strata() {
+            assert_eq!(cost.per_elem[j], 8, "stratum {j}");
+            match sp.strata()[j] {
+                SketchParams::OneHash { k } => assert_eq!(cost.elem_cap[j], k),
+                other => panic!("unexpected stratum params {other:?}"),
+            }
+        }
+        assert!(cost.elem_cap[0] > *cost.elem_cap.last().unwrap());
+        // The stratified fixed overhead carries the stratum table on top
+        // of the uniform snapshot overhead.
+        let uniform = wire_cost(sp.strata()[0], pg.bf_estimator(), pg.seed());
+        assert!(cost.fixed_per_payload > uniform.fixed_per_payload);
+    }
+
+    /// Stratified sibling of the exact pinning test below: per-vertex,
+    /// per-stratum charging must reproduce the measured socket bytes of a
+    /// stratified exchange byte for byte.
+    #[cfg(unix)]
+    #[test]
+    fn stratified_model_matches_measured_exchange_bytes_exactly() {
+        use pg_sketch::StrataSpec;
+        use probgraph::exchange::{run_exchange, ExchangeOptions};
+        let g = gen::erdos_renyi_gnm(800, 24_000, 3);
+        let dag = orient_by_degree(&g);
+        let n = dag.num_vertices();
+        for rep in [Representation::Bloom { b: 2 }, Representation::OneHash] {
+            let cfg = PgConfig::stratified(rep, 0.3, StrataSpec::skewed_default());
+            let pg = ProbGraph::build_dag(&dag, g.memory_bytes(), &cfg);
+            let sp = pg
+                .stratified_params()
+                .unwrap_or_else(|| panic!("{rep:?}: collapsed to uniform"));
+            let parts = random_partition(n, 3, 7);
+            let opts = ExchangeOptions {
+                chunk_sets: 64,
+                ..ExchangeOptions::default()
+            };
+            let report = run_exchange(&dag, &pg, &parts, 3, &opts).expect("exchange runs");
+            let cost = stratified_wire_cost(sp, pg.bf_estimator(), pg.seed());
+            let (sketch, exact) = model_pair_bytes_stratified(&dag, &parts, 3, sp, &cost, 64);
+            assert_eq!(
+                sketch, report.sketch_pair_bytes,
+                "{rep:?}: modeled stratified sketch bytes diverge from the socket"
+            );
+            assert_eq!(
+                exact, report.exact_pair_bytes,
+                "{rep:?}: modeled exact bytes diverge from the socket"
+            );
+        }
     }
 
     /// The pinning test the whole module exists for: the model's per-pair

@@ -77,7 +77,7 @@ use std::os::unix::net::UnixStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
-use pg_sketch::SketchParams;
+use pg_sketch::{SketchParams, StratifiedParams};
 
 /// Frame magic: "PGXF" (ProbGraph eXchange Frame).
 pub const FRAME_MAGIC: [u8; 4] = *b"PGXF";
@@ -606,6 +606,11 @@ struct Ctx<'a> {
     dag: &'a OrientedDag,
     p: usize,
     params: SketchParams,
+    /// Full per-set geometry when the coordinator's graph is
+    /// degree-stratified; workers slice the global assignment over
+    /// whatever rows they rebuild, so every sub-store row stays
+    /// bit-identical to the coordinator's.
+    stratified: Option<&'a StratifiedParams>,
     est: BfEstimator,
     seed: u64,
     opts: &'a ExchangeOptions,
@@ -613,6 +618,31 @@ struct Ctx<'a> {
     ship: &'a [Vec<Vec<u32>>],
     /// `owned[r]` = ascending list of vertices assigned to part `r`.
     owned: &'a [Vec<u32>],
+}
+
+impl Ctx<'_> {
+    /// Rebuilds the sub-store for an arbitrary row subset `rows` under the
+    /// coordinator's geometry: uniform rows go through
+    /// [`ProbGraph::build_rows`]; stratified rows slice the global
+    /// assignment while sharing the stratum table, so each row's sketch is
+    /// bit-identical to the coordinator's row for the same vertex.
+    fn build_rows_of(&self, rows: &[u32]) -> ProbGraph {
+        match self.stratified {
+            Some(sp) => ProbGraph::build_rows_stratified(
+                rows.len(),
+                StratifiedParams::new(
+                    sp.strata().to_vec(),
+                    rows.iter().map(|&u| sp.assign()[u as usize]).collect(),
+                ),
+                self.est,
+                self.seed,
+                |i| self.dag.neighbors_plus(rows[i]),
+            ),
+            None => ProbGraph::build_rows(rows.len(), self.params, self.est, self.seed, |i| {
+                self.dag.neighbors_plus(rows[i])
+            }),
+        }
+    }
 }
 
 /// Runs one distributed neighborhood-exchange round with `p` forked
@@ -653,6 +683,7 @@ pub fn run_exchange(
         dag,
         p,
         params: pg.params(),
+        stratified: pg.stratified_params(),
         est: pg.bf_estimator(),
         seed: pg.seed(),
         opts,
@@ -879,9 +910,7 @@ fn worker_run(
         }
     }
 
-    let own_pg = ProbGraph::build_rows(my.len(), ctx.params, ctx.est, ctx.seed, |i| {
-        ctx.dag.neighbors_plus(my[i])
-    });
+    let own_pg = ctx.build_rows_of(my);
 
     // Pre-encode every outgoing payload so the exchange loop is pure I/O.
     let mut out_sketch: Vec<Vec<Vec<u8>>> = vec![Vec::new(); p];
@@ -891,9 +920,7 @@ fn worker_run(
             continue;
         }
         for rows in ctx.ship[rr][q].chunks(chunk) {
-            let sub = ProbGraph::build_rows(rows.len(), ctx.params, ctx.est, ctx.seed, |i| {
-                ctx.dag.neighbors_plus(rows[i])
-            });
+            let sub = ctx.build_rows_of(rows);
             out_sketch[q].push(sub.snapshot_to_bytes());
             out_exact[q].push(encode_exact_rows(ctx.dag, rows));
         }
@@ -1011,7 +1038,19 @@ fn worker_run(
     gather_store_into(&mut store, &store_parts);
     let mut sizes = own_pg.sizes().to_vec();
     sizes.extend_from_slice(&remote_sizes);
-    let combined = ProbGraphIn::from_parts(store, sizes, ctx.est, ctx.params, ctx.seed);
+    // Re-slice the global assignment in the same owned-then-shipped order
+    // so the combined graph's geometry matches the gathered store.
+    let combined_strat = ctx.stratified.map(|sp| {
+        let mut assign: Vec<u8> = my.iter().map(|&v| sp.assign()[v as usize]).collect();
+        for q in 0..p {
+            if q != rr {
+                assign.extend(ctx.ship[q][rr].iter().map(|&u| sp.assign()[u as usize]));
+            }
+        }
+        StratifiedParams::new(sp.strata().to_vec(), assign)
+    });
+    let combined =
+        ProbGraphIn::from_parts(store, sizes, ctx.est, ctx.params, combined_strat, ctx.seed);
 
     let mut local_id = vec![u32::MAX; ctx.dag.num_vertices()];
     for (i, &v) in my.iter().enumerate() {
@@ -1099,6 +1138,42 @@ fn validate_remote_chunk(
             sub.len(),
             rows.len()
         ));
+    }
+    match (sub.stratified_params(), ctx.stratified) {
+        (None, None) => {}
+        (Some(got), Some(sp)) => {
+            if got.strata() != sp.strata() {
+                return fail(format!(
+                    "stratum table {:?} does not match {:?}",
+                    got.strata(),
+                    sp.strata()
+                ));
+            }
+            for (i, &u) in rows.iter().enumerate() {
+                if got.assign()[i] != sp.assign()[u as usize] {
+                    return fail(format!(
+                        "row {u} assigned stratum {}, expected {}",
+                        got.assign()[i],
+                        sp.assign()[u as usize]
+                    ));
+                }
+            }
+        }
+        (got, _) => {
+            return fail(format!(
+                "chunk stratification ({}) does not match the coordinator's ({})",
+                if got.is_some() {
+                    "stratified"
+                } else {
+                    "uniform"
+                },
+                if ctx.stratified.is_some() {
+                    "stratified"
+                } else {
+                    "uniform"
+                },
+            ));
+        }
     }
     for (i, &u) in rows.iter().enumerate() {
         if sub.set_size(i) != ctx.dag.out_degree(u) {

@@ -18,7 +18,7 @@
 
 use crate::intersect::intersect_card;
 use pg_graph::{CsrGraph, OrientedDag, VertexId};
-use pg_sketch::bitvec::and_count_words;
+use pg_sketch::bitvec::{and_count_words, and_count_words_multi};
 use pg_sketch::{
     estimators, BloomCollectionIn, BottomKCollectionIn, CountingBloomCollectionIn,
     HyperLogLogCollection, HyperLogLogCollectionIn, KmvCollectionIn, MinHashCollectionIn,
@@ -635,6 +635,23 @@ pub trait BloomStrategy: Send + Sync + 'static {
         j: usize,
         nj: u32,
     ) -> f64;
+
+    /// The estimator tail evaluated at stratum `s`'s geometry (width and
+    /// Swamidass curve) — the stratified row sweep's finisher. `row_ones`
+    /// and `dest_ones` are the two filters' popcounts **at the comparison
+    /// width**: the fold-returned popcounts when a filter was folded down,
+    /// the cached raw popcounts otherwise. Every strategy's value is
+    /// bit-identical to its pairwise [`estimate`](Self::estimate), whose
+    /// cross-stratum path computes exactly these folded statistics.
+    fn estimate_from_ones_at(
+        col: &BloomCollectionIn<'_>,
+        s: usize,
+        and_ones: usize,
+        row_ones: usize,
+        dest_ones: usize,
+        row_size: u32,
+        nj: u32,
+    ) -> f64;
 }
 
 /// `|X∩Y|̂_AND` (Eq. 2) — the paper's default.
@@ -663,6 +680,19 @@ impl BloomStrategy for BloomAnd {
     ) -> f64 {
         col.estimate_and_from_ones(and_ones)
     }
+
+    #[inline]
+    fn estimate_from_ones_at(
+        col: &BloomCollectionIn<'_>,
+        s: usize,
+        and_ones: usize,
+        _row_ones: usize,
+        _dest_ones: usize,
+        _row_size: u32,
+        _nj: u32,
+    ) -> f64 {
+        col.estimate_and_from_ones_at(s, and_ones)
+    }
 }
 
 impl BloomStrategy for BloomLimit {
@@ -680,6 +710,20 @@ impl BloomStrategy for BloomLimit {
         _j: usize,
         _nj: u32,
     ) -> f64 {
+        estimators::bf_intersect_limit(and_ones, col.num_hashes())
+    }
+
+    #[inline]
+    fn estimate_from_ones_at(
+        col: &BloomCollectionIn<'_>,
+        _s: usize,
+        and_ones: usize,
+        _row_ones: usize,
+        _dest_ones: usize,
+        _row_size: u32,
+        _nj: u32,
+    ) -> f64 {
+        // Eq. 4 depends only on `B_{X∩Y,1}` and `b` — width-free.
         estimators::bf_intersect_limit(and_ones, col.num_hashes())
     }
 }
@@ -702,6 +746,20 @@ impl BloomStrategy for BloomOr {
         let or_ones = row_ones + col.count_ones(j) - and_ones;
         (row_size + nj) as f64 - col.estimate_and_from_ones(or_ones)
     }
+
+    #[inline]
+    fn estimate_from_ones_at(
+        col: &BloomCollectionIn<'_>,
+        s: usize,
+        and_ones: usize,
+        row_ones: usize,
+        dest_ones: usize,
+        row_size: u32,
+        nj: u32,
+    ) -> f64 {
+        let or_ones = row_ones + dest_ones - and_ones;
+        (row_size + nj) as f64 - col.estimate_and_from_ones_at(s, or_ones)
+    }
 }
 
 /// Oracle over a [`BloomCollection`], specialized per estimator via the
@@ -720,6 +778,256 @@ impl<'a, S: BloomStrategy> BloomOracle<'a, S> {
             col,
             sizes,
             _strategy: PhantomData,
+        }
+    }
+
+    /// Row sweep over a stratified collection: destinations are grouped
+    /// into runs of equal stratum, each run compared at the narrower of
+    /// the run's and the source's width. Cross-width runs read
+    /// *precomputed* folded shadows from the lazily built
+    /// [`pg_sketch::BloomFoldCache`] — the source's shadow when the run
+    /// is narrower, the destinations' shadows when it is wider (the
+    /// common case under degree orientation, where destination lists are
+    /// hub-heavy) — so every run is an equal-width multi-lane window
+    /// pass and the sweep does no per-destination folding at all.
+    /// Values are bit-identical to the pairwise
+    /// [`IntersectionOracle::estimate`], whose cross-stratum path folds
+    /// the wider filter to exactly these shadow words.
+    fn estimate_row_stratified(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
+        debug_assert_eq!(us.len(), out.len());
+        let col = self.col;
+        let st = col
+            .strata()
+            .expect("stratified sweep on a uniform collection");
+        let widths = st.stratum_bits();
+        let i = v as usize;
+        let wi = col.bits_of(i);
+        let si = col.stratum_of(i);
+        let raw_row = col.words(i);
+        let raw_ones = col.count_ones(i);
+        let row_size = self.sizes[i];
+        if widths.iter().all(|&w| w as usize >= wi) {
+            // Narrowest-stratum source — the bulk of every row under a
+            // skewed assignment. No destination is narrower, so the whole
+            // row compares at the source's own width, and the fold
+            // cache's dense base view holds every destination at exactly
+            // that width in the flat uniform stride: one branch-free
+            // multi-lane pass with the uniform kernel's indexing, no run
+            // grouping (runs in hub-heavy destination lists are too
+            // short to fill lanes) and no per-destination geometry
+            // resolution.
+            return self.sweep_base_lanes(raw_row, raw_ones, row_size, si, us, out);
+        }
+        // Wider source: the comparison width varies with the destination's
+        // stratum, so walk the row in runs of equal destination stratum
+        // and dispatch each run as one equal-width multi-lane group.
+        let mut t = 0;
+        while t < us.len() {
+            let sj = col.stratum_of(us[t] as usize);
+            let mut e = t + 1;
+            while e < us.len() && col.stratum_of(us[e] as usize) == sj {
+                e += 1;
+            }
+            let wj = widths[sj] as usize;
+            if wj == wi {
+                // Equal widths (same stratum or an equal-width one): raw
+                // windows, tail at the source's stratum — the pairwise
+                // tie-break.
+                self.sweep_lanes(raw_row, raw_ones, row_size, si, &us[t..e], &mut out[t..e]);
+            } else if wj < wi {
+                let (row, ones) = self.fold_cache().shadow(i, si, sj);
+                self.sweep_lanes(row, ones, row_size, sj, &us[t..e], &mut out[t..e]);
+            } else {
+                self.sweep_shadow_lanes(
+                    raw_row,
+                    raw_ones,
+                    row_size,
+                    si,
+                    sj,
+                    &us[t..e],
+                    &mut out[t..e],
+                );
+            }
+            t = e;
+        }
+    }
+
+    /// The collection's lazily built fold-shadow cache (see
+    /// [`pg_sketch::BloomFoldCache`]): shared across oracles, so the
+    /// `O(store)` fold amortizes over the collection's (or epoch
+    /// snapshot's) lifetime, not one `with_oracle` dispatch.
+    #[inline]
+    fn fold_cache(&self) -> &pg_sketch::BloomFoldCache {
+        self.col.fold_cache()
+    }
+
+    /// Flat multi-lane sweep for a narrowest-stratum source over the fold
+    /// cache's dense base view: every destination window sits at
+    /// `j * base_words` in the view (equal-width filters are verbatim
+    /// copies, wider ones pre-folded), so the loop is the uniform sweep's
+    /// 4/2/1 lane split with plain strided indexing. Values are
+    /// bit-identical to the run-grouped path (the lane kernels are exact
+    /// and the view holds exactly the fold the pairwise path computes).
+    fn sweep_base_lanes(
+        &self,
+        row: &[u64],
+        row_ones: usize,
+        row_size: u32,
+        si: usize,
+        us: &[VertexId],
+        out: &mut [f64],
+    ) {
+        let col = self.col;
+        let cache = self.fold_cache();
+        let finish = |and_ones: usize, j: usize| {
+            S::estimate_from_ones_at(
+                col,
+                si,
+                and_ones,
+                row_ones,
+                cache.base_ones(j),
+                row_size,
+                self.sizes[j],
+            )
+        };
+        let mut t = 0;
+        while t + 4 <= us.len() {
+            let js = [
+                us[t] as usize,
+                us[t + 1] as usize,
+                us[t + 2] as usize,
+                us[t + 3] as usize,
+            ];
+            let ones = and_count_words_multi(row, js.map(|j| cache.base_window(j)));
+            for l in 0..4 {
+                out[t + l] = finish(ones[l], js[l]);
+            }
+            t += 4;
+        }
+        if t + 2 <= us.len() {
+            let js = [us[t] as usize, us[t + 1] as usize];
+            let ones = and_count_words_multi(row, js.map(|j| cache.base_window(j)));
+            for l in 0..2 {
+                out[t + l] = finish(ones[l], js[l]);
+            }
+            t += 2;
+        }
+        if t < us.len() {
+            let j = us[t] as usize;
+            out[t] = finish(and_count_words(row, cache.base_window(j)), j);
+        }
+    }
+
+    /// Multi-lane sweep of one wider-stratum destination run: the raw
+    /// pinned source `row` against the destinations' precomputed folded
+    /// shadows at the source's stratum `si` — the shadow-window twin of
+    /// [`BloomOracle::sweep_lanes`], same 4/2/1 lane split.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_shadow_lanes(
+        &self,
+        row: &[u64],
+        row_ones: usize,
+        row_size: u32,
+        si: usize,
+        sj: usize,
+        us: &[VertexId],
+        out: &mut [f64],
+    ) {
+        let col = self.col;
+        let cache = self.fold_cache();
+        let finish = |and_ones: usize, j: usize, dest_ones: usize| {
+            S::estimate_from_ones_at(
+                col,
+                si,
+                and_ones,
+                row_ones,
+                dest_ones,
+                row_size,
+                self.sizes[j],
+            )
+        };
+        let mut t = 0;
+        while t + 4 <= us.len() {
+            let js = [
+                us[t] as usize,
+                us[t + 1] as usize,
+                us[t + 2] as usize,
+                us[t + 3] as usize,
+            ];
+            let sh = js.map(|j| cache.shadow(j, sj, si));
+            let ones = and_count_words_multi(row, sh.map(|(w, _)| w));
+            for l in 0..4 {
+                out[t + l] = finish(ones[l], js[l], sh[l].1);
+            }
+            t += 4;
+        }
+        if t + 2 <= us.len() {
+            let js = [us[t] as usize, us[t + 1] as usize];
+            let sh = js.map(|j| cache.shadow(j, sj, si));
+            let ones = and_count_words_multi(row, sh.map(|(w, _)| w));
+            for l in 0..2 {
+                out[t + l] = finish(ones[l], js[l], sh[l].1);
+            }
+            t += 2;
+        }
+        if t < us.len() {
+            let j = us[t] as usize;
+            let (w, dest_ones) = cache.shadow(j, sj, si);
+            out[t] = finish(and_count_words(row, w), j, dest_ones);
+        }
+    }
+
+    /// Multi-lane fused sweep of one same-width destination run: the
+    /// (possibly folded) pinned source `row` against raw destination
+    /// windows — four lanes, then two, then scalar, mirroring the uniform
+    /// sweep's lane structure — with the estimator tails evaluated at
+    /// stratum `s`'s geometry.
+    fn sweep_lanes(
+        &self,
+        row: &[u64],
+        row_ones: usize,
+        row_size: u32,
+        s: usize,
+        us: &[VertexId],
+        out: &mut [f64],
+    ) {
+        let col = self.col;
+        let finish = |and_ones: usize, j: usize| {
+            S::estimate_from_ones_at(
+                col,
+                s,
+                and_ones,
+                row_ones,
+                col.count_ones(j),
+                row_size,
+                self.sizes[j],
+            )
+        };
+        let mut t = 0;
+        while t + 4 <= us.len() {
+            let js = [
+                us[t] as usize,
+                us[t + 1] as usize,
+                us[t + 2] as usize,
+                us[t + 3] as usize,
+            ];
+            let ones = col.and_ones_multi(row, js);
+            for l in 0..4 {
+                out[t + l] = finish(ones[l], js[l]);
+            }
+            t += 4;
+        }
+        if t + 2 <= us.len() {
+            let js = [us[t] as usize, us[t + 1] as usize];
+            let ones = col.and_ones_multi(row, js);
+            for l in 0..2 {
+                out[t + l] = finish(ones[l], js[l]);
+            }
+            t += 2;
+        }
+        if t < us.len() {
+            let j = us[t] as usize;
+            out[t] = finish(and_count_words(row, col.words(j)), j);
         }
     }
 }
@@ -752,6 +1060,11 @@ impl<S: BloomStrategy> IntersectionOracle for BloomOracle<'_, S> {
     #[inline]
     fn estimate_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
         debug_assert_eq!(us.len(), out.len());
+        if self.col.strata().is_some() {
+            // Variable-width destinations: the run-grouped stratified
+            // sweep (folded pinned rows, same-width multi-lane runs).
+            return self.estimate_row_stratified(v, us, out);
+        }
         let i = v as usize;
         let row = self.col.words(i);
         let row_ones = self.col.count_ones(i);
@@ -816,6 +1129,11 @@ impl<S: BloomStrategy> IntersectionOracle for BloomOracle<'_, S> {
 
     #[inline]
     fn dest_window_bytes(&self) -> Option<usize> {
+        if self.col.strata().is_some() {
+            // No single window stride exists under per-stratum widths; the
+            // tiling planner declines and kernels keep the plain row sweep.
+            return None;
+        }
         Some(self.col.words_per_set() * 8)
     }
 
@@ -839,6 +1157,16 @@ impl<S: BloomStrategy> IntersectionOracle for BloomOracle<'_, S> {
     ) {
         debug_assert_eq!(seg_offsets.len(), sources.len() + 1);
         debug_assert_eq!(us.len(), out.len());
+        if self.col.strata().is_some() {
+            // The tiled kernel needs the flat uniform stride (the planner
+            // declines stratified stores via `dest_window_bytes`, but a
+            // direct caller may still land here): per-segment row sweeps.
+            for (s, &v) in sources.iter().enumerate() {
+                let (lo, hi) = (seg_offsets[s], seg_offsets[s + 1]);
+                self.estimate_row_into(v, &us[lo..hi], &mut out[lo..hi]);
+            }
+            return;
+        }
         for (s, &v) in sources.iter().enumerate() {
             if let Some(&next) = sources.get(s + 1) {
                 pg_sketch::bitvec::prefetch_slice(self.col.words(next as usize));
@@ -905,16 +1233,18 @@ impl IntersectionOracle for KHashOracle<'_> {
     /// pinned once; destinations go two per fused compare sweep
     /// ([`MinHashCollection::matches_with_row_x2`] — `vpcmpeqd` against
     /// both destinations per source vector load on AVX-512), scalar
-    /// pinned matching on the odd tail.
+    /// pinned matching on the odd tail. Cross-stratum pairs compare (and
+    /// divide by) the shared slot prefix `min(k_i, k_j)` — the narrower
+    /// stratum's exact signature, by the hash family's prefix property.
     #[inline]
     fn estimate_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
         let i = v as usize;
         let row = self.col.signature(i);
         let ni = self.sizes[i] as usize;
-        let k = self.col.k();
+        let ki = self.col.k_of(i);
         let finish = |m: usize, j: usize| {
             estimators::jaccard_to_intersection(
-                estimators::mh_jaccard(m, k),
+                estimators::mh_jaccard(m, ki.min(self.col.k_of(j))),
                 ni,
                 self.sizes[j] as usize,
             )
@@ -944,17 +1274,19 @@ impl IntersectionOracle for KHashOracle<'_> {
     #[inline]
     fn jaccard_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
         let row = self.col.signature(v as usize);
-        let k = self.col.k();
+        let ki = self.col.k_of(v as usize);
         let mut t = 0;
         while t + 2 <= us.len() {
             let (j0, j1) = (us[t] as usize, us[t + 1] as usize);
             let (m0, m1) = self.col.matches_with_row_x2(row, j0, j1);
-            out[t] = estimators::mh_jaccard(m0, k);
-            out[t + 1] = estimators::mh_jaccard(m1, k);
+            out[t] = estimators::mh_jaccard(m0, ki.min(self.col.k_of(j0)));
+            out[t + 1] = estimators::mh_jaccard(m1, ki.min(self.col.k_of(j1)));
             t += 2;
         }
         if t < us.len() {
-            out[t] = estimators::mh_jaccard(self.col.matches_with_row(row, us[t] as usize), k);
+            let j = us[t] as usize;
+            out[t] =
+                estimators::mh_jaccard(self.col.matches_with_row(row, j), ki.min(self.col.k_of(j)));
         }
     }
 
@@ -1013,12 +1345,14 @@ impl IntersectionOracle for OneHashOracle<'_> {
         let a = self.col.sample(i);
         let ah = self.col.sample_hashes(i);
         let ni = self.col.set_size(i);
+        let ka = self.col.cap_of(i);
         let mut t = 0;
         while t + 2 <= us.len() {
             let (e0, e1) = self.col.estimate_intersection_with_row_x2(
                 a,
                 ah,
                 ni,
+                ka,
                 us[t] as usize,
                 us[t + 1] as usize,
             );
@@ -1029,7 +1363,7 @@ impl IntersectionOracle for OneHashOracle<'_> {
         if t < us.len() {
             out[t] = self
                 .col
-                .estimate_intersection_with_row(a, ah, ni, us[t] as usize);
+                .estimate_intersection_with_row(a, ah, ni, ka, us[t] as usize);
         }
     }
 
@@ -1045,8 +1379,11 @@ impl IntersectionOracle for OneHashOracle<'_> {
         let a = self.col.sample(i);
         let ah = self.col.sample_hashes(i);
         let ni = self.col.set_size(i);
+        let ka = self.col.cap_of(i);
         for (o, &u) in out.iter_mut().zip(us) {
-            *o = self.col.estimate_jaccard_with_row(a, ah, ni, u as usize);
+            *o = self
+                .col
+                .estimate_jaccard_with_row(a, ah, ni, ka, u as usize);
         }
     }
 
@@ -1136,6 +1473,90 @@ impl<'a> HllOracle<'a> {
     pub fn new(col: &'a HyperLogLogCollectionIn<'a>, sizes: &'a [u32]) -> Self {
         HllOracle { col, sizes }
     }
+
+    /// Row sweep over a stratified collection: destinations are grouped
+    /// into runs of equal stratum. The source register window is folded
+    /// down **once per narrower stratum** encountered
+    /// ([`pg_sketch::fold_hll_registers_into`] — exact), so same-width
+    /// runs go through the multi-lane fused register-max kernel on raw
+    /// destination windows; destinations in strata *wider* than the
+    /// source fold per destination inside
+    /// [`HyperLogLogCollection::union_estimate_with_row`] (scalar — wide
+    /// strata hold only the top-degree sliver). Bit-identical to the
+    /// pairwise [`IntersectionOracle::estimate`], whose cross-precision
+    /// path performs exactly these folds.
+    fn estimate_row_stratified(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
+        debug_assert_eq!(us.len(), out.len());
+        let col = self.col;
+        let st = col
+            .strata()
+            .expect("stratified sweep on a uniform collection");
+        let ps = st.stratum_ps();
+        let i = v as usize;
+        let raw_row = col.registers(i);
+        let p_i = col.precision_of(i) as u32;
+        let nx = self.sizes[i] as usize;
+        let inter = |j: usize, union_est: f64| {
+            HyperLogLogCollection::intersection_from_union(nx, self.sizes[j] as usize, union_est)
+        };
+        let mut folded: Vec<Option<Vec<u8>>> = vec![None; ps.len()];
+        let mut t = 0;
+        while t < us.len() {
+            let sj = col.stratum_of(us[t] as usize);
+            let mut e = t + 1;
+            while e < us.len() && col.stratum_of(us[e] as usize) == sj {
+                e += 1;
+            }
+            let p_j = ps[sj] as u32;
+            if p_j > p_i {
+                // Wider destinations: fold each one down to the source's
+                // precision (the scalar fallback).
+                for (o, &u) in out[t..e].iter_mut().zip(&us[t..e]) {
+                    let j = u as usize;
+                    *o = inter(j, col.union_estimate_with_row(raw_row, j));
+                }
+                t = e;
+                continue;
+            }
+            let row: &[u8] = if p_j < p_i {
+                folded[sj].get_or_insert_with(|| {
+                    let mut w = Vec::with_capacity(1usize << p_j);
+                    pg_sketch::fold_hll_registers_into(raw_row, p_i, p_j, &mut w);
+                    w
+                })
+            } else {
+                raw_row
+            };
+            let (run_us, run_out) = (&us[t..e], &mut out[t..e]);
+            let mut q = 0;
+            while q + 4 <= run_us.len() {
+                let js = [
+                    run_us[q] as usize,
+                    run_us[q + 1] as usize,
+                    run_us[q + 2] as usize,
+                    run_us[q + 3] as usize,
+                ];
+                let u4 = col.union_estimates_multi(row, js);
+                for l in 0..4 {
+                    run_out[q + l] = inter(js[l], u4[l]);
+                }
+                q += 4;
+            }
+            if q + 2 <= run_us.len() {
+                let js = [run_us[q] as usize, run_us[q + 1] as usize];
+                let u2 = col.union_estimates_multi(row, js);
+                for l in 0..2 {
+                    run_out[q + l] = inter(js[l], u2[l]);
+                }
+                q += 2;
+            }
+            if q < run_us.len() {
+                let j = run_us[q] as usize;
+                run_out[q] = inter(j, col.union_estimate_with_row(row, j));
+            }
+            t = e;
+        }
+    }
 }
 
 impl IntersectionOracle for HllOracle<'_> {
@@ -1162,6 +1583,11 @@ impl IntersectionOracle for HllOracle<'_> {
     /// prefetch ramp is pure instruction overhead).
     #[inline]
     fn estimate_row_into(&self, v: VertexId, us: &[VertexId], out: &mut [f64]) {
+        if self.col.strata().is_some() {
+            // Variable-width register windows: the run-grouped stratified
+            // sweep (folded pinned rows, same-width multi-lane runs).
+            return self.estimate_row_stratified(v, us, out);
+        }
         let i = v as usize;
         let row = self.col.registers(i);
         let nx = self.sizes[i] as usize;
@@ -1282,6 +1708,103 @@ mod tests {
         check::<BloomAnd>(&col, &sizes, &us, &mut row);
         check::<BloomLimit>(&col, &sizes, &us, &mut row);
         check::<BloomOr>(&col, &sizes, &us, &mut row);
+    }
+
+    #[test]
+    fn stratified_bloom_row_path_is_bit_identical_to_pairwise() {
+        let g = gen::erdos_renyi_gnm(150, 3000, 9);
+        let sets: Vec<&[u32]> = (0..g.num_vertices())
+            .map(|v| g.neighbors(v as u32))
+            .collect();
+        let assign: Vec<u8> = (0..sets.len()).map(|i| (i % 3) as u8).collect();
+        let col = BloomCollection::build_stratified(vec![512, 256, 128], assign, 2, 7, |i| sets[i]);
+        assert!(col.strata().is_some(), "expected a stratified build");
+        let sizes: Vec<u32> = sets.iter().map(|s| s.len() as u32).collect();
+        let us: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        let mut row = Vec::new();
+        fn check<S: BloomStrategy>(
+            col: &BloomCollection,
+            sizes: &[u32],
+            us: &[u32],
+            row: &mut Vec<f64>,
+        ) {
+            let o = BloomOracle::<S>::new(col, sizes);
+            assert_eq!(o.dest_window_bytes(), None);
+            for v in 0..sizes.len() as u32 {
+                o.estimate_row(v, us, row);
+                for (t, &u) in us.iter().enumerate() {
+                    assert_eq!(row[t], o.estimate(v, u), "v={v} u={u}");
+                }
+            }
+        }
+        check::<BloomAnd>(&col, &sizes, &us, &mut row);
+        check::<BloomLimit>(&col, &sizes, &us, &mut row);
+        check::<BloomOr>(&col, &sizes, &us, &mut row);
+    }
+
+    #[test]
+    fn stratified_bloom_block_path_matches_row_path() {
+        let g = gen::erdos_renyi_gnm(120, 2000, 11);
+        let sets: Vec<&[u32]> = (0..g.num_vertices())
+            .map(|v| g.neighbors(v as u32))
+            .collect();
+        let assign: Vec<u8> = (0..sets.len()).map(|i| (i % 2) as u8).collect();
+        let col = BloomCollection::build_stratified(vec![256, 64], assign, 2, 3, |i| sets[i]);
+        let sizes: Vec<u32> = sets.iter().map(|s| s.len() as u32).collect();
+        let o = BloomOracle::<BloomAnd>::new(&col, &sizes);
+        let sources: Vec<u32> = vec![0, 5, 9];
+        let us: Vec<u32> = (0..40u32).chain(50..70).chain(10..30).collect();
+        let seg_offsets = [0usize, 40, 60, us.len()];
+        let mut block = Vec::new();
+        o.estimate_block(&sources, &seg_offsets, &us, &mut block);
+        let mut row = Vec::new();
+        for (s, &v) in sources.iter().enumerate() {
+            let (lo, hi) = (seg_offsets[s], seg_offsets[s + 1]);
+            o.estimate_row(v, &us[lo..hi], &mut row);
+            assert_eq!(&block[lo..hi], &row[..], "source {v}");
+        }
+    }
+
+    #[test]
+    fn stratified_khash_and_hll_row_paths_match_pairwise() {
+        let g = gen::erdos_renyi_gnm(140, 2600, 21);
+        let sets: Vec<&[u32]> = (0..g.num_vertices())
+            .map(|v| g.neighbors(v as u32))
+            .collect();
+        let sizes: Vec<u32> = sets.iter().map(|s| s.len() as u32).collect();
+        let assign: Vec<u8> = (0..sets.len()).map(|i| (i % 3) as u8).collect();
+        let us: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        let mut row = Vec::new();
+
+        let mh = pg_sketch::MinHashCollection::build_stratified(
+            vec![64, 32, 16],
+            assign.clone(),
+            5,
+            |i| sets[i],
+        );
+        assert!(mh.strata().is_some(), "expected a stratified build");
+        let o = KHashOracle::new(&mh, &sizes);
+        for v in 0..sizes.len() as u32 {
+            o.estimate_row(v, &us, &mut row);
+            for (t, &u) in us.iter().enumerate() {
+                assert_eq!(row[t], o.estimate(v, u), "kh est v={v} u={u}");
+            }
+            o.jaccard_row(v, &us, &mut row);
+            for (t, &u) in us.iter().enumerate() {
+                assert_eq!(row[t], o.jaccard(v, u), "kh jac v={v} u={u}");
+            }
+        }
+
+        let hll = HyperLogLogCollection::build_stratified(vec![8, 6, 4], assign, 5, |i| sets[i]);
+        assert!(hll.strata().is_some(), "expected a stratified build");
+        let o = HllOracle::new(&hll, &sizes);
+        assert_eq!(o.dest_window_bytes(), None);
+        for v in 0..sizes.len() as u32 {
+            o.estimate_row(v, &us, &mut row);
+            for (t, &u) in us.iter().enumerate() {
+                assert_eq!(row[t], o.estimate(v, u), "hll v={v} u={u}");
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,16 @@
 //!   the serial build over the same batches — pinned by
 //!   `tests/streaming_equivalence.rs` for every representation, and raced
 //!   under ThreadSanitizer by `tests/serving_equivalence.rs`.
+//! * **Stratified lanes.** Degree-stratified geometry shards the same
+//!   way: each lane slices the global per-set stratum assignment over its
+//!   contiguous range while sharing the stratum parameter table, so
+//!   per-lane builds stay bit-identical to the matching rows of
+//!   [`ProbGraph::build_rows_stratified`] and the publish gather
+//!   re-concatenates assignments along with the flat arrays. Resolved
+//!   geometry (from a real degree distribution) enters through
+//!   [`ShardedProbGraph::with_shards_stratified`]; a [`PgConfig`] carrying
+//!   a strata spec plans against the empty stream exactly like
+//!   [`ProbGraph::stream_from`] does.
 //!
 //! Shard count resolves through [`pg_parallel::current_shards`]
 //! (`PG_SHARDS` env → one lane per hardware thread), then
@@ -59,11 +69,12 @@
 
 use crate::oracle::{MutableOracle, OracleVisitor, UnsupportedOperation};
 use crate::pg::{
-    build_store, gather_store_into, resolve_params, Edge, PgConfig, ProbGraph, SketchStore,
+    build_store, build_store_stratified, gather_store_into, resolve_params, resolve_stratified,
+    Edge, PgConfig, ProbGraph, SketchStore,
 };
 use pg_graph::VertexId;
 use pg_parallel::{EpochCell, EpochGuard};
-use pg_sketch::SketchParams;
+use pg_sketch::{SketchParams, StratifiedParams};
 use std::sync::Arc;
 
 /// Below this many pending `(set, element)` updates a drain runs on the
@@ -137,6 +148,9 @@ pub struct ShardedProbGraph {
     pending: usize,
     cfg: PgConfig,
     params: SketchParams,
+    /// Full per-set geometry when the lanes are degree-stratified;
+    /// `None` on the uniform fast path (including collapsed specs).
+    stratified: Option<StratifiedParams>,
     n: usize,
 }
 
@@ -168,39 +182,100 @@ impl ShardedProbGraph {
     /// (clamped to `[1, n_vertices]`). Sketch parameters are resolved
     /// against the **global** `n_vertices`/`base_bytes`, so every lane —
     /// and therefore every published epoch — is parameter-identical to a
-    /// serial [`ProbGraph::stream_from`] over the same inputs.
+    /// serial [`ProbGraph::stream_from`] over the same inputs. When `cfg`
+    /// carries a [`pg_sketch::StrataSpec`], geometry is planned exactly as
+    /// the serial stream plans it — against the all-zero degree array of
+    /// the empty stream — so the equivalence holds stratified too; callers
+    /// that know the real degree distribution up front should resolve it
+    /// themselves and use [`ShardedProbGraph::with_shards_stratified`].
     pub fn with_shards(
         n_vertices: usize,
         base_bytes: usize,
         cfg: &PgConfig,
         shards: usize,
     ) -> Self {
+        if cfg.strata.is_some() {
+            let sparams = resolve_stratified(n_vertices, base_bytes, cfg, &vec![0u32; n_vertices]);
+            return Self::with_shards_stratified(n_vertices, cfg, shards, sparams);
+        }
+        let params = resolve_params(n_vertices, base_bytes, cfg);
+        Self::from_resolved(n_vertices, cfg, shards, params, None)
+    }
+
+    /// Creates an empty sharded graph from **already-resolved** stratified
+    /// geometry — the streaming layer cannot re-derive degree ranks from
+    /// an empty stream, so callers that planned against a real degree
+    /// distribution (a prior epoch, a snapshot, an offline build) pass the
+    /// resolved [`StratifiedParams`] in whole. `sparams.assign()` must
+    /// cover exactly `n_vertices` sets. Collapsed or one-stratum geometry
+    /// lowers onto the uniform lanes bit-identically.
+    pub fn with_shards_stratified(
+        n_vertices: usize,
+        cfg: &PgConfig,
+        shards: usize,
+        sparams: StratifiedParams,
+    ) -> Self {
+        assert_eq!(
+            sparams.assign().len(),
+            n_vertices,
+            "assignment must cover every vertex"
+        );
+        let sparams = sparams.collapsed();
+        let params = sparams.strata()[0];
+        let stratified = if sparams.is_uniform() {
+            None
+        } else {
+            Some(sparams)
+        };
+        Self::from_resolved(n_vertices, cfg, shards, params, stratified)
+    }
+
+    /// Shared constructor core over resolved geometry: contiguous lane
+    /// bounds, per-lane empty stores (stratified lanes slice the global
+    /// assignment and share the stratum table, mirroring
+    /// [`ProbGraph::build_rows_stratified`]'s row-range property), and the
+    /// epoch-0 empty snapshot.
+    fn from_resolved(
+        n_vertices: usize,
+        cfg: &PgConfig,
+        shards: usize,
+        params: SketchParams,
+        stratified: Option<StratifiedParams>,
+    ) -> Self {
         assert!(
             n_vertices <= u32::MAX as usize,
             "vertex universe exceeds u32 ids"
         );
         let shards = shards.clamp(1, n_vertices.max(1));
-        let params = resolve_params(n_vertices, base_bytes, cfg);
         let mut bounds = Vec::with_capacity(shards + 1);
         for s in 0..=shards {
             bounds.push((n_vertices * s / shards) as u32);
         }
+        let empty_store = |lo: usize, hi: usize| match &stratified {
+            Some(sp) => build_store_stratified(
+                &StratifiedParams::new(sp.strata().to_vec(), sp.assign()[lo..hi].to_vec()),
+                cfg.seed,
+                |_| &[][..],
+            ),
+            None => build_store(params, hi - lo, cfg.seed, |_| &[][..]),
+        };
         let lanes = bounds
             .windows(2)
             .map(|w| {
                 let n_local = (w[1] - w[0]) as usize;
                 Lane {
-                    store: build_store(params, n_local, cfg.seed, |_| &[][..]),
+                    store: empty_store(w[0] as usize, w[1] as usize),
                     sizes: vec![0u32; n_local],
                     queue: Vec::new(),
                 }
             })
             .collect();
         let initial = ProbGraph::from_parts(
-            build_store(params, n_vertices, cfg.seed, |_| &[][..]),
+            empty_store(0, n_vertices),
             vec![0u32; n_vertices],
             cfg.bf_estimator,
             params,
+            stratified.clone(),
             cfg.seed,
         );
         ShardedProbGraph {
@@ -209,8 +284,9 @@ impl ShardedProbGraph {
             cell: Arc::new(EpochCell::new(initial)),
             spares: Vec::new(),
             pending: 0,
-            cfg: *cfg,
+            cfg: cfg.clone(),
             params,
+            stratified,
             n: n_vertices,
         }
     }
@@ -234,9 +310,20 @@ impl ShardedProbGraph {
     }
 
     /// The resolved sketch parameters (identical across lanes and epochs).
+    /// For stratified lanes this is **stratum 0** — the widest,
+    /// highest-degree stratum; see
+    /// [`ShardedProbGraph::stratified_params`] for the full geometry.
     #[inline]
     pub fn params(&self) -> SketchParams {
         self.params
+    }
+
+    /// The full per-set geometry when the lanes are degree-stratified;
+    /// `None` on the uniform fast path (including one-stratum and
+    /// collapsed specs). Identical across lanes and published epochs.
+    #[inline]
+    pub fn stratified_params(&self) -> Option<&StratifiedParams> {
+        self.stratified.as_ref()
     }
 
     /// The epoch of the latest published snapshot (0 = the initial empty
@@ -396,13 +483,15 @@ impl ShardedProbGraph {
     pub fn publish_epoch(&mut self) -> u64 {
         self.apply_pending();
         let mut snap = self.spares.pop().unwrap_or_else(|| {
-            // An empty 0-set buffer: `gather_into` grows it to size once,
-            // after which it cycles through the double buffer at capacity.
+            // An empty 0-set buffer: `gather_into` grows it to size once
+            // (adopting the lanes' stratum tables when stratified), after
+            // which it cycles through the double buffer at capacity.
             ProbGraph::from_parts(
                 build_store(self.params, 0, self.cfg.seed, |_| &[][..]),
                 Vec::new(),
                 self.cfg.bf_estimator,
                 self.params,
+                self.stratified.clone(),
                 self.cfg.seed,
             )
         });
@@ -646,6 +735,125 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn published_stratified_epoch_matches_serial_stream_for_every_representation() {
+        use pg_sketch::StrataSpec;
+        let g = gen::erdos_renyi_gnm(800, 24_000, 3);
+        let edges = g.edge_list();
+        for rep in all_reps() {
+            let cfg = PgConfig::stratified(rep, 0.3, StrataSpec::skewed_default());
+            let serial = ProbGraph::stream_from(g.num_vertices(), g.memory_bytes(), &cfg, &edges);
+            for shards in [1usize, 3] {
+                let mut srv =
+                    ShardedProbGraph::with_shards(g.num_vertices(), g.memory_bytes(), &cfg, shards);
+                assert_eq!(
+                    srv.stratified_params(),
+                    serial.stratified_params(),
+                    "{rep:?}/{shards}"
+                );
+                assert!(
+                    srv.stratified_params().is_some(),
+                    "{rep:?}: budget collapsed to uniform; the test covers nothing"
+                );
+                let (first, rest) = edges.split_first().unwrap();
+                srv.apply_batch(std::slice::from_ref(first));
+                for chunk in rest.chunks(977) {
+                    srv.apply_batch(chunk);
+                }
+                srv.publish_epoch();
+                let snap = srv.snapshot();
+                assert_eq!(snap.params(), serial.params(), "{rep:?}/{shards}");
+                assert_eq!(
+                    snap.stratified_params(),
+                    serial.stratified_params(),
+                    "{rep:?}/{shards}"
+                );
+                assert_eq!(snap.sizes(), serial.sizes(), "{rep:?}/{shards}");
+                for (u, v) in g.edges().take(200) {
+                    assert_eq!(
+                        snap.estimate_intersection(u, v),
+                        serial.estimate_intersection(u, v),
+                        "{rep:?}/{shards} ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolved_stratified_geometry_streams_like_build_rows() {
+        use pg_sketch::StrataSpec;
+        let g = gen::erdos_renyi_gnm(800, 24_000, 3);
+        let edges = g.edge_list();
+        let cfg = PgConfig::stratified(
+            Representation::Bloom { b: 2 },
+            0.3,
+            StrataSpec::skewed_default(),
+        );
+        // Resolve against the *real* degree distribution — the case the
+        // streaming layer cannot derive on its own.
+        let offline = ProbGraph::build(&g, &cfg);
+        let sp = offline
+            .stratified_params()
+            .expect("budget collapsed to uniform")
+            .clone();
+        let mut serial = ProbGraph::build_rows_stratified(
+            g.num_vertices(),
+            sp.clone(),
+            cfg.bf_estimator,
+            cfg.seed,
+            |_| &[][..],
+        );
+        serial.apply_batch(&edges);
+        let mut srv =
+            ShardedProbGraph::with_shards_stratified(g.num_vertices(), &cfg, 4, sp.clone());
+        assert_eq!(srv.stratified_params(), Some(&sp));
+        for chunk in edges.chunks(511) {
+            srv.apply_batch(chunk);
+        }
+        srv.publish_epoch();
+        let snap = srv.snapshot();
+        assert_eq!(snap.stratified_params(), Some(&sp));
+        assert_eq!(snap.sizes(), serial.sizes());
+        for (u, v) in g.edges().take(300) {
+            assert_eq!(
+                snap.estimate_intersection(u, v),
+                serial.estimate_intersection(u, v),
+                "({u},{v})"
+            );
+        }
+    }
+
+    #[test]
+    fn one_stratum_geometry_lowers_onto_uniform_lanes() {
+        let cfg = PgConfig::new(Representation::Kmv, 0.3);
+        let params = crate::pg::resolve_params(100, 4096, &cfg);
+        let sp = StratifiedParams::new(vec![params], vec![0u8; 100]);
+        let srv = ShardedProbGraph::with_shards_stratified(100, &cfg, 3, sp);
+        assert!(srv.stratified_params().is_none());
+        assert_eq!(srv.params(), params);
+        assert!(srv.snapshot().stratified_params().is_none());
+    }
+
+    #[test]
+    fn stratified_spares_recycle_with_geometry_intact() {
+        use pg_sketch::StrataSpec;
+        let g = gen::erdos_renyi_gnm(400, 9_000, 11);
+        let cfg = PgConfig::stratified(Representation::Hll, 0.3, StrataSpec::skewed_default());
+        let mut srv = ShardedProbGraph::with_shards(g.num_vertices(), g.memory_bytes(), &cfg, 2);
+        assert!(srv.stratified_params().is_some());
+        for chunk in g.edge_list().chunks(1024) {
+            srv.apply_batch(chunk);
+            srv.publish_epoch();
+            assert_eq!(
+                srv.snapshot().stratified_params(),
+                srv.stratified_params(),
+                "published geometry drifted from the lanes'"
+            );
+        }
+        assert!(srv.spares.len() <= 2, "spares {}", srv.spares.len());
     }
 
     #[test]

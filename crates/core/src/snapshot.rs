@@ -8,14 +8,15 @@
 //! measures the ratio). The format is deliberately simple enough to serve
 //! as the wire format for multi-process sketch exchange later.
 //!
-//! ## Format (version 2, all integers little-endian)
+//! ## Format (version 3, all integers little-endian)
 //!
 //! ```text
 //! offset  size  field
 //!      0     8  magic  89 50 47 53 4E 41 50 0A  ("\x89PGSNAP\n")
-//!      8     4  format version (= 2)
+//!      8     4  format version (= 3)
 //!     12     4  representation tag (0 Bloom, 1 CountingBloom, 2 KHash,
-//!                                   3 OneHash, 4 Kmv, 5 Hll)
+//!                                   3 OneHash, 4 Kmv, 5 Hll;
+//!                                   bit 3 set = degree-stratified store)
 //!     16     4  Bloom estimator tag (0 And, 1 Limit, 2 Or)
 //!     20     4  section count
 //!     24     8  master hash seed
@@ -29,7 +30,17 @@
 //!      …     —  section payloads, concatenated, no padding
 //! ```
 //!
-//! Version 2 orders each representation's sections coarsest-element-first
+//! A **stratified** store (representation tag with bit 3 set) carries the
+//! base representation's sections bracketed by two extras: a leading
+//! [`SectionKind::StratumParams`] table — per stratum, the same
+//! `(param A, param B)` pair the header holds, 16 bytes each — and a
+//! trailing [`SectionKind::StratumAssign`] byte array mapping each set to
+//! its stratum. The header's own params always equal stratum 0 (the
+//! widest), so a v3 reader that only understands uniform stores still
+//! sees sane header parameters. Every per-set array length is re-derived
+//! from the stratum table + assignment at load and must match exactly.
+//!
+//! Version 3 orders each representation's sections coarsest-element-first
 //! (`u64`/`f64` arrays before `u32` arrays before bytes). The payload base
 //! (`64 + 24·sections + 8`) is a multiple of 8, so with that ordering
 //! every section is naturally aligned for its element type whenever the
@@ -71,7 +82,8 @@ use crate::pg::{BfEstimator, ProbGraph, ProbGraphIn, SketchStoreIn};
 use pg_hash::{xxh64, HashFamily};
 use pg_sketch::{
     BloomCollectionIn, BottomKCollectionIn, CountingBloomCollectionIn, HyperLogLogCollectionIn,
-    KmvCollectionIn, KmvSketchIn, MinHashCollectionIn, SketchParams, MAX_BLOOM_HASHES,
+    KmvCollectionIn, KmvSketchIn, MinHashCollectionIn, SketchParams, StratifiedParams,
+    MAX_BLOOM_HASHES, MAX_STRATA,
 };
 
 /// The eight magic bytes opening every snapshot. PNG-style framing: the
@@ -80,7 +92,11 @@ use pg_sketch::{
 pub const SNAPSHOT_MAGIC: [u8; 8] = [0x89, b'P', b'G', b'S', b'N', b'A', b'P', 0x0A];
 
 /// The format version this build writes and the only one it reads.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+/// Representation-tag bit marking a degree-stratified store; the low bits
+/// keep the base representation's tag.
+pub const REP_STRATIFIED: u32 = 8;
 
 /// Fixed header size in bytes (including its trailing checksum).
 pub const HEADER_LEN: usize = 64;
@@ -128,6 +144,12 @@ pub enum SectionKind {
     KmvHashes = 14,
     /// HyperLogLog registers (`2^precision` bytes per set).
     HllRegisters = 15,
+    /// Per-stratum `(param A, param B)` pairs (2 × `u64` per stratum) —
+    /// stratified stores only, always the first section.
+    StratumParams = 16,
+    /// Per-set stratum index (one byte per set) — stratified stores only,
+    /// always the last section.
+    StratumAssign = 17,
 }
 
 impl SectionKind {
@@ -150,6 +172,8 @@ impl SectionKind {
             13 => KmvSetSizes,
             14 => KmvHashes,
             15 => HllRegisters,
+            16 => StratumParams,
+            17 => StratumAssign,
             _ => return None,
         })
     }
@@ -410,8 +434,48 @@ fn layout_for(rep_tag: u32) -> Result<&'static [SectionKind], SnapshotError> {
         3 => &[Sizes, BkElems, BkHashes, BkOffsets, BkLens, BkSetSizes],
         4 => &[KmvHashes, KmvSetSizes, KmvLens, Sizes],
         5 => &[Sizes, HllRegisters],
+        // Stratified stores bracket the base layout with the stratum
+        // parameter table (u64 pairs, so it leads for alignment) and the
+        // per-set assignment bytes (which trail for the same reason).
+        8 => &[StratumParams, BloomWords, Sizes, BloomOnes, StratumAssign],
+        9 => &[StratumParams, CbfCounters, CbfView, Sizes, StratumAssign],
+        10 => &[StratumParams, Sizes, MinHashSigs, StratumAssign],
+        11 => &[
+            StratumParams,
+            Sizes,
+            BkElems,
+            BkHashes,
+            BkOffsets,
+            BkLens,
+            BkSetSizes,
+            StratumAssign,
+        ],
+        12 => &[
+            StratumParams,
+            KmvHashes,
+            KmvSetSizes,
+            KmvLens,
+            Sizes,
+            StratumAssign,
+        ],
+        13 => &[StratumParams, Sizes, HllRegisters, StratumAssign],
         tag => return Err(SnapshotError::BadRepresentation { tag }),
     })
+}
+
+/// The wire `(param A, param B)` pair of one stratum's parameters, with
+/// the same per-representation meaning as the header's fields. (The
+/// bottom-k strided flag is a property of the whole store, not a stratum,
+/// so `OneHash` strata carry 0 there.)
+fn stratum_pair(p: &SketchParams) -> (u64, u64) {
+    match *p {
+        SketchParams::Bloom { bits_per_set, b } => (bits_per_set as u64, b as u64),
+        SketchParams::CountingBloom { bits_per_set, b } => (bits_per_set as u64, b as u64),
+        SketchParams::KHash { k } => (k as u64, 0),
+        SketchParams::OneHash { k } => (k as u64, 0),
+        SketchParams::Kmv { k } => (k as u64, 0),
+        SketchParams::Hll { precision } => (precision as u64, 0),
+    }
 }
 
 /// Flattens a ProbGraph into `(rep tag, param A, param B, sections)` —
@@ -420,7 +484,7 @@ fn layout_for(rep_tag: u32) -> Result<&'static [SectionKind], SnapshotError> {
 fn sections_of(pg: &ProbGraphIn<'_>) -> (u32, u64, u64, Vec<(SectionKind, Vec<u8>)>) {
     use SectionKind::*;
     let sizes = (Sizes, le_u32s(pg.sizes()));
-    match (pg.store(), pg.params()) {
+    let (rep_tag, param_a, param_b, mut sections) = match (pg.store(), pg.params()) {
         (SketchStoreIn::Bloom(c), SketchParams::Bloom { bits_per_set, b }) => (
             0,
             bits_per_set as u64,
@@ -492,7 +556,23 @@ fn sections_of(pg: &ProbGraphIn<'_>) -> (u32, u64, u64, Vec<(SectionKind, Vec<u8
         // `build_over` resolves store and params from the same
         // representation; no constructor can mix them.
         _ => unreachable!("SketchStore and SketchParams variants disagree"),
+    };
+    if let Some(sp) = pg.stratified_params() {
+        // The header's params are stratum 0 by construction; the stratum
+        // table restates them so a reader validates the two against each
+        // other.
+        debug_assert_eq!(sp.strata()[0], pg.params());
+        let mut table = Vec::with_capacity(sp.n_strata() * 16);
+        for p in sp.strata() {
+            let (a, b) = stratum_pair(p);
+            table.extend_from_slice(&a.to_le_bytes());
+            table.extend_from_slice(&b.to_le_bytes());
+        }
+        sections.insert(0, (StratumParams, table));
+        sections.push((StratumAssign, sp.assign().to_vec()));
+        return (rep_tag | REP_STRATIFIED, param_a, param_b, sections);
     }
+    (rep_tag, param_a, param_b, sections)
 }
 
 fn encode(pg: &ProbGraphIn<'_>) -> Vec<u8> {
@@ -733,6 +813,163 @@ fn decode_in(bytes: &[u8]) -> Result<ProbGraphIn<'_>, SnapshotError> {
     build_store(&h, est, &entries, &payloads)
 }
 
+/// The decoded stratified bracket sections: per-stratum wire parameter
+/// pairs plus the per-set assignment, borrowed from the payload.
+struct StratumTable<'a> {
+    pairs: Vec<(u64, u64)>,
+    assign: &'a [u8],
+}
+
+impl StratumTable<'_> {
+    fn n_strata(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Sets per stratum.
+    fn counts(&self) -> Vec<u64> {
+        let mut c = vec![0u64; self.pairs.len()];
+        for &a in self.assign {
+            c[a as usize] += 1;
+        }
+        c
+    }
+}
+
+/// Validates and decodes the stratified bracket sections (the first and
+/// last table entries): table shape, stratum count, assignment range, and
+/// header agreement (the header's params must restate stratum 0's).
+fn parse_stratum_table<'a>(
+    h: &Header,
+    entries: &[(SectionKind, u64, u64)],
+    payloads: &[&'a [u8]],
+) -> Result<StratumTable<'a>, SnapshotError> {
+    use SectionKind::*;
+    let sp_bytes = entries[0].1;
+    if sp_bytes == 0 || !sp_bytes.is_multiple_of(16) {
+        return Err(bad_params(format!(
+            "stratum table length {sp_bytes} is not a positive multiple of 16"
+        )));
+    }
+    let n_strata = (sp_bytes / 16) as usize;
+    if !(2..=MAX_STRATA).contains(&n_strata) {
+        return Err(bad_params(format!(
+            "stratified store declares {n_strata} strata, outside 2..={MAX_STRATA} \
+             (a one-stratum store must use the uniform representation tag)"
+        )));
+    }
+    let pairs: Vec<(u64, u64)> = payloads[0]
+        .chunks_exact(16)
+        .map(|c| (u64le(c, 0), u64le(c, 8)))
+        .collect();
+    let a_at = entries.len() - 1;
+    check_len(StratumAssign, entries[a_at].1, h.n_sets)?;
+    let assign = payloads[a_at];
+    if let Some(i) = assign.iter().position(|&a| a as usize >= n_strata) {
+        return Err(invariant(
+            StratumAssign,
+            format!(
+                "set {i} is assigned to stratum {} past the {n_strata}-stratum table",
+                assign[i]
+            ),
+        ));
+    }
+    if pairs[0].0 != h.param_a {
+        return Err(bad_params(format!(
+            "stratum 0 param A {} disagrees with the header's {}",
+            pairs[0].0, h.param_a
+        )));
+    }
+    Ok(StratumTable { pairs, assign })
+}
+
+/// Σ of per-stratum byte counts with overflow mapped to `BadParams`.
+fn checked_total(
+    parts: impl Iterator<Item = Result<u64, SnapshotError>>,
+) -> Result<u64, SnapshotError> {
+    let mut total = 0u64;
+    for p in parts {
+        total = total
+            .checked_add(p?)
+            .ok_or_else(|| bad_params("section size overflows"))?;
+    }
+    Ok(total)
+}
+
+/// Mirrors the stratified Bloom geometry preconditions so hostile tables
+/// surface as typed errors instead of constructor panics: every width a
+/// positive whole-word count, every pair of widths related by a
+/// power-of-two factor of at most 64 (the fold kernels' requirement), and
+/// one hash count shared by all strata.
+fn validate_bloom_strata(pairs: &[(u64, u64)], header_b: u64) -> Result<Vec<u32>, SnapshotError> {
+    let mut bits = Vec::with_capacity(pairs.len());
+    for (s, &(w, b)) in pairs.iter().enumerate() {
+        if w == 0 || w % 64 != 0 {
+            return Err(bad_params(format!(
+                "stratum {s} Bloom width {w} is not a positive multiple of 64"
+            )));
+        }
+        if b != header_b {
+            return Err(bad_params(format!(
+                "stratum {s} hash count {b} disagrees with the header's {header_b}"
+            )));
+        }
+        bits.push(
+            u32::try_from(w)
+                .map_err(|_| bad_params(format!("stratum {s} Bloom width {w} exceeds u32")))?,
+        );
+    }
+    let min_w = *bits.iter().min().expect("≥ 2 strata") as u64;
+    for (s, &w) in bits.iter().enumerate() {
+        let r = w as u64 / min_w;
+        if !(w as u64).is_multiple_of(min_w) || !r.is_power_of_two() || r > 64 {
+            return Err(bad_params(format!(
+                "stratum {s} width {w} is not a power-of-two multiple (≤ 64×) of the \
+                 narrowest stratum's {min_w}"
+            )));
+        }
+    }
+    Ok(bits)
+}
+
+/// Per-stratum `k`-style parameters: `k ≥ 1`, fits `u32`, param B zero.
+fn validate_k_strata(pairs: &[(u64, u64)], what: &str) -> Result<Vec<u32>, SnapshotError> {
+    let mut ks = Vec::with_capacity(pairs.len());
+    for (s, &(k, b)) in pairs.iter().enumerate() {
+        if k == 0 {
+            return Err(bad_params(format!("stratum {s} {what} k must be ≥ 1")));
+        }
+        if b != 0 {
+            return Err(bad_params(format!(
+                "stratum {s} param B must be 0 for {what}"
+            )));
+        }
+        ks.push(
+            u32::try_from(k)
+                .map_err(|_| bad_params(format!("stratum {s} {what} k {k} exceeds u32")))?,
+        );
+    }
+    Ok(ks)
+}
+
+/// Rebuilds one stratum's [`SketchParams`] from its validated wire pair.
+fn stratum_sketch_params(base_tag: u32, a: u64, b: u64) -> SketchParams {
+    match base_tag {
+        0 => SketchParams::Bloom {
+            bits_per_set: a as usize,
+            b: b as usize,
+        },
+        1 => SketchParams::CountingBloom {
+            bits_per_set: a as usize,
+            b: b as usize,
+        },
+        2 => SketchParams::KHash { k: a as usize },
+        3 => SketchParams::OneHash { k: a as usize },
+        4 => SketchParams::Kmv { k: a as usize },
+        5 => SketchParams::Hll { precision: a as u8 },
+        _ => unreachable!("layout_for rejected unknown base tags"),
+    }
+}
+
 /// Decodes the checksummed payloads into a live store, re-deriving every
 /// redundant structure and rejecting any cross-section inconsistency.
 /// The store borrows any payload it can serve in place (see the zero-copy
@@ -758,7 +995,13 @@ fn build_store<'a>(
     let sizes_at = idx(Sizes);
     check_len(Sizes, entries[sizes_at].1, expected_bytes(n, 4)?)?;
     let sizes = cow_u32s(payloads[sizes_at]);
-    let (params, store) = match h.rep_tag {
+    let base_tag = h.rep_tag & !REP_STRATIFIED;
+    let strat = if h.rep_tag & REP_STRATIFIED != 0 {
+        Some(parse_stratum_table(h, entries, payloads)?)
+    } else {
+        None
+    };
+    let (params, store) = match base_tag {
         0 | 1 => {
             let (bits, b) = (h.param_a, h.param_b);
             if bits == 0 || bits % 64 != 0 {
@@ -772,23 +1015,39 @@ fn build_store<'a>(
                 )));
             }
             let view_words = bits / 64;
-            if h.rep_tag == 0 {
+            // Per-set widths: uniform stores repeat the header's, a
+            // stratified store reads them off the (validated) table.
+            let strata_bits = strat
+                .as_ref()
+                .map(|st| validate_bloom_strata(&st.pairs, b))
+                .transpose()?;
+            let word_bytes_total = match (&strat, &strata_bits) {
+                (Some(st), Some(bits_v)) => checked_total(
+                    st.counts()
+                        .iter()
+                        .zip(bits_v)
+                        .map(|(&c, &w)| expected_bytes(c, w as u64 / 8)),
+                )?,
+                _ => expected_bytes(n, view_words * 8)?,
+            };
+            if base_tag == 0 {
                 let (w_at, o_at) = (idx(BloomWords), idx(BloomOnes));
-                check_len(
-                    BloomWords,
-                    entries[w_at].1,
-                    expected_bytes(n, view_words * 8)?,
-                )?;
+                check_len(BloomWords, entries[w_at].1, word_bytes_total)?;
                 check_len(BloomOnes, entries[o_at].1, expected_bytes(n, 4)?)?;
                 let words = cow_u64s(payloads[w_at]);
                 let ones = cow_u32s(payloads[o_at]);
-                let col = BloomCollectionIn::from_raw_words(
-                    words,
-                    view_words as usize,
-                    b as usize,
-                    h.seed,
-                );
-                // `from_raw_words` recounts every filter; the persisted
+                let col = match (&strat, strata_bits) {
+                    (Some(st), Some(bits_v)) => BloomCollectionIn::from_raw_words_stratified(
+                        words, bits_v, st.assign, b as usize, h.seed,
+                    ),
+                    _ => BloomCollectionIn::from_raw_words(
+                        words,
+                        view_words as usize,
+                        b as usize,
+                        h.seed,
+                    ),
+                };
+                // The constructor recounts every filter; the persisted
                 // cache must agree bit for bit.
                 if col.raw_ones() != &ones[..] {
                     return Err(invariant(
@@ -804,23 +1063,29 @@ fn build_store<'a>(
                     SketchStoreIn::Bloom(col),
                 )
             } else {
-                // 4-bit counters, 16 per word.
-                let counter_words = bits / 16;
+                // 4-bit counters, 16 per word — 4× the read view's bytes,
+                // per stratum and in total.
                 let (c_at, v_at) = (idx(CbfCounters), idx(CbfView));
-                check_len(
-                    CbfCounters,
-                    entries[c_at].1,
-                    expected_bytes(n, counter_words * 8)?,
-                )?;
-                check_len(CbfView, entries[v_at].1, expected_bytes(n, view_words * 8)?)?;
+                let counter_bytes_total = word_bytes_total
+                    .checked_mul(4)
+                    .ok_or_else(|| bad_params("section size overflows"))?;
+                check_len(CbfCounters, entries[c_at].1, counter_bytes_total)?;
+                check_len(CbfView, entries[v_at].1, word_bytes_total)?;
                 let counters = cow_u64s(payloads[c_at]);
                 let view = cow_u64s(payloads[v_at]);
-                let col = CountingBloomCollectionIn::from_counter_words(
-                    counters,
-                    bits as usize,
-                    b as usize,
-                    h.seed,
-                );
+                let col = match (&strat, strata_bits) {
+                    (Some(st), Some(bits_v)) => {
+                        CountingBloomCollectionIn::from_counter_words_stratified(
+                            counters, bits_v, st.assign, b as usize, h.seed,
+                        )
+                    }
+                    _ => CountingBloomCollectionIn::from_counter_words(
+                        counters,
+                        bits as usize,
+                        b as usize,
+                        h.seed,
+                    ),
+                };
                 // The read view is fully determined by the counters
                 // (counter > 0 ⇔ bit set); a mismatch means one of the
                 // two sections is stale or forged.
@@ -848,27 +1113,66 @@ fn build_store<'a>(
             if h.param_b != 0 {
                 return Err(bad_params("param B must be 0 for k-hash MinHash"));
             }
+            let strata_ks = strat
+                .as_ref()
+                .map(|st| validate_k_strata(&st.pairs, "MinHash"))
+                .transpose()?;
             let s_at = idx(MinHashSigs);
-            check_len(MinHashSigs, entries[s_at].1, expected_bytes(n, k * 4)?)?;
+            let sigs_bytes = match (&strat, &strata_ks) {
+                (Some(st), Some(ks)) => checked_total(
+                    st.counts()
+                        .iter()
+                        .zip(ks)
+                        .map(|(&c, &kj)| expected_bytes(c, kj as u64 * 4)),
+                )?,
+                _ => expected_bytes(n, k * 4)?,
+            };
+            check_len(MinHashSigs, entries[s_at].1, sigs_bytes)?;
             let sigs = cow_u32s(payloads[s_at]);
             let k = k as usize;
             // An empty set's signature must be all empty-slot sentinels —
-            // nothing ever wrote to it.
+            // nothing ever wrote to it. Signature widths are per-set under
+            // stratification, so walk a running offset.
+            let mut off = 0usize;
             for (i, &size) in sizes.iter().enumerate() {
-                if size == 0 && sigs[i * k..(i + 1) * k].iter().any(|&s| s != u32::MAX) {
+                let w = match (&strat, &strata_ks) {
+                    (Some(st), Some(ks)) => ks[st.assign[i] as usize] as usize,
+                    _ => k,
+                };
+                if size == 0 && sigs[off..off + w].iter().any(|&s| s != u32::MAX) {
                     return Err(invariant(
                         MinHashSigs,
                         format!("set {i} is empty but its signature has occupied slots"),
                     ));
                 }
+                off += w;
             }
-            (
-                SketchParams::KHash { k },
-                SketchStoreIn::KHash(MinHashCollectionIn::from_raw_sigs(sigs, k, h.seed)),
-            )
+            let col = match (&strat, strata_ks) {
+                (Some(st), Some(ks)) => {
+                    MinHashCollectionIn::from_raw_sigs_stratified(sigs, ks, st.assign, h.seed)
+                }
+                _ => MinHashCollectionIn::from_raw_sigs(sigs, k, h.seed),
+            };
+            (SketchParams::KHash { k }, SketchStoreIn::KHash(col))
         }
-        3 => decode_onehash(h, entries, payloads, &sizes)?,
-        4 => decode_kmv(h, entries, payloads, &sizes)?,
+        // The positional decoders index the *base* layout, so a stratified
+        // store hands them the entries between the two bracket sections.
+        3 | 4 => {
+            #[allow(clippy::type_complexity)]
+            let (e, p): (&[(SectionKind, u64, u64)], &[&[u8]]) = if strat.is_some() {
+                (
+                    &entries[1..entries.len() - 1],
+                    &payloads[1..payloads.len() - 1],
+                )
+            } else {
+                (entries, payloads)
+            };
+            if base_tag == 3 {
+                decode_onehash(h, e, p, &sizes, strat.as_ref())?
+            } else {
+                decode_kmv(h, e, p, &sizes, strat.as_ref())?
+            }
+        }
         5 => {
             let p = h.param_a;
             if !(4..=16).contains(&p) {
@@ -877,35 +1181,90 @@ fn build_store<'a>(
             if h.param_b != 0 {
                 return Err(bad_params("param B must be 0 for HLL"));
             }
+            let strata_ps = match &strat {
+                Some(st) => {
+                    let mut ps = Vec::with_capacity(st.n_strata());
+                    for (s, &(pp, bb)) in st.pairs.iter().enumerate() {
+                        if !(4..=16).contains(&pp) {
+                            return Err(bad_params(format!(
+                                "stratum {s} HLL precision {pp} outside 4..=16"
+                            )));
+                        }
+                        if bb != 0 {
+                            return Err(bad_params(format!(
+                                "stratum {s} param B must be 0 for HLL"
+                            )));
+                        }
+                        ps.push(pp as u8);
+                    }
+                    Some(ps)
+                }
+                None => None,
+            };
             let r_at = idx(HllRegisters);
-            check_len(HllRegisters, entries[r_at].1, expected_bytes(n, 1 << p)?)?;
+            let regs_bytes = match (&strat, &strata_ps) {
+                (Some(st), Some(ps)) => checked_total(
+                    st.counts()
+                        .iter()
+                        .zip(ps)
+                        .map(|(&c, &pj)| expected_bytes(c, 1u64 << pj)),
+                )?,
+                _ => expected_bytes(n, 1 << p)?,
+            };
+            check_len(HllRegisters, entries[r_at].1, regs_bytes)?;
             // Raw bytes need neither endianness nor alignment — always
             // served in place.
             let registers = payloads[r_at];
             // A register holds the max rank seen; rank caps at
-            // 64 − p + 1 leading-zero bits + 1.
-            let max_rank = (64 - p + 1) as u8;
-            if let Some(pos) = registers.iter().position(|&r| r > max_rank) {
-                return Err(invariant(
-                    HllRegisters,
-                    format!(
-                        "register {pos} holds rank {} above the precision-{p} maximum {max_rank}",
-                        registers[pos]
-                    ),
-                ));
+            // 64 − p + 1 leading-zero bits + 1, under the set's own
+            // precision.
+            let mut off = 0usize;
+            for i in 0..n_us {
+                let p_i = match (&strat, &strata_ps) {
+                    (Some(st), Some(ps)) => ps[st.assign[i] as usize],
+                    _ => p as u8,
+                };
+                let m = 1usize << p_i;
+                let max_rank = 64 - p_i + 1;
+                if let Some(pos) = registers[off..off + m].iter().position(|&r| r > max_rank) {
+                    return Err(invariant(
+                        HllRegisters,
+                        format!(
+                            "set {i} register {pos} holds rank {} above the precision-{p_i} \
+                             maximum {max_rank}",
+                            registers[off + pos]
+                        ),
+                    ));
+                }
+                off += m;
             }
+            let col = match (&strat, strata_ps) {
+                (Some(st), Some(ps)) => HyperLogLogCollectionIn::from_raw_registers_stratified(
+                    registers, ps, st.assign, h.seed,
+                ),
+                _ => HyperLogLogCollectionIn::from_raw_registers(registers, p as u8, h.seed),
+            };
             (
                 SketchParams::Hll { precision: p as u8 },
-                SketchStoreIn::Hll(HyperLogLogCollectionIn::from_raw_registers(
-                    registers, p as u8, h.seed,
-                )),
+                SketchStoreIn::Hll(col),
             )
         }
         // `layout_for` already rejected unknown tags.
         tag => return Err(SnapshotError::BadRepresentation { tag }),
     };
     debug_assert_eq!(sizes.len(), n_us);
-    Ok(ProbGraphIn::from_parts(store, sizes, est, params, h.seed))
+    let stratified = strat.as_ref().map(|st| {
+        StratifiedParams::new(
+            st.pairs
+                .iter()
+                .map(|&(a, b)| stratum_sketch_params(base_tag, a, b))
+                .collect(),
+            st.assign.to_vec(),
+        )
+    });
+    Ok(ProbGraphIn::from_parts(
+        store, sizes, est, params, stratified, h.seed,
+    ))
 }
 
 /// Bottom-k reconstruction: the layout has the most redundant structure
@@ -917,6 +1276,7 @@ fn decode_onehash<'a>(
     entries: &[(SectionKind, u64, u64)],
     payloads: &[&'a [u8]],
     sizes: &[u32],
+    strat: Option<&StratumTable<'a>>,
 ) -> Result<(SketchParams, SketchStoreIn<'a>), SnapshotError> {
     use SectionKind::*;
     let n = h.n_sets;
@@ -928,6 +1288,14 @@ fn decode_onehash<'a>(
         0 => false,
         1 => true,
         other => return Err(bad_params(format!("bottom-k strided flag {other} not 0/1"))),
+    };
+    let strata_ks = strat
+        .map(|st| validate_k_strata(&st.pairs, "bottom-k"))
+        .transpose()?;
+    // The per-set sample cap: the header's k, or the set's stratum's.
+    let cap_of = |i: usize| match (&strat, &strata_ks) {
+        (Some(st), Some(ks)) => ks[st.assign[i] as usize] as usize,
+        _ => k as usize,
     };
     check_len(BkOffsets, entries[3].1, expected_bytes(n + 1, 4)?)?;
     check_len(BkLens, entries[4].1, expected_bytes(n, 4)?)?;
@@ -947,7 +1315,16 @@ fn decode_onehash<'a>(
         });
     }
     if strided {
-        check_len(BkElems, entries[1].1, expected_bytes(n, k * 4)?)?;
+        let elems_bytes = match (&strat, &strata_ks) {
+            (Some(st), Some(ks)) => checked_total(
+                st.counts()
+                    .iter()
+                    .zip(ks)
+                    .map(|(&c, &kj)| expected_bytes(c, kj as u64 * 4)),
+            )?,
+            _ => expected_bytes(n, k * 4)?,
+        };
+        check_len(BkElems, entries[1].1, elems_bytes)?;
     }
     let elems = cow_u32s(payloads[1]);
     let hashes = cow_u32s(payloads[2]);
@@ -965,24 +1342,28 @@ fn decode_onehash<'a>(
         ));
     }
     let family = HashFamily::new(1, h.seed);
+    // Strided offsets are the cumulative per-set caps (`i·k` uniformly).
+    let mut cap_run = 0usize;
     for i in 0..n as usize {
         let (start, end) = (offsets[i] as usize, offsets[i + 1] as usize);
         if end < start {
             return Err(invariant(BkOffsets, format!("offsets decrease at set {i}")));
         }
         let cap = end - start;
-        if cap > k_us {
+        let k_i = cap_of(i);
+        if cap > k_i {
             return Err(invariant(
                 BkOffsets,
-                format!("set {i} region capacity {cap} exceeds k = {k_us}"),
+                format!("set {i} region capacity {cap} exceeds its cap k = {k_i}"),
             ));
         }
-        if strided && start != i * k_us {
+        if strided && start != cap_run {
             return Err(invariant(
                 BkOffsets,
-                format!("strided layout requires offset {i} = i·k"),
+                format!("strided layout requires offset {i} = the cumulative caps"),
             ));
         }
+        cap_run += k_i;
         let len = lens[i] as usize;
         if len > cap {
             return Err(invariant(
@@ -1026,11 +1407,17 @@ fn decode_onehash<'a>(
             }
         }
     }
+    let col = match (strat, strata_ks) {
+        (Some(st), Some(ks)) => BottomKCollectionIn::from_raw_parts_stratified(
+            elems, hashes, offsets, lens, set_sizes, ks, st.assign, h.seed, strided,
+        ),
+        _ => BottomKCollectionIn::from_raw_parts(
+            elems, hashes, offsets, lens, set_sizes, k_us, h.seed, strided,
+        ),
+    };
     Ok((
         SketchParams::OneHash { k: k_us },
-        SketchStoreIn::OneHash(BottomKCollectionIn::from_raw_parts(
-            elems, hashes, offsets, lens, set_sizes, k_us, h.seed, strided,
-        )),
+        SketchStoreIn::OneHash(col),
     ))
 }
 
@@ -1042,6 +1429,7 @@ fn decode_kmv<'a>(
     entries: &[(SectionKind, u64, u64)],
     payloads: &[&'a [u8]],
     sizes: &[u32],
+    strat: Option<&StratumTable<'a>>,
 ) -> Result<(SketchParams, SketchStoreIn<'a>), SnapshotError> {
     use SectionKind::*;
     let n = h.n_sets;
@@ -1052,16 +1440,24 @@ fn decode_kmv<'a>(
     if h.param_b != 0 {
         return Err(bad_params("param B must be 0 for KMV"));
     }
+    let strata_ks = strat
+        .map(|st| validate_k_strata(&st.pairs, "KMV"))
+        .transpose()?;
+    let k_of = |i: usize| match (&strat, &strata_ks) {
+        (Some(st), Some(ks)) => ks[st.assign[i] as usize] as u64,
+        _ => k,
+    };
     check_len(KmvLens, entries[2].1, expected_bytes(n, 4)?)?;
     check_len(KmvSetSizes, entries[1].1, expected_bytes(n, 8)?)?;
     let lens = cow_u32s(payloads[2]);
     let set_sizes = cow_u64s(payloads[1]);
     let mut total: u64 = 0;
     for (i, &len) in lens.iter().enumerate() {
-        if len as u64 > k {
+        let k_i = k_of(i);
+        if len as u64 > k_i {
             return Err(invariant(
                 KmvLens,
-                format!("sketch {i} holds {len} hashes, above k = {k}"),
+                format!("sketch {i} holds {len} hashes, above its k = {k_i}"),
             ));
         }
         total = total
@@ -1095,19 +1491,23 @@ fn decode_kmv<'a>(
         }
         // Per-sketch views stay zero-copy only when the flat array
         // borrows the wire bytes; an owned decode is re-sliced per sketch.
+        let k_i = k_of(i) as usize;
         sketches.push(match &hashes {
             Cow::Borrowed(all) => {
-                KmvSketchIn::from_raw_parts(&all[start..end], k_us, set_sizes[i] as usize)
+                KmvSketchIn::from_raw_parts(&all[start..end], k_i, set_sizes[i] as usize)
             }
             Cow::Owned(all) => {
-                KmvSketchIn::from_raw_parts(all[start..end].to_vec(), k_us, set_sizes[i] as usize)
+                KmvSketchIn::from_raw_parts(all[start..end].to_vec(), k_i, set_sizes[i] as usize)
             }
         });
     }
-    Ok((
-        SketchParams::Kmv { k: k_us },
-        SketchStoreIn::Kmv(KmvCollectionIn::from_sketches(sketches, h.seed)),
-    ))
+    let col = match (strat, strata_ks) {
+        (Some(st), Some(ks)) => {
+            KmvCollectionIn::from_sketches_stratified(sketches, ks, st.assign, h.seed)
+        }
+        _ => KmvCollectionIn::from_sketches(sketches, h.seed),
+    };
+    Ok((SketchParams::Kmv { k: k_us }, SketchStoreIn::Kmv(col)))
 }
 
 // ---------------------------------------------------------------------------
@@ -1545,6 +1945,167 @@ mod tests {
             let back = ProbGraph::from_snapshot_bytes(&bytes).expect("empty snapshot loads");
             assert!(back.is_empty());
             assert_eq!(back.snapshot_to_bytes(), bytes);
+        }
+    }
+
+    /// Recomputes every checksum (payloads, table, header) after a test
+    /// mutates payload bytes in place — so semantic validation is what
+    /// rejects the file, not the checksums.
+    fn reseal(bytes: &mut [u8]) {
+        let count = u32le(bytes, 20) as usize;
+        let table_end = HEADER_LEN + count * ENTRY_LEN + 8;
+        let mut off = table_end;
+        for i in 0..count {
+            let e = HEADER_LEN + i * ENTRY_LEN;
+            let len = u64le(bytes, e + 8) as usize;
+            let sum = xxh64(&bytes[off..off + len], CHECKSUM_SEED);
+            bytes[e + 16..e + 24].copy_from_slice(&sum.to_le_bytes());
+            off += len;
+        }
+        let tsum = xxh64(&bytes[HEADER_LEN..table_end - 8], CHECKSUM_SEED);
+        bytes[table_end - 8..table_end].copy_from_slice(&tsum.to_le_bytes());
+        let hsum = xxh64(&bytes[..HEADER_LEN - 8], CHECKSUM_SEED);
+        bytes[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&hsum.to_le_bytes());
+    }
+
+    fn stratified_sample(rep: Representation) -> ProbGraph {
+        // Dense enough that every stratum's byte share clears the floors,
+        // so the build genuinely resolves multiple strata.
+        let g = gen::erdos_renyi_gnm(800, 24_000, 3);
+        ProbGraph::build(
+            &g,
+            &PgConfig::stratified(rep, 0.3, pg_sketch::StrataSpec::skewed_default()),
+        )
+    }
+
+    #[test]
+    fn stratified_roundtrip_is_bit_identical() {
+        let g = gen::erdos_renyi_gnm(800, 24_000, 3);
+        for rep in [
+            Representation::Bloom { b: 2 },
+            Representation::CountingBloom { b: 2 },
+            Representation::KHash,
+            Representation::OneHash,
+            Representation::Kmv,
+            Representation::Hll,
+        ] {
+            let pg = stratified_sample(rep);
+            let sp = pg
+                .stratified_params()
+                .unwrap_or_else(|| panic!("{rep:?}: expected a stratified build"))
+                .clone();
+            assert!(sp.n_strata() > 1, "{rep:?}");
+            let bytes = pg.snapshot_to_bytes();
+            assert_eq!(
+                u32le(&bytes, 12) & REP_STRATIFIED,
+                REP_STRATIFIED,
+                "{rep:?}: stratified flag set on the wire"
+            );
+            let back =
+                ProbGraph::from_snapshot_bytes(&bytes).unwrap_or_else(|e| panic!("{rep:?}: {e}"));
+            assert_eq!(back.snapshot_to_bytes(), bytes, "{rep:?}");
+            assert_eq!(back.params(), pg.params(), "{rep:?}");
+            assert_eq!(back.stratified_params(), Some(&sp), "{rep:?}");
+            assert_eq!(back.sizes(), pg.sizes(), "{rep:?}");
+            for (u, v) in g.edges().take(200) {
+                assert_eq!(
+                    back.estimate_intersection(u, v),
+                    pg.estimate_intersection(u, v),
+                    "{rep:?} ({u},{v})"
+                );
+            }
+            // The borrowed (zero-copy) load agrees too.
+            let aligned = AlignedBytes::copy_from(&bytes);
+            let borrowed = ProbGraphIn::from_snapshot_bytes_borrowed(&aligned)
+                .unwrap_or_else(|e| panic!("{rep:?}: {e}"));
+            assert_eq!(borrowed.snapshot_to_bytes(), bytes, "{rep:?}");
+            assert_eq!(borrowed.stratified_params(), Some(&sp), "{rep:?}");
+        }
+    }
+
+    #[test]
+    fn stratified_hostile_bytes_are_typed_not_panicked() {
+        let pg = stratified_sample(Representation::Bloom { b: 2 });
+        let bytes = pg.snapshot_to_bytes();
+        let payload_base = {
+            let count = u32le(&bytes, 20) as usize;
+            HEADER_LEN + count * ENTRY_LEN + 8
+        };
+        // The StratumParams table leads the payloads: 16 bytes per stratum.
+        // Corrupt stratum 1's width to a non-power-of-two multiple.
+        {
+            let mut b = bytes.clone();
+            b[payload_base + 16..payload_base + 24].copy_from_slice(&(64u64 * 3).to_le_bytes());
+            reseal(&mut b);
+            assert!(matches!(
+                ProbGraph::from_snapshot_bytes(&b),
+                Err(SnapshotError::BadParams { .. } | SnapshotError::SectionLength { .. })
+            ));
+        }
+        // Zero stratum 1's width.
+        {
+            let mut b = bytes.clone();
+            b[payload_base + 16..payload_base + 24].copy_from_slice(&0u64.to_le_bytes());
+            reseal(&mut b);
+            assert!(matches!(
+                ProbGraph::from_snapshot_bytes(&b),
+                Err(SnapshotError::BadParams { .. })
+            ));
+        }
+        // Stratum 0 disagreeing with the header's param A.
+        {
+            let mut b = bytes.clone();
+            let w0 = u64le(&b, payload_base);
+            b[payload_base..payload_base + 8].copy_from_slice(&(w0 * 2).to_le_bytes());
+            reseal(&mut b);
+            assert!(matches!(
+                ProbGraph::from_snapshot_bytes(&b),
+                Err(SnapshotError::BadParams { .. })
+            ));
+        }
+        // Stratum 1's hash count diverging from the header's b.
+        {
+            let mut b = bytes.clone();
+            b[payload_base + 24..payload_base + 32].copy_from_slice(&7u64.to_le_bytes());
+            reseal(&mut b);
+            assert!(matches!(
+                ProbGraph::from_snapshot_bytes(&b),
+                Err(SnapshotError::BadParams { .. })
+            ));
+        }
+        // An assignment byte pointing past the stratum table. The assign
+        // section is the last payload.
+        {
+            let mut b = bytes.clone();
+            let last = b.len() - 1;
+            b[last] = 200;
+            reseal(&mut b);
+            assert!(matches!(
+                ProbGraph::from_snapshot_bytes(&b),
+                Err(SnapshotError::InvariantViolation { .. })
+            ));
+        }
+        // Flipping an assignment byte to another *valid* stratum breaks
+        // the derived section lengths — the file is internally
+        // inconsistent, not silently misloaded.
+        {
+            let mut b = bytes.clone();
+            let last = b.len() - 1;
+            b[last] = if b[last] == 0 { 1 } else { 0 };
+            reseal(&mut b);
+            assert!(ProbGraph::from_snapshot_bytes(&b).is_err());
+        }
+        // A uniform representation tag carrying stratified sections — the
+        // section count no longer matches the uniform layout.
+        {
+            let mut b = bytes.clone();
+            let tag = u32le(&b, 12) & !REP_STRATIFIED;
+            b[12..16].copy_from_slice(&tag.to_le_bytes());
+            reseal(&mut b);
+            assert!(matches!(
+                ProbGraph::from_snapshot_bytes(&b),
+                Err(SnapshotError::SectionCount { .. })
+            ));
         }
     }
 

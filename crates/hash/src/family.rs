@@ -19,9 +19,16 @@ pub struct HashFamily {
 impl HashFamily {
     /// Creates a family of `k` functions from one master seed.
     ///
-    /// Two families with different master seeds, or with the same master
-    /// seed but different sizes, share no functions in common beyond what
-    /// chance allows.
+    /// Two families with different master seeds share no functions in
+    /// common beyond what chance allows. Families of different sizes over
+    /// the **same** master seed share their common prefix: per-function
+    /// seeds are drawn sequentially from one SplitMix64 stream, so
+    /// function `i` of a size-`k₁` family equals function `i` of a
+    /// size-`k₂ > k₁` family for every `i < k₁`. The stratified MinHash
+    /// layout leans on this — signatures of different widths agree on
+    /// their shared slot prefix, so comparing the first `min(k)` slots is
+    /// exactly the estimate both sketches would give at the narrower
+    /// width (`prefix_property_is_stable` pins it).
     pub fn new(k: usize, master_seed: u64) -> Self {
         let mut state = master_seed ^ 0x5bf0_3635_fa30_7e31;
         let mut seeds32 = Vec::with_capacity(k);
@@ -175,6 +182,23 @@ mod tests {
         for i in 0..4 {
             assert_eq!(a.hash32(i, 999), b.hash32(i, 999));
             assert_eq!(a.hash64(i, 999), b.hash64(i, 999));
+        }
+    }
+
+    #[test]
+    fn prefix_property_is_stable() {
+        // Families of different sizes over one master seed must share
+        // their function prefix — the stratified MinHash cross-width
+        // comparison (first min(k) slots) is only exact because of this.
+        for (k1, k2) in [(1usize, 4usize), (4, 16), (7, 64), (16, 17)] {
+            let small = HashFamily::new(k1, 1234);
+            let large = HashFamily::new(k2, 1234);
+            for i in 0..k1 {
+                for key in [0u64, 1, 999, u64::MAX] {
+                    assert_eq!(small.hash32(i, key), large.hash32(i, key), "i={i}");
+                    assert_eq!(small.hash64(i, key), large.hash64(i, key), "i={i}");
+                }
+            }
         }
     }
 

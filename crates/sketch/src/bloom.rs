@@ -1,10 +1,22 @@
 //! Bloom filters (§II-D) and the flat per-vertex collection ProbGraph
 //! builds over all neighborhoods.
 //!
-//! Every filter in a [`BloomCollection`] has the **same** bit length — that
-//! is the paper's central load-balancing trick (Fig. 1, panel 5): every
-//! neighborhood intersection costs exactly `B/W` word-AND operations, no
-//! matter how skewed the degrees are.
+//! By default every filter in a [`BloomCollection`] has the **same** bit
+//! length — that is the paper's central load-balancing trick (Fig. 1,
+//! panel 5): every neighborhood intersection costs exactly `B/W` word-AND
+//! operations, no matter how skewed the degrees are.
+//!
+//! A collection may instead be **stratified** ([`BloomStrata`]): sets are
+//! partitioned into strata whose filter widths are power-of-two multiples
+//! of the narrowest, stored back to back with per-set word offsets.
+//! Cross-stratum pairs are estimated at the narrower width by *folding*
+//! the wider filter: with the Lemire bucket reduction
+//! `bucket = (h·B) >> 32`, a bit set at wide bucket `w` (width `r·B`)
+//! corresponds exactly to narrow bucket `w / r`, so OR-ing each run of
+//! `r` consecutive wide bits yields — bit for bit — the filter that would
+//! have been built at width `B` directly ([`fold_words_into`]; the
+//! equivalence suite pins this). Uniform collections keep the flat
+//! fast path unchanged.
 //!
 //! ## Zero-allocation hot paths
 //!
@@ -205,11 +217,299 @@ pub struct BloomCollectionIn<'a> {
     /// of a fused AND pass) becomes one L2 load. Skipped for huge filters
     /// where the table would not stay cache-resident.
     swami: Option<Vec<f64>>,
+    /// `Some` when the collection is stratified: per-set widths/offsets
+    /// live here and `words_per_set`/`bits_per_set` hold the *narrowest*
+    /// stratum's shape (the width every cross-stratum estimate folds to).
+    strata: Option<BloomStrata<'a>>,
+    /// Lazily built [`BloomFoldCache`] for stratified row sweeps —
+    /// derived bookkeeping like `ones`/`swami`, never persisted, never
+    /// charged against the sketch budget. Built on the first cross-width
+    /// sweep and shared by every oracle over this collection (epoch
+    /// snapshots amortize it across all queries of an epoch); every
+    /// mutation path resets it, so it can never serve stale folds.
+    folds: std::sync::OnceLock<BloomFoldCache>,
 }
 
 /// The owned (`'static`) form of [`BloomCollectionIn`] — what builds,
 /// streaming updates, and the copying snapshot loader produce.
 pub type BloomCollection = BloomCollectionIn<'static>;
+
+/// Per-set geometry of a stratified Bloom collection: which stratum each
+/// set belongs to, each stratum's filter width, and the resulting word
+/// offsets (bottom-k's `offsets`/`lens` strided layout is the template).
+///
+/// Widths are power-of-two multiples of the narrowest stratum so wide
+/// filters fold exactly onto narrow ones for cross-stratum estimates.
+#[derive(Clone, Debug)]
+pub struct BloomStrata<'a> {
+    /// Per-set stratum index (borrowable: snapshots serve it in place).
+    assign: Cow<'a, [u8]>,
+    /// Per-stratum filter bits (whole words each).
+    bits: Vec<u32>,
+    /// Word offset of each set's filter window (`n_sets + 1` entries).
+    offsets: Vec<u64>,
+    /// Per-stratum memoized Swamidass curves (see
+    /// [`BloomCollectionIn::estimate_and_from_ones`]); cross-stratum
+    /// estimates index the table of the *narrower* stratum.
+    swami: Vec<Option<Vec<f64>>>,
+}
+
+impl<'a> BloomStrata<'a> {
+    fn new(assign: Cow<'a, [u8]>, bits: Vec<u32>, b: usize) -> Self {
+        assert!(!bits.is_empty(), "need at least one stratum");
+        let min_bits = *bits.iter().min().unwrap();
+        assert!(
+            min_bits >= 64 && min_bits.is_multiple_of(64),
+            "widths are whole words"
+        );
+        for &w in &bits {
+            let r = w / min_bits;
+            assert!(
+                w % min_bits == 0 && (r as usize).is_power_of_two() && r <= 64,
+                "stratum width {w} is not a power-of-two multiple of {min_bits}"
+            );
+        }
+        let mut offsets = Vec::with_capacity(assign.len() + 1);
+        let mut off = 0u64;
+        offsets.push(0);
+        for &a in assign.iter() {
+            off += (bits[a as usize] / 64) as u64;
+            offsets.push(off);
+        }
+        let swami = bits.iter().map(|&w| make_swami(w as usize, b)).collect();
+        BloomStrata {
+            assign,
+            bits,
+            offsets,
+            swami,
+        }
+    }
+
+    /// Per-set stratum indices.
+    #[inline]
+    pub fn assign(&self) -> &[u8] {
+        &self.assign
+    }
+
+    /// Per-stratum filter widths in bits.
+    #[inline]
+    pub fn stratum_bits(&self) -> &[u32] {
+        &self.bits
+    }
+
+    /// Stratum of set `i`.
+    #[inline]
+    pub fn stratum_of(&self, i: usize) -> usize {
+        self.assign[i] as usize
+    }
+
+    fn into_owned(self) -> BloomStrata<'static> {
+        BloomStrata {
+            assign: Cow::Owned(self.assign.into_owned()),
+            bits: self.bits,
+            offsets: self.offsets,
+            swami: self.swami,
+        }
+    }
+}
+
+/// Folds a filter built at `r ×` the target width down to the target:
+/// ORs each run of `r` consecutive wide bits into one narrow bit (the
+/// Lemire-bucket quotient map — see the module docs), appending the
+/// narrow words to `out` and returning their popcount. `r` must be a
+/// power of two ≤ 64; `r == 1` is a plain copy.
+pub fn fold_words_into(wide: &[u64], r: usize, out: &mut Vec<u64>) -> usize {
+    debug_assert!(r.is_power_of_two() && r <= 64, "fold ratio {r}");
+    if r == 1 {
+        out.extend_from_slice(wide);
+        return count_ones_words(wide);
+    }
+    let nb_per_word = 64 / r;
+    let mut ones = 0usize;
+    for t in 0..wide.len() / r {
+        let mut acc = 0u64;
+        for q in 0..r {
+            let mut x = wide[t * r + q];
+            // OR every r-bit group into the group's low bit: total shift
+            // reach is r−1 < r, so groups never contaminate each other.
+            let mut s = 1;
+            while s < r {
+                x |= x >> s;
+                s <<= 1;
+            }
+            // Pack the group low bits (every r-th bit) together.
+            let mut packed = 0u64;
+            for j in 0..nb_per_word {
+                packed |= ((x >> (j * r)) & 1) << j;
+            }
+            acc |= packed << (q * nb_per_word);
+        }
+        ones += acc.count_ones() as usize;
+        out.push(acc);
+    }
+    ones
+}
+
+/// Precomputed folded shadows of a stratified collection: every filter,
+/// folded down to each *narrower* stratum's width, with the folded
+/// popcounts alongside. Purely derived data — each shadow is exactly the
+/// [`BloomCollectionIn::fold_words_of`] output, so estimates read off it
+/// bit-identically — and transient: oracles build one lazily on the first
+/// cross-width row sweep and drop it with the algorithm call, so it never
+/// counts against the sketch budget and can never go stale (the oracle
+/// pins the collection immutably).
+///
+/// Why it exists: under degree orientation the destination lists of a row
+/// sweep are hub-heavy, so *most* cross-stratum traffic hits destinations
+/// **wider** than the source. Folding those per (source, destination)
+/// visit re-folds every hub once per row it appears in — `O(m)` folds.
+/// The cache folds each wide filter once (`O(n)` work bounded by the
+/// store size), after which every cross-width run is an equal-width
+/// multi-lane window pass, same as the uniform sweep.
+#[derive(Clone, Debug)]
+pub struct BloomFoldCache {
+    /// Dense base-width view: **every** filter folded to the narrowest
+    /// stratum width (narrowest-stratum filters are plain copies), in the
+    /// flat uniform `n_sets × base_words` stride. A narrowest-stratum
+    /// source compares every destination at its own width, so its whole
+    /// row sweep runs on this view with the uniform kernel's indexing —
+    /// no per-destination stratum resolution, offset chasing, or width
+    /// branches.
+    base: Vec<u64>,
+    /// Popcount of each base-view window.
+    base_ones: Vec<u32>,
+    /// Words per base-view window (`min(bits) / 64`).
+    base_words: usize,
+    /// Sparse mid-width shadows, set-major: set `i`'s shadows at targets
+    /// *between* its own width and the base width (ascending stratum
+    /// index) occupy `word_off[i]..word_off[i + 1]`. Only wider-stratum
+    /// sources ever read these, so the bulk of a skewed assignment
+    /// contributes nothing.
+    words: Vec<u64>,
+    /// Word offset of each set's sparse block (`n_sets + 1` entries).
+    word_off: Vec<u64>,
+    /// Folded popcounts, in the same set-major target order.
+    ones: Vec<u32>,
+    /// Shadow-count offset of each set's block (`n_sets + 1` entries).
+    ones_off: Vec<u32>,
+    /// `sub_word[s][t]`: word offset of target `t`'s shadow inside a
+    /// stratum-`s` set's sparse block; `u32::MAX` when absent (target
+    /// not narrower, or served by the base view).
+    sub_word: Vec<Vec<u32>>,
+    /// `sub_idx[s][t]`: shadow index of target `t` inside the block.
+    sub_idx: Vec<Vec<u32>>,
+    /// Words per shadow at each target stratum (`bits[t] / 64`).
+    t_words: Vec<u32>,
+}
+
+impl BloomFoldCache {
+    /// Folds every filter of `col` down to each narrower stratum width:
+    /// one dense pass for the base (narrowest) width, sparse blocks for
+    /// the mid widths. One `O(store)` pass in total.
+    pub fn new(col: &BloomCollectionIn<'_>) -> Self {
+        let st = col.strata().expect("fold cache on a uniform collection");
+        let bits = st.stratum_bits();
+        let n_strata = bits.len();
+        let min_bits = *bits.iter().min().unwrap();
+        let base_words = (min_bits / 64) as usize;
+        let assign = st.assign();
+
+        // Dense base-width view over all sets.
+        let mut base = Vec::with_capacity(assign.len() * base_words);
+        let mut base_ones = Vec::with_capacity(assign.len());
+        for (i, &a) in assign.iter().enumerate() {
+            let r = (bits[a as usize] / min_bits) as usize;
+            base_ones.push(fold_words_into(col.words(i), r, &mut base) as u32);
+        }
+
+        // Sparse mid-width shadows (targets strictly between base and the
+        // set's own width).
+        let wanted = |s: usize, t: usize| bits[t] < bits[s] && bits[t] > min_bits;
+        let mut sub_word = vec![vec![u32::MAX; n_strata]; n_strata];
+        let mut sub_idx = vec![vec![u32::MAX; n_strata]; n_strata];
+        let mut block_words = vec![0u32; n_strata];
+        let mut block_count = vec![0u32; n_strata];
+        for s in 0..n_strata {
+            for t in 0..n_strata {
+                if wanted(s, t) {
+                    sub_word[s][t] = block_words[s];
+                    sub_idx[s][t] = block_count[s];
+                    block_words[s] += bits[t] / 64;
+                    block_count[s] += 1;
+                }
+            }
+        }
+        let mut word_off = Vec::with_capacity(assign.len() + 1);
+        let mut ones_off = Vec::with_capacity(assign.len() + 1);
+        let (mut wo, mut oo) = (0u64, 0u32);
+        word_off.push(wo);
+        ones_off.push(oo);
+        for &a in assign {
+            wo += block_words[a as usize] as u64;
+            oo += block_count[a as usize];
+            word_off.push(wo);
+            ones_off.push(oo);
+        }
+        let mut words = Vec::with_capacity(wo as usize);
+        let mut ones = Vec::with_capacity(oo as usize);
+        for (i, &a) in assign.iter().enumerate() {
+            for t in 0..n_strata {
+                if wanted(a as usize, t) {
+                    // `fold_words_into` appends, so set-major target order
+                    // falls out of the iteration order.
+                    let o = col.fold_words_of(i, t, &mut words);
+                    ones.push(o as u32);
+                }
+            }
+        }
+        BloomFoldCache {
+            base,
+            base_ones,
+            base_words,
+            words,
+            word_off,
+            ones,
+            ones_off,
+            sub_word,
+            sub_idx,
+            t_words: bits.iter().map(|&w| w / 64).collect(),
+        }
+    }
+
+    /// Base-view window of set `j` — its filter at the narrowest stratum
+    /// width, flat uniform stride.
+    #[inline]
+    pub fn base_window(&self, j: usize) -> &[u64] {
+        &self.base[j * self.base_words..(j + 1) * self.base_words]
+    }
+
+    /// Popcount of set `j`'s base-view window.
+    #[inline]
+    pub fn base_ones(&self, j: usize) -> usize {
+        self.base_ones[j] as usize
+    }
+
+    /// Shadow of set `i` (which lives in stratum `s`) at the narrower
+    /// stratum `t`: the folded word window and its popcount. Base-width
+    /// targets come off the dense view, mid-width targets off the sparse
+    /// blocks.
+    #[inline]
+    pub fn shadow(&self, i: usize, s: usize, t: usize) -> (&[u64], usize) {
+        let nw = self.t_words[t] as usize;
+        if nw == self.base_words {
+            return (self.base_window(i), self.base_ones(i));
+        }
+        let sub = self.sub_word[s][t];
+        debug_assert_ne!(
+            sub,
+            u32::MAX,
+            "no shadow: stratum {t} not narrower than {s}"
+        );
+        let wo = (self.word_off[i] + sub as u64) as usize;
+        let oi = self.ones_off[i] as usize + self.sub_idx[s][t] as usize;
+        (&self.words[wo..wo + nw], self.ones[oi] as usize)
+    }
+}
 
 /// Largest `B` for which the Swamidass table is materialized (512 KiB of
 /// `f64`; per-neighborhood budgets are orders of magnitude below this).
@@ -285,6 +585,80 @@ impl<'a> BloomCollectionIn<'a> {
             family,
             ones,
             swami: make_swami(bits_per_set, b),
+            strata: None,
+            folds: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Builds a **stratified** collection: set `i` gets a filter of
+    /// `stratum_bits[assign[i]]` bits, windows stored back to back in set
+    /// order. Widths must be whole words and power-of-two multiples of the
+    /// narrowest (see [`BloomStrata`]). With a single stratum this lowers
+    /// onto [`BloomCollectionIn::build`] and is bit-identical to it.
+    pub fn build_stratified<'s, F>(
+        stratum_bits: Vec<u32>,
+        assign: Vec<u8>,
+        b: usize,
+        seed: u64,
+        set: F,
+    ) -> Self
+    where
+        F: Fn(usize) -> &'s [u32] + Sync,
+    {
+        if stratum_bits.len() == 1 {
+            return Self::build(assign.len(), stratum_bits[0] as usize, b, seed, set);
+        }
+        assert!(b > 0, "need at least one hash function");
+        assert!(
+            b <= MAX_BLOOM_HASHES,
+            "at most {MAX_BLOOM_HASHES} hash functions supported"
+        );
+        let n_sets = assign.len();
+        let strata = BloomStrata::new(Cow::Owned(assign), stratum_bits, b);
+        let total_words = strata.offsets[n_sets] as usize;
+        let family = HashFamily::new(b, seed);
+        let mut data = vec![0u64; total_words];
+        let mut ones = vec![0u32; n_sets];
+        {
+            struct SendPtr<T>(*mut T);
+            unsafe impl<T> Send for SendPtr<T> {}
+            unsafe impl<T> Sync for SendPtr<T> {}
+            let base = SendPtr(data.as_mut_ptr());
+            let base = &base;
+            let ones_base = SendPtr(ones.as_mut_ptr());
+            let ones_base = &ones_base;
+            let family = &family;
+            let strata_ref = &strata;
+            parallel_for(n_sets, |s| {
+                let start = strata_ref.offsets[s] as usize;
+                let len = (strata_ref.offsets[s + 1] - strata_ref.offsets[s]) as usize;
+                let bits = len * 64;
+                // SAFETY: offsets are strictly increasing, so each set's
+                // window is exclusive to it.
+                let window = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), len) };
+                for &x in set(s) {
+                    family.for_each_bucket(x as u64, bits, |pos| {
+                        // SAFETY: Lemire reduction yields pos < bits.
+                        unsafe {
+                            *window.get_unchecked_mut(pos as usize / 64) |= 1u64 << (pos % 64);
+                        }
+                    });
+                }
+                // SAFETY: slot s is exclusive to set s.
+                unsafe { *ones_base.0.add(s) = count_ones_words(window) as u32 };
+            });
+        }
+        let narrow = *strata.bits.iter().min().unwrap() as usize;
+        BloomCollectionIn {
+            data: Cow::Owned(data),
+            words_per_set: narrow / 64,
+            bits_per_set: narrow,
+            b,
+            family,
+            ones,
+            swami: None,
+            strata: Some(strata),
+            folds: std::sync::OnceLock::new(),
         }
     }
 
@@ -326,6 +700,61 @@ impl<'a> BloomCollectionIn<'a> {
             family: HashFamily::new(b, seed),
             ones,
             swami: make_swami(bits_per_set, b),
+            strata: None,
+            folds: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Stratified sibling of [`BloomCollectionIn::from_raw_words`]: the
+    /// snapshot loader reassembles a stratified collection from validated
+    /// words plus the per-stratum width table and per-set assignment (both
+    /// of which the loader has already cross-checked against the payload
+    /// length). Popcounts are recomputed here in parallel.
+    pub fn from_raw_words_stratified(
+        data: impl Into<Cow<'a, [u64]>>,
+        stratum_bits: Vec<u32>,
+        assign: impl Into<Cow<'a, [u8]>>,
+        b: usize,
+        seed: u64,
+    ) -> Self {
+        let assign = assign.into();
+        if stratum_bits.len() == 1 {
+            let wps = (stratum_bits[0] / 64) as usize;
+            return Self::from_raw_words(data, wps, b, seed);
+        }
+        let data = data.into();
+        assert!(b > 0, "need at least one hash function");
+        assert!(
+            b <= MAX_BLOOM_HASHES,
+            "at most {MAX_BLOOM_HASHES} hash functions supported"
+        );
+        let n_sets = assign.len();
+        let strata = BloomStrata::new(assign, stratum_bits, b);
+        assert_eq!(
+            strata.offsets[n_sets] as usize,
+            data.len(),
+            "word array does not match the stratified geometry"
+        );
+        let mut ones = vec![0u32; n_sets];
+        {
+            let strata = &strata;
+            let data = &data[..];
+            pg_parallel::parallel_fill_with(&mut ones, |i| {
+                count_ones_words(&data[strata.offsets[i] as usize..strata.offsets[i + 1] as usize])
+                    as u32
+            });
+        }
+        let narrow = *strata.bits.iter().min().unwrap() as usize;
+        BloomCollectionIn {
+            data,
+            words_per_set: narrow / 64,
+            bits_per_set: narrow,
+            b,
+            family: HashFamily::new(b, seed),
+            ones,
+            swami: None,
+            strata: Some(strata),
+            folds: std::sync::OnceLock::new(),
         }
     }
 
@@ -345,6 +774,8 @@ impl<'a> BloomCollectionIn<'a> {
             family: first.family.clone(),
             ones: Vec::new(),
             swami: first.swami.clone(),
+            strata: None,
+            folds: std::sync::OnceLock::new(),
         };
         out.gather_into(parts);
         out
@@ -357,9 +788,41 @@ impl<'a> BloomCollectionIn<'a> {
     /// popcount arrays are straight memcpys, so a publish costs one linear
     /// pass over the store and re-hashes nothing.
     pub fn gather_into(&mut self, parts: &[&BloomCollectionIn<'_>]) {
+        self.folds.take();
+        let first = parts.first().expect("gather needs at least one part");
+        if let Some(fs) = &first.strata {
+            // Stratified parts: concatenate words/popcounts and rebuild
+            // the assignment (offsets follow from it). All parts must
+            // share the stratum width table.
+            let mut assign = Vec::new();
+            let data = cow_clear(&mut self.data);
+            self.ones.clear();
+            for p in parts {
+                let ps = p
+                    .strata
+                    .as_ref()
+                    .expect("gather: mixed uniform/stratified parts");
+                assert_eq!(ps.bits, fs.bits, "gather: mismatched stratum widths");
+                assert_eq!(p.b, self.b, "gather: mismatched hash counts");
+                data.extend_from_slice(&p.data);
+                self.ones.extend_from_slice(&p.ones);
+                assign.extend_from_slice(&ps.assign);
+            }
+            self.words_per_set = first.words_per_set;
+            self.bits_per_set = first.bits_per_set;
+            self.swami = None;
+            self.strata = Some(BloomStrata::new(
+                Cow::Owned(assign),
+                fs.bits.clone(),
+                self.b,
+            ));
+            return;
+        }
+        self.strata = None;
         let data = cow_clear(&mut self.data);
         self.ones.clear();
         for p in parts {
+            assert!(p.strata.is_none(), "gather: mixed uniform/stratified parts");
             assert_eq!(
                 p.words_per_set, self.words_per_set,
                 "gather: mismatched filter widths"
@@ -381,13 +844,18 @@ impl<'a> BloomCollectionIn<'a> {
             family: self.family,
             ones: self.ones,
             swami: self.swami,
+            strata: self.strata.map(BloomStrata::into_owned),
+            folds: self.folds,
         }
     }
 
     /// Number of filters.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len().checked_div(self.words_per_set).unwrap_or(0)
+        match &self.strata {
+            Some(st) => st.assign.len(),
+            None => self.data.len().checked_div(self.words_per_set).unwrap_or(0),
+        }
     }
 
     /// True when the collection holds no filters.
@@ -396,10 +864,47 @@ impl<'a> BloomCollectionIn<'a> {
         self.len() == 0
     }
 
-    /// Bits per filter (`B_X`, identical for every set by design).
+    /// Bits per filter (`B_X`) — for stratified collections this is the
+    /// **narrowest** stratum's width (the geometry every cross-stratum
+    /// estimate folds to); use [`BloomCollectionIn::bits_of`] for the
+    /// width of a specific set.
     #[inline]
     pub fn bits_per_set(&self) -> usize {
         self.bits_per_set
+    }
+
+    /// Per-set geometry ([`BloomStrata`]) when the collection is
+    /// stratified; `None` on the uniform fast path.
+    #[inline]
+    pub fn strata(&self) -> Option<&BloomStrata<'a>> {
+        self.strata.as_ref()
+    }
+
+    /// Filter width of set `i` in bits.
+    #[inline]
+    pub fn bits_of(&self, i: usize) -> usize {
+        match &self.strata {
+            Some(st) => st.bits[st.assign[i] as usize] as usize,
+            None => self.bits_per_set,
+        }
+    }
+
+    /// Stratum index of set `i` (0 for uniform collections).
+    #[inline]
+    pub fn stratum_of(&self, i: usize) -> usize {
+        match &self.strata {
+            Some(st) => st.assign[i] as usize,
+            None => 0,
+        }
+    }
+
+    /// Word range of set `i`'s filter window.
+    #[inline]
+    fn word_range(&self, i: usize) -> std::ops::Range<usize> {
+        match &self.strata {
+            Some(st) => st.offsets[i] as usize..st.offsets[i + 1] as usize,
+            None => i * self.words_per_set..(i + 1) * self.words_per_set,
+        }
     }
 
     /// Number of hash functions `b`.
@@ -417,7 +922,25 @@ impl<'a> BloomCollectionIn<'a> {
     /// The word window of filter `i`.
     #[inline]
     pub fn words(&self, i: usize) -> &[u64] {
-        &self.data[i * self.words_per_set..(i + 1) * self.words_per_set]
+        &self.data[self.word_range(i)]
+    }
+
+    /// The lazily built fold-shadow cache (stratified collections only):
+    /// built on first use, shared by every reader of this collection, and
+    /// reset by every mutation. Amortized `O(store)` once per collection
+    /// (or per published epoch snapshot) rather than per oracle.
+    pub fn fold_cache(&self) -> &BloomFoldCache {
+        self.folds.get_or_init(|| BloomFoldCache::new(self))
+    }
+
+    /// Folds set `i`'s filter down to `stratum`'s width, appending the
+    /// narrow words to `out` and returning their popcount. `i`'s stratum
+    /// must be at least as wide as the target (equal width is a copy).
+    pub fn fold_words_of(&self, i: usize, stratum: usize, out: &mut Vec<u64>) -> usize {
+        let st = self.strata.as_ref().expect("fold on a uniform collection");
+        let (wi, wt) = (st.bits[st.assign[i] as usize], st.bits[stratum]);
+        debug_assert!(wi >= wt, "cannot fold {wi} bits up to {wt}");
+        fold_words_into(self.words(i), (wi / wt) as usize, out)
     }
 
     /// The whole flat word array (`n_sets × words_per_set`) — the
@@ -455,16 +978,18 @@ impl<'a> BloomCollectionIn<'a> {
     /// the word window and popcount delta hoisted out of the element loop
     /// (the streaming hot path — updates arrive grouped by source vertex).
     pub fn insert_batch(&mut self, i: usize, xs: &[u32]) {
-        let window = &mut self.data.to_mut()[i * self.words_per_set..(i + 1) * self.words_per_set];
+        self.folds.take();
+        let range = self.word_range(i);
+        let bits = self.bits_of(i);
+        let window = &mut self.data.to_mut()[range];
         let mut added = 0u32;
         for &x in xs {
-            self.family
-                .for_each_bucket(x as u64, self.bits_per_set, |pos| {
-                    let w = &mut window[pos as usize / 64];
-                    let bit = 1u64 << (pos % 64);
-                    added += u32::from(*w & bit == 0);
-                    *w |= bit;
-                });
+            self.family.for_each_bucket(x as u64, bits, |pos| {
+                let w = &mut window[pos as usize / 64];
+                let bit = 1u64 << (pos % 64);
+                added += u32::from(*w & bit == 0);
+                *w |= bit;
+            });
         }
         self.ones[i] += added;
     }
@@ -475,8 +1000,10 @@ impl<'a> BloomCollectionIn<'a> {
     /// derived bit flips; everyone else inserts elements.
     #[inline]
     pub(crate) fn set_bit(&mut self, i: usize, pos: usize) {
-        debug_assert!(pos < self.bits_per_set);
-        let w = &mut self.data.to_mut()[i * self.words_per_set + pos / 64];
+        self.folds.take();
+        debug_assert!(pos < self.bits_of(i));
+        let start = self.word_range(i).start;
+        let w = &mut self.data.to_mut()[start + pos / 64];
         let bit = 1u64 << (pos % 64);
         self.ones[i] += u32::from(*w & bit == 0);
         *w |= bit;
@@ -488,8 +1015,10 @@ impl<'a> BloomCollectionIn<'a> {
     /// insert-only by construction).
     #[inline]
     pub(crate) fn clear_bit(&mut self, i: usize, pos: usize) {
-        debug_assert!(pos < self.bits_per_set);
-        let w = &mut self.data.to_mut()[i * self.words_per_set + pos / 64];
+        self.folds.take();
+        debug_assert!(pos < self.bits_of(i));
+        let start = self.word_range(i).start;
+        let w = &mut self.data.to_mut()[start + pos / 64];
         let bit = 1u64 << (pos % 64);
         self.ones[i] -= u32::from(*w & bit != 0);
         *w &= !bit;
@@ -500,23 +1029,86 @@ impl<'a> BloomCollectionIn<'a> {
         let w = self.words(i);
         let mut buf = [0u32; MAX_BLOOM_HASHES];
         self.family
-            .buckets_into(item as u64, self.bits_per_set, &mut buf[..self.b]);
+            .buckets_into(item as u64, self.bits_of(i), &mut buf[..self.b]);
         buf[..self.b]
             .iter()
             .all(|&pos| (w[pos as usize / 64] >> (pos % 64)) & 1 == 1)
     }
 
     /// `B_{X∩Y,1}`: fused AND+popcount of filters `i` and `j` — the `O(B/W)`
-    /// kernel of Table IV.
+    /// kernel of Table IV. Cross-stratum pairs are compared at the
+    /// narrower width (the wider filter is folded first — a scalar
+    /// fallback; batch sweeps hoist the fold per row).
     #[inline]
     pub fn and_ones(&self, i: usize, j: usize) -> usize {
-        and_count_words(self.words(i), self.words(j))
+        if self.bits_of(i) == self.bits_of(j) {
+            and_count_words(self.words(i), self.words(j))
+        } else {
+            self.pair_stats(i, j).0.and_ones
+        }
     }
 
-    /// `B_{X∪Y,1}`: fused OR+popcount.
+    /// `B_{X∪Y,1}`: fused OR+popcount (cross-stratum pairs folded to the
+    /// narrower width first).
     #[inline]
     pub fn or_ones(&self, i: usize, j: usize) -> usize {
-        or_count_words(self.words(i), self.words(j))
+        if self.bits_of(i) == self.bits_of(j) {
+            or_count_words(self.words(i), self.words(j))
+        } else {
+            self.pair_stats(i, j).0.or_ones
+        }
+    }
+
+    /// Pair statistics plus the stratum whose geometry (width + Swamidass
+    /// curve) the pair's estimates must be evaluated at: the narrower of
+    /// the two sets' strata. Equal-width pairs run the fused kernel on
+    /// the raw windows; cross-width pairs fold the wider filter (its
+    /// folded popcount is computed during the fold — the raw cached
+    /// popcount belongs to the unfolded geometry).
+    fn pair_stats(&self, i: usize, j: usize) -> (PairOnes, usize) {
+        let (wi, wj) = (self.bits_of(i), self.bits_of(j));
+        if wi == wj {
+            let and_ones = and_count_words(self.words(i), self.words(j));
+            let a_ones = self.ones[i] as usize;
+            let b_ones = self.ones[j] as usize;
+            let s = if self.strata.is_some() {
+                self.stratum_of(i)
+            } else {
+                0
+            };
+            return (
+                PairOnes {
+                    and_ones,
+                    or_ones: a_ones + b_ones - and_ones,
+                    a_ones,
+                    b_ones,
+                },
+                s,
+            );
+        }
+        let mut folded = Vec::new();
+        let (narrow, a_ones, b_ones, s) = if wi < wj {
+            let b_ones = self.fold_words_of(j, self.stratum_of(i), &mut folded);
+            (i, self.ones[i] as usize, b_ones, self.stratum_of(i))
+        } else {
+            let a_ones = self.fold_words_of(i, self.stratum_of(j), &mut folded);
+            (j, a_ones, self.ones[j] as usize, self.stratum_of(j))
+        };
+        let (a_words, b_words): (&[u64], &[u64]) = if narrow == i {
+            (self.words(i), &folded)
+        } else {
+            (&folded, self.words(j))
+        };
+        let and_ones = and_count_words(a_words, b_words);
+        (
+            PairOnes {
+                and_ones,
+                or_ones: a_ones + b_ones - and_ones,
+                a_ones,
+                b_ones,
+            },
+            s,
+        )
     }
 
     /// Multi-lane `B_{X∩Y,1}`: one word-window pass ANDs the pinned source
@@ -548,6 +1140,11 @@ impl<'a> BloomCollectionIn<'a> {
         prefetch_dist: usize,
         emit: F,
     ) {
+        debug_assert!(
+            self.strata.is_none(),
+            "tiled sweeps need the flat uniform stride (the block planner \
+             declines stratified stores)"
+        );
         and_count_words_tiled(row, &self.data, self.words_per_set, js, prefetch_dist, emit);
     }
 
@@ -558,15 +1155,7 @@ impl<'a> BloomCollectionIn<'a> {
     /// windows (the equivalence suite asserts this).
     #[inline]
     pub fn pair_ones(&self, i: usize, j: usize) -> PairOnes {
-        let and_ones = self.and_ones(i, j);
-        let a_ones = self.ones[i] as usize;
-        let b_ones = self.ones[j] as usize;
-        PairOnes {
-            and_ones,
-            or_ones: a_ones + b_ones - and_ones,
-            a_ones,
-            b_ones,
-        }
+        self.pair_stats(i, j).0
     }
 
     /// Memoized Swamidass evaluation (falls back to the closed form for
@@ -580,10 +1169,36 @@ impl<'a> BloomCollectionIn<'a> {
         }
     }
 
+    /// Memoized Swamidass evaluation at stratum `s`'s width (stratum 0 ≡
+    /// the whole collection when uniform).
+    #[inline]
+    fn swamidass_at(&self, s: usize, ones: usize) -> f64 {
+        match &self.strata {
+            None => self.swamidass(ones),
+            Some(st) => match &st.swami[s] {
+                Some(t) => t[ones],
+                None => estimators::bf_size_swamidass(ones, st.bits[s] as usize, self.b),
+            },
+        }
+    }
+
+    /// `|X∩Y|̂_AND` from a precomputed `B_{X∩Y,1}` at stratum `s`'s width —
+    /// the stratified sibling of
+    /// [`BloomCollectionIn::estimate_and_from_ones`], for row sweeps that
+    /// compare a folded source against stratum-`s` destinations.
+    #[inline]
+    pub fn estimate_and_from_ones_at(&self, s: usize, and_ones: usize) -> f64 {
+        self.swamidass_at(s, and_ones)
+    }
+
     /// `|X∩Y|̂_AND` (Eq. 2) between sets `i` and `j`.
     #[inline]
     pub fn estimate_and(&self, i: usize, j: usize) -> f64 {
-        self.swamidass(self.and_ones(i, j))
+        if self.strata.is_none() {
+            return self.swamidass(self.and_ones(i, j));
+        }
+        let (p, s) = self.pair_stats(i, j);
+        self.swamidass_at(s, p.and_ones)
     }
 
     /// `|X∩Y|̂_AND` from a precomputed `B_{X∩Y,1}` — the memoized Swamidass
@@ -605,17 +1220,18 @@ impl<'a> BloomCollectionIn<'a> {
     /// Eq. 29 is `nx + ny − swami(B_{X∪Y,1})`, served from the memo table.
     #[inline]
     pub fn estimate_or(&self, i: usize, j: usize, nx: usize, ny: usize) -> f64 {
-        (nx + ny) as f64 - self.swamidass(self.pair_ones(i, j).or_ones)
+        let (p, s) = self.pair_stats(i, j);
+        (nx + ny) as f64 - self.swamidass_at(s, p.or_ones)
     }
 
     /// All three estimators of the pair from one fused pass.
     #[inline]
     pub fn estimate_all(&self, i: usize, j: usize, nx: usize, ny: usize) -> BfPairEstimates {
-        let p = self.pair_ones(i, j);
+        let (p, s) = self.pair_stats(i, j);
         BfPairEstimates {
-            and_est: self.swamidass(p.and_ones),
+            and_est: self.swamidass_at(s, p.and_ones),
             limit_est: estimators::bf_intersect_limit(p.and_ones, self.b),
-            or_est: (nx + ny) as f64 - self.swamidass(p.or_ones),
+            or_est: (nx + ny) as f64 - self.swamidass_at(s, p.or_ones),
         }
     }
 
@@ -805,6 +1421,95 @@ mod tests {
         let rebuilt = BloomCollection::build(1, 256, 3, 5, |_| &[7u32, 8, 9][..]);
         assert_eq!(one.words(0), rebuilt.words(0));
         assert_eq!(one.count_ones(0), rebuilt.count_ones(0));
+    }
+
+    #[test]
+    fn folding_a_wide_filter_reproduces_the_narrow_build_exactly() {
+        // The Lemire-bucket quotient map makes the fold *exact*: OR-ing
+        // each run of r consecutive bits of an rB-bit filter yields, bit
+        // for bit, the filter that would have been built at B directly.
+        let items: Vec<u32> = (0..300).map(|i| i * 37 + 5).collect();
+        for r in [2usize, 4, 8] {
+            let narrow = BloomCollection::build(1, 512, 2, 11, |_| &items[..]);
+            let wide = BloomCollection::build(1, 512 * r, 2, 11, |_| &items[..]);
+            let mut folded = Vec::new();
+            let ones = fold_words_into(wide.words(0), r, &mut folded);
+            assert_eq!(&folded[..], narrow.words(0), "r={r}");
+            assert_eq!(ones, narrow.count_ones(0), "r={r}");
+        }
+    }
+
+    #[test]
+    fn one_stratum_build_is_bit_identical_to_uniform() {
+        let sets: Vec<Vec<u32>> = (0..30)
+            .map(|s| (0..40 + s * 11).map(|i| (i * 23 + s) as u32).collect())
+            .collect();
+        let uni = BloomCollection::build(sets.len(), 768, 2, 13, |i| &sets[i][..]);
+        let strat = BloomCollection::build_stratified(vec![768], vec![0; sets.len()], 2, 13, |i| {
+            &sets[i][..]
+        });
+        assert!(strat.strata().is_none(), "1-stratum lowers to uniform");
+        assert_eq!(uni.raw_words(), strat.raw_words());
+        assert_eq!(uni.raw_ones(), strat.raw_ones());
+    }
+
+    #[test]
+    fn cross_stratum_estimates_match_both_built_at_narrow_width() {
+        let sets: Vec<Vec<u32>> = (0..16)
+            .map(|s| (0..60 + s * 19).map(|i| (i * 31 + s) as u32).collect())
+            .collect();
+        // Alternate strata so plenty of cross-stratum pairs exist.
+        let assign: Vec<u8> = (0..16).map(|i| (i % 3) as u8).collect();
+        let strat =
+            BloomCollection::build_stratified(vec![2048, 1024, 512], assign.clone(), 2, 7, |i| {
+                &sets[i][..]
+            });
+        for i in 0..sets.len() {
+            for j in 0..sets.len() {
+                let w = strat.bits_of(i).min(strat.bits_of(j));
+                let both_narrow = BloomCollection::build(2, w, 2, 7, |t| {
+                    if t == 0 {
+                        &sets[i][..]
+                    } else {
+                        &sets[j][..]
+                    }
+                });
+                assert_eq!(
+                    strat.and_ones(i, j),
+                    both_narrow.and_ones(0, 1),
+                    "pair ({i},{j})"
+                );
+                assert_eq!(
+                    strat.estimate_and(i, j),
+                    both_narrow.estimate_and(0, 1),
+                    "pair ({i},{j})"
+                );
+                assert_eq!(
+                    strat.estimate_or(i, j, sets[i].len(), sets[j].len()),
+                    both_narrow.estimate_or(0, 1, sets[i].len(), sets[j].len()),
+                    "pair ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_insert_matches_stratified_rebuild() {
+        let full: Vec<Vec<u32>> = (0..12)
+            .map(|s| (0..70 + s * 9).map(|i| (i * 19 + s) as u32).collect())
+            .collect();
+        let assign: Vec<u8> = (0..12).map(|i| (i % 2) as u8).collect();
+        let want = BloomCollection::build_stratified(vec![1024, 512], assign.clone(), 2, 13, |i| {
+            &full[i][..]
+        });
+        let mut got = BloomCollection::build_stratified(vec![1024, 512], assign, 2, 13, |i| {
+            &full[i][..full[i].len() / 3]
+        });
+        for (i, set) in full.iter().enumerate() {
+            got.insert_batch(i, &set[set.len() / 3..]);
+            assert_eq!(got.words(i), want.words(i), "set {i}");
+            assert_eq!(got.count_ones(i), want.count_ones(i), "set {i}");
+        }
     }
 
     #[test]

@@ -14,6 +14,14 @@
 //! estimator), which is what makes `Ĵ_1H = matches/k` unbiased and
 //! Prop. IV.3's exponential bound applicable. Samples are stored in hash
 //! order so this union-merge costs `O(k)` (Table IV).
+//!
+//! A collection may be **stratified** ([`BkStrata`]): each set's sample
+//! cap `k` comes from its stratum. Cross-stratum pairs walk the first
+//! `min(k_i, k_j)` union draws — exact, because truncating a bottom-k
+//! sample to its `k' < k` hash-smallest entries *is* the bottom-`k'`
+//! sample, so the capped walk equals both sketches built at the narrower
+//! cap. The offsets/lens layout was already heterogeneous; stratification
+//! only varies the per-set capacity.
 
 use crate::cowvec::cow_clear;
 use crate::estimators;
@@ -98,7 +106,8 @@ fn union_matches_x2(
     bh0: &[u32],
     b1: &[u32],
     bh1: &[u32],
-    k: usize,
+    k0: usize,
+    k1: usize,
 ) -> ((usize, usize), (usize, usize)) {
     #[inline(always)]
     fn key(h: &[u32], e: &[u32], t: usize) -> u64 {
@@ -107,7 +116,7 @@ fn union_matches_x2(
     let (mut i0, mut j0, mut m0, mut t0) = (0usize, 0usize, 0usize, 0usize);
     let (mut i1, mut j1, mut m1, mut t1) = (0usize, 0usize, 0usize, 0usize);
     loop {
-        while t0 < k && i0 < a.len() && j0 < b0.len() && t1 < k && i1 < a.len() && j1 < b1.len() {
+        while t0 < k0 && i0 < a.len() && j0 < b0.len() && t1 < k1 && i1 < a.len() && j1 < b1.len() {
             let ka0 = key(ah, a, i0);
             let kb0 = key(bh0, b0, j0);
             let ka1 = key(ah, a, i1);
@@ -121,8 +130,8 @@ fn union_matches_x2(
             t0 += 1;
             t1 += 1;
         }
-        let act0 = t0 < k && i0 < a.len() && j0 < b0.len();
-        let act1 = t1 < k && i1 < a.len() && j1 < b1.len();
+        let act0 = t0 < k0 && i0 < a.len() && j0 < b0.len();
+        let act1 = t1 < k1 && i1 < a.len() && j1 < b1.len();
         if act0 {
             let ka = key(ah, a, i0);
             let kb = key(bh0, b0, j0);
@@ -142,9 +151,9 @@ fn union_matches_x2(
         }
     }
     let rest0 = (a.len() - i0) + (b0.len() - j0);
-    t0 += rest0.min(k - t0);
+    t0 += rest0.min(k0 - t0);
     let rest1 = (a.len() - i1) + (b1.len() - j1);
-    t1 += rest1.min(k - t1);
+    t1 += rest1.min(k1 - t1);
     ((m0, t0), (m1, t1))
 }
 
@@ -301,10 +310,48 @@ pub struct BottomKCollectionIn<'a> {
     family: HashFamily,
     /// True once every region has capacity `k` (streaming layout).
     strided: bool,
+    /// `Some` when the collection is stratified: per-set caps live here
+    /// and `k` holds the **widest** stratum's cap.
+    strata: Option<BkStrata<'a>>,
 }
 
 /// The owned (`'static`) form of [`BottomKCollectionIn`].
 pub type BottomKCollection = BottomKCollectionIn<'static>;
+
+/// Per-set geometry of a stratified bottom-k collection: stratum
+/// assignment plus the per-stratum sample caps.
+#[derive(Clone, Debug)]
+pub struct BkStrata<'a> {
+    assign: Cow<'a, [u8]>,
+    ks: Vec<u32>,
+}
+
+impl<'a> BkStrata<'a> {
+    fn new(assign: Cow<'a, [u8]>, ks: Vec<u32>) -> Self {
+        assert!(!ks.is_empty(), "need at least one stratum");
+        assert!(ks.iter().all(|&k| k > 0), "bottom-k needs k ≥ 1");
+        BkStrata { assign, ks }
+    }
+
+    /// Per-set stratum indices.
+    #[inline]
+    pub fn assign(&self) -> &[u8] {
+        &self.assign
+    }
+
+    /// Per-stratum sample caps.
+    #[inline]
+    pub fn stratum_ks(&self) -> &[u32] {
+        &self.ks
+    }
+
+    fn into_owned(self) -> BkStrata<'static> {
+        BkStrata {
+            assign: Cow::Owned(self.assign.into_owned()),
+            ks: self.ks,
+        }
+    }
+}
 
 impl<'a> BottomKCollectionIn<'a> {
     /// Builds sketches for `n_sets` sets in parallel.
@@ -351,6 +398,69 @@ impl<'a> BottomKCollectionIn<'a> {
             k,
             family,
             strided,
+            strata: None,
+        }
+    }
+
+    /// Builds a **stratified** collection: set `i`'s sample cap is
+    /// `stratum_ks[assign[i]]`. With a single stratum this lowers onto
+    /// [`BottomKCollectionIn::build`] and is bit-identical to it.
+    pub fn build_stratified<'s, F>(stratum_ks: Vec<u32>, assign: Vec<u8>, seed: u64, set: F) -> Self
+    where
+        F: Fn(usize) -> &'s [u32] + Sync,
+    {
+        if stratum_ks.len() == 1 {
+            return Self::build(assign.len(), stratum_ks[0] as usize, seed, set);
+        }
+        let n_sets = assign.len();
+        let strata = BkStrata::new(Cow::Owned(assign), stratum_ks);
+        let family = HashFamily::new(1, seed);
+        let per_set: Vec<(Vec<u32>, Vec<u32>)> = {
+            let family = &family;
+            let set = &set;
+            let strata = &strata;
+            pg_parallel::parallel_init(n_sets, move |s| {
+                select_bottom_k(
+                    set(s),
+                    strata.ks[strata.assign[s] as usize] as usize,
+                    family,
+                )
+            })
+        };
+        let mut offsets = Vec::with_capacity(n_sets + 1);
+        offsets.push(0u32);
+        let mut total = 0usize;
+        let mut cap_total = 0usize;
+        for (s, (v, _)) in per_set.iter().enumerate() {
+            total += v.len();
+            cap_total += strata.ks[strata.assign[s] as usize] as usize;
+            assert!(
+                total <= u32::MAX as usize,
+                "sketch storage exceeds u32 offsets"
+            );
+            offsets.push(total as u32);
+        }
+        let mut elems = Vec::with_capacity(total);
+        let mut hashes = Vec::with_capacity(total);
+        for (v, h) in &per_set {
+            elems.extend_from_slice(v);
+            hashes.extend_from_slice(h);
+        }
+        let mut set_sizes = vec![0u32; n_sets];
+        pg_parallel::parallel_fill_with(&mut set_sizes, |s| set(s).len() as u32);
+        let lens: Vec<u32> = offsets.windows(2).map(|w| w[1] - w[0]).collect();
+        let strided = total == cap_total;
+        let k = *strata.ks.iter().max().unwrap() as usize;
+        BottomKCollectionIn {
+            elems: Cow::Owned(elems),
+            hashes: Cow::Owned(hashes),
+            offsets: Cow::Owned(offsets),
+            lens: Cow::Owned(lens),
+            set_sizes: Cow::Owned(set_sizes),
+            k,
+            family,
+            strided,
+            strata: Some(strata),
         }
     }
 
@@ -393,7 +503,53 @@ impl<'a> BottomKCollectionIn<'a> {
             k,
             family: HashFamily::new(1, seed),
             strided,
+            strata: None,
         }
+    }
+
+    /// Stratified sibling of [`BottomKCollectionIn::from_raw_parts`]: the
+    /// per-set cap is `stratum_ks[assign[i]]`; for the strided form the
+    /// offsets must be the cumulative per-set caps. The snapshot loader
+    /// validates all of this before calling.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts_stratified(
+        elems: impl Into<Cow<'a, [u32]>>,
+        hashes: impl Into<Cow<'a, [u32]>>,
+        offsets: impl Into<Cow<'a, [u32]>>,
+        lens: impl Into<Cow<'a, [u32]>>,
+        set_sizes: impl Into<Cow<'a, [u32]>>,
+        stratum_ks: Vec<u32>,
+        assign: impl Into<Cow<'a, [u8]>>,
+        seed: u64,
+        strided: bool,
+    ) -> Self {
+        let assign = assign.into();
+        if stratum_ks.len() == 1 {
+            return Self::from_raw_parts(
+                elems,
+                hashes,
+                offsets,
+                lens,
+                set_sizes,
+                stratum_ks[0] as usize,
+                seed,
+                strided,
+            );
+        }
+        let mut out = Self::from_raw_parts(
+            elems,
+            hashes,
+            offsets,
+            lens,
+            set_sizes,
+            *stratum_ks.iter().max().expect("non-empty strata") as usize,
+            seed,
+            strided,
+        );
+        let strata = BkStrata::new(assign, stratum_ks);
+        assert_eq!(strata.assign.len(), out.len());
+        out.strata = Some(strata);
+        out
     }
 
     /// The whole flat element array — the byte-stable payload snapshots
@@ -450,6 +606,7 @@ impl<'a> BottomKCollectionIn<'a> {
             k: first.k,
             family: first.family.clone(),
             strided: true,
+            strata: None,
         };
         out.gather_into(parts);
         out
@@ -458,6 +615,58 @@ impl<'a> BottomKCollectionIn<'a> {
     /// In-place form of [`BottomKCollection::gather`], reusing `self`'s
     /// allocations (the double-buffer path).
     pub fn gather_into(&mut self, parts: &[&BottomKCollectionIn<'_>]) {
+        let first = parts.first().expect("gather needs at least one part");
+        if let Some(fs) = &first.strata {
+            // Stratified: regions get per-set capacity; offsets are the
+            // cumulative caps.
+            let ks = fs.ks.clone();
+            let mut assign: Vec<u8> = Vec::new();
+            for p in parts {
+                let ps = p
+                    .strata
+                    .as_ref()
+                    .expect("gather: mixed uniform/stratified parts");
+                assert_eq!(ps.ks, ks, "gather: mismatched stratum caps");
+                assign.extend_from_slice(&ps.assign);
+            }
+            let cap_total: usize = assign.iter().map(|&a| ks[a as usize] as usize).sum();
+            assert!(
+                cap_total <= u32::MAX as usize,
+                "gathered sketch storage exceeds u32 offsets"
+            );
+            let elems = cow_clear(&mut self.elems);
+            elems.resize(cap_total, 0);
+            let hashes = cow_clear(&mut self.hashes);
+            hashes.resize(cap_total, 0);
+            let offsets = cow_clear(&mut self.offsets);
+            offsets.push(0);
+            let mut off = 0u32;
+            for &a in &assign {
+                off += ks[a as usize];
+                offsets.push(off);
+            }
+            let lens = cow_clear(&mut self.lens);
+            let set_sizes = cow_clear(&mut self.set_sizes);
+            let mut out_set = 0usize;
+            for p in parts {
+                for i in 0..p.lens.len() {
+                    let src = p.offsets[i] as usize;
+                    let len = p.lens[i] as usize;
+                    let dst = offsets[out_set] as usize;
+                    elems[dst..dst + len].copy_from_slice(&p.elems[src..src + len]);
+                    hashes[dst..dst + len].copy_from_slice(&p.hashes[src..src + len]);
+                    out_set += 1;
+                }
+                lens.extend_from_slice(&p.lens);
+                set_sizes.extend_from_slice(&p.set_sizes);
+            }
+            self.k = first.k;
+            self.family = first.family.clone();
+            self.strided = true;
+            self.strata = Some(BkStrata::new(Cow::Owned(assign), ks));
+            return;
+        }
+        self.strata = None;
         let k = self.k;
         let n: usize = parts.iter().map(|p| p.lens.len()).sum();
         assert!(
@@ -474,6 +683,7 @@ impl<'a> BottomKCollectionIn<'a> {
         let set_sizes = cow_clear(&mut self.set_sizes);
         let mut out_set = 0usize;
         for p in parts {
+            assert!(p.strata.is_none(), "gather: mixed uniform/stratified parts");
             assert_eq!(p.k, k, "gather: mismatched sample sizes");
             for i in 0..p.lens.len() {
                 let src = p.offsets[i] as usize;
@@ -501,6 +711,7 @@ impl<'a> BottomKCollectionIn<'a> {
             k: self.k,
             family: self.family,
             strided: self.strided,
+            strata: self.strata.map(BkStrata::into_owned),
         }
     }
 
@@ -511,22 +722,25 @@ impl<'a> BottomKCollectionIn<'a> {
         if self.strided {
             return;
         }
-        let (n, k) = (self.len(), self.k);
+        let n = self.len();
+        let cap_total: usize = (0..n).map(|i| self.cap_of(i)).sum();
         assert!(
-            n * k <= u32::MAX as usize,
+            cap_total <= u32::MAX as usize,
             "streaming sketch storage exceeds u32 offsets"
         );
-        let mut elems = vec![0u32; n * k];
-        let mut hashes = vec![0u32; n * k];
+        let mut elems = vec![0u32; cap_total];
+        let mut hashes = vec![0u32; cap_total];
         let mut offsets = Vec::with_capacity(n + 1);
+        let mut dst = 0usize;
         for i in 0..n {
-            offsets.push((i * k) as u32);
+            offsets.push(dst as u32);
             let len = self.lens[i] as usize;
             let src = self.offsets[i] as usize;
-            elems[i * k..i * k + len].copy_from_slice(&self.elems[src..src + len]);
-            hashes[i * k..i * k + len].copy_from_slice(&self.hashes[src..src + len]);
+            elems[dst..dst + len].copy_from_slice(&self.elems[src..src + len]);
+            hashes[dst..dst + len].copy_from_slice(&self.hashes[src..src + len]);
+            dst += self.cap_of(i);
         }
-        offsets.push((n * k) as u32);
+        offsets.push(dst as u32);
         self.elems = Cow::Owned(elems);
         self.hashes = Cow::Owned(hashes);
         self.offsets = Cow::Owned(offsets);
@@ -541,8 +755,8 @@ impl<'a> BottomKCollectionIn<'a> {
     pub fn insert(&mut self, i: usize, x: u32) {
         self.set_sizes.to_mut()[i] += 1;
         self.ensure_streaming_layout();
-        let k = self.k;
-        let start = i * k;
+        let k = self.cap_of(i);
+        let start = self.offsets[i] as usize;
         let len = self.lens[i] as usize;
         let h = self.family.hash32(0, x as u64);
         let key = (h as u64) << 32 | x as u64;
@@ -594,8 +808,8 @@ impl<'a> BottomKCollectionIn<'a> {
             return;
         }
         self.ensure_streaming_layout();
-        let k = self.k;
-        let start = i * k;
+        let k = self.cap_of(i);
+        let start = self.offsets[i] as usize;
         let len = self.lens[i] as usize;
         let hashes = self.hashes.to_mut();
         let elems = self.elems.to_mut();
@@ -635,10 +849,32 @@ impl<'a> BottomKCollectionIn<'a> {
         self.len() == 0
     }
 
-    /// Configured `k`.
+    /// Configured `k` — the **widest** stratum's cap when stratified
+    /// (per-set caps come from [`BottomKCollectionIn::cap_of`]).
     #[inline]
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// Sample cap of set `i`.
+    #[inline]
+    pub fn cap_of(&self, i: usize) -> usize {
+        match &self.strata {
+            Some(st) => st.ks[st.assign[i] as usize] as usize,
+            None => self.k,
+        }
+    }
+
+    /// Stratum index of set `i` (0 for uniform collections).
+    #[inline]
+    pub fn stratum_of(&self, i: usize) -> usize {
+        self.strata.as_ref().map_or(0, |st| st.assign[i] as usize)
+    }
+
+    /// The stratified geometry, when present.
+    #[inline]
+    pub fn strata(&self) -> Option<&BkStrata<'a>> {
+        self.strata.as_ref()
     }
 
     /// The sample of set `i`, in ascending hash order.
@@ -659,7 +895,8 @@ impl<'a> BottomKCollectionIn<'a> {
         self.set_sizes[i] as usize
     }
 
-    /// Union-restricted `|M¹_X ∩ M¹_Y|` between sets `i` and `j` (`O(k)`).
+    /// Union-restricted `|M¹_X ∩ M¹_Y|` between sets `i` and `j`
+    /// (`O(min(k_i, k_j))`).
     #[inline]
     pub fn matches(&self, i: usize, j: usize) -> usize {
         union_matches(
@@ -667,7 +904,7 @@ impl<'a> BottomKCollectionIn<'a> {
             self.sample_hashes(i),
             self.sample(j),
             self.sample_hashes(j),
-            self.k,
+            self.cap_of(i).min(self.cap_of(j)),
         )
         .0
     }
@@ -680,38 +917,49 @@ impl<'a> BottomKCollectionIn<'a> {
             self.sample(i),
             self.sample_hashes(i),
             self.set_size(i),
+            self.cap_of(i),
             j,
         )
     }
 
-    /// `|X∩Y|̂_1H` with the source sample, hashes, and exact size already
-    /// pinned (the row-batch fast path: hoist them once per row sweep
-    /// instead of re-slicing the flat arrays per pair). Identical to
-    /// [`BottomKCollection::estimate_intersection`] when the pinned parts
-    /// belong to set `i`.
+    /// `|X∩Y|̂_1H` with the source sample, hashes, exact size, and sample
+    /// cap already pinned (the row-batch fast path: hoist them once per
+    /// row sweep instead of re-slicing the flat arrays per pair).
+    /// Identical to [`BottomKCollection::estimate_intersection`] when the
+    /// pinned parts belong to set `i`. Cross-stratum pairs walk
+    /// `min(ka, k_j)` union draws — exactly both samples truncated to the
+    /// narrower cap.
     pub fn estimate_intersection_with_row(
         &self,
         a: &[u32],
         ah: &[u32],
         ni: usize,
+        ka: usize,
         j: usize,
     ) -> f64 {
         let b = self.sample(j);
         let bh = self.sample_hashes(j);
         let nj = self.set_size(j);
-        if ni <= self.k && nj <= self.k {
+        if ni <= ka && nj <= self.cap_of(j) {
             // Lossless: full sets stored — exact uncapped merge.
             let cap = (a.len() + b.len()).max(1);
             return union_matches(a, ah, b, bh, cap).0 as f64;
         }
-        let (matches, _) = union_matches(a, ah, b, bh, self.k);
-        estimators::jaccard_to_intersection(estimators::mh_jaccard(matches, self.k), ni, nj)
+        let cap = ka.min(self.cap_of(j));
+        let (matches, _) = union_matches(a, ah, b, bh, cap);
+        estimators::jaccard_to_intersection(estimators::mh_jaccard(matches, cap), ni, nj)
     }
 
     /// `Ĵ_1H` between sets `i` and `j`.
     #[inline]
     pub fn estimate_jaccard(&self, i: usize, j: usize) -> f64 {
-        self.estimate_jaccard_with_row(self.sample(i), self.sample_hashes(i), self.set_size(i), j)
+        self.estimate_jaccard_with_row(
+            self.sample(i),
+            self.sample_hashes(i),
+            self.set_size(i),
+            self.cap_of(i),
+            j,
+        )
     }
 
     /// Two-lane batched `|X∩Y|̂_1H` with the source sample pinned:
@@ -725,18 +973,21 @@ impl<'a> BottomKCollectionIn<'a> {
         a: &[u32],
         ah: &[u32],
         ni: usize,
+        ka: usize,
         j0: usize,
         j1: usize,
     ) -> (f64, f64) {
         let (nj0, nj1) = (self.set_size(j0), self.set_size(j1));
-        let lossless0 = ni <= self.k && nj0 <= self.k;
-        let lossless1 = ni <= self.k && nj1 <= self.k;
+        let lossless0 = ni <= ka && nj0 <= self.cap_of(j0);
+        let lossless1 = ni <= ka && nj1 <= self.cap_of(j1);
         if lossless0 || lossless1 {
             return (
-                self.estimate_intersection_with_row(a, ah, ni, j0),
-                self.estimate_intersection_with_row(a, ah, ni, j1),
+                self.estimate_intersection_with_row(a, ah, ni, ka, j0),
+                self.estimate_intersection_with_row(a, ah, ni, ka, j1),
             );
         }
+        let cap0 = ka.min(self.cap_of(j0));
+        let cap1 = ka.min(self.cap_of(j1));
         let ((m0, _), (m1, _)) = union_matches_x2(
             a,
             ah,
@@ -744,21 +995,29 @@ impl<'a> BottomKCollectionIn<'a> {
             self.sample_hashes(j0),
             self.sample(j1),
             self.sample_hashes(j1),
-            self.k,
+            cap0,
+            cap1,
         );
         (
-            estimators::jaccard_to_intersection(estimators::mh_jaccard(m0, self.k), ni, nj0),
-            estimators::jaccard_to_intersection(estimators::mh_jaccard(m1, self.k), ni, nj1),
+            estimators::jaccard_to_intersection(estimators::mh_jaccard(m0, cap0), ni, nj0),
+            estimators::jaccard_to_intersection(estimators::mh_jaccard(m1, cap1), ni, nj1),
         )
     }
 
     /// `Ĵ_1H` with the source sample pinned — the row-sweep twin of
     /// [`BottomKCollection::estimate_jaccard`].
-    pub fn estimate_jaccard_with_row(&self, a: &[u32], ah: &[u32], ni: usize, j: usize) -> f64 {
+    pub fn estimate_jaccard_with_row(
+        &self,
+        a: &[u32],
+        ah: &[u32],
+        ni: usize,
+        ka: usize,
+        j: usize,
+    ) -> f64 {
         let b = self.sample(j);
         let bh = self.sample_hashes(j);
         let nj = self.set_size(j);
-        if ni <= self.k && nj <= self.k {
+        if ni <= ka && nj <= self.cap_of(j) {
             let cap = a.len() + b.len();
             let (matches, _) = union_matches(a, ah, b, bh, cap.max(1));
             let union = cap - matches;
@@ -768,7 +1027,7 @@ impl<'a> BottomKCollectionIn<'a> {
                 matches as f64 / union as f64
             };
         }
-        let (matches, seen) = union_matches(a, ah, b, bh, self.k);
+        let (matches, seen) = union_matches(a, ah, b, bh, ka.min(self.cap_of(j)));
         if seen == 0 {
             return 0.0;
         }
@@ -910,7 +1169,8 @@ mod tests {
         for i in 0..sets.len() {
             let (a, ah, ni) = (col.sample(i), col.sample_hashes(i), col.set_size(i));
             for j in 0..sets.len() - 1 {
-                let (e0, e1) = col.estimate_intersection_with_row_x2(a, ah, ni, j, j + 1);
+                let (e0, e1) =
+                    col.estimate_intersection_with_row_x2(a, ah, ni, col.cap_of(i), j, j + 1);
                 assert_eq!(e0, col.estimate_intersection(i, j), "i={i} j={j}");
                 assert_eq!(e1, col.estimate_intersection(i, j + 1), "i={i} j={j}");
             }
@@ -927,12 +1187,12 @@ mod tests {
             let (a, ah, ni) = (col.sample(i), col.sample_hashes(i), col.set_size(i));
             for j in 0..sets.len() {
                 assert_eq!(
-                    col.estimate_intersection_with_row(a, ah, ni, j),
+                    col.estimate_intersection_with_row(a, ah, ni, col.cap_of(i), j),
                     col.estimate_intersection(i, j),
                     "({i},{j})"
                 );
                 assert_eq!(
-                    col.estimate_jaccard_with_row(a, ah, ni, j),
+                    col.estimate_jaccard_with_row(a, ah, ni, col.cap_of(i), j),
                     col.estimate_jaccard(i, j),
                     "({i},{j})"
                 );
@@ -977,6 +1237,136 @@ mod tests {
         let rebuilt = BottomKCollection::build(1, 4, 1, |_| &[9u32, 2, 5, 7, 1, 8][..]);
         assert_eq!(one.sample(0), rebuilt.sample(0));
         assert_eq!(one.set_size(0), rebuilt.set_size(0));
+    }
+
+    #[test]
+    fn one_stratum_build_is_bit_identical_to_uniform() {
+        let sets: Vec<Vec<u32>> = (0..10)
+            .map(|s| (0..5 + s * 9).map(|i| (i * 7 + s) as u32).collect())
+            .collect();
+        let uniform = BottomKCollection::build(sets.len(), 12, 7, |i| &sets[i][..]);
+        let strat =
+            BottomKCollection::build_stratified(
+                vec![12],
+                vec![0u8; sets.len()],
+                7,
+                |i| &sets[i][..],
+            );
+        assert!(
+            strat.strata().is_none(),
+            "one stratum must lower to uniform"
+        );
+        assert_eq!(strat.raw_elems(), uniform.raw_elems());
+        assert_eq!(strat.raw_hashes(), uniform.raw_hashes());
+        assert_eq!(strat.raw_offsets(), uniform.raw_offsets());
+        assert_eq!(strat.raw_lens(), uniform.raw_lens());
+    }
+
+    #[test]
+    fn cross_stratum_pairs_match_both_built_at_the_narrow_cap() {
+        // Truncation exactness: a (k=24, k=6) pair must estimate exactly
+        // like both sets sketched at k=6 (and likewise for every pair's
+        // min cap). Sets span lossless (≤ cap) and sampled regimes.
+        let sets: Vec<Vec<u32>> = (0..12)
+            .map(|s| (0..3 + s * 11).map(|i| (i * 5 + s) as u32).collect())
+            .collect();
+        let ks = vec![24u32, 12, 6];
+        let assign: Vec<u8> = (0..sets.len()).map(|i| (i % 3) as u8).collect();
+        let strat =
+            BottomKCollection::build_stratified(ks.clone(), assign.clone(), 3, |i| &sets[i][..]);
+        for i in 0..sets.len() {
+            assert_eq!(strat.cap_of(i), ks[assign[i] as usize] as usize);
+            for j in 0..sets.len() {
+                let kmin = strat.cap_of(i).min(strat.cap_of(j));
+                let narrow = BottomKCollection::build(sets.len(), kmin, 3, |s| &sets[s][..]);
+                // Lossless shortcut regimes differ between the two
+                // collections only when a set is exact at its own wider
+                // cap but sampled at kmin; restrict the exactness claim
+                // to matching regimes.
+                let same_regime = (sets[i].len() <= strat.cap_of(i)) == (sets[i].len() <= kmin)
+                    && (sets[j].len() <= strat.cap_of(j)) == (sets[j].len() <= kmin);
+                if same_regime {
+                    assert_eq!(
+                        strat.estimate_intersection(i, j),
+                        narrow.estimate_intersection(i, j),
+                        "i={i} j={j}"
+                    );
+                    assert_eq!(strat.matches(i, j), narrow.matches(i, j), "i={i} j={j}");
+                }
+                // Pinned-row and two-lane paths always agree with the
+                // indexed path on the stratified collection itself.
+                let (a, ah, ni, ka) = (
+                    strat.sample(i),
+                    strat.sample_hashes(i),
+                    strat.set_size(i),
+                    strat.cap_of(i),
+                );
+                assert_eq!(
+                    strat.estimate_intersection_with_row(a, ah, ni, ka, j),
+                    strat.estimate_intersection(i, j),
+                    "({i},{j})"
+                );
+                let j1 = (j + 1) % sets.len();
+                let (e0, e1) = strat.estimate_intersection_with_row_x2(a, ah, ni, ka, j, j1);
+                assert_eq!(e0, strat.estimate_intersection(i, j), "x2 ({i},{j})");
+                assert_eq!(e1, strat.estimate_intersection(i, j1), "x2 ({i},{j1})");
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_insert_matches_stratified_rebuild() {
+        let full: Vec<Vec<u32>> = (0..10)
+            .map(|s| (0..2 + s * 9).map(|i| (i * 13 + s) as u32).collect())
+            .collect();
+        let ks = vec![16u32, 5];
+        let assign: Vec<u8> = (0..full.len()).map(|i| (i % 2) as u8).collect();
+        let want =
+            BottomKCollection::build_stratified(ks.clone(), assign.clone(), 23, |i| &full[i][..]);
+        let mut got =
+            BottomKCollection::build_stratified(ks, assign, 23, |i| &full[i][..full[i].len() / 3]);
+        for (i, set) in full.iter().enumerate() {
+            if i % 2 == 0 {
+                got.insert_batch(i, &set[set.len() / 3..]);
+            } else {
+                for &x in &set[set.len() / 3..] {
+                    got.insert(i, x);
+                }
+            }
+        }
+        for i in 0..full.len() {
+            assert_eq!(got.sample(i), want.sample(i), "set {i}");
+            assert_eq!(got.sample_hashes(i), want.sample_hashes(i), "set {i}");
+            assert_eq!(got.set_size(i), want.set_size(i), "set {i}");
+        }
+    }
+
+    #[test]
+    fn stratified_gather_concatenates_parts() {
+        let sets: Vec<Vec<u32>> = (0..8)
+            .map(|s| (0..4 + s * 7).map(|i| (i * 3 + s) as u32).collect())
+            .collect();
+        let ks = vec![10u32, 4];
+        let assign: Vec<u8> = (0..8).map(|i| (i % 2) as u8).collect();
+        let whole =
+            BottomKCollection::build_stratified(ks.clone(), assign.clone(), 5, |i| &sets[i][..]);
+        let left = BottomKCollection::build_stratified(ks.clone(), assign[..4].to_vec(), 5, |i| {
+            &sets[i][..]
+        });
+        let right =
+            BottomKCollection::build_stratified(ks, assign[4..].to_vec(), 5, |i| &sets[i + 4][..]);
+        let gathered = BottomKCollection::gather(&[&left, &right]);
+        assert!(gathered.is_strided());
+        assert_eq!(
+            gathered.strata().unwrap().assign(),
+            whole.strata().unwrap().assign()
+        );
+        for i in 0..8 {
+            assert_eq!(gathered.sample(i), whole.sample(i), "set {i}");
+            assert_eq!(gathered.sample_hashes(i), whole.sample_hashes(i), "set {i}");
+            assert_eq!(gathered.set_size(i), whole.set_size(i), "set {i}");
+            assert_eq!(gathered.cap_of(i), whole.cap_of(i), "set {i}");
+        }
     }
 
     #[test]

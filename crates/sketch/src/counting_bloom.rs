@@ -67,10 +67,18 @@ pub struct CountingBloomCollectionIn<'a> {
     /// table work unchanged.
     view: BloomCollection,
     /// Packed saturating counters, `n_sets × words_per_set` words of
-    /// [`COUNTERS_PER_WORD`] counters each.
+    /// [`COUNTERS_PER_WORD`] counters each (stratified collections store
+    /// variable-width windows back to back, addressed by `offsets`).
     counters: Cow<'a, [u64]>,
-    /// Counter words per set (`bits_per_set / COUNTERS_PER_WORD`).
+    /// Counter words per set (`bits_per_set / COUNTERS_PER_WORD`); for
+    /// stratified collections this is the **narrowest** stratum's width,
+    /// mirroring the view's convention.
     words_per_set: usize,
+    /// Counter-word offset of each set's window (`n_sets + 1` entries) —
+    /// `Some` only when the view is stratified. Always exactly
+    /// `64 / COUNTERS_PER_WORD ×` the view's word offsets, since every
+    /// set's counter window packs [`COUNTERS_PER_WORD`] buckets per word.
+    offsets: Option<Vec<u64>>,
     /// The seeded hash family — identical to the view's (same `(b, seed)`
     /// construction), kept here so removals can re-derive bucket
     /// sequences without touching the view's private state.
@@ -130,7 +138,30 @@ fn dec(window: &mut [u64], pos: usize) -> bool {
 /// gathers the occupancy of its 64 buckets from `64 / COUNTERS_PER_WORD`
 /// consecutive counter words. Shared by [`CountingBloomCollection::build`]
 /// and the snapshot reconstruction path so both produce bit-identical
-/// views.
+/// views. Works unchanged over stratified layouts: every per-set window
+/// is a whole number of view words (widths are multiples of 64 bits), so
+/// the global 4-counter-words-per-view-word grouping never straddles a
+/// set boundary.
+/// Counter-word offsets of a stratified layout (`n_sets + 1` entries):
+/// set `i` owns `stratum_bits[assign[i]] / COUNTERS_PER_WORD` words.
+/// Width validity (whole words, power-of-two multiples of the narrowest)
+/// is enforced by the derived view's [`crate::BloomStrata`] construction.
+fn counter_offsets(stratum_bits: &[u32], assign: &[u8]) -> Vec<u64> {
+    let mut offsets = Vec::with_capacity(assign.len() + 1);
+    let mut off = 0u64;
+    offsets.push(0);
+    for &a in assign {
+        let bits = stratum_bits[a as usize] as usize;
+        assert!(
+            bits > 0 && bits.is_multiple_of(64),
+            "stratum widths must be positive multiples of 64"
+        );
+        off += (bits / COUNTERS_PER_WORD) as u64;
+        offsets.push(off);
+    }
+    offsets
+}
+
 fn derive_view_words(counters: &[u64], n_view_words: usize) -> Vec<u64> {
     const CW_PER_VIEW_WORD: usize = 64 / COUNTERS_PER_WORD;
     let mut view_words = vec![0u64; n_view_words];
@@ -186,6 +217,72 @@ impl<'a> CountingBloomCollectionIn<'a> {
             view: BloomCollection::from_raw_words(view_words, view_words_per_set, b, seed),
             counters: Cow::Owned(counters),
             words_per_set,
+            offsets: None,
+            family,
+            bits_per_set,
+        }
+    }
+
+    /// Builds a **stratified** collection: set `i` gets
+    /// `stratum_bits[assign[i]]` buckets (and as many counters), windows
+    /// stored back to back in set order. Width rules follow
+    /// [`crate::BloomStrata`] — whole words, power-of-two multiples of the
+    /// narrowest — because the derived read view is a stratified
+    /// [`BloomCollection`] and inherits its fold-based cross-stratum
+    /// estimators unchanged. With a single stratum this lowers onto
+    /// [`CountingBloomCollectionIn::build`] and is bit-identical to it.
+    pub fn build_stratified<'s, F>(
+        stratum_bits: Vec<u32>,
+        assign: Vec<u8>,
+        b: usize,
+        seed: u64,
+        set: F,
+    ) -> Self
+    where
+        F: Fn(usize) -> &'s [u32] + Sync,
+    {
+        if stratum_bits.len() == 1 {
+            return Self::build(assign.len(), stratum_bits[0] as usize, b, seed, set);
+        }
+        let n_sets = assign.len();
+        let offsets = counter_offsets(&stratum_bits, &assign);
+        let total_words = offsets[n_sets] as usize;
+        let family = HashFamily::new(b, seed);
+        let mut counters = vec![0u64; total_words];
+        {
+            struct SendPtr(*mut u64);
+            unsafe impl Send for SendPtr {}
+            unsafe impl Sync for SendPtr {}
+            let base = SendPtr(counters.as_mut_ptr());
+            let base = &base;
+            let family = &family;
+            let offsets = &offsets;
+            let stratum_bits = &stratum_bits;
+            let assign_ref = &assign;
+            parallel_for(n_sets, |s| {
+                let start = offsets[s] as usize;
+                let len = (offsets[s + 1] - offsets[s]) as usize;
+                let bits = stratum_bits[assign_ref[s] as usize] as usize;
+                // SAFETY: offsets are strictly increasing, so each set's
+                // window is exclusive to it.
+                let window = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), len) };
+                for &x in set(s) {
+                    family.for_each_bucket(x as u64, bits, |pos| {
+                        inc(window, pos as usize);
+                    });
+                }
+            });
+        }
+        const CW_PER_VIEW_WORD: usize = 64 / COUNTERS_PER_WORD;
+        let view_words = derive_view_words(&counters, total_words / CW_PER_VIEW_WORD);
+        let view =
+            BloomCollection::from_raw_words_stratified(view_words, stratum_bits, assign, b, seed);
+        let bits_per_set = view.bits_per_set();
+        CountingBloomCollectionIn {
+            view,
+            counters: Cow::Owned(counters),
+            words_per_set: bits_per_set / COUNTERS_PER_WORD,
+            offsets: Some(offsets),
             family,
             bits_per_set,
         }
@@ -223,6 +320,55 @@ impl<'a> CountingBloomCollectionIn<'a> {
             view: BloomCollection::from_raw_words(view_words, view_words_per_set, b, seed),
             counters,
             words_per_set,
+            offsets: None,
+            family: HashFamily::new(b, seed),
+            bits_per_set,
+        }
+    }
+
+    /// Stratified sibling of
+    /// [`CountingBloomCollectionIn::from_counter_words`] — the snapshot
+    /// loader reassembles a stratified collection from validated counter
+    /// words plus the per-stratum width table and per-set assignment. The
+    /// derived view is re-derived from the counters with the same
+    /// occupancy sweep as [`CountingBloomCollectionIn::build_stratified`],
+    /// so the `counter > 0 ⇔ bit set` invariant holds by construction.
+    pub fn from_counter_words_stratified(
+        counters: impl Into<Cow<'a, [u64]>>,
+        stratum_bits: Vec<u32>,
+        assign: impl Into<Cow<'a, [u8]>>,
+        b: usize,
+        seed: u64,
+    ) -> Self {
+        let assign = assign.into();
+        if stratum_bits.len() == 1 {
+            return Self::from_counter_words(counters, stratum_bits[0] as usize, b, seed);
+        }
+        let counters = counters.into();
+        let n_sets = assign.len();
+        let offsets = counter_offsets(&stratum_bits, &assign);
+        assert_eq!(
+            offsets[n_sets] as usize,
+            counters.len(),
+            "counter array does not match the stratified geometry"
+        );
+        const CW_PER_VIEW_WORD: usize = 64 / COUNTERS_PER_WORD;
+        let view_words = derive_view_words(&counters, counters.len() / CW_PER_VIEW_WORD);
+        // The view is always owned bookkeeping (recomputed at load), so the
+        // assignment is detached here; the counters stay zero-copy.
+        let view = BloomCollection::from_raw_words_stratified(
+            view_words,
+            stratum_bits,
+            assign.into_owned(),
+            b,
+            seed,
+        );
+        let bits_per_set = view.bits_per_set();
+        CountingBloomCollectionIn {
+            view,
+            counters,
+            words_per_set: bits_per_set / COUNTERS_PER_WORD,
+            offsets: Some(offsets),
             family: HashFamily::new(b, seed),
             bits_per_set,
         }
@@ -240,6 +386,7 @@ impl<'a> CountingBloomCollectionIn<'a> {
             view: BloomCollection::gather(&parts.iter().map(|p| &p.view).collect::<Vec<_>>()),
             counters: Cow::Owned(Vec::new()),
             words_per_set: first.words_per_set,
+            offsets: None,
             family: first.family.clone(),
             bits_per_set: first.bits_per_set,
         };
@@ -256,14 +403,26 @@ impl<'a> CountingBloomCollectionIn<'a> {
     }
 
     fn gather_counters(&mut self, parts: &[&CountingBloomCollectionIn<'_>]) {
+        // The view gather just ran and asserted shape compatibility
+        // (including per-stratum width tables for stratified parts), so
+        // the counter windows — back to back in both layouts — gather as
+        // one straight concatenation.
         let counters = cow_clear(&mut self.counters);
         for p in parts {
-            assert_eq!(
-                p.words_per_set, self.words_per_set,
-                "gather: mismatched counter widths"
-            );
+            if self.view.strata().is_none() {
+                assert_eq!(
+                    p.words_per_set, self.words_per_set,
+                    "gather: mismatched counter widths"
+                );
+            }
             counters.extend_from_slice(&p.counters);
         }
+        self.bits_per_set = self.view.bits_per_set();
+        self.words_per_set = self.bits_per_set / COUNTERS_PER_WORD;
+        self.offsets = self.view.strata().map(|st| {
+            let bits: Vec<u32> = st.stratum_bits().to_vec();
+            counter_offsets(&bits, st.assign())
+        });
     }
 
     /// Detaches the collection from any borrowed snapshot buffer, cloning
@@ -273,6 +432,7 @@ impl<'a> CountingBloomCollectionIn<'a> {
             view: self.view,
             counters: Cow::Owned(self.counters.into_owned()),
             words_per_set: self.words_per_set,
+            offsets: self.offsets,
             family: self.family,
             bits_per_set: self.bits_per_set,
         }
@@ -304,6 +464,14 @@ impl<'a> CountingBloomCollectionIn<'a> {
         &self.view
     }
 
+    /// Per-set geometry of the derived view when the collection is
+    /// stratified; `None` on the uniform fast path. The counter windows
+    /// share the view's assignment and widths exactly.
+    #[inline]
+    pub fn strata(&self) -> Option<&crate::BloomStrata<'static>> {
+        self.view.strata()
+    }
+
     /// Number of filters.
     #[inline]
     pub fn len(&self) -> usize {
@@ -316,10 +484,34 @@ impl<'a> CountingBloomCollectionIn<'a> {
         self.view.is_empty()
     }
 
-    /// Buckets (= derived-view bits) per filter.
+    /// Buckets (= derived-view bits) per filter — for stratified
+    /// collections this is the **narrowest** stratum's width, mirroring
+    /// the view; use [`CountingBloomCollectionIn::bits_of`] for the width
+    /// of a specific set.
     #[inline]
     pub fn bits_per_set(&self) -> usize {
         self.bits_per_set
+    }
+
+    /// Buckets (= counters = view bits) of set `i`.
+    #[inline]
+    pub fn bits_of(&self, i: usize) -> usize {
+        self.view.bits_of(i)
+    }
+
+    /// Stratum index of set `i` (0 for uniform collections).
+    #[inline]
+    pub fn stratum_of(&self, i: usize) -> usize {
+        self.view.stratum_of(i)
+    }
+
+    /// Counter-word range of set `i`'s window.
+    #[inline]
+    fn cw_range(&self, i: usize) -> std::ops::Range<usize> {
+        match &self.offsets {
+            Some(off) => off[i] as usize..off[i + 1] as usize,
+            None => i * self.words_per_set..(i + 1) * self.words_per_set,
+        }
     }
 
     /// Number of hash functions `b`.
@@ -331,7 +523,7 @@ impl<'a> CountingBloomCollectionIn<'a> {
     /// Current value of counter `pos` of set `i` (diagnostics and tests).
     #[inline]
     pub fn counter(&self, i: usize, pos: usize) -> u64 {
-        let w = self.counters[i * self.words_per_set + pos / COUNTERS_PER_WORD];
+        let w = self.counters[self.cw_range(i).start + pos / COUNTERS_PER_WORD];
         (w >> ((pos % COUNTERS_PER_WORD) * COUNTER_BITS)) & COUNTER_MAX
     }
 
@@ -339,7 +531,7 @@ impl<'a> CountingBloomCollectionIn<'a> {
     /// from-scratch build).
     #[inline]
     pub fn counter_words(&self, i: usize) -> &[u64] {
-        &self.counters[i * self.words_per_set..(i + 1) * self.words_per_set]
+        &self.counters[self.cw_range(i)]
     }
 
     /// The whole flat counter array (`n_sets × words_per_set`) — the
@@ -360,16 +552,16 @@ impl<'a> CountingBloomCollectionIn<'a> {
     /// window is hoisted out of the element loop (the streaming hot path —
     /// updates arrive grouped by source vertex).
     pub fn insert_batch(&mut self, i: usize, xs: &[u32]) {
-        let window =
-            &mut self.counters.to_mut()[i * self.words_per_set..(i + 1) * self.words_per_set];
+        let bits = self.view.bits_of(i);
+        let range = self.cw_range(i);
+        let window = &mut self.counters.to_mut()[range];
         let view = &mut self.view;
         for &x in xs {
-            self.family
-                .for_each_bucket(x as u64, self.bits_per_set, |pos| {
-                    if inc(window, pos as usize) {
-                        view.set_bit(i, pos as usize);
-                    }
-                });
+            self.family.for_each_bucket(x as u64, bits, |pos| {
+                if inc(window, pos as usize) {
+                    view.set_bit(i, pos as usize);
+                }
+            });
         }
     }
 
@@ -388,16 +580,16 @@ impl<'a> CountingBloomCollectionIn<'a> {
     /// deterministic bucket sequence. Saturated counters stay sticky (see
     /// the module docs).
     pub fn remove_batch(&mut self, i: usize, xs: &[u32]) {
-        let window =
-            &mut self.counters.to_mut()[i * self.words_per_set..(i + 1) * self.words_per_set];
+        let bits = self.view.bits_of(i);
+        let range = self.cw_range(i);
+        let window = &mut self.counters.to_mut()[range];
         let view = &mut self.view;
         for &x in xs {
-            self.family
-                .for_each_bucket(x as u64, self.bits_per_set, |pos| {
-                    if dec(window, pos as usize) {
-                        view.clear_bit(i, pos as usize);
-                    }
-                });
+            self.family.for_each_bucket(x as u64, bits, |pos| {
+                if dec(window, pos as usize) {
+                    view.clear_bit(i, pos as usize);
+                }
+            });
         }
     }
 
@@ -542,6 +734,161 @@ mod tests {
         for i in 0..60 {
             assert_eq!(a.counter_words(i), b.counter_words(i));
             assert_eq!(a.read_view().words(i), b.read_view().words(i));
+        }
+    }
+
+    #[test]
+    fn one_stratum_build_is_bit_identical_to_uniform() {
+        let sets = sets(10);
+        let uniform = CountingBloomCollection::build(sets.len(), 512, 2, 21, |i| &sets[i][..]);
+        let strat = CountingBloomCollection::build_stratified(
+            vec![512],
+            vec![0u8; sets.len()],
+            2,
+            21,
+            |i| &sets[i][..],
+        );
+        assert!(strat.strata().is_none(), "one stratum lowers to uniform");
+        assert_eq!(uniform.raw_counters(), strat.raw_counters());
+        for i in 0..sets.len() {
+            assert_eq!(uniform.read_view().words(i), strat.read_view().words(i));
+        }
+        let loaded = CountingBloomCollection::from_counter_words_stratified(
+            uniform.raw_counters().to_vec(),
+            vec![512],
+            vec![0u8; sets.len()],
+            2,
+            21,
+        );
+        assert!(loaded.strata().is_none());
+        assert_eq!(loaded.raw_counters(), uniform.raw_counters());
+    }
+
+    #[test]
+    fn stratified_build_matches_per_stratum_uniform_builds() {
+        let sets = sets(9);
+        let bits = vec![256u32, 128, 64];
+        let assign: Vec<u8> = (0..9).map(|i| (i % 3) as u8).collect();
+        let strat =
+            CountingBloomCollection::build_stratified(bits.clone(), assign.clone(), 2, 5, |i| {
+                &sets[i][..]
+            });
+        // Each set's counters and view bits equal a single-set uniform
+        // build at that set's width — same (b, seed) bucket sequence.
+        for (i, set) in sets.iter().enumerate() {
+            let w = bits[assign[i] as usize] as usize;
+            assert_eq!(strat.bits_of(i), w);
+            let solo = CountingBloomCollection::build(1, w, 2, 5, |_| &set[..]);
+            assert_eq!(strat.counter_words(i), solo.counter_words(0), "set {i}");
+            assert_eq!(strat.read_view().words(i), solo.read_view().words(0));
+            for &x in set {
+                assert!(strat.contains(i, x));
+            }
+        }
+        // The view is a real stratified BloomCollection: its fold-based
+        // cross-stratum estimators run unchanged on top of the counters.
+        let plain = pg_sketch_bloom_build(&bits, &assign, &sets);
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(
+                    strat.read_view().estimate_and(i, j),
+                    plain.estimate_and(i, j),
+                    "({i},{j})"
+                );
+            }
+        }
+        // Snapshot round-trip re-derives the identical view.
+        let loaded = CountingBloomCollection::from_counter_words_stratified(
+            strat.raw_counters().to_vec(),
+            bits,
+            assign,
+            2,
+            5,
+        );
+        assert_eq!(loaded.raw_counters(), strat.raw_counters());
+        for i in 0..9 {
+            assert_eq!(loaded.read_view().words(i), strat.read_view().words(i));
+        }
+    }
+
+    fn pg_sketch_bloom_build(
+        bits: &[u32],
+        assign: &[u8],
+        sets: &[Vec<u32>],
+    ) -> crate::BloomCollection {
+        crate::BloomCollection::build_stratified(bits.to_vec(), assign.to_vec(), 2, 5, |i| {
+            &sets[i][..]
+        })
+    }
+
+    #[test]
+    fn stratified_insert_remove_matches_survivor_rebuild() {
+        let all: Vec<Vec<u32>> = (0..6)
+            .map(|s| (0..90).map(|i| (i * 13 + s * 7 + 1) as u32).collect())
+            .collect();
+        let bits = vec![512u32, 128];
+        let assign: Vec<u8> = (0..6).map(|i| (i % 2) as u8).collect();
+        // Start from the front halves, then stream in the back halves and
+        // remove every third front element, mixing batch and scalar ops.
+        let mut cbf =
+            CountingBloomCollection::build_stratified(bits.clone(), assign.clone(), 2, 9, |i| {
+                &all[i][..45]
+            });
+        for (i, set) in all.iter().enumerate() {
+            if i % 2 == 0 {
+                cbf.insert_batch(i, &set[45..]);
+            } else {
+                for &x in &set[45..] {
+                    cbf.insert(i, x);
+                }
+            }
+            for (t, &x) in set[..45].iter().enumerate() {
+                if t % 3 == 0 {
+                    cbf.remove(i, x);
+                }
+            }
+        }
+        let live: Vec<Vec<u32>> = all
+            .iter()
+            .map(|set| {
+                (0..set.len())
+                    .filter(|&t| !(t < 45 && t % 3 == 0))
+                    .map(|t| set[t])
+                    .collect()
+            })
+            .collect();
+        let rebuilt =
+            CountingBloomCollection::build_stratified(bits, assign, 2, 9, |i| &live[i][..]);
+        for i in 0..6 {
+            assert_eq!(cbf.counter_words(i), rebuilt.counter_words(i), "set {i}");
+            assert_eq!(cbf.read_view().words(i), rebuilt.read_view().words(i));
+            assert_eq!(
+                cbf.read_view().count_ones(i),
+                rebuilt.read_view().count_ones(i)
+            );
+        }
+    }
+
+    #[test]
+    fn stratified_gather_concatenates_parts() {
+        let sets = sets(8);
+        let bits = vec![256u32, 64];
+        let build_part = |range: std::ops::Range<usize>| {
+            let assign: Vec<u8> = range.clone().map(|i| (i % 2) as u8).collect();
+            CountingBloomCollection::build_stratified(bits.clone(), assign, 3, 11, |i| {
+                &sets[range.start + i][..]
+            })
+        };
+        let a = build_part(0..5);
+        let b = build_part(5..8);
+        let gathered = CountingBloomCollection::gather(&[&a, &b]);
+        let assign: Vec<u8> = (0..8).map(|i| (i % 2) as u8).collect();
+        let whole =
+            CountingBloomCollection::build_stratified(bits, assign, 3, 11, |i| &sets[i][..]);
+        assert_eq!(gathered.raw_counters(), whole.raw_counters());
+        for i in 0..8 {
+            assert_eq!(gathered.counter_words(i), whole.counter_words(i));
+            assert_eq!(gathered.read_view().words(i), whole.read_view().words(i));
         }
     }
 

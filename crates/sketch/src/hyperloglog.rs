@@ -6,6 +6,12 @@
 //! a standard HLL with the Flajolet et al. bias correction and
 //! linear-counting small-range correction, plus lossless merging, so
 //! `|X∩Y|` can be estimated by inclusion–exclusion exactly like KMV.
+//!
+//! A collection may be **stratified** ([`HllStrata`]): each set's
+//! precision comes from its stratum. Cross-precision pairs fold the wider
+//! window down with [`fold_hll_registers_into`] — an *exact* downgrade
+//! (the folded registers equal the sketch built at the narrower precision
+//! directly) — then run the usual fused union pass at the narrow width.
 
 use crate::cowvec::cow_clear;
 use pg_hash::HashFamily;
@@ -86,6 +92,51 @@ fn split_hash(h: u64, p: u32) -> (usize, u8) {
     // all-zero rest gets the maximum rank.
     let rank = (rest.leading_zeros() + 1).min(64 - p + 1) as u8;
     (idx, rank)
+}
+
+/// Folds a `2^p_from`-register HLL window down to precision
+/// `p_to ≤ p_from`, appending the `2^p_to` narrow registers to `out`.
+///
+/// **Exact**: the result is bit-identical to the sketch built at `p_to`
+/// directly. Writing `q = p_from − p_to`, a hash with wide index
+/// `idx = (j << q) | low` has narrow index `j`, and its narrow rank is
+/// determined by where its *index bits* reenter the rank field:
+///
+/// * `low ≠ 0`: the leading 1 of `low` becomes the leading 1 of the
+///   shifted hash, so the narrow rank is `q − ilog2(low)` — the same for
+///   every element of that wide register (its stored rank is irrelevant
+///   beyond being nonzero, i.e. occupied).
+/// * `low == 0`: the `q` index bits prepend zeros, so each element's
+///   narrow rank is its wide rank plus `q`; the max commutes, giving
+///   `q + r`. (The rank caps agree: `64−p+1+q = 64−p_to+1`.)
+///
+/// Register-wise max over the group then reproduces the narrow build,
+/// since max over the union of element sets is the max of group maxima.
+pub fn fold_hll_registers_into(wide: &[u8], p_from: u32, p_to: u32, out: &mut Vec<u8>) {
+    debug_assert!(p_to <= p_from, "can only fold downward");
+    debug_assert_eq!(wide.len(), 1usize << p_from);
+    let q = p_from - p_to;
+    if q == 0 {
+        out.extend_from_slice(wide);
+        return;
+    }
+    let group = 1usize << q;
+    for j in 0..(1usize << p_to) {
+        let base = j << q;
+        let mut best = 0u8;
+        for (low, &r) in wide[base..base + group].iter().enumerate() {
+            if r == 0 {
+                continue;
+            }
+            let contrib = if low == 0 {
+                q as u8 + r
+            } else {
+                (q - low.ilog2()) as u8
+            };
+            best = best.max(contrib);
+        }
+        out.push(best);
+    }
 }
 
 /// A HyperLogLog cardinality sketch with `2^precision` registers.
@@ -197,10 +248,65 @@ pub struct HyperLogLogCollectionIn<'a> {
     /// The seeded hash function — kept after construction so streamed
     /// elements can be absorbed in place (register max updates).
     family: HashFamily,
+    /// `Some` when the collection is stratified: per-set precisions and
+    /// window offsets live here and `precision` holds the **widest**
+    /// stratum's precision.
+    strata: Option<HllStrata<'a>>,
 }
 
 /// The owned (`'static`) form of [`HyperLogLogCollectionIn`].
 pub type HyperLogLogCollection = HyperLogLogCollectionIn<'static>;
+
+/// Per-set geometry of a stratified HLL collection: stratum assignment,
+/// per-stratum precisions, and the resulting register-window offsets.
+#[derive(Clone, Debug)]
+pub struct HllStrata<'a> {
+    assign: Cow<'a, [u8]>,
+    ps: Vec<u8>,
+    offsets: Vec<u64>,
+}
+
+impl<'a> HllStrata<'a> {
+    fn new(assign: Cow<'a, [u8]>, ps: Vec<u8>) -> Self {
+        assert!(!ps.is_empty(), "need at least one stratum");
+        assert!(
+            ps.iter().all(|p| (4..=16).contains(p)),
+            "precision outside 4..=16"
+        );
+        let mut offsets = Vec::with_capacity(assign.len() + 1);
+        let mut off = 0u64;
+        offsets.push(0);
+        for &a in assign.iter() {
+            off += 1u64 << ps[a as usize];
+            offsets.push(off);
+        }
+        HllStrata {
+            assign,
+            ps,
+            offsets,
+        }
+    }
+
+    /// Per-set stratum indices.
+    #[inline]
+    pub fn assign(&self) -> &[u8] {
+        &self.assign
+    }
+
+    /// Per-stratum precisions.
+    #[inline]
+    pub fn stratum_ps(&self) -> &[u8] {
+        &self.ps
+    }
+
+    fn into_owned(self) -> HllStrata<'static> {
+        HllStrata {
+            assign: Cow::Owned(self.assign.into_owned()),
+            ps: self.ps,
+            offsets: self.offsets,
+        }
+    }
+}
 
 impl<'a> HyperLogLogCollectionIn<'a> {
     /// Builds sketches for `n_sets` sets in parallel. `precision` must lie
@@ -240,6 +346,56 @@ impl<'a> HyperLogLogCollectionIn<'a> {
             precision,
             seed,
             family: HashFamily::new(1, seed),
+            strata: None,
+        }
+    }
+
+    /// Builds a **stratified** collection: set `i` gets
+    /// `2^stratum_ps[assign[i]]` registers. With a single stratum this
+    /// lowers onto [`HyperLogLogCollectionIn::build`] and is bit-identical
+    /// to it.
+    pub fn build_stratified<'s, F>(stratum_ps: Vec<u8>, assign: Vec<u8>, seed: u64, set: F) -> Self
+    where
+        F: Fn(usize) -> &'s [u32] + Sync,
+    {
+        if stratum_ps.len() == 1 {
+            return Self::build(assign.len(), stratum_ps[0], seed, set);
+        }
+        let n_sets = assign.len();
+        let strata = HllStrata::new(Cow::Owned(assign), stratum_ps);
+        let total = strata.offsets[n_sets] as usize;
+        let mut registers = vec![0u8; total];
+        {
+            struct SendPtr(*mut u8);
+            unsafe impl Send for SendPtr {}
+            unsafe impl Sync for SendPtr {}
+            let base = SendPtr(registers.as_mut_ptr());
+            let base = &base;
+            let family = HashFamily::new(1, seed);
+            let family = &family;
+            let strata_ref = &strata;
+            parallel_for(n_sets, move |s| {
+                let start = strata_ref.offsets[s] as usize;
+                let m = (strata_ref.offsets[s + 1] - strata_ref.offsets[s]) as usize;
+                let p = strata_ref.ps[strata_ref.assign[s] as usize] as u32;
+                // SAFETY: offsets are strictly increasing, so each set's
+                // window is exclusive to it.
+                let window = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), m) };
+                for &x in set(s) {
+                    let (idx, rank) = split_hash(family.hash64(0, x as u64), p);
+                    if rank > window[idx] {
+                        window[idx] = rank;
+                    }
+                }
+            });
+        }
+        let precision = *strata.ps.iter().max().unwrap();
+        HyperLogLogCollectionIn {
+            registers: Cow::Owned(registers),
+            precision,
+            seed,
+            family: HashFamily::new(1, seed),
+            strata: Some(strata),
         }
     }
 
@@ -269,6 +425,39 @@ impl<'a> HyperLogLogCollectionIn<'a> {
             precision,
             seed,
             family: HashFamily::new(1, seed),
+            strata: None,
+        }
+    }
+
+    /// Stratified sibling of
+    /// [`HyperLogLogCollectionIn::from_raw_registers`] (the snapshot load
+    /// path): the register array must hold each set's
+    /// `2^stratum_ps[assign[i]]`-byte window back to back.
+    pub fn from_raw_registers_stratified(
+        registers: impl Into<Cow<'a, [u8]>>,
+        stratum_ps: Vec<u8>,
+        assign: impl Into<Cow<'a, [u8]>>,
+        seed: u64,
+    ) -> Self {
+        let assign = assign.into();
+        if stratum_ps.len() == 1 {
+            return Self::from_raw_registers(registers, stratum_ps[0], seed);
+        }
+        let registers = registers.into();
+        let n_sets = assign.len();
+        let strata = HllStrata::new(assign, stratum_ps);
+        assert_eq!(
+            strata.offsets[n_sets] as usize,
+            registers.len(),
+            "register array does not match the stratified geometry"
+        );
+        let precision = *strata.ps.iter().max().unwrap();
+        HyperLogLogCollectionIn {
+            registers,
+            precision,
+            seed,
+            family: HashFamily::new(1, seed),
+            strata: Some(strata),
         }
     }
 
@@ -289,6 +478,7 @@ impl<'a> HyperLogLogCollectionIn<'a> {
             precision: first.precision,
             seed: first.seed,
             family: first.family.clone(),
+            strata: None,
         };
         out.gather_into(parts);
         out
@@ -297,8 +487,29 @@ impl<'a> HyperLogLogCollectionIn<'a> {
     /// In-place form of [`HyperLogLogCollection::gather`], reusing `self`'s
     /// register allocation (the double-buffer path).
     pub fn gather_into(&mut self, parts: &[&HyperLogLogCollectionIn<'_>]) {
+        let first = parts.first().expect("gather needs at least one part");
+        if let Some(fs) = &first.strata {
+            let ps = fs.ps.clone();
+            let mut assign = Vec::new();
+            let registers = cow_clear(&mut self.registers);
+            for p in parts {
+                let pst = p
+                    .strata
+                    .as_ref()
+                    .expect("gather: mixed uniform/stratified parts");
+                assert_eq!(pst.ps, ps, "gather: mismatched stratum precisions");
+                assert_eq!(p.seed, self.seed, "gather: mismatched seeds");
+                registers.extend_from_slice(&p.registers);
+                assign.extend_from_slice(&pst.assign);
+            }
+            self.precision = first.precision;
+            self.strata = Some(HllStrata::new(Cow::Owned(assign), ps));
+            return;
+        }
+        self.strata = None;
         let registers = cow_clear(&mut self.registers);
         for p in parts {
+            assert!(p.strata.is_none(), "gather: mixed uniform/stratified parts");
             assert_eq!(p.precision, self.precision, "gather: mismatched precision");
             assert_eq!(p.seed, self.seed, "gather: mismatched seeds");
             registers.extend_from_slice(&p.registers);
@@ -313,6 +524,7 @@ impl<'a> HyperLogLogCollectionIn<'a> {
             precision: self.precision,
             seed: self.seed,
             family: self.family,
+            strata: self.strata.map(HllStrata::into_owned),
         }
     }
 
@@ -327,9 +539,9 @@ impl<'a> HyperLogLogCollectionIn<'a> {
     /// Batched per-set insert: absorbs all of `xs` into sketch `i` with
     /// the register window hoisted out of the element loop.
     pub fn insert_batch(&mut self, i: usize, xs: &[u32]) {
-        let m = 1usize << self.precision;
-        let p = self.precision as u32;
-        let window = &mut self.registers.to_mut()[i * m..(i + 1) * m];
+        let r = self.reg_range(i);
+        let p = self.precision_of(i) as u32;
+        let window = &mut self.registers.to_mut()[r];
         for &x in xs {
             let (idx, rank) = split_hash(self.family.hash64(0, x as u64), p);
             if rank > window[idx] {
@@ -341,9 +553,12 @@ impl<'a> HyperLogLogCollectionIn<'a> {
     /// Number of sketches.
     #[inline]
     pub fn len(&self) -> usize {
-        // precision is asserted into 4..=16 at build, so the register
-        // count per set is a nonzero power of two.
-        self.registers.len() >> self.precision
+        match &self.strata {
+            Some(st) => st.assign.len(),
+            // precision is asserted into 4..=16 at build, so the register
+            // count per set is a nonzero power of two.
+            None => self.registers.len() >> self.precision,
+        }
     }
 
     /// True when the collection holds no sketches.
@@ -352,32 +567,81 @@ impl<'a> HyperLogLogCollectionIn<'a> {
         self.registers.is_empty()
     }
 
-    /// Configured precision (`m = 2^precision` registers per set).
+    /// Configured precision (`m = 2^precision` registers per set) — the
+    /// **widest** stratum's precision when stratified (per-set precisions
+    /// come from [`HyperLogLogCollectionIn::precision_of`]).
     #[inline]
     pub fn precision(&self) -> u8 {
         self.precision
     }
 
+    /// Register range of set `i` in the flat array.
+    #[inline]
+    fn reg_range(&self, i: usize) -> std::ops::Range<usize> {
+        match &self.strata {
+            Some(st) => st.offsets[i] as usize..st.offsets[i + 1] as usize,
+            None => {
+                let m = 1usize << self.precision;
+                i * m..(i + 1) * m
+            }
+        }
+    }
+
+    /// Precision of set `i`.
+    #[inline]
+    pub fn precision_of(&self, i: usize) -> u8 {
+        match &self.strata {
+            Some(st) => st.ps[st.assign[i] as usize],
+            None => self.precision,
+        }
+    }
+
+    /// Stratum index of set `i` (0 for uniform collections).
+    #[inline]
+    pub fn stratum_of(&self, i: usize) -> usize {
+        self.strata.as_ref().map_or(0, |st| st.assign[i] as usize)
+    }
+
+    /// The stratified geometry, when present.
+    #[inline]
+    pub fn strata(&self) -> Option<&HllStrata<'a>> {
+        self.strata.as_ref()
+    }
+
     /// The register window of set `i`.
     #[inline]
     pub fn registers(&self, i: usize) -> &[u8] {
-        let m = 1usize << self.precision;
-        &self.registers[i * m..(i + 1) * m]
+        &self.registers[self.reg_range(i)]
     }
 
     /// `|X|̂` of set `i` (HLL's own estimate; callers usually have the
     /// exact sizes and only need this for diagnostics).
     pub fn estimate_size(&self, i: usize) -> f64 {
-        let (sum, zeros) = register_stats(self.registers(i));
-        estimate_from_stats(1 << self.precision, sum, zeros)
+        let w = self.registers(i);
+        let m = w.len();
+        let (sum, zeros) = register_stats(w);
+        estimate_from_stats(m, sum, zeros)
     }
 
     /// `|X∪Y|̂` of sets `i` and `j`: one fused register-wise-max pass over
     /// the two windows accumulating the harmonic sum and zero count of the
-    /// (never materialized) merged sketch.
+    /// (never materialized) merged sketch. Cross-precision pairs fold the
+    /// wider window down first ([`fold_hll_registers_into`] — exact), so
+    /// the estimate equals both sketches built at the narrower precision.
     #[inline]
     pub fn estimate_union(&self, i: usize, j: usize) -> f64 {
-        self.union_estimate_with_row(self.registers(i), j)
+        let (a, b) = (self.registers(i), self.registers(j));
+        if a.len() > b.len() {
+            let mut folded = Vec::with_capacity(b.len());
+            fold_hll_registers_into(
+                a,
+                self.precision_of(i) as u32,
+                self.precision_of(j) as u32,
+                &mut folded,
+            );
+            return self.union_estimate_with_row(&folded, j);
+        }
+        self.union_estimate_with_row(a, j)
     }
 
     /// `|X∪Y|̂` with the source register window already pinned — the
@@ -385,15 +649,33 @@ impl<'a> HyperLogLogCollectionIn<'a> {
     /// re-slicing per pair). Identical to
     /// [`HyperLogLogCollection::estimate_union`] when `row` is window `i`.
     pub fn union_estimate_with_row(&self, row: &[u8], j: usize) -> f64 {
-        let b = &self.registers(j)[..row.len()];
+        let b = self.registers(j);
+        if b.len() > row.len() {
+            // Destination is in a wider stratum: fold it down to the
+            // row's precision (exact), then fuse at the narrow width.
+            let q = (b.len() / row.len()).trailing_zeros();
+            let p_dst = self.precision_of(j) as u32;
+            let mut folded = Vec::with_capacity(row.len());
+            fold_hll_registers_into(b, p_dst, p_dst - q, &mut folded);
+            return Self::union_rows(row, &folded);
+        }
+        debug_assert_eq!(b.len(), row.len(), "row wider than destination");
+        Self::union_rows(row, b)
+    }
+
+    /// The fused max + harmonic-sum pass over two equal-width windows.
+    #[inline]
+    fn union_rows(a: &[u8], b: &[u8]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let b = &b[..a.len()];
         let mut sum = 0.0f64;
         let mut zeros = 0usize;
-        for t in 0..row.len() {
-            let r = row[t].max(b[t]);
+        for t in 0..a.len() {
+            let r = a[t].max(b[t]);
             sum += pow_neg2(r);
             zeros += usize::from(r == 0);
         }
-        estimate_from_stats(1 << self.precision, sum, zeros)
+        estimate_from_stats(a.len(), sum, zeros)
     }
 
     /// Multi-lane `|X∪Y|̂`: one pass over the pinned source window `row`
@@ -405,7 +687,13 @@ impl<'a> HyperLogLogCollectionIn<'a> {
     /// add chain of one harmonic sum is latency-bound, and `L`
     /// independent chains pipeline in parallel.
     pub fn union_estimates_multi<const L: usize>(&self, row: &[u8], js: [usize; L]) -> [f64; L] {
-        let bs: [&[u8]; L] = js.map(|j| &self.registers(j)[..row.len()]);
+        // Lanes must share the row's width — stratified sweeps group
+        // destinations by stratum before fusing.
+        let bs: [&[u8]; L] = js.map(|j| {
+            let b = self.registers(j);
+            debug_assert_eq!(b.len(), row.len(), "multi-lane needs same-width lanes");
+            &b[..row.len()]
+        });
         let mut sum = [0.0f64; L];
         let mut zeros = [0usize; L];
         for (t, &x) in row.iter().enumerate() {
@@ -417,7 +705,7 @@ impl<'a> HyperLogLogCollectionIn<'a> {
         }
         let mut out = [0.0f64; L];
         for l in 0..L {
-            out[l] = estimate_from_stats(1 << self.precision, sum[l], zeros[l]);
+            out[l] = estimate_from_stats(row.len(), sum[l], zeros[l]);
         }
         out
     }
@@ -577,6 +865,144 @@ mod tests {
         }
         let rebuilt = HyperLogLogCollection::build(1, 6, 3, |_| &[11u32, 4, 900][..]);
         assert_eq!(one.registers(0), rebuilt.registers(0));
+    }
+
+    #[test]
+    fn folding_a_wide_sketch_reproduces_the_narrow_build_exactly() {
+        let items: Vec<u32> = (0..30_000).map(|i| i * 7 + 3).collect();
+        for (p_from, p_to) in [(10u32, 10u32), (10, 8), (12, 7), (8, 4), (16, 12)] {
+            let wide = HyperLogLog::from_set(&items, p_from as u8, 9);
+            let narrow = HyperLogLog::from_set(&items, p_to as u8, 9);
+            let mut folded = Vec::new();
+            fold_hll_registers_into(&wide.registers, p_from, p_to, &mut folded);
+            assert_eq!(folded, narrow.registers, "p {p_from}->{p_to}");
+        }
+    }
+
+    #[test]
+    fn one_stratum_build_is_bit_identical_to_uniform() {
+        let sets: Vec<Vec<u32>> = (0..10)
+            .map(|s| (0..50 + s * 40).map(|i| (i * 13 + s) as u32).collect())
+            .collect();
+        let uniform = HyperLogLogCollection::build(sets.len(), 8, 11, |i| &sets[i][..]);
+        let strat =
+            HyperLogLogCollection::build_stratified(vec![8], vec![0u8; sets.len()], 11, |i| {
+                &sets[i][..]
+            });
+        assert!(
+            strat.strata().is_none(),
+            "one stratum must lower to uniform"
+        );
+        assert_eq!(strat.raw_registers(), uniform.raw_registers());
+        assert_eq!(strat.precision(), uniform.precision());
+    }
+
+    #[test]
+    fn cross_stratum_unions_match_both_built_at_the_narrow_precision() {
+        let sets: Vec<Vec<u32>> = (0..9)
+            .map(|s| (0..100 + s * 120).map(|i| (i * 5 + s) as u32).collect())
+            .collect();
+        let ps = vec![10u8, 8, 6];
+        let assign: Vec<u8> = (0..sets.len()).map(|i| (i % 3) as u8).collect();
+        let strat =
+            HyperLogLogCollection::build_stratified(
+                ps.clone(),
+                assign.clone(),
+                7,
+                |i| &sets[i][..],
+            );
+        for i in 0..sets.len() {
+            assert_eq!(strat.precision_of(i), ps[assign[i] as usize]);
+            assert_eq!(strat.registers(i).len(), 1usize << strat.precision_of(i));
+            for j in 0..sets.len() {
+                let pmin = strat.precision_of(i).min(strat.precision_of(j));
+                let narrow = HyperLogLogCollection::build(sets.len(), pmin, 7, |s| &sets[s][..]);
+                assert_eq!(
+                    strat.estimate_union(i, j),
+                    narrow.estimate_union(i, j),
+                    "i={i} j={j}"
+                );
+                // Pinned-row path: source folded once (the oracle's
+                // pattern) must agree with the pairwise path.
+                let mut row = Vec::new();
+                fold_hll_registers_into(
+                    strat.registers(i),
+                    strat.precision_of(i) as u32,
+                    pmin as u32,
+                    &mut row,
+                );
+                assert_eq!(
+                    strat.union_estimate_with_row(&row, j),
+                    strat.estimate_union(i, j),
+                    "row i={i} j={j}"
+                );
+            }
+        }
+        // Same-stratum multi-lane path still agrees lane-for-lane.
+        for i in 0..3 {
+            let row = strat.registers(i);
+            let js = [i, (i + 3) % 9, (i + 6) % 9]; // all stratum assign[i]
+            let multi = strat.union_estimates_multi(row, js);
+            for (l, &j) in js.iter().enumerate() {
+                assert_eq!(multi[l], strat.estimate_union(i, j), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_insert_matches_stratified_rebuild() {
+        let full: Vec<Vec<u32>> = (0..8)
+            .map(|s| (0..80 + s * 30).map(|i| (i * 13 + s) as u32).collect())
+            .collect();
+        let ps = vec![9u8, 5];
+        let assign: Vec<u8> = (0..full.len()).map(|i| (i % 2) as u8).collect();
+        let want =
+            HyperLogLogCollection::build_stratified(
+                ps.clone(),
+                assign.clone(),
+                17,
+                |i| &full[i][..],
+            );
+        let mut got = HyperLogLogCollection::build_stratified(ps, assign, 17, |i| {
+            &full[i][..full[i].len() / 2]
+        });
+        for (i, set) in full.iter().enumerate() {
+            got.insert_batch(i, &set[set.len() / 2..]);
+            assert_eq!(got.registers(i), want.registers(i), "set {i}");
+        }
+        assert_eq!(got.raw_registers(), want.raw_registers());
+    }
+
+    #[test]
+    fn stratified_gather_concatenates_parts() {
+        let sets: Vec<Vec<u32>> = (0..8)
+            .map(|s| (0..60 + s * 25).map(|i| (i * 3 + s) as u32).collect())
+            .collect();
+        let ps = vec![8u8, 5];
+        let assign: Vec<u8> = (0..8).map(|i| (i % 2) as u8).collect();
+        let whole =
+            HyperLogLogCollection::build_stratified(
+                ps.clone(),
+                assign.clone(),
+                5,
+                |i| &sets[i][..],
+            );
+        let left =
+            HyperLogLogCollection::build_stratified(ps.clone(), assign[..4].to_vec(), 5, |i| {
+                &sets[i][..]
+            });
+        let right = HyperLogLogCollection::build_stratified(ps, assign[4..].to_vec(), 5, |i| {
+            &sets[i + 4][..]
+        });
+        let gathered = HyperLogLogCollection::gather(&[&left, &right]);
+        assert_eq!(gathered.raw_registers(), whole.raw_registers());
+        assert_eq!(
+            gathered.strata().unwrap().assign(),
+            whole.strata().unwrap().assign()
+        );
+        for i in 0..8 {
+            assert_eq!(gathered.registers(i), whole.registers(i));
+        }
     }
 
     #[test]

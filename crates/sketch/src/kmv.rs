@@ -381,6 +381,43 @@ fn union_match_walk_x2(
     ((m0, t0), (m1, t1))
 }
 
+/// Per-set geometry of a stratified KMV collection. Each sketch already
+/// stores its own `k` and every pairwise estimator takes `min(k)`, so
+/// this exists to keep the stratum table/assignment round-trippable
+/// through snapshots and queryable by the planners.
+#[derive(Clone, Debug)]
+pub struct KmvStrata<'a> {
+    assign: Cow<'a, [u8]>,
+    ks: Vec<u32>,
+}
+
+impl<'a> KmvStrata<'a> {
+    fn new(assign: Cow<'a, [u8]>, ks: Vec<u32>) -> Self {
+        assert!(!ks.is_empty(), "need at least one stratum");
+        assert!(ks.iter().all(|&k| k > 0), "KMV needs k ≥ 1");
+        KmvStrata { assign, ks }
+    }
+
+    /// Per-set stratum indices.
+    #[inline]
+    pub fn assign(&self) -> &[u8] {
+        &self.assign
+    }
+
+    /// Per-stratum sketch sizes.
+    #[inline]
+    pub fn stratum_ks(&self) -> &[u32] {
+        &self.ks
+    }
+
+    fn into_owned(self) -> KmvStrata<'static> {
+        KmvStrata {
+            assign: Cow::Owned(self.assign.into_owned()),
+            ks: self.ks,
+        }
+    }
+}
+
 /// All KMV sketches of a ProbGraph representation (flat storage).
 #[derive(Clone, Debug)]
 pub struct KmvCollectionIn<'a> {
@@ -388,6 +425,9 @@ pub struct KmvCollectionIn<'a> {
     /// The single seeded hash function — kept after construction so
     /// streamed elements can be hashed for in-place absorption.
     family: HashFamily,
+    /// `Some` when the collection is stratified (per-set `k` lives on the
+    /// sketches themselves; see [`KmvStrata`]).
+    strata: Option<KmvStrata<'a>>,
 }
 
 /// The owned (`'static`) form of [`KmvCollectionIn`].
@@ -403,6 +443,34 @@ impl<'a> KmvCollectionIn<'a> {
         KmvCollectionIn {
             sketches,
             family: HashFamily::new(1, seed),
+            strata: None,
+        }
+    }
+
+    /// Builds a **stratified** collection: sketch `i` keeps the
+    /// `stratum_ks[assign[i]]` smallest hashes. With a single stratum this
+    /// lowers onto [`KmvCollectionIn::build`] and is bit-identical to it.
+    /// Cross-stratum estimators need no special casing — every pairwise
+    /// path already truncates to `min(k)`, and a KMV sketch truncated to
+    /// `k' < k` entries is exactly the sketch built at `k'`.
+    pub fn build_stratified<'s, F>(stratum_ks: Vec<u32>, assign: Vec<u8>, seed: u64, set: F) -> Self
+    where
+        F: Fn(usize) -> &'s [u32] + Sync,
+    {
+        if stratum_ks.len() == 1 {
+            return Self::build(assign.len(), stratum_ks[0] as usize, seed, set);
+        }
+        let strata = KmvStrata::new(Cow::Owned(assign), stratum_ks);
+        let sketches = {
+            let strata = &strata;
+            pg_parallel::parallel_init(strata.assign.len(), |s| {
+                KmvSketch::from_set(set(s), strata.ks[strata.assign[s] as usize] as usize, seed)
+            })
+        };
+        KmvCollectionIn {
+            sketches,
+            family: HashFamily::new(1, seed),
+            strata: Some(strata),
         }
     }
 
@@ -412,6 +480,33 @@ impl<'a> KmvCollectionIn<'a> {
         KmvCollectionIn {
             sketches,
             family: HashFamily::new(1, seed),
+            strata: None,
+        }
+    }
+
+    /// Stratified sibling of [`KmvCollectionIn::from_sketches`]: each
+    /// sketch's `k` must equal `stratum_ks[assign[i]]` (the snapshot
+    /// loader validates this before calling).
+    pub fn from_sketches_stratified(
+        sketches: Vec<KmvSketchIn<'a>>,
+        stratum_ks: Vec<u32>,
+        assign: impl Into<Cow<'a, [u8]>>,
+        seed: u64,
+    ) -> Self {
+        let assign = assign.into();
+        if stratum_ks.len() == 1 {
+            return Self::from_sketches(sketches, seed);
+        }
+        let strata = KmvStrata::new(assign, stratum_ks);
+        assert_eq!(strata.assign.len(), sketches.len());
+        debug_assert!(sketches
+            .iter()
+            .zip(strata.assign.iter())
+            .all(|(s, &a)| s.k == strata.ks[a as usize] as usize));
+        KmvCollectionIn {
+            sketches,
+            family: HashFamily::new(1, seed),
+            strata: Some(strata),
         }
     }
 
@@ -423,6 +518,7 @@ impl<'a> KmvCollectionIn<'a> {
         let mut out = KmvCollectionIn {
             sketches: Vec::new(),
             family: first.family.clone(),
+            strata: None,
         };
         out.gather_into(parts);
         out
@@ -434,6 +530,25 @@ impl<'a> KmvCollectionIn<'a> {
     /// allocates nothing beyond hash vectors that grew since the last
     /// epoch.
     pub fn gather_into(&mut self, parts: &[&KmvCollectionIn<'_>]) {
+        let first = parts.first().expect("gather needs at least one part");
+        self.strata = if let Some(fs) = &first.strata {
+            let mut assign = Vec::new();
+            for p in parts {
+                let ps = p
+                    .strata
+                    .as_ref()
+                    .expect("gather: mixed uniform/stratified parts");
+                assert_eq!(ps.ks, fs.ks, "gather: mismatched stratum sizes");
+                assign.extend_from_slice(&ps.assign);
+            }
+            Some(KmvStrata::new(Cow::Owned(assign), fs.ks.clone()))
+        } else {
+            assert!(
+                parts.iter().all(|p| p.strata.is_none()),
+                "gather: mixed uniform/stratified parts"
+            );
+            None
+        };
         let total: usize = parts.iter().map(|p| p.sketches.len()).sum();
         self.sketches.truncate(total);
         let mut src = parts.iter().flat_map(|p| p.sketches.iter());
@@ -466,6 +581,7 @@ impl<'a> KmvCollectionIn<'a> {
                 .map(KmvSketchIn::into_owned)
                 .collect(),
             family: self.family,
+            strata: self.strata.map(KmvStrata::into_owned),
         }
     }
 
@@ -498,6 +614,24 @@ impl<'a> KmvCollectionIn<'a> {
     #[inline]
     pub fn sketch(&self, i: usize) -> &KmvSketchIn<'a> {
         &self.sketches[i]
+    }
+
+    /// Sketch size of set `i`.
+    #[inline]
+    pub fn k_of(&self, i: usize) -> usize {
+        self.sketches[i].k
+    }
+
+    /// Stratum index of set `i` (0 for uniform collections).
+    #[inline]
+    pub fn stratum_of(&self, i: usize) -> usize {
+        self.strata.as_ref().map_or(0, |st| st.assign[i] as usize)
+    }
+
+    /// The stratified geometry, when present.
+    #[inline]
+    pub fn strata(&self) -> Option<&KmvStrata<'a>> {
+        self.strata.as_ref()
     }
 
     /// `|X∩Y|̂_K` between sets `i` and `j`.
@@ -683,6 +817,101 @@ mod tests {
         }
         let rebuilt = KmvCollection::build(1, 4, 2, |_| &[3u32, 14, 15, 9, 26, 5][..]);
         assert_eq!(one.sketch(0), rebuilt.sketch(0));
+    }
+
+    #[test]
+    fn one_stratum_build_is_bit_identical_to_uniform() {
+        let sets: Vec<Vec<u32>> = (0..8)
+            .map(|s| (0..20 + s * 30).map(|i| (i * 7 + s) as u32).collect())
+            .collect();
+        let uniform = KmvCollection::build(sets.len(), 32, 9, |i| &sets[i][..]);
+        let strat =
+            KmvCollection::build_stratified(vec![32], vec![0u8; sets.len()], 9, |i| &sets[i][..]);
+        assert!(
+            strat.strata().is_none(),
+            "one stratum must lower to uniform"
+        );
+        for i in 0..sets.len() {
+            assert_eq!(strat.sketch(i), uniform.sketch(i), "set {i}");
+        }
+    }
+
+    #[test]
+    fn cross_stratum_pairs_match_both_built_at_the_narrow_k() {
+        // A KMV sketch truncated to k' entries is the k'-sketch, and all
+        // pairwise paths min(k)-truncate — so a (k=64, k=16) pair must
+        // estimate exactly like both sets sketched at k=16.
+        let sets: Vec<Vec<u32>> = (0..9)
+            .map(|s| (0..10 + s * 60).map(|i| (i * 5 + s) as u32).collect())
+            .collect();
+        let ks = vec![64u32, 32, 16];
+        let assign: Vec<u8> = (0..sets.len()).map(|i| (i % 3) as u8).collect();
+        let strat =
+            KmvCollection::build_stratified(ks.clone(), assign.clone(), 5, |i| &sets[i][..]);
+        for i in 0..sets.len() {
+            assert_eq!(strat.k_of(i), ks[assign[i] as usize] as usize);
+            for j in 0..sets.len() {
+                let kmin = strat.k_of(i).min(strat.k_of(j));
+                let narrow = KmvCollection::build(sets.len(), kmin, 5, |s| &sets[s][..]);
+                let a_regime = strat.sketch(i).is_exact() == narrow.sketch(i).is_exact();
+                let b_regime = strat.sketch(j).is_exact() == narrow.sketch(j).is_exact();
+                if a_regime && b_regime {
+                    assert_eq!(
+                        strat.estimate_intersection(i, j),
+                        narrow.estimate_intersection(i, j),
+                        "i={i} j={j}"
+                    );
+                }
+                let j1 = (j + 1) % sets.len();
+                let (e0, e1) = strat
+                    .sketch(i)
+                    .estimate_intersection_x2(strat.sketch(j), strat.sketch(j1));
+                assert_eq!(e0, strat.estimate_intersection(i, j), "x2 ({i},{j})");
+                assert_eq!(e1, strat.estimate_intersection(i, j1), "x2 ({i},{j1})");
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_insert_matches_stratified_rebuild() {
+        let full: Vec<Vec<u32>> = (0..8)
+            .map(|s| (0..5 + s * 17).map(|i| (i * 7 + s) as u32).collect())
+            .collect();
+        let ks = vec![24u32, 8];
+        let assign: Vec<u8> = (0..full.len()).map(|i| (i % 2) as u8).collect();
+        let want =
+            KmvCollection::build_stratified(ks.clone(), assign.clone(), 31, |i| &full[i][..]);
+        let mut got =
+            KmvCollection::build_stratified(ks, assign, 31, |i| &full[i][..full[i].len() / 3]);
+        for (i, set) in full.iter().enumerate() {
+            got.insert_batch(i, &set[set.len() / 3..]);
+        }
+        for i in 0..full.len() {
+            assert_eq!(got.sketch(i), want.sketch(i), "set {i}");
+        }
+    }
+
+    #[test]
+    fn stratified_gather_concatenates_parts() {
+        let sets: Vec<Vec<u32>> = (0..8)
+            .map(|s| (0..10 + s * 11).map(|i| (i * 3 + s) as u32).collect())
+            .collect();
+        let ks = vec![16u32, 4];
+        let assign: Vec<u8> = (0..8).map(|i| (i % 2) as u8).collect();
+        let whole =
+            KmvCollection::build_stratified(ks.clone(), assign.clone(), 5, |i| &sets[i][..]);
+        let left =
+            KmvCollection::build_stratified(ks.clone(), assign[..4].to_vec(), 5, |i| &sets[i][..]);
+        let right =
+            KmvCollection::build_stratified(ks, assign[4..].to_vec(), 5, |i| &sets[i + 4][..]);
+        let gathered = KmvCollection::gather(&[&left, &right]);
+        assert_eq!(
+            gathered.strata().unwrap().assign(),
+            whole.strata().unwrap().assign()
+        );
+        for i in 0..8 {
+            assert_eq!(gathered.sketch(i), whole.sketch(i), "set {i}");
+        }
     }
 
     #[test]

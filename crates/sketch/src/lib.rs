@@ -63,11 +63,16 @@ pub mod minhash;
 
 pub use bitvec::{and_or_ones_words, BitVec, PairOnes};
 pub use bloom::{
-    BfPairEstimates, BloomCollection, BloomCollectionIn, BloomFilter, MAX_BLOOM_HASHES,
+    fold_words_into, BfPairEstimates, BloomCollection, BloomCollectionIn, BloomFilter,
+    BloomFoldCache, BloomStrata, MAX_BLOOM_HASHES,
 };
-pub use bottomk::{BottomK, BottomKCollection, BottomKCollectionIn};
-pub use budget::{BudgetPlan, PlanError, SketchParams};
+pub use bottomk::{BkStrata, BottomK, BottomKCollection, BottomKCollectionIn};
+pub use budget::{
+    BudgetPlan, PlanError, SketchParams, StrataSpec, StratifiedParams, StratifiedPlan, MAX_STRATA,
+};
 pub use counting_bloom::{CountingBloomCollection, CountingBloomCollectionIn};
-pub use hyperloglog::{HyperLogLog, HyperLogLogCollection, HyperLogLogCollectionIn};
-pub use kmv::{KmvCollection, KmvCollectionIn, KmvSketch, KmvSketchIn};
-pub use minhash::{MinHashCollection, MinHashCollectionIn, MinHashSignature};
+pub use hyperloglog::{
+    fold_hll_registers_into, HllStrata, HyperLogLog, HyperLogLogCollection, HyperLogLogCollectionIn,
+};
+pub use kmv::{KmvCollection, KmvCollectionIn, KmvSketch, KmvSketchIn, KmvStrata};
+pub use minhash::{MinHashCollection, MinHashCollectionIn, MinHashSignature, MinHashStrata};

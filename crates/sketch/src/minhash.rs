@@ -6,6 +6,15 @@
 //! paper's notation and follows `Binomial(k, J(X,Y))`, which makes
 //! `Ĵ = matches/k` unbiased and the Eq. (5) intersection estimator an MLE
 //! (Table II).
+//!
+//! A collection may be **stratified** ([`MinHashStrata`]): each set's
+//! signature width `k` is chosen per stratum, signatures stored back to
+//! back with per-set offsets. Cross-stratum pairs compare their first
+//! `min(k)` slots — exact, because [`HashFamily`] seeds are drawn
+//! sequentially from one stream, so families of different sizes share
+//! their function prefix and the first `min(k)` slots of both signatures
+//! are precisely the signatures both sets would have at the narrower
+//! width. Uniform collections keep the flat fast path unchanged.
 
 use crate::cowvec::cow_clear;
 use crate::estimators;
@@ -94,10 +103,73 @@ pub struct MinHashCollectionIn<'a> {
     /// The k seeded hash functions — kept after construction so streamed
     /// elements can be absorbed in place (per-slot min updates).
     family: HashFamily,
+    /// `Some` when the collection is stratified: per-set widths/offsets
+    /// live here and `k`/`family` hold the **widest** stratum's width
+    /// (every narrower family is its prefix).
+    strata: Option<MinHashStrata<'a>>,
 }
 
 /// The owned (`'static`) form of [`MinHashCollectionIn`].
 pub type MinHashCollection = MinHashCollectionIn<'static>;
+
+/// Per-set geometry of a stratified MinHash collection: stratum
+/// assignment, per-stratum signature widths, and the resulting slot
+/// offsets.
+#[derive(Clone, Debug)]
+pub struct MinHashStrata<'a> {
+    assign: Cow<'a, [u8]>,
+    ks: Vec<u32>,
+    offsets: Vec<u64>,
+    /// Per-stratum hash families (prefixes of one another by seed-stream
+    /// construction) — kept so per-set inserts hash with exactly the
+    /// width the set was built at.
+    families: Vec<HashFamily>,
+}
+
+impl<'a> MinHashStrata<'a> {
+    fn new(assign: Cow<'a, [u8]>, ks: Vec<u32>, seed: u64) -> Self {
+        assert!(!ks.is_empty(), "need at least one stratum");
+        assert!(ks.iter().all(|&k| k > 0), "MinHash needs k ≥ 1");
+        let mut offsets = Vec::with_capacity(assign.len() + 1);
+        let mut off = 0u64;
+        offsets.push(0);
+        for &a in assign.iter() {
+            off += ks[a as usize] as u64;
+            offsets.push(off);
+        }
+        let families = ks
+            .iter()
+            .map(|&k| HashFamily::new(k as usize, seed))
+            .collect();
+        MinHashStrata {
+            assign,
+            ks,
+            offsets,
+            families,
+        }
+    }
+
+    /// Per-set stratum indices.
+    #[inline]
+    pub fn assign(&self) -> &[u8] {
+        &self.assign
+    }
+
+    /// Per-stratum signature widths.
+    #[inline]
+    pub fn stratum_ks(&self) -> &[u32] {
+        &self.ks
+    }
+
+    fn into_owned(self) -> MinHashStrata<'static> {
+        MinHashStrata {
+            assign: Cow::Owned(self.assign.into_owned()),
+            ks: self.ks,
+            offsets: self.offsets,
+            families: self.families,
+        }
+    }
+}
 
 impl<'a> MinHashCollectionIn<'a> {
     /// Builds signatures for `n_sets` sets in parallel; `set(i)` returns the
@@ -137,6 +209,59 @@ impl<'a> MinHashCollectionIn<'a> {
             sigs: Cow::Owned(sigs),
             k,
             family,
+            strata: None,
+        }
+    }
+
+    /// Builds a **stratified** collection: set `i`'s signature has
+    /// `stratum_ks[assign[i]]` slots, stored back to back in set order.
+    /// With a single stratum this lowers onto
+    /// [`MinHashCollectionIn::build`] and is bit-identical to it.
+    pub fn build_stratified<'s, F>(stratum_ks: Vec<u32>, assign: Vec<u8>, seed: u64, set: F) -> Self
+    where
+        F: Fn(usize) -> &'s [u32] + Sync,
+    {
+        if stratum_ks.len() == 1 {
+            return Self::build(assign.len(), stratum_ks[0] as usize, seed, set);
+        }
+        let n_sets = assign.len();
+        let strata = MinHashStrata::new(Cow::Owned(assign), stratum_ks, seed);
+        let total = strata.offsets[n_sets] as usize;
+        let mut sigs = vec![EMPTY; total];
+        {
+            struct SendPtr(*mut u32);
+            unsafe impl Send for SendPtr {}
+            unsafe impl Sync for SendPtr {}
+            let base = SendPtr(sigs.as_mut_ptr());
+            let base = &base;
+            let strata_ref = &strata;
+            parallel_for(n_sets, |s| {
+                let start = strata_ref.offsets[s] as usize;
+                let k = (strata_ref.offsets[s + 1] - strata_ref.offsets[s]) as usize;
+                let family = &strata_ref.families[strata_ref.assign[s] as usize];
+                // SAFETY: offsets are strictly increasing, so each set's
+                // window is exclusive to it.
+                let window = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), k) };
+                let mut best = vec![u32::MAX; k];
+                let mut hashes = vec![0u32; k];
+                for &x in set(s) {
+                    family.hashes_into(x as u64, &mut hashes);
+                    for i in 0..k {
+                        let h = hashes[i];
+                        if h < best[i] || (h == best[i] && x < window[i]) {
+                            best[i] = h;
+                            window[i] = x;
+                        }
+                    }
+                }
+            });
+        }
+        let kmax = *strata.ks.iter().max().unwrap() as usize;
+        MinHashCollectionIn {
+            sigs: Cow::Owned(sigs),
+            k: kmax,
+            family: HashFamily::new(kmax, seed),
+            strata: Some(strata),
         }
     }
 
@@ -153,6 +278,38 @@ impl<'a> MinHashCollectionIn<'a> {
             sigs,
             k,
             family: HashFamily::new(k, seed),
+            strata: None,
+        }
+    }
+
+    /// Stratified sibling of [`MinHashCollectionIn::from_raw_sigs`]: the
+    /// snapshot loader reassembles a stratified collection from a
+    /// validated signature array plus the per-stratum width table and
+    /// per-set assignment.
+    pub fn from_raw_sigs_stratified(
+        sigs: impl Into<Cow<'a, [u32]>>,
+        stratum_ks: Vec<u32>,
+        assign: impl Into<Cow<'a, [u8]>>,
+        seed: u64,
+    ) -> Self {
+        let assign = assign.into();
+        if stratum_ks.len() == 1 {
+            return Self::from_raw_sigs(sigs, stratum_ks[0] as usize, seed);
+        }
+        let sigs = sigs.into();
+        let n_sets = assign.len();
+        let strata = MinHashStrata::new(assign, stratum_ks, seed);
+        assert_eq!(
+            strata.offsets[n_sets] as usize,
+            sigs.len(),
+            "signature array does not match the stratified geometry"
+        );
+        let kmax = *strata.ks.iter().max().unwrap() as usize;
+        MinHashCollectionIn {
+            sigs,
+            k: kmax,
+            family: HashFamily::new(kmax, seed),
+            strata: Some(strata),
         }
     }
 
@@ -172,6 +329,7 @@ impl<'a> MinHashCollectionIn<'a> {
             sigs: Cow::Owned(Vec::new()),
             k: first.k,
             family: first.family.clone(),
+            strata: None,
         };
         out.gather_into(parts);
         out
@@ -180,8 +338,32 @@ impl<'a> MinHashCollectionIn<'a> {
     /// In-place form of [`MinHashCollection::gather`], reusing `self`'s
     /// signature allocation (the double-buffer path).
     pub fn gather_into(&mut self, parts: &[&MinHashCollectionIn<'_>]) {
+        let first = parts.first().expect("gather needs at least one part");
+        if let Some(fs) = &first.strata {
+            let seed_families = fs.families.clone();
+            let ks = fs.ks.clone();
+            let mut assign = Vec::new();
+            let sigs = cow_clear(&mut self.sigs);
+            for p in parts {
+                let ps = p
+                    .strata
+                    .as_ref()
+                    .expect("gather: mixed uniform/stratified parts");
+                assert_eq!(ps.ks, ks, "gather: mismatched stratum widths");
+                sigs.extend_from_slice(&p.sigs);
+                assign.extend_from_slice(&ps.assign);
+            }
+            self.k = first.k;
+            self.family = first.family.clone();
+            let mut strata = MinHashStrata::new(Cow::Owned(assign), ks, 0);
+            strata.families = seed_families;
+            self.strata = Some(strata);
+            return;
+        }
+        self.strata = None;
         let sigs = cow_clear(&mut self.sigs);
         for p in parts {
+            assert!(p.strata.is_none(), "gather: mixed uniform/stratified parts");
             assert_eq!(p.k, self.k, "gather: mismatched signature widths");
             sigs.extend_from_slice(&p.sigs);
         }
@@ -194,6 +376,7 @@ impl<'a> MinHashCollectionIn<'a> {
             sigs: Cow::Owned(self.sigs.into_owned()),
             k: self.k,
             family: self.family,
+            strata: self.strata.map(MinHashStrata::into_owned),
         }
     }
 
@@ -203,8 +386,11 @@ impl<'a> MinHashCollectionIn<'a> {
     /// Allocation-free: per slot, one scalar hash of `x` and — only when
     /// needed for the comparison — one recomputed hash of the stored min.
     pub fn insert(&mut self, i: usize, x: u32) {
-        let k = self.k;
-        let window = &mut self.sigs.to_mut()[i * k..(i + 1) * k];
+        // `self.family` is the widest stratum's family; by the seed-stream
+        // prefix property its first `k_of(i)` functions are exactly set
+        // `i`'s family, so one family serves every width here.
+        let r = self.sig_range(i);
+        let window = &mut self.sigs.to_mut()[r];
         for (t, slot) in window.iter_mut().enumerate() {
             let h = self.family.hash32(t, x as u64);
             let e = *slot;
@@ -236,8 +422,16 @@ impl<'a> MinHashCollectionIn<'a> {
         if xs.is_empty() {
             return;
         }
-        let k = self.k;
-        let window = &mut self.sigs.to_mut()[i * k..(i + 1) * k];
+        let r = self.sig_range(i);
+        let k = r.len();
+        let window = &mut self.sigs.to_mut()[r];
+        // `hashes_into` wants a buffer of exactly the family's width, so a
+        // stratified set hashes through its own stratum's family (a prefix
+        // of `self.family` — bit-identical functions, right length).
+        let family = match &self.strata {
+            Some(st) => &st.families[st.assign[i] as usize],
+            None => &self.family,
+        };
         let mut best: Vec<u32> = window
             .iter()
             .enumerate()
@@ -246,13 +440,13 @@ impl<'a> MinHashCollectionIn<'a> {
                     // Empty slot: construction's initial `best` sentinel.
                     u32::MAX
                 } else {
-                    self.family.hash32(t, e as u64)
+                    family.hash32(t, e as u64)
                 }
             })
             .collect();
         let mut hashes = vec![0u32; k];
         for &x in xs {
-            self.family.hashes_into(x as u64, &mut hashes);
+            family.hashes_into(x as u64, &mut hashes);
             for t in 0..k {
                 let h = hashes[t];
                 if h < best[t] || (h == best[t] && x < window[t]) {
@@ -266,7 +460,10 @@ impl<'a> MinHashCollectionIn<'a> {
     /// Number of signatures.
     #[inline]
     pub fn len(&self) -> usize {
-        self.sigs.len().checked_div(self.k).unwrap_or(0)
+        match &self.strata {
+            Some(st) => st.assign.len(),
+            None => self.sigs.len().checked_div(self.k).unwrap_or(0),
+        }
     }
 
     /// True when the collection holds no signatures.
@@ -275,16 +472,48 @@ impl<'a> MinHashCollectionIn<'a> {
         self.len() == 0
     }
 
-    /// The number of hash functions `k`.
+    /// The number of hash functions `k` — the **widest** stratum's width
+    /// when stratified (per-set widths come from
+    /// [`MinHashCollectionIn::k_of`]).
     #[inline]
     pub fn k(&self) -> usize {
         self.k
     }
 
+    /// Slot range of set `i` in the flat signature array.
+    #[inline]
+    fn sig_range(&self, i: usize) -> std::ops::Range<usize> {
+        match &self.strata {
+            Some(st) => st.offsets[i] as usize..st.offsets[i + 1] as usize,
+            None => i * self.k..(i + 1) * self.k,
+        }
+    }
+
+    /// Signature width of set `i`.
+    #[inline]
+    pub fn k_of(&self, i: usize) -> usize {
+        match &self.strata {
+            Some(st) => st.ks[st.assign[i] as usize] as usize,
+            None => self.k,
+        }
+    }
+
+    /// Stratum index of set `i` (0 for uniform collections).
+    #[inline]
+    pub fn stratum_of(&self, i: usize) -> usize {
+        self.strata.as_ref().map_or(0, |st| st.assign[i] as usize)
+    }
+
+    /// The stratified geometry, when present.
+    #[inline]
+    pub fn strata(&self) -> Option<&MinHashStrata<'a>> {
+        self.strata.as_ref()
+    }
+
     /// Signature window of set `i`.
     #[inline]
     pub fn signature(&self, i: usize) -> &[u32] {
-        &self.sigs[i * self.k..(i + 1) * self.k]
+        &self.sigs[self.sig_range(i)]
     }
 
     /// `|M_X ∩ M_Y|` between sets `i` and `j` — the `O(k)` kernel of
@@ -300,12 +529,18 @@ impl<'a> MinHashCollectionIn<'a> {
     /// [`MinHashCollection::matches`] when `row` is signature `i`.
     #[inline]
     pub fn matches_with_row(&self, row: &[u32], j: usize) -> usize {
-        // Equal-length reslices so the compare loop is bounds-check-free
-        // and auto-vectorizes (`vpcmpeqd` over full vector width).
-        let a = &row[..self.k];
-        let b = &self.signature(j)[..self.k];
+        // Cross-width pairs compare their shared slot prefix: by the hash
+        // family's prefix property the first `min(k)` slots of each
+        // signature are the signature the set would have at the narrower
+        // width, so the truncated compare is the narrow-width estimate
+        // exactly. Equal-length reslices keep the loop bounds-check-free
+        // and auto-vectorizing (`vpcmpeqd` over full vector width).
+        let b = self.signature(j);
+        let m = row.len().min(b.len());
+        let a = &row[..m];
+        let b = &b[..m];
         let mut c = 0usize;
-        for t in 0..self.k {
+        for t in 0..m {
             c += usize::from(a[t] == b[t] && a[t] != EMPTY);
         }
         c
@@ -320,7 +555,6 @@ impl<'a> MinHashCollectionIn<'a> {
     /// in L1 across the `L` vectorized passes.
     #[inline]
     pub fn matches_multi<const L: usize>(&self, row: &[u32], js: [usize; L]) -> [usize; L] {
-        debug_assert_eq!(row.len(), self.k);
         let mut c = [0usize; L];
         for l in 0..L {
             c[l] = self.matches_with_row(row, js[l]);
@@ -338,10 +572,20 @@ impl<'a> MinHashCollectionIn<'a> {
     pub fn matches_with_row_x2(&self, row: &[u32], j0: usize, j1: usize) -> (usize, usize) {
         #[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
         {
-            debug_assert_eq!(row.len(), self.k);
-            let a = &row[..self.k];
-            let b0 = &self.signature(j0)[..self.k];
-            let b1 = &self.signature(j1)[..self.k];
+            let b0 = self.signature(j0);
+            let b1 = self.signature(j1);
+            if b0.len() != b1.len() {
+                // Lanes from different strata: no shared vector shape —
+                // two scalar prefix compares instead.
+                return (
+                    self.matches_with_row(row, j0),
+                    self.matches_with_row(row, j1),
+                );
+            }
+            let m = row.len().min(b0.len());
+            let a = &row[..m];
+            let b0 = &b0[..m];
+            let b1 = &b1[..m];
             // SAFETY: avx512f is a compile-time target feature here; all
             // loads are explicit-unaligned or masked, and offsets stay
             // inside the three equal-length slices above.
@@ -350,7 +594,7 @@ impl<'a> MinHashCollectionIn<'a> {
                 let empty = _mm512_set1_epi32(EMPTY as i32);
                 let (mut c0, mut c1) = (0usize, 0usize);
                 let mut t = 0;
-                while t + 16 <= self.k {
+                while t + 16 <= m {
                     let x = _mm512_loadu_si512(a.as_ptr().add(t) as *const _);
                     let ne = _mm512_cmpneq_epi32_mask(x, empty);
                     let y0 = _mm512_loadu_si512(b0.as_ptr().add(t) as *const _);
@@ -359,11 +603,11 @@ impl<'a> MinHashCollectionIn<'a> {
                     c1 += ((_mm512_cmpeq_epi32_mask(x, y1) & ne) as u32).count_ones() as usize;
                     t += 16;
                 }
-                if t < self.k {
+                if t < m {
                     // Masked tail: zeroed slots compare equal (0 == 0), so
                     // the not-EMPTY mask is ANDed with the load mask to
                     // discard them.
-                    let mask: __mmask16 = (1u16 << (self.k - t)) - 1;
+                    let mask: __mmask16 = (1u16 << (m - t)) - 1;
                     let x = _mm512_maskz_loadu_epi32(mask, a.as_ptr().add(t) as *const _);
                     let ne = _mm512_cmpneq_epi32_mask(x, empty) & mask;
                     let y0 = _mm512_maskz_loadu_epi32(mask, b0.as_ptr().add(t) as *const _);
@@ -383,10 +627,11 @@ impl<'a> MinHashCollectionIn<'a> {
         }
     }
 
-    /// `Ĵ_kH` between sets `i` and `j`.
+    /// `Ĵ_kH` between sets `i` and `j`. Cross-stratum pairs are compared
+    /// at the narrower width, so the divisor is `min(k_i, k_j)`.
     #[inline]
     pub fn estimate_jaccard(&self, i: usize, j: usize) -> f64 {
-        estimators::mh_jaccard(self.matches(i, j), self.k)
+        estimators::mh_jaccard(self.matches(i, j), self.k_of(i).min(self.k_of(j)))
     }
 
     /// `|X∩Y|̂_kH` (Eq. 5) between sets `i` and `j` with exact sizes.
@@ -514,6 +759,106 @@ mod tests {
         }
         let rebuilt = MinHashCollection::build(1, 8, 3, |_| &[42u32, 7, 99][..]);
         assert_eq!(one.signature(0), rebuilt.signature(0));
+    }
+
+    #[test]
+    fn one_stratum_build_is_bit_identical_to_uniform() {
+        let sets: Vec<Vec<u32>> = (0..10)
+            .map(|s| (0..20 + s * 9).map(|i| (i * 7 + s) as u32).collect())
+            .collect();
+        let uniform = MinHashCollection::build(sets.len(), 24, 11, |i| &sets[i][..]);
+        let strat = MinHashCollection::build_stratified(vec![24], vec![0u8; sets.len()], 11, |i| {
+            &sets[i][..]
+        });
+        assert!(
+            strat.strata().is_none(),
+            "one stratum must lower to uniform"
+        );
+        assert_eq!(strat.raw_sigs(), uniform.raw_sigs());
+        assert_eq!(strat.k(), uniform.k());
+    }
+
+    #[test]
+    fn cross_stratum_pairs_match_both_built_at_the_narrow_width() {
+        // Prefix property in action: a (k=32, k=8) pair must give exactly
+        // the matches/Jaccard of both sets sketched at k=8.
+        let sets: Vec<Vec<u32>> = (0..9)
+            .map(|s| (0..50 + s * 17).map(|i| (i * 5 + s) as u32).collect())
+            .collect();
+        let ks = vec![32u32, 16, 8];
+        let assign: Vec<u8> = (0..sets.len()).map(|i| (i % 3) as u8).collect();
+        let strat =
+            MinHashCollection::build_stratified(ks.clone(), assign.clone(), 7, |i| &sets[i][..]);
+        assert_eq!(strat.len(), sets.len());
+        for i in 0..sets.len() {
+            assert_eq!(strat.k_of(i), ks[assign[i] as usize] as usize);
+            assert_eq!(strat.signature(i).len(), strat.k_of(i));
+        }
+        for i in 0..sets.len() {
+            for j in 0..sets.len() {
+                let kmin = strat.k_of(i).min(strat.k_of(j));
+                let narrow = MinHashCollection::build(sets.len(), kmin, 7, |s| &sets[s][..]);
+                assert_eq!(strat.matches(i, j), narrow.matches(i, j), "i={i} j={j}");
+                assert_eq!(
+                    strat.estimate_jaccard(i, j),
+                    narrow.estimate_jaccard(i, j),
+                    "i={i} j={j}"
+                );
+                let row = strat.signature(i);
+                let (m0, m1) = strat.matches_with_row_x2(row, j, (j + 1) % sets.len());
+                assert_eq!(m0, strat.matches(i, j), "x2 lane 0 i={i} j={j}");
+                assert_eq!(m1, strat.matches(i, (j + 1) % sets.len()), "x2 lane 1");
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_insert_matches_stratified_rebuild() {
+        let full: Vec<Vec<u32>> = (0..9)
+            .map(|s| (0..40 + s * 13).map(|i| (i * 11 + s) as u32).collect())
+            .collect();
+        let ks = vec![32u32, 8];
+        let assign: Vec<u8> = (0..full.len()).map(|i| (i % 2) as u8).collect();
+        let want =
+            MinHashCollection::build_stratified(ks.clone(), assign.clone(), 19, |i| &full[i][..]);
+        let mut got =
+            MinHashCollection::build_stratified(ks, assign, 19, |i| &full[i][..full[i].len() / 4]);
+        for (i, set) in full.iter().enumerate() {
+            if i % 2 == 0 {
+                got.insert_batch(i, &set[set.len() / 4..]);
+            } else {
+                for &x in &set[set.len() / 4..] {
+                    got.insert(i, x);
+                }
+            }
+            assert_eq!(got.signature(i), want.signature(i), "set {i}");
+        }
+        assert_eq!(got.raw_sigs(), want.raw_sigs());
+    }
+
+    #[test]
+    fn stratified_gather_concatenates_parts() {
+        let sets: Vec<Vec<u32>> = (0..8)
+            .map(|s| (0..30 + s * 7).map(|i| (i * 3 + s) as u32).collect())
+            .collect();
+        let ks = vec![16u32, 4];
+        let assign: Vec<u8> = (0..8).map(|i| (i % 2) as u8).collect();
+        let whole =
+            MinHashCollection::build_stratified(ks.clone(), assign.clone(), 5, |i| &sets[i][..]);
+        let left = MinHashCollection::build_stratified(ks.clone(), assign[..4].to_vec(), 5, |i| {
+            &sets[i][..]
+        });
+        let right =
+            MinHashCollection::build_stratified(ks, assign[4..].to_vec(), 5, |i| &sets[i + 4][..]);
+        let gathered = MinHashCollection::gather(&[&left, &right]);
+        assert_eq!(gathered.raw_sigs(), whole.raw_sigs());
+        assert_eq!(
+            gathered.strata().unwrap().assign(),
+            whole.strata().unwrap().assign()
+        );
+        for i in 0..8 {
+            assert_eq!(gathered.signature(i), whole.signature(i));
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ d = json.load(open(path))
 
 for key in ("workload", "sketch_params", "host", "ns_per_edge", "fused_vs_naive", "row_batch",
             "dispatch", "tiling", "streaming", "streaming_removal", "snapshot", "serving",
-            "distributed"):
+            "stratified", "distributed"):
     assert key in d, f"missing section: {key}"
 
 host = d["host"]
@@ -166,6 +166,46 @@ if wl["threads"] >= 4:
     assert sv["mixed_vs_serial_4shard"] >= 1.17, \
         f"serving 4-shard mixed no longer beats serial: {sv['mixed_vs_serial_4shard']}"
 
+sf = d["stratified"]
+swl = sf.get("workload", {})
+assert isinstance(swl.get("model"), str), "stratified.workload.model"
+assert isinstance(swl.get("spec"), str), "stratified.workload.spec"
+for field in ("n", "m", "seed"):
+    assert isinstance(swl.get(field), int), f"stratified.workload.{field}"
+    assert swl[field] >= 0, f"stratified.workload.{field} must be non-negative"
+for field in ("gamma", "budget", "exact_tc"):
+    assert isinstance(swl.get(field), (int, float)), f"stratified.workload.{field}"
+    assert swl[field] > 0, f"stratified.workload.{field} must be positive"
+for name in ("bf2", "kmv"):
+    e = sf.get(name)
+    assert e is not None, f"missing stratified entry: {name}"
+    for plan in ("uniform", "stratified"):
+        cell = e.get(plan)
+        assert cell is not None, f"missing stratified.{name}.{plan}"
+        for field in ("relerr", "ms", "snapshot_bytes"):
+            assert isinstance(cell.get(field), (int, float)), f"stratified.{name}.{plan}.{field}"
+            assert cell[field] > 0, f"stratified.{name}.{plan}.{field} must be positive"
+    assert isinstance(e["stratified"].get("n_strata"), int), f"stratified.{name}.n_strata"
+    assert isinstance(e.get("runtime_ratio"), (int, float)), f"stratified.{name}.runtime_ratio"
+# Gates for bf2 (the paper's headline representation) on the fixed skewed
+# workload: under the SAME storage budget the degree-stratified plan must
+# (a) resolve at least 2 strata (a collapsed plan gates nothing), (b) beat
+# the uniform plan's TC relative error — wider hub filters are the whole
+# point — and (c) keep `runtime_ratio` (uniform ms / stratified ms) at the
+# shared 0.90 noise floor: the heterogeneous row sweep prices within ~10%
+# of the uniform kernel. The relerr comparison is deterministic (fixed
+# graph seed, seeded hashes), so it gates exactly, not within noise.
+# kmv is reported but not gated: its coarse k granularity can collapse
+# the plan and its estimator is not the paper's headline.
+bf2s = sf["bf2"]
+assert bf2s["stratified"]["n_strata"] >= 2, \
+    f"stratified.bf2 plan collapsed to {bf2s['stratified']['n_strata']} stratum"
+assert bf2s["stratified"]["relerr"] <= bf2s["uniform"]["relerr"], \
+    (f"stratified.bf2 accuracy no longer beats uniform: "
+     f"{bf2s['stratified']['relerr']} vs {bf2s['uniform']['relerr']}")
+assert bf2s["runtime_ratio"] >= 0.90, \
+    f"stratified.bf2 row sweep slower than uniform beyond noise: {bf2s['runtime_ratio']}"
+
 dx = d["distributed"]
 dwl = dx.get("workload", {})
 assert isinstance(dwl.get("graph"), str), "distributed.workload.graph"
@@ -219,6 +259,10 @@ print(f"{path} ok:", {k: round(v["speedup"], 3) for k, v in rb.items()},
       "| serving vs serial (threads=%d):" % wl["threads"],
       {"1shard_mix10": round(sv["mixed_vs_serial_1shard"], 2),
        "4shard_mix50": round(sv["mixed_vs_serial_4shard"], 2)},
+      "| stratified bf2:",
+      {"relerr": "%.3f->%.3f" % (bf2s["uniform"]["relerr"], bf2s["stratified"]["relerr"]),
+       "runtime_ratio": round(bf2s["runtime_ratio"], 2),
+       "n_strata": bf2s["stratified"]["n_strata"]},
       "| distributed reduction:",
       {f"{rep}_{p}": round(dx[rep][f"parts{p}"]["measured_reduction"], 2)
        for rep in ("bf", "onehash") for p in (2, 4, 16)})

@@ -153,6 +153,42 @@ fn clean_exchange_matches_single_process_bit_for_bit() {
 }
 
 #[test]
+fn stratified_exchange_matches_single_process_bit_for_bit() {
+    use pg_sketch::StrataSpec;
+    let g = gen::erdos_renyi_gnm(800, 24_000, 3);
+    let dag = orient_by_degree(&g);
+    for (rep, p) in [
+        (Representation::Bloom { b: 2 }, 3),
+        (Representation::OneHash, 3),
+        (Representation::Kmv, 2),
+        (Representation::Hll, 2),
+    ] {
+        let cfg = PgConfig::stratified(rep, 0.3, StrataSpec::skewed_default());
+        let pg = ProbGraph::build_dag(&dag, g.memory_bytes(), &cfg);
+        assert!(
+            pg.stratified_params().is_some(),
+            "{rep:?}: budget collapsed to uniform; the test covers nothing"
+        );
+        let parts = partition(dag.num_vertices(), p);
+        let opts = ExchangeOptions {
+            chunk_sets: 64,
+            ..ExchangeOptions::default()
+        };
+        let report = run_exchange(&dag, &pg, &parts, p, &opts)
+            .unwrap_or_else(|e| panic!("{rep:?} x{p}: stratified exchange failed: {e}"));
+        let reference = single_process_partials(&dag, &pg, &parts, p);
+        for (r, (&got, &want)) in report.partials.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{rep:?} x{p}: partial {r} differs: {got} vs {want}"
+            );
+        }
+        assert!(report.sketch_total() > 0, "{rep:?}: no sketch bytes");
+    }
+}
+
+#[test]
 fn single_part_exchange_has_no_communication_and_reduction_one() {
     let (dag, pg) = setup(Representation::Bloom { b: 2 }, 7);
     let parts = vec![0u32; dag.num_vertices()];

@@ -156,6 +156,142 @@ fn warm_restart_continues_bit_identically() {
     }
 }
 
+/// A skewed graph + the default heavy-tail spec: the established
+/// non-collapsing recipe for every representation at budget 0.3.
+fn stratified_graph() -> CsrGraph {
+    gen::erdos_renyi_gnm(800, 24_000, 3)
+}
+
+fn stratified_variants() -> Vec<(&'static str, PgConfig)> {
+    use pg_sketch::StrataSpec;
+    variants()
+        .into_iter()
+        .map(|(tag, cfg)| (tag, cfg.with_strata(StrataSpec::skewed_default())))
+        .collect()
+}
+
+#[test]
+fn stratified_round_trip_and_warm_restart_are_bit_identical() {
+    // The v3 wire format (per-stratum param table + assignment sections)
+    // under the same standards as the uniform matrix: load → re-serialize
+    // is a fixed point, the stratum table survives, and a mid-stream
+    // save/load continues bit-identically with the never-persisted side.
+    let g = stratified_graph();
+    let edges = g.edge_list();
+    let split = edges.len() / 2;
+    for (tag, cfg) in stratified_variants() {
+        let pg = ProbGraph::build(&g, &cfg);
+        assert!(
+            pg.stratified_params().is_some(),
+            "{tag}: recipe collapsed to uniform"
+        );
+        let bytes = pg.snapshot_to_bytes();
+        let back = ProbGraph::from_snapshot_bytes(&bytes).unwrap_or_else(|e| panic!("{tag}: {e}"));
+        assert_eq!(back.snapshot_to_bytes(), bytes, "{tag}: re-serialization");
+        assert_eq!(
+            back.stratified_params(),
+            pg.stratified_params(),
+            "{tag}: stratum table"
+        );
+        assert_estimator_identical(&pg, &back, &g, tag);
+
+        let mut original =
+            ProbGraph::stream_from(g.num_vertices(), g.memory_bytes(), &cfg, &edges[..split]);
+        let mut restarted = ProbGraph::from_snapshot_bytes(&original.snapshot_to_bytes())
+            .unwrap_or_else(|e| panic!("{tag}: {e}"));
+        original.apply_batch(&edges[split..]);
+        restarted.apply_batch(&edges[split..]);
+        assert_eq!(
+            original.snapshot_to_bytes(),
+            restarted.snapshot_to_bytes(),
+            "{tag}: post-restart inserts diverged"
+        );
+    }
+}
+
+#[test]
+fn stratified_fault_injection_sweep_never_panics() {
+    // The corruption matrix over stratified snapshots, one variant per
+    // store family, at coarser strides (the snapshots are ~100× larger
+    // than the uniform matrix's): every truncation and bit flip must be
+    // a typed error attributed to the right region — including flips in
+    // the stratified-only StratumParams / StratumAssign sections — and
+    // nothing may panic.
+    use probgraph::snapshot::SectionKind;
+    let g = stratified_graph();
+    let mut panics = 0usize;
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for (tag, cfg) in stratified_variants() {
+        if !matches!(tag, "bf2" | "cbf" | "khash" | "onehash" | "kmv" | "hll") {
+            continue;
+        }
+        let pg = ProbGraph::build(&g, &cfg);
+        let bytes = pg.snapshot_to_bytes();
+        let spans = payload_spans(&bytes);
+        let table_end = HEADER_LEN + spans.len() * ENTRY_LEN + 8;
+        for kind in [SectionKind::StratumParams, SectionKind::StratumAssign] {
+            assert!(
+                spans.iter().any(|&(t, ..)| t == kind as u32),
+                "{tag}: stratified snapshot lacks a {kind:?} section"
+            );
+        }
+
+        let mut cuts: Vec<usize> = vec![0, 7, HEADER_LEN - 1, table_end, bytes.len() - 1];
+        for &(_, start, end) in &spans {
+            cuts.extend_from_slice(&[start, end.saturating_sub(1)]);
+        }
+        cuts.retain(|&c| c < bytes.len());
+        for cut in cuts {
+            let Some(res) = load_guarded(&bytes[..cut], &mut panics) else {
+                continue;
+            };
+            let err = res.expect_err(&format!("{tag}: truncation at {cut} loaded"));
+            if cut < table_end {
+                assert!(
+                    matches!(err, SnapshotError::TooShort { .. }),
+                    "{tag}: cut {cut}: {err:?}"
+                );
+            } else {
+                assert!(
+                    matches!(err, SnapshotError::Truncated { .. }),
+                    "{tag}: cut {cut}: {err:?}"
+                );
+            }
+        }
+
+        let mut flips: Vec<usize> = (0..table_end).step_by(7).collect();
+        // Cover every payload — the stratified sections are tiny, so
+        // derive in-span positions rather than relying on the stride.
+        for &(_, start, end) in &spans {
+            flips.extend((start..end).step_by(997.min(end - start)));
+        }
+        for pos in flips {
+            let mut dirty = bytes.clone();
+            dirty[pos] ^= 1 << (pos % 8);
+            let Some(res) = load_guarded(&dirty, &mut panics) else {
+                continue;
+            };
+            let err = res.expect_err(&format!("{tag}: bit flip at {pos} loaded"));
+            if pos >= table_end {
+                let hit = spans
+                    .iter()
+                    .find(|&&(_, s, e)| pos >= s && pos < e)
+                    .map(|&(kind_tag, ..)| kind_tag)
+                    .expect("flip position inside some payload");
+                match err {
+                    SnapshotError::ChecksumMismatch { section } => {
+                        assert_eq!(section as u32, hit, "{tag}@{pos}: wrong section blamed")
+                    }
+                    other => panic!("{tag}@{pos}: {other:?}"),
+                }
+            }
+        }
+    }
+    std::panic::set_hook(prev_hook);
+    assert_eq!(panics, 0, "the stratified fault sweep must never panic");
+}
+
 #[test]
 fn onehash_persists_both_layouts() {
     // The bottom-k store has two on-disk shapes: the static build's
